@@ -1,0 +1,70 @@
+// Ablation: plain word-parallel bitmaps vs EWAH-compressed bitmaps for the
+// core operation of the system (ANDing bitmap columns), across record
+// densities. Justifies the design choice in DESIGN.md: plain bitmaps in
+// memory for query evaluation, EWAH for the on-disk footprint.
+#include <benchmark/benchmark.h>
+
+#include "bitmap/bitmap.h"
+#include "bitmap/ewah_bitmap.h"
+#include "util/random.h"
+
+namespace colgraph {
+namespace {
+
+Bitmap RandomBitmap(size_t bits, double density, uint64_t seed) {
+  Rng rng(seed);
+  Bitmap b(bits);
+  for (size_t i = 0; i < bits; ++i) {
+    if (rng.Bernoulli(density)) b.Set(i);
+  }
+  return b;
+}
+
+void BM_PlainAnd(benchmark::State& state) {
+  const size_t bits = 1 << 20;
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  const Bitmap a = RandomBitmap(bits, density, 1);
+  const Bitmap b = RandomBitmap(bits, density, 2);
+  for (auto _ : state) {
+    Bitmap r = a;
+    r.And(b);
+    benchmark::DoNotOptimize(r.Count());
+  }
+  state.SetLabel("density=" + std::to_string(state.range(0)) + "%");
+}
+BENCHMARK(BM_PlainAnd)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_EwahAnd(benchmark::State& state) {
+  const size_t bits = 1 << 20;
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  const EwahBitmap a =
+      EwahBitmap::FromBitmap(RandomBitmap(bits, density, 1));
+  const EwahBitmap b =
+      EwahBitmap::FromBitmap(RandomBitmap(bits, density, 2));
+  for (auto _ : state) {
+    const EwahBitmap r = EwahBitmap::And(a, b);
+    benchmark::DoNotOptimize(r.Count());
+  }
+  state.SetLabel("density=" + std::to_string(state.range(0)) + "%");
+}
+BENCHMARK(BM_EwahAnd)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_EwahCompressionRatio(benchmark::State& state) {
+  const size_t bits = 1 << 20;
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  const Bitmap plain = RandomBitmap(bits, density, 3);
+  size_t compressed_bytes = 0;
+  for (auto _ : state) {
+    const EwahBitmap e = EwahBitmap::FromBitmap(plain);
+    compressed_bytes = e.CompressedBytes();
+    benchmark::DoNotOptimize(compressed_bytes);
+  }
+  state.counters["plain_bytes"] = static_cast<double>(plain.MemoryBytes());
+  state.counters["ewah_bytes"] = static_cast<double>(compressed_bytes);
+}
+BENCHMARK(BM_EwahCompressionRatio)->Arg(1)->Arg(10)->Arg(50);
+
+}  // namespace
+}  // namespace colgraph
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Figure 11: 100 uniform *aggregate* graph queries with gIndex fragments
+// vs materialized aggregate views. Fragments only speed up matching; the
+// aggregate views also pre-consolidate measures, so their advantage is
+// larger here than in Figure 10 (paper: up to 6x faster than gIndex_Q).
+#include "gindex_util.h"
+
+#include "views/aggregate_views.h"
+
+namespace colgraph::bench {
+namespace {
+
+double TimeWorkload(const ColGraphEngine& engine, const ViewCatalog& views,
+                    const std::vector<GraphQuery>& workload) {
+  QueryEngine qe(&engine.relation(), &engine.catalog(), &views);
+  Stopwatch watch;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const GraphQuery& q : workload) {
+      auto result = qe.RunAggregateQuery(q, AggFn::kSum);
+      if (!result.ok()) std::abort();
+    }
+  }
+  return watch.ElapsedSeconds() / 3;
+}
+
+void Run() {
+  Title(
+      "Figure 11 — gIndex fragments vs aggregate views, 100 uniform "
+      "aggregate queries");
+  PaperNote(
+      "fragments cannot reduce measure retrieval; aggregate views can "
+      "(paper: views up to 6x faster than gIndex_Q)");
+
+  const Dataset ds = MakeDataset(MakeNyBase(), "NY", Scaled(60000), 1000,
+                                 NyRecordOptions(), 432);
+  ColGraphEngine engine = BuildEngine(ds);
+  QueryGenerator qgen(&ds.trunks, &ds.universe, 67);
+  QueryGenOptions q_options;
+  q_options.min_edges = 8;
+  q_options.max_edges = 25;
+  const auto workload = qgen.UniformWorkload(100, q_options);
+
+  const auto frags_q = MineFragments(ds, engine, workload, 1.0, 400, 81);
+  const auto frags_qd = MineFragments(ds, engine, workload, 0.2, 400, 83);
+  const auto mat_q = MaterializeFragments(frags_q, engine);
+  const auto mat_qd = MaterializeFragments(frags_qd, engine);
+
+  auto selected =
+      SelectAggregateViews(workload, AggFn::kSum, engine.catalog(), 100);
+  if (!selected.ok()) std::abort();
+  std::vector<std::pair<AggViewDef, size_t>> mat_views;
+  {
+    ViewCatalog scratch;
+    for (const AggViewDef& def : *selected) {
+      auto column =
+          MaterializeAggView(def, &engine.mutable_relation(), &scratch);
+      if (!column.ok()) std::abort();
+      mat_views.emplace_back(def, *column);
+    }
+  }
+  std::printf("  %zu (Q) / %zu (Q+D) fragments; %zu aggregate views\n",
+              frags_q.size(), frags_qd.size(), mat_views.size());
+
+  Row({"budget", "gIndex_Q+D (s)", "gIndex_Q (s)", "Views (s)"});
+  for (size_t budget_pct : {0u, 20u, 40u, 60u, 80u, 100u}) {
+    auto trim_frags =
+        [&](const std::vector<std::pair<GraphViewDef, size_t>>& all) {
+          ViewCatalog catalog;
+          const size_t k = budget_pct * all.size() / 100;
+          for (size_t i = 0; i < k; ++i) {
+            catalog.AddGraphView(all[i].first, all[i].second);
+          }
+          return catalog;
+        };
+    ViewCatalog c_views;
+    const size_t k = budget_pct * mat_views.size() / 100;
+    for (size_t i = 0; i < k; ++i) {
+      c_views.AddAggView(mat_views[i].first, mat_views[i].second);
+    }
+    const ViewCatalog c_qd = trim_frags(mat_qd);
+    const ViewCatalog c_q = trim_frags(mat_q);
+    Row({std::to_string(budget_pct) + "%",
+         Fmt(TimeWorkload(engine, c_qd, workload)),
+         Fmt(TimeWorkload(engine, c_q, workload)),
+         Fmt(TimeWorkload(engine, c_views, workload))});
+  }
+}
+
+}  // namespace
+}  // namespace colgraph::bench
+
+int main() { colgraph::bench::Run(); }

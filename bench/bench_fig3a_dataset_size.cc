@@ -1,0 +1,42 @@
+// Figure 3(a): total execution time of 100 uniform graph queries as the
+// dataset grows (paper: 1M / 5M / 10M NY records; here scaled 1:100).
+// Expected shape: the column store scales linearly and stays orders of
+// magnitude below the row store; the native graph and RDF stores land in
+// between.
+#include "comparison_util.h"
+
+namespace colgraph::bench {
+namespace {
+
+void Run() {
+  Title("Figure 3(a) — query time vs dataset size, 100 uniform queries, NY");
+  PaperNote(
+      "column store ~linear, orders of magnitude below the row store; "
+      "neo4j/rdf in between (paper x-axis: 1M, 5M, 10M records)");
+  Row({"records", "Column Store", "Neo4j Store", "Rdf Store", "Row Store"});
+
+  RecordGenOptions rec_options;  // NY profile: 35..100 edges
+  for (size_t base : {10000u, 30000u, 60000u}) {
+    const size_t n = Scaled(base);
+    const Dataset ds =
+        MakeDataset(MakeNyBase(), "NY", n, 1000, rec_options, 31337);
+    QueryGenerator qgen(&ds.trunks, &ds.universe, 7);
+    QueryGenOptions q_options;
+    q_options.min_edges = 3;
+    q_options.max_edges = 10;
+    const auto workload = qgen.UniformWorkload(100, q_options);
+
+    std::vector<std::string> cells{std::to_string(n)};
+    cells.push_back(Fmt(TimeColumnStore(ds, workload)) + "s");
+    for (const auto& [name, factory] : BaselineFactories()) {
+      (void)name;
+      cells.push_back(Fmt(TimeBaseline(factory, ds, workload)) + "s");
+    }
+    Row(cells);
+  }
+}
+
+}  // namespace
+}  // namespace colgraph::bench
+
+int main() { colgraph::bench::Run(); }

@@ -1,0 +1,97 @@
+// Figure 9: number of candidate views as the minimum support minSup grows
+// (Section 5.2), for graph views and aggregate views under uniform and
+// Zipf query distributions. Expected shape: a sharp drop as minSup first
+// rises, with Zipf workloads producing more shared (hence more surviving)
+// candidates at higher supports. Candidate generation itself is fast
+// (paper: < 1 second; naive enumeration infeasible).
+#include <set>
+
+#include "bench_util.h"
+#include "graph/path.h"
+#include "views/candidate_generation.h"
+
+namespace colgraph::bench {
+namespace {
+
+size_t CountGraphViewCandidates(const std::vector<GraphQuery>& workload,
+                                const ColGraphEngine& engine,
+                                size_t min_support) {
+  std::vector<std::vector<EdgeId>> universes;
+  for (const GraphQuery& q : workload) {
+    const auto resolved = engine.query_engine().Resolve(q);
+    if (resolved.satisfiable && !resolved.ids.empty()) {
+      universes.push_back(resolved.ids);
+    }
+  }
+  CandidateGenOptions options;
+  options.min_support = min_support;
+  auto candidates = GenerateGraphViewCandidates(universes, options);
+  return candidates.ok() ? candidates->size() : 0;
+}
+
+size_t CountAggViewCandidates(const std::vector<GraphQuery>& workload,
+                              size_t min_support) {
+  std::vector<std::vector<Path>> maximal_paths;
+  for (const GraphQuery& q : workload) {
+    auto paths = MaximalPaths(q.graph());
+    if (paths.ok()) maximal_paths.push_back(std::move(paths).value());
+  }
+  auto candidate_paths = GenerateAggViewCandidatePaths(maximal_paths);
+  if (!candidate_paths.ok()) return 0;
+  // Support of a candidate path = number of queries whose graph contains it.
+  size_t surviving = 0;
+  for (const Path& p : *candidate_paths) {
+    size_t support = 0;
+    for (const GraphQuery& q : workload) {
+      bool contained = true;
+      for (const Edge& e : p.Edges()) {
+        if (!q.graph().HasEdge(e.from, e.to)) {
+          contained = false;
+          break;
+        }
+      }
+      support += contained;
+      if (support >= min_support) break;
+    }
+    if (support >= min_support) ++surviving;
+  }
+  return surviving;
+}
+
+void Run() {
+  Title("Figure 9 — number of candidate views vs minimum support, NY");
+  PaperNote(
+      "sharp drop as minSup first increases; generation runs in well under "
+      "a second (naive enumeration infeasible)");
+
+  RecordGenOptions rec_options;
+  const Dataset ds = MakeDataset(MakeNyBase(), "NY", Scaled(20000), 1000,
+                                 rec_options, 111);
+  ColGraphEngine engine = BuildEngine(ds);
+  QueryGenerator qgen(&ds.trunks, &ds.universe, 59);
+  QueryGenOptions q_options;
+  q_options.min_edges = 8;
+  q_options.max_edges = 25;
+  const auto uniform = qgen.UniformWorkload(100, q_options);
+  const auto zipf = qgen.ZipfWorkload(100, 30, 1.2, q_options);
+
+  Row({"minSup", "GraphViews-Zipf", "GraphViews-Unif", "AggViews-Zipf",
+       "AggViews-Unif"});
+  Stopwatch watch;
+  for (size_t min_sup_pct : {1u, 2u, 5u, 10u, 20u, 30u, 40u, 50u}) {
+    const size_t min_support = std::max<size_t>(1, min_sup_pct);
+    Row({std::to_string(min_sup_pct) + "%",
+         std::to_string(CountGraphViewCandidates(zipf, engine, min_support)),
+         std::to_string(
+             CountGraphViewCandidates(uniform, engine, min_support)),
+         std::to_string(CountAggViewCandidates(zipf, min_support)),
+         std::to_string(CountAggViewCandidates(uniform, min_support))});
+  }
+  std::printf("  total candidate-generation time: %.3fs (paper: < 1s)\n",
+              watch.ElapsedSeconds());
+}
+
+}  // namespace
+}  // namespace colgraph::bench
+
+int main() { colgraph::bench::Run(); }

@@ -1,0 +1,145 @@
+// Shared setup helpers for the experiment harnesses: scaled dataset
+// construction (the paper's 320M/100M-record datasets are reproduced at a
+// configurable scale factor; shapes, not absolute numbers, are the target)
+// and fixed-width table printing so each binary emits the same rows/series
+// as the corresponding paper table or figure.
+//
+// Environment:
+//   COLGRAPH_SCALE  multiplies all record counts (default 1.0; raise on a
+//                   bigger machine to approach the paper's scale).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/stopwatch.h"
+#include "workload/base_graphs.h"
+#include "workload/query_generator.h"
+#include "workload/record_generator.h"
+
+namespace colgraph::bench {
+
+inline double ScaleFactor() {
+  const char* env = std::getenv("COLGRAPH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline size_t Scaled(size_t base) {
+  const double scaled = static_cast<double>(base) * ScaleFactor();
+  return scaled < 1 ? 1 : static_cast<size_t>(scaled);
+}
+
+/// The synthetic stand-in for the paper's NY road network.
+inline DirectedGraph MakeNyBase() { return MakeRoadNetwork(120, 120); }
+
+/// The synthetic stand-in for the Gnutella p2p snapshot.
+inline DirectedGraph MakeGnuBase() { return MakePowerLawNetwork(3000, 3, 4242); }
+
+/// Record-size profile matching Table 2's NY row (35..100 edges, avg 85).
+inline RecordGenOptions NyRecordOptions() {
+  RecordGenOptions options;
+  options.min_edges = 35;
+  options.max_edges = 100;
+  options.size_draws = 3;
+  return options;
+}
+
+/// Record-size profile matching Table 2's GNU row (45..100 edges, avg 75).
+inline RecordGenOptions GnuRecordOptions() {
+  RecordGenOptions options;
+  options.min_edges = 45;
+  options.max_edges = 100;
+  return options;
+}
+
+struct Dataset {
+  DirectedGraph universe;
+  std::vector<GraphRecord> records;
+  std::vector<std::vector<NodeRef>> trunks;
+  std::string name;
+};
+
+/// Builds a dataset of `num_records` random-walk records over a
+/// `universe_edges`-edge sub-universe of `base`.
+inline Dataset MakeDataset(const DirectedGraph& base, std::string name,
+                           size_t num_records, size_t universe_edges,
+                           RecordGenOptions rec_options, uint64_t seed) {
+  Dataset ds;
+  ds.name = std::move(name);
+  auto universe = SelectEdgeUniverse(base, universe_edges, seed);
+  if (!universe.ok()) {
+    std::fprintf(stderr, "universe selection failed: %s\n",
+                 universe.status().ToString().c_str());
+    std::abort();
+  }
+  ds.universe = std::move(universe).value();
+  WalkRecordGenerator generator(&ds.universe, rec_options, seed + 1);
+  ds.records.reserve(num_records);
+  ds.trunks.reserve(num_records);
+  for (size_t i = 0; i < num_records; ++i) {
+    std::vector<NodeRef> trunk;
+    ds.records.push_back(generator.Next(&trunk));
+    ds.trunks.push_back(std::move(trunk));
+  }
+  return ds;
+}
+
+/// Ingests a dataset into a fresh ColGraphEngine. When `register_universe`
+/// is set, the full edge universe is registered first so the relation's
+/// column count equals the domain size even when records leave edges
+/// untouched (needed by the edge-domain sweep of Figure 5).
+inline ColGraphEngine BuildEngine(const Dataset& ds,
+                                  EngineOptions options = {},
+                                  bool register_universe = false) {
+  ColGraphEngine engine(options);
+  if (register_universe) engine.RegisterUniverse(ds.universe.edges());
+  for (const GraphRecord& r : ds.records) {
+    auto status = engine.AddRecord(r);
+    if (!status.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n",
+                   status.status().ToString().c_str());
+      std::abort();
+    }
+  }
+  auto sealed = engine.Seal();
+  if (!sealed.ok()) {
+    std::fprintf(stderr, "seal failed: %s\n", sealed.ToString().c_str());
+    std::abort();
+  }
+  return engine;
+}
+
+// --- Output formatting. ---
+
+inline void Title(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PaperNote(const std::string& note) {
+  std::printf("    [paper] %s\n", note.c_str());
+}
+
+inline void Row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("%-18s", c.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int precision = 3) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, v);
+  return buffer;
+}
+
+inline std::string FmtBytes(size_t bytes) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.1f MB",
+                static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return buffer;
+}
+
+}  // namespace colgraph::bench

@@ -1,0 +1,60 @@
+// Helpers for the four-system comparison experiments (Figures 3-5): run
+// the same query workload against the column store and each from-scratch
+// baseline, building and tearing the baselines down one at a time to keep
+// the peak footprint bounded.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "baselines/graph_db.h"
+#include "baselines/rdf_store.h"
+#include "baselines/row_store.h"
+#include "bench_util.h"
+
+namespace colgraph::bench {
+
+using StoreFactory = std::function<std::unique_ptr<GraphStoreInterface>()>;
+
+inline std::vector<std::pair<std::string, StoreFactory>> BaselineFactories() {
+  return {
+      {"Neo4j Store", [] { return std::make_unique<GraphDb>(); }},
+      {"Rdf Store", [] { return std::make_unique<RdfStore>(); }},
+      {"Row Store", [] { return std::make_unique<RowStore>(); }},
+  };
+}
+
+/// Wall-clock seconds to run `workload` on the column store built from `ds`.
+inline double TimeColumnStore(const Dataset& ds,
+                              const std::vector<GraphQuery>& workload,
+                              size_t* result_records = nullptr) {
+  ColGraphEngine engine = BuildEngine(ds);
+  size_t total = 0;
+  Stopwatch watch;
+  for (const GraphQuery& q : workload) {
+    auto result = engine.RunGraphQuery(q);
+    if (result.ok()) total += result->records.size();
+  }
+  const double seconds = watch.ElapsedSeconds();
+  if (result_records != nullptr) *result_records = total;
+  return seconds;
+}
+
+/// Wall-clock seconds for one baseline (built fresh, then destroyed).
+inline double TimeBaseline(const StoreFactory& factory, const Dataset& ds,
+                           const std::vector<GraphQuery>& workload) {
+  auto store = factory();
+  for (const GraphRecord& r : ds.records) {
+    auto status = store->AddRecord(r);
+    if (!status.ok()) std::abort();
+  }
+  if (!store->Seal().ok()) std::abort();
+  Stopwatch watch;
+  for (const GraphQuery& q : workload) {
+    auto result = store->RunGraphQuery(q);
+    (void)result;
+  }
+  return watch.ElapsedSeconds();
+}
+
+}  // namespace colgraph::bench

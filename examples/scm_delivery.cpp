@@ -1,0 +1,183 @@
+// Supply-chain delivery analytics: the paper's motivating scenario
+// (Figure 1 and queries Q1-Q3 of Section 2).
+//
+// A delivery network connects production lines {A,B,C} through hubs —
+// region 2 holds {D,E,F,G} — to customer end-points {I,J,K}. Every customer
+// order produces a graph record: the routes its articles took, annotated
+// with shipping hours per leg. The example ingests thousands of such
+// records and answers:
+//   Q1  delivery time along the path [A,D,E,G,I]
+//   Q2  total hours on the leased legs [C,H] and [F,J,K] (logical OR of
+//       two graph queries)
+//   Q3  longest delivery time from a region-1 production line to end-point
+//       I via region-2 hubs (composite paths + MAX, built with path-join)
+// and then materializes an aggregate view on the region-2 corridor to show
+// the query rewrite cutting fetched columns.
+//
+// Build & run:  cmake --build build && ./build/examples/scm_delivery
+#include <cstdio>
+#include <map>
+
+#include "core/engine.h"
+#include "graph/path.h"
+#include "util/random.h"
+
+using namespace colgraph;
+
+namespace {
+
+// Location ids.
+enum : NodeId { A = 1, B, C, D, E, F, G, H, I, J, K };
+const std::map<NodeId, const char*> kNames{
+    {A, "A"}, {B, "B"}, {C, "C"}, {D, "D"}, {E, "E"}, {F, "F"},
+    {G, "G"}, {H, "H"}, {I, "I"}, {J, "J"}, {K, "K"}};
+
+NodeRef N(NodeId id) { return NodeRef{id, 0}; }
+
+// The delivery network of Figure 1.
+std::vector<Edge> Network() {
+  return {
+      Edge{N(A), N(D)}, Edge{N(A), N(B)}, Edge{N(B), N(F)},
+      Edge{N(D), N(E)}, Edge{N(E), N(G)}, Edge{N(G), N(I)},
+      Edge{N(F), N(J)}, Edge{N(J), N(K)}, Edge{N(C), N(H)},
+      Edge{N(H), N(K)},
+  };
+}
+
+// Route templates an order may take (each a path through the network).
+const std::vector<std::vector<NodeId>> kRoutes{
+    {A, D, E, G, I},     // own route via region 2
+    {A, B, F, J, K},     // own route via F
+    {C, H, K},           // leased carrier
+    {B, F, J, K},        // partial, production line B
+};
+
+std::string PathName(const std::vector<NodeId>& route) {
+  std::string s = "[";
+  for (size_t i = 0; i < route.size(); ++i) {
+    if (i) s += ",";
+    s += kNames.at(route[i]);
+  }
+  return s + "]";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("SCM delivery analytics (Figure 1 / queries Q1-Q3)\n\n");
+
+  ColGraphEngine engine;
+  engine.RegisterUniverse(Network());
+
+  // Ingest 5000 order records: each order ships over 1-3 route templates
+  // with per-leg shipping hours.
+  Rng rng(2024);
+  const size_t kOrders = 5000;
+  for (size_t order = 0; order < kOrders; ++order) {
+    GraphRecord record;
+    record.id = order;
+    const size_t num_routes = rng.Uniform(1, 3);
+    std::map<std::pair<NodeId, NodeId>, double> legs;
+    for (size_t r = 0; r < num_routes; ++r) {
+      const auto& route = kRoutes[rng.Uniform(0, kRoutes.size() - 1)];
+      for (size_t i = 0; i + 1 < route.size(); ++i) {
+        legs[{route[i], route[i + 1]}] = rng.UniformReal(1.0, 24.0);
+      }
+    }
+    for (const auto& [leg, hours] : legs) {
+      record.elements.push_back(Edge{N(leg.first), N(leg.second)});
+      record.measures.push_back(hours);
+    }
+    if (!engine.AddRecord(record).ok()) return 1;
+  }
+  if (!engine.Seal().ok()) return 1;
+  std::printf("ingested %zu order records over %zu legs\n\n",
+              engine.num_records(), engine.catalog().size());
+
+  // --- Q1: delivery time along [A,D,E,G,I]. ---
+  const GraphQuery q1 = GraphQuery::FromPath({N(A), N(D), N(E), N(G), N(I)});
+  auto q1_result = engine.RunAggregateQuery(q1, AggFn::kSum);
+  if (!q1_result.ok()) return 1;
+  double q1_total = 0;
+  for (double v : q1_result->values[0]) q1_total += v;
+  std::printf("Q1: %zu orders shipped via %s; avg delivery %.1f hours\n",
+              q1_result->records.size(), PathName({A, D, E, G, I}).c_str(),
+              q1_result->records.empty()
+                  ? 0.0
+                  : q1_total / static_cast<double>(q1_result->records.size()));
+
+  // --- Q2: cost of the leased legs [C,H] and [F,J,K]. ---
+  // Logical OR of two graph queries locates orders using either leased
+  // route; the leased legs' measures are then fetched for exactly those.
+  const GraphQuery leased1 = GraphQuery::FromPath({N(C), N(H)});
+  const GraphQuery leased2 = GraphQuery::FromPath({N(F), N(J), N(K)});
+  const Bitmap either = QueryEngine::OrSets(engine.Match(leased1),
+                                            engine.Match(leased2));
+  std::vector<EdgeId> leased_edges;
+  for (const Edge& e : {Edge{N(C), N(H)}, Edge{N(F), N(J)}, Edge{N(J), N(K)}}) {
+    leased_edges.push_back(*engine.catalog().Lookup(e));
+  }
+  const MeasureTable leased =
+      engine.query_engine().FetchMeasures(either, leased_edges);
+  double leased_hours = 0;
+  size_t leased_legs = 0;
+  for (const auto& col : leased.columns) {
+    for (double v : col) {
+      if (v == v) {  // skip NaN (order did not use that leg)
+        leased_hours += v;
+        ++leased_legs;
+      }
+    }
+  }
+  std::printf(
+      "Q2: %zu orders used a leased route; %zu leased legs totalling %.0f "
+      "carrier hours\n",
+      either.Count(), leased_legs, leased_hours);
+
+  // --- Q3: longest delivery from region 1 to I via region-2 hubs. ---
+  // Build the relevant paths with the path-join operator:
+  // [A,D) ⋈ [D,E,G) ⋈ [G,I] — every source-to-I path crossing region 2.
+  const Path into_region({N(A), N(D)}, false, true);
+  const Path corridor({N(D), N(E), N(G)}, false, true);
+  const Path out_region({N(G), N(I)}, false, false);
+  auto joined = into_region.Join(corridor);
+  if (!joined.ok()) return 1;
+  auto full = joined->Join(out_region);
+  if (!full.ok()) return 1;
+  std::printf("Q3: composed path %s via path-join\n",
+              full->ToString().c_str());
+  const GraphQuery q3 = GraphQuery::FromPath(full->nodes());
+  auto q3_result = engine.RunAggregateQuery(q3, AggFn::kSum);
+  if (!q3_result.ok()) return 1;
+  double longest = 0;
+  for (double v : q3_result->values[0]) longest = std::max(longest, v);
+  std::printf("    longest region-1 -> I delivery via region 2: %.1f hours\n",
+              longest);
+
+  // --- Materialize the region-2 corridor as an aggregate view. ---
+  AggViewDef corridor_view;
+  corridor_view.fn = AggFn::kSum;
+  for (const Edge& e :
+       {Edge{N(D), N(E)}, Edge{N(E), N(G)}}) {
+    corridor_view.elements.push_back(*engine.catalog().Lookup(e));
+  }
+  if (!engine.MaterializeView(corridor_view).ok()) return 1;
+
+  engine.stats().Reset();
+  auto rewritten = engine.RunAggregateQuery(q1, AggFn::kSum);
+  if (!rewritten.ok()) return 1;
+  // Pre-aggregated segments change the floating-point association order,
+  // so compare with a tolerance.
+  bool identical = rewritten->records == q1_result->records;
+  for (size_t i = 0; identical && i < rewritten->values[0].size(); ++i) {
+    identical = std::abs(rewritten->values[0][i] - q1_result->values[0][i]) <
+                1e-9 * (1.0 + std::abs(q1_result->values[0][i]));
+  }
+  std::printf(
+      "\nwith the region-2 corridor view materialized, Q1 touches %llu "
+      "measure columns (4 without it) and returns identical answers: %s\n",
+      static_cast<unsigned long long>(
+          engine.stats().measure_columns_fetched),
+      identical ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "baselines/graph_db.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/catalog.h"
+
+namespace colgraph {
+
+Status GraphDb::AddRecord(const GraphRecord& record) {
+  if (sealed_) return Status::InvalidArgument("graph db already sealed");
+  if (record.elements.size() != record.measures.size()) {
+    return Status::InvalidArgument("elements/measures size mismatch");
+  }
+  const RecordId rid = records_.size();
+  StoredRecord stored;
+  for (size_t i = 0; i < record.elements.size(); ++i) {
+    const Edge& e = record.elements[i];
+    catalog_.GetOrAssign(e);
+    if (e.IsNode()) {
+      NodeObject& node = stored.nodes[e.from];
+      node.measure = record.measures[i];
+      node.has_measure = true;
+    } else {
+      stored.nodes[e.from].out.push_back(
+          RelationshipObject{e.to, record.measures[i]});
+      stored.nodes.try_emplace(e.to);  // ensure target node object exists
+    }
+  }
+  for (const auto& [node, obj] : stored.nodes) {
+    (void)obj;
+    node_index_[node].push_back(rid);
+  }
+  records_.push_back(std::move(stored));
+  return Status::OK();
+}
+
+Status GraphDb::Seal() {
+  sealed_ = true;
+  return Status::OK();
+}
+
+StatusOr<MeasureTable> GraphDb::RunGraphQuery(const GraphQuery& query) {
+  if (!sealed_) return Status::InvalidArgument("seal the store first");
+
+  MeasureTable table;
+  std::vector<Edge> elements = query.graph().edges();
+  for (const Edge& e : elements) {
+    const auto id = catalog_.Lookup(e);
+    table.edges.push_back(id.has_value() ? *id : kInvalidEdgeId);
+  }
+  table.columns.resize(elements.size());
+  if (elements.empty()) return table;
+
+  // Anchor on the query node contained in the fewest records.
+  const std::vector<RecordId>* candidates = nullptr;
+  for (const NodeRef& n : query.graph().nodes()) {
+    auto it = node_index_.find(n);
+    if (it == node_index_.end()) return table;  // node never stored
+    if (candidates == nullptr || it->second.size() < candidates->size()) {
+      candidates = &it->second;
+    }
+  }
+  if (candidates == nullptr) return table;
+
+  constexpr double kNull = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> row(elements.size(), kNull);
+  for (RecordId rid : *candidates) {
+    const StoredRecord& rec = records_[rid];
+    // Traverse: every query element must exist in this record's adjacency.
+    bool matched = true;
+    for (size_t i = 0; i < elements.size() && matched; ++i) {
+      const Edge& e = elements[i];
+      auto node_it = rec.nodes.find(e.from);
+      if (node_it == rec.nodes.end()) {
+        matched = false;
+        break;
+      }
+      if (e.IsNode()) {
+        if (!node_it->second.has_measure) {
+          row[i] = kNull;  // node present without a measure: unconstrained
+        } else {
+          row[i] = node_it->second.measure;
+        }
+        continue;
+      }
+      // Walk the relationship chain looking for the target node.
+      const auto& out = node_it->second.out;
+      auto rel_it =
+          std::find_if(out.begin(), out.end(),
+                       [&](const RelationshipObject& r) { return r.to == e.to; });
+      if (rel_it == out.end()) {
+        matched = false;
+      } else {
+        row[i] = rel_it->measure;
+      }
+    }
+    if (!matched) continue;
+    table.records.push_back(rid);
+    for (size_t i = 0; i < elements.size(); ++i) {
+      table.columns[i].push_back(row[i]);
+      row[i] = kNull;
+    }
+  }
+  return table;
+}
+
+size_t GraphDb::DiskBytes() const {
+  // Neo4j-style object overheads: ~15B per node record, ~34B per
+  // relationship record, ~41B per property block (one property per
+  // element here), plus the label index.
+  constexpr size_t kNodeRecord = 15;
+  constexpr size_t kRelationshipRecord = 34;
+  constexpr size_t kPropertyBlock = 41;
+  size_t bytes = 0;
+  for (const StoredRecord& rec : records_) {
+    bytes += rec.nodes.size() * kNodeRecord;
+    for (const auto& [node, obj] : rec.nodes) {
+      (void)node;
+      bytes += obj.out.size() * (kRelationshipRecord + kPropertyBlock);
+      if (obj.has_measure) bytes += kPropertyBlock;
+    }
+  }
+  for (const auto& [node, recs] : node_index_) {
+    (void)node;
+    bytes += recs.size() * sizeof(RecordId) + 16;
+  }
+  return bytes;
+}
+
+}  // namespace colgraph

@@ -1,0 +1,50 @@
+// Native graph-database baseline ("Neo4j Store" in Figures 3-5): every
+// record is stored as a property graph — node and relationship objects
+// with per-node adjacency and a measure property per element — plus a
+// global label index from node id to the records containing it. Query
+// evaluation is traversal-based: candidate records come from the index on
+// the query's most selective node, and each candidate is verified by
+// traversing its adjacency for every query edge. This mirrors how a native
+// engine matches a pattern whose nodes are all bound to known identities.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/store_interface.h"
+#include "graph/catalog.h"
+
+namespace colgraph {
+
+class GraphDb : public GraphStoreInterface {
+ public:
+  Status AddRecord(const GraphRecord& record) override;
+  Status Seal() override;
+  StatusOr<MeasureTable> RunGraphQuery(const GraphQuery& query) override;
+  size_t DiskBytes() const override;
+  std::string name() const override { return "Neo4j Store"; }
+
+  size_t num_records() const { return records_.size(); }
+
+ private:
+  struct RelationshipObject {
+    NodeRef to;
+    double measure;
+  };
+  struct NodeObject {
+    std::vector<RelationshipObject> out;  // adjacency chain
+    double measure = 0.0;
+    bool has_measure = false;
+  };
+  struct StoredRecord {
+    std::unordered_map<NodeRef, NodeObject, NodeRefHash> nodes;
+  };
+
+  EdgeCatalog catalog_;  // shared naming scheme, used only for result shape
+  std::vector<StoredRecord> records_;
+  // Label index: node -> records that contain it (ascending record ids).
+  std::unordered_map<NodeRef, std::vector<RecordId>, NodeRefHash> node_index_;
+  bool sealed_ = false;
+};
+
+}  // namespace colgraph

@@ -1,0 +1,125 @@
+#include "baselines/rdf_store.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace colgraph {
+
+Status RdfStore::AddRecord(const GraphRecord& record) {
+  if (sealed_) return Status::InvalidArgument("rdf store already sealed");
+  if (record.elements.size() != record.measures.size()) {
+    return Status::InvalidArgument("elements/measures size mismatch");
+  }
+  const RecordId rid = num_records_;
+  for (size_t i = 0; i < record.elements.size(); ++i) {
+    const EdgeId predicate = catalog_.GetOrAssign(record.elements[i]);
+    spo_.push_back(Triple{rid, predicate, record.measures[i]});
+    pso_[predicate].emplace_back(rid, record.measures[i]);
+  }
+  ++num_records_;
+  return Status::OK();
+}
+
+Status RdfStore::Seal() {
+  // Ingest arrives in subject order, so SPO needs only a per-subject
+  // predicate sort; PSO posting lists are already subject-sorted.
+  std::sort(spo_.begin(), spo_.end(), [](const Triple& a, const Triple& b) {
+    return a.subject != b.subject ? a.subject < b.subject
+                                  : a.predicate < b.predicate;
+  });
+  sealed_ = true;
+  return Status::OK();
+}
+
+StatusOr<MeasureTable> RdfStore::RunGraphQuery(const GraphQuery& query) {
+  if (!sealed_) return Status::InvalidArgument("seal the store first");
+
+  std::vector<EdgeId> predicates;
+  bool satisfiable = true;
+  for (const Edge& e : query.graph().edges()) {
+    const auto id = catalog_.Lookup(e);
+    if (!id.has_value()) {
+      if (!e.IsNode()) satisfiable = false;
+      continue;
+    }
+    predicates.push_back(*id);
+  }
+  std::sort(predicates.begin(), predicates.end());
+  predicates.erase(std::unique(predicates.begin(), predicates.end()),
+                   predicates.end());
+
+  MeasureTable table;
+  table.edges = predicates;
+  table.columns.resize(predicates.size());
+  if (!satisfiable || predicates.empty()) return table;
+
+  // Merge-join the PSO posting lists pairwise on subject, smallest first.
+  std::vector<const std::vector<std::pair<RecordId, double>>*> postings;
+  for (EdgeId p : predicates) {
+    auto it = pso_.find(p);
+    if (it == pso_.end()) return table;
+    postings.push_back(&it->second);
+  }
+  std::sort(postings.begin(), postings.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+
+  std::vector<RecordId> result;
+  result.reserve(postings[0]->size());
+  for (const auto& [rid, measure] : *postings[0]) {
+    (void)measure;
+    result.push_back(rid);
+  }
+  for (size_t i = 1; i < postings.size() && !result.empty(); ++i) {
+    std::vector<RecordId> next;
+    next.reserve(std::min(result.size(), postings[i]->size()));
+    auto left = result.begin();
+    auto right = postings[i]->begin();
+    while (left != result.end() && right != postings[i]->end()) {
+      if (*left < right->first) {
+        ++left;
+      } else if (right->first < *left) {
+        ++right;
+      } else {
+        next.push_back(*left);
+        ++left;
+        ++right;
+      }
+    }
+    result = std::move(next);
+  }
+  table.records = std::move(result);
+
+  // Measure fetch via SPO: binary search each (subject, predicate) pair.
+  constexpr double kNull = std::numeric_limits<double>::quiet_NaN();
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    auto& col = table.columns[i];
+    col.reserve(table.records.size());
+    for (RecordId rid : table.records) {
+      const Triple probe{rid, predicates[i], 0.0};
+      auto it = std::lower_bound(
+          spo_.begin(), spo_.end(), probe,
+          [](const Triple& a, const Triple& b) {
+            return a.subject != b.subject ? a.subject < b.subject
+                                          : a.predicate < b.predicate;
+          });
+      col.push_back(it != spo_.end() && it->subject == rid &&
+                            it->predicate == predicates[i]
+                        ? it->object
+                        : kNull);
+    }
+  }
+  return table;
+}
+
+size_t RdfStore::DiskBytes() const {
+  // Two full index orders over the triples (RDF engines commonly keep
+  // several permutations; we model SPO + PSO).
+  size_t bytes = spo_.size() * sizeof(Triple);
+  for (const auto& [p, postings] : pso_) {
+    (void)p;
+    bytes += postings.size() * sizeof(std::pair<RecordId, double>) + 16;
+  }
+  return bytes;
+}
+
+}  // namespace colgraph

@@ -1,0 +1,45 @@
+// RDF triple-store baseline ("Rdf Store" in Figures 3-4): each record
+// element becomes a triple (subject = recid, predicate = edge-id,
+// object = measure), indexed in the SPO and PSO orders a native RDF engine
+// maintains. A graph query is the basic graph pattern
+//   ?rec e1 ?m1 . ?rec e2 ?m2 . ...
+// evaluated with sorted merge joins over the PSO posting lists (the
+// RDF-3X-style plan), followed by SPO lookups for the measures.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "baselines/store_interface.h"
+#include "graph/catalog.h"
+
+namespace colgraph {
+
+class RdfStore : public GraphStoreInterface {
+ public:
+  Status AddRecord(const GraphRecord& record) override;
+  Status Seal() override;
+  StatusOr<MeasureTable> RunGraphQuery(const GraphQuery& query) override;
+  size_t DiskBytes() const override;
+  std::string name() const override { return "Rdf Store"; }
+
+  size_t num_records() const { return num_records_; }
+  size_t num_triples() const { return spo_.size(); }
+
+ private:
+  struct Triple {
+    RecordId subject;
+    EdgeId predicate;
+    double object;
+  };
+
+  EdgeCatalog catalog_;
+  size_t num_records_ = 0;
+  // SPO: sorted by (subject, predicate) — measure lookups.
+  std::vector<Triple> spo_;
+  // PSO: predicate -> sorted subject posting list with objects.
+  std::map<EdgeId, std::vector<std::pair<RecordId, double>>> pso_;
+  bool sealed_ = false;
+};
+
+}  // namespace colgraph

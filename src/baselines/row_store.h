@@ -1,0 +1,46 @@
+// Row-oriented RDBMS baseline ("Row Store" in Figures 3-4): graph records
+// are shredded into a heap table of (recid, edge-id, measure) triplet rows
+// clustered by recid, with a secondary B-tree-style index on edge-id. A
+// k-edge graph query runs as a (k-1)-way self-join on recid, executed as
+// successive hash joins — the plan a commercial row store picks for
+//   SELECT ... FROM R e1 JOIN R e2 USING (recid) JOIN ... ;
+// measure fetch reads each matching record's full row range (row stores
+// cannot skip unrequested columns within a row cluster).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/store_interface.h"
+#include "graph/catalog.h"
+
+namespace colgraph {
+
+class RowStore : public GraphStoreInterface {
+ public:
+  Status AddRecord(const GraphRecord& record) override;
+  Status Seal() override;
+  StatusOr<MeasureTable> RunGraphQuery(const GraphQuery& query) override;
+  size_t DiskBytes() const override;
+  std::string name() const override { return "Row Store"; }
+
+  size_t num_records() const { return row_ranges_.size(); }
+
+ private:
+  struct TripletRow {
+    RecordId recid;
+    EdgeId edge;
+    double measure;
+  };
+
+  EdgeCatalog catalog_;
+  std::vector<TripletRow> heap_;  // clustered by recid (insertion order)
+  // Secondary index: edge-id -> sorted list of recids (leaf level of a
+  // B-tree on edge_id; recids ascend because ingest is in recid order).
+  std::unordered_map<EdgeId, std::vector<RecordId>> edge_index_;
+  // recid -> [begin, end) row positions in the heap.
+  std::vector<std::pair<size_t, size_t>> row_ranges_;
+  bool sealed_ = false;
+};
+
+}  // namespace colgraph

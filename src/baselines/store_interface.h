@@ -1,0 +1,40 @@
+// Common interface over the alternative storage systems the paper compares
+// against (Section 7.2): a row-oriented RDBMS, a native graph database in
+// the style of Neo4j, and an RDF triple store. Each is implemented from
+// scratch with the evaluation strategy characteristic of its class, so the
+// benchmarks reproduce the *algorithmic* gaps (joins / traversals vs.
+// bitmap ANDs), which is where the paper's orders of magnitude come from.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.h"
+#include "query/engine.h"
+#include "util/status.h"
+
+namespace colgraph {
+
+/// \brief Storage-system abstraction used by the comparison benches.
+class GraphStoreInterface {
+ public:
+  virtual ~GraphStoreInterface() = default;
+
+  /// Ingests one graph record (bulk phase; record ids arrive densely).
+  virtual Status AddRecord(const GraphRecord& record) = 0;
+
+  /// Finishes ingest; builds indexes.
+  virtual Status Seal() = 0;
+
+  /// Evaluates a graph query: finds every record containing the query
+  /// subgraph and fetches the query elements' measures for each. The
+  /// result shape matches the column store's RunGraphQuery so the benches
+  /// can cross-validate answers across systems.
+  virtual StatusOr<MeasureTable> RunGraphQuery(const GraphQuery& query) = 0;
+
+  /// Estimated on-disk footprint in bytes (Figure 4).
+  virtual size_t DiskBytes() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace colgraph

@@ -1,0 +1,95 @@
+#include "bitmap/bitmap.h"
+
+#include <cassert>
+
+namespace colgraph {
+
+void Bitmap::Resize(size_t num_bits) {
+  num_bits_ = num_bits;
+  words_.resize(WordCount(num_bits), 0);
+  ClearTail();
+}
+
+void Bitmap::Set(size_t pos) {
+  assert(pos < num_bits_);
+  words_[pos / kWordBits] |= (uint64_t{1} << (pos % kWordBits));
+}
+
+void Bitmap::Clear(size_t pos) {
+  assert(pos < num_bits_);
+  words_[pos / kWordBits] &= ~(uint64_t{1} << (pos % kWordBits));
+}
+
+bool Bitmap::Test(size_t pos) const {
+  assert(pos < num_bits_);
+  return (words_[pos / kWordBits] >> (pos % kWordBits)) & 1;
+}
+
+void Bitmap::Reset() {
+  for (auto& w : words_) w = 0;
+}
+
+void Bitmap::Fill() {
+  for (auto& w : words_) w = ~uint64_t{0};
+  ClearTail();
+}
+
+size_t Bitmap::Count() const {
+  size_t count = 0;
+  for (uint64_t w : words_) count += static_cast<size_t>(__builtin_popcountll(w));
+  return count;
+}
+
+bool Bitmap::None() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+void Bitmap::And(const Bitmap& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void Bitmap::Or(const Bitmap& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void Bitmap::AndNot(const Bitmap& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+}
+
+void Bitmap::Not() {
+  for (auto& w : words_) w = ~w;
+  ClearTail();
+}
+
+Bitmap Bitmap::AndAll(const std::vector<const Bitmap*>& operands) {
+  if (operands.empty()) return Bitmap();
+  Bitmap result = *operands[0];
+  for (size_t i = 1; i < operands.size(); ++i) result.And(*operands[i]);
+  return result;
+}
+
+void Bitmap::AppendSetBits(std::vector<uint64_t>* out) const {
+  ForEachSetBit([out](size_t pos) { out->push_back(pos); });
+}
+
+std::vector<uint64_t> Bitmap::ToVector() const {
+  std::vector<uint64_t> out;
+  out.reserve(Count());
+  AppendSetBits(&out);
+  return out;
+}
+
+void Bitmap::ClearTail() {
+  const size_t tail = num_bits_ % kWordBits;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << tail) - 1;
+  }
+}
+
+}  // namespace colgraph

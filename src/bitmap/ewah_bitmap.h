@@ -1,0 +1,71 @@
+// EWAH (Enhanced Word-Aligned Hybrid) compressed bitmap. Bitmap columns in
+// the master relation are extremely sparse for rarely-used edges, so the
+// on-disk representation run-length-encodes runs of all-zero / all-one
+// 64-bit words. ANDs can be evaluated directly on the compressed form.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitmap/bitmap.h"
+
+namespace colgraph {
+
+/// \brief RLE-compressed bitmap using 64-bit aligned words.
+///
+/// Encoding: a sequence of (marker, literal...) groups. Each marker word
+/// packs: bit 0 = run bit value, bits 1..32 = run length in words, bits
+/// 33..63 = number of literal words following the marker. This is the
+/// classic EWAH layout; compression is proportional to the clustering of
+/// the column, and boolean ops stream both inputs without decompressing.
+class EwahBitmap {
+ public:
+  EwahBitmap() = default;
+
+  /// Compresses a plain bitmap.
+  static EwahBitmap FromBitmap(const Bitmap& bitmap);
+
+  /// Decompresses into a plain bitmap of the original length.
+  Bitmap ToBitmap() const;
+
+  /// Streaming AND over the compressed representations.
+  static EwahBitmap And(const EwahBitmap& a, const EwahBitmap& b);
+
+  /// Number of bits in the (logical, uncompressed) bitmap.
+  size_t size_bits() const { return num_bits_; }
+
+  /// Number of set bits, computed from the compressed form.
+  size_t Count() const;
+
+  /// Compressed footprint in bytes (what a disk column would occupy).
+  size_t CompressedBytes() const { return buffer_.size() * sizeof(uint64_t); }
+
+  const std::vector<uint64_t>& buffer() const { return buffer_; }
+
+  /// Re-creates a compressed bitmap from a raw buffer (persistence path).
+  static EwahBitmap FromRaw(std::vector<uint64_t> buffer, size_t num_bits);
+
+  bool operator==(const EwahBitmap& other) const {
+    return num_bits_ == other.num_bits_ && buffer_ == other.buffer_;
+  }
+
+ private:
+  // Marker word layout helpers.
+  static uint64_t MakeMarker(bool run_bit, uint64_t run_words,
+                             uint64_t literal_words);
+  static bool MarkerRunBit(uint64_t marker) { return marker & 1; }
+  static uint64_t MarkerRunWords(uint64_t marker) {
+    return (marker >> 1) & 0xFFFFFFFFull;
+  }
+  static uint64_t MarkerLiteralWords(uint64_t marker) { return marker >> 33; }
+
+  /// Expands the compressed stream into raw words via a callback
+  /// `fn(word)` invoked once per logical 64-bit word.
+  template <typename Fn>
+  void ForEachWord(Fn&& fn) const;
+
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> buffer_;
+};
+
+}  // namespace colgraph

@@ -1,0 +1,80 @@
+#include "columnstore/column.h"
+
+#include <cassert>
+
+namespace colgraph {
+
+void BitmapColumn::Seal() {
+  const auto& words = bits_.words();
+  rank_.resize(words.size());
+  uint32_t cum = 0;
+  for (size_t i = 0; i < words.size(); ++i) {
+    rank_[i] = cum;
+    cum += static_cast<uint32_t>(__builtin_popcountll(words[i]));
+  }
+  count_ = cum;
+  sealed_ = true;
+}
+
+size_t BitmapColumn::Rank(size_t pos) const {
+  assert(sealed_);
+  assert(pos <= bits_.size());
+  const size_t word = pos / Bitmap::kWordBits;
+  const size_t bit = pos % Bitmap::kWordBits;
+  if (word >= bits_.words().size()) return rank_.empty() ? 0 : Count();
+  size_t r = rank_[word];
+  if (bit != 0) {
+    const uint64_t mask = (uint64_t{1} << bit) - 1;
+    r += static_cast<size_t>(__builtin_popcountll(bits_.words()[word] & mask));
+  }
+  return r;
+}
+
+Status MeasureColumn::Append(size_t record, double value) {
+  if (!pending_records_.empty() && record <= pending_records_.back()) {
+    return Status::InvalidArgument(
+        "MeasureColumn::Append requires strictly increasing record ids");
+  }
+  if (record < min_next_record_) {
+    return Status::InvalidArgument(
+        "append into the already-sealed record range");
+  }
+  if (presence_.sealed()) {
+    return Status::InvalidArgument("cannot append to a sealed column");
+  }
+  pending_records_.push_back(record);
+  values_.push_back(value);
+  return Status::OK();
+}
+
+StatusOr<MeasureColumn> MeasureColumn::FromParts(Bitmap presence,
+                                                 std::vector<double> values) {
+  if (presence.Count() != values.size()) {
+    return Status::Corruption(
+        "presence cardinality does not match packed value count");
+  }
+  MeasureColumn col;
+  col.values_ = std::move(values);
+  col.presence_ = BitmapColumn(std::move(presence));
+  return col;
+}
+
+void MeasureColumn::Seal(size_t num_records) {
+  presence_.Resize(num_records);
+  for (uint64_t r : pending_records_) presence_.Set(r);
+  pending_records_.clear();
+  pending_records_.shrink_to_fit();
+  presence_.Seal();
+}
+
+void MeasureColumn::Unseal() {
+  min_next_record_ = presence_.size();
+  presence_.Unseal();
+}
+
+std::optional<double> MeasureColumn::Get(size_t record) const {
+  if (!presence_.Test(record)) return std::nullopt;
+  return values_[presence_.Rank(record)];
+}
+
+}  // namespace colgraph

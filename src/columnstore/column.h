@@ -1,0 +1,109 @@
+// Column primitives of the master relation (Section 4): a bitmap column
+// b_i marks the records containing edge e_i; a measure column m_i stores
+// the edge's measure for exactly those records. Measures are stored
+// NULL-suppressed (packed values + presence bitmap + rank directory), which
+// is what gives the column store its density-independent footprint
+// (Figure 4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bitmap/bitmap.h"
+#include "util/status.h"
+
+namespace colgraph {
+
+/// \brief A bitmap column with O(1) rank support.
+///
+/// Rank(r) = number of set bits strictly before position r; it is the index
+/// of record r's value in the packed value array of the owning measure
+/// column. The rank directory is built by Seal() after bulk ingest.
+class BitmapColumn {
+ public:
+  BitmapColumn() = default;
+  explicit BitmapColumn(size_t num_records) : bits_(num_records) {}
+  explicit BitmapColumn(Bitmap bits) : bits_(std::move(bits)) { Seal(); }
+
+  const Bitmap& bits() const { return bits_; }
+  Bitmap& mutable_bits() { return bits_; }
+
+  void Resize(size_t num_records) { bits_.Resize(num_records); }
+  void Set(size_t record) { bits_.Set(record); }
+  bool Test(size_t record) const { return bits_.Test(record); }
+
+  /// Builds the rank directory; must be called after the last mutation.
+  void Seal();
+  /// Re-enables mutation (incremental ingest); Seal() again afterwards.
+  void Unseal() { sealed_ = false; }
+  bool sealed() const { return sealed_; }
+
+  /// Number of set bits strictly before `pos`. Requires sealed().
+  size_t Rank(size_t pos) const;
+
+  /// Set-bit count; O(1) after Seal() (cached), O(words) before.
+  size_t Count() const { return sealed_ ? count_ : bits_.Count(); }
+  size_t size() const { return bits_.size(); }
+
+  /// In-memory footprint (bits + rank directory).
+  size_t MemoryBytes() const {
+    return bits_.MemoryBytes() + rank_.size() * sizeof(uint32_t);
+  }
+
+ private:
+  Bitmap bits_;
+  std::vector<uint32_t> rank_;  // cumulative popcount before each word
+  size_t count_ = 0;            // cached cardinality (valid when sealed)
+  bool sealed_ = false;
+};
+
+/// \brief A NULL-suppressed measure column: packed non-NULL values plus the
+/// presence bitmap. The presence bitmap doubles as the edge's bitmap index
+/// b_i — physically one structure, logically two columns, exactly as in
+/// Table 1 where b_i = NOT NULL(m_i).
+class MeasureColumn {
+ public:
+  MeasureColumn() = default;
+
+  /// Appends a value for `record`. Records must arrive in increasing order
+  /// (bulk ingest); Seal() freezes the column.
+  Status Append(size_t record, double value);
+
+  /// Reconstructs a sealed column from its stored parts: the presence
+  /// bitmap and the packed values (one per set bit, in record order).
+  static StatusOr<MeasureColumn> FromParts(Bitmap presence,
+                                           std::vector<double> values);
+
+  /// Resizes the presence domain to the final record count and builds rank.
+  void Seal(size_t num_records);
+  /// Re-opens a sealed column for appends of records with ids >= the
+  /// current presence-domain size (incremental ingest, Section 6.1's
+  /// "records are continuously generated"). Existing data is untouched.
+  void Unseal();
+  bool sealed() const { return presence_.sealed(); }
+
+  /// Value of `record`, or nullopt when NULL. Requires sealed().
+  std::optional<double> Get(size_t record) const;
+
+  /// Packed value by rank (for scans that already know the rank).
+  double ValueAtRank(size_t rank) const { return values_[rank]; }
+
+  const BitmapColumn& presence() const { return presence_; }
+  size_t num_values() const { return values_.size(); }
+
+  size_t MemoryBytes() const {
+    return presence_.MemoryBytes() + values_.size() * sizeof(double);
+  }
+
+ private:
+  // During ingest, presence bits live in `pending_records_` until Seal
+  // learns the final record count.
+  std::vector<uint64_t> pending_records_;
+  std::vector<double> values_;
+  BitmapColumn presence_;
+  // After Unseal(), appends must not collide with already-sealed records.
+  uint64_t min_next_record_ = 0;
+};
+
+}  // namespace colgraph

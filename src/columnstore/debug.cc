@@ -1,0 +1,98 @@
+#include "columnstore/debug.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace colgraph {
+
+namespace {
+
+std::string FormatValue(const std::optional<double>& v) {
+  if (!v.has_value()) return "NULL";
+  char buffer[32];
+  // Render integers without a trailing ".0" (matches the paper's table).
+  if (*v == static_cast<long long>(*v)) {
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(*v));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2f", *v);
+  }
+  return buffer;
+}
+
+void AppendCell(std::string* out, const std::string& cell, size_t width) {
+  *out += cell;
+  for (size_t i = cell.size(); i < width; ++i) *out += ' ';
+}
+
+}  // namespace
+
+std::string DumpRelation(const MasterRelation& relation,
+                         const DumpOptions& options) {
+  const size_t columns =
+      std::min(options.max_columns, relation.num_edge_columns());
+  const size_t records = std::min<size_t>(options.max_records,
+                                          relation.num_records());
+  constexpr size_t kWidth = 6;
+
+  std::string out;
+  // Header.
+  AppendCell(&out, "rid", kWidth);
+  for (size_t c = 0; c < columns; ++c) {
+    AppendCell(&out, "m" + std::to_string(c + 1), kWidth);
+  }
+  if (options.show_bitmaps) {
+    for (size_t c = 0; c < columns; ++c) {
+      AppendCell(&out, "b" + std::to_string(c + 1), kWidth);
+    }
+  }
+  if (options.show_views) {
+    for (size_t v = 0; v < relation.num_graph_views(); ++v) {
+      AppendCell(&out, "bv" + std::to_string(v + 1), kWidth);
+    }
+    for (size_t v = 0; v < relation.num_aggregate_views(); ++v) {
+      AppendCell(&out, "mp" + std::to_string(v + 1), kWidth);
+      AppendCell(&out, "bp" + std::to_string(v + 1), kWidth);
+    }
+  }
+  out += '\n';
+
+  for (size_t r = 0; r < records; ++r) {
+    AppendCell(&out, "r" + std::to_string(r + 1), kWidth);
+    for (size_t c = 0; c < columns; ++c) {
+      AppendCell(&out, FormatValue(relation.PeekMeasureColumn(c).Get(r)),
+                 kWidth);
+    }
+    if (options.show_bitmaps) {
+      for (size_t c = 0; c < columns; ++c) {
+        AppendCell(&out,
+                   relation.PeekMeasureColumn(c).presence().Test(r) ? "1"
+                                                                    : "0",
+                   kWidth);
+      }
+    }
+    if (options.show_views) {
+      for (size_t v = 0; v < relation.num_graph_views(); ++v) {
+        AppendCell(&out, relation.PeekGraphView(v).Test(r) ? "1" : "0",
+                   kWidth);
+      }
+      for (size_t v = 0; v < relation.num_aggregate_views(); ++v) {
+        const MeasureColumn& mp = relation.PeekAggregateView(v);
+        AppendCell(&out, FormatValue(mp.Get(r)), kWidth);
+        AppendCell(&out, mp.presence().Test(r) ? "1" : "0", kWidth);
+      }
+    }
+    out += '\n';
+  }
+  if (records < relation.num_records()) {
+    out += "... (" + std::to_string(relation.num_records() - records) +
+           " more records)\n";
+  }
+  if (columns < relation.num_edge_columns()) {
+    out += "... (" + std::to_string(relation.num_edge_columns() - columns) +
+           " more edge columns)\n";
+  }
+  return out;
+}
+
+}  // namespace colgraph

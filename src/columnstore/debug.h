@@ -1,0 +1,28 @@
+// Human-readable rendering of the master relation in the layout of the
+// paper's Table 1: one row per record; measure columns m_i, bitmap columns
+// b_i, then view columns (bv / mp / bp). Intended for small relations
+// (examples, tests, debugging) — output is O(records x columns).
+#pragma once
+
+#include <string>
+
+#include "columnstore/master_relation.h"
+
+namespace colgraph {
+
+struct DumpOptions {
+  /// Maximum records to render (rows beyond this are elided).
+  size_t max_records = 20;
+  /// Maximum edge columns to render.
+  size_t max_columns = 16;
+  /// Include the b_i bitmap columns.
+  bool show_bitmaps = true;
+  /// Include view columns (bv / mp / bp).
+  bool show_views = true;
+};
+
+/// Renders the relation as a fixed-width text table (Table 1 style).
+std::string DumpRelation(const MasterRelation& relation,
+                         const DumpOptions& options = {});
+
+}  // namespace colgraph

@@ -1,0 +1,73 @@
+// Internal binary-stream helpers shared by the relation and engine
+// persistence codecs. POD values are written in host byte order (the files
+// are machine-local artifacts, like a database directory, not an exchange
+// format).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "bitmap/ewah_bitmap.h"
+#include "columnstore/column.h"
+#include "util/status.h"
+
+namespace colgraph::io {
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+void WriteVec(std::ofstream& out, const std::vector<T>& v) {
+  WritePod(out, static_cast<uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+bool ReadVec(std::ifstream& in, std::vector<T>* v) {
+  uint64_t n = 0;
+  if (!ReadPod(in, &n)) return false;
+  v->resize(n);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  return static_cast<bool>(in);
+}
+
+/// Writes a sealed measure column: EWAH-compressed presence + packed values.
+inline void WriteMeasureColumn(std::ofstream& out, const MeasureColumn& col) {
+  const EwahBitmap compressed = EwahBitmap::FromBitmap(col.presence().bits());
+  WritePod(out, static_cast<uint64_t>(compressed.size_bits()));
+  WriteVec(out, compressed.buffer());
+  std::vector<double> values;
+  values.reserve(col.num_values());
+  col.presence().bits().ForEachSetBit([&](size_t r) {
+    values.push_back(col.ValueAtRank(col.presence().Rank(r)));
+  });
+  WriteVec(out, values);
+}
+
+/// Reads a measure column written by WriteMeasureColumn.
+inline StatusOr<MeasureColumn> ReadMeasureColumn(std::ifstream& in) {
+  uint64_t num_bits = 0;
+  if (!ReadPod(in, &num_bits)) {
+    return Status::Corruption("truncated column header");
+  }
+  std::vector<uint64_t> buffer;
+  std::vector<double> values;
+  if (!ReadVec(in, &buffer) || !ReadVec(in, &values)) {
+    return Status::Corruption("truncated column body");
+  }
+  Bitmap presence = EwahBitmap::FromRaw(std::move(buffer), num_bits).ToBitmap();
+  return MeasureColumn::FromParts(std::move(presence), std::move(values));
+}
+
+}  // namespace colgraph::io

@@ -1,0 +1,163 @@
+#include "columnstore/master_relation.h"
+
+#include <cassert>
+#include <unordered_set>
+
+#include "bitmap/ewah_bitmap.h"
+
+namespace colgraph {
+
+StatusOr<RecordId> MasterRelation::AddRecord(
+    const std::vector<std::pair<EdgeId, double>>& elements) {
+  if (sealed_) {
+    return Status::InvalidArgument("cannot add records to a sealed relation");
+  }
+  const RecordId rid = num_records_;
+  // Validate before mutating any column so a failed insert has no effect.
+  std::unordered_set<EdgeId> seen;
+  for (const auto& [edge_id, value] : elements) {
+    (void)value;
+    if (!seen.insert(edge_id).second) {
+      return Status::InvalidArgument("duplicate edge id " +
+                                     std::to_string(edge_id) +
+                                     " in record; flatten cycles first");
+    }
+  }
+  for (const auto& [edge_id, value] : elements) {
+    if (edge_id >= columns_.size()) EnsureColumns(edge_id + 1);
+    COLGRAPH_RETURN_NOT_OK(columns_[edge_id].Append(rid, value));
+  }
+  ++num_records_;
+  return rid;
+}
+
+Status MasterRelation::Seal() {
+  if (sealed_) return Status::InvalidArgument("relation already sealed");
+  for (auto& col : columns_) col.Seal(num_records_);
+  sealed_ = true;
+  return Status::OK();
+}
+
+Status MasterRelation::Unseal() {
+  if (!sealed_) return Status::InvalidArgument("relation is not sealed");
+  for (auto& col : columns_) col.Unseal();
+  sealed_ = false;
+  return Status::OK();
+}
+
+void MasterRelation::EnsureColumns(size_t n) {
+  assert(!sealed_);
+  if (columns_.size() < n) columns_.resize(n);
+}
+
+const Bitmap& MasterRelation::FetchEdgeBitmap(EdgeId id) const {
+  assert(sealed_);
+  assert(id < columns_.size());
+  ++stats_.bitmap_columns_fetched;
+  return columns_[id].presence().bits();
+}
+
+const MeasureColumn& MasterRelation::FetchMeasureColumn(EdgeId id) const {
+  assert(sealed_);
+  assert(id < columns_.size());
+  ++stats_.measure_columns_fetched;
+  return columns_[id];
+}
+
+const MeasureColumn& MasterRelation::PeekMeasureColumn(EdgeId id) const {
+  assert(sealed_);
+  assert(id < columns_.size());
+  return columns_[id];
+}
+
+StatusOr<MasterRelation> MasterRelation::FromColumns(
+    size_t num_records, std::vector<MeasureColumn> cols,
+    MasterRelationOptions options) {
+  MasterRelation rel(options);
+  for (const auto& col : cols) {
+    if (!col.sealed() || col.presence().size() != num_records) {
+      return Status::Corruption("loaded column not sealed to record count");
+    }
+  }
+  rel.columns_ = std::move(cols);
+  rel.num_records_ = num_records;
+  rel.sealed_ = true;
+  return rel;
+}
+
+size_t MasterRelation::AddGraphView(Bitmap bits) {
+  assert(sealed_);
+  assert(bits.size() == num_records_);
+  graph_views_.emplace_back(std::move(bits));
+  return graph_views_.size() - 1;
+}
+
+void MasterRelation::ReplaceGraphView(size_t view_index, Bitmap bits) {
+  assert(view_index < graph_views_.size());
+  assert(bits.size() == num_records_);
+  graph_views_[view_index] = BitmapColumn(std::move(bits));
+}
+
+void MasterRelation::ReplaceAggregateView(size_t view_index,
+                                          MeasureColumn column) {
+  assert(view_index < agg_views_.size());
+  assert(column.sealed());
+  agg_views_[view_index] = std::move(column);
+}
+
+const Bitmap& MasterRelation::FetchGraphView(size_t view_index) const {
+  assert(view_index < graph_views_.size());
+  ++stats_.bitmap_columns_fetched;
+  return graph_views_[view_index].bits();
+}
+
+size_t MasterRelation::AddAggregateView(MeasureColumn column) {
+  assert(sealed_);
+  assert(column.sealed());
+  agg_views_.push_back(std::move(column));
+  return agg_views_.size() - 1;
+}
+
+const MeasureColumn& MasterRelation::FetchAggregateView(
+    size_t view_index) const {
+  assert(view_index < agg_views_.size());
+  ++stats_.measure_columns_fetched;
+  return agg_views_[view_index];
+}
+
+const Bitmap& MasterRelation::FetchAggregateViewBitmap(
+    size_t view_index) const {
+  assert(view_index < agg_views_.size());
+  ++stats_.bitmap_columns_fetched;
+  return agg_views_[view_index].presence().bits();
+}
+
+size_t MasterRelation::CountPartitions(const std::vector<EdgeId>& ids) const {
+  std::unordered_set<size_t> partitions;
+  for (EdgeId id : ids) partitions.insert(PartitionOf(id));
+  return partitions.size();
+}
+
+size_t MasterRelation::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& col : columns_) total += col.MemoryBytes();
+  for (const auto& view : graph_views_) total += view.MemoryBytes();
+  for (const auto& view : agg_views_) total += view.MemoryBytes();
+  return total;
+}
+
+size_t MasterRelation::DiskBytes() const {
+  size_t total = 0;
+  auto column_disk_bytes = [](const MeasureColumn& col) {
+    return EwahBitmap::FromBitmap(col.presence().bits()).CompressedBytes() +
+           col.num_values() * sizeof(double);
+  };
+  for (const auto& col : columns_) total += column_disk_bytes(col);
+  for (const auto& view : graph_views_) {
+    total += EwahBitmap::FromBitmap(view.bits()).CompressedBytes();
+  }
+  for (const auto& view : agg_views_) total += column_disk_bytes(view);
+  return total;
+}
+
+}  // namespace colgraph

@@ -1,0 +1,161 @@
+// The master relation R(recid, m1..mn, b1..bn, bv.., mp.., bp..) of
+// Section 4.1/5.1.3, with the automatic vertical partitioning of
+// Section 6.1 (sub-relations of at most `partition_width` measure columns,
+// linked by recid).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bitmap/bitmap.h"
+#include "columnstore/column.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace colgraph {
+
+/// \brief Column-fetch accounting, the store's analogue of the paper's I/O
+/// cost model ("cost of a query is proportional to the number of bitmaps
+/// fetched"). Benches report these next to wall-clock times.
+struct FetchStats {
+  uint64_t bitmap_columns_fetched = 0;
+  uint64_t measure_columns_fetched = 0;
+  uint64_t values_fetched = 0;
+  uint64_t partitions_touched = 0;
+  uint64_t partition_joins = 0;  ///< cross-partition recid merges performed
+
+  void Reset() { *this = FetchStats(); }
+};
+
+struct MasterRelationOptions {
+  /// Maximum number of measure columns per vertical sub-relation. Queries
+  /// whose measure columns span p partitions pay p-1 recid joins (Fig. 5).
+  size_t partition_width = 1000;
+};
+
+/// \brief Columnar storage for a collection of shredded graph records.
+///
+/// Ingest protocol: AddRecord() repeatedly (record ids are assigned densely
+/// in arrival order), then Seal() exactly once; all reads require a sealed
+/// relation. Views are added after sealing via AddGraphView /
+/// AddAggregateView.
+class MasterRelation {
+ public:
+  explicit MasterRelation(MasterRelationOptions options = {})
+      : options_(options) {}
+
+  /// Appends one shredded record: (edge-id, measure) pairs. Edge ids beyond
+  /// the current universe grow the relation. Duplicate edge ids within one
+  /// record are rejected.
+  StatusOr<RecordId> AddRecord(
+      const std::vector<std::pair<EdgeId, double>>& elements);
+
+  /// Freezes the relation: sizes every presence bitmap to the final record
+  /// count and builds rank directories.
+  Status Seal();
+  /// Re-opens a sealed relation for incremental ingest (new records and, if
+  /// needed, new columns). Materialized views become stale: the caller
+  /// must refresh them after the next Seal() (ColGraphEngine::FinishAppend
+  /// does). Queries are rejected until resealed.
+  Status Unseal();
+  bool sealed() const { return sealed_; }
+
+  size_t num_records() const { return num_records_; }
+  /// Number of distinct edge ids (measure/bitmap column pairs).
+  size_t num_edge_columns() const { return columns_.size(); }
+
+  /// Grows the universe to at least `n` edge columns (pre-sizing from a
+  /// catalog avoids growth during ingest).
+  void EnsureColumns(size_t n);
+
+  // --- Reads (sealed relation only). Accessors count fetches. ---
+
+  /// The bitmap column b_i of an edge.
+  const Bitmap& FetchEdgeBitmap(EdgeId id) const;
+  /// The measure column m_i of an edge.
+  const MeasureColumn& FetchMeasureColumn(EdgeId id) const;
+  /// Structure-only access that bypasses fetch accounting (used by
+  /// materialization, which the paper performs offline "in a single pass").
+  const MeasureColumn& PeekMeasureColumn(EdgeId id) const;
+
+  // --- Views (Section 5). ---
+
+  /// Adds a graph-view bitmap column bv; returns its view index.
+  size_t AddGraphView(Bitmap bits);
+  /// Replaces a view column in place (view refresh after incremental
+  /// ingest).
+  void ReplaceGraphView(size_t view_index, Bitmap bits);
+  void ReplaceAggregateView(size_t view_index, MeasureColumn column);
+  const Bitmap& FetchGraphView(size_t view_index) const;
+  size_t num_graph_views() const { return graph_views_.size(); }
+
+  /// Reconstructs a sealed relation from stored columns (persistence path).
+  static StatusOr<MasterRelation> FromColumns(size_t num_records,
+                                              std::vector<MeasureColumn> cols,
+                                              MasterRelationOptions options);
+
+  /// Adds an aggregate graph view (mp, bp); returns its view index.
+  size_t AddAggregateView(MeasureColumn column);
+  const MeasureColumn& FetchAggregateView(size_t view_index) const;
+  /// The bitmap half bp of an aggregate view, fetched alone (counted as a
+  /// bitmap-column fetch; mp and bp are physically separate columns).
+  const Bitmap& FetchAggregateViewBitmap(size_t view_index) const;
+  size_t num_aggregate_views() const { return agg_views_.size(); }
+
+  /// Accounting-free view access (persistence / maintenance paths).
+  const Bitmap& PeekGraphView(size_t view_index) const {
+    return graph_views_[view_index].bits();
+  }
+  const MeasureColumn& PeekAggregateView(size_t view_index) const {
+    return agg_views_[view_index];
+  }
+
+  /// O(1) cardinality statistics (cached at seal time) — the planner's
+  /// selectivity estimates.
+  size_t EdgeBitmapCardinality(EdgeId id) const {
+    return columns_[id].presence().Count();
+  }
+  size_t GraphViewCardinality(size_t view_index) const {
+    return graph_views_[view_index].Count();
+  }
+  size_t AggViewCardinality(size_t view_index) const {
+    return agg_views_[view_index].presence().Count();
+  }
+
+  // --- Partitioning (Section 6.1). ---
+
+  size_t partition_width() const { return options_.partition_width; }
+  size_t PartitionOf(EdgeId id) const { return id / options_.partition_width; }
+  /// Number of vertical sub-relations currently needed by the universe.
+  size_t num_partitions() const {
+    return columns_.empty()
+               ? 1
+               : (columns_.size() + options_.partition_width - 1) /
+                     options_.partition_width;
+  }
+  /// Distinct partitions spanned by a set of measure columns.
+  size_t CountPartitions(const std::vector<EdgeId>& ids) const;
+
+  // --- Accounting & footprint. ---
+
+  FetchStats& stats() const { return stats_; }
+
+  /// In-memory footprint of all columns (bytes).
+  size_t MemoryBytes() const;
+  /// Estimated on-disk footprint: EWAH-compressed bitmaps + packed values.
+  /// This is what Figure 4 plots: independent of record density, since
+  /// NULLs occupy no space.
+  size_t DiskBytes() const;
+
+ private:
+  MasterRelationOptions options_;
+  size_t num_records_ = 0;
+  bool sealed_ = false;
+  std::vector<MeasureColumn> columns_;  // indexed by EdgeId
+  std::vector<BitmapColumn> graph_views_;
+  std::vector<MeasureColumn> agg_views_;
+  mutable FetchStats stats_;
+};
+
+}  // namespace colgraph

@@ -1,0 +1,60 @@
+#include "columnstore/persistence.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "columnstore/io_util.h"
+
+namespace colgraph {
+
+namespace {
+constexpr uint32_t kMagic = 0x4347524C;  // "CGRL"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Status WriteRelation(const MasterRelation& relation, const std::string& path) {
+  if (!relation.sealed()) {
+    return Status::InvalidArgument("can only persist a sealed relation");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+
+  io::WritePod(out, kMagic);
+  io::WritePod(out, kVersion);
+  io::WritePod(out, static_cast<uint64_t>(relation.num_records()));
+  io::WritePod(out, static_cast<uint64_t>(relation.num_edge_columns()));
+  for (EdgeId id = 0; id < relation.num_edge_columns(); ++id) {
+    io::WriteMeasureColumn(out, relation.PeekMeasureColumn(id));
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<MasterRelation> ReadRelation(const std::string& path,
+                                      MasterRelationOptions options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+
+  uint32_t magic = 0, version = 0;
+  if (!io::ReadPod(in, &magic) || magic != kMagic) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (!io::ReadPod(in, &version) || version != kVersion) {
+    return Status::Corruption("unsupported version in " + path);
+  }
+  uint64_t num_records = 0, num_columns = 0;
+  if (!io::ReadPod(in, &num_records) || !io::ReadPod(in, &num_columns)) {
+    return Status::Corruption("truncated header in " + path);
+  }
+  std::vector<MeasureColumn> columns;
+  columns.reserve(num_columns);
+  for (uint64_t i = 0; i < num_columns; ++i) {
+    COLGRAPH_ASSIGN_OR_RETURN(MeasureColumn col, io::ReadMeasureColumn(in));
+    columns.push_back(std::move(col));
+  }
+  return MasterRelation::FromColumns(num_records, std::move(columns), options);
+}
+
+}  // namespace colgraph

@@ -1,0 +1,22 @@
+// Binary persistence for the master relation. The on-disk layout mirrors
+// the in-memory one: per column an EWAH-compressed presence bitmap followed
+// by the packed (NULL-suppressed) values, so file size matches the
+// DiskBytes() accounting used by the space experiments (Figure 4).
+#pragma once
+
+#include <string>
+
+#include "columnstore/master_relation.h"
+#include "util/status.h"
+
+namespace colgraph {
+
+/// Writes a sealed relation (records only, not views) to `path`.
+Status WriteRelation(const MasterRelation& relation, const std::string& path);
+
+/// Reads a relation previously written by WriteRelation. The result is
+/// sealed and ready for queries.
+StatusOr<MasterRelation> ReadRelation(const std::string& path,
+                                      MasterRelationOptions options = {});
+
+}  // namespace colgraph

@@ -1,0 +1,144 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "views/aggregate_views.h"
+#include "views/apriori.h"
+#include "views/candidate_generation.h"
+#include "views/materializer.h"
+#include "views/set_cover.h"
+
+namespace colgraph {
+
+ColGraphEngine::ColGraphEngine(EngineOptions options)
+    : options_(options), relation_(options.relation) {}
+
+ColGraphEngine ColGraphEngine::FromParts(EngineOptions options,
+                                         EdgeCatalog catalog,
+                                         MasterRelation relation,
+                                         ViewCatalog views) {
+  ColGraphEngine engine(options);
+  engine.catalog_ = std::move(catalog);
+  engine.relation_ = std::move(relation);
+  engine.views_ = std::move(views);
+  return engine;
+}
+
+StatusOr<RecordId> ColGraphEngine::AddRecord(const GraphRecord& record) {
+  if (record.elements.size() != record.measures.size()) {
+    return Status::InvalidArgument(
+        "record elements/measures size mismatch for record " +
+        std::to_string(record.id));
+  }
+  std::vector<std::pair<EdgeId, double>> shredded;
+  shredded.reserve(record.elements.size());
+  for (size_t i = 0; i < record.elements.size(); ++i) {
+    shredded.emplace_back(catalog_.GetOrAssign(record.elements[i]),
+                          record.measures[i]);
+  }
+  return relation_.AddRecord(shredded);
+}
+
+StatusOr<RecordId> ColGraphEngine::AddWalk(const std::vector<NodeId>& walk,
+                                           const std::vector<double>& measures) {
+  if (walk.size() < 2) {
+    return Status::InvalidArgument("a walk needs at least two nodes");
+  }
+  if (measures.size() != walk.size() - 1) {
+    return Status::InvalidArgument("a walk of n nodes needs n-1 measures");
+  }
+  GraphRecord record;
+  record.elements = WalkToEdges(walk);
+  record.measures = measures;
+  return AddRecord(record);
+}
+
+void ColGraphEngine::RegisterUniverse(const std::vector<Edge>& edges) {
+  for (const Edge& e : edges) catalog_.GetOrAssign(e);
+  relation_.EnsureColumns(catalog_.size());
+}
+
+Status ColGraphEngine::Seal() { return relation_.Seal(); }
+
+Status ColGraphEngine::BeginAppend() {
+  COLGRAPH_RETURN_NOT_OK(relation_.Unseal());
+  append_watermark_ = relation_.num_records();
+  return Status::OK();
+}
+
+Status ColGraphEngine::FinishAppend() {
+  COLGRAPH_RETURN_NOT_OK(relation_.Seal());
+  // Delta maintenance: only the appended record range is re-aggregated.
+  return RefreshViewsIncremental(&relation_, views_, append_watermark_);
+}
+
+StatusOr<size_t> ColGraphEngine::SelectAndMaterializeGraphViews(
+    const std::vector<GraphQuery>& workload, size_t budget) {
+  // Resolve each query to its (sorted) element-id universe.
+  std::vector<std::vector<EdgeId>> universes;
+  universes.reserve(workload.size());
+  for (const GraphQuery& q : workload) {
+    const QueryEngine::ResolvedQuery resolved = query_engine().Resolve(q);
+    if (!resolved.satisfiable || resolved.ids.empty()) continue;
+    universes.push_back(resolved.ids);
+  }
+
+  std::vector<GraphViewDef> candidates;
+  if (options_.candidate_generator == CandidateGenerator::kApriori) {
+    AprioriOptions apriori;
+    apriori.min_support = std::max<size_t>(2, options_.view_min_support);
+    COLGRAPH_ASSIGN_OR_RETURN(AprioriResult mined,
+                              MineFrequentItemsets(universes, apriori));
+    candidates = FilterSuperseded(mined, universes).itemsets;
+  } else {
+    CandidateGenOptions gen;
+    gen.min_support = options_.view_min_support;
+    COLGRAPH_ASSIGN_OR_RETURN(candidates,
+                              GenerateGraphViewCandidates(universes, gen));
+  }
+  const SetCoverSelection selection =
+      GreedyExtendedSetCover(universes, candidates, budget);
+
+  for (size_t index : selection.selected) {
+    COLGRAPH_RETURN_NOT_OK(
+        MaterializeGraphView(candidates[index], &relation_, &views_).status());
+  }
+  return selection.selected.size();
+}
+
+StatusOr<size_t> ColGraphEngine::SelectAndMaterializeAggViews(
+    const std::vector<GraphQuery>& workload, AggFn fn, size_t budget) {
+  COLGRAPH_ASSIGN_OR_RETURN(
+      std::vector<AggViewDef> selected,
+      SelectAggregateViews(workload, fn, catalog_, budget));
+  for (const AggViewDef& def : selected) {
+    COLGRAPH_RETURN_NOT_OK(
+        MaterializeAggView(def, &relation_, &views_).status());
+  }
+  return selected.size();
+}
+
+StatusOr<size_t> ColGraphEngine::MaterializeView(const GraphViewDef& def) {
+  return MaterializeGraphView(def, &relation_, &views_);
+}
+
+StatusOr<size_t> ColGraphEngine::MaterializeView(const AggViewDef& def) {
+  return MaterializeAggView(def, &relation_, &views_);
+}
+
+Bitmap ColGraphEngine::Match(const GraphQuery& query,
+                             const QueryOptions& options) const {
+  return query_engine().Match(query, options);
+}
+
+StatusOr<MeasureTable> ColGraphEngine::RunGraphQuery(
+    const GraphQuery& query, const QueryOptions& options) const {
+  return query_engine().RunGraphQuery(query, options);
+}
+
+StatusOr<PathAggResult> ColGraphEngine::RunAggregateQuery(
+    const GraphQuery& query, AggFn fn, const QueryOptions& options) const {
+  return query_engine().RunAggregateQuery(query, fn, options);
+}
+
+}  // namespace colgraph

@@ -1,0 +1,144 @@
+// ColGraphEngine: the public entry point of the library. Owns the edge
+// catalog, the master relation, and the view catalog, and wires together
+// ingest, view selection/materialization, and query execution — the whole
+// pipeline of the paper behind one API.
+//
+// Typical use:
+//   ColGraphEngine engine;
+//   engine.AddWalk({...node ids...}, measures);   // repeat per record
+//   engine.Seal();
+//   engine.SelectAndMaterializeGraphViews(workload, /*budget=*/10);
+//   auto result = engine.RunGraphQuery(query);
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "columnstore/master_relation.h"
+#include "graph/catalog.h"
+#include "graph/flatten.h"
+#include "graph/graph.h"
+#include "query/engine.h"
+#include "util/status.h"
+#include "views/view_defs.h"
+
+namespace colgraph {
+
+/// How graph-view candidates are generated (Section 5.2).
+enum class CandidateGenerator : uint8_t {
+  /// Exact: closure of the query edge sets under intersection (the closed
+  /// itemsets), then the monotonicity filter. Default.
+  kIntersectionClosure,
+  /// Scalable variant: Apriori frequent-itemset mining with min support,
+  /// then the supersede filter. Useful when query overlap makes the exact
+  /// closure too large.
+  kApriori,
+};
+
+struct EngineOptions {
+  MasterRelationOptions relation;
+  /// Candidate-generation minimum support for graph-view selection.
+  /// (Apriori requires >= 2; lower values are clamped for that generator.)
+  size_t view_min_support = 1;
+  CandidateGenerator candidate_generator =
+      CandidateGenerator::kIntersectionClosure;
+};
+
+/// \brief Facade over catalog + relation + views + query engine.
+class ColGraphEngine {
+ public:
+  explicit ColGraphEngine(EngineOptions options = {});
+
+  // --- Ingest (before Seal). ---
+
+  /// Adds one graph record; elements are resolved (and the universe grown)
+  /// through the owned catalog. Records with cycles must be flattened by
+  /// the caller (AddWalk does this automatically for traces).
+  StatusOr<RecordId> AddRecord(const GraphRecord& record);
+
+  /// Adds a trace record: a walk over base nodes with one measure per hop.
+  /// The walk is cycle-flattened (Section 6.2) before shredding, so
+  /// `measures.size()` must equal `walk.size() - 1`.
+  StatusOr<RecordId> AddWalk(const std::vector<NodeId>& walk,
+                             const std::vector<double>& measures);
+
+  /// Pre-registers the edges of a base network so the universe (and column
+  /// order) is fixed before ingest.
+  void RegisterUniverse(const std::vector<Edge>& edges);
+
+  /// Freezes the relation; queries and materialization require this.
+  Status Seal();
+
+  // --- Incremental ingest (the applications generate records
+  // --- continuously; Section 6.1's schema likewise "expands on demand").
+
+  /// Re-opens a sealed engine for more AddRecord/AddWalk calls. Queries
+  /// are unavailable until FinishAppend().
+  Status BeginAppend();
+  /// Reseals the relation and refreshes every materialized view so query
+  /// rewriting stays sound over the grown record set.
+  Status FinishAppend();
+
+  // --- Views (after Seal). ---
+
+  /// Runs the full Section 5.2 pipeline for graph views: candidate
+  /// generation (intersection closure + monotonicity filter + min support)
+  /// and greedy extended-set-cover selection, then materializes at most
+  /// `budget` views. Returns the number of views materialized.
+  StatusOr<size_t> SelectAndMaterializeGraphViews(
+      const std::vector<GraphQuery>& workload, size_t budget);
+
+  /// Same for aggregate graph views (Section 5.4), for function `fn`.
+  StatusOr<size_t> SelectAndMaterializeAggViews(
+      const std::vector<GraphQuery>& workload, AggFn fn, size_t budget);
+
+  /// Materializes one explicit graph view / aggregate view.
+  StatusOr<size_t> MaterializeView(const GraphViewDef& def);
+  StatusOr<size_t> MaterializeView(const AggViewDef& def);
+
+  // --- Queries (after Seal). ---
+
+  Bitmap Match(const GraphQuery& query, const QueryOptions& options = {}) const;
+  StatusOr<MeasureTable> RunGraphQuery(const GraphQuery& query,
+                                       const QueryOptions& options = {}) const;
+  StatusOr<PathAggResult> RunAggregateQuery(
+      const GraphQuery& query, AggFn fn,
+      const QueryOptions& options = {}) const;
+  /// Aggregation along one explicit (possibly open-ended) path.
+  StatusOr<PathAggResult> AggregateAlongPath(
+      const Path& path, AggFn fn, const QueryOptions& options = {}) const {
+    return query_engine().AggregateAlongPath(path, fn, options);
+  }
+
+  // --- Introspection. ---
+
+  /// Reassembles an engine from persisted parts (see core/engine_io.h).
+  static ColGraphEngine FromParts(EngineOptions options, EdgeCatalog catalog,
+                                  MasterRelation relation, ViewCatalog views);
+
+  const EdgeCatalog& catalog() const { return catalog_; }
+  EdgeCatalog& mutable_catalog() { return catalog_; }
+  const MasterRelation& relation() const { return relation_; }
+  /// Mutable relation access for external materialization drivers (the
+  /// benchmark harnesses sweep view budgets against one ingested relation).
+  MasterRelation& mutable_relation() { return relation_; }
+  const ViewCatalog& views() const { return views_; }
+  const EngineOptions& options() const { return options_; }
+  /// A fresh evaluator bound to this engine's state. Cheap (three
+  /// pointers); constructed on demand so the engine stays movable.
+  QueryEngine query_engine() const {
+    return QueryEngine(&relation_, &catalog_, &views_);
+  }
+  FetchStats& stats() const { return relation_.stats(); }
+  size_t num_records() const { return relation_.num_records(); }
+
+ private:
+  EngineOptions options_;
+  EdgeCatalog catalog_;
+  MasterRelation relation_;
+  ViewCatalog views_;
+  /// Record count at the last BeginAppend (delta view maintenance).
+  size_t append_watermark_ = 0;
+};
+
+}  // namespace colgraph

@@ -1,0 +1,186 @@
+#include "core/engine_io.h"
+
+#include <fstream>
+
+#include "columnstore/io_util.h"
+
+namespace colgraph {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4347454E;  // "CGEN"
+constexpr uint32_t kVersion = 1;
+
+void WriteEwah(std::ofstream& out, const Bitmap& bits) {
+  const EwahBitmap compressed = EwahBitmap::FromBitmap(bits);
+  io::WritePod(out, static_cast<uint64_t>(compressed.size_bits()));
+  io::WriteVec(out, compressed.buffer());
+}
+
+StatusOr<Bitmap> ReadEwah(std::ifstream& in) {
+  uint64_t num_bits = 0;
+  std::vector<uint64_t> buffer;
+  if (!io::ReadPod(in, &num_bits) || !io::ReadVec(in, &buffer)) {
+    return Status::Corruption("truncated bitmap");
+  }
+  return EwahBitmap::FromRaw(std::move(buffer), num_bits).ToBitmap();
+}
+
+void WriteNodeRef(std::ofstream& out, const NodeRef& n) {
+  io::WritePod(out, n.base);
+  io::WritePod(out, n.occurrence);
+}
+
+bool ReadNodeRef(std::ifstream& in, NodeRef* n) {
+  return io::ReadPod(in, &n->base) && io::ReadPod(in, &n->occurrence);
+}
+
+}  // namespace
+
+Status WriteEngine(const ColGraphEngine& engine, const std::string& path) {
+  const MasterRelation& relation = engine.relation();
+  if (!relation.sealed()) {
+    return Status::InvalidArgument("can only persist a sealed engine");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+
+  io::WritePod(out, kMagic);
+  io::WritePod(out, kVersion);
+  io::WritePod(out,
+               static_cast<uint64_t>(engine.options().relation.partition_width));
+  io::WritePod(out, static_cast<uint64_t>(engine.options().view_min_support));
+
+  // Edge catalog: edges in id order (ids are dense, so position == id).
+  const EdgeCatalog& catalog = engine.catalog();
+  io::WritePod(out, static_cast<uint64_t>(catalog.size()));
+  for (EdgeId id = 0; id < catalog.size(); ++id) {
+    WriteNodeRef(out, catalog.edge(id).from);
+    WriteNodeRef(out, catalog.edge(id).to);
+  }
+
+  // Base columns.
+  io::WritePod(out, static_cast<uint64_t>(relation.num_records()));
+  io::WritePod(out, static_cast<uint64_t>(relation.num_edge_columns()));
+  for (EdgeId id = 0; id < relation.num_edge_columns(); ++id) {
+    io::WriteMeasureColumn(out, relation.PeekMeasureColumn(id));
+  }
+
+  // Graph views: definition + bitmap column, in view-index order.
+  const auto& graph_views = engine.views().graph_views();
+  io::WritePod(out, static_cast<uint64_t>(graph_views.size()));
+  for (const auto& [def, index] : graph_views) {
+    io::WriteVec(out, def.edges);
+    io::WritePod(out, static_cast<uint64_t>(index));
+    WriteEwah(out, relation.PeekGraphView(index));
+  }
+
+  // Aggregate views: definition + (mp, bp) column pair.
+  const auto& agg_views = engine.views().agg_views();
+  io::WritePod(out, static_cast<uint64_t>(agg_views.size()));
+  for (const auto& [def, index] : agg_views) {
+    io::WritePod(out, static_cast<uint8_t>(def.fn));
+    io::WriteVec(out, def.elements);
+    io::WritePod(out, static_cast<uint64_t>(index));
+    io::WriteMeasureColumn(out, relation.PeekAggregateView(index));
+  }
+
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<ColGraphEngine> ReadEngine(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+
+  uint32_t magic = 0, version = 0;
+  if (!io::ReadPod(in, &magic) || magic != kMagic) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (!io::ReadPod(in, &version) || version != kVersion) {
+    return Status::Corruption("unsupported version in " + path);
+  }
+  EngineOptions options;
+  uint64_t partition_width = 0, min_support = 0;
+  if (!io::ReadPod(in, &partition_width) || !io::ReadPod(in, &min_support)) {
+    return Status::Corruption("truncated options in " + path);
+  }
+  options.relation.partition_width = partition_width;
+  options.view_min_support = min_support;
+
+  uint64_t catalog_size = 0;
+  if (!io::ReadPod(in, &catalog_size)) {
+    return Status::Corruption("truncated catalog in " + path);
+  }
+  EdgeCatalog catalog;
+  for (uint64_t i = 0; i < catalog_size; ++i) {
+    Edge e;
+    if (!ReadNodeRef(in, &e.from) || !ReadNodeRef(in, &e.to)) {
+      return Status::Corruption("truncated catalog entry in " + path);
+    }
+    if (catalog.GetOrAssign(e) != i) {
+      return Status::Corruption("catalog ids are not dense in " + path);
+    }
+  }
+
+  uint64_t num_records = 0, num_columns = 0;
+  if (!io::ReadPod(in, &num_records) || !io::ReadPod(in, &num_columns)) {
+    return Status::Corruption("truncated relation header in " + path);
+  }
+  std::vector<MeasureColumn> columns;
+  columns.reserve(num_columns);
+  for (uint64_t i = 0; i < num_columns; ++i) {
+    COLGRAPH_ASSIGN_OR_RETURN(MeasureColumn col, io::ReadMeasureColumn(in));
+    columns.push_back(std::move(col));
+  }
+  COLGRAPH_ASSIGN_OR_RETURN(
+      MasterRelation relation,
+      MasterRelation::FromColumns(num_records, std::move(columns),
+                                  options.relation));
+
+  ViewCatalog views;
+  uint64_t num_graph_views = 0;
+  if (!io::ReadPod(in, &num_graph_views)) {
+    return Status::Corruption("truncated graph-view section in " + path);
+  }
+  for (uint64_t i = 0; i < num_graph_views; ++i) {
+    GraphViewDef def;
+    uint64_t index = 0;
+    if (!io::ReadVec(in, &def.edges) || !io::ReadPod(in, &index)) {
+      return Status::Corruption("truncated graph view in " + path);
+    }
+    COLGRAPH_ASSIGN_OR_RETURN(Bitmap bits, ReadEwah(in));
+    const size_t actual = relation.AddGraphView(std::move(bits));
+    if (actual != index) {
+      return Status::Corruption("graph-view indexes not dense in " + path);
+    }
+    views.AddGraphView(std::move(def), actual);
+  }
+
+  uint64_t num_agg_views = 0;
+  if (!io::ReadPod(in, &num_agg_views)) {
+    return Status::Corruption("truncated agg-view section in " + path);
+  }
+  for (uint64_t i = 0; i < num_agg_views; ++i) {
+    AggViewDef def;
+    uint8_t fn = 0;
+    uint64_t index = 0;
+    if (!io::ReadPod(in, &fn) || !io::ReadVec(in, &def.elements) ||
+        !io::ReadPod(in, &index)) {
+      return Status::Corruption("truncated aggregate view in " + path);
+    }
+    def.fn = static_cast<AggFn>(fn);
+    COLGRAPH_ASSIGN_OR_RETURN(MeasureColumn col, io::ReadMeasureColumn(in));
+    const size_t actual = relation.AddAggregateView(std::move(col));
+    if (actual != index) {
+      return Status::Corruption("agg-view indexes not dense in " + path);
+    }
+    views.AddAggView(std::move(def), actual);
+  }
+
+  return ColGraphEngine::FromParts(options, std::move(catalog),
+                                   std::move(relation), std::move(views));
+}
+
+}  // namespace colgraph

@@ -1,0 +1,21 @@
+// Whole-engine persistence: saves and restores the edge catalog, the
+// master relation (base columns), and every materialized view — the full
+// state needed to shut an engine down and answer the same workload after a
+// restart without re-ingesting or re-materializing.
+#pragma once
+
+#include <string>
+
+#include "core/engine.h"
+#include "util/status.h"
+
+namespace colgraph {
+
+/// Writes a sealed engine's complete state to `path`.
+Status WriteEngine(const ColGraphEngine& engine, const std::string& path);
+
+/// Restores an engine previously written by WriteEngine. The result is
+/// sealed, views registered, ready for queries.
+StatusOr<ColGraphEngine> ReadEngine(const std::string& path);
+
+}  // namespace colgraph

@@ -1,0 +1,78 @@
+#include "core/multi_measure.h"
+
+#include <cassert>
+
+#include "graph/flatten.h"
+
+namespace colgraph {
+
+MultiMeasureEngine::MultiMeasureEngine(std::vector<std::string> family_names,
+                                       EngineOptions options)
+    : names_(std::move(family_names)) {
+  assert(!names_.empty());
+  engines_.reserve(names_.size());
+  for (size_t i = 0; i < names_.size(); ++i) engines_.emplace_back(options);
+}
+
+StatusOr<size_t> MultiMeasureEngine::FamilySlot(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return Status::NotFound("no measure family named '" + name + "'");
+}
+
+StatusOr<RecordId> MultiMeasureEngine::AddRecord(
+    const std::vector<Edge>& elements,
+    const std::vector<std::vector<double>>& measures) {
+  if (measures.size() != engines_.size()) {
+    return Status::InvalidArgument(
+        "expected one measure vector per family (" +
+        std::to_string(engines_.size()) + "), got " +
+        std::to_string(measures.size()));
+  }
+  for (const auto& family : measures) {
+    if (family.size() != elements.size()) {
+      return Status::InvalidArgument(
+          "every family must measure every element");
+    }
+  }
+  RecordId rid = 0;
+  for (size_t slot = 0; slot < engines_.size(); ++slot) {
+    GraphRecord record;
+    record.elements = elements;
+    record.measures = measures[slot];
+    COLGRAPH_ASSIGN_OR_RETURN(rid, engines_[slot].AddRecord(record));
+  }
+  return rid;
+}
+
+StatusOr<RecordId> MultiMeasureEngine::AddWalk(
+    const std::vector<NodeId>& walk,
+    const std::vector<std::vector<double>>& measures) {
+  return AddRecord(WalkToEdges(walk), measures);
+}
+
+Status MultiMeasureEngine::Seal() {
+  for (auto& engine : engines_) COLGRAPH_RETURN_NOT_OK(engine.Seal());
+  return Status::OK();
+}
+
+StatusOr<PathAggResult> MultiMeasureEngine::RunAggregateQuery(
+    size_t family, const GraphQuery& query, AggFn fn,
+    const QueryOptions& options) const {
+  if (family >= engines_.size()) {
+    return Status::OutOfRange("no measure family " + std::to_string(family));
+  }
+  return engines_[family].RunAggregateQuery(query, fn, options);
+}
+
+StatusOr<size_t> MultiMeasureEngine::SelectAndMaterializeAggViews(
+    size_t family, const std::vector<GraphQuery>& workload, AggFn fn,
+    size_t budget) {
+  if (family >= engines_.size()) {
+    return Status::OutOfRange("no measure family " + std::to_string(family));
+  }
+  return engines_[family].SelectAndMaterializeAggViews(workload, fn, budget);
+}
+
+}  // namespace colgraph

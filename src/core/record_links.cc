@@ -1,0 +1,85 @@
+#include "core/record_links.h"
+
+#include <algorithm>
+
+namespace colgraph {
+
+Status RecordLinkIndex::Link(RecordId record, GroupId group) {
+  auto [it, inserted] = group_of_.emplace(record, group);
+  if (!inserted) {
+    if (it->second == group) return Status::OK();  // idempotent
+    return Status::AlreadyExists(
+        "record " + std::to_string(record) + " already linked to group " +
+        std::to_string(it->second));
+  }
+  auto& members = groups_[group];
+  members.insert(std::upper_bound(members.begin(), members.end(), record),
+                 record);
+  return Status::OK();
+}
+
+std::optional<GroupId> RecordLinkIndex::GroupOf(RecordId record) const {
+  auto it = group_of_.find(record);
+  if (it == group_of_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<RecordId> RecordLinkIndex::Records(GroupId group) const {
+  auto it = groups_.find(group);
+  return it == groups_.end() ? std::vector<RecordId>{} : it->second;
+}
+
+Bitmap RecordLinkIndex::ExpandToGroups(const Bitmap& matches) const {
+  Bitmap result = matches;
+  matches.ForEachSetBit([&](size_t r) {
+    auto it = group_of_.find(r);
+    if (it == group_of_.end()) return;
+    for (RecordId member : groups_.at(it->second)) {
+      if (member < result.size()) result.Set(member);
+    }
+  });
+  return result;
+}
+
+Bitmap RecordLinkIndex::RestrictToFullGroups(const Bitmap& matches) const {
+  Bitmap result = matches;
+  matches.ForEachSetBit([&](size_t r) {
+    auto it = group_of_.find(r);
+    if (it == group_of_.end()) return;  // unlinked records stand alone
+    for (RecordId member : groups_.at(it->second)) {
+      if (member >= matches.size() || !matches.Test(member)) {
+        result.Clear(r);
+        return;
+      }
+    }
+  });
+  return result;
+}
+
+void RecordLinkIndex::SetMeta(RecordId record, const std::string& key,
+                              const std::string& value) {
+  metadata_[record][key] = value;
+}
+
+std::optional<std::string> RecordLinkIndex::GetMeta(
+    RecordId record, const std::string& key) const {
+  auto it = metadata_.find(record);
+  if (it == metadata_.end()) return std::nullopt;
+  auto kv = it->second.find(key);
+  if (kv == it->second.end()) return std::nullopt;
+  return kv->second;
+}
+
+Bitmap RecordLinkIndex::FilterMeta(const std::string& key,
+                                   const std::string& value,
+                                   size_t domain) const {
+  Bitmap result(domain);
+  for (const auto& [record, kvs] : metadata_) {
+    if (record >= domain) continue;
+    auto it = kvs.find(key);
+    if (it != kvs.end() && it->second == value) result.Set(record);
+  }
+  return result;
+}
+
+}  // namespace colgraph

@@ -1,0 +1,72 @@
+// Linked records and record metadata (Section 3.1): "a collection of
+// graph records may refer to the same logical unit, as in the case where
+// an order is broken into multiple sub-orders ... handled easily via
+// metadata information, for instance unique record-ids that join these
+// sub-orders. The same logic allows us to handle multigraphs" — a parallel
+// delivery becomes several records linked into one group.
+//
+// RecordLinkIndex tracks group membership and expands answer sets from
+// records to whole logical units; the metadata map carries free-form
+// per-record attributes (order type, customer, ...).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bitmap/bitmap.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace colgraph {
+
+using GroupId = uint64_t;
+
+/// \brief Bidirectional record <-> group index plus per-record metadata.
+class RecordLinkIndex {
+ public:
+  /// Links a record into a group (a record belongs to at most one group;
+  /// re-linking to a different group is rejected).
+  Status Link(RecordId record, GroupId group);
+
+  /// The record's group, or nullopt for unlinked records.
+  std::optional<GroupId> GroupOf(RecordId record) const;
+
+  /// Records of a group (ascending; empty for unknown groups).
+  std::vector<RecordId> Records(GroupId group) const;
+
+  size_t num_groups() const { return groups_.size(); }
+
+  /// Expands an answer set to whole logical units: any group with at least
+  /// one matching record contributes all its records. `domain` is the
+  /// relation's record count (sizes the result).
+  Bitmap ExpandToGroups(const Bitmap& matches) const;
+
+  /// Restricts an answer set to records whose *entire group* matches —
+  /// the AND-semantics dual of ExpandToGroups (e.g. "orders all of whose
+  /// sub-orders used the leased route").
+  Bitmap RestrictToFullGroups(const Bitmap& matches) const;
+
+  // --- Metadata. ---
+
+  void SetMeta(RecordId record, const std::string& key,
+               const std::string& value);
+  /// Returns the value, or nullopt.
+  std::optional<std::string> GetMeta(RecordId record,
+                                     const std::string& key) const;
+  /// Bitmap of records where key == value (a metadata filter to AND with
+  /// structural matches). `domain` sizes the bitmap.
+  Bitmap FilterMeta(const std::string& key, const std::string& value,
+                    size_t domain) const;
+
+ private:
+  std::unordered_map<RecordId, GroupId> group_of_;
+  std::unordered_map<GroupId, std::vector<RecordId>> groups_;
+  std::unordered_map<RecordId,
+                     std::unordered_map<std::string, std::string>>
+      metadata_;
+};
+
+}  // namespace colgraph

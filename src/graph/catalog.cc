@@ -1,0 +1,34 @@
+#include "graph/catalog.h"
+
+namespace colgraph {
+
+EdgeId EdgeCatalog::GetOrAssign(const Edge& e) {
+  auto it = ids_.find(e);
+  if (it != ids_.end()) return it->second;
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  ids_.emplace(e, id);
+  edges_.push_back(e);
+  return id;
+}
+
+std::optional<EdgeId> EdgeCatalog::Lookup(const Edge& e) const {
+  auto it = ids_.find(e);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+StatusOr<std::vector<EdgeId>> EdgeCatalog::LookupAll(
+    const std::vector<Edge>& edges) const {
+  std::vector<EdgeId> result;
+  result.reserve(edges.size());
+  for (const Edge& e : edges) {
+    auto id = Lookup(e);
+    if (!id.has_value()) {
+      return Status::NotFound("edge not in catalog: " + e.ToString());
+    }
+    result.push_back(*id);
+  }
+  return result;
+}
+
+}  // namespace colgraph

@@ -1,0 +1,44 @@
+// EdgeCatalog: the "universally adopted naming scheme" of Section 3.1. Maps
+// each distinct edge (or node, as self-edge) in the application's universe
+// to a dense EdgeId, which is the column index of its measure column m_i
+// and bitmap column b_i in the master relation.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace colgraph {
+
+/// \brief Bidirectional edge <-> EdgeId mapping.
+///
+/// Ids are assigned densely in first-seen order, so the column store can
+/// index columns by EdgeId directly. The catalog can be pre-populated from
+/// a base network (fixing the universe, as in the experiments where the
+/// domain has exactly 1000 distinct edge ids) or grown on demand at ingest.
+class EdgeCatalog {
+ public:
+  /// Returns the id of `e`, assigning a fresh one if unseen.
+  EdgeId GetOrAssign(const Edge& e);
+
+  /// Returns the id of `e` or nullopt when the edge is not in the universe.
+  std::optional<EdgeId> Lookup(const Edge& e) const;
+
+  /// Reverse lookup; id must be < size().
+  const Edge& edge(EdgeId id) const { return edges_[id]; }
+
+  /// Number of distinct edges in the universe.
+  size_t size() const { return edges_.size(); }
+
+  /// Maps a set of edges to ids, failing on the first unknown edge.
+  StatusOr<std::vector<EdgeId>> LookupAll(const std::vector<Edge>& edges) const;
+
+ private:
+  std::unordered_map<Edge, EdgeId, EdgeHash> ids_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace colgraph

@@ -1,0 +1,162 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace colgraph {
+
+std::string NodeRef::ToString() const {
+  std::string s = std::to_string(base);
+  for (uint32_t i = 0; i < occurrence; ++i) s += '\'';
+  return s;
+}
+
+std::string Edge::ToString() const {
+  if (IsNode()) return "[" + from.ToString() + "]";
+  return "(" + from.ToString() + "," + to.ToString() + ")";
+}
+
+void DirectedGraph::AddNode(NodeRef n) {
+  if (out_.find(n) != out_.end()) return;
+  out_[n] = {};
+  in_[n] = {};
+  nodes_.push_back(n);
+}
+
+void DirectedGraph::AddEdge(NodeRef from, NodeRef to) {
+  Edge e{from, to};
+  if (edge_set_.count(e)) return;
+  AddNode(from);
+  AddNode(to);
+  edge_set_.insert(e);
+  edges_.push_back(e);
+  if (!(from == to)) {
+    out_[from].push_back(to);
+    in_[to].push_back(from);
+  }
+}
+
+bool DirectedGraph::HasEdge(NodeRef from, NodeRef to) const {
+  return edge_set_.count(Edge{from, to}) > 0;
+}
+
+bool DirectedGraph::HasNode(NodeRef n) const {
+  return out_.find(n) != out_.end();
+}
+
+const std::vector<NodeRef>& DirectedGraph::OutNeighbors(NodeRef n) const {
+  static const std::vector<NodeRef> kEmpty;
+  auto it = out_.find(n);
+  return it == out_.end() ? kEmpty : it->second;
+}
+
+const std::vector<NodeRef>& DirectedGraph::InNeighbors(NodeRef n) const {
+  static const std::vector<NodeRef> kEmpty;
+  auto it = in_.find(n);
+  return it == in_.end() ? kEmpty : it->second;
+}
+
+std::vector<NodeRef> DirectedGraph::SourceNodes() const {
+  std::vector<NodeRef> result;
+  for (const NodeRef& n : nodes_) {
+    if (InDegree(n) == 0) result.push_back(n);
+  }
+  return result;
+}
+
+std::vector<NodeRef> DirectedGraph::TerminalNodes() const {
+  std::vector<NodeRef> result;
+  for (const NodeRef& n : nodes_) {
+    if (OutDegree(n) == 0) result.push_back(n);
+  }
+  return result;
+}
+
+bool DirectedGraph::IsAcyclic() const {
+  // Kahn's algorithm: the graph is acyclic iff all nodes can be peeled in
+  // topological order. Self-edges are node measures, not structure, and are
+  // excluded from adjacency by construction.
+  std::unordered_map<NodeRef, size_t, NodeRefHash> in_degree;
+  for (const NodeRef& n : nodes_) in_degree[n] = InDegree(n);
+  std::vector<NodeRef> frontier;
+  for (const auto& [n, d] : in_degree) {
+    if (d == 0) frontier.push_back(n);
+  }
+  size_t peeled = 0;
+  while (!frontier.empty()) {
+    NodeRef n = frontier.back();
+    frontier.pop_back();
+    ++peeled;
+    for (const NodeRef& m : OutNeighbors(n)) {
+      if (--in_degree[m] == 0) frontier.push_back(m);
+    }
+  }
+  return peeled == nodes_.size();
+}
+
+DirectedGraph DirectedGraph::Intersect(const DirectedGraph& a,
+                                       const DirectedGraph& b) {
+  DirectedGraph result;
+  const DirectedGraph& small = a.num_edges() <= b.num_edges() ? a : b;
+  const DirectedGraph& large = a.num_edges() <= b.num_edges() ? b : a;
+  for (const Edge& e : small.edges()) {
+    if (large.edge_set_.count(e)) result.AddEdge(e);
+  }
+  return result;
+}
+
+DirectedGraph DirectedGraph::Union(const DirectedGraph& a,
+                                   const DirectedGraph& b) {
+  DirectedGraph result;
+  for (const Edge& e : a.edges()) result.AddEdge(e);
+  for (const Edge& e : b.edges()) result.AddEdge(e);
+  for (const NodeRef& n : a.nodes()) result.AddNode(n);
+  for (const NodeRef& n : b.nodes()) result.AddNode(n);
+  return result;
+}
+
+bool DirectedGraph::ContainsSubgraph(const DirectedGraph& sub) const {
+  for (const Edge& e : sub.edges()) {
+    if (!edge_set_.count(e)) return false;
+  }
+  return true;
+}
+
+bool DirectedGraph::operator==(const DirectedGraph& o) const {
+  if (num_nodes() != o.num_nodes() || num_edges() != o.num_edges()) {
+    return false;
+  }
+  for (const Edge& e : edges_) {
+    if (!o.edge_set_.count(e)) return false;
+  }
+  for (const NodeRef& n : nodes_) {
+    if (!o.HasNode(n)) return false;
+  }
+  return true;
+}
+
+DirectedGraph GraphRecord::Structure() const {
+  DirectedGraph g;
+  for (const Edge& e : elements) {
+    if (e.IsNode()) {
+      g.AddNode(e.from);
+    } else {
+      g.AddEdge(e);
+    }
+  }
+  return g;
+}
+
+GraphQuery GraphQuery::FromPath(const std::vector<NodeRef>& nodes) {
+  DirectedGraph g;
+  assert(!nodes.empty());
+  if (nodes.size() == 1) {
+    g.AddNode(nodes[0]);
+  }
+  for (size_t i = 0; i + 1 < nodes.size(); ++i) {
+    g.AddEdge(nodes[i], nodes[i + 1]);
+  }
+  return GraphQuery(std::move(g));
+}
+
+}  // namespace colgraph

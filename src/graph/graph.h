@@ -1,0 +1,165 @@
+// Core graph model (Section 3 of the paper): graph records, graph queries,
+// and the directed-graph structure shared by both. Nodes and edges are
+// "named entities" drawn from a common universe; a node X is modeled as the
+// self-edge [X,X], so the storage layer sees only edges.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace colgraph {
+
+/// Base node identifier (a location, workflow state, host, ...).
+using NodeId = uint32_t;
+
+/// Column / bitmap identifier of a distinct edge in the universe.
+using EdgeId = uint32_t;
+
+/// Record identifier (row position in the master relation).
+using RecordId = uint64_t;
+
+constexpr EdgeId kInvalidEdgeId = static_cast<EdgeId>(-1);
+
+/// \brief A node occurrence after cycle flattening (Section 6.2).
+///
+/// Flattening a cyclic record renames repeated visits: A, A', A'' become
+/// occurrences 0, 1, 2 of base node A. Plain (acyclic) data always uses
+/// occurrence 0.
+struct NodeRef {
+  NodeId base = 0;
+  uint32_t occurrence = 0;
+
+  bool operator==(const NodeRef& o) const {
+    return base == o.base && occurrence == o.occurrence;
+  }
+  bool operator<(const NodeRef& o) const {
+    return base != o.base ? base < o.base : occurrence < o.occurrence;
+  }
+  std::string ToString() const;
+};
+
+/// \brief A directed edge between two node occurrences. [X,X] denotes the
+/// node X itself (its internal measure).
+struct Edge {
+  NodeRef from;
+  NodeRef to;
+
+  bool IsNode() const { return from == to; }
+  bool operator==(const Edge& o) const { return from == o.from && to == o.to; }
+  bool operator<(const Edge& o) const {
+    return from == o.from ? to < o.to : from < o.from;
+  }
+  std::string ToString() const;
+};
+
+struct NodeRefHash {
+  size_t operator()(const NodeRef& n) const {
+    return std::hash<uint64_t>()((uint64_t{n.base} << 32) | n.occurrence);
+  }
+};
+
+struct EdgeHash {
+  size_t operator()(const Edge& e) const {
+    const size_t h1 = NodeRefHash()(e.from);
+    const size_t h2 = NodeRefHash()(e.to);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ull + (h1 << 6) + (h1 >> 2));
+  }
+};
+
+/// \brief Adjacency-indexed directed graph over NodeRefs.
+///
+/// Used to represent both the structure of a graph record (before it is
+/// shredded into columns) and a graph query. Parallel edges are not
+/// represented (the paper models multigraphs via linked records).
+class DirectedGraph {
+ public:
+  /// Adds an edge (idempotent); inserts endpoints as nodes.
+  void AddEdge(NodeRef from, NodeRef to);
+  void AddEdge(const Edge& e) { AddEdge(e.from, e.to); }
+  /// Adds an isolated node (idempotent).
+  void AddNode(NodeRef n);
+
+  bool HasEdge(NodeRef from, NodeRef to) const;
+  bool HasNode(NodeRef n) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  const std::vector<NodeRef>& nodes() const { return nodes_; }
+
+  /// Outgoing / incoming neighbors of a node (empty if absent).
+  const std::vector<NodeRef>& OutNeighbors(NodeRef n) const;
+  const std::vector<NodeRef>& InNeighbors(NodeRef n) const;
+
+  size_t OutDegree(NodeRef n) const { return OutNeighbors(n).size(); }
+  size_t InDegree(NodeRef n) const { return InNeighbors(n).size(); }
+
+  /// Source nodes: in-degree 0 (Src(G) in the paper).
+  std::vector<NodeRef> SourceNodes() const;
+  /// Terminal nodes: out-degree 0 (Ter(G)).
+  std::vector<NodeRef> TerminalNodes() const;
+
+  /// True iff the graph contains no directed cycle.
+  bool IsAcyclic() const;
+
+  /// Structural intersection: the graph of edges present in both. (Used by
+  /// candidate-view generation: G_vi,j = G_qi ∩ G_qj.)
+  static DirectedGraph Intersect(const DirectedGraph& a,
+                                 const DirectedGraph& b);
+
+  /// Structural union (G_All of Section 5.4; never a multigraph).
+  static DirectedGraph Union(const DirectedGraph& a, const DirectedGraph& b);
+
+  /// True iff every edge of `sub` is an edge of this graph.
+  bool ContainsSubgraph(const DirectedGraph& sub) const;
+
+  bool operator==(const DirectedGraph& o) const;
+
+ private:
+  std::vector<NodeRef> nodes_;
+  std::vector<Edge> edges_;
+  std::unordered_map<NodeRef, std::vector<NodeRef>, NodeRefHash> out_;
+  std::unordered_map<NodeRef, std::vector<NodeRef>, NodeRefHash> in_;
+  std::unordered_set<Edge, EdgeHash> edge_set_;
+};
+
+/// \brief One graph data record: structure plus a measure per element.
+///
+/// `measures[i]` is the measure recorded on `elements[i]`, where an element
+/// is an edge or a node (self-edge). This is the ingest-side representation;
+/// the column store shreds it into (edge-id -> measure) pairs.
+struct GraphRecord {
+  RecordId id = 0;
+  std::vector<Edge> elements;
+  std::vector<double> measures;
+
+  /// Builds the structural graph of the record's true edges (self-edges are
+  /// node measures, not structure).
+  DirectedGraph Structure() const;
+};
+
+/// \brief A graph query (Section 3.2): a directed graph whose matches are
+/// the records containing it as a subgraph (by shared edge identity).
+class GraphQuery {
+ public:
+  GraphQuery() = default;
+  explicit GraphQuery(DirectedGraph graph) : graph_(std::move(graph)) {}
+
+  /// Convenience: query for a single node path [n0, n1, ..., nk].
+  static GraphQuery FromPath(const std::vector<NodeRef>& nodes);
+
+  const DirectedGraph& graph() const { return graph_; }
+  DirectedGraph& mutable_graph() { return graph_; }
+
+  size_t num_edges() const { return graph_.num_edges(); }
+
+ private:
+  DirectedGraph graph_;
+};
+
+}  // namespace colgraph

@@ -1,0 +1,126 @@
+#include "graph/path.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace colgraph {
+
+std::vector<Edge> Path::Elements() const {
+  std::vector<Edge> elements;
+  if (nodes_.empty()) return elements;
+  if (nodes_.size() == 1) {
+    // Degenerate node path [A,A]: just the node, unless fully open.
+    if (!start_open_ && !end_open_) elements.push_back(Edge{nodes_[0], nodes_[0]});
+    return elements;
+  }
+  if (!start_open_) elements.push_back(Edge{nodes_.front(), nodes_.front()});
+  for (size_t i = 0; i + 1 < nodes_.size(); ++i) {
+    elements.push_back(Edge{nodes_[i], nodes_[i + 1]});
+    if (i + 1 < nodes_.size() - 1) {
+      elements.push_back(Edge{nodes_[i + 1], nodes_[i + 1]});
+    }
+  }
+  if (!end_open_) elements.push_back(Edge{nodes_.back(), nodes_.back()});
+  return elements;
+}
+
+std::vector<Edge> Path::Edges() const {
+  std::vector<Edge> edges;
+  for (size_t i = 0; i + 1 < nodes_.size(); ++i) {
+    edges.push_back(Edge{nodes_[i], nodes_[i + 1]});
+  }
+  return edges;
+}
+
+StatusOr<Path> Path::Join(const Path& other) const {
+  if (empty() || other.empty()) {
+    return Status::InvalidArgument("path-join with empty path");
+  }
+  if (!(back() == other.front())) {
+    return Status::InvalidArgument("path-join endpoints differ: " +
+                                   back().ToString() + " vs " +
+                                   other.front().ToString());
+  }
+  // Exactly one side must be open at the junction so the shared node's
+  // measure is counted once.
+  if (end_open_ == other.start_open_) {
+    return Status::InvalidArgument(
+        "path-join requires exactly one open end at the common node " +
+        back().ToString());
+  }
+  std::vector<NodeRef> joined = nodes_;
+  joined.insert(joined.end(), other.nodes_.begin() + 1, other.nodes_.end());
+  return Path(std::move(joined), start_open_, other.end_open_);
+}
+
+bool Path::IsSubpathOf(const Path& other) const {
+  if (nodes_.size() > other.nodes_.size()) return false;
+  return std::search(other.nodes_.begin(), other.nodes_.end(), nodes_.begin(),
+                     nodes_.end()) != other.nodes_.end();
+}
+
+std::string Path::ToString() const {
+  std::string s = start_open_ ? "(" : "[";
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (i > 0) s += ",";
+    s += nodes_[i].ToString();
+  }
+  s += end_open_ ? ")" : "]";
+  return s;
+}
+
+namespace {
+
+// DFS path enumeration from each start node to any target node.
+Status Dfs(const DirectedGraph& graph,
+           const std::unordered_set<NodeRef, NodeRefHash>& targets,
+           std::vector<NodeRef>* current,
+           std::unordered_set<NodeRef, NodeRefHash>* on_path,
+           std::vector<Path>* out, size_t max_paths) {
+  const NodeRef here = current->back();
+  if (targets.count(here) && current->size() >= 1) {
+    if (out->size() >= max_paths) {
+      return Status::OutOfRange("path enumeration exceeded max_paths");
+    }
+    out->emplace_back(*current);
+  }
+  for (const NodeRef& next : graph.OutNeighbors(here)) {
+    if (on_path->count(next)) continue;  // keep paths simple
+    current->push_back(next);
+    on_path->insert(next);
+    COLGRAPH_RETURN_NOT_OK(
+        Dfs(graph, targets, current, on_path, out, max_paths));
+    on_path->erase(next);
+    current->pop_back();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::vector<Path>> EnumerateCompositePath(
+    const DirectedGraph& graph, const std::vector<NodeRef>& from,
+    const std::vector<NodeRef>& to, size_t max_paths) {
+  std::unordered_set<NodeRef, NodeRefHash> targets(to.begin(), to.end());
+  std::vector<Path> result;
+  for (const NodeRef& start : from) {
+    if (!graph.HasNode(start)) continue;
+    std::vector<NodeRef> current{start};
+    std::unordered_set<NodeRef, NodeRefHash> on_path{start};
+    COLGRAPH_RETURN_NOT_OK(
+        Dfs(graph, targets, &current, &on_path, &result, max_paths));
+  }
+  return result;
+}
+
+StatusOr<std::vector<Path>> MaximalPaths(const DirectedGraph& graph,
+                                         size_t max_paths) {
+  if (!graph.IsAcyclic()) {
+    return Status::InvalidArgument(
+        "maximal-path extraction requires a DAG; flatten the graph first");
+  }
+  return EnumerateCompositePath(graph, graph.SourceNodes(),
+                                graph.TerminalNodes(), max_paths);
+}
+
+}  // namespace colgraph

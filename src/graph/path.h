@@ -1,0 +1,91 @@
+// Paths: the fundamental structural unit for graph queries (Section 3.3).
+// Implements closed / open-ended paths, the path-join operator (⋈),
+// composite-path enumeration, and maximal-path extraction from query DAGs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace colgraph {
+
+/// \brief A path of node occurrences with independently open/closed ends.
+///
+/// [A,D,E] is closed at both ends (node measures of A and E included);
+/// (D,E,G) is open at both (only the internal node E and the edges count);
+/// [D,E,G) is open at the right end only. A single node A is the degenerate
+/// path [A,A] (just that node's measure).
+class Path {
+ public:
+  Path() = default;
+  /// \param nodes      the node sequence, at least one node
+  /// \param start_open whether the first node's own measure is excluded
+  /// \param end_open   whether the last node's own measure is excluded
+  Path(std::vector<NodeRef> nodes, bool start_open = false,
+       bool end_open = false)
+      : nodes_(std::move(nodes)),
+        start_open_(start_open),
+        end_open_(end_open) {}
+
+  const std::vector<NodeRef>& nodes() const { return nodes_; }
+  bool start_open() const { return start_open_; }
+  bool end_open() const { return end_open_; }
+
+  bool empty() const { return nodes_.empty(); }
+  /// Number of edges (length 0 for a single node).
+  size_t Length() const { return nodes_.empty() ? 0 : nodes_.size() - 1; }
+
+  NodeRef front() const { return nodes_.front(); }
+  NodeRef back() const { return nodes_.back(); }
+
+  /// The measurable elements of the path: its edges, the self-edges of all
+  /// internal nodes, and the self-edges of closed endpoints. The storage
+  /// layer maps these to columns (elements absent from the catalog carry no
+  /// measure and are skipped there).
+  std::vector<Edge> Elements() const;
+
+  /// Only the true edges of the path, in order.
+  std::vector<Edge> Edges() const;
+
+  /// Path-join (⋈): concatenates when back() == other.front() and exactly
+  /// one of the two paths is open at that common endpoint (so the shared
+  /// node's measure is counted exactly once). Returns InvalidArgument
+  /// otherwise, e.g. [A,D,E] ⋈ [E,G,I] is rejected since E would repeat.
+  StatusOr<Path> Join(const Path& other) const;
+
+  /// True iff this path's node sequence occurs as a contiguous subsequence
+  /// of `other`'s (openness ignored; used by the candidate-view pruning).
+  bool IsSubpathOf(const Path& other) const;
+
+  /// Notation of Section 3.3, e.g. "[A,D,E)".
+  std::string ToString() const;
+
+  bool operator==(const Path& o) const {
+    return nodes_ == o.nodes_ && start_open_ == o.start_open_ &&
+           end_open_ == o.end_open_;
+  }
+
+ private:
+  std::vector<NodeRef> nodes_;
+  bool start_open_ = false;
+  bool end_open_ = false;
+};
+
+/// \brief Enumerates the composite path [from, to]* in `graph`: every simple
+/// path starting at a node of `from` and ending at a node of `to`.
+///
+/// \param max_paths enumeration cap; Status is OutOfRange when exceeded
+///        (query graphs in the targeted applications are small, but the cap
+///        keeps adversarial inputs from exploding).
+StatusOr<std::vector<Path>> EnumerateCompositePath(
+    const DirectedGraph& graph, const std::vector<NodeRef>& from,
+    const std::vector<NodeRef>& to, size_t max_paths = 100000);
+
+/// \brief The set of maximal paths of a query graph: all paths from
+/// Src(G) to Ter(G). Requires the graph to be a DAG.
+StatusOr<std::vector<Path>> MaximalPaths(const DirectedGraph& graph,
+                                         size_t max_paths = 100000);
+
+}  // namespace colgraph

@@ -1,0 +1,98 @@
+#include "graph/region.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace colgraph {
+
+void RegionCatalog::Define(const std::string& name,
+                           std::vector<NodeRef> nodes) {
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  regions_[name] = std::move(nodes);
+}
+
+StatusOr<std::vector<NodeRef>> RegionCatalog::Lookup(
+    const std::string& name) const {
+  auto it = regions_.find(name);
+  if (it == regions_.end()) {
+    return Status::NotFound("region not defined: " + name);
+  }
+  return it->second;
+}
+
+RegionBoundary ComputeRegionBoundary(const DirectedGraph& network,
+                                     const std::vector<NodeRef>& region) {
+  const std::unordered_set<NodeRef, NodeRefHash> inside(region.begin(),
+                                                        region.end());
+  RegionBoundary boundary;
+  for (const NodeRef& n : region) {
+    if (!network.HasNode(n)) continue;
+    bool external_in = false, external_out = false;
+    for (const NodeRef& m : network.InNeighbors(n)) {
+      if (!inside.count(m)) {
+        external_in = true;
+        break;
+      }
+    }
+    for (const NodeRef& m : network.OutNeighbors(n)) {
+      if (!inside.count(m)) {
+        external_out = true;
+        break;
+      }
+    }
+    // Nodes with no internal connectivity act as both entry and exit.
+    const bool isolated =
+        network.InDegree(n) == 0 && network.OutDegree(n) == 0;
+    if (external_in || isolated) boundary.sources.push_back(n);
+    if (external_out || isolated) boundary.terminals.push_back(n);
+  }
+  return boundary;
+}
+
+StatusOr<std::vector<Path>> PathsViaRegion(
+    const DirectedGraph& network, const std::vector<NodeRef>& sources,
+    const std::vector<NodeRef>& terminals, const std::vector<NodeRef>& region,
+    RegionTraversal mode, size_t max_paths) {
+  COLGRAPH_ASSIGN_OR_RETURN(
+      std::vector<Path> all,
+      EnumerateCompositePath(network, sources, terminals, max_paths));
+  const std::unordered_set<NodeRef, NodeRefHash> inside(region.begin(),
+                                                        region.end());
+  std::vector<Path> result;
+  for (Path& p : all) {
+    size_t touched = 0;
+    std::unordered_set<NodeRef, NodeRefHash> distinct;
+    for (const NodeRef& n : p.nodes()) {
+      if (inside.count(n) && distinct.insert(n).second) ++touched;
+    }
+    const bool keep = mode == RegionTraversal::kAny ? touched >= 1
+                                                    : touched == inside.size();
+    if (keep) result.push_back(std::move(p));
+  }
+  return result;
+}
+
+StatusOr<GraphViewDef> RegionGraphView(const DirectedGraph& network,
+                                       const std::vector<NodeRef>& region,
+                                       const EdgeCatalog& catalog) {
+  const std::unordered_set<NodeRef, NodeRefHash> inside(region.begin(),
+                                                        region.end());
+  std::vector<EdgeId> internal;
+  for (const Edge& e : network.edges()) {
+    if (!inside.count(e.from) || !inside.count(e.to)) continue;
+    const auto id = catalog.Lookup(e);
+    if (id.has_value()) internal.push_back(*id);
+  }
+  for (const NodeRef& n : region) {
+    const auto id = catalog.Lookup(Edge{n, n});
+    if (id.has_value()) internal.push_back(*id);
+  }
+  if (internal.empty()) {
+    return Status::InvalidArgument(
+        "region has no catalog-known internal elements; nothing to index");
+  }
+  return GraphViewDef::Make(std::move(internal));
+}
+
+}  // namespace colgraph

@@ -1,0 +1,74 @@
+// Regions — named groups of nodes treated as one "aggregate node" for
+// analysis (Section 2's region 2; the zoom-in/out operators of the
+// authors' prior work). Regions support:
+//   * boundary extraction (Src/Ter of the region subgraph),
+//   * composite-path expansion: all source→terminal paths of a network
+//     crossing the region (the paper's [Src(Gq),Src(R)) ⋈ [...] ⋈
+//     (Ter(R),Ter(Gq)] expression),
+//   * a region graph view: the single bitmap column indexing the region's
+//     internal edges (the Section 5.1.1 example).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/catalog.h"
+#include "graph/graph.h"
+#include "graph/path.h"
+#include "util/status.h"
+#include "views/view_defs.h"
+
+namespace colgraph {
+
+/// \brief Registry of named node groups.
+class RegionCatalog {
+ public:
+  /// Defines (or redefines) a region.
+  void Define(const std::string& name, std::vector<NodeRef> nodes);
+
+  /// Returns the region's nodes, or NotFound.
+  StatusOr<std::vector<NodeRef>> Lookup(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return regions_.count(name) > 0;
+  }
+  size_t size() const { return regions_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::vector<NodeRef>> regions_;
+};
+
+/// \brief Entry/exit nodes of a region within a network: region nodes with
+/// an in-edge from outside (sources) / an out-edge to outside (terminals).
+/// Isolated region nodes count as both.
+struct RegionBoundary {
+  std::vector<NodeRef> sources;
+  std::vector<NodeRef> terminals;
+};
+RegionBoundary ComputeRegionBoundary(const DirectedGraph& network,
+                                     const std::vector<NodeRef>& region);
+
+enum class RegionTraversal : uint8_t {
+  kAny,  ///< paths touching at least one region node
+  kAll,  ///< paths visiting every region node (the paper's "through all
+         ///< hubs of region 2")
+};
+
+/// \brief All simple paths in `network` from a node of `sources` to a node
+/// of `terminals` that traverse the region per `mode`.
+StatusOr<std::vector<Path>> PathsViaRegion(
+    const DirectedGraph& network, const std::vector<NodeRef>& sources,
+    const std::vector<NodeRef>& terminals, const std::vector<NodeRef>& region,
+    RegionTraversal mode = RegionTraversal::kAny, size_t max_paths = 100000);
+
+/// \brief The region's graph view: the set of catalog-known elements
+/// internal to the region (edges with both endpoints inside, plus region
+/// nodes' own measure columns). Materializing it yields the single bitmap
+/// column of the Section 5.1.1 region-2 example. Fails when the region has
+/// no internal element in the catalog.
+StatusOr<GraphViewDef> RegionGraphView(const DirectedGraph& network,
+                                       const std::vector<NodeRef>& region,
+                                       const EdgeCatalog& catalog);
+
+}  // namespace colgraph

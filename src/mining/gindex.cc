@@ -1,0 +1,87 @@
+#include "mining/gindex.h"
+
+#include <algorithm>
+
+#include "bitmap/bitmap.h"
+
+namespace colgraph {
+
+namespace {
+
+Bitmap ToBitmap(const std::vector<uint32_t>& records, size_t sample_size) {
+  Bitmap b(sample_size);
+  for (uint32_t r : records) b.Set(r);
+  return b;
+}
+
+bool IsSubset(const std::vector<EdgeId>& small,
+              const std::vector<EdgeId>& big) {
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+}  // namespace
+
+std::vector<FrequentFragment> SelectDiscriminativeFragments(
+    const std::vector<FrequentFragment>& frequent, size_t sample_size,
+    const GindexOptions& options) {
+  // Process size-ascending so a fragment's subfragments are decided first.
+  std::vector<const FrequentFragment*> ordered;
+  ordered.reserve(frequent.size());
+  for (const auto& f : frequent) ordered.push_back(&f);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const FrequentFragment* a, const FrequentFragment* b) {
+              if (a->edges.size() != b->edges.size()) {
+                return a->edges.size() < b->edges.size();
+              }
+              // Within a size class prefer higher support: those index the
+              // heavier parts of the workload first under a tight budget.
+              if (a->support != b->support) return a->support > b->support;
+              return a->edges < b->edges;
+            });
+
+  std::vector<FrequentFragment> selected;
+  std::vector<Bitmap> selected_bitmaps;
+  for (const FrequentFragment* fragment : ordered) {
+    if (options.max_fragments != 0 &&
+        selected.size() >= options.max_fragments) {
+      break;
+    }
+    if (fragment->edges.size() == 1) {
+      // Size-1 fragments are discriminative by definition (they are the
+      // atomic bitmap columns the framework already keeps).
+      selected.push_back(*fragment);
+      selected_bitmaps.push_back(
+          ToBitmap(fragment->supporting_records, sample_size));
+      continue;
+    }
+    // Candidate set using only the already-selected subfragments: the
+    // intersection of their supporting-record sets.
+    Bitmap candidates(sample_size);
+    candidates.Fill();
+    bool any_subfragment = false;
+    for (size_t i = 0; i < selected.size(); ++i) {
+      if (selected[i].edges.size() >= fragment->edges.size()) continue;
+      if (IsSubset(selected[i].edges, fragment->edges)) {
+        candidates.And(selected_bitmaps[i]);
+        any_subfragment = true;
+      }
+    }
+    if (!any_subfragment) {
+      // No indexed subfragment: the fragment is trivially informative.
+      selected.push_back(*fragment);
+      selected_bitmaps.push_back(
+          ToBitmap(fragment->supporting_records, sample_size));
+      continue;
+    }
+    const double upper = static_cast<double>(candidates.Count());
+    const double own = static_cast<double>(fragment->support);
+    if (own > 0 && upper / own >= options.gamma) {
+      selected.push_back(*fragment);
+      selected_bitmaps.push_back(
+          ToBitmap(fragment->supporting_records, sample_size));
+    }
+  }
+  return selected;
+}
+
+}  // namespace colgraph

@@ -1,0 +1,35 @@
+// gIndex-style discriminative fragment selection (Yan, Yu & Han,
+// SIGMOD'04): from the frequent fragments mined by gSpan, keep a fragment
+// only when it prunes substantially more than the fragments it contains —
+// i.e. when |candidates(selected subfragments)| / |candidates(fragment)|
+// >= gamma. Selected fragments become extra bitmap columns in the master
+// relation (Section 6.3), acting purely as indexes for record matching.
+#pragma once
+
+#include <vector>
+
+#include "mining/gspan.h"
+
+namespace colgraph {
+
+struct GindexOptions {
+  /// Discriminative ratio threshold (gIndex's gamma; paper default 2.0):
+  /// fragment f is selected iff |∩ D(selected subfragments)| >= gamma *
+  /// |D(f)|, i.e. it shrinks the candidate set by at least gamma.
+  double gamma = 2.0;
+  /// Maximum number of fragments to select (the "space budget" axis of
+  /// Figures 10-11). 0 means unlimited.
+  size_t max_fragments = 0;
+};
+
+/// \brief Selects discriminative fragments, size-ascending (size-1
+/// fragments are always discriminative, as in gIndex).
+///
+/// \param frequent fragments from MineFrequentSubgraphs, with their
+///        supporting-record lists over the mining sample
+/// \param sample_size number of records in the mining sample
+std::vector<FrequentFragment> SelectDiscriminativeFragments(
+    const std::vector<FrequentFragment>& frequent, size_t sample_size,
+    const GindexOptions& options = {});
+
+}  // namespace colgraph

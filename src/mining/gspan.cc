@@ -1,0 +1,135 @@
+#include "mining/gspan.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace colgraph {
+
+namespace {
+
+// Per-record edge-id sets (sorted) and a node -> incident-edge adjacency of
+// the union graph, used to propose connected extensions.
+struct MiningIndex {
+  std::vector<std::vector<EdgeId>> transactions;  // sorted edge ids
+  std::unordered_map<EdgeId, std::vector<uint32_t>> postings;  // edge -> recs
+  // Union-graph adjacency: node -> incident edge ids (both directions).
+  std::unordered_map<NodeRef, std::vector<EdgeId>, NodeRefHash> incident;
+  std::unordered_map<EdgeId, Edge> id_to_edge;
+};
+
+MiningIndex BuildIndex(const std::vector<std::vector<Edge>>& records,
+                       const EdgeCatalog& catalog) {
+  MiningIndex index;
+  index.transactions.resize(records.size());
+  for (uint32_t r = 0; r < records.size(); ++r) {
+    for (const Edge& e : records[r]) {
+      const auto id = catalog.Lookup(e);
+      if (!id.has_value()) continue;
+      index.transactions[r].push_back(*id);
+      if (!index.id_to_edge.count(*id)) {
+        index.id_to_edge[*id] = e;
+        if (!e.IsNode()) {
+          index.incident[e.from].push_back(*id);
+          index.incident[e.to].push_back(*id);
+        }
+      }
+    }
+    auto& t = index.transactions[r];
+    std::sort(t.begin(), t.end());
+    t.erase(std::unique(t.begin(), t.end()), t.end());
+    for (EdgeId id : t) index.postings[id].push_back(r);
+  }
+  return index;
+}
+
+bool TransactionContains(const std::vector<EdgeId>& transaction, EdgeId id) {
+  return std::binary_search(transaction.begin(), transaction.end(), id);
+}
+
+}  // namespace
+
+StatusOr<std::vector<FrequentFragment>> MineFrequentSubgraphs(
+    const std::vector<std::vector<Edge>>& records, const EdgeCatalog& catalog,
+    const GspanOptions& options) {
+  const MiningIndex index = BuildIndex(records, catalog);
+
+  std::vector<FrequentFragment> result;
+  std::set<std::vector<EdgeId>> seen;
+  std::deque<FrequentFragment> queue;
+
+  // Level 1: frequent single edges.
+  for (const auto& [id, postings] : index.postings) {
+    if (postings.size() < options.min_support) continue;
+    FrequentFragment frag;
+    frag.edges = {id};
+    frag.support = postings.size();
+    frag.supporting_records = postings;
+    seen.insert(frag.edges);
+    result.push_back(frag);
+    queue.push_back(std::move(frag));
+  }
+
+  // Pattern growth: extend each frequent fragment by one edge adjacent to
+  // any of its nodes, recounting support only within the projected
+  // (supporting) record list.
+  while (!queue.empty()) {
+    const FrequentFragment fragment = std::move(queue.front());
+    queue.pop_front();
+    if (fragment.edges.size() >= options.max_fragment_edges) continue;
+
+    // Candidate extensions: edges incident to the fragment's nodes.
+    std::set<EdgeId> extensions;
+    for (EdgeId id : fragment.edges) {
+      const Edge& e = index.id_to_edge.at(id);
+      for (const NodeRef& endpoint : {e.from, e.to}) {
+        auto it = index.incident.find(endpoint);
+        if (it == index.incident.end()) continue;
+        for (EdgeId ext : it->second) extensions.insert(ext);
+      }
+    }
+    for (EdgeId ext : extensions) {
+      if (std::binary_search(fragment.edges.begin(), fragment.edges.end(),
+                             ext)) {
+        continue;
+      }
+      std::vector<EdgeId> grown = fragment.edges;
+      grown.insert(std::upper_bound(grown.begin(), grown.end(), ext), ext);
+      if (seen.count(grown)) continue;
+      // Projected support: supporting records of the parent that also
+      // contain the extension edge.
+      std::vector<uint32_t> support;
+      for (uint32_t r : fragment.supporting_records) {
+        if (TransactionContains(index.transactions[r], ext)) {
+          support.push_back(r);
+        }
+      }
+      if (support.size() < options.min_support) continue;
+      seen.insert(grown);
+      FrequentFragment child;
+      child.edges = std::move(grown);
+      child.support = support.size();
+      child.supporting_records = std::move(support);
+      result.push_back(child);
+      if (result.size() > options.max_fragments) {
+        return Status::OutOfRange(
+            "gSpan exceeded max_fragments; raise min_support or lower "
+            "max_fragment_edges");
+      }
+      queue.push_back(std::move(child));
+    }
+  }
+
+  std::sort(result.begin(), result.end(),
+            [](const FrequentFragment& a, const FrequentFragment& b) {
+              return a.edges.size() != b.edges.size()
+                         ? a.edges.size() < b.edges.size()
+                         : a.edges < b.edges;
+            });
+  return result;
+}
+
+}  // namespace colgraph

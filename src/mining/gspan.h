@@ -1,0 +1,45 @@
+// Frequent connected-subgraph mining in the spirit of gSpan (Yan & Han,
+// ICDM'02), specialized to the paper's setting: because nodes are *named
+// entities* shared across records, there is no isomorphism search — a
+// fragment is canonically identified by its sorted edge-id set, and
+// pattern growth extends a fragment by one adjacent edge at a time with
+// projected support lists (the role DFS codes and rightmost extension play
+// in general gSpan). Used to feed gIndex fragment selection (Section 6.3,
+// Figures 10-11).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/catalog.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace colgraph {
+
+/// \brief A mined fragment: a connected set of edges with its support.
+struct FrequentFragment {
+  std::vector<EdgeId> edges;  ///< sorted
+  size_t support = 0;         ///< number of records containing the fragment
+  /// Ids of the supporting records within the mined sample (ascending).
+  std::vector<uint32_t> supporting_records;
+};
+
+struct GspanOptions {
+  /// Minimum support (absolute record count).
+  size_t min_support = 2;
+  /// Maximum fragment size in edges (gIndex's maxL).
+  size_t max_fragment_edges = 4;
+  /// Hard cap on emitted fragments.
+  size_t max_fragments = 200000;
+};
+
+/// \brief Mines all frequent connected fragments of the record sample.
+///
+/// \param records  each record as its edge list (structural edges only)
+/// \param catalog  the shared naming scheme mapping edges to ids
+StatusOr<std::vector<FrequentFragment>> MineFrequentSubgraphs(
+    const std::vector<std::vector<Edge>>& records, const EdgeCatalog& catalog,
+    const GspanOptions& options = {});
+
+}  // namespace colgraph

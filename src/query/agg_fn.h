@@ -1,0 +1,121 @@
+// Aggregate functions for path aggregation (Section 3.4). SUM/COUNT/MIN/MAX
+// are distributive: the aggregate of a path equals the combination of the
+// aggregates of its segments, which is exactly what lets aggregate graph
+// views (Section 5.1.2) substitute a precomputed segment value for the
+// segment's individual measures. AVG is algebraic: it is answered from the
+// distributive pair (SUM, COUNT).
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+namespace colgraph {
+
+enum class AggFn : uint8_t {
+  kSum = 0,
+  kCount,
+  kMin,
+  kMax,
+  kAvg,  ///< algebraic; materialized as SUM and COUNT sub-aggregates
+};
+
+inline const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum:
+      return "SUM";
+    case AggFn::kCount:
+      return "COUNT";
+    case AggFn::kMin:
+      return "MIN";
+    case AggFn::kMax:
+      return "MAX";
+    case AggFn::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+/// \brief Running accumulator for a distributive function.
+///
+/// Identity-initialised; Add() folds one measure, Merge() folds a segment
+/// aggregate (the view fast path). For kAvg use two accumulators (kSum and
+/// kCount) and divide at the end.
+class AggAccumulator {
+ public:
+  explicit AggAccumulator(AggFn fn) : fn_(fn) { Reset(); }
+
+  void Reset() {
+    count_ = 0;
+    switch (fn_) {
+      case AggFn::kSum:
+      case AggFn::kCount:
+      case AggFn::kAvg:
+        value_ = 0.0;
+        break;
+      case AggFn::kMin:
+        value_ = std::numeric_limits<double>::infinity();
+        break;
+      case AggFn::kMax:
+        value_ = -std::numeric_limits<double>::infinity();
+        break;
+    }
+  }
+
+  /// Folds one raw measure.
+  void Add(double measure) {
+    ++count_;
+    switch (fn_) {
+      case AggFn::kSum:
+      case AggFn::kAvg:
+        value_ += measure;
+        break;
+      case AggFn::kCount:
+        value_ += 1.0;
+        break;
+      case AggFn::kMin:
+        value_ = std::min(value_, measure);
+        break;
+      case AggFn::kMax:
+        value_ = std::max(value_, measure);
+        break;
+    }
+  }
+
+  /// Folds a precomputed segment aggregate covering `elements` measures.
+  void Merge(double segment_value, size_t elements) {
+    count_ += elements;
+    switch (fn_) {
+      case AggFn::kSum:
+      case AggFn::kCount:
+        value_ += segment_value;
+        break;
+      case AggFn::kAvg:
+        value_ += segment_value;  // segment stores the SUM sub-aggregate
+        break;
+      case AggFn::kMin:
+        value_ = std::min(value_, segment_value);
+        break;
+      case AggFn::kMax:
+        value_ = std::max(value_, segment_value);
+        break;
+    }
+  }
+
+  /// Final result; AVG divides the summed sub-aggregate by the count.
+  double Result() const {
+    if (fn_ == AggFn::kAvg) {
+      return count_ == 0 ? 0.0 : value_ / static_cast<double>(count_);
+    }
+    return value_;
+  }
+
+  size_t count() const { return count_; }
+
+ private:
+  AggFn fn_;
+  double value_ = 0.0;
+  size_t count_ = 0;
+};
+
+}  // namespace colgraph

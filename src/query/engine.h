@@ -1,0 +1,123 @@
+// Query evaluation over the master relation (Sections 4.2, 5.3): graph
+// queries reduce to bitmap conjunctions plus measure fetches; path
+// aggregation folds an aggregate function along each maximal path of the
+// query, reusing materialized aggregate views where possible.
+#pragma once
+
+#include <vector>
+
+#include "bitmap/bitmap.h"
+#include "columnstore/master_relation.h"
+#include "graph/catalog.h"
+#include "graph/graph.h"
+#include "graph/path.h"
+#include "query/agg_fn.h"
+#include "query/rewriter.h"
+#include "util/status.h"
+#include "views/view_defs.h"
+
+namespace colgraph {
+
+/// \brief Column-major result of a measure fetch: `columns[i][r]` is the
+/// measure of `edges[i]` for the r-th matching record (NaN when NULL).
+struct MeasureTable {
+  std::vector<RecordId> records;
+  std::vector<EdgeId> edges;
+  std::vector<std::vector<double>> columns;
+
+  size_t num_rows() const { return records.size(); }
+  size_t num_values() const { return num_rows() * columns.size(); }
+};
+
+/// \brief Result of a path-aggregation query F_Gq: one aggregate per
+/// (maximal path, matching record) pair; `values[p][r]` aligns with
+/// `paths[p]` and `records[r]`.
+struct PathAggResult {
+  std::vector<Path> paths;
+  std::vector<RecordId> records;
+  std::vector<std::vector<double>> values;
+};
+
+struct QueryOptions {
+  /// Rewrite queries against materialized views (Section 5.3). When false
+  /// the evaluation is oblivious to views: one bitmap per query edge, one
+  /// measure column per element — the paper's baseline plan.
+  bool use_views = true;
+  /// AND the most selective bitmaps first (cardinalities are free from the
+  /// sealed columns), maximizing early short-circuit on empty results.
+  bool order_by_selectivity = true;
+};
+
+/// \brief Evaluator bound to one relation + catalogs.
+///
+/// Thread-compatible: concurrent const use is safe except for the shared
+/// FetchStats counters in MasterRelation.
+class QueryEngine {
+ public:
+  QueryEngine(const MasterRelation* relation, const EdgeCatalog* catalog,
+              const ViewCatalog* views)
+      : relation_(relation), catalog_(catalog), views_(views) {}
+
+  /// Resolves the query's structural elements to edge-column ids.
+  ///
+  /// A structural *edge* absent from the catalog makes the query
+  /// unsatisfiable (no record ever contained it) — flagged via `satisfiable`.
+  /// An isolated *node* without a measure column is unconstrained and
+  /// skipped (its column was dropped from the schema, Section 4.1).
+  struct ResolvedQuery {
+    std::vector<EdgeId> ids;
+    bool satisfiable = true;
+  };
+  ResolvedQuery Resolve(const GraphQuery& query) const;
+
+  /// Records containing the query subgraph (bitmap over record ids).
+  Bitmap Match(const GraphQuery& query, const QueryOptions& options = {}) const;
+
+  /// Match via an explicit element-id set.
+  Bitmap MatchIds(const std::vector<EdgeId>& ids, const QueryOptions& options,
+                  bool consider_agg_bitmaps) const;
+
+  // Logical combinators over answer sets (Section 3.2):
+  // [Gq1 AND Gq2] = intersection, [Gq1 OR Gq2] = union,
+  // [Gq1 AND NOT Gq2] = difference.
+  static Bitmap AndSets(const Bitmap& a, const Bitmap& b);
+  static Bitmap OrSets(const Bitmap& a, const Bitmap& b);
+  static Bitmap AndNotSets(const Bitmap& a, const Bitmap& b);
+
+  /// Fetches the measures of `edges` for every record in `matches`,
+  /// honoring vertical partitioning: when the columns span p partitions,
+  /// the per-partition column groups are assembled separately and
+  /// merge-joined on recid (p-1 joins), reproducing the Figure 5 effect.
+  MeasureTable FetchMeasures(const Bitmap& matches,
+                             const std::vector<EdgeId>& edges) const;
+
+  /// Full graph query: match then fetch all of the query's measures.
+  StatusOr<MeasureTable> RunGraphQuery(const GraphQuery& query,
+                                       const QueryOptions& options = {}) const;
+
+  /// Path-aggregation query F_Gq (Section 3.4). The query graph must be a
+  /// DAG (flatten cyclic queries first).
+  StatusOr<PathAggResult> RunAggregateQuery(
+      const GraphQuery& query, AggFn fn,
+      const QueryOptions& options = {}) const;
+
+  /// Aggregates F along one explicit path, honoring open ends
+  /// (Section 3.3): e.g. (D,E,G) folds the edges and E's own measure but
+  /// excludes the endpoint measures of D and G. Matches are the records
+  /// containing every element of the path.
+  StatusOr<PathAggResult> AggregateAlongPath(
+      const Path& path, AggFn fn, const QueryOptions& options = {}) const;
+
+  const MasterRelation& relation() const { return *relation_; }
+
+ private:
+  const Bitmap& FetchSource(const BitmapSource& source) const;
+  /// Set-bit count of a plan source, without counting as a fetch.
+  size_t SourceCardinality(const BitmapSource& source) const;
+
+  const MasterRelation* relation_;
+  const EdgeCatalog* catalog_;
+  const ViewCatalog* views_;  // may be null (no views materialized)
+};
+
+}  // namespace colgraph

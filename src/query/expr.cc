@@ -1,0 +1,37 @@
+#include "query/expr.h"
+
+namespace colgraph {
+
+Bitmap QueryExpr::Evaluate(const QueryEngine& engine,
+                           const QueryOptions& options) const {
+  switch (op_) {
+    case Op::kLeaf:
+      return engine.Match(query_, options);
+    case Op::kAnd: {
+      // Evaluate the left side first; an empty set short-circuits.
+      Bitmap lhs = lhs_->Evaluate(engine, options);
+      if (lhs.None()) return lhs;
+      lhs.And(rhs_->Evaluate(engine, options));
+      return lhs;
+    }
+    case Op::kOr: {
+      Bitmap lhs = lhs_->Evaluate(engine, options);
+      lhs.Or(rhs_->Evaluate(engine, options));
+      return lhs;
+    }
+    case Op::kAndNot: {
+      Bitmap lhs = lhs_->Evaluate(engine, options);
+      if (lhs.None()) return lhs;
+      lhs.AndNot(rhs_->Evaluate(engine, options));
+      return lhs;
+    }
+  }
+  return Bitmap();
+}
+
+size_t QueryExpr::NumLeaves() const {
+  if (op_ == Op::kLeaf) return 1;
+  return lhs_->NumLeaves() + rhs_->NumLeaves();
+}
+
+}  // namespace colgraph

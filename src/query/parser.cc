@@ -1,0 +1,242 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <vector>
+
+namespace colgraph {
+
+namespace {
+
+struct Token {
+  enum class Kind : uint8_t {
+    kNumber,   // integer, value in `number`, primes in `primes`
+    kKeyword,  // AND OR NOT SUM MIN MAX AVG COUNT
+    kLBracket,
+    kRBracket,
+    kLParen,
+    kRParen,
+    kComma,
+    kPlus,
+    kEnd,
+  };
+  Kind kind = Kind::kEnd;
+  uint64_t number = 0;
+  uint32_t primes = 0;
+  std::string keyword;
+  size_t position = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { Advance(); }
+
+  const Token& current() const { return current_; }
+
+  Status Advance() {
+    while (pos_ < text_.size() && std::isspace(text_[pos_])) ++pos_;
+    current_ = Token{};
+    current_.position = pos_;
+    if (pos_ >= text_.size()) {
+      current_.kind = Token::Kind::kEnd;
+      return Status::OK();
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '[':
+        current_.kind = Token::Kind::kLBracket;
+        ++pos_;
+        return Status::OK();
+      case ']':
+        current_.kind = Token::Kind::kRBracket;
+        ++pos_;
+        return Status::OK();
+      case '(':
+        current_.kind = Token::Kind::kLParen;
+        ++pos_;
+        return Status::OK();
+      case ')':
+        current_.kind = Token::Kind::kRParen;
+        ++pos_;
+        return Status::OK();
+      case ',':
+        current_.kind = Token::Kind::kComma;
+        ++pos_;
+        return Status::OK();
+      case '+':
+        current_.kind = Token::Kind::kPlus;
+        ++pos_;
+        return Status::OK();
+      default:
+        break;
+    }
+    if (std::isdigit(c)) {
+      current_.kind = Token::Kind::kNumber;
+      uint64_t value = 0;
+      while (pos_ < text_.size() && std::isdigit(text_[pos_])) {
+        value = value * 10 + static_cast<uint64_t>(text_[pos_] - '0');
+        ++pos_;
+      }
+      current_.number = value;
+      while (pos_ < text_.size() && text_[pos_] == '\'') {
+        ++current_.primes;
+        ++pos_;
+      }
+      return Status::OK();
+    }
+    if (std::isalpha(c)) {
+      current_.kind = Token::Kind::kKeyword;
+      while (pos_ < text_.size() && std::isalpha(text_[pos_])) {
+        current_.keyword += static_cast<char>(std::toupper(text_[pos_]));
+        ++pos_;
+      }
+      return Status::OK();
+    }
+    return Error("unexpected character '" + std::string(1, c) + "'");
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " at position " +
+                                   std::to_string(current_.position));
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+  Token current_;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lexer_(text) {}
+
+  StatusOr<ParsedQuery> Parse() {
+    ParsedQuery result;
+    const Token& t = lexer_.current();
+    if (t.kind == Token::Kind::kKeyword) {
+      AggFn fn;
+      if (t.keyword == "SUM") {
+        fn = AggFn::kSum;
+      } else if (t.keyword == "MIN") {
+        fn = AggFn::kMin;
+      } else if (t.keyword == "MAX") {
+        fn = AggFn::kMax;
+      } else if (t.keyword == "AVG") {
+        fn = AggFn::kAvg;
+      } else if (t.keyword == "COUNT") {
+        fn = AggFn::kCount;
+      } else {
+        return lexer_.Error("unknown keyword '" + t.keyword + "'");
+      }
+      COLGRAPH_RETURN_NOT_OK(lexer_.Advance());
+      COLGRAPH_ASSIGN_OR_RETURN(GraphQuery graph, ParseGraph());
+      COLGRAPH_RETURN_NOT_OK(ExpectEnd());
+      result.kind = ParsedQuery::Kind::kAggregate;
+      result.query = std::move(graph);
+      result.fn = fn;
+      return result;
+    }
+    COLGRAPH_ASSIGN_OR_RETURN(std::shared_ptr<QueryExpr> expr, ParseExpr());
+    COLGRAPH_RETURN_NOT_OK(ExpectEnd());
+    result.kind = ParsedQuery::Kind::kMatch;
+    result.expr = std::move(expr);
+    return result;
+  }
+
+ private:
+  Status ExpectEnd() {
+    if (lexer_.current().kind != Token::Kind::kEnd) {
+      return lexer_.Error("trailing input after query");
+    }
+    return Status::OK();
+  }
+
+  StatusOr<std::shared_ptr<QueryExpr>> ParseExpr() {
+    COLGRAPH_ASSIGN_OR_RETURN(std::shared_ptr<QueryExpr> lhs, ParseTerm());
+    while (lexer_.current().kind == Token::Kind::kKeyword) {
+      const std::string op = lexer_.current().keyword;
+      if (op != "AND" && op != "OR") break;
+      COLGRAPH_RETURN_NOT_OK(lexer_.Advance());
+      bool negate = false;
+      if (op == "AND" && lexer_.current().kind == Token::Kind::kKeyword &&
+          lexer_.current().keyword == "NOT") {
+        negate = true;
+        COLGRAPH_RETURN_NOT_OK(lexer_.Advance());
+      }
+      COLGRAPH_ASSIGN_OR_RETURN(std::shared_ptr<QueryExpr> rhs, ParseTerm());
+      if (op == "OR") {
+        lhs = QueryExpr::Or(std::move(lhs), std::move(rhs));
+      } else if (negate) {
+        lhs = QueryExpr::AndNot(std::move(lhs), std::move(rhs));
+      } else {
+        lhs = QueryExpr::And(std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  StatusOr<std::shared_ptr<QueryExpr>> ParseTerm() {
+    if (lexer_.current().kind == Token::Kind::kLParen) {
+      COLGRAPH_RETURN_NOT_OK(lexer_.Advance());
+      COLGRAPH_ASSIGN_OR_RETURN(std::shared_ptr<QueryExpr> inner, ParseExpr());
+      if (lexer_.current().kind != Token::Kind::kRParen) {
+        return lexer_.Error("expected ')'");
+      }
+      COLGRAPH_RETURN_NOT_OK(lexer_.Advance());
+      return inner;
+    }
+    COLGRAPH_ASSIGN_OR_RETURN(GraphQuery graph, ParseGraph());
+    return QueryExpr::Leaf(std::move(graph));
+  }
+
+  StatusOr<GraphQuery> ParseGraph() {
+    DirectedGraph g;
+    while (true) {
+      COLGRAPH_ASSIGN_OR_RETURN(std::vector<NodeRef> nodes, ParsePath());
+      if (nodes.size() == 1) g.AddNode(nodes[0]);
+      for (size_t i = 0; i + 1 < nodes.size(); ++i) {
+        g.AddEdge(nodes[i], nodes[i + 1]);
+      }
+      if (lexer_.current().kind != Token::Kind::kPlus) break;
+      COLGRAPH_RETURN_NOT_OK(lexer_.Advance());
+    }
+    return GraphQuery(std::move(g));
+  }
+
+  StatusOr<std::vector<NodeRef>> ParsePath() {
+    if (lexer_.current().kind != Token::Kind::kLBracket) {
+      return lexer_.Error("expected '[' to start a path");
+    }
+    COLGRAPH_RETURN_NOT_OK(lexer_.Advance());
+    std::vector<NodeRef> nodes;
+    while (true) {
+      if (lexer_.current().kind != Token::Kind::kNumber) {
+        return lexer_.Error("expected a node id");
+      }
+      nodes.push_back(NodeRef{static_cast<NodeId>(lexer_.current().number),
+                              lexer_.current().primes});
+      COLGRAPH_RETURN_NOT_OK(lexer_.Advance());
+      if (lexer_.current().kind == Token::Kind::kComma) {
+        COLGRAPH_RETURN_NOT_OK(lexer_.Advance());
+        continue;
+      }
+      break;
+    }
+    if (lexer_.current().kind != Token::Kind::kRBracket) {
+      return lexer_.Error("expected ']' to close the path");
+    }
+    COLGRAPH_RETURN_NOT_OK(lexer_.Advance());
+    if (nodes.empty()) return lexer_.Error("empty path");
+    return nodes;
+  }
+
+  Lexer lexer_;
+};
+
+}  // namespace
+
+StatusOr<ParsedQuery> ParseQuery(const std::string& text) {
+  Parser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace colgraph

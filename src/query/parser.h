@@ -1,0 +1,43 @@
+// A small text query language for graph queries, used by the CLI shell
+// and handy in tests. Grammar (paths use the paper's bracket notation):
+//
+//   query     := agg_query | match_expr
+//   agg_query := ('SUM'|'MIN'|'MAX'|'AVG'|'COUNT') graph
+//   match_expr:= term (('AND' 'NOT'? | 'OR') term)*      (left-assoc)
+//   term      := graph | '(' match_expr ')'
+//   graph     := path ('+' path)*        -- '+' unions paths into one
+//                                           query graph (shared match)
+//   path      := '[' node (',' node)+ ']'
+//   node      := integer primes*         -- primes select the occurrence
+//                                           after cycle flattening: 4''
+//
+// Examples:
+//   [1,2,3] AND NOT [3,4]          records with path 1->2->3 avoiding 3->4
+//   SUM [1,2,3,4]                  path aggregation along 1->2->3->4
+//   [1,2]+[5,6]                    records containing both edges
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "query/agg_fn.h"
+#include "query/expr.h"
+#include "util/status.h"
+
+namespace colgraph {
+
+struct ParsedQuery {
+  enum class Kind : uint8_t { kMatch, kAggregate };
+  Kind kind = Kind::kMatch;
+  /// Set for kMatch: the boolean expression to evaluate.
+  std::shared_ptr<QueryExpr> expr;
+  /// Set for kAggregate: the query graph and function.
+  GraphQuery query;
+  AggFn fn = AggFn::kSum;
+};
+
+/// Parses one query; returns InvalidArgument with a position-annotated
+/// message on syntax errors.
+StatusOr<ParsedQuery> ParseQuery(const std::string& text);
+
+}  // namespace colgraph

@@ -1,0 +1,88 @@
+// Post-aggregation statistics: the paper's analytical queries "further
+// consolidate the computed aggregates in order to compute higher level
+// statistics, such as the average delivery time and the standard
+// deviation" (Section 3.4). These helpers fold the flat per-record values
+// a path aggregation returns into such summaries.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace colgraph {
+
+/// \brief Summary statistics of one value series.
+struct Summary {
+  size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;  ///< population standard deviation
+  double sum = 0;
+};
+
+/// Computes the summary in a single pass (Welford's method for variance).
+inline Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  double m2 = 0;
+  for (double v : values) {
+    ++s.count;
+    s.sum += v;
+    if (s.count == 1) {
+      s.min = s.max = v;
+    } else {
+      s.min = std::min(s.min, v);
+      s.max = std::max(s.max, v);
+    }
+    const double delta = v - s.mean;
+    s.mean += delta / static_cast<double>(s.count);
+    m2 += delta * (v - s.mean);
+  }
+  if (s.count > 0) s.stddev = std::sqrt(m2 / static_cast<double>(s.count));
+  return s;
+}
+
+/// Groups per-record aggregates by a record attribute and summarizes each
+/// group — the paper's "average delivery time and standard deviation ...
+/// based on the order type" consolidation (Section 3.4). `key_of` maps a
+/// record id to its group key (e.g. a RecordLinkIndex metadata lookup);
+/// records without a key land under "" unless `skip_missing` is set.
+template <typename KeyFn>
+std::map<std::string, Summary> GroupBySummaries(
+    const std::vector<RecordId>& records, const std::vector<double>& values,
+    KeyFn&& key_of, bool skip_missing = false) {
+  std::map<std::string, std::vector<double>> groups;
+  const size_t n = std::min(records.size(), values.size());
+  for (size_t i = 0; i < n; ++i) {
+    const std::optional<std::string> key = key_of(records[i]);
+    if (!key.has_value() && skip_missing) continue;
+    groups[key.value_or("")].push_back(values[i]);
+  }
+  std::map<std::string, Summary> result;
+  for (const auto& [key, series] : groups) result[key] = Summarize(series);
+  return result;
+}
+
+/// Fixed-width histogram over [lo, hi]; values outside clamp to the edge
+/// buckets. Useful for delay/size distributions in monitoring dashboards.
+inline std::vector<size_t> Histogram(const std::vector<double>& values,
+                                     double lo, double hi, size_t buckets) {
+  std::vector<size_t> counts(buckets, 0);
+  if (buckets == 0 || hi <= lo) return counts;
+  const double width = (hi - lo) / static_cast<double>(buckets);
+  for (double v : values) {
+    double offset = (v - lo) / width;
+    const size_t bucket = static_cast<size_t>(
+        std::clamp(offset, 0.0, static_cast<double>(buckets - 1)));
+    ++counts[bucket];
+  }
+  return counts;
+}
+
+}  // namespace colgraph

@@ -1,0 +1,29 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace colgraph {
+
+ZipfSampler::ZipfSampler(size_t n, double theta, uint64_t seed)
+    : engine_(seed) {
+  assert(n >= 1);
+  cdf_.resize(n);
+  double norm = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    norm += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = norm;
+  }
+  for (size_t i = 0; i < n; ++i) cdf_[i] /= norm;
+}
+
+size_t ZipfSampler::Sample() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  double u = dist(engine_);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace colgraph

@@ -1,0 +1,69 @@
+// Deterministic pseudo-random utilities used by workload generators and
+// tests. All generators are seeded explicitly so every experiment is
+// reproducible run-to-run.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace colgraph {
+
+/// \brief Seedable RNG wrapper with the sampling helpers the workload
+/// generators need (uniform ints/reals, Bernoulli, shuffles).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  uint64_t Uniform(uint64_t lo, uint64_t hi) {
+    std::uniform_int_distribution<uint64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// \brief Zipf(s, n) sampler over {0, ..., n-1} (rank 0 is the most
+/// frequent). Uses an inverse-CDF table; construction is O(n), sampling is
+/// O(log n). Used to generate skewed query workloads (Figure 8).
+class ZipfSampler {
+ public:
+  /// \param n      domain size (must be >= 1)
+  /// \param theta  skew parameter; 0 degenerates to uniform
+  /// \param seed   RNG seed
+  ZipfSampler(size_t n, double theta, uint64_t seed);
+
+  /// Draw one sample in [0, n).
+  size_t Sample();
+
+  size_t domain_size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+  std::mt19937_64 engine_;
+};
+
+}  // namespace colgraph

@@ -1,0 +1,41 @@
+#include "util/status.h"
+
+namespace colgraph {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kNotSupported:
+      return "Not supported";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = CodeName(state_->code);
+  if (!state_->message.empty()) {
+    result += ": ";
+    result += state_->message;
+  }
+  return result;
+}
+
+}  // namespace colgraph

@@ -1,0 +1,5 @@
+#include "util/stopwatch.h"
+
+// Header-only for now; this TU anchors the target in the build so the
+// module shows up in compile_commands.json and keeps a home for future
+// non-inline helpers.

@@ -1,0 +1,63 @@
+// Wall-clock timing helpers used by the benchmark harnesses to report the
+// per-phase breakdowns the paper's figures show (e.g. "fetch measures" vs
+// "rest of query" in Figures 6 and 7).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace colgraph {
+
+/// \brief Simple wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Accumulates time across multiple timed sections, one per phase
+/// label; used to produce the stacked-bar breakdowns of Figures 6-7.
+class PhaseTimer {
+ public:
+  void Add(double seconds) { total_seconds_ += seconds; }
+  double total_seconds() const { return total_seconds_; }
+  void Reset() { total_seconds_ = 0.0; }
+
+ private:
+  double total_seconds_ = 0.0;
+};
+
+/// RAII guard that adds the scope's duration to a PhaseTimer.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(PhaseTimer* timer) : timer_(timer) {}
+  ~ScopedPhase() { timer_->Add(watch_.ElapsedSeconds()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer* timer_;
+  Stopwatch watch_;
+};
+
+}  // namespace colgraph

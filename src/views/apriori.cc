@@ -1,0 +1,151 @@
+#include "views/apriori.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace colgraph {
+
+namespace {
+
+using Itemset = std::vector<EdgeId>;  // sorted
+
+bool Contains(const Itemset& transaction, const Itemset& itemset) {
+  return std::includes(transaction.begin(), transaction.end(),
+                       itemset.begin(), itemset.end());
+}
+
+size_t CountSupport(const std::vector<Itemset>& transactions,
+                    const Itemset& itemset) {
+  size_t support = 0;
+  for (const auto& t : transactions) support += Contains(t, itemset);
+  return support;
+}
+
+// Candidate generation: joins L_{k-1} itemsets sharing their first k-2
+// items, then prunes candidates with an infrequent (k-1)-subset.
+std::vector<Itemset> GenerateCandidates(const std::vector<Itemset>& level,
+                                        const std::set<Itemset>& frequent) {
+  std::vector<Itemset> candidates;
+  for (size_t i = 0; i < level.size(); ++i) {
+    for (size_t j = i + 1; j < level.size(); ++j) {
+      const Itemset& a = level[i];
+      const Itemset& b = level[j];
+      if (!std::equal(a.begin(), a.end() - 1, b.begin(), b.end() - 1)) {
+        continue;
+      }
+      Itemset joined = a;
+      joined.push_back(b.back());
+      if (joined[joined.size() - 2] > joined.back()) {
+        std::swap(joined[joined.size() - 2], joined.back());
+      }
+      // Apriori pruning: all (k-1)-subsets must be frequent.
+      bool all_frequent = true;
+      for (size_t drop = 0; drop < joined.size() && all_frequent; ++drop) {
+        Itemset subset;
+        subset.reserve(joined.size() - 1);
+        for (size_t p = 0; p < joined.size(); ++p) {
+          if (p != drop) subset.push_back(joined[p]);
+        }
+        all_frequent = frequent.count(subset) > 0;
+      }
+      if (all_frequent) candidates.push_back(std::move(joined));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return candidates;
+}
+
+}  // namespace
+
+StatusOr<AprioriResult> MineFrequentItemsets(
+    const std::vector<std::vector<EdgeId>>& raw_transactions,
+    const AprioriOptions& options) {
+  std::vector<Itemset> transactions;
+  transactions.reserve(raw_transactions.size());
+  for (const auto& t : raw_transactions) {
+    Itemset s = t;
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    transactions.push_back(std::move(s));
+  }
+
+  AprioriResult result;
+  // L1: frequent single items.
+  std::map<EdgeId, size_t> item_counts;
+  for (const auto& t : transactions) {
+    for (EdgeId e : t) ++item_counts[e];
+  }
+  std::vector<Itemset> level;
+  std::set<Itemset> frequent;
+  for (const auto& [item, count] : item_counts) {
+    if (count >= options.min_support) {
+      Itemset single{item};
+      level.push_back(single);
+      frequent.insert(single);
+      result.itemsets.push_back(GraphViewDef{single});
+      result.supports.push_back(count);
+    }
+  }
+
+  for (size_t k = 2; k <= options.max_itemset_size && !level.empty(); ++k) {
+    const std::vector<Itemset> candidates = GenerateCandidates(level, frequent);
+    std::vector<Itemset> next_level;
+    for (const Itemset& cand : candidates) {
+      const size_t support = CountSupport(transactions, cand);
+      if (support < options.min_support) continue;
+      next_level.push_back(cand);
+      frequent.insert(cand);
+      result.itemsets.push_back(GraphViewDef{cand});
+      result.supports.push_back(support);
+      if (result.itemsets.size() > options.max_itemsets) {
+        return Status::OutOfRange(
+            "Apriori exceeded max_itemsets; raise min_support");
+      }
+    }
+    level = std::move(next_level);
+  }
+  return result;
+}
+
+AprioriResult FilterSuperseded(
+    const AprioriResult& mined,
+    const std::vector<std::vector<EdgeId>>& raw_transactions) {
+  std::vector<Itemset> transactions;
+  transactions.reserve(raw_transactions.size());
+  for (const auto& t : raw_transactions) {
+    Itemset s = t;
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    transactions.push_back(std::move(s));
+  }
+
+  // Signature = exact set of supporting transactions; only the largest
+  // itemset per signature survives (it supersedes the rest).
+  std::map<std::vector<uint32_t>, size_t> best_by_signature;  // -> index
+  std::vector<std::vector<uint32_t>> signatures(mined.itemsets.size());
+  for (size_t i = 0; i < mined.itemsets.size(); ++i) {
+    for (uint32_t t = 0; t < transactions.size(); ++t) {
+      if (Contains(transactions[t], mined.itemsets[i].edges)) {
+        signatures[i].push_back(t);
+      }
+    }
+    auto [it, inserted] = best_by_signature.emplace(signatures[i], i);
+    if (!inserted &&
+        mined.itemsets[i].size() > mined.itemsets[it->second].size()) {
+      it->second = i;
+    }
+  }
+
+  AprioriResult filtered;
+  for (const auto& [sig, index] : best_by_signature) {
+    (void)sig;
+    filtered.itemsets.push_back(mined.itemsets[index]);
+    filtered.supports.push_back(mined.supports[index]);
+  }
+  return filtered;
+}
+
+}  // namespace colgraph

@@ -1,0 +1,46 @@
+// Classic level-wise Apriori frequent-itemset mining (Agrawal & Srikant,
+// VLDB'94), used by Section 5.2's scalable candidate-view generation:
+// transactions are query edge sets, items are edge ids, and a frequent
+// itemset with support >= minSup is a graph view usable by at least minSup
+// queries. A post-processing step removes views superseded by larger views
+// with identical support (the monotonicity property).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+#include "views/view_defs.h"
+
+namespace colgraph {
+
+struct AprioriOptions {
+  /// Minimum number of transactions (queries) an itemset must occur in.
+  size_t min_support = 2;
+  /// Maximum itemset size to mine (level cap).
+  size_t max_itemset_size = 64;
+  /// Hard cap on the total number of frequent itemsets produced.
+  size_t max_itemsets = 500000;
+};
+
+struct AprioriResult {
+  /// Frequent itemsets (sorted item lists) with their support counts,
+  /// aligned by index.
+  std::vector<GraphViewDef> itemsets;
+  std::vector<size_t> supports;
+};
+
+/// \brief Mines all frequent itemsets of the transaction database.
+StatusOr<AprioriResult> MineFrequentItemsets(
+    const std::vector<std::vector<EdgeId>>& transactions,
+    const AprioriOptions& options = {});
+
+/// \brief Drops itemsets superseded by a strictly larger itemset contained
+/// in exactly the same transactions (the paper's post-processing step);
+/// the survivors are the closed frequent itemsets.
+AprioriResult FilterSuperseded(
+    const AprioriResult& mined,
+    const std::vector<std::vector<EdgeId>>& transactions);
+
+}  // namespace colgraph

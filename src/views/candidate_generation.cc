@@ -1,0 +1,161 @@
+#include "views/candidate_generation.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+namespace colgraph {
+
+namespace {
+
+using EdgeSet = std::vector<EdgeId>;  // sorted ascending
+
+EdgeSet Intersect(const EdgeSet& a, const EdgeSet& b) {
+  EdgeSet out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+bool IsSubset(const EdgeSet& small, const EdgeSet& big) {
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+}  // namespace
+
+StatusOr<std::vector<GraphViewDef>> GenerateGraphViewCandidates(
+    const std::vector<std::vector<EdgeId>>& query_edge_sets,
+    const CandidateGenOptions& options) {
+  // Normalize: sorted, deduplicated, non-empty.
+  std::vector<EdgeSet> queries;
+  queries.reserve(query_edge_sets.size());
+  for (const auto& q : query_edge_sets) {
+    EdgeSet s = q;
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    if (!s.empty()) queries.push_back(std::move(s));
+  }
+
+  // Closure of the query sets under intersection: every non-empty
+  // intersection of a subset of queries is reachable by repeatedly
+  // intersecting an existing candidate with one query. These are exactly
+  // the closed itemsets of the workload.
+  std::set<EdgeSet> pool(queries.begin(), queries.end());
+  std::vector<EdgeSet> worklist(pool.begin(), pool.end());
+  while (!worklist.empty()) {
+    const EdgeSet current = std::move(worklist.back());
+    worklist.pop_back();
+    for (const EdgeSet& q : queries) {
+      EdgeSet inter = Intersect(current, q);
+      if (inter.empty()) continue;
+      if (pool.insert(inter).second) {
+        if (pool.size() > options.max_candidates) {
+          return Status::OutOfRange(
+              "candidate closure exceeded max_candidates; raise min_support "
+              "or the cap");
+        }
+        worklist.push_back(std::move(inter));
+      }
+    }
+  }
+
+  // Support signature: the exact set of queries containing the candidate.
+  // Monotonicity (supersedes) filter: among candidates with identical
+  // signatures, only the largest is not superseded; candidates below
+  // min_support are dropped entirely.
+  std::map<std::vector<uint32_t>, EdgeSet> best_per_signature;
+  for (const EdgeSet& cand : pool) {
+    std::vector<uint32_t> signature;
+    for (uint32_t qi = 0; qi < queries.size(); ++qi) {
+      if (IsSubset(cand, queries[qi])) signature.push_back(qi);
+    }
+    if (signature.size() < options.min_support) continue;
+    auto [it, inserted] = best_per_signature.emplace(std::move(signature), cand);
+    if (!inserted && cand.size() > it->second.size()) it->second = cand;
+  }
+
+  std::vector<GraphViewDef> result;
+  result.reserve(best_per_signature.size());
+  for (auto& [sig, cand] : best_per_signature) {
+    (void)sig;
+    result.push_back(GraphViewDef{std::move(cand)});
+  }
+  std::sort(result.begin(), result.end(),
+            [](const GraphViewDef& a, const GraphViewDef& b) {
+              return a.size() != b.size() ? a.size() > b.size()
+                                          : a.edges < b.edges;
+            });
+  return result;
+}
+
+std::vector<NodeRef> InterestingNodes(
+    const std::vector<std::vector<Path>>& maximal_paths_per_query) {
+  std::set<NodeRef> interesting;
+  // Distinct traversed edges, grouped by start / end node.
+  std::unordered_set<Edge, EdgeHash> traversed;
+  std::map<NodeRef, std::set<NodeRef>> out_targets;
+  std::map<NodeRef, std::set<NodeRef>> in_sources;
+
+  for (const auto& paths : maximal_paths_per_query) {
+    for (const Path& p : paths) {
+      if (p.empty()) continue;
+      interesting.insert(p.front());  // origin of a maximal path
+      interesting.insert(p.back());   // endpoint of a maximal path
+      for (const Edge& e : p.Edges()) {
+        if (traversed.insert(e).second) {
+          out_targets[e.from].insert(e.to);
+          in_sources[e.to].insert(e.from);
+        }
+      }
+    }
+  }
+  for (const auto& [node, targets] : out_targets) {
+    if (targets.size() >= 2) interesting.insert(node);  // branch node
+  }
+  for (const auto& [node, sources] : in_sources) {
+    if (sources.size() >= 2) interesting.insert(node);  // merge node
+  }
+  return std::vector<NodeRef>(interesting.begin(), interesting.end());
+}
+
+StatusOr<std::vector<Path>> GenerateAggViewCandidatePaths(
+    const std::vector<std::vector<Path>>& maximal_paths_per_query,
+    size_t max_paths) {
+  const std::vector<NodeRef> interesting =
+      InterestingNodes(maximal_paths_per_query);
+  const std::unordered_set<NodeRef, NodeRefHash> anchors(interesting.begin(),
+                                                         interesting.end());
+  // Every subpath of a maximal path whose endpoints are both interesting
+  // and whose length is >= 2 edges. Deduplicate across queries (shared
+  // subpaths are the whole point of the candidate set).
+  std::set<std::vector<NodeRef>> seen;
+  std::vector<Path> result;
+  for (const auto& paths : maximal_paths_per_query) {
+    for (const Path& p : paths) {
+      const auto& nodes = p.nodes();
+      std::vector<size_t> anchor_positions;
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        if (anchors.count(nodes[i])) anchor_positions.push_back(i);
+      }
+      for (size_t a = 0; a < anchor_positions.size(); ++a) {
+        for (size_t b = a + 1; b < anchor_positions.size(); ++b) {
+          const size_t i = anchor_positions[a];
+          const size_t j = anchor_positions[b];
+          if (j - i < 2) continue;  // single edges are already stored
+          std::vector<NodeRef> sub(nodes.begin() + static_cast<long>(i),
+                                   nodes.begin() + static_cast<long>(j + 1));
+          if (!seen.insert(sub).second) continue;
+          if (result.size() >= max_paths) {
+            return Status::OutOfRange(
+                "aggregate-view candidate paths exceeded cap");
+          }
+          result.emplace_back(std::move(sub));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace colgraph

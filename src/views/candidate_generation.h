@@ -1,0 +1,64 @@
+// Candidate-view generation (Sections 5.2 and 5.4).
+//
+// Graph views: the candidate set Cv is the closure of the workload's query
+// edge sets under intersection (equivalently, the *closed* itemsets of the
+// workload), filtered by minimum support and by the monotonicity
+// ("supersedes") property. Candidates superseded by a larger view with the
+// same query-support signature are redundant and removed.
+//
+// Aggregate graph views: candidates are all paths of length >= 2 between
+// the *interesting nodes* of G_All, the union graph of the workload's
+// maximal paths.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/path.h"
+#include "util/status.h"
+#include "views/view_defs.h"
+
+namespace colgraph {
+
+struct CandidateGenOptions {
+  /// Minimum number of workload queries a candidate must be contained in.
+  /// 1 keeps every query graph itself as a candidate.
+  size_t min_support = 1;
+  /// Hard cap on generated candidates (guards pathological overlap where
+  /// |Cv| is exponential in the number of queries, Section 5.2).
+  size_t max_candidates = 200000;
+};
+
+/// \brief Generates the candidate graph views for a workload of query edge
+/// sets (each sorted ascending).
+///
+/// Returns candidates that (a) appear in >= min_support queries, (b) are
+/// not superseded by another candidate. Candidates are sorted largest
+/// first for determinism.
+StatusOr<std::vector<GraphViewDef>> GenerateGraphViewCandidates(
+    const std::vector<std::vector<EdgeId>>& query_edge_sets,
+    const CandidateGenOptions& options = {});
+
+/// \brief Computes the interesting nodes of the union graph of the
+/// workload's maximal paths (Section 5.4): endpoints of maximal paths,
+/// branch nodes (>= 2 distinct traversed out-edges) and merge nodes
+/// (>= 2 distinct traversed in-edges).
+std::vector<NodeRef> InterestingNodes(
+    const std::vector<std::vector<Path>>& maximal_paths_per_query);
+
+/// \brief Generates candidate aggregate-view paths: every subpath of a
+/// workload maximal path that (a) starts and ends at interesting nodes of
+/// G_All and (b) has at least 2 edges. (Length-1 paths are excluded: the
+/// base schema already stores single-edge measures.)
+///
+/// Restricting to subpaths of maximal paths keeps enumeration linear in
+/// the workload size even when G_All is cyclic (overlapping road-network
+/// queries), while reproducing the paper's Figure 2 example exactly: by
+/// the monotonicity property, any candidate that is *used* by a query must
+/// lie within one of its maximal paths anyway.
+StatusOr<std::vector<Path>> GenerateAggViewCandidatePaths(
+    const std::vector<std::vector<Path>>& maximal_paths_per_query,
+    size_t max_paths = 200000);
+
+}  // namespace colgraph

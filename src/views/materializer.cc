@@ -1,0 +1,164 @@
+#include "views/materializer.h"
+
+#include "query/agg_fn.h"
+
+namespace colgraph {
+
+namespace {
+
+Status ValidateIds(const std::vector<EdgeId>& ids,
+                   const MasterRelation& relation) {
+  for (EdgeId id : ids) {
+    if (id >= relation.num_edge_columns()) {
+      return Status::InvalidArgument("view references unknown edge id " +
+                                     std::to_string(id));
+    }
+  }
+  return Status::OK();
+}
+
+// AND of the presence bitmaps of `ids` (offline: bypasses fetch stats).
+Bitmap ConjunctionBitmap(const std::vector<EdgeId>& ids,
+                         const MasterRelation& relation) {
+  Bitmap result(relation.num_records());
+  if (ids.empty()) return result;
+  result = relation.PeekMeasureColumn(ids[0]).presence().bits();
+  for (size_t i = 1; i < ids.size(); ++i) {
+    result.And(relation.PeekMeasureColumn(ids[i]).presence().bits());
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<size_t> MaterializeGraphView(const GraphViewDef& def,
+                                      MasterRelation* relation,
+                                      ViewCatalog* catalog) {
+  if (!relation->sealed()) {
+    return Status::InvalidArgument("materialize requires a sealed relation");
+  }
+  if (def.edges.empty()) {
+    return Status::InvalidArgument("cannot materialize an empty graph view");
+  }
+  COLGRAPH_RETURN_NOT_OK(ValidateIds(def.edges, *relation));
+  const size_t index =
+      relation->AddGraphView(ConjunctionBitmap(def.edges, *relation));
+  catalog->AddGraphView(def, index);
+  return index;
+}
+
+namespace {
+
+// Computes the (mp) column of an aggregate view from the base columns.
+StatusOr<MeasureColumn> ComputeAggColumn(const AggViewDef& def,
+                                         const MasterRelation& relation) {
+  const Bitmap bp = ConjunctionBitmap(def.elements, relation);
+  // The stored per-record value: for AVG the SUM sub-aggregate (count is
+  // def.elements.size(), known statically); otherwise F itself.
+  const AggFn stored_fn = def.fn == AggFn::kAvg ? AggFn::kSum : def.fn;
+
+  std::vector<const MeasureColumn*> columns;
+  columns.reserve(def.elements.size());
+  for (EdgeId id : def.elements) {
+    columns.push_back(&relation.PeekMeasureColumn(id));
+  }
+
+  MeasureColumn mp;
+  Status status = Status::OK();
+  bp.ForEachSetBit([&](size_t record) {
+    if (!status.ok()) return;
+    AggAccumulator acc(stored_fn);
+    for (const MeasureColumn* col : columns) {
+      const auto value = col->Get(record);
+      // bp is the AND of the presences, so every element is non-NULL here.
+      acc.Add(*value);
+    }
+    status = mp.Append(record, acc.Result());
+  });
+  COLGRAPH_RETURN_NOT_OK(status);
+  mp.Seal(relation.num_records());
+  return mp;
+}
+
+}  // namespace
+
+StatusOr<size_t> MaterializeAggView(const AggViewDef& def,
+                                    MasterRelation* relation,
+                                    ViewCatalog* catalog) {
+  if (!relation->sealed()) {
+    return Status::InvalidArgument("materialize requires a sealed relation");
+  }
+  if (def.elements.size() < 2) {
+    return Status::InvalidArgument(
+        "aggregate views must cover at least two elements; single-element "
+        "measures are already stored in the base schema");
+  }
+  COLGRAPH_RETURN_NOT_OK(ValidateIds(def.elements, *relation));
+  COLGRAPH_ASSIGN_OR_RETURN(MeasureColumn mp, ComputeAggColumn(def, *relation));
+  const size_t index = relation->AddAggregateView(std::move(mp));
+  catalog->AddAggView(def, index);
+  return index;
+}
+
+Status RefreshViewsIncremental(MasterRelation* relation,
+                               const ViewCatalog& catalog,
+                               size_t first_new_record) {
+  if (!relation->sealed()) {
+    return Status::InvalidArgument("refresh requires a sealed relation");
+  }
+  for (const auto& [def, index] : catalog.graph_views()) {
+    COLGRAPH_RETURN_NOT_OK(ValidateIds(def.edges, *relation));
+    relation->ReplaceGraphView(index, ConjunctionBitmap(def.edges, *relation));
+  }
+  for (const auto& [def, index] : catalog.agg_views()) {
+    COLGRAPH_RETURN_NOT_OK(ValidateIds(def.elements, *relation));
+    const MeasureColumn& old_mp = relation->PeekAggregateView(index);
+    const Bitmap bp = ConjunctionBitmap(def.elements, *relation);
+    const AggFn stored_fn = def.fn == AggFn::kAvg ? AggFn::kSum : def.fn;
+
+    std::vector<const MeasureColumn*> columns;
+    columns.reserve(def.elements.size());
+    for (EdgeId id : def.elements) {
+      columns.push_back(&relation->PeekMeasureColumn(id));
+    }
+
+    // Old packed values carry over verbatim (records < first_new_record
+    // are immutable); only the appended range is aggregated.
+    std::vector<double> values;
+    values.reserve(bp.Count());
+    for (size_t r = 0; r < old_mp.num_values(); ++r) {
+      values.push_back(old_mp.ValueAtRank(r));
+    }
+    Status status = Status::OK();
+    bp.ForEachSetBit([&](size_t record) {
+      if (!status.ok() || record < first_new_record) return;
+      AggAccumulator acc(stored_fn);
+      for (const MeasureColumn* col : columns) acc.Add(*col->Get(record));
+      values.push_back(acc.Result());
+    });
+    COLGRAPH_RETURN_NOT_OK(status);
+    COLGRAPH_ASSIGN_OR_RETURN(MeasureColumn mp,
+                              MeasureColumn::FromParts(bp, std::move(values)));
+    relation->ReplaceAggregateView(index, std::move(mp));
+  }
+  return Status::OK();
+}
+
+Status RefreshAllViews(MasterRelation* relation, const ViewCatalog& catalog) {
+  if (!relation->sealed()) {
+    return Status::InvalidArgument("refresh requires a sealed relation");
+  }
+  for (const auto& [def, index] : catalog.graph_views()) {
+    COLGRAPH_RETURN_NOT_OK(ValidateIds(def.edges, *relation));
+    relation->ReplaceGraphView(index, ConjunctionBitmap(def.edges, *relation));
+  }
+  for (const auto& [def, index] : catalog.agg_views()) {
+    COLGRAPH_RETURN_NOT_OK(ValidateIds(def.elements, *relation));
+    COLGRAPH_ASSIGN_OR_RETURN(MeasureColumn mp,
+                              ComputeAggColumn(def, *relation));
+    relation->ReplaceAggregateView(index, std::move(mp));
+  }
+  return Status::OK();
+}
+
+}  // namespace colgraph

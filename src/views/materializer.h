@@ -1,0 +1,44 @@
+// Materialization of selected views into the master relation (Section 5.1).
+// Both view kinds are computed in a single pass over the existing columns —
+// the paper's key practicality argument versus mined graph indexes.
+#pragma once
+
+#include "columnstore/master_relation.h"
+#include "util/status.h"
+#include "views/view_defs.h"
+
+namespace colgraph {
+
+/// \brief Materializes a graph view: ANDs the bitmaps of the view's edges
+/// into one new bitmap column bv. Registers the view in `catalog` and
+/// returns the relation's view index.
+StatusOr<size_t> MaterializeGraphView(const GraphViewDef& def,
+                                      MasterRelation* relation,
+                                      ViewCatalog* catalog);
+
+/// \brief Materializes an aggregate graph view F_p: computes bp (the AND of
+/// the path elements' bitmaps) and mp (the aggregate of the elements'
+/// measures, per record containing p). For AVG the stored value is the SUM
+/// sub-aggregate; the element count is known statically from the
+/// definition. Returns the relation's aggregate-view index.
+StatusOr<size_t> MaterializeAggView(const AggViewDef& def,
+                                    MasterRelation* relation,
+                                    ViewCatalog* catalog);
+
+/// \brief Recomputes every materialized view column registered in
+/// `catalog` from the current base columns — the maintenance step after
+/// incremental ingest (new records make the old bv/mp/bp columns stale).
+/// One pass per view, same as initial materialization.
+Status RefreshAllViews(MasterRelation* relation, const ViewCatalog& catalog);
+
+/// \brief Delta view maintenance after incremental ingest: records before
+/// `first_new_record` are untouched by appends, so each aggregate view
+/// keeps its existing per-record values and only computes aggregates for
+/// the appended range — O(new records) instead of O(all records) per
+/// view. Bitmap (graph) views are recomputed wholesale: a word-parallel
+/// AND is cheaper than any bookkeeping.
+Status RefreshViewsIncremental(MasterRelation* relation,
+                               const ViewCatalog& catalog,
+                               size_t first_new_record);
+
+}  // namespace colgraph

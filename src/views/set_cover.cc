@@ -1,0 +1,102 @@
+#include "views/set_cover.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+namespace colgraph {
+
+namespace {
+
+// Uncovered state of one universe: a hash set of still-uncovered edges.
+using Uncovered = std::unordered_set<EdgeId>;
+
+size_t GainIn(const GraphViewDef& candidate, const Uncovered& uncovered) {
+  size_t gain = 0;
+  for (EdgeId e : candidate.edges) gain += uncovered.count(e);
+  return gain;
+}
+
+}  // namespace
+
+SetCoverSelection GreedyExtendedSetCover(
+    const std::vector<std::vector<EdgeId>>& universes,
+    const std::vector<GraphViewDef>& candidates, size_t max_views) {
+  // Usability is static: candidate c applies to universe u iff c ⊆ u.
+  std::vector<std::vector<size_t>> usable_in(candidates.size());
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    for (size_t u = 0; u < universes.size(); ++u) {
+      if (candidates[c].IsSubsetOf(universes[u])) usable_in[c].push_back(u);
+    }
+  }
+
+  std::vector<Uncovered> uncovered(universes.size());
+  for (size_t u = 0; u < universes.size(); ++u) {
+    uncovered[u] = Uncovered(universes[u].begin(), universes[u].end());
+  }
+
+  SetCoverSelection result;
+  std::vector<bool> picked(candidates.size(), false);
+  while (result.selected.size() < max_views) {
+    size_t best = candidates.size();
+    size_t best_gain = 0;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (picked[c]) continue;
+      size_t gain = 0;
+      for (size_t u : usable_in[c]) gain += GainIn(candidates[c], uncovered[u]);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = c;
+      }
+    }
+    // Stopping rule: a candidate that only covers one more edge anywhere is
+    // no better than the atomic bitmap that already exists for that edge.
+    if (best == candidates.size() || best_gain < 2) break;
+    picked[best] = true;
+    result.selected.push_back(best);
+    for (size_t u : usable_in[best]) {
+      for (EdgeId e : candidates[best].edges) uncovered[u].erase(e);
+    }
+  }
+
+  for (const auto& u : uncovered) result.uncovered_elements += u.size();
+  return result;
+}
+
+QueryCover CoverQueryWithViews(const std::vector<EdgeId>& query_edges,
+                               const std::vector<GraphViewDef>& views) {
+  Uncovered uncovered(query_edges.begin(), query_edges.end());
+
+  // Lazy greedy: gains only shrink as edges get covered (submodularity),
+  // so a max-heap of possibly-stale gains is correct — pop, refresh, and
+  // accept when the refreshed gain still tops the heap. This touches a
+  // handful of views per round instead of rescanning all of them, which
+  // matters when many views are materialized and queries are cheap.
+  std::priority_queue<std::pair<size_t, size_t>> heap;  // (gain, view)
+  for (size_t v = 0; v < views.size(); ++v) {
+    if (!views[v].IsSubsetOf(query_edges)) continue;
+    const size_t gain = views[v].edges.size();  // upper bound: all uncovered
+    if (gain >= 2) heap.emplace(gain, v);
+  }
+
+  QueryCover cover;
+  while (!heap.empty()) {
+    const auto [stale_gain, v] = heap.top();
+    heap.pop();
+    if (stale_gain < 2) break;
+    const size_t gain = GainIn(views[v], uncovered);
+    if (gain < 2) continue;  // atomic bitmaps are at least as good
+    if (!heap.empty() && gain < heap.top().first) {
+      heap.emplace(gain, v);  // stale: reinsert with the refreshed gain
+      continue;
+    }
+    cover.view_indexes.push_back(v);
+    for (EdgeId e : views[v].edges) uncovered.erase(e);
+  }
+
+  cover.residual_edges.assign(uncovered.begin(), uncovered.end());
+  std::sort(cover.residual_edges.begin(), cover.residual_edges.end());
+  return cover;
+}
+
+}  // namespace colgraph

@@ -1,0 +1,93 @@
+// Definitions of materialized graph views (Section 5.1) and the catalog
+// that tracks what has been materialized into the master relation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/agg_fn.h"
+
+namespace colgraph {
+
+/// \brief A graph view: a set of edges whose conjunction bitmap
+/// bitmap(B) = AND of the edges' bitmaps is materialized as one extra
+/// bitmap column bv in the master relation.
+struct GraphViewDef {
+  /// Sorted, deduplicated edge ids of the view's subgraph.
+  std::vector<EdgeId> edges;
+
+  static GraphViewDef Make(std::vector<EdgeId> ids) {
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return GraphViewDef{std::move(ids)};
+  }
+
+  size_t size() const { return edges.size(); }
+
+  /// True iff this view's edge set is a subset of `query_edges` (which must
+  /// be sorted): the precondition for the view to be usable by that query.
+  bool IsSubsetOf(const std::vector<EdgeId>& query_edges) const {
+    return std::includes(query_edges.begin(), query_edges.end(),
+                         edges.begin(), edges.end());
+  }
+
+  bool operator==(const GraphViewDef& o) const { return edges == o.edges; }
+  bool operator<(const GraphViewDef& o) const { return edges < o.edges; }
+};
+
+/// \brief An aggregate graph view F_p: the aggregate of function `fn` along
+/// path `elements` (the path's measurable elements, in path order),
+/// materialized as a measure column mp plus its bitmap bp.
+struct AggViewDef {
+  /// Element ids along the path, in path order (edges and internal-node
+  /// self-edges as produced by Path::Elements()).
+  std::vector<EdgeId> elements;
+  AggFn fn = AggFn::kSum;
+
+  size_t size() const { return elements.size(); }
+
+  bool operator==(const AggViewDef& o) const {
+    return fn == o.fn && elements == o.elements;
+  }
+  bool operator<(const AggViewDef& o) const {
+    return fn != o.fn ? fn < o.fn : elements < o.elements;
+  }
+};
+
+/// \brief Registry of materialized views: maps each view definition to the
+/// index of its column(s) inside the master relation. The query rewriter
+/// consults this to reformulate queries (Section 5.3).
+class ViewCatalog {
+ public:
+  /// Registers a materialized graph view stored at `column_index`
+  /// (MasterRelation graph-view index).
+  void AddGraphView(GraphViewDef def, size_t column_index) {
+    graph_views_.emplace_back(std::move(def), column_index);
+  }
+
+  /// Registers a materialized aggregate view at `column_index`
+  /// (MasterRelation aggregate-view index).
+  void AddAggView(AggViewDef def, size_t column_index) {
+    agg_views_.emplace_back(std::move(def), column_index);
+  }
+
+  const std::vector<std::pair<GraphViewDef, size_t>>& graph_views() const {
+    return graph_views_;
+  }
+  const std::vector<std::pair<AggViewDef, size_t>>& agg_views() const {
+    return agg_views_;
+  }
+
+  size_t num_graph_views() const { return graph_views_.size(); }
+  size_t num_agg_views() const { return agg_views_.size(); }
+
+ private:
+  std::vector<std::pair<GraphViewDef, size_t>> graph_views_;
+  std::vector<std::pair<AggViewDef, size_t>> agg_views_;
+};
+
+}  // namespace colgraph

@@ -1,0 +1,39 @@
+// Synthetic base networks standing in for the paper's datasets (the
+// download links are long dead and the environment is offline):
+//   NY  — the New York road network   -> a 2-D grid road network
+//   GNU — the Gnutella p2p snapshot   -> a preferential-attachment graph
+// Records are random walks over a fixed sub-universe of these networks,
+// exactly as the paper synthesizes millions of records from each base
+// graph (Section 7.1, Table 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace colgraph {
+
+/// \brief Builds a width x height grid road network: every cell is an
+/// intersection, adjacent intersections are connected by road segments in
+/// both directions (two directed edges).
+DirectedGraph MakeRoadNetwork(size_t width, size_t height);
+
+/// \brief Builds a directed preferential-attachment (Barabási–Albert
+/// style) network of `num_nodes` nodes, each new node attaching
+/// `edges_per_node` out-edges to degree-biased targets — the heavy-tailed
+/// degree profile of a p2p overlay like Gnutella.
+DirectedGraph MakePowerLawNetwork(size_t num_nodes, size_t edges_per_node,
+                                  uint64_t seed);
+
+/// \brief Restricts a base network to a connected sub-universe with
+/// exactly `num_edges` distinct edges (the paper's "distinct number of
+/// edge ids", 1000 by default; up to 100K in the sensitivity tests).
+///
+/// Grown by a randomized BFS over the base graph from a random start, so
+/// walks inside the sub-universe stay inside it.
+StatusOr<DirectedGraph> SelectEdgeUniverse(const DirectedGraph& base,
+                                           size_t num_edges, uint64_t seed);
+
+}  // namespace colgraph

@@ -1,0 +1,58 @@
+// Query-workload synthesis (Section 7.1): query graphs are drawn "from the
+// set of paths resulting from the random walk processes", either uniformly
+// or Zipf-distributed (skew increases structural sharing among queries,
+// Figure 8). Structural sweeps (Figures 3b/3c) additionally need query
+// graphs of a controlled size that are not tied to any record.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace colgraph {
+
+struct QueryGenOptions {
+  size_t min_edges = 3;
+  size_t max_edges = 12;
+};
+
+/// \brief Generates query workloads.
+class QueryGenerator {
+ public:
+  /// \param trunk_pool paths taken by actual records (from
+  ///        WalkRecordGenerator::Next), so sampled queries hit data
+  /// \param universe   the edge universe (for structural queries)
+  QueryGenerator(const std::vector<std::vector<NodeRef>>* trunk_pool,
+                 const DirectedGraph* universe, uint64_t seed);
+
+  /// One path query: a uniformly random subpath (of the requested length)
+  /// of a uniformly random record trunk.
+  GraphQuery UniformPathQuery(const QueryGenOptions& options);
+
+  /// `n` uniform path queries.
+  std::vector<GraphQuery> UniformWorkload(size_t n,
+                                          const QueryGenOptions& options);
+
+  /// `n` Zipf-distributed path queries: a pool of `pool_size` distinct
+  /// path queries is drawn first, then sampled with skew `theta`
+  /// (duplicates model hot queries).
+  std::vector<GraphQuery> ZipfWorkload(size_t n, size_t pool_size,
+                                       double theta,
+                                       const QueryGenOptions& options);
+
+  /// A structural query of exactly `num_edges` edges: a branching
+  /// self-avoiding walk over the universe (same shape as records), not
+  /// tied to any record — selectivity falls naturally with size (Fig 3b).
+  GraphQuery StructuralQuery(size_t num_edges);
+
+  std::vector<GraphQuery> StructuralWorkload(size_t n, size_t num_edges);
+
+ private:
+  const std::vector<std::vector<NodeRef>>* trunk_pool_;
+  const DirectedGraph* universe_;
+  Rng rng_;
+};
+
+}  // namespace colgraph

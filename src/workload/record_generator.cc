@@ -1,0 +1,128 @@
+#include "workload/record_generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace colgraph {
+
+WalkRecordGenerator::WalkRecordGenerator(const DirectedGraph* universe,
+                                         RecordGenOptions options,
+                                         uint64_t seed)
+    : universe_(universe), options_(options), rng_(seed) {
+  // Walks must start somewhere they can take a first step: a universe
+  // subgraph has sink nodes (edges cut by the BFS selection).
+  for (const NodeRef& n : universe->nodes()) {
+    if (universe->OutDegree(n) > 0) starts_.push_back(n);
+  }
+}
+
+GraphRecord WalkRecordGenerator::Next(std::vector<NodeRef>* trunk) {
+  // Universe subgraphs can contain small pockets that strand a walk below
+  // min_edges; retry from fresh starts and keep the largest attempt.
+  GraphRecord best;
+  std::vector<NodeRef> best_trunk;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    std::vector<NodeRef> attempt_trunk;
+    GraphRecord candidate = GenerateOnce(&attempt_trunk);
+    if (candidate.elements.size() >= best.elements.size()) {
+      best = std::move(candidate);
+      best_trunk = std::move(attempt_trunk);
+    }
+    if (best.elements.size() >= options_.min_edges) break;
+  }
+  best.id = next_id_++;
+  if (trunk != nullptr) *trunk = std::move(best_trunk);
+  return best;
+}
+
+GraphRecord WalkRecordGenerator::GenerateOnce(std::vector<NodeRef>* trunk) {
+  const auto& nodes = universe_->nodes();
+  size_t target = 0;
+  for (size_t d = 0; d < std::max<size_t>(1, options_.size_draws); ++d) {
+    target = std::max(target,
+                      rng_.Uniform(options_.min_edges, options_.max_edges));
+  }
+
+  GraphRecord record;
+
+  std::unordered_set<NodeRef, NodeRefHash> visited;
+  // Visited nodes that may still have an unvisited out-neighbor. Stuck
+  // walks branch from a random pool entry; exhausted entries are evicted
+  // lazily (swap-remove), so every node enters and leaves the pool at most
+  // once — amortized O(degree) per node instead of a rescan of the whole
+  // visited set per stuck event.
+  std::vector<NodeRef> open_pool;
+  // The record grows as a tree rooted at the start; parent/depth let us
+  // extract the *trunk* — the longest root-to-leaf path — afterwards.
+  // (Self-avoiding walks die after one hop near the leaves of a power-law
+  // universe, so the deepest tree path is the robust notion of trunk.)
+  std::unordered_map<NodeRef, NodeRef, NodeRefHash> parent;
+  std::unordered_map<NodeRef, size_t, NodeRefHash> depth;
+
+  auto add_edge = [&](NodeRef from, NodeRef to) {
+    record.elements.push_back(Edge{from, to});
+    record.measures.push_back(
+        rng_.UniformReal(options_.measure_lo, options_.measure_hi));
+    parent[to] = from;
+    depth[to] = depth[from] + 1;
+  };
+  auto visit = [&](NodeRef n) {
+    if (visited.insert(n).second) {
+      if (universe_->OutDegree(n) > 0) open_pool.push_back(n);
+    }
+  };
+  auto unvisited_neighbor = [&](NodeRef n, NodeRef* out) {
+    // Reservoir-sample one unvisited out-neighbor uniformly.
+    size_t seen = 0;
+    for (const NodeRef& m : universe_->OutNeighbors(n)) {
+      if (visited.count(m)) continue;
+      ++seen;
+      if (rng_.Uniform(1, seen) == 1) *out = m;
+    }
+    return seen > 0;
+  };
+
+  (void)nodes;
+  NodeRef here = starts_[rng_.Uniform(0, starts_.size() - 1)];
+  const NodeRef root = here;
+  visit(here);
+  depth[here] = 0;
+  while (record.elements.size() < target) {
+    NodeRef next{};
+    if (!unvisited_neighbor(here, &next)) {
+      // Stuck: branch from a random still-open visited node.
+      bool found = false;
+      while (!open_pool.empty()) {
+        const size_t idx = rng_.Uniform(0, open_pool.size() - 1);
+        if (unvisited_neighbor(open_pool[idx], &next)) {
+          here = open_pool[idx];
+          found = true;
+          break;
+        }
+        std::swap(open_pool[idx], open_pool.back());
+        open_pool.pop_back();
+      }
+      if (!found) break;  // universe exhausted; accept a shorter record
+    }
+    add_edge(here, next);
+    visit(next);
+    here = next;
+  }
+
+  if (trunk != nullptr) {
+    // Deepest node, then walk the parent chain back to the root.
+    NodeRef deepest = root;
+    for (const auto& [node, d] : depth) {
+      if (d > depth[deepest]) deepest = node;
+    }
+    trunk->clear();
+    for (NodeRef n = deepest;; n = parent.at(n)) {
+      trunk->push_back(n);
+      if (depth[n] == 0) break;
+    }
+    std::reverse(trunk->begin(), trunk->end());
+  }
+  return record;
+}
+
+}  // namespace colgraph

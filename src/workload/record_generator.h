@@ -1,0 +1,54 @@
+// Graph-record synthesis (Section 7.1): records are random walks over the
+// selected edge universe, annotated with random real measures. The walks
+// are self-avoiding with branching restarts, so every record is a DAG with
+// distinct edges (no flattening needed) whose trunk is a genuine path —
+// the population the paper draws its query paths from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace colgraph {
+
+struct RecordGenOptions {
+  /// Record size bounds in edges (Table 2: NY 35..100, GNU 45..100).
+  size_t min_edges = 35;
+  size_t max_edges = 100;
+  /// Measure value range (uniform reals).
+  double measure_lo = 0.0;
+  double measure_hi = 100.0;
+  /// Size-distribution skew: the target length is the max of this many
+  /// uniform draws. 1 = uniform (mean 67.5 for 35..100); 3 skews toward
+  /// larger records (mean ~84, matching the paper's NY average of 85).
+  size_t size_draws = 1;
+};
+
+/// \brief Generates graph records by branching self-avoiding walks over a
+/// fixed universe graph.
+class WalkRecordGenerator {
+ public:
+  /// `universe` must outlive the generator.
+  WalkRecordGenerator(const DirectedGraph* universe, RecordGenOptions options,
+                      uint64_t seed);
+
+  /// Produces the next record. When `trunk` is non-null it receives the
+  /// record's trunk path (the maximal self-avoiding walk the record grew
+  /// from), which the query generators sample subpaths of.
+  GraphRecord Next(std::vector<NodeRef>* trunk = nullptr);
+
+ private:
+  /// One walk attempt; Next() retries when a pocket strands it too short.
+  GraphRecord GenerateOnce(std::vector<NodeRef>* trunk);
+
+  const DirectedGraph* universe_;
+  RecordGenOptions options_;
+  Rng rng_;
+  RecordId next_id_ = 0;
+  std::vector<NodeRef> starts_;  // nodes with out-degree > 0
+};
+
+}  // namespace colgraph

@@ -1,0 +1,74 @@
+#include "workload/trace_loader.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace colgraph {
+
+StatusOr<std::vector<WalkTrace>> ParseTraces(std::istream& in) {
+  std::vector<WalkTrace> traces;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line.resize(comment);
+
+    const auto bar = line.find('|');
+    std::istringstream nodes_in(
+        bar == std::string::npos ? line : line.substr(0, bar));
+
+    WalkTrace trace;
+    uint64_t node = 0;
+    while (nodes_in >> node) {
+      trace.walk.push_back(static_cast<NodeId>(node));
+    }
+    if (!nodes_in.eof()) {
+      return Status::InvalidArgument("malformed node id on line " +
+                                     std::to_string(line_number));
+    }
+    if (trace.walk.empty()) continue;  // blank / comment-only line
+    if (trace.walk.size() < 2) {
+      return Status::InvalidArgument("walk needs at least two nodes on line " +
+                                     std::to_string(line_number));
+    }
+
+    if (bar != std::string::npos) {
+      std::istringstream measures_in(line.substr(bar + 1));
+      double value = 0;
+      while (measures_in >> value) trace.measures.push_back(value);
+      if (!measures_in.eof()) {
+        return Status::InvalidArgument("malformed measure on line " +
+                                       std::to_string(line_number));
+      }
+      if (trace.measures.size() != trace.walk.size() - 1) {
+        return Status::InvalidArgument(
+            "expected " + std::to_string(trace.walk.size() - 1) +
+            " measures on line " + std::to_string(line_number) + ", got " +
+            std::to_string(trace.measures.size()));
+      }
+    } else {
+      trace.measures.assign(trace.walk.size() - 1, 1.0);
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+StatusOr<std::vector<WalkTrace>> LoadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open trace file: " + path);
+  return ParseTraces(in);
+}
+
+StatusOr<size_t> IngestTraceFile(ColGraphEngine* engine,
+                                 const std::string& path) {
+  COLGRAPH_ASSIGN_OR_RETURN(std::vector<WalkTrace> traces,
+                            LoadTraceFile(path));
+  for (const WalkTrace& t : traces) {
+    COLGRAPH_RETURN_NOT_OK(engine->AddWalk(t.walk, t.measures).status());
+  }
+  return traces.size();
+}
+
+}  // namespace colgraph

@@ -1,0 +1,37 @@
+// Text trace loader: ingests walk records from the simple line format
+//
+//   <node> <node> ... <node> [ | <measure> <measure> ... ]
+//
+// one record per line; '#' starts a comment; a walk of n nodes takes n-1
+// measures (one per hop). Lines without the '|' section get measure 1.0
+// per hop (pure structural traces, e.g. click streams). This is the
+// ingestion path a deployment would feed from its RFID/workflow logs.
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/status.h"
+
+namespace colgraph {
+
+struct WalkTrace {
+  std::vector<NodeId> walk;
+  std::vector<double> measures;  // one per hop
+};
+
+/// Parses every record in the stream. Fails with a line-annotated message
+/// on malformed input.
+StatusOr<std::vector<WalkTrace>> ParseTraces(std::istream& in);
+
+/// Loads a trace file from disk.
+StatusOr<std::vector<WalkTrace>> LoadTraceFile(const std::string& path);
+
+/// Parses `path` and ingests every record into `engine` (which must be
+/// unsealed). Returns the number of records added.
+StatusOr<size_t> IngestTraceFile(ColGraphEngine* engine,
+                                 const std::string& path);
+
+}  // namespace colgraph

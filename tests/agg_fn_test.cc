@@ -1,0 +1,101 @@
+#include "query/agg_fn.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace colgraph {
+namespace {
+
+TEST(AggFnTest, Names) {
+  EXPECT_STREQ(AggFnName(AggFn::kSum), "SUM");
+  EXPECT_STREQ(AggFnName(AggFn::kCount), "COUNT");
+  EXPECT_STREQ(AggFnName(AggFn::kMin), "MIN");
+  EXPECT_STREQ(AggFnName(AggFn::kMax), "MAX");
+  EXPECT_STREQ(AggFnName(AggFn::kAvg), "AVG");
+}
+
+TEST(AggAccumulatorTest, SumOverValues) {
+  AggAccumulator acc(AggFn::kSum);
+  for (double v : {1.0, 2.0, 4.0}) acc.Add(v);
+  EXPECT_EQ(acc.Result(), 7.0);
+  EXPECT_EQ(acc.count(), 3u);
+}
+
+TEST(AggAccumulatorTest, CountIgnoresValues) {
+  AggAccumulator acc(AggFn::kCount);
+  for (double v : {10.0, -5.0}) acc.Add(v);
+  EXPECT_EQ(acc.Result(), 2.0);
+}
+
+TEST(AggAccumulatorTest, MinMax) {
+  AggAccumulator mn(AggFn::kMin), mx(AggFn::kMax);
+  for (double v : {3.0, -1.0, 7.0}) {
+    mn.Add(v);
+    mx.Add(v);
+  }
+  EXPECT_EQ(mn.Result(), -1.0);
+  EXPECT_EQ(mx.Result(), 7.0);
+}
+
+TEST(AggAccumulatorTest, AvgDividesByCount) {
+  AggAccumulator acc(AggFn::kAvg);
+  for (double v : {2.0, 4.0, 9.0}) acc.Add(v);
+  EXPECT_EQ(acc.Result(), 5.0);
+}
+
+TEST(AggAccumulatorTest, EmptyAvgIsZeroNotNan) {
+  AggAccumulator acc(AggFn::kAvg);
+  EXPECT_EQ(acc.Result(), 0.0);
+}
+
+// The distributivity property that makes aggregate graph views sound:
+// folding segment pre-aggregates must equal folding the raw values.
+class DistributivityTest : public ::testing::TestWithParam<AggFn> {};
+
+TEST_P(DistributivityTest, SegmentMergeEqualsRawFold) {
+  const AggFn fn = GetParam();
+  const std::vector<double> values{4.0, -2.0, 7.5, 0.0, 3.25, 9.0};
+
+  AggAccumulator raw(fn);
+  for (double v : values) raw.Add(v);
+
+  // Split into segments [0,3) and [3,6); precompute each segment with the
+  // *stored* function (SUM sub-aggregate for AVG) then Merge.
+  const AggFn stored = fn == AggFn::kAvg ? AggFn::kSum : fn;
+  AggAccumulator seg1(stored), seg2(stored);
+  for (size_t i = 0; i < 3; ++i) seg1.Add(values[i]);
+  for (size_t i = 3; i < 6; ++i) seg2.Add(values[i]);
+
+  AggAccumulator merged(fn);
+  merged.Merge(seg1.Result(), 3);
+  merged.Merge(seg2.Result(), 3);
+  EXPECT_DOUBLE_EQ(merged.Result(), raw.Result());
+}
+
+TEST_P(DistributivityTest, MixedAtomsAndSegments) {
+  const AggFn fn = GetParam();
+  const std::vector<double> values{1.5, 2.5, -3.0, 8.0};
+
+  AggAccumulator raw(fn);
+  for (double v : values) raw.Add(v);
+
+  const AggFn stored = fn == AggFn::kAvg ? AggFn::kSum : fn;
+  AggAccumulator seg(stored);
+  seg.Add(values[1]);
+  seg.Add(values[2]);
+
+  AggAccumulator mixed(fn);
+  mixed.Add(values[0]);
+  mixed.Merge(seg.Result(), 2);
+  mixed.Add(values[3]);
+  EXPECT_DOUBLE_EQ(mixed.Result(), raw.Result());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFunctions, DistributivityTest,
+                         ::testing::Values(AggFn::kSum, AggFn::kCount,
+                                           AggFn::kMin, AggFn::kMax,
+                                           AggFn::kAvg));
+
+}  // namespace
+}  // namespace colgraph

@@ -1,0 +1,129 @@
+#include "views/apriori.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace colgraph {
+namespace {
+
+std::map<std::vector<EdgeId>, size_t> AsMap(const AprioriResult& r) {
+  std::map<std::vector<EdgeId>, size_t> m;
+  for (size_t i = 0; i < r.itemsets.size(); ++i) {
+    m[r.itemsets[i].edges] = r.supports[i];
+  }
+  return m;
+}
+
+TEST(AprioriTest, ClassicExample) {
+  // Transactions: {1,2,3}, {1,2}, {1,3}, {2,3}, with minSup=2.
+  const std::vector<std::vector<EdgeId>> transactions{
+      {1, 2, 3}, {1, 2}, {1, 3}, {2, 3}};
+  AprioriOptions options;
+  options.min_support = 2;
+  const auto result = MineFrequentItemsets(transactions, options);
+  ASSERT_TRUE(result.ok());
+  const auto m = AsMap(*result);
+  EXPECT_EQ(m.at({1}), 3u);
+  EXPECT_EQ(m.at({2}), 3u);
+  EXPECT_EQ(m.at({3}), 3u);
+  EXPECT_EQ(m.at({1, 2}), 2u);
+  EXPECT_EQ(m.at({1, 3}), 2u);
+  EXPECT_EQ(m.at({2, 3}), 2u);
+  EXPECT_EQ(m.count({1, 2, 3}), 0u);  // support 1 < 2
+}
+
+TEST(AprioriTest, MinSupportOnePicksEverything) {
+  AprioriOptions options;
+  options.min_support = 1;
+  const auto result = MineFrequentItemsets({{1, 2}}, options);
+  ASSERT_TRUE(result.ok());
+  const auto m = AsMap(*result);
+  EXPECT_EQ(m.size(), 3u);  // {1}, {2}, {1,2}
+  EXPECT_EQ(m.at({1, 2}), 1u);
+}
+
+TEST(AprioriTest, LevelCapStopsGrowth) {
+  AprioriOptions options;
+  options.min_support = 1;
+  options.max_itemset_size = 2;
+  const auto result = MineFrequentItemsets({{1, 2, 3, 4}}, options);
+  ASSERT_TRUE(result.ok());
+  for (const auto& itemset : result->itemsets) {
+    EXPECT_LE(itemset.size(), 2u);
+  }
+}
+
+TEST(AprioriTest, SupportIsAntiMonotone) {
+  // Property: support of any itemset <= support of each of its subsets.
+  const std::vector<std::vector<EdgeId>> transactions{
+      {1, 2, 3, 4}, {1, 2, 3}, {2, 3, 4}, {1, 3}, {2, 4}, {1, 2, 4}};
+  AprioriOptions options;
+  options.min_support = 1;
+  const auto result = MineFrequentItemsets(transactions, options);
+  ASSERT_TRUE(result.ok());
+  const auto m = AsMap(*result);
+  for (const auto& [itemset, support] : m) {
+    for (size_t drop = 0; drop < itemset.size(); ++drop) {
+      if (itemset.size() == 1) break;
+      std::vector<EdgeId> subset;
+      for (size_t i = 0; i < itemset.size(); ++i) {
+        if (i != drop) subset.push_back(itemset[i]);
+      }
+      ASSERT_TRUE(m.count(subset));
+      EXPECT_GE(m.at(subset), support);
+    }
+  }
+}
+
+TEST(AprioriTest, DuplicateItemsInTransactionIgnored) {
+  AprioriOptions options;
+  options.min_support = 1;
+  const auto result = MineFrequentItemsets({{5, 5, 5}}, options);
+  ASSERT_TRUE(result.ok());
+  const auto m = AsMap(*result);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.at({5}), 1u);
+}
+
+TEST(FilterSupersededTest, KeepsOnlyClosedItemsets) {
+  // {1} and {2} occur exactly where {1,2} occurs -> both superseded.
+  const std::vector<std::vector<EdgeId>> transactions{{1, 2, 3}, {1, 2}};
+  AprioriOptions options;
+  options.min_support = 1;
+  const auto mined = MineFrequentItemsets(transactions, options);
+  ASSERT_TRUE(mined.ok());
+  const AprioriResult filtered = FilterSuperseded(*mined, transactions);
+  const auto m = AsMap(filtered);
+  EXPECT_EQ(m.count({1}), 0u);
+  EXPECT_EQ(m.count({2}), 0u);
+  EXPECT_TRUE(m.count({1, 2}));      // support {t0, t1}
+  EXPECT_TRUE(m.count({1, 2, 3}));   // support {t0}
+  // {3}, {1,3}, {2,3} share support {t0} with {1,2,3} -> superseded.
+  EXPECT_EQ(m.count({3}), 0u);
+  EXPECT_EQ(m.count({1, 3}), 0u);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FilterSupersededTest, DisjointItemsetsAllSurvive) {
+  const std::vector<std::vector<EdgeId>> transactions{{1}, {2}};
+  AprioriOptions options;
+  options.min_support = 1;
+  const auto mined = MineFrequentItemsets(transactions, options);
+  ASSERT_TRUE(mined.ok());
+  const AprioriResult filtered = FilterSuperseded(*mined, transactions);
+  EXPECT_EQ(filtered.itemsets.size(), 2u);
+}
+
+TEST(AprioriTest, MaxItemsetsCapReturnsOutOfRange) {
+  AprioriOptions options;
+  options.min_support = 1;
+  options.max_itemsets = 5;
+  // One 6-item transaction has 2^6-1 itemsets, far over the cap.
+  const auto result = MineFrequentItemsets({{1, 2, 3, 4, 5, 6}}, options);
+  EXPECT_TRUE(result.status().IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace colgraph

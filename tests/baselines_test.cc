@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "baselines/graph_db.h"
+#include "baselines/rdf_store.h"
+#include "baselines/row_store.h"
+#include "core/engine.h"
+#include "workload/base_graphs.h"
+#include "workload/query_generator.h"
+#include "workload/record_generator.h"
+
+namespace colgraph {
+namespace {
+
+NodeRef N(NodeId id, uint32_t occ = 0) { return NodeRef{id, occ}; }
+
+GraphRecord MakeRecord(RecordId id, std::vector<Edge> elements,
+                       std::vector<double> measures) {
+  GraphRecord r;
+  r.id = id;
+  r.elements = std::move(elements);
+  r.measures = std::move(measures);
+  return r;
+}
+
+// Each baseline gets the same three records and must return the same
+// matches as hand computation.
+class BaselineConformanceTest
+    : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<GraphStoreInterface> MakeStore() {
+    const std::string& which = GetParam();
+    if (which == "row") return std::make_unique<RowStore>();
+    if (which == "graphdb") return std::make_unique<GraphDb>();
+    return std::make_unique<RdfStore>();
+  }
+};
+
+TEST_P(BaselineConformanceTest, BasicMatchingAndMeasures) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store
+                  ->AddRecord(MakeRecord(
+                      0, {Edge{N(1), N(2)}, Edge{N(2), N(3)}}, {1.0, 2.0}))
+                  .ok());
+  ASSERT_TRUE(store
+                  ->AddRecord(MakeRecord(
+                      1, {Edge{N(2), N(3)}, Edge{N(3), N(4)}}, {3.0, 4.0}))
+                  .ok());
+  ASSERT_TRUE(store
+                  ->AddRecord(MakeRecord(2,
+                                         {Edge{N(1), N(2)}, Edge{N(2), N(3)},
+                                          Edge{N(3), N(4)}},
+                                         {5.0, 6.0, 7.0}))
+                  .ok());
+  ASSERT_TRUE(store->Seal().ok());
+
+  const auto result =
+      store->RunGraphQuery(GraphQuery::FromPath({N(1), N(2), N(3)}));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->records, (std::vector<RecordId>{0, 2}));
+
+  const auto empty =
+      store->RunGraphQuery(GraphQuery::FromPath({N(9), N(10)}));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->records.empty());
+}
+
+TEST_P(BaselineConformanceTest, QueryBeforeSealRejected) {
+  auto store = MakeStore();
+  ASSERT_TRUE(
+      store->AddRecord(MakeRecord(0, {Edge{N(1), N(2)}}, {1.0})).ok());
+  EXPECT_FALSE(
+      store->RunGraphQuery(GraphQuery::FromPath({N(1), N(2)})).ok());
+}
+
+TEST_P(BaselineConformanceTest, AddAfterSealRejected) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store->Seal().ok());
+  EXPECT_TRUE(store->AddRecord(MakeRecord(0, {Edge{N(1), N(2)}}, {1.0}))
+                  .IsInvalidArgument());
+}
+
+TEST_P(BaselineConformanceTest, MismatchedMeasuresRejected) {
+  auto store = MakeStore();
+  EXPECT_TRUE(store->AddRecord(MakeRecord(0, {Edge{N(1), N(2)}}, {}))
+                  .IsInvalidArgument());
+}
+
+TEST_P(BaselineConformanceTest, DiskBytesGrowWithData) {
+  auto store = MakeStore();
+  const size_t empty_bytes = store->DiskBytes();
+  for (RecordId r = 0; r < 50; ++r) {
+    ASSERT_TRUE(store
+                    ->AddRecord(MakeRecord(
+                        r, {Edge{N(1), N(2)}, Edge{N(2), N(3)}}, {1.0, 2.0}))
+                    .ok());
+  }
+  EXPECT_GT(store->DiskBytes(), empty_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineConformanceTest,
+                         ::testing::Values("row", "graphdb", "rdf"));
+
+// Cross-validation property: all four systems agree on a randomized
+// workload — same matching records and same measures per record/edge.
+TEST(BaselineCrossValidationTest, AllSystemsAgreeOnRandomWorkload) {
+  const DirectedGraph base = MakeRoadNetwork(12, 12);
+  auto universe = SelectEdgeUniverse(base, 120, 7);
+  ASSERT_TRUE(universe.ok());
+
+  RecordGenOptions rec_options;
+  rec_options.min_edges = 6;
+  rec_options.max_edges = 20;
+  WalkRecordGenerator generator(&*universe, rec_options, 21);
+
+  ColGraphEngine engine;
+  RowStore row;
+  GraphDb graphdb;
+  RdfStore rdf;
+  std::vector<std::vector<NodeRef>> trunks;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<NodeRef> trunk;
+    const GraphRecord record = generator.Next(&trunk);
+    trunks.push_back(trunk);
+    ASSERT_TRUE(engine.AddRecord(record).ok());
+    ASSERT_TRUE(row.AddRecord(record).ok());
+    ASSERT_TRUE(graphdb.AddRecord(record).ok());
+    ASSERT_TRUE(rdf.AddRecord(record).ok());
+  }
+  ASSERT_TRUE(engine.Seal().ok());
+  ASSERT_TRUE(row.Seal().ok());
+  ASSERT_TRUE(graphdb.Seal().ok());
+  ASSERT_TRUE(rdf.Seal().ok());
+
+  QueryGenerator qgen(&trunks, &*universe, 31);
+  QueryGenOptions q_options;
+  q_options.min_edges = 1;
+  q_options.max_edges = 6;
+  const auto workload = qgen.UniformWorkload(25, q_options);
+
+  for (const GraphQuery& q : workload) {
+    const auto expected = engine.RunGraphQuery(q);
+    ASSERT_TRUE(expected.ok());
+    for (GraphStoreInterface* store :
+         std::initializer_list<GraphStoreInterface*>{&row, &graphdb, &rdf}) {
+      const auto got = store->RunGraphQuery(q);
+      ASSERT_TRUE(got.ok()) << store->name();
+      EXPECT_EQ(got->records, expected->records) << store->name();
+      // Compare the total sum of all fetched measures (column orders and
+      // NULL encodings differ across systems; the multiset of values for
+      // matching records must not).
+      auto total = [](const MeasureTable& t) {
+        double sum = 0;
+        for (const auto& col : t.columns) {
+          for (double v : col) {
+            if (!std::isnan(v)) sum += v;
+          }
+        }
+        return sum;
+      };
+      EXPECT_NEAR(total(*got), total(*expected), 1e-6) << store->name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace colgraph

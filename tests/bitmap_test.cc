@@ -1,0 +1,173 @@
+#include "bitmap/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace colgraph {
+namespace {
+
+TEST(BitmapTest, StartsAllZero) {
+  Bitmap b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+  for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.Test(i));
+}
+
+TEST(BitmapTest, SetClearTest) {
+  Bitmap b(130);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Clear(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(BitmapTest, FillRespectsTailPadding) {
+  Bitmap b(70);
+  b.Fill();
+  EXPECT_EQ(b.Count(), 70u);
+  b.Not();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(BitmapTest, NotComplementsWithinSize) {
+  Bitmap b(65);
+  b.Set(0);
+  b.Set(64);
+  b.Not();
+  EXPECT_EQ(b.Count(), 63u);
+  EXPECT_FALSE(b.Test(0));
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_TRUE(b.Test(1));
+}
+
+TEST(BitmapTest, AndOrAndNot) {
+  Bitmap a(10), b(10);
+  a.Set(1);
+  a.Set(2);
+  a.Set(3);
+  b.Set(2);
+  b.Set(3);
+  b.Set(4);
+
+  Bitmap and_result = a;
+  and_result.And(b);
+  EXPECT_EQ(and_result.ToVector(), (std::vector<uint64_t>{2, 3}));
+
+  Bitmap or_result = a;
+  or_result.Or(b);
+  EXPECT_EQ(or_result.ToVector(), (std::vector<uint64_t>{1, 2, 3, 4}));
+
+  Bitmap diff = a;
+  diff.AndNot(b);
+  EXPECT_EQ(diff.ToVector(), (std::vector<uint64_t>{1}));
+}
+
+TEST(BitmapTest, AndAllOverThreeOperands) {
+  Bitmap a(8), b(8), c(8);
+  for (size_t i : {1, 2, 3, 4}) a.Set(i);
+  for (size_t i : {2, 3, 4, 5}) b.Set(i);
+  for (size_t i : {3, 4, 5, 6}) c.Set(i);
+  const Bitmap result = Bitmap::AndAll({&a, &b, &c});
+  EXPECT_EQ(result.ToVector(), (std::vector<uint64_t>{3, 4}));
+}
+
+TEST(BitmapTest, AndAllEmptyOperandListGivesEmptyBitmap) {
+  const Bitmap result = Bitmap::AndAll({});
+  EXPECT_EQ(result.size(), 0u);
+}
+
+TEST(BitmapTest, ForEachSetBitVisitsAscending) {
+  Bitmap b(200);
+  const std::vector<uint64_t> expected{0, 5, 63, 64, 65, 128, 199};
+  for (uint64_t i : expected) b.Set(i);
+  std::vector<uint64_t> seen;
+  b.ForEachSetBit([&](size_t pos) { seen.push_back(pos); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(BitmapTest, ResizeGrowsWithZeros) {
+  Bitmap b(10);
+  b.Set(9);
+  b.Resize(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.Count(), 1u);
+  EXPECT_TRUE(b.Test(9));
+}
+
+TEST(BitmapTest, ResizeShrinkDropsTailBits) {
+  Bitmap b(100);
+  b.Set(99);
+  b.Set(5);
+  b.Resize(50);
+  EXPECT_EQ(b.Count(), 1u);
+  EXPECT_TRUE(b.Test(5));
+}
+
+TEST(BitmapTest, EqualityChecksBitsAndSize) {
+  Bitmap a(10), b(10), c(11);
+  a.Set(3);
+  b.Set(3);
+  c.Set(3);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  b.Set(4);
+  EXPECT_FALSE(a == b);
+}
+
+// Property sweep: random bitmaps of many sizes obey boolean-algebra laws.
+class BitmapPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BitmapPropertyTest, AlgebraicLaws) {
+  const size_t n = GetParam();
+  Rng rng(n * 2654435761u + 1);
+  Bitmap a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) a.Set(i);
+    if (rng.Bernoulli(0.3)) b.Set(i);
+  }
+
+  // Idempotence: a AND a == a.
+  Bitmap aa = a;
+  aa.And(a);
+  EXPECT_EQ(aa, a);
+
+  // Commutativity of AND through counts of both orders.
+  Bitmap ab = a;
+  ab.And(b);
+  Bitmap ba = b;
+  ba.And(a);
+  EXPECT_EQ(ab, ba);
+
+  // |a| = |a AND b| + |a AND NOT b|.
+  Bitmap anotb = a;
+  anotb.AndNot(b);
+  EXPECT_EQ(a.Count(), ab.Count() + anotb.Count());
+
+  // De Morgan: NOT(a OR b) == NOT a AND NOT b.
+  Bitmap aorb = a;
+  aorb.Or(b);
+  aorb.Not();
+  Bitmap nota = a;
+  nota.Not();
+  Bitmap notb = b;
+  notb.Not();
+  nota.And(notb);
+  EXPECT_EQ(aorb, nota);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitmapPropertyTest,
+                         ::testing::Values(1, 7, 63, 64, 65, 127, 128, 1000,
+                                           4096, 10001));
+
+}  // namespace
+}  // namespace colgraph

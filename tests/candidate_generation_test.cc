@@ -1,0 +1,176 @@
+#include "views/candidate_generation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace colgraph {
+namespace {
+
+NodeRef N(NodeId id, uint32_t occ = 0) { return NodeRef{id, occ}; }
+
+bool HasCandidate(const std::vector<GraphViewDef>& candidates,
+                  std::vector<EdgeId> edges) {
+  std::sort(edges.begin(), edges.end());
+  return std::any_of(candidates.begin(), candidates.end(),
+                     [&](const GraphViewDef& d) { return d.edges == edges; });
+}
+
+TEST(GraphViewCandidatesTest, EveryQueryIsACandidate) {
+  // Section 5.2: each query graph must be considered even when contained
+  // in another query.
+  const auto result =
+      GenerateGraphViewCandidates({{1, 2}, {1, 2, 3}}, CandidateGenOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(HasCandidate(*result, {1, 2}));
+  EXPECT_TRUE(HasCandidate(*result, {1, 2, 3}));
+}
+
+TEST(GraphViewCandidatesTest, PairwiseIntersectionIncluded) {
+  const auto result =
+      GenerateGraphViewCandidates({{1, 2, 3}, {2, 3, 4}}, CandidateGenOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(HasCandidate(*result, {2, 3}));
+  EXPECT_EQ(result->size(), 3u);  // q1, q2, q1 ∩ q2
+}
+
+TEST(GraphViewCandidatesTest, ThreeWayIntersectionIncluded) {
+  const auto result = GenerateGraphViewCandidates(
+      {{1, 2, 3, 9}, {2, 3, 4, 9}, {3, 5, 9}}, CandidateGenOptions{});
+  ASSERT_TRUE(result.ok());
+  // q1 ∩ q2 ∩ q3 = {3, 9}.
+  EXPECT_TRUE(HasCandidate(*result, {3, 9}));
+}
+
+TEST(GraphViewCandidatesTest, SupersededViewsRemoved) {
+  // {2,3} ⊂ {1,2,3} and both are contained in exactly the same (single)
+  // query, so {2,3} is superseded and must not appear.
+  const auto result =
+      GenerateGraphViewCandidates({{1, 2, 3}}, CandidateGenOptions{});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].edges, (std::vector<EdgeId>{1, 2, 3}));
+}
+
+TEST(GraphViewCandidatesTest, MinSupportFilters) {
+  CandidateGenOptions options;
+  options.min_support = 2;
+  const auto result =
+      GenerateGraphViewCandidates({{1, 2, 3}, {2, 3, 4}, {5, 6}}, options);
+  ASSERT_TRUE(result.ok());
+  // Only {2,3} is contained in >= 2 queries.
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].edges, (std::vector<EdgeId>{2, 3}));
+}
+
+TEST(GraphViewCandidatesTest, DuplicateQueriesCollapse) {
+  const auto result =
+      GenerateGraphViewCandidates({{1, 2}, {1, 2}, {1, 2}}, CandidateGenOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST(GraphViewCandidatesTest, CapReturnsOutOfRange) {
+  CandidateGenOptions options;
+  options.max_candidates = 2;
+  // Three pairwise-overlapping queries produce > 2 candidates.
+  const auto result = GenerateGraphViewCandidates(
+      {{1, 2, 3}, {2, 3, 4}, {3, 4, 5}}, options);
+  EXPECT_TRUE(result.status().IsOutOfRange());
+}
+
+TEST(GraphViewCandidatesTest, NoCandidateIsSupersededProperty) {
+  // Property from Section 5.2: the generated set contains no view
+  // superseded by another (same supporting queries, strictly larger view).
+  const std::vector<std::vector<EdgeId>> queries{
+      {1, 2, 3, 4}, {2, 3, 4, 5}, {3, 4, 5, 6}, {1, 4, 6}};
+  const auto result = GenerateGraphViewCandidates(queries, CandidateGenOptions{});
+  ASSERT_TRUE(result.ok());
+  auto support = [&](const GraphViewDef& v) {
+    std::set<size_t> s;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      std::vector<EdgeId> sorted = queries[q];
+      std::sort(sorted.begin(), sorted.end());
+      if (v.IsSubsetOf(sorted)) s.insert(q);
+    }
+    return s;
+  };
+  for (const auto& a : *result) {
+    for (const auto& b : *result) {
+      if (a.edges == b.edges) continue;
+      const bool a_subset_b =
+          std::includes(b.edges.begin(), b.edges.end(), a.edges.begin(),
+                        a.edges.end());
+      if (a_subset_b) {
+        EXPECT_NE(support(a), support(b))
+            << "superseded view survived the filter";
+      }
+    }
+  }
+}
+
+// --- Aggregate-view candidates: the paper's Figure 2 example. ---
+
+// Figure 2 treated as three query graphs:
+//   q1: A->C->E->F->G  (with A->D? no) — per the paper's example the three
+//       records give maximal paths whose union has A branching to C and D,
+//       merging at E, then a chain E->F->G.
+std::vector<std::vector<Path>> Figure2QueryPaths() {
+  // Node naming: A=1, B=2, C=3, D=4, E=5, F=6, G=7.
+  // Record/query 1: A->C->E->F->G and A->D->E->F->G? The figure's exact
+  // shapes: record 1 has A->C, A->D?, ... We model the published outcome:
+  // maximal paths such that interesting nodes come out as {A, B, E, G}.
+  std::vector<std::vector<Path>> per_query;
+  // q1: paths A->C->E->F->G ; A->B (B is a maximal-path endpoint).
+  per_query.push_back({Path({N(1), N(3), N(5), N(6), N(7)}),
+                       Path({N(1), N(2)})});
+  // q2: path A->D->E->F->G.
+  per_query.push_back({Path({N(1), N(4), N(5), N(6), N(7)})});
+  // q3: path E->F->G.
+  per_query.push_back({Path({N(5), N(6), N(7)})});
+  return per_query;
+}
+
+TEST(InterestingNodesTest, Figure2ExampleNodes) {
+  const auto interesting = InterestingNodes(Figure2QueryPaths());
+  // A (origin), B (endpoint), E (merge of C->E and D->E; also an origin),
+  // G (endpoint).
+  const std::set<NodeRef> got(interesting.begin(), interesting.end());
+  EXPECT_TRUE(got.count(N(1)));  // A
+  EXPECT_TRUE(got.count(N(2)));  // B
+  EXPECT_TRUE(got.count(N(5)));  // E
+  EXPECT_TRUE(got.count(N(7)));  // G
+  EXPECT_FALSE(got.count(N(3)));  // C: plain pass-through
+  EXPECT_FALSE(got.count(N(4)));  // D
+  EXPECT_FALSE(got.count(N(6)));  // F
+}
+
+TEST(AggCandidatePathsTest, Figure2ExampleCandidates) {
+  const auto paths = GenerateAggViewCandidatePaths(Figure2QueryPaths());
+  ASSERT_TRUE(paths.ok());
+  // The paper lists exactly 5 candidates: [A,C,E], [A,D,E], [A,C,E,F,G],
+  // [A,D,E,F,G], [E,F,G]; length-1 paths like (A,B) are excluded.
+  std::set<std::vector<NodeRef>> got;
+  for (const Path& p : *paths) got.insert(p.nodes());
+  EXPECT_EQ(paths->size(), 5u);
+  EXPECT_TRUE(got.count({N(1), N(3), N(5)}));
+  EXPECT_TRUE(got.count({N(1), N(4), N(5)}));
+  EXPECT_TRUE(got.count({N(1), N(3), N(5), N(6), N(7)}));
+  EXPECT_TRUE(got.count({N(1), N(4), N(5), N(6), N(7)}));
+  EXPECT_TRUE(got.count({N(5), N(6), N(7)}));
+}
+
+TEST(AggCandidatePathsTest, CapReturnsOutOfRange) {
+  const auto paths = GenerateAggViewCandidatePaths(Figure2QueryPaths(), 2);
+  EXPECT_TRUE(paths.status().IsOutOfRange());
+}
+
+TEST(AggCandidatePathsTest, EmptyWorkload) {
+  const auto paths = GenerateAggViewCandidatePaths({});
+  ASSERT_TRUE(paths.ok());
+  EXPECT_TRUE(paths->empty());
+}
+
+}  // namespace
+}  // namespace colgraph

@@ -1,0 +1,59 @@
+#include "graph/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace colgraph {
+namespace {
+
+NodeRef N(NodeId id, uint32_t occ = 0) { return NodeRef{id, occ}; }
+
+TEST(EdgeCatalogTest, AssignsDenseIdsInFirstSeenOrder) {
+  EdgeCatalog catalog;
+  EXPECT_EQ(catalog.GetOrAssign(Edge{N(1), N(2)}), 0u);
+  EXPECT_EQ(catalog.GetOrAssign(Edge{N(2), N(3)}), 1u);
+  EXPECT_EQ(catalog.GetOrAssign(Edge{N(1), N(2)}), 0u);  // idempotent
+  EXPECT_EQ(catalog.size(), 2u);
+}
+
+TEST(EdgeCatalogTest, NodesAndEdgesShareTheNamespace) {
+  EdgeCatalog catalog;
+  const EdgeId node_id = catalog.GetOrAssign(Edge{N(5), N(5)});
+  const EdgeId edge_id = catalog.GetOrAssign(Edge{N(5), N(6)});
+  EXPECT_NE(node_id, edge_id);
+  EXPECT_TRUE(catalog.edge(node_id).IsNode());
+}
+
+TEST(EdgeCatalogTest, OccurrencesAreDistinctEdges) {
+  EdgeCatalog catalog;
+  const EdgeId a = catalog.GetOrAssign(Edge{N(1), N(2)});
+  const EdgeId b = catalog.GetOrAssign(Edge{N(1), N(2, 1)});
+  EXPECT_NE(a, b);
+}
+
+TEST(EdgeCatalogTest, LookupMissingReturnsNullopt) {
+  EdgeCatalog catalog;
+  catalog.GetOrAssign(Edge{N(1), N(2)});
+  EXPECT_FALSE(catalog.Lookup(Edge{N(9), N(9)}).has_value());
+  EXPECT_EQ(*catalog.Lookup(Edge{N(1), N(2)}), 0u);
+}
+
+TEST(EdgeCatalogTest, ReverseLookupRoundtrips) {
+  EdgeCatalog catalog;
+  const Edge e{N(3), N(7)};
+  const EdgeId id = catalog.GetOrAssign(e);
+  EXPECT_EQ(catalog.edge(id), e);
+}
+
+TEST(EdgeCatalogTest, LookupAllFailsOnFirstUnknown) {
+  EdgeCatalog catalog;
+  catalog.GetOrAssign(Edge{N(1), N(2)});
+  catalog.GetOrAssign(Edge{N(2), N(3)});
+  const auto ok = catalog.LookupAll({Edge{N(1), N(2)}, Edge{N(2), N(3)}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, (std::vector<EdgeId>{0, 1}));
+  const auto bad = catalog.LookupAll({Edge{N(1), N(2)}, Edge{N(8), N(9)}});
+  EXPECT_TRUE(bad.status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace colgraph

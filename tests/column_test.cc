@@ -1,0 +1,134 @@
+#include "columnstore/column.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace colgraph {
+namespace {
+
+TEST(BitmapColumnTest, RankCountsSetBitsBefore) {
+  BitmapColumn col(200);
+  for (size_t pos : {0ul, 10ul, 63ul, 64ul, 150ul}) col.Set(pos);
+  col.Seal();
+  EXPECT_EQ(col.Rank(0), 0u);
+  EXPECT_EQ(col.Rank(1), 1u);
+  EXPECT_EQ(col.Rank(10), 1u);
+  EXPECT_EQ(col.Rank(11), 2u);
+  EXPECT_EQ(col.Rank(64), 3u);
+  EXPECT_EQ(col.Rank(65), 4u);
+  EXPECT_EQ(col.Rank(200), 5u);
+}
+
+TEST(BitmapColumnTest, RankMatchesBruteForceOnRandomData) {
+  Rng rng(11);
+  BitmapColumn col(1000);
+  std::vector<bool> reference(1000, false);
+  for (size_t i = 0; i < 1000; ++i) {
+    if (rng.Bernoulli(0.2)) {
+      col.Set(i);
+      reference[i] = true;
+    }
+  }
+  col.Seal();
+  size_t running = 0;
+  for (size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(col.Rank(i), running) << "pos " << i;
+    if (reference[i]) ++running;
+  }
+}
+
+TEST(MeasureColumnTest, AppendGetRoundtrip) {
+  MeasureColumn col;
+  ASSERT_TRUE(col.Append(2, 10.5).ok());
+  ASSERT_TRUE(col.Append(5, -3.0).ok());
+  ASSERT_TRUE(col.Append(63, 7.0).ok());
+  col.Seal(100);
+  EXPECT_EQ(col.Get(2), 10.5);
+  EXPECT_EQ(col.Get(5), -3.0);
+  EXPECT_EQ(col.Get(63), 7.0);
+  EXPECT_FALSE(col.Get(0).has_value());
+  EXPECT_FALSE(col.Get(99).has_value());
+  EXPECT_EQ(col.num_values(), 3u);
+}
+
+TEST(MeasureColumnTest, AppendRequiresIncreasingRecords) {
+  MeasureColumn col;
+  ASSERT_TRUE(col.Append(5, 1.0).ok());
+  EXPECT_TRUE(col.Append(5, 2.0).IsInvalidArgument());
+  EXPECT_TRUE(col.Append(3, 2.0).IsInvalidArgument());
+  EXPECT_TRUE(col.Append(6, 2.0).ok());
+}
+
+TEST(MeasureColumnTest, AppendAfterSealRejected) {
+  MeasureColumn col;
+  ASSERT_TRUE(col.Append(0, 1.0).ok());
+  col.Seal(10);
+  EXPECT_TRUE(col.Append(5, 2.0).IsInvalidArgument());
+}
+
+TEST(MeasureColumnTest, EmptyColumnIsAllNull) {
+  MeasureColumn col;
+  col.Seal(50);
+  for (size_t r = 0; r < 50; ++r) EXPECT_FALSE(col.Get(r).has_value());
+  EXPECT_EQ(col.num_values(), 0u);
+}
+
+TEST(MeasureColumnTest, FromPartsReconstructs) {
+  Bitmap presence(10);
+  presence.Set(1);
+  presence.Set(7);
+  auto col = MeasureColumn::FromParts(presence, {42.0, 43.0});
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->Get(1), 42.0);
+  EXPECT_EQ(col->Get(7), 43.0);
+  EXPECT_FALSE(col->Get(0).has_value());
+}
+
+TEST(MeasureColumnTest, FromPartsRejectsCardinalityMismatch) {
+  Bitmap presence(10);
+  presence.Set(1);
+  EXPECT_TRUE(
+      MeasureColumn::FromParts(presence, {1.0, 2.0}).status().IsCorruption());
+}
+
+TEST(MeasureColumnTest, ValueAtRankAlignsWithPresenceOrder) {
+  MeasureColumn col;
+  ASSERT_TRUE(col.Append(3, 30.0).ok());
+  ASSERT_TRUE(col.Append(8, 80.0).ok());
+  ASSERT_TRUE(col.Append(9, 90.0).ok());
+  col.Seal(20);
+  EXPECT_EQ(col.ValueAtRank(0), 30.0);
+  EXPECT_EQ(col.ValueAtRank(1), 80.0);
+  EXPECT_EQ(col.ValueAtRank(2), 90.0);
+  EXPECT_EQ(col.ValueAtRank(col.presence().Rank(8)), 80.0);
+}
+
+// Property sweep: NULL-suppressed storage footprint tracks density, not the
+// record count alone (the core of the paper's Figure 4 claim).
+class MeasureColumnDensityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MeasureColumnDensityTest, FootprintTracksDensity) {
+  const double density = GetParam();
+  const size_t records = 10000;
+  Rng rng(static_cast<uint64_t>(density * 1000) + 13);
+  MeasureColumn col;
+  size_t non_null = 0;
+  for (size_t r = 0; r < records; ++r) {
+    if (rng.Bernoulli(density)) {
+      ASSERT_TRUE(col.Append(r, 1.0).ok());
+      ++non_null;
+    }
+  }
+  col.Seal(records);
+  EXPECT_EQ(col.num_values(), non_null);
+  // Memory = fixed bitmap + values proportional to density.
+  const size_t bitmap_part = col.presence().MemoryBytes();
+  EXPECT_EQ(col.MemoryBytes() - bitmap_part, non_null * sizeof(double));
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, MeasureColumnDensityTest,
+                         ::testing::Values(0.0, 0.01, 0.1, 0.5, 1.0));
+
+}  // namespace
+}  // namespace colgraph

@@ -1,0 +1,153 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace colgraph {
+namespace {
+
+NodeRef N(NodeId id, uint32_t occ = 0) { return NodeRef{id, occ}; }
+
+TEST(ColGraphEngineTest, WalkIngestAndQuery) {
+  ColGraphEngine engine;
+  ASSERT_TRUE(engine.AddWalk({1, 2, 3, 4}, {1.0, 2.0, 3.0}).ok());
+  ASSERT_TRUE(engine.AddWalk({2, 3, 4}, {4.0, 5.0}).ok());
+  ASSERT_TRUE(engine.Seal().ok());
+
+  const auto result =
+      engine.RunGraphQuery(GraphQuery::FromPath({N(2), N(3), N(4)}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->records, (std::vector<RecordId>{0, 1}));
+}
+
+TEST(ColGraphEngineTest, WalkValidation) {
+  ColGraphEngine engine;
+  EXPECT_TRUE(engine.AddWalk({1}, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(engine.AddWalk({1, 2}, {1.0, 2.0}).status().IsInvalidArgument());
+}
+
+TEST(ColGraphEngineTest, CyclicWalkIsFlattenedAtIngest) {
+  ColGraphEngine engine;
+  // Walk 1,2,1 revisits node 1: flattening renames it to 1'.
+  ASSERT_TRUE(engine.AddWalk({1, 2, 1}, {1.0, 2.0}).ok());
+  ASSERT_TRUE(engine.Seal().ok());
+  EXPECT_TRUE(engine.catalog().Lookup(Edge{N(2), N(1, 1)}).has_value());
+  // Aggregation over the flattened path works (it is a DAG).
+  const auto result = engine.RunAggregateQuery(
+      GraphQuery::FromPath({N(1), N(2), N(1, 1)}), AggFn::kSum);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->records.size(), 1u);
+  EXPECT_EQ(result->values[0][0], 3.0);
+}
+
+TEST(ColGraphEngineTest, RecordWithMismatchedMeasuresRejected) {
+  ColGraphEngine engine;
+  GraphRecord record;
+  record.elements = {Edge{N(1), N(2)}};
+  record.measures = {1.0, 2.0};
+  EXPECT_TRUE(engine.AddRecord(record).status().IsInvalidArgument());
+}
+
+TEST(ColGraphEngineTest, RegisterUniverseFixesColumnOrder) {
+  ColGraphEngine engine;
+  engine.RegisterUniverse({Edge{N(5), N(6)}, Edge{N(6), N(7)}});
+  EXPECT_EQ(engine.catalog().size(), 2u);
+  ASSERT_TRUE(engine.AddWalk({6, 7}, {1.0}).ok());
+  // (6,7) was pre-registered as id 1.
+  EXPECT_EQ(*engine.catalog().Lookup(Edge{N(6), N(7)}), 1u);
+  ASSERT_TRUE(engine.Seal().ok());
+  EXPECT_EQ(engine.relation().num_edge_columns(), 2u);
+}
+
+TEST(ColGraphEngineTest, SelectAndMaterializeGraphViewsEndToEnd) {
+  ColGraphEngine engine;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine.AddWalk({1, 2, 3, 4, 5}, {1, 1, 1, 1}).ok());
+    ASSERT_TRUE(engine.AddWalk({2, 3, 4, 6}, {2, 2, 2}).ok());
+  }
+  ASSERT_TRUE(engine.Seal().ok());
+
+  // Workload: two overlapping path queries sharing [2,3,4].
+  const std::vector<GraphQuery> workload{
+      GraphQuery::FromPath({N(1), N(2), N(3), N(4), N(5)}),
+      GraphQuery::FromPath({N(2), N(3), N(4), N(6)}),
+  };
+  const auto count = engine.SelectAndMaterializeGraphViews(workload, 4);
+  ASSERT_TRUE(count.ok());
+  EXPECT_GE(*count, 1u);
+  EXPECT_EQ(engine.views().num_graph_views(), *count);
+
+  // Views must not change answers, only reduce fetched bitmaps.
+  QueryOptions no_views;
+  no_views.use_views = false;
+  for (const GraphQuery& q : workload) {
+    const auto with = engine.RunGraphQuery(q);
+    const auto without = engine.RunGraphQuery(q, no_views);
+    ASSERT_TRUE(with.ok() && without.ok());
+    EXPECT_EQ(with->records, without->records);
+    EXPECT_EQ(with->columns, without->columns);
+  }
+
+  engine.stats().Reset();
+  engine.Match(workload[0]);
+  const uint64_t with_views = engine.stats().bitmap_columns_fetched;
+  engine.stats().Reset();
+  engine.Match(workload[0], no_views);
+  const uint64_t without_views = engine.stats().bitmap_columns_fetched;
+  EXPECT_LT(with_views, without_views);
+}
+
+TEST(ColGraphEngineTest, SelectAndMaterializeAggViewsEndToEnd) {
+  ColGraphEngine engine;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(engine.AddWalk({1, 2, 3, 4, 5}, {1, 2, 3, 4}).ok());
+    ASSERT_TRUE(engine.AddWalk({9, 2, 3, 4, 8}, {5, 6, 7, 8}).ok());
+  }
+  ASSERT_TRUE(engine.Seal().ok());
+
+  const std::vector<GraphQuery> workload{
+      GraphQuery::FromPath({N(1), N(2), N(3), N(4), N(5)}),
+      GraphQuery::FromPath({N(9), N(2), N(3), N(4), N(8)}),
+  };
+  const auto count =
+      engine.SelectAndMaterializeAggViews(workload, AggFn::kSum, 4);
+  ASSERT_TRUE(count.ok());
+  EXPECT_GE(*count, 1u);
+
+  QueryOptions no_views;
+  no_views.use_views = false;
+  for (const GraphQuery& q : workload) {
+    const auto with = engine.RunAggregateQuery(q, AggFn::kSum);
+    const auto without = engine.RunAggregateQuery(q, AggFn::kSum, no_views);
+    ASSERT_TRUE(with.ok() && without.ok());
+    EXPECT_EQ(with->records, without->records);
+    EXPECT_EQ(with->values, without->values);
+  }
+
+  // The rewritten aggregate query must touch fewer measure columns.
+  engine.stats().Reset();
+  ASSERT_TRUE(engine.RunAggregateQuery(workload[0], AggFn::kSum).ok());
+  const uint64_t with_cols = engine.stats().measure_columns_fetched;
+  engine.stats().Reset();
+  ASSERT_TRUE(
+      engine.RunAggregateQuery(workload[0], AggFn::kSum, no_views).ok());
+  const uint64_t without_cols = engine.stats().measure_columns_fetched;
+  EXPECT_LT(with_cols, without_cols);
+}
+
+TEST(ColGraphEngineTest, ExplicitViewMaterialization) {
+  ColGraphEngine engine;
+  ASSERT_TRUE(engine.AddWalk({1, 2, 3}, {1.0, 2.0}).ok());
+  ASSERT_TRUE(engine.Seal().ok());
+  const EdgeId e0 = *engine.catalog().Lookup(Edge{N(1), N(2)});
+  const EdgeId e1 = *engine.catalog().Lookup(Edge{N(2), N(3)});
+  ASSERT_TRUE(engine.MaterializeView(GraphViewDef::Make({e0, e1})).ok());
+  AggViewDef agg;
+  agg.elements = {e0, e1};
+  agg.fn = AggFn::kSum;
+  ASSERT_TRUE(engine.MaterializeView(agg).ok());
+  EXPECT_EQ(engine.views().num_graph_views(), 1u);
+  EXPECT_EQ(engine.views().num_agg_views(), 1u);
+}
+
+}  // namespace
+}  // namespace colgraph

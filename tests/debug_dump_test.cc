@@ -1,0 +1,71 @@
+#include "columnstore/debug.h"
+
+#include <gtest/gtest.h>
+
+namespace colgraph {
+namespace {
+
+MasterRelation MakeRelation() {
+  MasterRelation rel;
+  EXPECT_TRUE(rel.AddRecord({{0, 3}, {1, 4}}).ok());
+  EXPECT_TRUE(rel.AddRecord({{1, 1.5}}).ok());
+  EXPECT_TRUE(rel.Seal().ok());
+  return rel;
+}
+
+TEST(DumpRelationTest, ContainsHeaderMeasuresAndBitmaps) {
+  const MasterRelation rel = MakeRelation();
+  const std::string dump = DumpRelation(rel);
+  EXPECT_NE(dump.find("rid"), std::string::npos);
+  EXPECT_NE(dump.find("m1"), std::string::npos);
+  EXPECT_NE(dump.find("b2"), std::string::npos);
+  EXPECT_NE(dump.find("NULL"), std::string::npos);  // r2 lacks m1
+  EXPECT_NE(dump.find("1.50"), std::string::npos);  // non-integer measure
+  EXPECT_NE(dump.find("r2"), std::string::npos);
+}
+
+TEST(DumpRelationTest, ViewsRendered) {
+  MasterRelation rel = MakeRelation();
+  Bitmap bv(rel.num_records());
+  bv.Set(0);
+  rel.AddGraphView(std::move(bv));
+  MeasureColumn mp;
+  ASSERT_TRUE(mp.Append(0, 7).ok());
+  mp.Seal(rel.num_records());
+  rel.AddAggregateView(std::move(mp));
+
+  const std::string dump = DumpRelation(rel);
+  EXPECT_NE(dump.find("bv1"), std::string::npos);
+  EXPECT_NE(dump.find("mp1"), std::string::npos);
+  EXPECT_NE(dump.find("bp1"), std::string::npos);
+  EXPECT_NE(dump.find("7"), std::string::npos);
+}
+
+TEST(DumpRelationTest, TruncationNotesElidedRowsAndColumns) {
+  MasterRelation rel;
+  for (int r = 0; r < 30; ++r) {
+    std::vector<std::pair<EdgeId, double>> row;
+    for (EdgeId e = 0; e < 20; ++e) row.emplace_back(e, 1.0);
+    ASSERT_TRUE(rel.AddRecord(row).ok());
+  }
+  ASSERT_TRUE(rel.Seal().ok());
+  DumpOptions options;
+  options.max_records = 5;
+  options.max_columns = 4;
+  const std::string dump = DumpRelation(rel, options);
+  EXPECT_NE(dump.find("25 more records"), std::string::npos);
+  EXPECT_NE(dump.find("16 more edge columns"), std::string::npos);
+}
+
+TEST(DumpRelationTest, OptionsSuppressSections) {
+  const MasterRelation rel = MakeRelation();
+  DumpOptions options;
+  options.show_bitmaps = false;
+  options.show_views = false;
+  const std::string dump = DumpRelation(rel, options);
+  EXPECT_EQ(dump.find("b1"), std::string::npos);
+  EXPECT_NE(dump.find("m1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace colgraph

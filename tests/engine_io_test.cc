@@ -1,0 +1,130 @@
+#include "core/engine_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "workload/base_graphs.h"
+#include "workload/query_generator.h"
+#include "workload/record_generator.h"
+
+namespace colgraph {
+namespace {
+
+NodeRef N(NodeId id, uint32_t occ = 0) { return NodeRef{id, occ}; }
+
+class EngineIoTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "colgraph_engine_io_test.bin";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(EngineIoTest, RoundtripSmallEngine) {
+  ColGraphEngine engine;
+  ASSERT_TRUE(engine.AddWalk({1, 2, 3, 4}, {1, 2, 3}).ok());
+  ASSERT_TRUE(engine.AddWalk({2, 3, 4}, {4, 5}).ok());
+  ASSERT_TRUE(engine.Seal().ok());
+
+  ASSERT_TRUE(WriteEngine(engine, path_).ok());
+  auto loaded = ReadEngine(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->num_records(), 2u);
+  EXPECT_EQ(loaded->catalog().size(), engine.catalog().size());
+  const GraphQuery q = GraphQuery::FromPath({N(2), N(3), N(4)});
+  EXPECT_EQ(loaded->Match(q).ToVector(), engine.Match(q).ToVector());
+  auto agg = loaded->RunAggregateQuery(q, AggFn::kSum);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->values[0], (std::vector<double>{5, 9}));
+}
+
+TEST_F(EngineIoTest, RoundtripPreservesViews) {
+  ColGraphEngine engine;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(engine.AddWalk({1, 2, 3, 4}, {1, 2, 3}).ok());
+  }
+  ASSERT_TRUE(engine.Seal().ok());
+  const EdgeId e0 = *engine.catalog().Lookup(Edge{N(1), N(2)});
+  const EdgeId e1 = *engine.catalog().Lookup(Edge{N(2), N(3)});
+  const EdgeId e2 = *engine.catalog().Lookup(Edge{N(3), N(4)});
+  ASSERT_TRUE(engine.MaterializeView(GraphViewDef::Make({e0, e1, e2})).ok());
+  AggViewDef agg;
+  agg.elements = {e0, e1};
+  agg.fn = AggFn::kSum;
+  ASSERT_TRUE(engine.MaterializeView(agg).ok());
+
+  ASSERT_TRUE(WriteEngine(engine, path_).ok());
+  auto loaded = ReadEngine(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->views().num_graph_views(), 1u);
+  EXPECT_EQ(loaded->views().num_agg_views(), 1u);
+  // Rewriting works against the restored views: single-bitmap match.
+  loaded->stats().Reset();
+  const Bitmap m =
+      loaded->Match(GraphQuery::FromPath({N(1), N(2), N(3), N(4)}));
+  EXPECT_EQ(m.Count(), 5u);
+  EXPECT_EQ(loaded->stats().bitmap_columns_fetched, 1u);
+}
+
+TEST_F(EngineIoTest, RoundtripRandomizedEngineMatchesQueryForQuery) {
+  const DirectedGraph base = MakeRoadNetwork(15, 15);
+  auto universe = SelectEdgeUniverse(base, 200, 5);
+  ASSERT_TRUE(universe.ok());
+  WalkRecordGenerator generator(&*universe, RecordGenOptions{}, 7);
+  ColGraphEngine engine;
+  std::vector<std::vector<NodeRef>> trunks;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<NodeRef> trunk;
+    ASSERT_TRUE(engine.AddRecord(generator.Next(&trunk)).ok());
+    trunks.push_back(std::move(trunk));
+  }
+  ASSERT_TRUE(engine.Seal().ok());
+  QueryGenerator qgen(&trunks, &*universe, 11);
+  const auto workload = qgen.UniformWorkload(15, QueryGenOptions{});
+  ASSERT_TRUE(engine.SelectAndMaterializeGraphViews(workload, 5).ok());
+
+  ASSERT_TRUE(WriteEngine(engine, path_).ok());
+  auto loaded = ReadEngine(path_);
+  ASSERT_TRUE(loaded.ok());
+
+  for (const GraphQuery& q : workload) {
+    const auto expected = engine.RunGraphQuery(q);
+    const auto got = loaded->RunGraphQuery(q);
+    ASSERT_TRUE(expected.ok() && got.ok());
+    EXPECT_EQ(got->records, expected->records);
+    EXPECT_EQ(got->columns, expected->columns);
+  }
+}
+
+TEST_F(EngineIoTest, UnsealedEngineRejected) {
+  ColGraphEngine engine;
+  ASSERT_TRUE(engine.AddWalk({1, 2}, {1.0}).ok());
+  EXPECT_TRUE(WriteEngine(engine, path_).IsInvalidArgument());
+}
+
+TEST_F(EngineIoTest, CorruptFileRejected) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "garbage";
+  out.close();
+  EXPECT_TRUE(ReadEngine(path_).status().IsCorruption());
+}
+
+TEST_F(EngineIoTest, AppendAfterReload) {
+  ColGraphEngine engine;
+  ASSERT_TRUE(engine.AddWalk({1, 2}, {1.0}).ok());
+  ASSERT_TRUE(engine.Seal().ok());
+  ASSERT_TRUE(WriteEngine(engine, path_).ok());
+
+  auto loaded = ReadEngine(path_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded->BeginAppend().ok());
+  ASSERT_TRUE(loaded->AddWalk({1, 2}, {2.0}).ok());
+  ASSERT_TRUE(loaded->FinishAppend().ok());
+  EXPECT_EQ(loaded->num_records(), 2u);
+  EXPECT_EQ(loaded->Match(GraphQuery::FromPath({N(1), N(2)})).Count(), 2u);
+}
+
+}  // namespace
+}  // namespace colgraph

@@ -1,0 +1,145 @@
+#include "bitmap/ewah_bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace colgraph {
+namespace {
+
+TEST(EwahBitmapTest, EmptyRoundtrip) {
+  Bitmap b(0);
+  const EwahBitmap compressed = EwahBitmap::FromBitmap(b);
+  EXPECT_EQ(compressed.size_bits(), 0u);
+  EXPECT_EQ(compressed.ToBitmap(), b);
+}
+
+TEST(EwahBitmapTest, AllZerosCompressTiny) {
+  Bitmap b(1 << 20);
+  const EwahBitmap compressed = EwahBitmap::FromBitmap(b);
+  EXPECT_LE(compressed.CompressedBytes(), 16u);
+  EXPECT_EQ(compressed.ToBitmap(), b);
+  EXPECT_EQ(compressed.Count(), 0u);
+}
+
+TEST(EwahBitmapTest, AllOnesCompressTiny) {
+  Bitmap b(1 << 20);
+  b.Fill();
+  const EwahBitmap compressed = EwahBitmap::FromBitmap(b);
+  EXPECT_LE(compressed.CompressedBytes(), 16u);
+  EXPECT_EQ(compressed.ToBitmap(), b);
+  EXPECT_EQ(compressed.Count(), b.Count());
+}
+
+TEST(EwahBitmapTest, AllOnesUnalignedLength) {
+  Bitmap b(100);  // not a multiple of 64: tail handling matters
+  b.Fill();
+  const EwahBitmap compressed = EwahBitmap::FromBitmap(b);
+  EXPECT_EQ(compressed.ToBitmap(), b);
+  EXPECT_EQ(compressed.Count(), 100u);
+}
+
+TEST(EwahBitmapTest, SingleBitRoundtrip) {
+  for (size_t pos : {0ul, 63ul, 64ul, 1000ul, 65535ul}) {
+    Bitmap b(65536);
+    b.Set(pos);
+    const EwahBitmap compressed = EwahBitmap::FromBitmap(b);
+    EXPECT_EQ(compressed.ToBitmap(), b) << "pos=" << pos;
+    EXPECT_EQ(compressed.Count(), 1u);
+  }
+}
+
+TEST(EwahBitmapTest, SparseBitmapCompressesWell) {
+  Bitmap b(1 << 20);
+  for (size_t i = 0; i < b.size(); i += 10007) b.Set(i);
+  const EwahBitmap compressed = EwahBitmap::FromBitmap(b);
+  EXPECT_LT(compressed.CompressedBytes(), b.MemoryBytes() / 10);
+  EXPECT_EQ(compressed.ToBitmap(), b);
+}
+
+TEST(EwahBitmapTest, AndMatchesPlainAnd) {
+  Rng rng(42);
+  Bitmap a(5000), b(5000);
+  for (size_t i = 0; i < 5000; ++i) {
+    if (rng.Bernoulli(0.1)) a.Set(i);
+    if (rng.Bernoulli(0.1)) b.Set(i);
+  }
+  Bitmap expected = a;
+  expected.And(b);
+  const EwahBitmap result =
+      EwahBitmap::And(EwahBitmap::FromBitmap(a), EwahBitmap::FromBitmap(b));
+  EXPECT_EQ(result.ToBitmap(), expected);
+}
+
+TEST(EwahBitmapTest, FromRawReconstructs) {
+  Bitmap b(777);
+  b.Set(3);
+  b.Set(500);
+  const EwahBitmap compressed = EwahBitmap::FromBitmap(b);
+  const EwahBitmap rebuilt =
+      EwahBitmap::FromRaw(compressed.buffer(), compressed.size_bits());
+  EXPECT_EQ(rebuilt, compressed);
+  EXPECT_EQ(rebuilt.ToBitmap(), b);
+}
+
+// Property sweep over densities: roundtrip fidelity and count agreement.
+class EwahPropertyTest
+    : public ::testing::TestWithParam<std::pair<size_t, double>> {};
+
+TEST_P(EwahPropertyTest, RoundtripAndCount) {
+  const auto [size, density] = GetParam();
+  Rng rng(size * 31 + static_cast<uint64_t>(density * 100));
+  Bitmap b(size);
+  for (size_t i = 0; i < size; ++i) {
+    if (rng.Bernoulli(density)) b.Set(i);
+  }
+  const EwahBitmap compressed = EwahBitmap::FromBitmap(b);
+  EXPECT_EQ(compressed.ToBitmap(), b);
+  EXPECT_EQ(compressed.Count(), b.Count());
+  EXPECT_EQ(compressed.size_bits(), b.size());
+}
+
+TEST_P(EwahPropertyTest, StreamingAndMatchesPlainAnd) {
+  const auto [size, density] = GetParam();
+  Rng rng(size * 97 + static_cast<uint64_t>(density * 100) + 5);
+  Bitmap a(size), b(size);
+  for (size_t i = 0; i < size; ++i) {
+    if (rng.Bernoulli(density)) a.Set(i);
+    if (rng.Bernoulli(1.0 - density)) b.Set(i);  // complementary density
+  }
+  Bitmap expected = a;
+  expected.And(b);
+  const EwahBitmap streamed =
+      EwahBitmap::And(EwahBitmap::FromBitmap(a), EwahBitmap::FromBitmap(b));
+  EXPECT_EQ(streamed.ToBitmap(), expected);
+  EXPECT_EQ(streamed.Count(), expected.Count());
+}
+
+TEST_P(EwahPropertyTest, StreamingAndWithClusteredRuns) {
+  const auto [size, density] = GetParam();
+  (void)density;
+  // Solid prefix vs solid suffix: exercises long fill runs on both sides.
+  Bitmap a(size), b(size);
+  for (size_t i = 0; i < size / 2; ++i) a.Set(i);
+  for (size_t i = size / 3; i < size; ++i) b.Set(i);
+  Bitmap expected = a;
+  expected.And(b);
+  const EwahBitmap streamed =
+      EwahBitmap::And(EwahBitmap::FromBitmap(a), EwahBitmap::FromBitmap(b));
+  EXPECT_EQ(streamed.ToBitmap(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Densities, EwahPropertyTest,
+    ::testing::Values(std::make_pair<size_t, double>(100, 0.0),
+                      std::make_pair<size_t, double>(100, 1.0),
+                      std::make_pair<size_t, double>(1000, 0.01),
+                      std::make_pair<size_t, double>(1000, 0.5),
+                      std::make_pair<size_t, double>(1000, 0.99),
+                      std::make_pair<size_t, double>(64, 0.5),
+                      std::make_pair<size_t, double>(65, 0.5),
+                      std::make_pair<size_t, double>(100000, 0.001),
+                      std::make_pair<size_t, double>(100000, 0.9)));
+
+}  // namespace
+}  // namespace colgraph

@@ -1,0 +1,97 @@
+#include "query/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace colgraph {
+namespace {
+
+NodeRef N(NodeId id, uint32_t occ = 0) { return NodeRef{id, occ}; }
+
+// Records over a small network:
+//   r0: 1->2->3     r1: 2->3->4     r2: 1->2, 3->4     r3: 5->6
+class QueryExprTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto add = [&](std::vector<Edge> elements) {
+      std::vector<std::pair<EdgeId, double>> shredded;
+      for (const Edge& e : elements) {
+        shredded.emplace_back(catalog_.GetOrAssign(e), 1.0);
+      }
+      ASSERT_TRUE(relation_.AddRecord(shredded).ok());
+    };
+    add({Edge{N(1), N(2)}, Edge{N(2), N(3)}});
+    add({Edge{N(2), N(3)}, Edge{N(3), N(4)}});
+    add({Edge{N(1), N(2)}, Edge{N(3), N(4)}});
+    add({Edge{N(5), N(6)}});
+    ASSERT_TRUE(relation_.Seal().ok());
+  }
+
+  QueryEngine Engine() const {
+    return QueryEngine(&relation_, &catalog_, &views_);
+  }
+
+  static std::shared_ptr<QueryExpr> Q(std::vector<NodeRef> path) {
+    return QueryExpr::Leaf(GraphQuery::FromPath(std::move(path)));
+  }
+
+  EdgeCatalog catalog_;
+  MasterRelation relation_;
+  ViewCatalog views_;
+};
+
+TEST_F(QueryExprTest, LeafMatchesLikeEngine) {
+  const auto expr = Q({N(1), N(2)});
+  EXPECT_EQ(expr->Evaluate(Engine()).ToVector(),
+            (std::vector<uint64_t>{0, 2}));
+  EXPECT_EQ(expr->NumLeaves(), 1u);
+}
+
+TEST_F(QueryExprTest, AndIntersects) {
+  // [1->2] AND [3->4]: records containing both edges.
+  const auto expr = QueryExpr::And(Q({N(1), N(2)}), Q({N(3), N(4)}));
+  EXPECT_EQ(expr->Evaluate(Engine()).ToVector(), (std::vector<uint64_t>{2}));
+  EXPECT_EQ(expr->NumLeaves(), 2u);
+}
+
+TEST_F(QueryExprTest, OrUnions) {
+  const auto expr = QueryExpr::Or(Q({N(1), N(2)}), Q({N(3), N(4)}));
+  EXPECT_EQ(expr->Evaluate(Engine()).ToVector(),
+            (std::vector<uint64_t>{0, 1, 2}));
+}
+
+TEST_F(QueryExprTest, AndNotSubtracts) {
+  // The paper's example shape: via region edges but NOT via hub F.
+  const auto expr = QueryExpr::AndNot(Q({N(2), N(3)}), Q({N(3), N(4)}));
+  EXPECT_EQ(expr->Evaluate(Engine()).ToVector(), (std::vector<uint64_t>{0}));
+}
+
+TEST_F(QueryExprTest, NestedExpression) {
+  // (a OR b) AND NOT c.
+  const auto expr = QueryExpr::AndNot(
+      QueryExpr::Or(Q({N(1), N(2)}), Q({N(5), N(6)})), Q({N(2), N(3)}));
+  EXPECT_EQ(expr->Evaluate(Engine()).ToVector(),
+            (std::vector<uint64_t>{2, 3}));
+  EXPECT_EQ(expr->NumLeaves(), 3u);
+}
+
+TEST_F(QueryExprTest, ShortCircuitOnEmptyLeft) {
+  // AND with an unsatisfiable left side evaluates to empty without error.
+  const auto expr = QueryExpr::And(Q({N(9), N(10)}), Q({N(1), N(2)}));
+  EXPECT_TRUE(expr->Evaluate(Engine()).None());
+}
+
+TEST_F(QueryExprTest, DeMorganProperty) {
+  // |a OR b| + |a AND b| == |a| + |b| (inclusion-exclusion check).
+  QueryEngine engine = Engine();
+  const auto a = Q({N(1), N(2)});
+  const auto b = Q({N(2), N(3)});
+  const size_t or_count =
+      QueryExpr::Or(a, b)->Evaluate(engine).Count();
+  const size_t and_count =
+      QueryExpr::And(a, b)->Evaluate(engine).Count();
+  EXPECT_EQ(or_count + and_count,
+            a->Evaluate(engine).Count() + b->Evaluate(engine).Count());
+}
+
+}  // namespace
+}  // namespace colgraph

@@ -1,0 +1,113 @@
+#include "graph/flatten.h"
+
+#include <gtest/gtest.h>
+
+namespace colgraph {
+namespace {
+
+NodeRef N(NodeId id, uint32_t occ = 0) { return NodeRef{id, occ}; }
+
+TEST(FlattenWalkTest, NoRepeatsNoRenaming) {
+  const auto refs = FlattenWalk({1, 2, 3});
+  EXPECT_EQ(refs, (std::vector<NodeRef>{N(1), N(2), N(3)}));
+}
+
+TEST(FlattenWalkTest, PaperExampleABCADE) {
+  // A,B,C,A,D,E -> A,B,C,A',D,E (Section 6.2 example).
+  const auto refs = FlattenWalk({1, 2, 3, 1, 4, 5});
+  EXPECT_EQ(refs, (std::vector<NodeRef>{N(1), N(2), N(3), N(1, 1), N(4), N(5)}));
+}
+
+TEST(FlattenWalkTest, TripleVisitGetsTwoPrimes) {
+  const auto refs = FlattenWalk({7, 7, 7});
+  EXPECT_EQ(refs, (std::vector<NodeRef>{N(7), N(7, 1), N(7, 2)}));
+}
+
+TEST(WalkToEdgesTest, ProducesFlattenedEdgeSequence) {
+  const auto edges = WalkToEdges({1, 2, 3, 1, 4});
+  const std::vector<Edge> expected{
+      Edge{N(1), N(2)},
+      Edge{N(2), N(3)},
+      Edge{N(3), N(1, 1)},
+      Edge{N(1, 1), N(4)},
+  };
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(WalkToEdgesTest, ShortWalksProduceNoEdges) {
+  EXPECT_TRUE(WalkToEdges({}).empty());
+  EXPECT_TRUE(WalkToEdges({5}).empty());
+}
+
+TEST(WalkToEdgesTest, EdgesAreAlwaysDistinct) {
+  // Even a walk hammering the same two nodes yields distinct flattened
+  // edges — the invariant the column shredder relies on.
+  const auto edges = WalkToEdges({1, 2, 1, 2, 1});
+  for (size_t i = 0; i < edges.size(); ++i) {
+    for (size_t j = i + 1; j < edges.size(); ++j) {
+      EXPECT_FALSE(edges[i] == edges[j]) << i << "," << j;
+    }
+  }
+}
+
+TEST(FlattenToDagTest, AcyclicGraphUnchanged) {
+  DirectedGraph g;
+  g.AddEdge(N(1), N(2));
+  g.AddEdge(N(2), N(3));
+  const DirectedGraph dag = FlattenToDag(g);
+  EXPECT_EQ(dag, g);
+}
+
+TEST(FlattenToDagTest, SimpleCycleBroken) {
+  DirectedGraph g;
+  g.AddEdge(N(1), N(2));
+  g.AddEdge(N(2), N(1));  // back edge
+  const DirectedGraph dag = FlattenToDag(g);
+  EXPECT_TRUE(dag.IsAcyclic());
+  EXPECT_EQ(dag.num_edges(), 2u);  // every edge preserved (modulo renaming)
+}
+
+TEST(FlattenToDagTest, SelfLoopRetargeted) {
+  DirectedGraph g;
+  g.AddEdge(N(4), N(5));
+  g.AddEdge(N(5), N(5, 0));  // true structural self-loop
+  // The loop edge (5,5) counts as a node measure in our model and is not
+  // part of adjacency, so the graph is already acyclic.
+  const DirectedGraph dag = FlattenToDag(g);
+  EXPECT_TRUE(dag.IsAcyclic());
+}
+
+TEST(FlattenToDagTest, LargerCyclePreservesReachability) {
+  // 1 -> 2 -> 3 -> 4 -> 2 : back edge 4->2 becomes 4->2'.
+  DirectedGraph g;
+  g.AddEdge(N(1), N(2));
+  g.AddEdge(N(2), N(3));
+  g.AddEdge(N(3), N(4));
+  g.AddEdge(N(4), N(2));
+  const DirectedGraph dag = FlattenToDag(g);
+  EXPECT_TRUE(dag.IsAcyclic());
+  EXPECT_EQ(dag.num_edges(), 4u);
+  EXPECT_TRUE(dag.HasEdge(N(4), N(2, 1)));
+}
+
+TEST(FlattenToDagTest, CycleOnlyComponentHandled) {
+  // A 3-cycle with no source node still gets flattened.
+  DirectedGraph g;
+  g.AddEdge(N(1), N(2));
+  g.AddEdge(N(2), N(3));
+  g.AddEdge(N(3), N(1));
+  const DirectedGraph dag = FlattenToDag(g);
+  EXPECT_TRUE(dag.IsAcyclic());
+  EXPECT_EQ(dag.num_edges(), 3u);
+}
+
+TEST(FlattenToDagTest, DeterministicForSameInput) {
+  DirectedGraph g;
+  g.AddEdge(N(1), N(2));
+  g.AddEdge(N(2), N(3));
+  g.AddEdge(N(3), N(1));
+  EXPECT_EQ(FlattenToDag(g), FlattenToDag(g));
+}
+
+}  // namespace
+}  // namespace colgraph

@@ -1,0 +1,130 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace colgraph {
+namespace {
+
+NodeRef N(NodeId id, uint32_t occ = 0) { return NodeRef{id, occ}; }
+
+TEST(NodeRefTest, ToStringShowsOccurrencePrimes) {
+  EXPECT_EQ(N(5).ToString(), "5");
+  EXPECT_EQ(N(5, 1).ToString(), "5'");
+  EXPECT_EQ(N(5, 2).ToString(), "5''");
+}
+
+TEST(EdgeTest, SelfEdgeIsNode) {
+  EXPECT_TRUE((Edge{N(1), N(1)}).IsNode());
+  EXPECT_FALSE((Edge{N(1), N(2)}).IsNode());
+  EXPECT_FALSE((Edge{N(1), N(1, 1)}).IsNode());  // different occurrences
+}
+
+TEST(DirectedGraphTest, AddEdgeIsIdempotent) {
+  DirectedGraph g;
+  g.AddEdge(N(1), N(2));
+  g.AddEdge(N(1), N(2));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_TRUE(g.HasEdge(N(1), N(2)));
+  EXPECT_FALSE(g.HasEdge(N(2), N(1)));
+}
+
+TEST(DirectedGraphTest, SelfEdgeDoesNotAffectAdjacency) {
+  DirectedGraph g;
+  g.AddEdge(N(1), N(1));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.OutDegree(N(1)), 0u);
+  EXPECT_EQ(g.InDegree(N(1)), 0u);
+  EXPECT_TRUE(g.IsAcyclic());  // node measures are not cycles
+}
+
+TEST(DirectedGraphTest, SourceAndTerminalNodes) {
+  // A -> B -> C, A -> C: Src {A}, Ter {C}.
+  DirectedGraph g;
+  g.AddEdge(N(1), N(2));
+  g.AddEdge(N(2), N(3));
+  g.AddEdge(N(1), N(3));
+  EXPECT_EQ(g.SourceNodes(), (std::vector<NodeRef>{N(1)}));
+  EXPECT_EQ(g.TerminalNodes(), (std::vector<NodeRef>{N(3)}));
+}
+
+TEST(DirectedGraphTest, IsAcyclicDetectsCycle) {
+  DirectedGraph g;
+  g.AddEdge(N(1), N(2));
+  g.AddEdge(N(2), N(3));
+  EXPECT_TRUE(g.IsAcyclic());
+  g.AddEdge(N(3), N(1));
+  EXPECT_FALSE(g.IsAcyclic());
+}
+
+TEST(DirectedGraphTest, IntersectKeepsCommonEdges) {
+  DirectedGraph a, b;
+  a.AddEdge(N(1), N(2));
+  a.AddEdge(N(2), N(3));
+  b.AddEdge(N(2), N(3));
+  b.AddEdge(N(3), N(4));
+  const DirectedGraph i = DirectedGraph::Intersect(a, b);
+  EXPECT_EQ(i.num_edges(), 1u);
+  EXPECT_TRUE(i.HasEdge(N(2), N(3)));
+}
+
+TEST(DirectedGraphTest, UnionMergesWithoutMultigraph) {
+  DirectedGraph a, b;
+  a.AddEdge(N(1), N(2));
+  b.AddEdge(N(1), N(2));
+  b.AddEdge(N(2), N(3));
+  const DirectedGraph u = DirectedGraph::Union(a, b);
+  EXPECT_EQ(u.num_edges(), 2u);
+  EXPECT_EQ(u.num_nodes(), 3u);
+}
+
+TEST(DirectedGraphTest, ContainsSubgraph) {
+  DirectedGraph g, sub, other;
+  g.AddEdge(N(1), N(2));
+  g.AddEdge(N(2), N(3));
+  sub.AddEdge(N(1), N(2));
+  other.AddEdge(N(3), N(4));
+  EXPECT_TRUE(g.ContainsSubgraph(sub));
+  EXPECT_FALSE(g.ContainsSubgraph(other));
+  EXPECT_TRUE(g.ContainsSubgraph(DirectedGraph()));  // empty is subgraph
+}
+
+TEST(DirectedGraphTest, EqualityIgnoresInsertionOrder) {
+  DirectedGraph a, b;
+  a.AddEdge(N(1), N(2));
+  a.AddEdge(N(2), N(3));
+  b.AddEdge(N(2), N(3));
+  b.AddEdge(N(1), N(2));
+  EXPECT_EQ(a, b);
+  b.AddEdge(N(9), N(10));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(GraphRecordTest, StructureSeparatesNodesFromEdges) {
+  GraphRecord r;
+  r.elements = {Edge{N(1), N(2)}, Edge{N(2), N(2)}, Edge{N(2), N(3)}};
+  r.measures = {1.0, 2.0, 3.0};
+  const DirectedGraph g = r.Structure();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.OutDegree(N(2)), 1u);
+}
+
+TEST(GraphQueryTest, FromPathBuildsChain) {
+  const GraphQuery q = GraphQuery::FromPath({N(1), N(2), N(3), N(4)});
+  EXPECT_EQ(q.num_edges(), 3u);
+  EXPECT_TRUE(q.graph().HasEdge(N(1), N(2)));
+  EXPECT_TRUE(q.graph().HasEdge(N(3), N(4)));
+  EXPECT_EQ(q.graph().SourceNodes(), (std::vector<NodeRef>{N(1)}));
+}
+
+TEST(GraphQueryTest, FromSingleNodePath) {
+  const GraphQuery q = GraphQuery::FromPath({N(7)});
+  EXPECT_EQ(q.num_edges(), 0u);
+  EXPECT_TRUE(q.graph().HasNode(N(7)));
+}
+
+}  // namespace
+}  // namespace colgraph

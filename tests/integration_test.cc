@@ -1,0 +1,161 @@
+// End-to-end pipeline tests on a miniature "NY" dataset: synthesize the
+// universe, ingest random-walk records, select/materialize both view kinds
+// from a query workload, and verify (a) answers are invariant to views and
+// (b) the cost model improves monotonically — the essence of Figures 6-8.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "workload/base_graphs.h"
+#include "workload/query_generator.h"
+#include "workload/record_generator.h"
+
+namespace colgraph {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const DirectedGraph base = MakeRoadNetwork(20, 20);
+    auto universe = SelectEdgeUniverse(base, 400, 101);
+    ASSERT_TRUE(universe.ok());
+    universe_ = std::move(universe).value();
+
+    RecordGenOptions rec_options;
+    rec_options.min_edges = 10;
+    rec_options.max_edges = 30;
+    WalkRecordGenerator generator(&universe_, rec_options, 103);
+    for (int i = 0; i < 500; ++i) {
+      std::vector<NodeRef> trunk;
+      const GraphRecord record = generator.Next(&trunk);
+      trunks_.push_back(std::move(trunk));
+      ASSERT_TRUE(engine_.AddRecord(record).ok());
+    }
+    ASSERT_TRUE(engine_.Seal().ok());
+
+    QueryGenerator qgen(&trunks_, &universe_, 107);
+    QueryGenOptions q_options;
+    q_options.min_edges = 3;
+    q_options.max_edges = 10;
+    workload_ = qgen.UniformWorkload(20, q_options);
+  }
+
+  DirectedGraph universe_;
+  std::vector<std::vector<NodeRef>> trunks_;
+  std::vector<GraphQuery> workload_;
+  ColGraphEngine engine_;
+};
+
+TEST_F(IntegrationTest, EveryQueryMatchesAtLeastItsSourceRecord) {
+  // Queries are subpaths of actual record trunks, so nothing is empty.
+  for (const GraphQuery& q : workload_) {
+    EXPECT_GE(engine_.Match(q).Count(), 1u);
+  }
+}
+
+TEST_F(IntegrationTest, GraphViewsPreserveAnswersAndReduceBitmaps) {
+  const auto count = engine_.SelectAndMaterializeGraphViews(workload_, 20);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  ASSERT_GE(*count, 1u);
+
+  QueryOptions no_views;
+  no_views.use_views = false;
+  uint64_t bitmaps_with = 0, bitmaps_without = 0;
+  for (const GraphQuery& q : workload_) {
+    const auto with = engine_.RunGraphQuery(q);
+    const auto without = engine_.RunGraphQuery(q, no_views);
+    ASSERT_TRUE(with.ok() && without.ok());
+    ASSERT_EQ(with->records, without->records);
+    ASSERT_EQ(with->columns, without->columns);
+
+    engine_.stats().Reset();
+    engine_.Match(q);
+    bitmaps_with += engine_.stats().bitmap_columns_fetched;
+    engine_.stats().Reset();
+    engine_.Match(q, no_views);
+    bitmaps_without += engine_.stats().bitmap_columns_fetched;
+  }
+  EXPECT_LT(bitmaps_with, bitmaps_without);
+}
+
+TEST_F(IntegrationTest, AggViewsPreserveAnswersAndReduceColumns) {
+  const auto count =
+      engine_.SelectAndMaterializeAggViews(workload_, AggFn::kSum, 20);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  ASSERT_GE(*count, 1u);
+
+  QueryOptions no_views;
+  no_views.use_views = false;
+  uint64_t cols_with = 0, cols_without = 0;
+  for (const GraphQuery& q : workload_) {
+    engine_.stats().Reset();
+    const auto with = engine_.RunAggregateQuery(q, AggFn::kSum);
+    cols_with += engine_.stats().measure_columns_fetched;
+    engine_.stats().Reset();
+    const auto without = engine_.RunAggregateQuery(q, AggFn::kSum, no_views);
+    cols_without += engine_.stats().measure_columns_fetched;
+    ASSERT_TRUE(with.ok() && without.ok());
+    ASSERT_EQ(with->records, without->records);
+    ASSERT_EQ(with->paths.size(), without->paths.size());
+    for (size_t p = 0; p < with->values.size(); ++p) {
+      ASSERT_EQ(with->values[p].size(), without->values[p].size());
+      for (size_t r = 0; r < with->values[p].size(); ++r) {
+        EXPECT_NEAR(with->values[p][r], without->values[p][r], 1e-9);
+      }
+    }
+  }
+  EXPECT_LT(cols_with, cols_without);
+}
+
+TEST_F(IntegrationTest, LargerBudgetNeverFetchesMoreBitmaps) {
+  // Monotonicity of the benefit in the space budget (the declining curves
+  // of Figure 6): measure bitmap fetches at increasing budgets.
+  std::vector<uint64_t> fetched;
+  for (size_t budget : {0u, 5u, 20u}) {
+    ColGraphEngine engine;
+    WalkRecordGenerator generator(&universe_, RecordGenOptions{}, 103);
+    // Re-ingest the same records (same seed).
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(engine.AddRecord(generator.Next()).ok());
+    }
+    ASSERT_TRUE(engine.Seal().ok());
+    if (budget > 0) {
+      ASSERT_TRUE(engine.SelectAndMaterializeGraphViews(workload_, budget).ok());
+    }
+    engine.stats().Reset();
+    for (const GraphQuery& q : workload_) engine.Match(q);
+    fetched.push_back(engine.stats().bitmap_columns_fetched);
+  }
+  EXPECT_GE(fetched[0], fetched[1]);
+  EXPECT_GE(fetched[1], fetched[2]);
+}
+
+TEST_F(IntegrationTest, ZipfWorkloadGainsExceedUniformAtSmallBudget) {
+  // Skewed queries share structure; a small budget covers more of the
+  // workload (Figure 8's bigger relative savings).
+  QueryGenerator qgen(&trunks_, &universe_, 211);
+  QueryGenOptions q_options;
+  q_options.min_edges = 4;
+  q_options.max_edges = 10;
+  const auto zipf = qgen.ZipfWorkload(40, 12, 1.3, q_options);
+
+  const auto count = engine_.SelectAndMaterializeGraphViews(zipf, 5);
+  ASSERT_TRUE(count.ok());
+
+  QueryOptions no_views;
+  no_views.use_views = false;
+  uint64_t with = 0, without = 0;
+  for (const GraphQuery& q : zipf) {
+    engine_.stats().Reset();
+    engine_.Match(q);
+    with += engine_.stats().bitmap_columns_fetched;
+    engine_.stats().Reset();
+    engine_.Match(q, no_views);
+    without += engine_.stats().bitmap_columns_fetched;
+  }
+  // A 5-view budget over 12 distinct hot queries should cut bitmap I/O
+  // dramatically — require at least 30% savings.
+  EXPECT_LT(with, without * 7 / 10);
+}
+
+}  // namespace
+}  // namespace colgraph

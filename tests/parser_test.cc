@@ -1,0 +1,109 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace colgraph {
+namespace {
+
+NodeRef N(NodeId id, uint32_t occ = 0) { return NodeRef{id, occ}; }
+
+TEST(ParserTest, SimplePath) {
+  const auto q = ParseQuery("[1,2,3]");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->kind, ParsedQuery::Kind::kMatch);
+  ASSERT_EQ(q->expr->op(), QueryExpr::Op::kLeaf);
+  EXPECT_TRUE(q->expr->query().graph().HasEdge(N(1), N(2)));
+  EXPECT_TRUE(q->expr->query().graph().HasEdge(N(2), N(3)));
+  EXPECT_EQ(q->expr->query().num_edges(), 2u);
+}
+
+TEST(ParserTest, WhitespaceInsensitive) {
+  const auto q = ParseQuery("  [ 1 , 2 ]  ");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->expr->query().num_edges(), 1u);
+}
+
+TEST(ParserTest, PrimesSelectOccurrences) {
+  const auto q = ParseQuery("[1,2,1']");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->expr->query().graph().HasEdge(N(2), N(1, 1)));
+}
+
+TEST(ParserTest, PlusUnionsPathsIntoOneGraph) {
+  const auto q = ParseQuery("[1,2]+[5,6]");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->expr->op(), QueryExpr::Op::kLeaf);
+  EXPECT_EQ(q->expr->query().num_edges(), 2u);
+  EXPECT_TRUE(q->expr->query().graph().HasEdge(N(5), N(6)));
+}
+
+TEST(ParserTest, BooleanOperators) {
+  const auto q = ParseQuery("[1,2] AND [2,3] OR [4,5]");
+  ASSERT_TRUE(q.ok());
+  // Left-associative: (([1,2] AND [2,3]) OR [4,5]).
+  EXPECT_EQ(q->expr->op(), QueryExpr::Op::kOr);
+  EXPECT_EQ(q->expr->NumLeaves(), 3u);
+}
+
+TEST(ParserTest, AndNot) {
+  const auto q = ParseQuery("[1,2] AND NOT [3,4]");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->expr->op(), QueryExpr::Op::kAndNot);
+}
+
+TEST(ParserTest, Parentheses) {
+  const auto q = ParseQuery("[1,2] AND ([2,3] OR [4,5])");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->expr->op(), QueryExpr::Op::kAnd);
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  EXPECT_TRUE(ParseQuery("[1,2] and not [3,4]").ok());
+  EXPECT_TRUE(ParseQuery("sum [1,2,3]").ok());
+}
+
+TEST(ParserTest, AggregateQueries) {
+  for (const auto& [text, fn] :
+       std::vector<std::pair<std::string, AggFn>>{{"SUM", AggFn::kSum},
+                                                  {"MIN", AggFn::kMin},
+                                                  {"MAX", AggFn::kMax},
+                                                  {"AVG", AggFn::kAvg},
+                                                  {"COUNT", AggFn::kCount}}) {
+    const auto q = ParseQuery(text + " [1,2,3]");
+    ASSERT_TRUE(q.ok()) << text;
+    EXPECT_EQ(q->kind, ParsedQuery::Kind::kAggregate);
+    EXPECT_EQ(q->fn, fn);
+    EXPECT_EQ(q->query.num_edges(), 2u);
+  }
+}
+
+TEST(ParserTest, AggregateOverUnionGraph) {
+  const auto q = ParseQuery("SUM [1,2,4]+[1,3,4]");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->query.num_edges(), 4u);  // the diamond
+}
+
+TEST(ParserTest, SyntaxErrorsAreInvalidArgument) {
+  for (const char* bad :
+       {"", "[1", "[1,]", "[]", "[1,2] FROB [3,4]", "[1,2] AND", "SUM",
+        "[1,2] extra [3,4] [", "[a,b]", "([1,2]", "@", "[1,2])"}) {
+    const auto q = ParseQuery(bad);
+    EXPECT_TRUE(q.status().IsInvalidArgument()) << "'" << bad << "'";
+  }
+}
+
+TEST(ParserTest, ErrorMessagesCarryPosition) {
+  const auto q = ParseQuery("[1,2] AND @");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("position"), std::string::npos);
+}
+
+TEST(ParserTest, SingleNodePath) {
+  const auto q = ParseQuery("[7,7]");
+  ASSERT_TRUE(q.ok());
+  // [7,7] is the node itself — a self-edge in the graph model.
+  EXPECT_TRUE(q->expr->query().graph().HasEdge(N(7), N(7)));
+}
+
+}  // namespace
+}  // namespace colgraph

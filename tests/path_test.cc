@@ -1,0 +1,174 @@
+#include "graph/path.h"
+
+#include <gtest/gtest.h>
+
+namespace colgraph {
+namespace {
+
+NodeRef N(NodeId id, uint32_t occ = 0) { return NodeRef{id, occ}; }
+
+TEST(PathTest, ClosedPathElementsIncludeEndpointsAndInternals) {
+  // [A,D,E]: nodes A, D, E and edges (A,D), (D,E).
+  const Path p({N(1), N(2), N(3)});
+  const std::vector<Edge> expected{
+      Edge{N(1), N(1)}, Edge{N(1), N(2)}, Edge{N(2), N(2)},
+      Edge{N(2), N(3)}, Edge{N(3), N(3)},
+  };
+  EXPECT_EQ(p.Elements(), expected);
+}
+
+TEST(PathTest, OpenPathExcludesEndpointNodes) {
+  // (D,E,G): only internal node E plus the two edges (Section 3.3).
+  const Path p({N(1), N(2), N(3)}, /*start_open=*/true, /*end_open=*/true);
+  const std::vector<Edge> expected{
+      Edge{N(1), N(2)},
+      Edge{N(2), N(2)},
+      Edge{N(2), N(3)},
+  };
+  EXPECT_EQ(p.Elements(), expected);
+}
+
+TEST(PathTest, HalfOpenPath) {
+  // [D,E,G): includes D's measure, excludes G's.
+  const Path p({N(1), N(2), N(3)}, false, true);
+  const std::vector<Edge> expected{
+      Edge{N(1), N(1)},
+      Edge{N(1), N(2)},
+      Edge{N(2), N(2)},
+      Edge{N(2), N(3)},
+  };
+  EXPECT_EQ(p.Elements(), expected);
+}
+
+TEST(PathTest, SingleNodePathIsJustTheNode) {
+  const Path p({N(9)});
+  EXPECT_EQ(p.Elements(), (std::vector<Edge>{Edge{N(9), N(9)}}));
+  EXPECT_EQ(p.Length(), 0u);
+}
+
+TEST(PathTest, TwoNodeOpenPathMapsToEdge) {
+  // (D,E) is naturally mapped to edge (D,E).
+  const Path p({N(1), N(2)}, true, true);
+  EXPECT_EQ(p.Elements(), (std::vector<Edge>{Edge{N(1), N(2)}}));
+}
+
+TEST(PathTest, EdgesOnly) {
+  const Path p({N(1), N(2), N(3)});
+  EXPECT_EQ(p.Edges(),
+            (std::vector<Edge>{Edge{N(1), N(2)}, Edge{N(2), N(3)}}));
+}
+
+TEST(PathTest, ToStringUsesIntervalNotation) {
+  EXPECT_EQ(Path({N(1), N(2)}).ToString(), "[1,2]");
+  EXPECT_EQ(Path({N(1), N(2)}, true, false).ToString(), "(1,2]");
+  EXPECT_EQ(Path({N(1), N(2)}, false, true).ToString(), "[1,2)");
+}
+
+TEST(PathJoinTest, PaperExample) {
+  // [A,B,F) path-joins [F,J,K): shared node F counted once via the open
+  // end of the first operand.
+  const Path p1({N(1), N(2), N(6)}, false, true);
+  const Path p2({N(6), N(10), N(11)}, false, true);
+  const auto joined = p1.Join(p2);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->nodes(),
+            (std::vector<NodeRef>{N(1), N(2), N(6), N(10), N(11)}));
+  EXPECT_FALSE(joined->start_open());
+  EXPECT_TRUE(joined->end_open());  // inherits p2's open end
+}
+
+TEST(PathJoinTest, BothClosedAtJunctionRejected) {
+  // [A,D,E] does not join [E,G,I]: E's measure would be double counted.
+  const Path p1({N(1), N(2), N(3)});
+  const Path p2({N(3), N(4), N(5)});
+  EXPECT_TRUE(p1.Join(p2).status().IsInvalidArgument());
+}
+
+TEST(PathJoinTest, BothOpenAtJunctionRejected) {
+  const Path p1({N(1), N(3)}, false, true);
+  const Path p2({N(3), N(5)}, true, false);
+  EXPECT_TRUE(p1.Join(p2).status().IsInvalidArgument());
+}
+
+TEST(PathJoinTest, MismatchedEndpointsRejected) {
+  const Path p1({N(1), N(2)}, false, true);
+  const Path p2({N(3), N(4)});
+  EXPECT_TRUE(p1.Join(p2).status().IsInvalidArgument());
+}
+
+TEST(PathJoinTest, JoinedElementsCountSharedNodeOnce) {
+  const Path p1({N(1), N(2)}, false, true);   // [1,2)
+  const Path p2({N(2), N(3)}, false, false);  // [2,3]
+  const auto joined = p1.Join(p2);
+  ASSERT_TRUE(joined.ok());
+  // [1,2,3]: node 2 appears exactly once among the elements.
+  size_t node2_count = 0;
+  for (const Edge& e : joined->Elements()) {
+    if (e == (Edge{N(2), N(2)})) ++node2_count;
+  }
+  EXPECT_EQ(node2_count, 1u);
+}
+
+TEST(PathTest, IsSubpathOfChecksContiguity) {
+  const Path abc({N(1), N(2), N(3)});
+  const Path abcd({N(1), N(2), N(3), N(4)});
+  const Path acd({N(1), N(3), N(4)});
+  EXPECT_TRUE(abc.IsSubpathOf(abcd));
+  EXPECT_FALSE(acd.IsSubpathOf(abcd));  // non-contiguous
+  EXPECT_TRUE(abc.IsSubpathOf(abc));
+  EXPECT_FALSE(abcd.IsSubpathOf(abc));
+}
+
+TEST(CompositePathTest, EnumeratesAllPathsBetweenSets) {
+  // Diamond: 1 -> {2,3} -> 4.
+  DirectedGraph g;
+  g.AddEdge(N(1), N(2));
+  g.AddEdge(N(1), N(3));
+  g.AddEdge(N(2), N(4));
+  g.AddEdge(N(3), N(4));
+  const auto paths = EnumerateCompositePath(g, {N(1)}, {N(4)});
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ(paths->size(), 2u);
+}
+
+TEST(CompositePathTest, RespectsMaxPathsCap) {
+  // Wide fan: 1 -> {2..9} -> 10 has 8 paths; cap at 3.
+  DirectedGraph g;
+  for (NodeId mid = 2; mid < 10; ++mid) {
+    g.AddEdge(N(1), N(mid));
+    g.AddEdge(N(mid), N(10));
+  }
+  const auto paths = EnumerateCompositePath(g, {N(1)}, {N(10)}, 3);
+  EXPECT_TRUE(paths.status().IsOutOfRange());
+}
+
+TEST(MaximalPathsTest, PathGraphHasOneMaximalPath) {
+  DirectedGraph g;
+  g.AddEdge(N(1), N(2));
+  g.AddEdge(N(2), N(3));
+  const auto paths = MaximalPaths(g);
+  ASSERT_TRUE(paths.ok());
+  ASSERT_EQ(paths->size(), 1u);
+  EXPECT_EQ((*paths)[0].nodes(), (std::vector<NodeRef>{N(1), N(2), N(3)}));
+}
+
+TEST(MaximalPathsTest, BranchingDagEnumeratesSourceToSink) {
+  // 1 -> 2 -> 4, 3 -> 2: sources {1,3}, sink {4} -> 2 maximal paths.
+  DirectedGraph g;
+  g.AddEdge(N(1), N(2));
+  g.AddEdge(N(3), N(2));
+  g.AddEdge(N(2), N(4));
+  const auto paths = MaximalPaths(g);
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ(paths->size(), 2u);
+}
+
+TEST(MaximalPathsTest, CyclicGraphRejected) {
+  DirectedGraph g;
+  g.AddEdge(N(1), N(2));
+  g.AddEdge(N(2), N(1));
+  EXPECT_TRUE(MaximalPaths(g).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace colgraph

@@ -1,0 +1,98 @@
+#include "columnstore/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/random.h"
+
+namespace colgraph {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "colgraph_persist_test.bin";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(PersistenceTest, RoundtripSmallRelation) {
+  MasterRelation rel;
+  ASSERT_TRUE(rel.AddRecord({{0, 1.5}, {2, -2.0}}).ok());
+  ASSERT_TRUE(rel.AddRecord({{1, 3.0}}).ok());
+  ASSERT_TRUE(rel.AddRecord({}).ok());
+  ASSERT_TRUE(rel.Seal().ok());
+
+  ASSERT_TRUE(WriteRelation(rel, path_).ok());
+  auto loaded = ReadRelation(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->num_records(), 3u);
+  EXPECT_EQ(loaded->num_edge_columns(), 3u);
+  EXPECT_EQ(loaded->PeekMeasureColumn(0).Get(0), 1.5);
+  EXPECT_EQ(loaded->PeekMeasureColumn(2).Get(0), -2.0);
+  EXPECT_EQ(loaded->PeekMeasureColumn(1).Get(1), 3.0);
+  EXPECT_FALSE(loaded->PeekMeasureColumn(0).Get(2).has_value());
+}
+
+TEST_F(PersistenceTest, RoundtripRandomRelation) {
+  Rng rng(99);
+  MasterRelation rel;
+  const size_t records = 500, edges = 40;
+  std::vector<std::vector<std::pair<EdgeId, double>>> reference(records);
+  for (size_t r = 0; r < records; ++r) {
+    for (EdgeId e = 0; e < edges; ++e) {
+      if (rng.Bernoulli(0.15)) {
+        reference[r].emplace_back(e, rng.UniformReal(-100, 100));
+      }
+    }
+    ASSERT_TRUE(rel.AddRecord(reference[r]).ok());
+  }
+  ASSERT_TRUE(rel.Seal().ok());
+  ASSERT_TRUE(WriteRelation(rel, path_).ok());
+
+  auto loaded = ReadRelation(path_);
+  ASSERT_TRUE(loaded.ok());
+  for (size_t r = 0; r < records; ++r) {
+    for (const auto& [e, v] : reference[r]) {
+      EXPECT_EQ(loaded->PeekMeasureColumn(e).Get(r), v);
+    }
+  }
+}
+
+TEST_F(PersistenceTest, UnsealedRelationRejected) {
+  MasterRelation rel;
+  ASSERT_TRUE(rel.AddRecord({{0, 1.0}}).ok());
+  EXPECT_TRUE(WriteRelation(rel, path_).IsInvalidArgument());
+}
+
+TEST_F(PersistenceTest, MissingFileIsIOError) {
+  EXPECT_TRUE(ReadRelation("/nonexistent/dir/file.bin").status().IsIOError());
+}
+
+TEST_F(PersistenceTest, BadMagicIsCorruption) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "this is not a colgraph file at all";
+  out.close();
+  EXPECT_TRUE(ReadRelation(path_).status().IsCorruption());
+}
+
+TEST_F(PersistenceTest, TruncatedFileIsCorruption) {
+  MasterRelation rel;
+  ASSERT_TRUE(rel.AddRecord({{0, 1.0}, {1, 2.0}}).ok());
+  ASSERT_TRUE(rel.Seal().ok());
+  ASSERT_TRUE(WriteRelation(rel, path_).ok());
+  // Chop the file in half.
+  std::ifstream in(path_, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size() / 2));
+  out.close();
+  EXPECT_TRUE(ReadRelation(path_).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace colgraph

@@ -1,0 +1,84 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace colgraph {
+namespace {
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Uniform(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, UniformRealStaysInRange) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformReal(-1.0, 1.0);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000000), b.Uniform(0, 1000000));
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(4);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(ZipfTest, SamplesInDomain) {
+  ZipfSampler zipf(10, 1.0, 5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Sample(), 10u);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  ZipfSampler zipf(100, 1.2, 6);
+  std::map<size_t, size_t> histogram;
+  for (int i = 0; i < 20000; ++i) ++histogram[zipf.Sample()];
+  // Rank 0 should dominate rank 50 decisively under theta=1.2.
+  EXPECT_GT(histogram[0], histogram[50] * 5 + 1);
+}
+
+TEST(ZipfTest, ZeroThetaIsUniform) {
+  ZipfSampler zipf(4, 0.0, 7);
+  std::map<size_t, size_t> histogram;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++histogram[zipf.Sample()];
+  for (const auto& [rank, count] : histogram) {
+    (void)rank;
+    EXPECT_NEAR(static_cast<double>(count), n / 4.0, n * 0.02);
+  }
+}
+
+TEST(ZipfTest, SingletonDomain) {
+  ZipfSampler zipf(1, 2.0, 8);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(), 0u);
+}
+
+}  // namespace
+}  // namespace colgraph

@@ -1,0 +1,99 @@
+#include "core/record_links.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace colgraph {
+namespace {
+
+NodeRef N(NodeId id, uint32_t occ = 0) { return NodeRef{id, occ}; }
+
+TEST(RecordLinkIndexTest, LinkAndLookup) {
+  RecordLinkIndex links;
+  ASSERT_TRUE(links.Link(0, 100).ok());
+  ASSERT_TRUE(links.Link(2, 100).ok());
+  ASSERT_TRUE(links.Link(1, 200).ok());
+  EXPECT_EQ(links.GroupOf(0), 100u);
+  EXPECT_EQ(links.GroupOf(1), 200u);
+  EXPECT_FALSE(links.GroupOf(9).has_value());
+  EXPECT_EQ(links.Records(100), (std::vector<RecordId>{0, 2}));
+  EXPECT_TRUE(links.Records(999).empty());
+  EXPECT_EQ(links.num_groups(), 2u);
+}
+
+TEST(RecordLinkIndexTest, RelinkSameGroupIdempotentDifferentRejected) {
+  RecordLinkIndex links;
+  ASSERT_TRUE(links.Link(5, 1).ok());
+  EXPECT_TRUE(links.Link(5, 1).ok());
+  EXPECT_TRUE(links.Link(5, 2).IsAlreadyExists());
+  EXPECT_EQ(links.Records(1), (std::vector<RecordId>{5}));
+}
+
+TEST(RecordLinkIndexTest, ExpandToGroupsPullsInSubOrders) {
+  RecordLinkIndex links;
+  ASSERT_TRUE(links.Link(0, 7).ok());
+  ASSERT_TRUE(links.Link(1, 7).ok());
+  ASSERT_TRUE(links.Link(3, 8).ok());
+  Bitmap matches(5);
+  matches.Set(0);  // one sub-order of group 7 matched
+  matches.Set(4);  // unlinked record
+  const Bitmap expanded = links.ExpandToGroups(matches);
+  EXPECT_EQ(expanded.ToVector(), (std::vector<uint64_t>{0, 1, 4}));
+}
+
+TEST(RecordLinkIndexTest, RestrictToFullGroupsDropsPartialGroups) {
+  RecordLinkIndex links;
+  ASSERT_TRUE(links.Link(0, 7).ok());
+  ASSERT_TRUE(links.Link(1, 7).ok());
+  ASSERT_TRUE(links.Link(2, 8).ok());
+  Bitmap matches(4);
+  matches.Set(0);  // group 7 only partially matched
+  matches.Set(2);  // group 8 fully matched (single member)
+  matches.Set(3);  // unlinked: kept
+  const Bitmap restricted = links.RestrictToFullGroups(matches);
+  EXPECT_EQ(restricted.ToVector(), (std::vector<uint64_t>{2, 3}));
+}
+
+TEST(RecordLinkIndexTest, MetadataRoundtripAndFilter) {
+  RecordLinkIndex links;
+  links.SetMeta(0, "order_type", "fast-track");
+  links.SetMeta(1, "order_type", "regular");
+  links.SetMeta(2, "order_type", "fast-track");
+  EXPECT_EQ(links.GetMeta(0, "order_type"), "fast-track");
+  EXPECT_FALSE(links.GetMeta(0, "customer").has_value());
+  EXPECT_FALSE(links.GetMeta(9, "order_type").has_value());
+  const Bitmap fast = links.FilterMeta("order_type", "fast-track", 4);
+  EXPECT_EQ(fast.ToVector(), (std::vector<uint64_t>{0, 2}));
+}
+
+TEST(RecordLinkIndexTest, MultigraphViaLinkedRecords) {
+  // A parallel delivery: the same leg shipped twice for one order becomes
+  // two records in one group (the paper's multigraph handling). Matching
+  // finds each record; group expansion reunites the logical order, and a
+  // metadata filter narrows by order type.
+  ColGraphEngine engine;
+  RecordLinkIndex links;
+  ASSERT_TRUE(engine.AddWalk({1, 2, 3}, {1.0, 2.0}).ok());   // r0: eg. truck 1
+  ASSERT_TRUE(engine.AddWalk({1, 2}, {5.0}).ok());           // r1: truck 2
+  ASSERT_TRUE(engine.AddWalk({4, 5}, {9.0}).ok());           // r2: other order
+  ASSERT_TRUE(engine.Seal().ok());
+  ASSERT_TRUE(links.Link(0, 42).ok());
+  ASSERT_TRUE(links.Link(1, 42).ok());
+  links.SetMeta(0, "order", "A17");
+  links.SetMeta(1, "order", "A17");
+
+  // Records containing 2->3: only r0 — but the logical order includes r1.
+  const Bitmap direct = engine.Match(GraphQuery::FromPath({N(2), N(3)}));
+  EXPECT_EQ(direct.ToVector(), (std::vector<uint64_t>{0}));
+  const Bitmap order = links.ExpandToGroups(direct);
+  EXPECT_EQ(order.ToVector(), (std::vector<uint64_t>{0, 1}));
+
+  // Metadata filter composes with structural matching by bitmap AND.
+  Bitmap filtered = links.FilterMeta("order", "A17", engine.num_records());
+  filtered.And(engine.Match(GraphQuery::FromPath({N(1), N(2)})));
+  EXPECT_EQ(filtered.ToVector(), (std::vector<uint64_t>{0, 1}));
+}
+
+}  // namespace
+}  // namespace colgraph

@@ -1,0 +1,138 @@
+#include "graph/region.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace colgraph {
+namespace {
+
+NodeRef N(NodeId id, uint32_t occ = 0) { return NodeRef{id, occ}; }
+
+// The Figure 1 delivery network: production {1,2,3}, region-2 hubs
+// {4,5,6,7} (D,E,F,G), hub 8 (H), customers {9,10,11} (I,J,K).
+DirectedGraph Figure1Network() {
+  DirectedGraph g;
+  g.AddEdge(N(1), N(4));   // A->D
+  g.AddEdge(N(1), N(2));   // A->B
+  g.AddEdge(N(2), N(6));   // B->F
+  g.AddEdge(N(4), N(5));   // D->E
+  g.AddEdge(N(5), N(7));   // E->G
+  g.AddEdge(N(7), N(9));   // G->I
+  g.AddEdge(N(6), N(10));  // F->J
+  g.AddEdge(N(10), N(11)); // J->K
+  g.AddEdge(N(3), N(8));   // C->H
+  g.AddEdge(N(8), N(11));  // H->K
+  return g;
+}
+
+const std::vector<NodeRef> kRegion2{N(4), N(5), N(6), N(7)};
+
+TEST(RegionCatalogTest, DefineLookup) {
+  RegionCatalog catalog;
+  catalog.Define("region2", kRegion2);
+  EXPECT_TRUE(catalog.Contains("region2"));
+  const auto nodes = catalog.Lookup("region2");
+  ASSERT_TRUE(nodes.ok());
+  EXPECT_EQ(nodes->size(), 4u);
+  EXPECT_TRUE(catalog.Lookup("region9").status().IsNotFound());
+}
+
+TEST(RegionCatalogTest, DefineDedupsAndRedefines) {
+  RegionCatalog catalog;
+  catalog.Define("r", {N(1), N(1), N(2)});
+  EXPECT_EQ(catalog.Lookup("r")->size(), 2u);
+  catalog.Define("r", {N(5)});
+  EXPECT_EQ(catalog.Lookup("r")->size(), 1u);
+}
+
+TEST(RegionBoundaryTest, Figure1Region2) {
+  const DirectedGraph g = Figure1Network();
+  const RegionBoundary boundary = ComputeRegionBoundary(g, kRegion2);
+  // Entries: D (from A), F (from B). Exits: G (to I), F (to J).
+  const std::set<NodeRef> sources(boundary.sources.begin(),
+                                  boundary.sources.end());
+  const std::set<NodeRef> terminals(boundary.terminals.begin(),
+                                    boundary.terminals.end());
+  EXPECT_EQ(sources, (std::set<NodeRef>{N(4), N(6)}));
+  EXPECT_EQ(terminals, (std::set<NodeRef>{N(6), N(7)}));
+}
+
+TEST(RegionBoundaryTest, IsolatedRegionNodeIsBothEnds) {
+  DirectedGraph g;
+  g.AddNode(N(42));
+  const RegionBoundary boundary = ComputeRegionBoundary(g, {N(42)});
+  EXPECT_EQ(boundary.sources, (std::vector<NodeRef>{N(42)}));
+  EXPECT_EQ(boundary.terminals, (std::vector<NodeRef>{N(42)}));
+}
+
+TEST(PathsViaRegionTest, AnyModeKeepsRegionCrossingPaths) {
+  const DirectedGraph g = Figure1Network();
+  // All production -> customer paths touching region 2. The leased route
+  // C->H->K does not touch it and must be excluded (the paper's example).
+  const auto paths =
+      PathsViaRegion(g, {N(1), N(2), N(3)}, {N(9), N(10), N(11)}, kRegion2,
+                     RegionTraversal::kAny);
+  ASSERT_TRUE(paths.ok());
+  for (const Path& p : *paths) {
+    bool touches = false;
+    for (const NodeRef& n : p.nodes()) {
+      if (std::find(kRegion2.begin(), kRegion2.end(), n) != kRegion2.end()) {
+        touches = true;
+      }
+      EXPECT_FALSE(n == N(8)) << "leased path C->H->K leaked in";
+    }
+    EXPECT_TRUE(touches);
+  }
+  EXPECT_GE(paths->size(), 2u);  // A->D->E->G->I and A->B->F->J->K at least
+}
+
+TEST(PathsViaRegionTest, AllModeRequiresEveryRegionNode) {
+  const DirectedGraph g = Figure1Network();
+  // No single source->customer path visits all four region-2 hubs.
+  const auto paths =
+      PathsViaRegion(g, {N(1), N(2), N(3)}, {N(9), N(10), N(11)}, kRegion2,
+                     RegionTraversal::kAll);
+  ASSERT_TRUE(paths.ok());
+  EXPECT_TRUE(paths->empty());
+  // A two-node region along one path works.
+  const auto de = PathsViaRegion(g, {N(1)}, {N(9)}, {N(4), N(5)},
+                                 RegionTraversal::kAll);
+  ASSERT_TRUE(de.ok());
+  ASSERT_EQ(de->size(), 1u);
+  EXPECT_EQ((*de)[0].nodes(),
+            (std::vector<NodeRef>{N(1), N(4), N(5), N(7), N(9)}));
+}
+
+TEST(RegionGraphViewTest, InternalEdgesOnly) {
+  const DirectedGraph g = Figure1Network();
+  EdgeCatalog catalog;
+  for (const Edge& e : g.edges()) catalog.GetOrAssign(e);
+  const auto view = RegionGraphView(g, kRegion2, catalog);
+  ASSERT_TRUE(view.ok());
+  // Internal edges of region 2: D->E and E->G only.
+  std::set<Edge> edges;
+  for (EdgeId id : view->edges) edges.insert(catalog.edge(id));
+  EXPECT_EQ(edges, (std::set<Edge>{Edge{N(4), N(5)}, Edge{N(5), N(7)}}));
+}
+
+TEST(RegionGraphViewTest, IncludesRegionNodeMeasures) {
+  const DirectedGraph g = Figure1Network();
+  EdgeCatalog catalog;
+  for (const Edge& e : g.edges()) catalog.GetOrAssign(e);
+  const EdgeId node_measure = catalog.GetOrAssign(Edge{N(5), N(5)});
+  const auto view = RegionGraphView(g, kRegion2, catalog);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(std::find(view->edges.begin(), view->edges.end(),
+                        node_measure) != view->edges.end());
+}
+
+TEST(RegionGraphViewTest, EmptyRegionRejected) {
+  const DirectedGraph g = Figure1Network();
+  EdgeCatalog catalog;  // nothing registered
+  EXPECT_TRUE(
+      RegionGraphView(g, kRegion2, catalog).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace colgraph

@@ -1,0 +1,153 @@
+#include "query/rewriter.h"
+
+#include <gtest/gtest.h>
+
+namespace colgraph {
+namespace {
+
+ViewCatalog MakeViews() {
+  ViewCatalog catalog;
+  catalog.AddGraphView(GraphViewDef::Make({1, 2, 3}), 0);
+  catalog.AddGraphView(GraphViewDef::Make({5, 6}), 1);
+  AggViewDef agg_sum;
+  agg_sum.elements = {2, 3};
+  agg_sum.fn = AggFn::kSum;
+  catalog.AddAggView(agg_sum, 0);
+  AggViewDef agg_long;
+  agg_long.elements = {2, 3, 4};
+  agg_long.fn = AggFn::kSum;
+  catalog.AddAggView(agg_long, 1);
+  AggViewDef agg_max;
+  agg_max.elements = {1, 2};
+  agg_max.fn = AggFn::kMax;
+  catalog.AddAggView(agg_max, 2);
+  return catalog;
+}
+
+TEST(PlanMatchTest, NoViewsMeansOneBitmapPerEdge) {
+  const MatchPlan plan = PlanMatch({1, 2, 3}, nullptr, false);
+  EXPECT_EQ(plan.num_bitmaps(), 3u);
+  for (const auto& s : plan.sources) {
+    EXPECT_EQ(s.kind, BitmapSource::Kind::kEdge);
+  }
+}
+
+TEST(PlanMatchTest, ViewReplacesItsEdges) {
+  const ViewCatalog views = MakeViews();
+  const MatchPlan plan = PlanMatch({1, 2, 3, 4}, &views, false);
+  // {1,2,3} view + atomic edge 4 -> 2 bitmaps instead of 4: the paper's
+  // |B|-1 saving.
+  ASSERT_EQ(plan.num_bitmaps(), 2u);
+  EXPECT_EQ(plan.sources[0].kind, BitmapSource::Kind::kGraphView);
+  EXPECT_EQ(plan.sources[0].index, 0u);
+  EXPECT_EQ(plan.sources[1].kind, BitmapSource::Kind::kEdge);
+  EXPECT_EQ(plan.sources[1].index, 4u);
+}
+
+TEST(PlanMatchTest, OversizedViewNotUsed) {
+  const ViewCatalog views = MakeViews();
+  const MatchPlan plan = PlanMatch({1, 2}, &views, false);
+  EXPECT_EQ(plan.num_bitmaps(), 2u);
+  for (const auto& s : plan.sources) {
+    EXPECT_EQ(s.kind, BitmapSource::Kind::kEdge);
+  }
+}
+
+TEST(PlanMatchTest, AggViewBitmapsOfferedWhenRequested) {
+  const ViewCatalog views = MakeViews();
+  // Query {2,3}: the SUM agg view [2,3] covers it fully (bp is a bitmap
+  // over exactly those edges), but only when consider_agg_bitmaps is on.
+  const MatchPlan without = PlanMatch({2, 3}, &views, false);
+  EXPECT_EQ(without.num_bitmaps(), 2u);
+  const MatchPlan with = PlanMatch({2, 3}, &views, true);
+  ASSERT_EQ(with.num_bitmaps(), 1u);
+  EXPECT_EQ(with.sources[0].kind, BitmapSource::Kind::kAggViewBitmap);
+}
+
+TEST(PlanMatchTest, DeduplicatesQueryEdges) {
+  const MatchPlan plan = PlanMatch({7, 7, 7}, nullptr, false);
+  EXPECT_EQ(plan.num_bitmaps(), 1u);
+}
+
+TEST(PlanPathTest, NoViewsAllAtoms) {
+  const PathPlan plan = PlanPathAggregation({1, 2, 3}, AggFn::kSum, nullptr);
+  ASSERT_EQ(plan.segments.size(), 3u);
+  for (const auto& seg : plan.segments) {
+    EXPECT_FALSE(seg.is_view);
+    EXPECT_EQ(seg.num_elements, 1u);
+  }
+}
+
+TEST(PlanPathTest, ViewSegmentReplacesRun) {
+  const ViewCatalog views = MakeViews();
+  const PathPlan plan =
+      PlanPathAggregation({1, 2, 3, 4}, AggFn::kSum, &views);
+  // Expected: atom 1, then the *longest* matching view [2,3,4].
+  ASSERT_EQ(plan.segments.size(), 2u);
+  EXPECT_FALSE(plan.segments[0].is_view);
+  EXPECT_EQ(plan.segments[0].atom, 1u);
+  EXPECT_TRUE(plan.segments[1].is_view);
+  EXPECT_EQ(plan.segments[1].agg_view_column, 1u);
+  EXPECT_EQ(plan.segments[1].num_elements, 3u);
+}
+
+TEST(PlanPathTest, ShorterViewUsedWhenLongDoesNotFit) {
+  const ViewCatalog views = MakeViews();
+  const PathPlan plan = PlanPathAggregation({2, 3, 9}, AggFn::kSum, &views);
+  // [2,3,4] does not match (next element is 9); [2,3] does.
+  ASSERT_EQ(plan.segments.size(), 2u);
+  EXPECT_TRUE(plan.segments[0].is_view);
+  EXPECT_EQ(plan.segments[0].agg_view_column, 0u);
+  EXPECT_FALSE(plan.segments[1].is_view);
+}
+
+TEST(PlanPathTest, FunctionMismatchIgnoresView) {
+  const ViewCatalog views = MakeViews();
+  // Only a MAX view exists on [1,2]; a SUM query cannot use it.
+  const PathPlan plan = PlanPathAggregation({1, 2}, AggFn::kSum, &views);
+  ASSERT_EQ(plan.segments.size(), 2u);
+  EXPECT_FALSE(plan.segments[0].is_view);
+  const PathPlan max_plan = PlanPathAggregation({1, 2}, AggFn::kMax, &views);
+  ASSERT_EQ(max_plan.segments.size(), 1u);
+  EXPECT_TRUE(max_plan.segments[0].is_view);
+}
+
+TEST(PlanPathTest, ViewRequiresContiguousOrderedMatch) {
+  const ViewCatalog views = MakeViews();
+  // Elements {3,2} contain the view's edges but in the wrong order: a path
+  // aggregate is order-sensitive, so the view must not fire.
+  const PathPlan plan = PlanPathAggregation({3, 2}, AggFn::kSum, &views);
+  EXPECT_EQ(plan.segments.size(), 2u);
+  for (const auto& seg : plan.segments) EXPECT_FALSE(seg.is_view);
+}
+
+TEST(PlanPathTest, SegmentsNeverOverlapAndCoverExactly) {
+  const ViewCatalog views = MakeViews();
+  const std::vector<EdgeId> elements{0, 1, 2, 3, 4, 2, 3, 9};
+  const PathPlan plan = PlanPathAggregation(elements, AggFn::kSum, &views);
+  // Rebuild the element sequence from the plan and compare.
+  std::vector<EdgeId> rebuilt;
+  for (const auto& seg : plan.segments) {
+    if (seg.is_view) {
+      const auto& defs = views.agg_views();
+      for (const auto& [def, column] : defs) {
+        if (column == seg.agg_view_column && def.fn == AggFn::kSum) {
+          rebuilt.insert(rebuilt.end(), def.elements.begin(),
+                         def.elements.end());
+          break;
+        }
+      }
+    } else {
+      rebuilt.push_back(seg.atom);
+    }
+  }
+  EXPECT_EQ(rebuilt, elements);
+}
+
+TEST(PlanPathTest, EmptyPath) {
+  const PathPlan plan = PlanPathAggregation({}, AggFn::kSum, nullptr);
+  EXPECT_TRUE(plan.segments.empty());
+}
+
+}  // namespace
+}  // namespace colgraph

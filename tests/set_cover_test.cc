@@ -1,0 +1,133 @@
+#include "views/set_cover.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace colgraph {
+namespace {
+
+GraphViewDef V(std::vector<EdgeId> ids) {
+  return GraphViewDef::Make(std::move(ids));
+}
+
+TEST(GraphViewDefTest, MakeSortsAndDedups) {
+  const GraphViewDef def = V({3, 1, 3, 2});
+  EXPECT_EQ(def.edges, (std::vector<EdgeId>{1, 2, 3}));
+}
+
+TEST(GraphViewDefTest, SubsetCheck) {
+  EXPECT_TRUE(V({1, 3}).IsSubsetOf({1, 2, 3, 4}));
+  EXPECT_FALSE(V({1, 5}).IsSubsetOf({1, 2, 3, 4}));
+  EXPECT_TRUE(V({}).IsSubsetOf({1}));
+}
+
+TEST(GreedySetCoverTest, SingleQueryPicksWholeQueryView) {
+  // The optimal single view for one query is the query itself (Sec. 5.2).
+  const std::vector<std::vector<EdgeId>> universes{{1, 2, 3, 4}};
+  const std::vector<GraphViewDef> candidates{V({1, 2}), V({1, 2, 3, 4}),
+                                             V({3, 4})};
+  const auto selection = GreedyExtendedSetCover(universes, candidates, 1);
+  ASSERT_EQ(selection.selected.size(), 1u);
+  EXPECT_EQ(candidates[selection.selected[0]].edges,
+            (std::vector<EdgeId>{1, 2, 3, 4}));
+  EXPECT_EQ(selection.uncovered_elements, 0u);
+}
+
+TEST(GreedySetCoverTest, ViewUsableOnlyWhenSubsetOfQuery) {
+  // The big view is NOT a subset of either query, so it must not be used
+  // even though it covers many edges in total.
+  const std::vector<std::vector<EdgeId>> universes{{1, 2}, {3, 4}};
+  const std::vector<GraphViewDef> candidates{V({1, 2, 3, 4}), V({1, 2}),
+                                             V({3, 4})};
+  const auto selection = GreedyExtendedSetCover(universes, candidates, 2);
+  ASSERT_EQ(selection.selected.size(), 2u);
+  for (size_t index : selection.selected) {
+    EXPECT_NE(candidates[index].edges, (std::vector<EdgeId>{1, 2, 3, 4}));
+  }
+}
+
+TEST(GreedySetCoverTest, SharedSubgraphCountedAcrossQueries) {
+  // {2,3} appears in both queries (gain 4) and beats {1,2,3} (gain 3).
+  const std::vector<std::vector<EdgeId>> universes{{1, 2, 3}, {2, 3, 4}};
+  const std::vector<GraphViewDef> candidates{V({1, 2, 3}), V({2, 3})};
+  const auto selection = GreedyExtendedSetCover(universes, candidates, 1);
+  ASSERT_EQ(selection.selected.size(), 1u);
+  EXPECT_EQ(candidates[selection.selected[0]].edges,
+            (std::vector<EdgeId>{2, 3}));
+}
+
+TEST(GreedySetCoverTest, StopsWhenGainDropsBelowTwo) {
+  // After the first pick only single uncovered edges remain; atomic
+  // bitmaps are as good, so the greedy must stop early.
+  const std::vector<std::vector<EdgeId>> universes{{1, 2, 3}};
+  const std::vector<GraphViewDef> candidates{V({1, 2}), V({3})};
+  const auto selection = GreedyExtendedSetCover(universes, candidates, 10);
+  EXPECT_EQ(selection.selected.size(), 1u);
+  EXPECT_EQ(selection.uncovered_elements, 1u);
+}
+
+TEST(GreedySetCoverTest, BudgetLimitsSelection) {
+  const std::vector<std::vector<EdgeId>> universes{{1, 2}, {3, 4}, {5, 6}};
+  const std::vector<GraphViewDef> candidates{V({1, 2}), V({3, 4}), V({5, 6})};
+  const auto selection = GreedyExtendedSetCover(universes, candidates, 2);
+  EXPECT_EQ(selection.selected.size(), 2u);
+  EXPECT_EQ(selection.uncovered_elements, 2u);
+}
+
+TEST(GreedySetCoverTest, EmptyInputs) {
+  EXPECT_TRUE(GreedyExtendedSetCover({}, {}, 5).selected.empty());
+  EXPECT_TRUE(
+      GreedyExtendedSetCover({{1, 2}}, {}, 5).selected.empty());
+  EXPECT_TRUE(GreedyExtendedSetCover({}, {V({1})}, 5).selected.empty());
+}
+
+TEST(CoverQueryTest, FullCoverageByOneView) {
+  const QueryCover cover =
+      CoverQueryWithViews({1, 2, 3}, {V({1, 2, 3}), V({1, 2})});
+  ASSERT_EQ(cover.view_indexes.size(), 1u);
+  EXPECT_EQ(cover.view_indexes[0], 0u);
+  EXPECT_TRUE(cover.residual_edges.empty());
+}
+
+TEST(CoverQueryTest, MixesViewsAndResidualEdges) {
+  const QueryCover cover = CoverQueryWithViews({1, 2, 3, 4, 5}, {V({1, 2})});
+  ASSERT_EQ(cover.view_indexes.size(), 1u);
+  EXPECT_EQ(cover.residual_edges, (std::vector<EdgeId>{3, 4, 5}));
+}
+
+TEST(CoverQueryTest, OversizedViewNotUsable) {
+  // A view with an edge outside the query would over-constrain the match.
+  const QueryCover cover = CoverQueryWithViews({1, 2}, {V({1, 2, 3})});
+  EXPECT_TRUE(cover.view_indexes.empty());
+  EXPECT_EQ(cover.residual_edges, (std::vector<EdgeId>{1, 2}));
+}
+
+TEST(CoverQueryTest, OverlappingViewsAllowedButNotWasted) {
+  // After {1,2,3} is chosen, {3,4} covers only one new edge (4), equal to
+  // the atomic bitmap: the greedy must not pick it.
+  const QueryCover cover =
+      CoverQueryWithViews({1, 2, 3, 4}, {V({1, 2, 3}), V({3, 4})});
+  ASSERT_EQ(cover.view_indexes.size(), 1u);
+  EXPECT_EQ(cover.view_indexes[0], 0u);
+  EXPECT_EQ(cover.residual_edges, (std::vector<EdgeId>{4}));
+}
+
+TEST(CoverQueryTest, CoverInvariant_EveryEdgeConstrained) {
+  // Property: union of chosen views + residual edges == the query.
+  const std::vector<EdgeId> query{1, 2, 3, 4, 5, 6, 7};
+  const std::vector<GraphViewDef> views{V({1, 2, 3}), V({2, 3, 4}), V({6, 7}),
+                                        V({5, 6, 7, 8})};
+  const QueryCover cover = CoverQueryWithViews(query, views);
+  std::vector<EdgeId> covered = cover.residual_edges;
+  for (size_t v : cover.view_indexes) {
+    covered.insert(covered.end(), views[v].edges.begin(),
+                   views[v].edges.end());
+  }
+  std::sort(covered.begin(), covered.end());
+  covered.erase(std::unique(covered.begin(), covered.end()), covered.end());
+  EXPECT_EQ(covered, query);
+}
+
+}  // namespace
+}  // namespace colgraph

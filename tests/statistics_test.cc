@@ -1,0 +1,91 @@
+#include "query/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace colgraph {
+namespace {
+
+TEST(SummarizeTest, EmptySeries) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0);
+  EXPECT_EQ(s.stddev, 0);
+}
+
+TEST(SummarizeTest, SingleValue) {
+  const Summary s = Summarize({42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 42.0);
+  EXPECT_EQ(s.max, 42.0);
+  EXPECT_EQ(s.mean, 42.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.sum, 42.0);
+}
+
+TEST(SummarizeTest, KnownSeries) {
+  const Summary s = Summarize({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_EQ(s.min, 2);
+  EXPECT_EQ(s.max, 9);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // the classic textbook example
+  EXPECT_EQ(s.sum, 40);
+}
+
+TEST(SummarizeTest, NegativeValues) {
+  const Summary s = Summarize({-3, -1, -2});
+  EXPECT_EQ(s.min, -3);
+  EXPECT_EQ(s.max, -1);
+  EXPECT_DOUBLE_EQ(s.mean, -2.0);
+}
+
+TEST(SummarizeTest, WelfordMatchesNaiveVariance) {
+  Rng rng(77);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.UniformReal(-50, 50));
+  const Summary s = Summarize(values);
+  double mean = 0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size());
+  EXPECT_NEAR(s.mean, mean, 1e-9);
+  EXPECT_NEAR(s.stddev, std::sqrt(var), 1e-9);
+}
+
+TEST(HistogramTest, BucketsCounts) {
+  const auto h = Histogram({0.5, 1.5, 1.6, 2.5, 9.9}, 0, 10, 10);
+  ASSERT_EQ(h.size(), 10u);
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_EQ(h[1], 2u);
+  EXPECT_EQ(h[2], 1u);
+  EXPECT_EQ(h[9], 1u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  const auto h = Histogram({-5, 15}, 0, 10, 5);
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_EQ(h[4], 1u);
+}
+
+TEST(HistogramTest, DegenerateInputs) {
+  EXPECT_TRUE(Histogram({1.0}, 0, 10, 0).empty());
+  const auto h = Histogram({1.0}, 5, 5, 3);
+  EXPECT_EQ(h, (std::vector<size_t>{0, 0, 0}));
+}
+
+TEST(HistogramTest, TotalCountPreserved) {
+  Rng rng(78);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) values.push_back(rng.UniformReal(-100, 100));
+  const auto h = Histogram(values, -50, 50, 7);
+  size_t total = 0;
+  for (size_t c : h) total += c;
+  EXPECT_EQ(total, values.size());
+}
+
+}  // namespace
+}  // namespace colgraph

@@ -1,0 +1,87 @@
+#include "workload/trace_loader.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace colgraph {
+namespace {
+
+NodeRef N(NodeId id, uint32_t occ = 0) { return NodeRef{id, occ}; }
+
+TEST(TraceLoaderTest, ParsesWalksWithMeasures) {
+  std::istringstream in("1 2 3 | 1.5 2.5\n4 5 | 7\n");
+  const auto traces = ParseTraces(in);
+  ASSERT_TRUE(traces.ok());
+  ASSERT_EQ(traces->size(), 2u);
+  EXPECT_EQ((*traces)[0].walk, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ((*traces)[0].measures, (std::vector<double>{1.5, 2.5}));
+  EXPECT_EQ((*traces)[1].measures, (std::vector<double>{7}));
+}
+
+TEST(TraceLoaderTest, DefaultsMeasuresToOne) {
+  std::istringstream in("1 2 3 4\n");
+  const auto traces = ParseTraces(in);
+  ASSERT_TRUE(traces.ok());
+  EXPECT_EQ((*traces)[0].measures, (std::vector<double>{1, 1, 1}));
+}
+
+TEST(TraceLoaderTest, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# header\n\n1 2\n   # indented comment\n3 4 # tail\n");
+  const auto traces = ParseTraces(in);
+  ASSERT_TRUE(traces.ok());
+  EXPECT_EQ(traces->size(), 2u);
+}
+
+TEST(TraceLoaderTest, RejectsMeasureCountMismatch) {
+  std::istringstream in("1 2 3 | 1.0\n");
+  EXPECT_TRUE(ParseTraces(in).status().IsInvalidArgument());
+}
+
+TEST(TraceLoaderTest, RejectsSingleNodeWalk) {
+  std::istringstream in("42\n");
+  EXPECT_TRUE(ParseTraces(in).status().IsInvalidArgument());
+}
+
+TEST(TraceLoaderTest, RejectsGarbage) {
+  std::istringstream a("1 banana 3\n");
+  EXPECT_TRUE(ParseTraces(a).status().IsInvalidArgument());
+  std::istringstream b("1 2 | x\n");
+  EXPECT_TRUE(ParseTraces(b).status().IsInvalidArgument());
+}
+
+TEST(TraceLoaderTest, ErrorsNameTheLine) {
+  std::istringstream in("1 2\n1 2 3 | 9\n");
+  const auto traces = ParseTraces(in);
+  ASSERT_FALSE(traces.ok());
+  EXPECT_NE(traces.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(TraceLoaderTest, IngestTraceFileEndToEnd) {
+  const std::string path = ::testing::TempDir() + "colgraph_traces_test.txt";
+  {
+    std::ofstream out(path);
+    out << "# delivery traces\n";
+    out << "1 2 3 | 10 20\n";
+    out << "2 3 4 | 30 40\n";
+    out << "1 2 1 | 5 6\n";  // cyclic: flattened at ingest
+  }
+  ColGraphEngine engine;
+  const auto added = IngestTraceFile(&engine, path);
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_EQ(*added, 3u);
+  ASSERT_TRUE(engine.Seal().ok());
+  EXPECT_EQ(engine.Match(GraphQuery::FromPath({N(2), N(3)})).Count(), 2u);
+  // The cycle became 1 -> 2 -> 1'.
+  EXPECT_TRUE(engine.catalog().Lookup(Edge{N(2), N(1, 1)}).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TraceLoaderTest, MissingFileIsIOError) {
+  EXPECT_TRUE(LoadTraceFile("/no/such/file.txt").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace colgraph

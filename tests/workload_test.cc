@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "workload/base_graphs.h"
+#include "workload/query_generator.h"
+#include "workload/record_generator.h"
+
+namespace colgraph {
+namespace {
+
+TEST(RoadNetworkTest, GridShape) {
+  const DirectedGraph g = MakeRoadNetwork(4, 3);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  // Horizontal: 3 per row * 3 rows; vertical: 4 per column * 2 gaps;
+  // each bidirectional -> 2 * (9 + 8) = 34.
+  EXPECT_EQ(g.num_edges(), 34u);
+  // Corner has degree 2 out, middle has 4.
+  EXPECT_EQ(g.OutDegree(NodeRef{0, 0}), 2u);
+  EXPECT_EQ(g.OutDegree(NodeRef{5, 0}), 4u);
+}
+
+TEST(RoadNetworkTest, EdgesAreBidirectional) {
+  const DirectedGraph g = MakeRoadNetwork(5, 5);
+  for (const Edge& e : g.edges()) {
+    EXPECT_TRUE(g.HasEdge(e.to, e.from));
+  }
+}
+
+TEST(PowerLawNetworkTest, SizeAndConnectivity) {
+  const DirectedGraph g = MakePowerLawNetwork(500, 3, 1);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  EXPECT_GE(g.num_edges(), 500u * 3u);  // ~2 directed edges per attachment
+  for (const Edge& e : g.edges()) {
+    EXPECT_TRUE(g.HasEdge(e.to, e.from));  // symmetric links
+  }
+}
+
+TEST(PowerLawNetworkTest, DegreeDistributionIsSkewed) {
+  const DirectedGraph g = MakePowerLawNetwork(2000, 2, 2);
+  size_t max_degree = 0;
+  for (const NodeRef& n : g.nodes()) {
+    max_degree = std::max(max_degree, g.OutDegree(n));
+  }
+  // A hub should emerge far above the attachment parameter.
+  EXPECT_GE(max_degree, 20u);
+}
+
+TEST(SelectEdgeUniverseTest, ExactEdgeCount) {
+  const DirectedGraph base = MakeRoadNetwork(30, 30);
+  const auto universe = SelectEdgeUniverse(base, 1000, 3);
+  ASSERT_TRUE(universe.ok());
+  EXPECT_EQ(universe->num_edges(), 1000u);
+  // Every universe edge exists in the base network.
+  for (const Edge& e : universe->edges()) {
+    EXPECT_TRUE(base.HasEdge(e.from, e.to));
+  }
+}
+
+TEST(SelectEdgeUniverseTest, TooManyEdgesRejected) {
+  const DirectedGraph base = MakeRoadNetwork(3, 3);
+  EXPECT_TRUE(SelectEdgeUniverse(base, 1000, 3).status().IsInvalidArgument());
+}
+
+TEST(SelectEdgeUniverseTest, DeterministicForSeed) {
+  const DirectedGraph base = MakeRoadNetwork(20, 20);
+  const auto a = SelectEdgeUniverse(base, 300, 5);
+  const auto b = SelectEdgeUniverse(base, 300, 5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+class RecordGeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = MakeRoadNetwork(25, 25);
+    auto universe = SelectEdgeUniverse(base_, 500, 11);
+    ASSERT_TRUE(universe.ok());
+    universe_ = std::move(universe).value();
+  }
+  DirectedGraph base_;
+  DirectedGraph universe_;
+};
+
+TEST_F(RecordGeneratorTest, RecordsRespectSizeBounds) {
+  RecordGenOptions options;
+  options.min_edges = 10;
+  options.max_edges = 40;
+  WalkRecordGenerator generator(&universe_, options, 13);
+  for (int i = 0; i < 100; ++i) {
+    const GraphRecord r = generator.Next();
+    EXPECT_GE(r.elements.size(), 1u);
+    EXPECT_LE(r.elements.size(), 40u);
+    EXPECT_EQ(r.elements.size(), r.measures.size());
+  }
+}
+
+TEST_F(RecordGeneratorTest, RecordEdgesAreDistinctAndFromUniverse) {
+  RecordGenOptions options;
+  WalkRecordGenerator generator(&universe_, options, 17);
+  for (int i = 0; i < 50; ++i) {
+    const GraphRecord r = generator.Next();
+    std::set<std::pair<uint64_t, uint64_t>> seen;
+    for (const Edge& e : r.elements) {
+      EXPECT_TRUE(universe_.HasEdge(e.from, e.to)) << e.ToString();
+      const auto key = std::make_pair(
+          (uint64_t{e.from.base} << 32) | e.from.occurrence,
+          (uint64_t{e.to.base} << 32) | e.to.occurrence);
+      EXPECT_TRUE(seen.insert(key).second) << "duplicate " << e.ToString();
+    }
+  }
+}
+
+TEST_F(RecordGeneratorTest, RecordsAreDags) {
+  WalkRecordGenerator generator(&universe_, RecordGenOptions{}, 19);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(generator.Next().Structure().IsAcyclic());
+  }
+}
+
+TEST_F(RecordGeneratorTest, TrunkIsAPathInsideTheRecord) {
+  WalkRecordGenerator generator(&universe_, RecordGenOptions{}, 23);
+  for (int i = 0; i < 30; ++i) {
+    std::vector<NodeRef> trunk;
+    const GraphRecord r = generator.Next(&trunk);
+    ASSERT_GE(trunk.size(), 2u);
+    const DirectedGraph structure = r.Structure();
+    for (size_t j = 0; j + 1 < trunk.size(); ++j) {
+      EXPECT_TRUE(structure.HasEdge(trunk[j], trunk[j + 1]));
+    }
+  }
+}
+
+TEST_F(RecordGeneratorTest, MeasuresWithinRange) {
+  RecordGenOptions options;
+  options.measure_lo = 5.0;
+  options.measure_hi = 6.0;
+  WalkRecordGenerator generator(&universe_, options, 29);
+  const GraphRecord r = generator.Next();
+  for (double m : r.measures) {
+    EXPECT_GE(m, 5.0);
+    EXPECT_LT(m, 6.0);
+  }
+}
+
+class QueryGeneratorTest : public RecordGeneratorTest {
+ protected:
+  void SetUp() override {
+    RecordGeneratorTest::SetUp();
+    WalkRecordGenerator generator(&universe_, RecordGenOptions{}, 37);
+    for (int i = 0; i < 100; ++i) {
+      std::vector<NodeRef> trunk;
+      generator.Next(&trunk);
+      trunks_.push_back(std::move(trunk));
+    }
+  }
+  std::vector<std::vector<NodeRef>> trunks_;
+};
+
+TEST_F(QueryGeneratorTest, UniformQueriesAreSubpathsOfTrunks) {
+  QueryGenerator qgen(&trunks_, &universe_, 41);
+  QueryGenOptions options;
+  options.min_edges = 2;
+  options.max_edges = 8;
+  const auto workload = qgen.UniformWorkload(50, options);
+  ASSERT_EQ(workload.size(), 50u);
+  for (const GraphQuery& q : workload) {
+    EXPECT_GE(q.num_edges(), 1u);
+    EXPECT_LE(q.num_edges(), 8u);
+    // Path queries: one source, one sink.
+    EXPECT_EQ(q.graph().SourceNodes().size(), 1u);
+    EXPECT_EQ(q.graph().TerminalNodes().size(), 1u);
+  }
+}
+
+TEST_F(QueryGeneratorTest, ZipfWorkloadHasDuplicates) {
+  QueryGenerator qgen(&trunks_, &universe_, 43);
+  QueryGenOptions options;
+  const auto workload = qgen.ZipfWorkload(100, 30, 1.2, options);
+  ASSERT_EQ(workload.size(), 100u);
+  // Count distinct structures: must be far fewer than 100 under skew.
+  std::set<std::vector<std::pair<uint64_t, uint64_t>>> distinct;
+  for (const GraphQuery& q : workload) {
+    std::vector<std::pair<uint64_t, uint64_t>> signature;
+    for (const Edge& e : q.graph().edges()) {
+      signature.emplace_back((uint64_t{e.from.base} << 32) | e.from.occurrence,
+                             (uint64_t{e.to.base} << 32) | e.to.occurrence);
+    }
+    std::sort(signature.begin(), signature.end());
+    distinct.insert(signature);
+  }
+  EXPECT_LE(distinct.size(), 30u);
+  EXPECT_LT(distinct.size(), 100u);
+}
+
+TEST_F(QueryGeneratorTest, StructuralQueryHasExactSize) {
+  QueryGenerator qgen(&trunks_, &universe_, 47);
+  for (size_t size : {1u, 5u, 20u, 100u}) {
+    const GraphQuery q = qgen.StructuralQuery(size);
+    EXPECT_EQ(q.num_edges(), size);
+  }
+}
+
+TEST_F(QueryGeneratorTest, DeterministicForSeed) {
+  QueryGenerator a(&trunks_, &universe_, 53);
+  QueryGenerator b(&trunks_, &universe_, 53);
+  QueryGenOptions options;
+  const auto wa = a.UniformWorkload(10, options);
+  const auto wb = b.UniformWorkload(10, options);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(wa[i].graph(), wb[i].graph());
+  }
+}
+
+}  // namespace
+}  // namespace colgraph
