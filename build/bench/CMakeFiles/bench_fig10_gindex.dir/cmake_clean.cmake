@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_gindex.dir/bench_fig10_gindex.cc.o"
+  "CMakeFiles/bench_fig10_gindex.dir/bench_fig10_gindex.cc.o.d"
+  "bench_fig10_gindex"
+  "bench_fig10_gindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_gindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

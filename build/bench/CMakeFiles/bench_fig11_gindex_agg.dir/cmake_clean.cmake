@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_gindex_agg.dir/bench_fig11_gindex_agg.cc.o"
+  "CMakeFiles/bench_fig11_gindex_agg.dir/bench_fig11_gindex_agg.cc.o.d"
+  "bench_fig11_gindex_agg"
+  "bench_fig11_gindex_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_gindex_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_edge_domain.dir/bench_fig5_edge_domain.cc.o"
+  "CMakeFiles/bench_fig5_edge_domain.dir/bench_fig5_edge_domain.cc.o.d"
+  "bench_fig5_edge_domain"
+  "bench_fig5_edge_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_edge_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

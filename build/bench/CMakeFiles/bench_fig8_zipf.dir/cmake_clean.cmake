@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_zipf.dir/bench_fig8_zipf.cc.o"
+  "CMakeFiles/bench_fig8_zipf.dir/bench_fig8_zipf.cc.o.d"
+  "bench_fig8_zipf"
+  "bench_fig8_zipf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

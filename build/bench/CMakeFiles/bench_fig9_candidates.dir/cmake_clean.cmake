@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_candidates.dir/bench_fig9_candidates.cc.o"
+  "CMakeFiles/bench_fig9_candidates.dir/bench_fig9_candidates.cc.o.d"
+  "bench_fig9_candidates"
+  "bench_fig9_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colgraph_shell.dir/colgraph_shell.cpp.o"
+  "CMakeFiles/colgraph_shell.dir/colgraph_shell.cpp.o.d"
+  "colgraph_shell"
+  "colgraph_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colgraph_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_tracking.dir/order_tracking.cpp.o"
+  "CMakeFiles/order_tracking.dir/order_tracking.cpp.o.d"
+  "order_tracking"
+  "order_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scm_delivery.dir/scm_delivery.cpp.o"
+  "CMakeFiles/scm_delivery.dir/scm_delivery.cpp.o.d"
+  "scm_delivery"
+  "scm_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scm_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

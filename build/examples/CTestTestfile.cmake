@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scm_delivery "/root/repo/build/examples/scm_delivery")
+set_tests_properties(example_scm_delivery PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_order_tracking "/root/repo/build/examples/order_tracking")
+set_tests_properties(example_order_tracking PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_network_monitoring "/root/repo/build/examples/network_monitoring")
+set_tests_properties(example_network_monitoring PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_shell "sh" "-c" "printf 'load /root/repo/examples/sample_traces.txt\\nseal\\nquery [1,2] AND NOT [3,4]\\nquery SUM [1,2,3]\\nautoviews 4\\ndump\\nstats\\nquit\\n' | /root/repo/build/examples/colgraph_shell")
+set_tests_properties(example_shell PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/graph_db.cc" "src/CMakeFiles/colgraph.dir/baselines/graph_db.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/baselines/graph_db.cc.o.d"
+  "/root/repo/src/baselines/rdf_store.cc" "src/CMakeFiles/colgraph.dir/baselines/rdf_store.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/baselines/rdf_store.cc.o.d"
+  "/root/repo/src/baselines/row_store.cc" "src/CMakeFiles/colgraph.dir/baselines/row_store.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/baselines/row_store.cc.o.d"
+  "/root/repo/src/bitmap/bitmap.cc" "src/CMakeFiles/colgraph.dir/bitmap/bitmap.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/bitmap/bitmap.cc.o.d"
+  "/root/repo/src/bitmap/ewah_bitmap.cc" "src/CMakeFiles/colgraph.dir/bitmap/ewah_bitmap.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/bitmap/ewah_bitmap.cc.o.d"
+  "/root/repo/src/columnstore/column.cc" "src/CMakeFiles/colgraph.dir/columnstore/column.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/columnstore/column.cc.o.d"
+  "/root/repo/src/columnstore/debug.cc" "src/CMakeFiles/colgraph.dir/columnstore/debug.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/columnstore/debug.cc.o.d"
+  "/root/repo/src/columnstore/master_relation.cc" "src/CMakeFiles/colgraph.dir/columnstore/master_relation.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/columnstore/master_relation.cc.o.d"
+  "/root/repo/src/columnstore/persistence.cc" "src/CMakeFiles/colgraph.dir/columnstore/persistence.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/columnstore/persistence.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/colgraph.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/engine_io.cc" "src/CMakeFiles/colgraph.dir/core/engine_io.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/core/engine_io.cc.o.d"
+  "/root/repo/src/core/multi_measure.cc" "src/CMakeFiles/colgraph.dir/core/multi_measure.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/core/multi_measure.cc.o.d"
+  "/root/repo/src/core/record_links.cc" "src/CMakeFiles/colgraph.dir/core/record_links.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/core/record_links.cc.o.d"
+  "/root/repo/src/graph/catalog.cc" "src/CMakeFiles/colgraph.dir/graph/catalog.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/graph/catalog.cc.o.d"
+  "/root/repo/src/graph/flatten.cc" "src/CMakeFiles/colgraph.dir/graph/flatten.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/graph/flatten.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/colgraph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/path.cc" "src/CMakeFiles/colgraph.dir/graph/path.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/graph/path.cc.o.d"
+  "/root/repo/src/graph/region.cc" "src/CMakeFiles/colgraph.dir/graph/region.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/graph/region.cc.o.d"
+  "/root/repo/src/mining/gindex.cc" "src/CMakeFiles/colgraph.dir/mining/gindex.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/mining/gindex.cc.o.d"
+  "/root/repo/src/mining/gspan.cc" "src/CMakeFiles/colgraph.dir/mining/gspan.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/mining/gspan.cc.o.d"
+  "/root/repo/src/query/aggregate.cc" "src/CMakeFiles/colgraph.dir/query/aggregate.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/query/aggregate.cc.o.d"
+  "/root/repo/src/query/engine.cc" "src/CMakeFiles/colgraph.dir/query/engine.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/query/engine.cc.o.d"
+  "/root/repo/src/query/expr.cc" "src/CMakeFiles/colgraph.dir/query/expr.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/query/expr.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/colgraph.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/rewriter.cc" "src/CMakeFiles/colgraph.dir/query/rewriter.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/query/rewriter.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/colgraph.dir/util/random.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/colgraph.dir/util/status.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/util/status.cc.o.d"
+  "/root/repo/src/util/stopwatch.cc" "src/CMakeFiles/colgraph.dir/util/stopwatch.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/util/stopwatch.cc.o.d"
+  "/root/repo/src/views/aggregate_views.cc" "src/CMakeFiles/colgraph.dir/views/aggregate_views.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/views/aggregate_views.cc.o.d"
+  "/root/repo/src/views/apriori.cc" "src/CMakeFiles/colgraph.dir/views/apriori.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/views/apriori.cc.o.d"
+  "/root/repo/src/views/candidate_generation.cc" "src/CMakeFiles/colgraph.dir/views/candidate_generation.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/views/candidate_generation.cc.o.d"
+  "/root/repo/src/views/materializer.cc" "src/CMakeFiles/colgraph.dir/views/materializer.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/views/materializer.cc.o.d"
+  "/root/repo/src/views/set_cover.cc" "src/CMakeFiles/colgraph.dir/views/set_cover.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/views/set_cover.cc.o.d"
+  "/root/repo/src/workload/base_graphs.cc" "src/CMakeFiles/colgraph.dir/workload/base_graphs.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/workload/base_graphs.cc.o.d"
+  "/root/repo/src/workload/query_generator.cc" "src/CMakeFiles/colgraph.dir/workload/query_generator.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/workload/query_generator.cc.o.d"
+  "/root/repo/src/workload/record_generator.cc" "src/CMakeFiles/colgraph.dir/workload/record_generator.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/workload/record_generator.cc.o.d"
+  "/root/repo/src/workload/trace_loader.cc" "src/CMakeFiles/colgraph.dir/workload/trace_loader.cc.o" "gcc" "src/CMakeFiles/colgraph.dir/workload/trace_loader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agg_fn_test.dir/agg_fn_test.cc.o"
+  "CMakeFiles/agg_fn_test.dir/agg_fn_test.cc.o.d"
+  "agg_fn_test"
+  "agg_fn_test.pdb"
+  "agg_fn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agg_fn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apriori_engine_test.dir/apriori_engine_test.cc.o"
+  "CMakeFiles/apriori_engine_test.dir/apriori_engine_test.cc.o.d"
+  "apriori_engine_test"
+  "apriori_engine_test.pdb"
+  "apriori_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apriori_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

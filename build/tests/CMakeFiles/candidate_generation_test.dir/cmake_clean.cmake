@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candidate_generation_test.dir/candidate_generation_test.cc.o"
+  "CMakeFiles/candidate_generation_test.dir/candidate_generation_test.cc.o.d"
+  "candidate_generation_test"
+  "candidate_generation_test.pdb"
+  "candidate_generation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candidate_generation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_dump_test.dir/debug_dump_test.cc.o"
+  "CMakeFiles/debug_dump_test.dir/debug_dump_test.cc.o.d"
+  "debug_dump_test"
+  "debug_dump_test.pdb"
+  "debug_dump_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_dump_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_io_test.dir/engine_io_test.cc.o"
+  "CMakeFiles/engine_io_test.dir/engine_io_test.cc.o.d"
+  "engine_io_test"
+  "engine_io_test.pdb"
+  "engine_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

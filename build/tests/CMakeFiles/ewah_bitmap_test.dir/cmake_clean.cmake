@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ewah_bitmap_test.dir/ewah_bitmap_test.cc.o"
+  "CMakeFiles/ewah_bitmap_test.dir/ewah_bitmap_test.cc.o.d"
+  "ewah_bitmap_test"
+  "ewah_bitmap_test.pdb"
+  "ewah_bitmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ewah_bitmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

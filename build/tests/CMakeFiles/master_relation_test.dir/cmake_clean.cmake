@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/master_relation_test.dir/master_relation_test.cc.o"
+  "CMakeFiles/master_relation_test.dir/master_relation_test.cc.o.d"
+  "master_relation_test"
+  "master_relation_test.pdb"
+  "master_relation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/master_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_measure_test.dir/multi_measure_test.cc.o"
+  "CMakeFiles/multi_measure_test.dir/multi_measure_test.cc.o.d"
+  "multi_measure_test"
+  "multi_measure_test.pdb"
+  "multi_measure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_measure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

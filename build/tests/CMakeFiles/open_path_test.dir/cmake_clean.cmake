@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/open_path_test.dir/open_path_test.cc.o"
+  "CMakeFiles/open_path_test.dir/open_path_test.cc.o.d"
+  "open_path_test"
+  "open_path_test.pdb"
+  "open_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/open_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

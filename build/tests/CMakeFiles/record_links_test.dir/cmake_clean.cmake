@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_links_test.dir/record_links_test.cc.o"
+  "CMakeFiles/record_links_test.dir/record_links_test.cc.o.d"
+  "record_links_test"
+  "record_links_test.pdb"
+  "record_links_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_links_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
