@@ -1,6 +1,6 @@
 #include "bitmap/bitmap.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace colgraph {
 
@@ -11,17 +11,17 @@ void Bitmap::Resize(size_t num_bits) {
 }
 
 void Bitmap::Set(size_t pos) {
-  assert(pos < num_bits_);
+  COLGRAPH_DCHECK_LT(pos, num_bits_);
   words_[pos / kWordBits] |= (uint64_t{1} << (pos % kWordBits));
 }
 
 void Bitmap::Clear(size_t pos) {
-  assert(pos < num_bits_);
+  COLGRAPH_DCHECK_LT(pos, num_bits_);
   words_[pos / kWordBits] &= ~(uint64_t{1} << (pos % kWordBits));
 }
 
 bool Bitmap::Test(size_t pos) const {
-  assert(pos < num_bits_);
+  COLGRAPH_DCHECK_LT(pos, num_bits_);
   return (words_[pos / kWordBits] >> (pos % kWordBits)) & 1;
 }
 
@@ -48,17 +48,17 @@ bool Bitmap::None() const {
 }
 
 void Bitmap::And(const Bitmap& other) {
-  assert(num_bits_ == other.num_bits_);
+  COLGRAPH_CHECK_EQ(num_bits_, other.num_bits_);
   for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
 }
 
 void Bitmap::Or(const Bitmap& other) {
-  assert(num_bits_ == other.num_bits_);
+  COLGRAPH_CHECK_EQ(num_bits_, other.num_bits_);
   for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
 }
 
 void Bitmap::AndNot(const Bitmap& other) {
-  assert(num_bits_ == other.num_bits_);
+  COLGRAPH_CHECK_EQ(num_bits_, other.num_bits_);
   for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
 }
 

@@ -1,6 +1,6 @@
 #include "bitmap/ewah_bitmap.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace colgraph {
 
@@ -11,8 +11,8 @@ constexpr uint64_t kMaxLiteralWords = (uint64_t{1} << 31) - 1;
 
 uint64_t EwahBitmap::MakeMarker(bool run_bit, uint64_t run_words,
                                 uint64_t literal_words) {
-  assert(run_words <= kMaxRunWords);
-  assert(literal_words <= kMaxLiteralWords);
+  COLGRAPH_DCHECK_LE(run_words, kMaxRunWords);
+  COLGRAPH_DCHECK_LE(literal_words, kMaxLiteralWords);
   return (literal_words << 33) | (run_words << 1) | (run_bit ? 1 : 0);
 }
 
@@ -74,7 +74,7 @@ Bitmap EwahBitmap::ToBitmap() const {
   auto& words = out.mutable_words();
   size_t pos = 0;
   ForEachWord([&](uint64_t w) {
-    assert(pos < words.size());
+    COLGRAPH_DCHECK_LT(pos, words.size());
     words[pos++] = w;
   });
   // The tail of the last word may contain garbage from an all-ones fill.
@@ -179,7 +179,7 @@ class Appender {
 }  // namespace
 
 EwahBitmap EwahBitmap::And(const EwahBitmap& a, const EwahBitmap& b) {
-  assert(a.num_bits_ == b.num_bits_);
+  COLGRAPH_CHECK_EQ(a.num_bits_, b.num_bits_);
   // Streaming AND directly over the compressed representations: zero runs
   // skip the other operand wholesale; one runs copy it; literal-literal
   // pairs AND word-wise. Never decompresses either input.

@@ -1,6 +1,6 @@
 #include "columnstore/column.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace colgraph {
 
@@ -17,8 +17,8 @@ void BitmapColumn::Seal() {
 }
 
 size_t BitmapColumn::Rank(size_t pos) const {
-  assert(sealed_);
-  assert(pos <= bits_.size());
+  COLGRAPH_DCHECK(sealed_);
+  COLGRAPH_DCHECK_LE(pos, bits_.size());
   const size_t word = pos / Bitmap::kWordBits;
   const size_t bit = pos % Bitmap::kWordBits;
   if (word >= bits_.words().size()) return rank_.empty() ? 0 : Count();

@@ -68,7 +68,7 @@ class MeasureColumn {
 
   /// Appends a value for `record`. Records must arrive in increasing order
   /// (bulk ingest); Seal() freezes the column.
-  Status Append(size_t record, double value);
+  [[nodiscard]] Status Append(size_t record, double value);
 
   /// Reconstructs a sealed column from its stored parts: the presence
   /// bitmap and the packed values (one per set bit, in record order).

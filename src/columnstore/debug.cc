@@ -39,34 +39,38 @@ std::string DumpRelation(const MasterRelation& relation,
   // Header.
   AppendCell(&out, "rid", kWidth);
   for (size_t c = 0; c < columns; ++c) {
-    AppendCell(&out, "m" + std::to_string(c + 1), kWidth);
+    AppendCell(&out, std::string("m") + std::to_string(c + 1), kWidth);
   }
   if (options.show_bitmaps) {
     for (size_t c = 0; c < columns; ++c) {
-      AppendCell(&out, "b" + std::to_string(c + 1), kWidth);
+      AppendCell(&out, std::string("b") + std::to_string(c + 1), kWidth);
     }
   }
   if (options.show_views) {
     for (size_t v = 0; v < relation.num_graph_views(); ++v) {
-      AppendCell(&out, "bv" + std::to_string(v + 1), kWidth);
+      AppendCell(&out, std::string("bv") + std::to_string(v + 1), kWidth);
     }
     for (size_t v = 0; v < relation.num_aggregate_views(); ++v) {
-      AppendCell(&out, "mp" + std::to_string(v + 1), kWidth);
-      AppendCell(&out, "bp" + std::to_string(v + 1), kWidth);
+      AppendCell(&out, std::string("mp") + std::to_string(v + 1), kWidth);
+      AppendCell(&out, std::string("bp") + std::to_string(v + 1), kWidth);
     }
   }
   out += '\n';
 
   for (size_t r = 0; r < records; ++r) {
-    AppendCell(&out, "r" + std::to_string(r + 1), kWidth);
+    AppendCell(&out, std::string("r") + std::to_string(r + 1), kWidth);
     for (size_t c = 0; c < columns; ++c) {
-      AppendCell(&out, FormatValue(relation.PeekMeasureColumn(c).Get(r)),
+      AppendCell(&out,
+                 FormatValue(
+                     relation.PeekMeasureColumn(static_cast<EdgeId>(c)).Get(r)),
                  kWidth);
     }
     if (options.show_bitmaps) {
       for (size_t c = 0; c < columns; ++c) {
         AppendCell(&out,
-                   relation.PeekMeasureColumn(c).presence().Test(r) ? "1"
+                   relation.PeekMeasureColumn(static_cast<EdgeId>(c))
+                           .presence()
+                           .Test(r) ? "1"
                                                                     : "0",
                    kWidth);
       }

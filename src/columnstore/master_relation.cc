@@ -1,9 +1,9 @@
 #include "columnstore/master_relation.h"
 
-#include <cassert>
 #include <unordered_set>
 
 #include "bitmap/ewah_bitmap.h"
+#include "util/check.h"
 
 namespace colgraph {
 
@@ -46,27 +46,27 @@ Status MasterRelation::Unseal() {
 }
 
 void MasterRelation::EnsureColumns(size_t n) {
-  assert(!sealed_);
+  COLGRAPH_CHECK(!sealed_);
   if (columns_.size() < n) columns_.resize(n);
 }
 
 const Bitmap& MasterRelation::FetchEdgeBitmap(EdgeId id) const {
-  assert(sealed_);
-  assert(id < columns_.size());
+  COLGRAPH_CHECK(sealed_);
+  COLGRAPH_CHECK_LT(id, columns_.size());
   ++stats_.bitmap_columns_fetched;
   return columns_[id].presence().bits();
 }
 
 const MeasureColumn& MasterRelation::FetchMeasureColumn(EdgeId id) const {
-  assert(sealed_);
-  assert(id < columns_.size());
+  COLGRAPH_CHECK(sealed_);
+  COLGRAPH_CHECK_LT(id, columns_.size());
   ++stats_.measure_columns_fetched;
   return columns_[id];
 }
 
 const MeasureColumn& MasterRelation::PeekMeasureColumn(EdgeId id) const {
-  assert(sealed_);
-  assert(id < columns_.size());
+  COLGRAPH_CHECK(sealed_);
+  COLGRAPH_CHECK_LT(id, columns_.size());
   return columns_[id];
 }
 
@@ -86,48 +86,48 @@ StatusOr<MasterRelation> MasterRelation::FromColumns(
 }
 
 size_t MasterRelation::AddGraphView(Bitmap bits) {
-  assert(sealed_);
-  assert(bits.size() == num_records_);
+  COLGRAPH_CHECK(sealed_);
+  COLGRAPH_CHECK_EQ(bits.size(), num_records_);
   graph_views_.emplace_back(std::move(bits));
   return graph_views_.size() - 1;
 }
 
 void MasterRelation::ReplaceGraphView(size_t view_index, Bitmap bits) {
-  assert(view_index < graph_views_.size());
-  assert(bits.size() == num_records_);
+  COLGRAPH_CHECK_LT(view_index, graph_views_.size());
+  COLGRAPH_CHECK_EQ(bits.size(), num_records_);
   graph_views_[view_index] = BitmapColumn(std::move(bits));
 }
 
 void MasterRelation::ReplaceAggregateView(size_t view_index,
                                           MeasureColumn column) {
-  assert(view_index < agg_views_.size());
-  assert(column.sealed());
+  COLGRAPH_CHECK_LT(view_index, agg_views_.size());
+  COLGRAPH_CHECK(column.sealed());
   agg_views_[view_index] = std::move(column);
 }
 
 const Bitmap& MasterRelation::FetchGraphView(size_t view_index) const {
-  assert(view_index < graph_views_.size());
+  COLGRAPH_CHECK_LT(view_index, graph_views_.size());
   ++stats_.bitmap_columns_fetched;
   return graph_views_[view_index].bits();
 }
 
 size_t MasterRelation::AddAggregateView(MeasureColumn column) {
-  assert(sealed_);
-  assert(column.sealed());
+  COLGRAPH_CHECK(sealed_);
+  COLGRAPH_CHECK(column.sealed());
   agg_views_.push_back(std::move(column));
   return agg_views_.size() - 1;
 }
 
 const MeasureColumn& MasterRelation::FetchAggregateView(
     size_t view_index) const {
-  assert(view_index < agg_views_.size());
+  COLGRAPH_CHECK_LT(view_index, agg_views_.size());
   ++stats_.measure_columns_fetched;
   return agg_views_[view_index];
 }
 
 const Bitmap& MasterRelation::FetchAggregateViewBitmap(
     size_t view_index) const {
-  assert(view_index < agg_views_.size());
+  COLGRAPH_CHECK_LT(view_index, agg_views_.size());
   ++stats_.bitmap_columns_fetched;
   return agg_views_[view_index].presence().bits();
 }

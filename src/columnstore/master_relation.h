@@ -48,17 +48,17 @@ class MasterRelation {
   /// Appends one shredded record: (edge-id, measure) pairs. Edge ids beyond
   /// the current universe grow the relation. Duplicate edge ids within one
   /// record are rejected.
-  StatusOr<RecordId> AddRecord(
+  [[nodiscard]] StatusOr<RecordId> AddRecord(
       const std::vector<std::pair<EdgeId, double>>& elements);
 
   /// Freezes the relation: sizes every presence bitmap to the final record
   /// count and builds rank directories.
-  Status Seal();
+  [[nodiscard]] Status Seal();
   /// Re-opens a sealed relation for incremental ingest (new records and, if
   /// needed, new columns). Materialized views become stale: the caller
   /// must refresh them after the next Seal() (ColGraphEngine::FinishAppend
   /// does). Queries are rejected until resealed.
-  Status Unseal();
+  [[nodiscard]] Status Unseal();
   bool sealed() const { return sealed_; }
 
   size_t num_records() const { return num_records_; }

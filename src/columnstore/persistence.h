@@ -12,11 +12,11 @@
 namespace colgraph {
 
 /// Writes a sealed relation (records only, not views) to `path`.
-Status WriteRelation(const MasterRelation& relation, const std::string& path);
+[[nodiscard]] Status WriteRelation(const MasterRelation& relation, const std::string& path);
 
 /// Reads a relation previously written by WriteRelation. The result is
 /// sealed and ready for queries.
-StatusOr<MasterRelation> ReadRelation(const std::string& path,
+[[nodiscard]] StatusOr<MasterRelation> ReadRelation(const std::string& path,
                                       MasterRelationOptions options = {});
 
 }  // namespace colgraph

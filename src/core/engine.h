@@ -54,12 +54,12 @@ class ColGraphEngine {
   /// Adds one graph record; elements are resolved (and the universe grown)
   /// through the owned catalog. Records with cycles must be flattened by
   /// the caller (AddWalk does this automatically for traces).
-  StatusOr<RecordId> AddRecord(const GraphRecord& record);
+  [[nodiscard]] StatusOr<RecordId> AddRecord(const GraphRecord& record);
 
   /// Adds a trace record: a walk over base nodes with one measure per hop.
   /// The walk is cycle-flattened (Section 6.2) before shredding, so
   /// `measures.size()` must equal `walk.size() - 1`.
-  StatusOr<RecordId> AddWalk(const std::vector<NodeId>& walk,
+  [[nodiscard]] StatusOr<RecordId> AddWalk(const std::vector<NodeId>& walk,
                              const std::vector<double>& measures);
 
   /// Pre-registers the edges of a base network so the universe (and column
@@ -67,17 +67,17 @@ class ColGraphEngine {
   void RegisterUniverse(const std::vector<Edge>& edges);
 
   /// Freezes the relation; queries and materialization require this.
-  Status Seal();
+  [[nodiscard]] Status Seal();
 
   // --- Incremental ingest (the applications generate records
   // --- continuously; Section 6.1's schema likewise "expands on demand").
 
   /// Re-opens a sealed engine for more AddRecord/AddWalk calls. Queries
   /// are unavailable until FinishAppend().
-  Status BeginAppend();
+  [[nodiscard]] Status BeginAppend();
   /// Reseals the relation and refreshes every materialized view so query
   /// rewriting stays sound over the grown record set.
-  Status FinishAppend();
+  [[nodiscard]] Status FinishAppend();
 
   // --- Views (after Seal). ---
 
@@ -85,27 +85,27 @@ class ColGraphEngine {
   /// generation (intersection closure + monotonicity filter + min support)
   /// and greedy extended-set-cover selection, then materializes at most
   /// `budget` views. Returns the number of views materialized.
-  StatusOr<size_t> SelectAndMaterializeGraphViews(
+  [[nodiscard]] StatusOr<size_t> SelectAndMaterializeGraphViews(
       const std::vector<GraphQuery>& workload, size_t budget);
 
   /// Same for aggregate graph views (Section 5.4), for function `fn`.
-  StatusOr<size_t> SelectAndMaterializeAggViews(
+  [[nodiscard]] StatusOr<size_t> SelectAndMaterializeAggViews(
       const std::vector<GraphQuery>& workload, AggFn fn, size_t budget);
 
   /// Materializes one explicit graph view / aggregate view.
-  StatusOr<size_t> MaterializeView(const GraphViewDef& def);
-  StatusOr<size_t> MaterializeView(const AggViewDef& def);
+  [[nodiscard]] StatusOr<size_t> MaterializeView(const GraphViewDef& def);
+  [[nodiscard]] StatusOr<size_t> MaterializeView(const AggViewDef& def);
 
   // --- Queries (after Seal). ---
 
   Bitmap Match(const GraphQuery& query, const QueryOptions& options = {}) const;
-  StatusOr<MeasureTable> RunGraphQuery(const GraphQuery& query,
+  [[nodiscard]] StatusOr<MeasureTable> RunGraphQuery(const GraphQuery& query,
                                        const QueryOptions& options = {}) const;
-  StatusOr<PathAggResult> RunAggregateQuery(
+  [[nodiscard]] StatusOr<PathAggResult> RunAggregateQuery(
       const GraphQuery& query, AggFn fn,
       const QueryOptions& options = {}) const;
   /// Aggregation along one explicit (possibly open-ended) path.
-  StatusOr<PathAggResult> AggregateAlongPath(
+  [[nodiscard]] StatusOr<PathAggResult> AggregateAlongPath(
       const Path& path, AggFn fn, const QueryOptions& options = {}) const {
     return query_engine().AggregateAlongPath(path, fn, options);
   }

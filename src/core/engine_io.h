@@ -12,10 +12,10 @@
 namespace colgraph {
 
 /// Writes a sealed engine's complete state to `path`.
-Status WriteEngine(const ColGraphEngine& engine, const std::string& path);
+[[nodiscard]] Status WriteEngine(const ColGraphEngine& engine, const std::string& path);
 
 /// Restores an engine previously written by WriteEngine. The result is
 /// sealed, views registered, ready for queries.
-StatusOr<ColGraphEngine> ReadEngine(const std::string& path);
+[[nodiscard]] StatusOr<ColGraphEngine> ReadEngine(const std::string& path);
 
 }  // namespace colgraph

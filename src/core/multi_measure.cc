@@ -1,15 +1,14 @@
 #include "core/multi_measure.h"
 
-#include <cassert>
-
 #include "graph/flatten.h"
+#include "util/check.h"
 
 namespace colgraph {
 
 MultiMeasureEngine::MultiMeasureEngine(std::vector<std::string> family_names,
                                        EngineOptions options)
     : names_(std::move(family_names)) {
-  assert(!names_.empty());
+  COLGRAPH_CHECK(!names_.empty());
   engines_.reserve(names_.size());
   for (size_t i = 0; i < names_.size(); ++i) engines_.emplace_back(options);
 }

@@ -26,20 +26,20 @@ class MultiMeasureEngine {
   size_t num_families() const { return engines_.size(); }
   const std::string& family_name(size_t slot) const { return names_[slot]; }
   /// Index of a family by name, or NotFound.
-  StatusOr<size_t> FamilySlot(const std::string& name) const;
+  [[nodiscard]] StatusOr<size_t> FamilySlot(const std::string& name) const;
 
   /// Adds a record: `measures[slot][i]` is the measure of `elements[i]`
   /// in family `slot`. All slots must cover every element.
-  StatusOr<RecordId> AddRecord(
+  [[nodiscard]] StatusOr<RecordId> AddRecord(
       const std::vector<Edge>& elements,
       const std::vector<std::vector<double>>& measures);
 
   /// Walk convenience (cycle-flattened), one measure vector per family.
-  StatusOr<RecordId> AddWalk(
+  [[nodiscard]] StatusOr<RecordId> AddWalk(
       const std::vector<NodeId>& walk,
       const std::vector<std::vector<double>>& measures);
 
-  Status Seal();
+  [[nodiscard]] Status Seal();
 
   /// Structural matching is family-independent.
   Bitmap Match(const GraphQuery& query,
@@ -48,13 +48,13 @@ class MultiMeasureEngine {
   }
 
   /// Path aggregation over one measure family.
-  StatusOr<PathAggResult> RunAggregateQuery(
+  [[nodiscard]] StatusOr<PathAggResult> RunAggregateQuery(
       size_t family, const GraphQuery& query, AggFn fn,
       const QueryOptions& options = {}) const;
 
   /// Materializes views in one family (views are per-family: the mp
   /// column stores that family's aggregates).
-  StatusOr<size_t> SelectAndMaterializeAggViews(
+  [[nodiscard]] StatusOr<size_t> SelectAndMaterializeAggViews(
       size_t family, const std::vector<GraphQuery>& workload, AggFn fn,
       size_t budget);
 

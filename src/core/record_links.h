@@ -29,7 +29,7 @@ class RecordLinkIndex {
  public:
   /// Links a record into a group (a record belongs to at most one group;
   /// re-linking to a different group is rejected).
-  Status Link(RecordId record, GroupId group);
+  [[nodiscard]] Status Link(RecordId record, GroupId group);
 
   /// The record's group, or nullopt for unlinked records.
   std::optional<GroupId> GroupOf(RecordId record) const;

@@ -1,7 +1,8 @@
 #include "graph/graph.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace colgraph {
 
@@ -12,8 +13,21 @@ std::string NodeRef::ToString() const {
 }
 
 std::string Edge::ToString() const {
-  if (IsNode()) return "[" + from.ToString() + "]";
-  return "(" + from.ToString() + "," + to.ToString() + ")";
+  // Built with append rather than operator+ chains: the `const char* +
+  // std::string&&` overload trips GCC 12's bogus -Wrestrict (PR 105651).
+  std::string s;
+  if (IsNode()) {
+    s += '[';
+    s += from.ToString();
+    s += ']';
+    return s;
+  }
+  s += '(';
+  s += from.ToString();
+  s += ',';
+  s += to.ToString();
+  s += ')';
+  return s;
 }
 
 void DirectedGraph::AddNode(NodeRef n) {
@@ -149,7 +163,7 @@ DirectedGraph GraphRecord::Structure() const {
 
 GraphQuery GraphQuery::FromPath(const std::vector<NodeRef>& nodes) {
   DirectedGraph g;
-  assert(!nodes.empty());
+  COLGRAPH_CHECK(!nodes.empty());
   if (nodes.size() == 1) {
     g.AddNode(nodes[0]);
   }

@@ -116,8 +116,7 @@ StatusOr<PathAggResult> QueryEngine::RunAggregateQuery(
                       : relation_->FetchMeasureColumn(seg.atom);
       segment_columns.push_back({&col, seg.is_view, seg.num_elements});
     }
-    relation_->stats().partitions_touched +=
-        plan.segments.empty() ? 0 : 1;
+    if (!plan.segments.empty()) ++relation_->stats().partitions_touched;
 
     std::vector<double> values;
     values.reserve(result.records.size());

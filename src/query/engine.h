@@ -92,12 +92,12 @@ class QueryEngine {
                              const std::vector<EdgeId>& edges) const;
 
   /// Full graph query: match then fetch all of the query's measures.
-  StatusOr<MeasureTable> RunGraphQuery(const GraphQuery& query,
+  [[nodiscard]] StatusOr<MeasureTable> RunGraphQuery(const GraphQuery& query,
                                        const QueryOptions& options = {}) const;
 
   /// Path-aggregation query F_Gq (Section 3.4). The query graph must be a
   /// DAG (flatten cyclic queries first).
-  StatusOr<PathAggResult> RunAggregateQuery(
+  [[nodiscard]] StatusOr<PathAggResult> RunAggregateQuery(
       const GraphQuery& query, AggFn fn,
       const QueryOptions& options = {}) const;
 
@@ -105,7 +105,7 @@ class QueryEngine {
   /// (Section 3.3): e.g. (D,E,G) folds the edges and E's own measure but
   /// excludes the endpoint measures of D and G. Matches are the records
   /// containing every element of the path.
-  StatusOr<PathAggResult> AggregateAlongPath(
+  [[nodiscard]] StatusOr<PathAggResult> AggregateAlongPath(
       const Path& path, AggFn fn, const QueryOptions& options = {}) const;
 
   const MasterRelation& relation() const { return *relation_; }

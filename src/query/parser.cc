@@ -28,7 +28,12 @@ struct Token {
 
 class Lexer {
  public:
-  explicit Lexer(const std::string& text) : text_(text) { Advance(); }
+  // Lexing the first token can itself fail; the constructor records that
+  // status and Parse() surfaces it before consuming any tokens.
+  explicit Lexer(const std::string& text)
+      : text_(text), init_status_(Advance()) {}
+
+  const Status& init_status() const { return init_status_; }
 
   const Token& current() const { return current_; }
 
@@ -103,6 +108,7 @@ class Lexer {
   const std::string& text_;
   size_t pos_ = 0;
   Token current_;
+  Status init_status_;  // Must be declared after the fields Advance() uses.
 };
 
 class Parser {
@@ -110,6 +116,7 @@ class Parser {
   explicit Parser(const std::string& text) : lexer_(text) {}
 
   StatusOr<ParsedQuery> Parse() {
+    COLGRAPH_RETURN_NOT_OK(lexer_.init_status());
     ParsedQuery result;
     const Token& t = lexer_.current();
     if (t.kind == Token::Kind::kKeyword) {

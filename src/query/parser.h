@@ -38,6 +38,6 @@ struct ParsedQuery {
 
 /// Parses one query; returns InvalidArgument with a position-annotated
 /// message on syntax errors.
-StatusOr<ParsedQuery> ParseQuery(const std::string& text);
+[[nodiscard]] StatusOr<ParsedQuery> ParseQuery(const std::string& text);
 
 }  // namespace colgraph

@@ -1,0 +1,22 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace colgraph {
+namespace internal {
+
+FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
+  stream_ << file << ":" << line << " Check failed: " << condition << " ";
+}
+
+FatalMessage::~FatalMessage() {
+  const std::string message = stream_.str();
+  std::fwrite(message.data(), 1, message.size(), stderr);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace colgraph

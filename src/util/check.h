@@ -1,0 +1,100 @@
+// CHECK / DCHECK invariant macros, in the style of Arrow and glog: a failed
+// check prints file:line, the failed condition, and any streamed message to
+// stderr, then aborts. COLGRAPH_CHECK* are always on (use them for cheap
+// structural invariants at API boundaries); COLGRAPH_DCHECK* compile to
+// nothing in NDEBUG builds (use them on hot paths, e.g. per-bit bounds
+// checks).
+//
+// This header deliberately does not include util/status.h: COLGRAPH_CHECK_OK
+// is duck-typed over anything with ok() and ToString(), so status.h can
+// include this header for its own internal checks without a cycle.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace colgraph {
+namespace internal {
+
+// Collects the streamed message for a failed check and aborts when the
+// statement ends. Instances only ever exist on a failure path.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  // Prints "<file>:<line> Check failed: <condition> <message>" and aborts.
+  [[noreturn]] ~FatalMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows a streamed message in compiled-out DCHECK statements without
+// evaluating the operands.
+class NullMessage {
+ public:
+  template <typename T>
+  NullMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// "CODE: message" detail for either a Status or a StatusOr<T>.
+template <typename T>
+std::string StatusDetail(const T& v) {
+  if constexpr (requires { v.status(); }) {
+    return v.status().ToString();
+  } else {
+    return v.ToString();
+  }
+}
+
+}  // namespace internal
+}  // namespace colgraph
+
+// Aborts with file:line and the condition text unless `condition` holds.
+// Additional context can be streamed: COLGRAPH_CHECK(a < b) << "a=" << a;
+#define COLGRAPH_CHECK(condition)                                         \
+  while (!(condition))                                                    \
+  ::colgraph::internal::FatalMessage(__FILE__, __LINE__, #condition).stream()
+
+// Binary comparison checks; these print the condition text, and operands can
+// be streamed by the caller for context.
+#define COLGRAPH_CHECK_EQ(a, b) COLGRAPH_CHECK((a) == (b))
+#define COLGRAPH_CHECK_NE(a, b) COLGRAPH_CHECK((a) != (b))
+#define COLGRAPH_CHECK_LT(a, b) COLGRAPH_CHECK((a) < (b))
+#define COLGRAPH_CHECK_LE(a, b) COLGRAPH_CHECK((a) <= (b))
+#define COLGRAPH_CHECK_GT(a, b) COLGRAPH_CHECK((a) > (b))
+#define COLGRAPH_CHECK_GE(a, b) COLGRAPH_CHECK((a) >= (b))
+
+// Aborts (with the status message) when a Status or StatusOr expression is
+// not OK. The expression is evaluated exactly once.
+#define COLGRAPH_CHECK_OK(expr)                                              \
+  do {                                                                       \
+    auto&& _colgraph_check_ok_st = (expr);                                   \
+    while (!_colgraph_check_ok_st.ok())                                      \
+      ::colgraph::internal::FatalMessage(__FILE__, __LINE__, #expr ".ok()")  \
+              .stream()                                                      \
+          << ::colgraph::internal::StatusDetail(_colgraph_check_ok_st);      \
+  } while (0)
+
+#ifdef NDEBUG
+// `false && (condition)` keeps the operands odr-used (no -Wunused warnings
+// for check-only variables) while the whole statement folds away.
+#define COLGRAPH_DCHECK(condition) \
+  while (false && (condition)) ::colgraph::internal::NullMessage()
+#define COLGRAPH_DCHECK_OK(expr) \
+  do {                           \
+  } while (0)
+#else
+#define COLGRAPH_DCHECK(condition) COLGRAPH_CHECK(condition)
+#define COLGRAPH_DCHECK_OK(expr) COLGRAPH_CHECK_OK(expr)
+#endif
+
+#define COLGRAPH_DCHECK_EQ(a, b) COLGRAPH_DCHECK((a) == (b))
+#define COLGRAPH_DCHECK_NE(a, b) COLGRAPH_DCHECK((a) != (b))
+#define COLGRAPH_DCHECK_LT(a, b) COLGRAPH_DCHECK((a) < (b))
+#define COLGRAPH_DCHECK_LE(a, b) COLGRAPH_DCHECK((a) <= (b))
+#define COLGRAPH_DCHECK_GT(a, b) COLGRAPH_DCHECK((a) > (b))
+#define COLGRAPH_DCHECK_GE(a, b) COLGRAPH_DCHECK((a) >= (b))

@@ -1,14 +1,15 @@
 #include "util/random.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace colgraph {
 
 ZipfSampler::ZipfSampler(size_t n, double theta, uint64_t seed)
     : engine_(seed) {
-  assert(n >= 1);
+  COLGRAPH_CHECK_GE(n, size_t{1});
   cdf_.resize(n);
   double norm = 0.0;
   for (size_t i = 0; i < n; ++i) {

@@ -3,12 +3,13 @@
 // throwing. Internal invariant violations use assert/CHECK-style macros.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "util/check.h"
 
 namespace colgraph {
 
@@ -29,7 +30,7 @@ enum class StatusCode : uint8_t {
 /// A Status is cheap to copy in the OK case (no allocation); error states
 /// carry a code and a message. Use the factory functions
 /// (Status::InvalidArgument(...) etc.) to construct errors.
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() = default;
 
@@ -99,7 +100,7 @@ class Status {
 
 /// \brief Either a value of type T or an error Status.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(T value) : value_(std::move(value)) {}          // NOLINT implicit
   StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT implicit
@@ -108,15 +109,15 @@ class StatusOr {
   const Status& status() const { return status_; }
 
   T& value() & {
-    assert(ok());
+    COLGRAPH_DCHECK(ok()) << status().ToString();
     return *value_;
   }
   const T& value() const& {
-    assert(ok());
+    COLGRAPH_DCHECK(ok()) << status().ToString();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    COLGRAPH_DCHECK(ok()) << status().ToString();
     return std::move(*value_);
   }
 

@@ -74,9 +74,9 @@ TEST(BitmapTest, AndOrAndNot) {
 
 TEST(BitmapTest, AndAllOverThreeOperands) {
   Bitmap a(8), b(8), c(8);
-  for (size_t i : {1, 2, 3, 4}) a.Set(i);
-  for (size_t i : {2, 3, 4, 5}) b.Set(i);
-  for (size_t i : {3, 4, 5, 6}) c.Set(i);
+  for (size_t i : {1u, 2u, 3u, 4u}) a.Set(i);
+  for (size_t i : {2u, 3u, 4u, 5u}) b.Set(i);
+  for (size_t i : {3u, 4u, 5u, 6u}) c.Set(i);
   const Bitmap result = Bitmap::AndAll({&a, &b, &c});
   EXPECT_EQ(result.ToVector(), (std::vector<uint64_t>{3, 4}));
 }

@@ -1,0 +1,83 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace colgraph {
+namespace {
+
+TEST(CheckDeathTest, FailedCheckAbortsWithFileLineAndCondition) {
+  EXPECT_DEATH(COLGRAPH_CHECK(1 == 2),
+               "check_test.cc:[0-9]+ Check failed: 1 == 2");
+}
+
+TEST(CheckDeathTest, FailedCheckIncludesStreamedMessage) {
+  const int x = 41;
+  EXPECT_DEATH(COLGRAPH_CHECK(x == 42) << "x=" << x, "Check failed:.*x=41");
+}
+
+TEST(CheckDeathTest, ComparisonMacrosAbort) {
+  EXPECT_DEATH(COLGRAPH_CHECK_EQ(1, 2), "Check failed");
+  EXPECT_DEATH(COLGRAPH_CHECK_NE(3, 3), "Check failed");
+  EXPECT_DEATH(COLGRAPH_CHECK_LT(2, 1), "Check failed");
+  EXPECT_DEATH(COLGRAPH_CHECK_LE(2, 1), "Check failed");
+  EXPECT_DEATH(COLGRAPH_CHECK_GT(1, 2), "Check failed");
+  EXPECT_DEATH(COLGRAPH_CHECK_GE(1, 2), "Check failed");
+}
+
+TEST(CheckDeathTest, CheckOkAbortsWithStatusDetail) {
+  EXPECT_DEATH(COLGRAPH_CHECK_OK(Status::IOError("disk gone")),
+               "Check failed:.*IO error: disk gone");
+}
+
+TEST(CheckDeathTest, CheckOkAbortsOnErrorStatusOr) {
+  StatusOr<int> bad(Status::NotFound("no such view"));
+  EXPECT_DEATH(COLGRAPH_CHECK_OK(bad), "Check failed:.*Not found: no such view");
+}
+
+TEST(CheckTest, PassingChecksDoNotAbort) {
+  COLGRAPH_CHECK(true) << "never printed";
+  COLGRAPH_CHECK_EQ(2 + 2, 4);
+  COLGRAPH_CHECK_OK(Status::OK());
+  StatusOr<int> good(7);
+  COLGRAPH_CHECK_OK(good);
+  EXPECT_EQ(good.value(), 7);
+}
+
+TEST(CheckTest, CheckOkEvaluatesExpressionExactlyOnce) {
+  int calls = 0;
+  auto make_ok = [&calls] {
+    ++calls;
+    return Status::OK();
+  };
+  COLGRAPH_CHECK_OK(make_ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckTest, DcheckBehavesPerBuildType) {
+#ifdef NDEBUG
+  // Compiled out: neither the condition nor the streamed operands run.
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  COLGRAPH_DCHECK(touch()) << "never evaluated";
+  EXPECT_EQ(evaluations, 0);
+  COLGRAPH_DCHECK_OK(Status::Internal("ignored in release"));
+#else
+  EXPECT_DEATH(COLGRAPH_DCHECK(false), "Check failed: false");
+  EXPECT_DEATH(COLGRAPH_DCHECK_OK(Status::Internal("boom")),
+               "Internal: boom");
+#endif
+}
+
+TEST(CheckTest, DcheckComparisonsPassSilently) {
+  COLGRAPH_DCHECK_EQ(1, 1);
+  COLGRAPH_DCHECK_LT(1, 2);
+  COLGRAPH_DCHECK_GE(2, 2);
+}
+
+}  // namespace
+}  // namespace colgraph

@@ -1,0 +1,16 @@
+// Deliberately broken fixture for lint_invariants_test: raw assert, stdout
+// in library code, and a dropped Status.
+#include "bad.h"
+
+#include <cassert>
+#include <iostream>
+
+namespace colgraph {
+
+void UseThings(int x) {
+  assert(x > 0);
+  std::cout << "debugging " << x << "\n";
+  DoFallibleThing();
+}
+
+}  // namespace colgraph

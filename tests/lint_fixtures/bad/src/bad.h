@@ -1,0 +1,12 @@
+// Deliberately broken fixture for lint_invariants_test: missing #pragma
+// once, bad includes, and a Status-returning API that bad.cc drops.
+#include "../outside_src.h"
+#include <bits/stdc++.h>
+
+namespace colgraph {
+
+class Status;
+
+Status DoFallibleThing();
+
+}  // namespace colgraph

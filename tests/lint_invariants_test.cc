@@ -1,0 +1,59 @@
+// Shells out to tools/lint.py: the known-bad fixture under
+// tests/lint_fixtures/bad must trip every rule, and the real repository must
+// be clean (the same invariant the colgraph_lint ctest target enforces).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#ifndef COLGRAPH_SOURCE_DIR
+#error "COLGRAPH_SOURCE_DIR must be defined by the build"
+#endif
+
+namespace {
+
+struct LintResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+LintResult RunLint(const std::string& root) {
+  const std::string cmd = std::string("python3 ") + COLGRAPH_SOURCE_DIR +
+                          "/tools/lint.py --root " + root + " 2>&1";
+  LintResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  size_t n;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+TEST(LintInvariantsTest, KnownBadFixtureTripsEveryRule) {
+  const LintResult r = RunLint(std::string(COLGRAPH_SOURCE_DIR) +
+                               "/tests/lint_fixtures/bad");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[no-raw-assert]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("[no-stdout]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("[pragma-once]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("[include-hygiene]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("[unchecked-status]"), std::string::npos) << r.output;
+}
+
+TEST(LintInvariantsTest, RepositoryIsLintClean) {
+  const LintResult r = RunLint(COLGRAPH_SOURCE_DIR);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(LintInvariantsTest, MissingSrcDirectoryIsAUsageError) {
+  const LintResult r =
+      RunLint(std::string(COLGRAPH_SOURCE_DIR) + "/tests/lint_fixtures");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+}  // namespace

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""colgraph repo lint: enforces repository-wide correctness invariants.
+
+Run from the repo root (or pass --root); exits non-zero and prints
+`path:line: [rule] message` for every violation. Wired into the build as the
+`colgraph_lint` custom target and ctest test of the same name.
+
+Rules
+-----
+  no-raw-assert      `assert(...)` is banned in src/ — use COLGRAPH_CHECK /
+                     COLGRAPH_DCHECK from util/check.h so failures carry
+                     file:line and a message in every build type
+                     (static_assert is fine; util/check.h itself is exempt).
+  unchecked-status   A statement that calls a Status/StatusOr-returning
+                     function and ignores the result drops an error. The
+                     checker collects the names of Status-returning functions
+                     from src/ headers and flags bare `Foo(...);` statements.
+                     Names that also have a void/value-returning overload are
+                     skipped (the call site is ambiguous without full type
+                     resolution).
+  pragma-once        Every header under src/ must open with #pragma once.
+  include-hygiene    No `..` path segments and no <bits/...> internals in
+                     includes; library includes use the "dir/file.h" form
+                     rooted at src/.
+  no-stdout          Library code must not write to stdout (std::cout,
+                     printf, puts); diagnostics go to stderr or a caller
+                     provided stream. Benches/examples/tests are exempt.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SRC_EXTS = (".h", ".cc", ".cpp", ".hpp")
+
+# Statement openers that legitimately consume a Status result.
+CONSUMED_PREFIX = re.compile(
+    r"\s*(return\b|if\b|while\b|for\b|case\b|throw\b|"
+    r"COLGRAPH_\w+\(|EXPECT_|ASSERT_|\(void\)|"
+    r"[A-Za-z_][\w:<>,\s*&]*\s*[\w\]]+\s*=|=)"
+)
+
+
+def iter_src_files(src_dir):
+    for dirpath, _dirnames, filenames in os.walk(src_dir):
+        for name in sorted(filenames):
+            if name.endswith(SRC_EXTS):
+                yield os.path.join(dirpath, name)
+
+
+def strip_comments(line):
+    """Removes // comments (good enough: repo style has no multi-line /* */)."""
+    idx = line.find("//")
+    return line[:idx] if idx >= 0 else line
+
+
+def collect_status_functions(src_dir):
+    """Names of functions declared in src/ headers returning Status/StatusOr,
+    minus names that also appear with a non-Status return type (ambiguous
+    overloads a textual checker cannot resolve)."""
+    decl = re.compile(
+        r"^\s*(?:\[\[nodiscard\]\]\s*)?(?:virtual\s+)?(?:static\s+)?"
+        r"(?P<ret>Status|StatusOr<[^;={}]*?>)\s+(?P<name>[A-Za-z_]\w*)\s*\("
+    )
+    other_decl = re.compile(
+        r"^\s*(?:\[\[nodiscard\]\]\s*)?(?:virtual\s+)?(?:static\s+)?"
+        r"(?P<ret>void|bool|int|size_t|double|auto|[A-Z]\w*(?:<[^;={}]*>)?)"
+        r"[&*]?\s+(?P<name>[A-Za-z_]\w*)\s*\("
+    )
+    status_names = set()
+    other_names = set()
+    for path in iter_src_files(src_dir):
+        if not path.endswith((".h", ".hpp")):
+            continue
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = strip_comments(line)
+                m = decl.match(line)
+                if m:
+                    status_names.add(m.group("name"))
+                    continue
+                m = other_decl.match(line)
+                if m and m.group("ret") not in ("Status",) and not m.group(
+                    "ret"
+                ).startswith("StatusOr"):
+                    other_names.add(m.group("name"))
+    return status_names - other_names
+
+
+def lint_file(path, rel, status_fns, errors, in_library):
+    with open(path, encoding="utf-8") as f:
+        lines = f.readlines()
+
+    is_header = rel.endswith((".h", ".hpp"))
+    is_check_header = rel.replace(os.sep, "/").endswith("util/check.h")
+
+    if is_header:
+        first_code = next(
+            (l.strip() for l in lines
+             if l.strip() and not l.strip().startswith("//")),
+            "",
+        )
+        if first_code != "#pragma once":
+            errors.append(
+                f"{rel}:1: [pragma-once] header must start with #pragma once"
+            )
+
+    bare_call = None
+    if status_fns:
+        names = "|".join(sorted(re.escape(n) for n in status_fns))
+        bare_call = re.compile(
+            r"^\s*(?:[A-Za-z_]\w*(?:\.|->|::))*(?:" + names + r")\s*\(.*\)\s*;\s*$"
+        )
+
+    # A bare-call statement must *start* a statement: the previous code line
+    # must have ended one (`;`, `{`, `}`, a label `:`), been blank, or been a
+    # preprocessor line. This keeps continuation lines of multi-line calls
+    # (e.g. inside COLGRAPH_ASSIGN_OR_RETURN) from being flagged.
+    at_statement_start = True
+    for i, raw in enumerate(lines, start=1):
+        line = strip_comments(raw)
+        stripped = line.strip()
+
+        if in_library and not is_check_header:
+            if re.search(r"(?<!_)\bassert\s*\(", line) and "static_assert" not in line:
+                errors.append(
+                    f"{rel}:{i}: [no-raw-assert] use COLGRAPH_CHECK/"
+                    f"COLGRAPH_DCHECK from util/check.h instead of assert()"
+                )
+            if re.search(r"std::cout\b", line) or re.search(
+                r"(?<![\w.:])(?:printf|puts)\s*\(", line
+            ):
+                errors.append(
+                    f"{rel}:{i}: [no-stdout] library code must not write to "
+                    f"stdout"
+                )
+
+        if stripped.startswith("#include"):
+            m = re.match(r'#include\s+([<"])([^">]+)[">]', stripped)
+            if m:
+                target = m.group(2)
+                if ".." in target.split("/"):
+                    errors.append(
+                        f"{rel}:{i}: [include-hygiene] no relative '..' "
+                        f"includes; include relative to src/"
+                    )
+                if target.startswith("bits/"):
+                    errors.append(
+                        f"{rel}:{i}: [include-hygiene] do not include "
+                        f"libstdc++ internals (<bits/...>)"
+                    )
+
+        if (
+            in_library
+            and at_statement_start
+            and bare_call is not None
+            and bare_call.match(line)
+            and not CONSUMED_PREFIX.match(line)
+        ):
+            errors.append(
+                f"{rel}:{i}: [unchecked-status] result of a Status-returning "
+                f"call is dropped; handle it, COLGRAPH_RETURN_NOT_OK it, or "
+                f"COLGRAPH_CHECK_OK it"
+            )
+
+        if stripped:
+            at_statement_start = (
+                stripped.endswith((";", "{", "}", ":"))
+                or stripped.startswith("#")
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root", default=".", help="repository root (contains src/)"
+    )
+    args = parser.parse_args()
+
+    src_dir = os.path.join(args.root, "src")
+    if not os.path.isdir(src_dir):
+        print(f"lint.py: no src/ directory under {args.root}", file=sys.stderr)
+        return 2
+
+    status_fns = collect_status_functions(src_dir)
+    errors = []
+    for path in iter_src_files(src_dir):
+        rel = os.path.relpath(path, args.root)
+        lint_file(path, rel, status_fns, errors, in_library=True)
+
+    for err in errors:
+        print(err)
+    if errors:
+        print(f"lint.py: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"lint.py: OK ({len(status_fns)} Status-returning functions tracked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (using the repo .clang-tidy profile) over the library
+# sources. Usage:
+#   tools/run_clang_tidy.sh [build-dir] [extra clang-tidy args...]
+# The build dir must contain compile_commands.json; one is configured with
+#   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "run_clang_tidy.sh: clang-tidy not found on PATH; skipping" >&2
+  exit 0
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy.sh: $build_dir/compile_commands.json missing;" >&2
+  echo "  configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 1
+fi
+
+cd "$repo_root"
+find src -name '*.cc' -print0 \
+  | xargs -0 -P "$(nproc)" -n 1 clang-tidy -p "$build_dir" --quiet "$@"
+echo "run_clang_tidy.sh: done"
