@@ -242,4 +242,33 @@ EwahBitmap EwahBitmap::FromRaw(std::vector<uint64_t> buffer, size_t num_bits) {
   return out;
 }
 
+StatusOr<EwahBitmap> EwahBitmap::FromRawChecked(std::vector<uint64_t> buffer,
+                                                size_t num_bits) {
+  const uint64_t words_needed =
+      (static_cast<uint64_t>(num_bits) + Bitmap::kWordBits - 1) /
+      Bitmap::kWordBits;
+  uint64_t total_words = 0;
+  size_t i = 0;
+  while (i < buffer.size()) {
+    const uint64_t marker = buffer[i++];
+    total_words += MarkerRunWords(marker);
+    const uint64_t literal_words = MarkerLiteralWords(marker);
+    if (literal_words > buffer.size() - i) {
+      return Status::Corruption(
+          "EWAH marker claims literal words past the end of the buffer");
+    }
+    i += literal_words;
+    total_words += literal_words;
+    // Run lengths are bounded per marker, so total_words grows by < 2^33
+    // per iteration and this early exit also prevents uint64 overflow.
+    if (total_words > words_needed) {
+      return Status::Corruption("EWAH stream decodes past its bit length");
+    }
+  }
+  if (total_words != words_needed) {
+    return Status::Corruption("EWAH stream shorter than its bit length");
+  }
+  return FromRaw(std::move(buffer), num_bits);
+}
+
 }  // namespace colgraph

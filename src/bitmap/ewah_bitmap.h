@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bitmap/bitmap.h"
+#include "util/status.h"
 
 namespace colgraph {
 
@@ -43,7 +44,16 @@ class EwahBitmap {
   const std::vector<uint64_t>& buffer() const { return buffer_; }
 
   /// Re-creates a compressed bitmap from a raw buffer (persistence path).
+  /// Trusts the buffer: use FromRawChecked for bytes read from disk.
   static EwahBitmap FromRaw(std::vector<uint64_t> buffer, size_t num_bits);
+
+  /// Validating variant of FromRaw for untrusted (on-disk) buffers: walks
+  /// the marker stream and rejects with Status::Corruption any encoding
+  /// whose literal words run past the buffer or whose decoded word count
+  /// differs from ceil(num_bits / 64). A bitmap that passes is safe to
+  /// decompress: ToBitmap / ForEachWord stay in bounds.
+  static StatusOr<EwahBitmap> FromRawChecked(std::vector<uint64_t> buffer,
+                                             size_t num_bits);
 
   bool operator==(const EwahBitmap& other) const {
     return num_bits_ == other.num_bits_ && buffer_ == other.buffer_;

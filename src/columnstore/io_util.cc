@@ -1,0 +1,270 @@
+#include "columnstore/io_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace colgraph::io {
+
+namespace {
+
+constexpr uint32_t kFooterMagic = 0x43474654;  // "CGFT"
+constexpr size_t kSectionHeaderBytes = 12;     // u64 len + u32 crc
+constexpr size_t kFooterBytes = 16;            // u32 crc + u64 len + u32 magic
+
+// Durability of rename(2) requires the parent directory entry to reach
+// disk too. Best-effort: a failure here cannot un-publish the snapshot.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+Writer::Writer(std::string path, uint32_t magic, uint32_t version)
+    : path_(std::move(path)) {
+  WritePod(magic);
+  WritePod(version);
+}
+
+void Writer::BeginSection() {
+  COLGRAPH_CHECK(!in_section_) << "sections must not nest";
+  in_section_ = true;
+  section_header_pos_ = body_.size();
+  body_.resize(body_.size() + kSectionHeaderBytes);  // patched by EndSection
+}
+
+void Writer::EndSection() {
+  COLGRAPH_CHECK(in_section_) << "EndSection without BeginSection";
+  in_section_ = false;
+  const size_t payload_pos = section_header_pos_ + kSectionHeaderBytes;
+  const uint64_t len = body_.size() - payload_pos;
+  const uint32_t crc = Crc32c(body_.data() + payload_pos, body_.size() - payload_pos);
+  std::memcpy(body_.data() + section_header_pos_, &len, sizeof(len));
+  std::memcpy(body_.data() + section_header_pos_ + sizeof(len), &crc,
+              sizeof(crc));
+}
+
+void Writer::WriteEwah(const Bitmap& bits) {
+  const EwahBitmap compressed = EwahBitmap::FromBitmap(bits);
+  WritePod(static_cast<uint64_t>(compressed.size_bits()));
+  WriteVec(compressed.buffer());
+}
+
+void Writer::WriteMeasureColumn(const MeasureColumn& col) {
+  WriteEwah(col.presence().bits());
+  std::vector<double> values;
+  values.reserve(col.num_values());
+  col.presence().bits().ForEachSetBit([&](size_t r) {
+    values.push_back(col.ValueAtRank(col.presence().Rank(r)));
+  });
+  WriteVec(values);
+}
+
+Status Writer::Commit() {
+  COLGRAPH_CHECK(!in_section_) << "Commit inside an open section";
+  COLGRAPH_CHECK(!committed_) << "Commit called twice";
+  committed_ = true;
+
+  // Footer: CRC of everything before it, the body length, and a marker
+  // magic — together they detect truncation and bit rot in one check.
+  const uint32_t body_crc = Crc32c(body_.data(), body_.size());
+  const uint64_t body_len = body_.size();
+  WritePod(body_crc);
+  WritePod(body_len);
+  WritePod(kFooterMagic);
+
+  size_t write_bytes = body_.size();
+  uint64_t short_arg = 0;
+  if (failpoint::Hit("io:short_write", &short_arg) ==
+      failpoint::Action::kShortWrite) {
+    // Simulated lying filesystem: persist only a prefix but report success.
+    write_bytes = std::min(write_bytes, static_cast<size_t>(short_arg));
+  }
+
+  const std::string tmp = path_ + ".tmp";
+  COLGRAPH_FAILPOINT("io:open_write");
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for write: " + tmp);
+  }
+  if (write_bytes > 0 &&
+      std::fwrite(body_.data(), 1, write_bytes, f) != write_bytes) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IOError("write failed: " + tmp);
+  }
+  bool sync_ok = std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+  if (failpoint::Hit("io:fsync") != failpoint::Action::kOff) sync_ok = false;
+  if (std::fclose(f) != 0) sync_ok = false;
+  if (!sync_ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError("flush/fsync failed: " + tmp);
+  }
+
+  if (failpoint::Hit("persist:before_rename") == failpoint::Action::kCrash) {
+    // Simulated crash between the durable tmp write and the publish: the
+    // .tmp stays behind and the previous snapshot at path_ is untouched,
+    // exactly what a real crash would leave.
+    return Status::IOError(
+        "failpoint 'persist:before_rename' simulated crash");
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("atomic rename failed: " + path_);
+  }
+  SyncParentDir(path_);
+  return Status::OK();
+}
+
+StatusOr<Reader> Reader::Open(const std::string& path, uint32_t magic) {
+  COLGRAPH_FAILPOINT("io:open_read");
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for read: " + path);
+  }
+  Reader r;
+  r.path_ = path;
+  long size = -1;
+  if (std::fseek(f, 0, SEEK_END) == 0) size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot stat: " + path);
+  }
+  std::rewind(f);
+  r.data_.resize(static_cast<size_t>(size));
+  if (size > 0 && std::fread(r.data_.data(), 1, r.data_.size(), f) !=
+                      r.data_.size()) {
+    std::fclose(f);
+    return Status::IOError("read failed: " + path);
+  }
+  std::fclose(f);
+
+  if (r.data_.size() < 2 * sizeof(uint32_t)) {
+    return r.Corrupt("truncated preamble");
+  }
+  uint32_t got_magic = 0;
+  std::memcpy(&got_magic, r.data_.data(), sizeof(got_magic));
+  std::memcpy(&r.version_, r.data_.data() + sizeof(got_magic),
+              sizeof(r.version_));
+  if (got_magic != magic) {
+    return r.Corrupt("bad magic");
+  }
+  r.pos_ = 2 * sizeof(uint32_t);
+
+  if (r.version_ == 1) {
+    // Legacy format: no sections, no footer; reads are bounded by the
+    // file size only.
+    r.body_end_ = r.limit_ = r.data_.size();
+    r.sectioned_ = false;
+    return r;
+  }
+  if (r.version_ != 2) {
+    return r.Corrupt("unsupported snapshot version " +
+                     std::to_string(r.version_));
+  }
+  if (r.data_.size() < r.pos_ + kFooterBytes) {
+    return r.Corrupt("truncated footer");
+  }
+  const size_t footer_pos = r.data_.size() - kFooterBytes;
+  uint32_t file_crc = 0, footer_magic = 0;
+  uint64_t body_len = 0;
+  std::memcpy(&file_crc, r.data_.data() + footer_pos, sizeof(file_crc));
+  std::memcpy(&body_len, r.data_.data() + footer_pos + 4, sizeof(body_len));
+  std::memcpy(&footer_magic, r.data_.data() + footer_pos + 12,
+              sizeof(footer_magic));
+  if (footer_magic != kFooterMagic) {
+    return r.Corrupt("bad footer magic (truncated or overwritten file)");
+  }
+  if (body_len != footer_pos) {
+    return r.Corrupt("footer length does not match file size");
+  }
+  if (Crc32c(r.data_.data(), footer_pos) != file_crc) {
+    return r.Corrupt("whole-file checksum mismatch");
+  }
+  r.body_end_ = footer_pos;
+  r.limit_ = r.pos_;  // nothing readable until BeginSection
+  r.sectioned_ = true;
+  return r;
+}
+
+Status Reader::BeginSection(const char* what) {
+  if (!sectioned_) return Status::OK();
+  COLGRAPH_DCHECK_EQ(pos_, limit_);
+  if (body_end_ - pos_ < kSectionHeaderBytes) {
+    return Corrupt(std::string("truncated section header for ") + what);
+  }
+  uint64_t len = 0;
+  uint32_t crc = 0;
+  std::memcpy(&len, data_.data() + pos_, sizeof(len));
+  std::memcpy(&crc, data_.data() + pos_ + sizeof(len), sizeof(crc));
+  pos_ += kSectionHeaderBytes;
+  if (len > body_end_ - pos_) {
+    return Corrupt(std::string("section length for ") + what +
+                   " exceeds file size");
+  }
+  if (Crc32c(data_.data() + pos_, static_cast<size_t>(len)) != crc) {
+    return Corrupt(std::string("section checksum mismatch in ") + what);
+  }
+  limit_ = pos_ + static_cast<size_t>(len);
+  return Status::OK();
+}
+
+Status Reader::EndSection(const char* what) {
+  if (!sectioned_) return Status::OK();
+  if (pos_ != limit_) {
+    return Corrupt(std::string("section size mismatch in ") + what);
+  }
+  return Status::OK();
+}
+
+Status Reader::ExpectEnd() {
+  if (!sectioned_) return Status::OK();
+  if (pos_ != body_end_) {
+    return Corrupt("trailing bytes after the final section");
+  }
+  return Status::OK();
+}
+
+StatusOr<Bitmap> Reader::ReadEwah(uint64_t expected_bits) {
+  uint64_t num_bits = 0;
+  COLGRAPH_RETURN_NOT_OK(ReadPod(&num_bits));
+  if (num_bits != expected_bits) {
+    return Corrupt("bitmap bit length does not match the record count");
+  }
+  std::vector<uint64_t> buffer;
+  COLGRAPH_RETURN_NOT_OK(ReadVec(&buffer));
+  COLGRAPH_ASSIGN_OR_RETURN(
+      EwahBitmap compressed,
+      EwahBitmap::FromRawChecked(std::move(buffer),
+                                 static_cast<size_t>(num_bits)));
+  return compressed.ToBitmap();
+}
+
+StatusOr<MeasureColumn> Reader::ReadMeasureColumn(uint64_t expected_bits) {
+  COLGRAPH_ASSIGN_OR_RETURN(Bitmap presence, ReadEwah(expected_bits));
+  std::vector<double> values;
+  COLGRAPH_RETURN_NOT_OK(ReadVec(&values));
+  return MeasureColumn::FromParts(std::move(presence), std::move(values));
+}
+
+StatusOr<std::ifstream> OpenTextForRead(const std::string& path) {
+  COLGRAPH_FAILPOINT("trace:open");
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open trace file: " + path);
+  }
+  return in;
+}
+
+}  // namespace colgraph::io

@@ -2,72 +2,174 @@
 // persistence codecs. POD values are written in host byte order (the files
 // are machine-local artifacts, like a database directory, not an exchange
 // format).
+//
+// Snapshot format v2 (see DESIGN.md "Durability & failure model"):
+//
+//   [u32 codec magic][u32 version]
+//   section*:  [u64 payload_len][u32 crc32c(payload)][payload]
+//   footer:    [u32 crc32c(file[0, len))][u64 len][u32 footer magic]
+//
+// Writer buffers the whole snapshot, then commits it atomically: the bytes
+// go to `<path>.tmp`, are fsync'd, and the tmp is rename(2)'d over the
+// final path, so a crash at any point leaves the previous snapshot intact.
+// Reader loads the file once, verifies the footer and every section CRC,
+// and bounds every read by the bytes actually present — a corrupt length
+// prefix surfaces as Status::Corruption, never as a multi-GB resize or an
+// out-of-bounds read. Version-1 files (no sections, no footer) still load
+// through the same call sequence: the section calls become no-ops and only
+// the per-read bounds checks apply.
+//
+// All snapshot file I/O in the library must go through these helpers (the
+// repo lint bans raw std::ifstream/std::ofstream elsewhere in src/).
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
+#include <string>
 #include <vector>
 
 #include "bitmap/ewah_bitmap.h"
 #include "columnstore/column.h"
+#include "util/crc32.h"
+#include "util/failpoint.h"
 #include "util/status.h"
 
 namespace colgraph::io {
 
-template <typename T>
-void WritePod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
+/// Sanity cap on record / bit counts claimed by a snapshot header. A count
+/// above this (an 8 GiB bitmap per column) is treated as corruption rather
+/// than attempted as an allocation.
+inline constexpr uint64_t kMaxSnapshotRecords = uint64_t{1} << 33;
 
-template <typename T>
-bool ReadPod(std::ifstream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return static_cast<bool>(in);
-}
+/// \brief Buffered, checksummed, crash-atomic snapshot writer.
+///
+/// Usage: construct with the final path, bracket logical groups of values
+/// in BeginSection()/EndSection(), then Commit() once. Nothing touches the
+/// filesystem until Commit().
+class Writer {
+ public:
+  Writer(std::string path, uint32_t magic, uint32_t version);
 
-template <typename T>
-void WriteVec(std::ofstream& out, const std::vector<T>& v) {
-  WritePod(out, static_cast<uint64_t>(v.size()));
-  out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(T)));
-}
+  /// Opens / closes a checksummed section. Sections must not nest.
+  void BeginSection();
+  void EndSection();
 
-template <typename T>
-bool ReadVec(std::ifstream& in, std::vector<T>* v) {
-  uint64_t n = 0;
-  if (!ReadPod(in, &n)) return false;
-  v->resize(n);
-  in.read(reinterpret_cast<char*>(v->data()),
-          static_cast<std::streamsize>(n * sizeof(T)));
-  return static_cast<bool>(in);
-}
-
-/// Writes a sealed measure column: EWAH-compressed presence + packed values.
-inline void WriteMeasureColumn(std::ofstream& out, const MeasureColumn& col) {
-  const EwahBitmap compressed = EwahBitmap::FromBitmap(col.presence().bits());
-  WritePod(out, static_cast<uint64_t>(compressed.size_bits()));
-  WriteVec(out, compressed.buffer());
-  std::vector<double> values;
-  values.reserve(col.num_values());
-  col.presence().bits().ForEachSetBit([&](size_t r) {
-    values.push_back(col.ValueAtRank(col.presence().Rank(r)));
-  });
-  WriteVec(out, values);
-}
-
-/// Reads a measure column written by WriteMeasureColumn.
-inline StatusOr<MeasureColumn> ReadMeasureColumn(std::ifstream& in) {
-  uint64_t num_bits = 0;
-  if (!ReadPod(in, &num_bits)) {
-    return Status::Corruption("truncated column header");
+  template <typename T>
+  void WritePod(const T& value) {
+    Append(&value, sizeof(T));
   }
-  std::vector<uint64_t> buffer;
-  std::vector<double> values;
-  if (!ReadVec(in, &buffer) || !ReadVec(in, &values)) {
-    return Status::Corruption("truncated column body");
+
+  template <typename T>
+  void WriteVec(const std::vector<T>& v) {
+    WritePod(static_cast<uint64_t>(v.size()));
+    Append(v.data(), v.size() * sizeof(T));
   }
-  Bitmap presence = EwahBitmap::FromRaw(std::move(buffer), num_bits).ToBitmap();
-  return MeasureColumn::FromParts(std::move(presence), std::move(values));
-}
+
+  /// EWAH-compresses and writes a bitmap: [u64 num_bits][buffer vec].
+  void WriteEwah(const Bitmap& bits);
+
+  /// Writes a sealed measure column: compressed presence + packed values.
+  void WriteMeasureColumn(const MeasureColumn& col);
+
+  /// Appends the footer and atomically publishes the snapshot:
+  /// write to `<path>.tmp`, fsync, rename over `path`, fsync the parent
+  /// directory. On failure the previous snapshot at `path` is untouched.
+  /// Failpoints: "io:open_write", "io:short_write", "io:fsync",
+  /// "persist:before_rename" (crash: leaves the .tmp behind, skips rename).
+  [[nodiscard]] Status Commit();
+
+ private:
+  void Append(const void* data, size_t n) {
+    if (n == 0) return;
+    const size_t old = body_.size();
+    body_.resize(old + n);
+    std::memcpy(body_.data() + old, data, n);
+  }
+
+  std::string path_;
+  std::vector<char> body_;
+  size_t section_header_pos_ = 0;
+  bool in_section_ = false;
+  bool committed_ = false;
+};
+
+/// \brief Bounds-checked, checksum-verified snapshot reader.
+///
+/// Open() loads the whole file, validates the codec magic and — for v2
+/// files — the footer and whole-file CRC before any parsing. Every Read*
+/// is bounded by the current section (v2) or the file (v1); running out of
+/// bytes is Status::Corruption, never UB.
+class Reader {
+ public:
+  /// Failpoint: "io:open_read".
+  static StatusOr<Reader> Open(const std::string& path, uint32_t magic);
+
+  /// 1 for legacy pre-checksum files, 2 for the current format.
+  uint32_t version() const { return version_; }
+  /// Bytes left in the current window (section for v2, file for v1).
+  uint64_t remaining() const { return limit_ - pos_; }
+
+  /// Enters the next section: validates its header and payload CRC.
+  /// No-ops on v1 files. `what` names the section in error messages.
+  [[nodiscard]] Status BeginSection(const char* what);
+  /// Leaves a section; the payload must be fully consumed (v2 only).
+  [[nodiscard]] Status EndSection(const char* what);
+  /// Verifies no trailing sections/bytes remain (v2 only).
+  [[nodiscard]] Status ExpectEnd();
+
+  template <typename T>
+  [[nodiscard]] Status ReadPod(T* value) {
+    if (sizeof(T) > limit_ - pos_) {
+      return Corrupt("unexpected end of data");
+    }
+    std::memcpy(value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  template <typename T>
+  [[nodiscard]] Status ReadVec(std::vector<T>* v) {
+    uint64_t n = 0;
+    COLGRAPH_RETURN_NOT_OK(ReadPod(&n));
+    // Bound by the bytes actually present: a corrupt length prefix must
+    // fail cleanly instead of triggering a multi-GB resize.
+    if (n > (limit_ - pos_) / sizeof(T)) {
+      return Corrupt("vector length exceeds remaining data");
+    }
+    v->resize(static_cast<size_t>(n));
+    const size_t bytes = static_cast<size_t>(n) * sizeof(T);
+    std::memcpy(v->data(), data_.data() + pos_, bytes);
+    pos_ += bytes;
+    return Status::OK();
+  }
+
+  /// Reads a bitmap written by WriteEwah; its decoded length must equal
+  /// `expected_bits` and the compressed stream must validate.
+  StatusOr<Bitmap> ReadEwah(uint64_t expected_bits);
+
+  /// Reads a column written by WriteMeasureColumn; the presence bitmap
+  /// must span exactly `expected_bits` records.
+  StatusOr<MeasureColumn> ReadMeasureColumn(uint64_t expected_bits);
+
+ private:
+  Reader() = default;
+
+  Status Corrupt(const std::string& what) const {
+    return Status::Corruption(what + " in " + path_);
+  }
+
+  std::string path_;
+  std::vector<char> data_;
+  size_t pos_ = 0;
+  size_t limit_ = 0;     // end of the current read window
+  size_t body_end_ = 0;  // end of the checksummed body (v2) / file (v1)
+  uint32_t version_ = 0;
+  bool sectioned_ = false;
+};
+
+/// Opens a text file for line-based reading (trace ingest) through the
+/// instrumented path. Failpoint: "trace:open".
+StatusOr<std::ifstream> OpenTextForRead(const std::string& path);
 
 }  // namespace colgraph::io

@@ -1,60 +1,70 @@
 #include "columnstore/persistence.h"
 
+#include <algorithm>
 #include <cstdint>
-#include <fstream>
 #include <vector>
 
 #include "columnstore/io_util.h"
+#include "util/failpoint.h"
 
 namespace colgraph {
 
 namespace {
 constexpr uint32_t kMagic = 0x4347524C;  // "CGRL"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;         // v1 (pre-checksum) still loads
 }  // namespace
 
 Status WriteRelation(const MasterRelation& relation, const std::string& path) {
   if (!relation.sealed()) {
     return Status::InvalidArgument("can only persist a sealed relation");
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for write: " + path);
+  io::Writer out(path, kMagic, kVersion);
 
-  io::WritePod(out, kMagic);
-  io::WritePod(out, kVersion);
-  io::WritePod(out, static_cast<uint64_t>(relation.num_records()));
-  io::WritePod(out, static_cast<uint64_t>(relation.num_edge_columns()));
+  out.BeginSection();
+  out.WritePod(static_cast<uint64_t>(relation.num_records()));
+  out.WritePod(static_cast<uint64_t>(relation.num_edge_columns()));
+  out.EndSection();
+  COLGRAPH_FAILPOINT("persist:after_header");
+
+  out.BeginSection();
   for (EdgeId id = 0; id < relation.num_edge_columns(); ++id) {
-    io::WriteMeasureColumn(out, relation.PeekMeasureColumn(id));
+    out.WriteMeasureColumn(relation.PeekMeasureColumn(id));
   }
-  out.flush();
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  out.EndSection();
+
+  return out.Commit();
 }
 
 StatusOr<MasterRelation> ReadRelation(const std::string& path,
                                       MasterRelationOptions options) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open for read: " + path);
+  COLGRAPH_ASSIGN_OR_RETURN(io::Reader in, io::Reader::Open(path, kMagic));
 
-  uint32_t magic = 0, version = 0;
-  if (!io::ReadPod(in, &magic) || magic != kMagic) {
-    return Status::Corruption("bad magic in " + path);
-  }
-  if (!io::ReadPod(in, &version) || version != kVersion) {
-    return Status::Corruption("unsupported version in " + path);
-  }
   uint64_t num_records = 0, num_columns = 0;
-  if (!io::ReadPod(in, &num_records) || !io::ReadPod(in, &num_columns)) {
+  COLGRAPH_RETURN_NOT_OK(in.BeginSection("relation header"));
+  if (!in.ReadPod(&num_records).ok() || !in.ReadPod(&num_columns).ok()) {
     return Status::Corruption("truncated header in " + path);
   }
+  COLGRAPH_RETURN_NOT_OK(in.EndSection("relation header"));
+  if (num_records > io::kMaxSnapshotRecords) {
+    return Status::Corruption("implausible record count in " + path);
+  }
+
+  COLGRAPH_RETURN_NOT_OK(in.BeginSection("columns"));
   std::vector<MeasureColumn> columns;
-  columns.reserve(num_columns);
+  // Each column costs >= 24 bytes on disk; don't let a corrupt count
+  // reserve unbounded memory.
+  columns.reserve(static_cast<size_t>(
+      std::min<uint64_t>(num_columns, in.remaining() / 24 + 1)));
   for (uint64_t i = 0; i < num_columns; ++i) {
-    COLGRAPH_ASSIGN_OR_RETURN(MeasureColumn col, io::ReadMeasureColumn(in));
+    COLGRAPH_ASSIGN_OR_RETURN(MeasureColumn col,
+                              in.ReadMeasureColumn(num_records));
     columns.push_back(std::move(col));
   }
-  return MasterRelation::FromColumns(num_records, std::move(columns), options);
+  COLGRAPH_RETURN_NOT_OK(in.EndSection("columns"));
+  COLGRAPH_RETURN_NOT_OK(in.ExpectEnd());
+
+  return MasterRelation::FromColumns(static_cast<size_t>(num_records),
+                                     std::move(columns), options);
 }
 
 }  // namespace colgraph

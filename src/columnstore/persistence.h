@@ -2,6 +2,11 @@
 // the in-memory one: per column an EWAH-compressed presence bitmap followed
 // by the packed (NULL-suppressed) values, so file size matches the
 // DiskBytes() accounting used by the space experiments (Figure 4).
+//
+// Writes use snapshot format v2 (checksummed sections + footer, written to
+// `<path>.tmp` and atomically renamed — see io_util.h); reads accept both
+// v2 and the legacy unchecksummed v1 layout. Corrupt or truncated files of
+// either version load as Status::Corruption, never as a crash.
 #pragma once
 
 #include <string>

@@ -1,38 +1,37 @@
 #include "core/engine_io.h"
 
-#include <fstream>
+#include <algorithm>
 
 #include "columnstore/io_util.h"
+#include "util/failpoint.h"
 
 namespace colgraph {
 
 namespace {
 
 constexpr uint32_t kMagic = 0x4347454E;  // "CGEN"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;         // v1 (pre-checksum) still loads
 
-void WriteEwah(std::ofstream& out, const Bitmap& bits) {
-  const EwahBitmap compressed = EwahBitmap::FromBitmap(bits);
-  io::WritePod(out, static_cast<uint64_t>(compressed.size_bits()));
-  io::WriteVec(out, compressed.buffer());
+void WriteNodeRef(io::Writer& out, const NodeRef& n) {
+  out.WritePod(n.base);
+  out.WritePod(n.occurrence);
 }
 
-StatusOr<Bitmap> ReadEwah(std::ifstream& in) {
-  uint64_t num_bits = 0;
-  std::vector<uint64_t> buffer;
-  if (!io::ReadPod(in, &num_bits) || !io::ReadVec(in, &buffer)) {
-    return Status::Corruption("truncated bitmap");
+Status ReadNodeRef(io::Reader& in, NodeRef* n) {
+  COLGRAPH_RETURN_NOT_OK(in.ReadPod(&n->base));
+  return in.ReadPod(&n->occurrence);
+}
+
+// A materialized view definition must only name columns that exist, or
+// query-time fetches would walk off the relation.
+Status ValidateViewElements(const std::vector<EdgeId>& ids,
+                            uint64_t num_columns, const std::string& path) {
+  for (const EdgeId id : ids) {
+    if (id >= num_columns) {
+      return Status::Corruption("view references unknown column in " + path);
+    }
   }
-  return EwahBitmap::FromRaw(std::move(buffer), num_bits).ToBitmap();
-}
-
-void WriteNodeRef(std::ofstream& out, const NodeRef& n) {
-  io::WritePod(out, n.base);
-  io::WritePod(out, n.occurrence);
-}
-
-bool ReadNodeRef(std::ifstream& in, NodeRef* n) {
-  return io::ReadPod(in, &n->base) && io::ReadPod(in, &n->occurrence);
+  return Status::OK();
 }
 
 }  // namespace
@@ -42,142 +41,171 @@ Status WriteEngine(const ColGraphEngine& engine, const std::string& path) {
   if (!relation.sealed()) {
     return Status::InvalidArgument("can only persist a sealed engine");
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for write: " + path);
+  io::Writer out(path, kMagic, kVersion);
 
-  io::WritePod(out, kMagic);
-  io::WritePod(out, kVersion);
-  io::WritePod(out,
-               static_cast<uint64_t>(engine.options().relation.partition_width));
-  io::WritePod(out, static_cast<uint64_t>(engine.options().view_min_support));
-
-  // Edge catalog: edges in id order (ids are dense, so position == id).
+  // Options + edge catalog: edges in id order (ids are dense, so position
+  // == id).
+  out.BeginSection();
+  out.WritePod(
+      static_cast<uint64_t>(engine.options().relation.partition_width));
+  out.WritePod(static_cast<uint64_t>(engine.options().view_min_support));
   const EdgeCatalog& catalog = engine.catalog();
-  io::WritePod(out, static_cast<uint64_t>(catalog.size()));
+  out.WritePod(static_cast<uint64_t>(catalog.size()));
   for (EdgeId id = 0; id < catalog.size(); ++id) {
     WriteNodeRef(out, catalog.edge(id).from);
     WriteNodeRef(out, catalog.edge(id).to);
   }
+  out.EndSection();
+  COLGRAPH_FAILPOINT("persist:after_header");
 
   // Base columns.
-  io::WritePod(out, static_cast<uint64_t>(relation.num_records()));
-  io::WritePod(out, static_cast<uint64_t>(relation.num_edge_columns()));
+  out.BeginSection();
+  out.WritePod(static_cast<uint64_t>(relation.num_records()));
+  out.WritePod(static_cast<uint64_t>(relation.num_edge_columns()));
   for (EdgeId id = 0; id < relation.num_edge_columns(); ++id) {
-    io::WriteMeasureColumn(out, relation.PeekMeasureColumn(id));
+    out.WriteMeasureColumn(relation.PeekMeasureColumn(id));
   }
+  out.EndSection();
 
   // Graph views: definition + bitmap column, in view-index order.
+  out.BeginSection();
   const auto& graph_views = engine.views().graph_views();
-  io::WritePod(out, static_cast<uint64_t>(graph_views.size()));
+  out.WritePod(static_cast<uint64_t>(graph_views.size()));
   for (const auto& [def, index] : graph_views) {
-    io::WriteVec(out, def.edges);
-    io::WritePod(out, static_cast<uint64_t>(index));
-    WriteEwah(out, relation.PeekGraphView(index));
+    out.WriteVec(def.edges);
+    out.WritePod(static_cast<uint64_t>(index));
+    out.WriteEwah(relation.PeekGraphView(index));
   }
+  out.EndSection();
 
   // Aggregate views: definition + (mp, bp) column pair.
+  out.BeginSection();
   const auto& agg_views = engine.views().agg_views();
-  io::WritePod(out, static_cast<uint64_t>(agg_views.size()));
+  out.WritePod(static_cast<uint64_t>(agg_views.size()));
   for (const auto& [def, index] : agg_views) {
-    io::WritePod(out, static_cast<uint8_t>(def.fn));
-    io::WriteVec(out, def.elements);
-    io::WritePod(out, static_cast<uint64_t>(index));
-    io::WriteMeasureColumn(out, relation.PeekAggregateView(index));
+    out.WritePod(static_cast<uint8_t>(def.fn));
+    out.WriteVec(def.elements);
+    out.WritePod(static_cast<uint64_t>(index));
+    out.WriteMeasureColumn(relation.PeekAggregateView(index));
   }
+  out.EndSection();
 
-  out.flush();
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return out.Commit();
 }
 
 StatusOr<ColGraphEngine> ReadEngine(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open for read: " + path);
+  COLGRAPH_ASSIGN_OR_RETURN(io::Reader in, io::Reader::Open(path, kMagic));
 
-  uint32_t magic = 0, version = 0;
-  if (!io::ReadPod(in, &magic) || magic != kMagic) {
-    return Status::Corruption("bad magic in " + path);
-  }
-  if (!io::ReadPod(in, &version) || version != kVersion) {
-    return Status::Corruption("unsupported version in " + path);
-  }
+  COLGRAPH_RETURN_NOT_OK(in.BeginSection("options+catalog"));
   EngineOptions options;
   uint64_t partition_width = 0, min_support = 0;
-  if (!io::ReadPod(in, &partition_width) || !io::ReadPod(in, &min_support)) {
+  if (!in.ReadPod(&partition_width).ok() || !in.ReadPod(&min_support).ok()) {
     return Status::Corruption("truncated options in " + path);
   }
-  options.relation.partition_width = partition_width;
-  options.view_min_support = min_support;
+  options.relation.partition_width = static_cast<size_t>(partition_width);
+  options.view_min_support = static_cast<size_t>(min_support);
 
   uint64_t catalog_size = 0;
-  if (!io::ReadPod(in, &catalog_size)) {
+  if (!in.ReadPod(&catalog_size).ok()) {
     return Status::Corruption("truncated catalog in " + path);
+  }
+  // Each catalog entry is 16 bytes on disk; a larger claim cannot be real
+  // and must not drive the loop below.
+  if (catalog_size > in.remaining() / 16) {
+    return Status::Corruption("implausible catalog size in " + path);
   }
   EdgeCatalog catalog;
   for (uint64_t i = 0; i < catalog_size; ++i) {
     Edge e;
-    if (!ReadNodeRef(in, &e.from) || !ReadNodeRef(in, &e.to)) {
+    if (!ReadNodeRef(in, &e.from).ok() || !ReadNodeRef(in, &e.to).ok()) {
       return Status::Corruption("truncated catalog entry in " + path);
     }
     if (catalog.GetOrAssign(e) != i) {
       return Status::Corruption("catalog ids are not dense in " + path);
     }
   }
+  COLGRAPH_RETURN_NOT_OK(in.EndSection("options+catalog"));
 
+  COLGRAPH_RETURN_NOT_OK(in.BeginSection("base columns"));
   uint64_t num_records = 0, num_columns = 0;
-  if (!io::ReadPod(in, &num_records) || !io::ReadPod(in, &num_columns)) {
+  if (!in.ReadPod(&num_records).ok() || !in.ReadPod(&num_columns).ok()) {
     return Status::Corruption("truncated relation header in " + path);
   }
+  if (num_records > io::kMaxSnapshotRecords) {
+    return Status::Corruption("implausible record count in " + path);
+  }
   std::vector<MeasureColumn> columns;
-  columns.reserve(num_columns);
+  columns.reserve(static_cast<size_t>(
+      std::min<uint64_t>(num_columns, in.remaining() / 24 + 1)));
   for (uint64_t i = 0; i < num_columns; ++i) {
-    COLGRAPH_ASSIGN_OR_RETURN(MeasureColumn col, io::ReadMeasureColumn(in));
+    COLGRAPH_ASSIGN_OR_RETURN(MeasureColumn col,
+                              in.ReadMeasureColumn(num_records));
     columns.push_back(std::move(col));
   }
+  COLGRAPH_RETURN_NOT_OK(in.EndSection("base columns"));
   COLGRAPH_ASSIGN_OR_RETURN(
       MasterRelation relation,
-      MasterRelation::FromColumns(num_records, std::move(columns),
-                                  options.relation));
+      MasterRelation::FromColumns(static_cast<size_t>(num_records),
+                                  std::move(columns), options.relation));
 
   ViewCatalog views;
+  COLGRAPH_RETURN_NOT_OK(in.BeginSection("graph views"));
   uint64_t num_graph_views = 0;
-  if (!io::ReadPod(in, &num_graph_views)) {
+  if (!in.ReadPod(&num_graph_views).ok()) {
     return Status::Corruption("truncated graph-view section in " + path);
+  }
+  if (num_graph_views > in.remaining() / 24) {
+    return Status::Corruption("implausible graph-view count in " + path);
   }
   for (uint64_t i = 0; i < num_graph_views; ++i) {
     GraphViewDef def;
     uint64_t index = 0;
-    if (!io::ReadVec(in, &def.edges) || !io::ReadPod(in, &index)) {
+    if (!in.ReadVec(&def.edges).ok() || !in.ReadPod(&index).ok()) {
       return Status::Corruption("truncated graph view in " + path);
     }
-    COLGRAPH_ASSIGN_OR_RETURN(Bitmap bits, ReadEwah(in));
+    COLGRAPH_RETURN_NOT_OK(
+        ValidateViewElements(def.edges, num_columns, path));
+    COLGRAPH_ASSIGN_OR_RETURN(Bitmap bits, in.ReadEwah(num_records));
     const size_t actual = relation.AddGraphView(std::move(bits));
     if (actual != index) {
       return Status::Corruption("graph-view indexes not dense in " + path);
     }
     views.AddGraphView(std::move(def), actual);
   }
+  COLGRAPH_RETURN_NOT_OK(in.EndSection("graph views"));
 
+  COLGRAPH_RETURN_NOT_OK(in.BeginSection("aggregate views"));
   uint64_t num_agg_views = 0;
-  if (!io::ReadPod(in, &num_agg_views)) {
+  if (!in.ReadPod(&num_agg_views).ok()) {
     return Status::Corruption("truncated agg-view section in " + path);
+  }
+  if (num_agg_views > in.remaining() / 25) {
+    return Status::Corruption("implausible agg-view count in " + path);
   }
   for (uint64_t i = 0; i < num_agg_views; ++i) {
     AggViewDef def;
     uint8_t fn = 0;
     uint64_t index = 0;
-    if (!io::ReadPod(in, &fn) || !io::ReadVec(in, &def.elements) ||
-        !io::ReadPod(in, &index)) {
+    if (!in.ReadPod(&fn).ok() || !in.ReadVec(&def.elements).ok() ||
+        !in.ReadPod(&index).ok()) {
       return Status::Corruption("truncated aggregate view in " + path);
     }
+    if (fn > static_cast<uint8_t>(AggFn::kAvg)) {
+      return Status::Corruption("unknown aggregate function in " + path);
+    }
     def.fn = static_cast<AggFn>(fn);
-    COLGRAPH_ASSIGN_OR_RETURN(MeasureColumn col, io::ReadMeasureColumn(in));
+    COLGRAPH_RETURN_NOT_OK(
+        ValidateViewElements(def.elements, num_columns, path));
+    COLGRAPH_ASSIGN_OR_RETURN(MeasureColumn col,
+                              in.ReadMeasureColumn(num_records));
     const size_t actual = relation.AddAggregateView(std::move(col));
     if (actual != index) {
       return Status::Corruption("agg-view indexes not dense in " + path);
     }
     views.AddAggView(std::move(def), actual);
   }
+  COLGRAPH_RETURN_NOT_OK(in.EndSection("aggregate views"));
+  COLGRAPH_RETURN_NOT_OK(in.ExpectEnd());
 
   return ColGraphEngine::FromParts(options, std::move(catalog),
                                    std::move(relation), std::move(views));

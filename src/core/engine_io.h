@@ -2,6 +2,11 @@
 // master relation (base columns), and every materialized view — the full
 // state needed to shut an engine down and answer the same workload after a
 // restart without re-ingesting or re-materializing.
+//
+// Writes use snapshot format v2 (checksummed sections + footer, written to
+// `<path>.tmp` and atomically renamed — see io_util.h); reads accept both
+// v2 and the legacy unchecksummed v1 layout. Corrupt or truncated files of
+// either version load as Status::Corruption, never as a crash.
 #pragma once
 
 #include <string>

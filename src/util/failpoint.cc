@@ -1,0 +1,154 @@
+#include "util/failpoint.h"
+
+#ifdef COLGRAPH_FAILPOINTS_ENABLED
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace colgraph::failpoint {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Spec> points;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: usable during shutdown
+  return *r;
+}
+
+void ArmFromEnvOnce() {
+  static const bool armed = [] {
+    const Status st = ArmFromEnv();
+    if (!st.ok()) {
+      std::fprintf(stderr, "colgraph: ignoring COLGRAPH_FAILPOINTS: %s\n",
+                   st.ToString().c_str());
+    }
+    return true;
+  }();
+  (void)armed;
+}
+
+Status ParseOneSpec(const std::string& token) {
+  const size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("failpoint spec needs name=action: " +
+                                   token);
+  }
+  const std::string name = token.substr(0, eq);
+  std::string action = token.substr(eq + 1);
+
+  Spec spec;
+  const size_t at = action.rfind('@');
+  if (at != std::string::npos) {
+    const std::string skip = action.substr(at + 1);
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(skip.c_str(), &end, 10);
+    if (skip.empty() || (end != nullptr && *end != '\0')) {
+      return Status::InvalidArgument("bad @skip count in failpoint spec: " +
+                                     token);
+    }
+    spec.skip = static_cast<uint32_t>(v);
+    action.resize(at);
+  }
+  if (action == "error") {
+    spec.action = Action::kError;
+  } else if (action == "crash") {
+    spec.action = Action::kCrash;
+  } else if (action.rfind("short:", 0) == 0) {
+    const std::string bytes = action.substr(6);
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(bytes.c_str(), &end, 10);
+    if (bytes.empty() || (end != nullptr && *end != '\0')) {
+      return Status::InvalidArgument("bad short:<bytes> in failpoint spec: " +
+                                     token);
+    }
+    spec.action = Action::kShortWrite;
+    spec.arg = v;
+  } else {
+    return Status::InvalidArgument("unknown failpoint action: " + token);
+  }
+  Arm(name, spec);
+  return Status::OK();
+}
+
+}  // namespace
+
+void Arm(const std::string& name, Spec spec) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  r.points[name] = spec;
+}
+
+void Disarm(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  r.points.erase(name);
+}
+
+void DisarmAll() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  r.points.clear();
+}
+
+size_t ArmedCount() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  return r.points.size();
+}
+
+Action Hit(const char* name, uint64_t* arg) {
+  ArmFromEnvOnce();
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.points.find(name);
+  if (it == r.points.end()) return Action::kOff;
+  if (it->second.skip > 0) {
+    --it->second.skip;
+    return Action::kOff;
+  }
+  const Spec spec = it->second;
+  r.points.erase(it);  // one-shot: fires once, then disarms
+  if (arg != nullptr) *arg = spec.arg;
+  return spec.action;
+}
+
+Status Inject(const char* name) {
+  switch (Hit(name)) {
+    case Action::kError:
+    case Action::kCrash:
+      return Status::IOError(std::string("failpoint '") + name +
+                             "' injected failure");
+    case Action::kOff:
+    case Action::kShortWrite:
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status ArmFromSpecString(const std::string& spec) {
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find(';', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string token = spec.substr(start, end - start);
+    if (!token.empty()) COLGRAPH_RETURN_NOT_OK(ParseOneSpec(token));
+    start = end + 1;
+  }
+  return Status::OK();
+}
+
+Status ArmFromEnv() {
+  const char* env = std::getenv("COLGRAPH_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return Status::OK();
+  return ArmFromSpecString(env);
+}
+
+}  // namespace colgraph::failpoint
+
+#endif  // COLGRAPH_FAILPOINTS_ENABLED

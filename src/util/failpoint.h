@@ -1,0 +1,104 @@
+// Named fault-injection points ("failpoints") for crash and failure
+// testing, in the spirit of RocksDB's SyncPoint / FreeBSD's fail(9).
+//
+// A site in library code declares a point by name:
+//
+//   COLGRAPH_FAILPOINT("persist:before_rename");   // early-returns a Status
+//
+// or queries the armed action when it needs custom behaviour (short
+// writes, crash simulation):
+//
+//   uint64_t arg = 0;
+//   if (failpoint::Hit("io:short_write", &arg) == failpoint::Action::kShortWrite)
+//     ...
+//
+// Tests arm points programmatically (failpoint::Arm) or through the
+// COLGRAPH_FAILPOINTS environment variable, e.g.
+//
+//   COLGRAPH_FAILPOINTS="persist:before_rename=crash;io:short_write=short:100@2"
+//
+// where `@N` lets the first N hits pass before firing and `short:B` keeps
+// only the first B bytes of a write. Every armed point fires exactly once,
+// then disarms itself (re-arm for repeated failures).
+//
+// Sites compile to no-ops unless the build defines
+// COLGRAPH_FAILPOINTS_ENABLED (CMake option COLGRAPH_FAILPOINTS, on by
+// default outside Release builds), so production Release binaries carry no
+// injection branches. Tests that need injection should skip when
+// `failpoint::kEnabled` is false.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace colgraph::failpoint {
+
+enum class Action : uint8_t {
+  kOff = 0,     ///< not armed (or not yet due): proceed normally
+  kError,       ///< site returns Status::IOError
+  kCrash,       ///< site abandons the operation mid-way, skipping cleanup
+  kShortWrite,  ///< write site persists only the first `arg` bytes
+};
+
+struct Spec {
+  Action action = Action::kOff;
+  uint32_t skip = 0;  ///< number of hits to let pass before firing
+  uint64_t arg = 0;   ///< kShortWrite: byte count to keep
+};
+
+#ifdef COLGRAPH_FAILPOINTS_ENABLED
+
+inline constexpr bool kEnabled = true;
+
+/// Arms (or re-arms) the named point. Thread-safe.
+void Arm(const std::string& name, Spec spec);
+/// Disarms one point / every point.
+void Disarm(const std::string& name);
+void DisarmAll();
+/// Number of currently armed points.
+size_t ArmedCount();
+
+/// Evaluates the point: returns the armed action (consuming the one-shot
+/// arming) or kOff. `arg` receives Spec::arg when non-null and the point
+/// fires. The first call in a process also arms from COLGRAPH_FAILPOINTS.
+Action Hit(const char* name, uint64_t* arg = nullptr);
+
+/// Status form of Hit(): kError/kCrash fire as Status::IOError naming the
+/// point, anything else is OK. What COLGRAPH_FAILPOINT() expands to.
+Status Inject(const char* name);
+
+/// Arms points from a "name=action[:arg][@skip];..." spec string; actions
+/// are `error`, `crash` and `short:<bytes>`.
+Status ArmFromSpecString(const std::string& spec);
+/// Arms from the COLGRAPH_FAILPOINTS environment variable (no-op when the
+/// variable is unset).
+Status ArmFromEnv();
+
+#else  // !COLGRAPH_FAILPOINTS_ENABLED
+
+inline constexpr bool kEnabled = false;
+
+inline void Arm(const std::string&, Spec) {}
+inline void Disarm(const std::string&) {}
+inline void DisarmAll() {}
+inline size_t ArmedCount() { return 0; }
+inline Action Hit(const char*, uint64_t* = nullptr) { return Action::kOff; }
+inline Status Inject(const char*) { return Status::OK(); }
+inline Status ArmFromSpecString(const std::string&) { return Status::OK(); }
+inline Status ArmFromEnv() { return Status::OK(); }
+
+#endif  // COLGRAPH_FAILPOINTS_ENABLED
+
+}  // namespace colgraph::failpoint
+
+// Declares an injection point inside a Status-returning function: when the
+// point is armed as `error` or `crash` the enclosing function returns the
+// injected Status::IOError. Compiles to nothing when failpoints are off.
+#define COLGRAPH_FAILPOINT(name)                                     \
+  do {                                                               \
+    ::colgraph::Status _fp_st = ::colgraph::failpoint::Inject(name); \
+    if (!_fp_st.ok()) return _fp_st;                                 \
+  } while (0)

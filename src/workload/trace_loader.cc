@@ -1,7 +1,11 @@
 #include "workload/trace_loader.h"
 
-#include <fstream>
+#include <cmath>
 #include <sstream>
+#include <utility>
+
+#include "columnstore/io_util.h"
+#include "util/failpoint.h"
 
 namespace colgraph {
 
@@ -11,6 +15,12 @@ StatusOr<std::vector<WalkTrace>> ParseTraces(std::istream& in) {
   size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
+    if (line.size() > kMaxTraceLineBytes) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     " exceeds " +
+                                     std::to_string(kMaxTraceLineBytes) +
+                                     " bytes");
+    }
     const auto comment = line.find('#');
     if (comment != std::string::npos) line.resize(comment);
 
@@ -22,6 +32,11 @@ StatusOr<std::vector<WalkTrace>> ParseTraces(std::istream& in) {
     uint64_t node = 0;
     while (nodes_in >> node) {
       trace.walk.push_back(static_cast<NodeId>(node));
+      if (trace.walk.size() > kMaxTraceWalkNodes) {
+        return Status::InvalidArgument(
+            "walk exceeds " + std::to_string(kMaxTraceWalkNodes) +
+            " nodes on line " + std::to_string(line_number));
+      }
     }
     if (!nodes_in.eof()) {
       return Status::InvalidArgument("malformed node id on line " +
@@ -36,7 +51,13 @@ StatusOr<std::vector<WalkTrace>> ParseTraces(std::istream& in) {
     if (bar != std::string::npos) {
       std::istringstream measures_in(line.substr(bar + 1));
       double value = 0;
-      while (measures_in >> value) trace.measures.push_back(value);
+      while (measures_in >> value) {
+        if (!std::isfinite(value)) {
+          return Status::InvalidArgument("non-finite measure on line " +
+                                         std::to_string(line_number));
+        }
+        trace.measures.push_back(value);
+      }
       if (!measures_in.eof()) {
         return Status::InvalidArgument("malformed measure on line " +
                                        std::to_string(line_number));
@@ -56,8 +77,7 @@ StatusOr<std::vector<WalkTrace>> ParseTraces(std::istream& in) {
 }
 
 StatusOr<std::vector<WalkTrace>> LoadTraceFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open trace file: " + path);
+  COLGRAPH_ASSIGN_OR_RETURN(auto in, io::OpenTextForRead(path));
   return ParseTraces(in);
 }
 
@@ -65,9 +85,16 @@ StatusOr<size_t> IngestTraceFile(ColGraphEngine* engine,
                                  const std::string& path) {
   COLGRAPH_ASSIGN_OR_RETURN(std::vector<WalkTrace> traces,
                             LoadTraceFile(path));
+  // All-or-nothing: apply every walk to a staged copy first, so a failure
+  // mid-file (a rejected walk, an injected fault) cannot leave the live
+  // engine with half the records or a partially grown edge catalog.
+  ColGraphEngine staged = *engine;
   for (const WalkTrace& t : traces) {
-    COLGRAPH_RETURN_NOT_OK(engine->AddWalk(t.walk, t.measures).status());
+    COLGRAPH_FAILPOINT("trace:add_walk");
+    COLGRAPH_RETURN_NOT_OK(staged.AddWalk(t.walk, t.measures).status());
   }
+  COLGRAPH_FAILPOINT("trace:before_commit");
+  *engine = std::move(staged);
   return traces.size();
 }
 

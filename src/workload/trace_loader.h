@@ -22,15 +22,27 @@ struct WalkTrace {
   std::vector<double> measures;  // one per hop
 };
 
-/// Parses every record in the stream. Fails with a line-annotated message
-/// on malformed input.
+/// Ingest limits: a garbage or hostile trace file must not balloon memory,
+/// so lines and walks are capped. Real RFID/workflow traces sit orders of
+/// magnitude below both.
+inline constexpr size_t kMaxTraceLineBytes = size_t{1} << 20;  // 1 MiB
+inline constexpr size_t kMaxTraceWalkNodes = size_t{1} << 16;  // 65536 hops
+
+/// Parses every record in the stream. Fails with a line-annotated
+/// InvalidArgument on malformed input: garbage tokens, measure-count
+/// mismatches, non-finite measures (NaN / ±inf), over-long lines, and
+/// walks above kMaxTraceWalkNodes are all rejected.
 StatusOr<std::vector<WalkTrace>> ParseTraces(std::istream& in);
 
 /// Loads a trace file from disk.
 StatusOr<std::vector<WalkTrace>> LoadTraceFile(const std::string& path);
 
 /// Parses `path` and ingests every record into `engine` (which must be
-/// unsealed). Returns the number of records added.
+/// unsealed). Returns the number of records added. All-or-nothing: the
+/// records are staged and committed only after every walk has been
+/// validated and applied — on any failure `engine` (records, catalog,
+/// universe) is left exactly as it was. Failpoints: "trace:open",
+/// "trace:add_walk", "trace:before_commit".
 StatusOr<size_t> IngestTraceFile(ColGraphEngine* engine,
                                  const std::string& path);
 

@@ -1,0 +1,51 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace colgraph {
+namespace {
+
+TEST(Crc32Test, KnownAnswerVectors) {
+  // The CRC-32C "check" value: CRC of the ASCII digits 1-9.
+  const char digits[] = "123456789";
+  EXPECT_EQ(Crc32c(digits, 9), 0xE3069283u);
+
+  // RFC 3720 (iSCSI) appendix test vectors.
+  const unsigned char zeros[32] = {0};
+  EXPECT_EQ(Crc32c(zeros, 32), 0x8A9136AAu);
+  unsigned char ones[32];
+  std::memset(ones, 0xFF, sizeof(ones));
+  EXPECT_EQ(Crc32c(ones, 32), 0x62A8AB43u);
+}
+
+TEST(Crc32Test, EmptyInputIsZero) { EXPECT_EQ(Crc32c(nullptr, 0), 0u); }
+
+TEST(Crc32Test, SeedExtendsIncrementally) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    const uint32_t first = Crc32c(data.data(), split);
+    const uint32_t both = Crc32c(data.data() + split, data.size() - split,
+                                 first);
+    EXPECT_EQ(both, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, SingleBitFlipsChangeTheChecksum) {
+  const std::string data(512, '\x5A');
+  const uint32_t base = Crc32c(data.data(), data.size());
+  for (size_t byte = 0; byte < data.size(); byte += 17) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutant = data;
+      mutant[byte] = static_cast<char>(mutant[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32c(mutant.data(), mutant.size()), base)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace colgraph

@@ -1,10 +1,16 @@
 #include "core/engine_io.h"
 
 #include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
+#include "columnstore/persistence.h"
+#include "legacy_v1_format.h"
+#include "util/failpoint.h"
 #include "workload/base_graphs.h"
 #include "workload/query_generator.h"
 #include "workload/record_generator.h"
@@ -124,6 +130,105 @@ TEST_F(EngineIoTest, AppendAfterReload) {
   ASSERT_TRUE(loaded->FinishAppend().ok());
   EXPECT_EQ(loaded->num_records(), 2u);
   EXPECT_EQ(loaded->Match(GraphQuery::FromPath({N(1), N(2)})).Count(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Version compatibility.
+
+TEST_F(EngineIoTest, LegacyV1SnapshotStillLoadsWithViews) {
+  ColGraphEngine engine;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(engine.AddWalk({1, 2, 3, 4}, {1, 2, 3}).ok());
+  }
+  ASSERT_TRUE(engine.Seal().ok());
+  const EdgeId e0 = *engine.catalog().Lookup(Edge{N(1), N(2)});
+  const EdgeId e1 = *engine.catalog().Lookup(Edge{N(2), N(3)});
+  const EdgeId e2 = *engine.catalog().Lookup(Edge{N(3), N(4)});
+  ASSERT_TRUE(engine.MaterializeView(GraphViewDef::Make({e0, e1, e2})).ok());
+  AggViewDef agg;
+  agg.elements = {e0, e1};
+  agg.fn = AggFn::kSum;
+  ASSERT_TRUE(engine.MaterializeView(agg).ok());
+
+  legacy_v1::WriteEngineV1(engine, path_);
+  auto loaded = ReadEngine(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_records(), 5u);
+  EXPECT_EQ(loaded->catalog().size(), engine.catalog().size());
+  EXPECT_EQ(loaded->views().num_graph_views(), 1u);
+  EXPECT_EQ(loaded->views().num_agg_views(), 1u);
+  const GraphQuery q = GraphQuery::FromPath({N(1), N(2), N(3), N(4)});
+  EXPECT_EQ(loaded->Match(q).Count(), 5u);
+  auto sum = loaded->RunAggregateQuery(q, AggFn::kSum);
+  auto expected = engine.RunAggregateQuery(q, AggFn::kSum);
+  ASSERT_TRUE(sum.ok() && expected.ok());
+  EXPECT_EQ(sum->values, expected->values);
+}
+
+TEST_F(EngineIoTest, FutureVersionRejected) {
+  ColGraphEngine engine;
+  ASSERT_TRUE(engine.AddWalk({1, 2}, {1.0}).ok());
+  ASSERT_TRUE(engine.Seal().ok());
+  ASSERT_TRUE(WriteEngine(engine, path_).ok());
+
+  std::ifstream in(path_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  const uint32_t future = 9;
+  std::memcpy(bytes.data() + 4, &future, sizeof(future));
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+
+  const Status st = ReadEngine(path_).status();
+  ASSERT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_NE(st.message().find("version"), std::string::npos);
+}
+
+TEST_F(EngineIoTest, RelationSnapshotRejectedByEngineCodec) {
+  MasterRelation rel;
+  ASSERT_TRUE(rel.AddRecord({{0, 1.0}}).ok());
+  ASSERT_TRUE(rel.Seal().ok());
+  ASSERT_TRUE(WriteRelation(rel, path_).ok());
+  EXPECT_TRUE(ReadEngine(path_).status().IsCorruption());
+}
+
+// ---------------------------------------------------------------------------
+// Write-side failures and crash-atomicity.
+
+TEST_F(EngineIoTest, WriteToDirectoryTargetIsIOError) {
+  ColGraphEngine engine;
+  ASSERT_TRUE(engine.AddWalk({1, 2}, {1.0}).ok());
+  ASSERT_TRUE(engine.Seal().ok());
+  const std::string dir = ::testing::TempDir() + "colgraph_engine_io_dir";
+  ASSERT_EQ(mkdir(dir.c_str(), 0755), 0);
+  EXPECT_TRUE(WriteEngine(engine, dir).IsIOError());
+  rmdir(dir.c_str());
+}
+
+TEST_F(EngineIoTest, CrashBeforeRenameLeavesPreviousSnapshotReadable) {
+  if (!failpoint::kEnabled) {
+    GTEST_SKIP() << "failpoints compiled out (COLGRAPH_FAILPOINTS=OFF)";
+  }
+  ColGraphEngine old_engine;
+  ASSERT_TRUE(old_engine.AddWalk({1, 2}, {1.0}).ok());
+  ASSERT_TRUE(old_engine.Seal().ok());
+  ASSERT_TRUE(WriteEngine(old_engine, path_).ok());
+
+  ColGraphEngine new_engine;
+  ASSERT_TRUE(new_engine.AddWalk({1, 2}, {2.0}).ok());
+  ASSERT_TRUE(new_engine.AddWalk({2, 3}, {3.0}).ok());
+  ASSERT_TRUE(new_engine.Seal().ok());
+  failpoint::Arm("persist:before_rename",
+                 failpoint::Spec{failpoint::Action::kCrash, 0, 0});
+  EXPECT_TRUE(WriteEngine(new_engine, path_).IsIOError());
+  failpoint::DisarmAll();
+
+  auto survivor = ReadEngine(path_);
+  ASSERT_TRUE(survivor.ok()) << survivor.status().ToString();
+  EXPECT_EQ(survivor->num_records(), 1u);
+  std::remove((path_ + ".tmp").c_str());
 }
 
 }  // namespace

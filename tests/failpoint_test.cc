@@ -1,0 +1,89 @@
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+namespace colgraph {
+namespace {
+
+using failpoint::Action;
+using failpoint::Spec;
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!failpoint::kEnabled) {
+      GTEST_SKIP() << "failpoints compiled out (COLGRAPH_FAILPOINTS=OFF)";
+    }
+    failpoint::DisarmAll();
+  }
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(FailpointTest, UnarmedPointIsOff) {
+  EXPECT_EQ(failpoint::Hit("test:nope"), Action::kOff);
+  EXPECT_TRUE(failpoint::Inject("test:nope").ok());
+}
+
+TEST_F(FailpointTest, ArmedErrorFiresOnceThenDisarms) {
+  failpoint::Arm("test:p", Spec{Action::kError, 0, 0});
+  EXPECT_EQ(failpoint::ArmedCount(), 1u);
+  const Status st = failpoint::Inject("test:p");
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_NE(st.message().find("test:p"), std::string::npos);
+  // One-shot: the second hit passes.
+  EXPECT_TRUE(failpoint::Inject("test:p").ok());
+  EXPECT_EQ(failpoint::ArmedCount(), 0u);
+}
+
+TEST_F(FailpointTest, SkipCountLetsEarlyHitsPass) {
+  failpoint::Arm("test:nth", Spec{Action::kError, 2, 0});
+  EXPECT_TRUE(failpoint::Inject("test:nth").ok());
+  EXPECT_TRUE(failpoint::Inject("test:nth").ok());
+  EXPECT_TRUE(failpoint::Inject("test:nth").IsIOError());
+  EXPECT_TRUE(failpoint::Inject("test:nth").ok());
+}
+
+TEST_F(FailpointTest, ShortWriteCarriesItsArgument) {
+  failpoint::Arm("test:sw", Spec{Action::kShortWrite, 0, 123});
+  uint64_t arg = 0;
+  EXPECT_EQ(failpoint::Hit("test:sw", &arg), Action::kShortWrite);
+  EXPECT_EQ(arg, 123u);
+}
+
+TEST_F(FailpointTest, DisarmRemovesAPoint) {
+  failpoint::Arm("test:d", Spec{Action::kError, 0, 0});
+  failpoint::Disarm("test:d");
+  EXPECT_TRUE(failpoint::Inject("test:d").ok());
+}
+
+TEST_F(FailpointTest, SpecStringArmsMultiplePoints) {
+  ASSERT_TRUE(failpoint::ArmFromSpecString(
+                  "a:x=error;b:y=crash@2;c:z=short:64@1")
+                  .ok());
+  EXPECT_EQ(failpoint::ArmedCount(), 3u);
+  EXPECT_TRUE(failpoint::Inject("a:x").IsIOError());
+  EXPECT_EQ(failpoint::Hit("b:y"), Action::kOff);   // skip 1 of 2
+  EXPECT_EQ(failpoint::Hit("b:y"), Action::kOff);   // skip 2 of 2
+  EXPECT_EQ(failpoint::Hit("b:y"), Action::kCrash);
+  uint64_t arg = 0;
+  EXPECT_EQ(failpoint::Hit("c:z", &arg), Action::kOff);
+  EXPECT_EQ(failpoint::Hit("c:z", &arg), Action::kShortWrite);
+  EXPECT_EQ(arg, 64u);
+}
+
+TEST_F(FailpointTest, MalformedSpecStringsAreRejected) {
+  EXPECT_TRUE(failpoint::ArmFromSpecString("noequals").IsInvalidArgument());
+  EXPECT_TRUE(failpoint::ArmFromSpecString("=error").IsInvalidArgument());
+  EXPECT_TRUE(failpoint::ArmFromSpecString("p=explode").IsInvalidArgument());
+  EXPECT_TRUE(failpoint::ArmFromSpecString("p=error@x").IsInvalidArgument());
+  EXPECT_TRUE(failpoint::ArmFromSpecString("p=short:").IsInvalidArgument());
+  failpoint::DisarmAll();
+}
+
+TEST_F(FailpointTest, CrashActionInjectsAnError) {
+  failpoint::Arm("test:c", Spec{Action::kCrash, 0, 0});
+  EXPECT_TRUE(failpoint::Inject("test:c").IsIOError());
+}
+
+}  // namespace
+}  // namespace colgraph

@@ -1,0 +1,102 @@
+// Test-only writers for the legacy (version 1) snapshot format: the exact
+// byte stream the pre-checksum codecs produced — no sections, no CRCs, no
+// footer, written straight to the final path. Used to prove the v2 readers
+// stay read-compatible with snapshots from older builds, and to torture
+// the hardened v1 parse path.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bitmap/ewah_bitmap.h"
+#include "columnstore/master_relation.h"
+#include "core/engine.h"
+
+namespace colgraph::legacy_v1 {
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void WriteVec(std::ofstream& out, const std::vector<T>& v) {
+  WritePod(out, static_cast<uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+inline void WriteEwah(std::ofstream& out, const Bitmap& bits) {
+  const EwahBitmap compressed = EwahBitmap::FromBitmap(bits);
+  WritePod(out, static_cast<uint64_t>(compressed.size_bits()));
+  WriteVec(out, compressed.buffer());
+}
+
+inline void WriteMeasureColumn(std::ofstream& out, const MeasureColumn& col) {
+  WriteEwah(out, col.presence().bits());
+  std::vector<double> values;
+  values.reserve(col.num_values());
+  col.presence().bits().ForEachSetBit([&](size_t r) {
+    values.push_back(col.ValueAtRank(col.presence().Rank(r)));
+  });
+  WriteVec(out, values);
+}
+
+inline void WriteRelationV1(const MasterRelation& relation,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  WritePod(out, uint32_t{0x4347524C});  // "CGRL"
+  WritePod(out, uint32_t{1});
+  WritePod(out, static_cast<uint64_t>(relation.num_records()));
+  WritePod(out, static_cast<uint64_t>(relation.num_edge_columns()));
+  for (EdgeId id = 0; id < relation.num_edge_columns(); ++id) {
+    WriteMeasureColumn(out, relation.PeekMeasureColumn(id));
+  }
+}
+
+inline void WriteEngineV1(const ColGraphEngine& engine,
+                          const std::string& path) {
+  const MasterRelation& relation = engine.relation();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  WritePod(out, uint32_t{0x4347454E});  // "CGEN"
+  WritePod(out, uint32_t{1});
+  WritePod(out,
+           static_cast<uint64_t>(engine.options().relation.partition_width));
+  WritePod(out, static_cast<uint64_t>(engine.options().view_min_support));
+
+  const EdgeCatalog& catalog = engine.catalog();
+  WritePod(out, static_cast<uint64_t>(catalog.size()));
+  for (EdgeId id = 0; id < catalog.size(); ++id) {
+    WritePod(out, catalog.edge(id).from.base);
+    WritePod(out, catalog.edge(id).from.occurrence);
+    WritePod(out, catalog.edge(id).to.base);
+    WritePod(out, catalog.edge(id).to.occurrence);
+  }
+
+  WritePod(out, static_cast<uint64_t>(relation.num_records()));
+  WritePod(out, static_cast<uint64_t>(relation.num_edge_columns()));
+  for (EdgeId id = 0; id < relation.num_edge_columns(); ++id) {
+    WriteMeasureColumn(out, relation.PeekMeasureColumn(id));
+  }
+
+  const auto& graph_views = engine.views().graph_views();
+  WritePod(out, static_cast<uint64_t>(graph_views.size()));
+  for (const auto& [def, index] : graph_views) {
+    WriteVec(out, def.edges);
+    WritePod(out, static_cast<uint64_t>(index));
+    WriteEwah(out, relation.PeekGraphView(index));
+  }
+
+  const auto& agg_views = engine.views().agg_views();
+  WritePod(out, static_cast<uint64_t>(agg_views.size()));
+  for (const auto& [def, index] : agg_views) {
+    WritePod(out, static_cast<uint8_t>(def.fn));
+    WriteVec(out, def.elements);
+    WritePod(out, static_cast<uint64_t>(index));
+    WriteMeasureColumn(out, relation.PeekAggregateView(index));
+  }
+}
+
+}  // namespace colgraph::legacy_v1

@@ -1,8 +1,10 @@
 // Deliberately broken fixture for lint_invariants_test: raw assert, stdout
-// in library code, and a dropped Status.
+// in library code, a dropped Status, and a raw file stream that bypasses
+// io_util.
 #include "bad.h"
 
 #include <cassert>
+#include <fstream>
 #include <iostream>
 
 namespace colgraph {
@@ -10,6 +12,7 @@ namespace colgraph {
 void UseThings(int x) {
   assert(x > 0);
   std::cout << "debugging " << x << "\n";
+  std::ofstream sneaky("/tmp/raw.bin");
   DoFallibleThing();
 }
 

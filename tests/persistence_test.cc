@@ -1,10 +1,16 @@
 #include "columnstore/persistence.h"
 
 #include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
+#include "core/engine_io.h"
+#include "legacy_v1_format.h"
+#include "util/failpoint.h"
 #include "util/random.h"
 
 namespace colgraph {
@@ -92,6 +98,205 @@ TEST_F(PersistenceTest, TruncatedFileIsCorruption) {
             static_cast<std::streamsize>(contents.size() / 2));
   out.close();
   EXPECT_TRUE(ReadRelation(path_).status().IsCorruption());
+}
+
+// ---------------------------------------------------------------------------
+// Version compatibility.
+
+TEST_F(PersistenceTest, LegacyV1SnapshotStillLoads) {
+  MasterRelation rel;
+  ASSERT_TRUE(rel.AddRecord({{0, 1.5}, {2, -2.0}}).ok());
+  ASSERT_TRUE(rel.AddRecord({{1, 3.0}}).ok());
+  ASSERT_TRUE(rel.Seal().ok());
+
+  legacy_v1::WriteRelationV1(rel, path_);
+  auto loaded = ReadRelation(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_records(), 2u);
+  EXPECT_EQ(loaded->num_edge_columns(), 3u);
+  EXPECT_EQ(loaded->PeekMeasureColumn(0).Get(0), 1.5);
+  EXPECT_EQ(loaded->PeekMeasureColumn(2).Get(0), -2.0);
+  EXPECT_EQ(loaded->PeekMeasureColumn(1).Get(1), 3.0);
+}
+
+TEST_F(PersistenceTest, V1ThenV2RoundtripMatches) {
+  Rng rng(7);
+  MasterRelation rel;
+  for (int r = 0; r < 64; ++r) {
+    std::vector<std::pair<EdgeId, double>> rec;
+    for (EdgeId e = 0; e < 12; ++e) {
+      if (rng.Bernoulli(0.4)) rec.emplace_back(e, rng.UniformReal(-5, 5));
+    }
+    ASSERT_TRUE(rel.AddRecord(rec).ok());
+  }
+  ASSERT_TRUE(rel.Seal().ok());
+
+  // Load a v1 snapshot, rewrite it as v2, and verify byte-for-byte equal
+  // column contents.
+  legacy_v1::WriteRelationV1(rel, path_);
+  auto from_v1 = ReadRelation(path_);
+  ASSERT_TRUE(from_v1.ok());
+  ASSERT_TRUE(WriteRelation(*from_v1, path_).ok());
+  auto from_v2 = ReadRelation(path_);
+  ASSERT_TRUE(from_v2.ok());
+  ASSERT_EQ(from_v2->num_records(), rel.num_records());
+  ASSERT_EQ(from_v2->num_edge_columns(), rel.num_edge_columns());
+  for (EdgeId e = 0; e < rel.num_edge_columns(); ++e) {
+    for (size_t r = 0; r < rel.num_records(); ++r) {
+      EXPECT_EQ(from_v2->PeekMeasureColumn(e).Get(r),
+                rel.PeekMeasureColumn(e).Get(r));
+    }
+  }
+}
+
+TEST_F(PersistenceTest, FutureVersionRejected) {
+  MasterRelation rel;
+  ASSERT_TRUE(rel.AddRecord({{0, 1.0}}).ok());
+  ASSERT_TRUE(rel.Seal().ok());
+  ASSERT_TRUE(WriteRelation(rel, path_).ok());
+
+  std::ifstream in(path_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  const uint32_t future = 7;
+  std::memcpy(bytes.data() + 4, &future, sizeof(future));
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+
+  const Status st = ReadRelation(path_).status();
+  ASSERT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_NE(st.message().find("version"), std::string::npos);
+}
+
+TEST_F(PersistenceTest, EngineSnapshotRejectedByRelationCodec) {
+  ColGraphEngine engine;
+  ASSERT_TRUE(engine.AddWalk({1, 2}, {1.0}).ok());
+  ASSERT_TRUE(engine.Seal().ok());
+  ASSERT_TRUE(WriteEngine(engine, path_).ok());
+  EXPECT_TRUE(ReadRelation(path_).status().IsCorruption());
+}
+
+// ---------------------------------------------------------------------------
+// Hostile headers: corrupt length prefixes must fail cleanly, never
+// attempt the allocation they claim.
+
+TEST_F(PersistenceTest, HugeRecordCountIsCorruptionNotBadAlloc) {
+  // Hand-crafted v1 header claiming 2^60 records in 16 bytes of file.
+  std::ofstream out(path_, std::ios::binary);
+  const uint32_t magic = 0x4347524C, version = 1;
+  const uint64_t records = uint64_t{1} << 60, columns = 1;
+  out.write(reinterpret_cast<const char*>(&magic), 4);
+  out.write(reinterpret_cast<const char*>(&version), 4);
+  out.write(reinterpret_cast<const char*>(&records), 8);
+  out.write(reinterpret_cast<const char*>(&columns), 8);
+  out.close();
+  EXPECT_TRUE(ReadRelation(path_).status().IsCorruption());
+}
+
+TEST_F(PersistenceTest, HugeVectorLengthIsCorruptionNotBadAlloc) {
+  // Valid-looking v1 header, then an EWAH buffer whose length prefix
+  // claims 2^60 words.
+  std::ofstream out(path_, std::ios::binary);
+  const uint32_t magic = 0x4347524C, version = 1;
+  const uint64_t records = 2, columns = 1, num_bits = 2;
+  const uint64_t huge_len = uint64_t{1} << 60;
+  out.write(reinterpret_cast<const char*>(&magic), 4);
+  out.write(reinterpret_cast<const char*>(&version), 4);
+  out.write(reinterpret_cast<const char*>(&records), 8);
+  out.write(reinterpret_cast<const char*>(&columns), 8);
+  out.write(reinterpret_cast<const char*>(&num_bits), 8);
+  out.write(reinterpret_cast<const char*>(&huge_len), 8);
+  out.close();
+  EXPECT_TRUE(ReadRelation(path_).status().IsCorruption());
+}
+
+// ---------------------------------------------------------------------------
+// Write-side failures.
+
+TEST_F(PersistenceTest, WriteToDirectoryTargetIsIOError) {
+  MasterRelation rel;
+  ASSERT_TRUE(rel.AddRecord({{0, 1.0}}).ok());
+  ASSERT_TRUE(rel.Seal().ok());
+  const std::string dir = ::testing::TempDir() + "colgraph_persist_dir";
+  ASSERT_EQ(mkdir(dir.c_str(), 0755), 0);
+  EXPECT_TRUE(WriteRelation(rel, dir).IsIOError());
+  rmdir(dir.c_str());
+}
+
+TEST_F(PersistenceTest, WriteToNonexistentDirIsIOError) {
+  MasterRelation rel;
+  ASSERT_TRUE(rel.AddRecord({{0, 1.0}}).ok());
+  ASSERT_TRUE(rel.Seal().ok());
+  EXPECT_TRUE(WriteRelation(rel, "/nonexistent/dir/file.bin").IsIOError());
+}
+
+// ---------------------------------------------------------------------------
+// Crash-atomicity (requires the failpoint build).
+
+TEST_F(PersistenceTest, CrashBeforeRenameLeavesPreviousSnapshotReadable) {
+  if (!failpoint::kEnabled) {
+    GTEST_SKIP() << "failpoints compiled out (COLGRAPH_FAILPOINTS=OFF)";
+  }
+  MasterRelation old_rel;
+  ASSERT_TRUE(old_rel.AddRecord({{0, 1.0}}).ok());
+  ASSERT_TRUE(old_rel.Seal().ok());
+  ASSERT_TRUE(WriteRelation(old_rel, path_).ok());
+
+  MasterRelation new_rel;
+  ASSERT_TRUE(new_rel.AddRecord({{0, 2.0}}).ok());
+  ASSERT_TRUE(new_rel.AddRecord({{1, 3.0}}).ok());
+  ASSERT_TRUE(new_rel.Seal().ok());
+  failpoint::Arm("persist:before_rename",
+                 failpoint::Spec{failpoint::Action::kCrash, 0, 0});
+  EXPECT_TRUE(WriteRelation(new_rel, path_).IsIOError());
+  failpoint::DisarmAll();
+
+  // The previous snapshot is untouched; the orphaned .tmp is left behind
+  // exactly as a real crash would leave it.
+  auto survivor = ReadRelation(path_);
+  ASSERT_TRUE(survivor.ok()) << survivor.status().ToString();
+  EXPECT_EQ(survivor->num_records(), 1u);
+  EXPECT_EQ(survivor->PeekMeasureColumn(0).Get(0), 1.0);
+  std::ifstream tmp(path_ + ".tmp", std::ios::binary);
+  EXPECT_TRUE(tmp.good());
+  tmp.close();
+  std::remove((path_ + ".tmp").c_str());
+}
+
+TEST_F(PersistenceTest, ShortWriteIsDetectedOnNextRead) {
+  if (!failpoint::kEnabled) {
+    GTEST_SKIP() << "failpoints compiled out (COLGRAPH_FAILPOINTS=OFF)";
+  }
+  MasterRelation rel;
+  ASSERT_TRUE(rel.AddRecord({{0, 1.0}, {1, 2.0}}).ok());
+  ASSERT_TRUE(rel.Seal().ok());
+  // A lying filesystem persists only 21 bytes but reports success; the
+  // footer check catches it on the next load.
+  failpoint::Arm("io:short_write",
+                 failpoint::Spec{failpoint::Action::kShortWrite, 0, 21});
+  ASSERT_TRUE(WriteRelation(rel, path_).ok());
+  failpoint::DisarmAll();
+  EXPECT_TRUE(ReadRelation(path_).status().IsCorruption());
+}
+
+TEST_F(PersistenceTest, FsyncFailureIsIOErrorWithoutPublishing) {
+  if (!failpoint::kEnabled) {
+    GTEST_SKIP() << "failpoints compiled out (COLGRAPH_FAILPOINTS=OFF)";
+  }
+  MasterRelation rel;
+  ASSERT_TRUE(rel.AddRecord({{0, 1.0}}).ok());
+  ASSERT_TRUE(rel.Seal().ok());
+  failpoint::Arm("io:fsync",
+                 failpoint::Spec{failpoint::Action::kError, 0, 0});
+  EXPECT_TRUE(WriteRelation(rel, path_).IsIOError());
+  failpoint::DisarmAll();
+  // Nothing published, no tmp litter.
+  std::ifstream final_file(path_, std::ios::binary);
+  EXPECT_FALSE(final_file.good());
+  std::ifstream tmp(path_ + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/failpoint.h"
+
 namespace colgraph {
 namespace {
 
@@ -81,6 +83,119 @@ TEST(TraceLoaderTest, IngestTraceFileEndToEnd) {
 
 TEST(TraceLoaderTest, MissingFileIsIOError) {
   EXPECT_TRUE(LoadTraceFile("/no/such/file.txt").status().IsIOError());
+}
+
+// ---------------------------------------------------------------------------
+// Input hardening.
+
+TEST(TraceLoaderTest, RejectsNonFiniteMeasures) {
+  // Whether the stream rejects the token outright or the finiteness check
+  // fires, every spelling must come back as a line-annotated
+  // InvalidArgument — a NaN measure must never reach a column.
+  for (const char* bad : {"1 2 | nan\n", "1 2 | inf\n", "1 2 | -inf\n",
+                          "1 2 | NaN\n", "1 2 3 | 1.0 1e999999\n"}) {
+    std::istringstream in(bad);
+    const Status st = ParseTraces(in).status();
+    EXPECT_TRUE(st.IsInvalidArgument()) << bad << st.ToString();
+    EXPECT_NE(st.message().find("line 1"), std::string::npos) << bad;
+  }
+}
+
+TEST(TraceLoaderTest, RejectsOverlongLine) {
+  std::string line(kMaxTraceLineBytes + 1, ' ');
+  line += "1 2\n";
+  std::istringstream in(line);
+  const Status st = ParseTraces(in).status();
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.message().find("line 1"), std::string::npos);
+}
+
+TEST(TraceLoaderTest, RejectsOverlongWalk) {
+  std::string line;
+  for (size_t i = 0; i <= kMaxTraceWalkNodes; ++i) line += "1 ";
+  line += "\n";
+  std::istringstream in(line);
+  const Status st = ParseTraces(in).status();
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.message().find("exceeds"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// All-or-nothing ingest.
+
+class TraceIngestTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "colgraph_ingest_test.txt";
+  void TearDown() override { std::remove(path_.c_str()); }
+  void WriteTraceFile(const std::string& body) {
+    std::ofstream out(path_);
+    out << body;
+  }
+};
+
+TEST_F(TraceIngestTest, SealedEngineIngestLeavesEngineUntouched) {
+  // AddRecord grows the edge catalog before the sealed relation rejects
+  // the record; the staged-copy commit must shield the live engine from
+  // that partial mutation.
+  ColGraphEngine engine;
+  ASSERT_TRUE(engine.AddWalk({1, 2}, {1.0}).ok());
+  ASSERT_TRUE(engine.Seal().ok());
+  const size_t catalog_before = engine.catalog().size();
+
+  WriteTraceFile("7 8 9 | 1 2\n");
+  EXPECT_TRUE(IngestTraceFile(&engine, path_).status().IsInvalidArgument());
+  EXPECT_EQ(engine.num_records(), 1u);
+  EXPECT_EQ(engine.catalog().size(), catalog_before);
+}
+
+TEST_F(TraceIngestTest, MidFileFaultLeavesEngineUntouched) {
+  if (!failpoint::kEnabled) {
+    GTEST_SKIP() << "failpoints compiled out (COLGRAPH_FAILPOINTS=OFF)";
+  }
+  ColGraphEngine engine;
+  ASSERT_TRUE(engine.AddWalk({1, 2}, {1.0}).ok());
+  const size_t catalog_before = engine.catalog().size();
+
+  WriteTraceFile("1 2 3 | 10 20\n4 5 | 30\n6 7 | 40\n");
+  // Fault on the second walk: the first walk has already hit the staged
+  // copy, and none of it may leak into the live engine.
+  ASSERT_TRUE(failpoint::ArmFromSpecString("trace:add_walk=error@1").ok());
+  EXPECT_TRUE(IngestTraceFile(&engine, path_).status().IsIOError());
+  failpoint::DisarmAll();
+  EXPECT_EQ(engine.num_records(), 1u);
+  EXPECT_EQ(engine.catalog().size(), catalog_before);
+
+  // With the fault cleared the same file ingests fully.
+  const auto added = IngestTraceFile(&engine, path_);
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_EQ(*added, 3u);
+  EXPECT_EQ(engine.num_records(), 4u);
+}
+
+TEST_F(TraceIngestTest, FaultBeforeCommitLeavesEngineUntouched) {
+  if (!failpoint::kEnabled) {
+    GTEST_SKIP() << "failpoints compiled out (COLGRAPH_FAILPOINTS=OFF)";
+  }
+  ColGraphEngine engine;
+  WriteTraceFile("1 2 | 5\n2 3 | 6\n");
+  // Every walk applies cleanly; the fault hits at the commit boundary.
+  ASSERT_TRUE(failpoint::ArmFromSpecString("trace:before_commit=error").ok());
+  EXPECT_TRUE(IngestTraceFile(&engine, path_).status().IsIOError());
+  failpoint::DisarmAll();
+  EXPECT_EQ(engine.num_records(), 0u);
+  EXPECT_EQ(engine.catalog().size(), 0u);
+}
+
+TEST_F(TraceIngestTest, OpenFaultIsIOError) {
+  if (!failpoint::kEnabled) {
+    GTEST_SKIP() << "failpoints compiled out (COLGRAPH_FAILPOINTS=OFF)";
+  }
+  ColGraphEngine engine;
+  WriteTraceFile("1 2 | 5\n");
+  ASSERT_TRUE(failpoint::ArmFromSpecString("trace:open=error").ok());
+  EXPECT_TRUE(IngestTraceFile(&engine, path_).status().IsIOError());
+  failpoint::DisarmAll();
+  EXPECT_EQ(engine.num_records(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Snapshot corruption tool: truncates or bit-flips a file, reproducibly.
+
+Companion to the in-tree torture harness (tests/persistence_torture_test.cc)
+for corrupting snapshots by hand — e.g. to check that a colgraph tool under
+development fails cleanly on damaged input:
+
+    tools/corrupt.py engine.bin --truncate 100 -o engine.trunc.bin
+    tools/corrupt.py engine.bin --flips 3 --seed 42 -o engine.flip.bin
+    tools/corrupt.py engine.bin --flips 1 --offset 4   # flip in byte 4 only
+
+Mutations are deterministic for a given (--seed, input) pair. Without -o the
+file is corrupted in place.
+"""
+
+import argparse
+import random
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="snapshot file to corrupt")
+    parser.add_argument(
+        "-o", "--output", help="write the mutant here (default: in place)"
+    )
+    parser.add_argument(
+        "--truncate",
+        type=int,
+        metavar="N",
+        help="keep only the first N bytes (negative: drop the last -N)",
+    )
+    parser.add_argument(
+        "--flips",
+        type=int,
+        default=0,
+        metavar="K",
+        help="flip K randomly chosen bits",
+    )
+    parser.add_argument(
+        "--offset",
+        type=int,
+        metavar="B",
+        help="constrain all flips to byte offset B",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="RNG seed for --flips (default 0)"
+    )
+    args = parser.parse_args()
+
+    with open(args.path, "rb") as f:
+        data = bytearray(f.read())
+    if not data:
+        print("corrupt.py: input file is empty", file=sys.stderr)
+        return 2
+
+    if args.truncate is not None:
+        keep = args.truncate if args.truncate >= 0 else len(data) + args.truncate
+        if not 0 <= keep <= len(data):
+            print(
+                f"corrupt.py: --truncate {args.truncate} out of range for "
+                f"{len(data)}-byte file",
+                file=sys.stderr,
+            )
+            return 2
+        del data[keep:]
+
+    if args.flips:
+        if not data:
+            print("corrupt.py: nothing left to flip", file=sys.stderr)
+            return 2
+        rng = random.Random(args.seed)
+        for _ in range(args.flips):
+            byte = args.offset if args.offset is not None else rng.randrange(
+                len(data)
+            )
+            if not 0 <= byte < len(data):
+                print(
+                    f"corrupt.py: --offset {byte} out of range", file=sys.stderr
+                )
+                return 2
+            data[byte] ^= 1 << rng.randrange(8)
+
+    out_path = args.output or args.path
+    with open(out_path, "wb") as f:
+        f.write(data)
+    print(
+        f"corrupt.py: wrote {len(data)} bytes to {out_path} "
+        f"(truncate={args.truncate}, flips={args.flips}, seed={args.seed})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,11 @@ Rules
   no-stdout          Library code must not write to stdout (std::cout,
                      printf, puts); diagnostics go to stderr or a caller
                      provided stream. Benches/examples/tests are exempt.
+  raw-stream         Library code must not open files with raw std::ifstream /
+                     std::ofstream / std::fstream: all snapshot and trace file
+                     I/O goes through columnstore/io_util.h so it is
+                     checksummed, bounds-checked, crash-atomic, and failpoint
+                     instrumented. io_util.{h,cc} itself is exempt.
 """
 
 import argparse
@@ -93,7 +98,9 @@ def lint_file(path, rel, status_fns, errors, in_library):
         lines = f.readlines()
 
     is_header = rel.endswith((".h", ".hpp"))
-    is_check_header = rel.replace(os.sep, "/").endswith("util/check.h")
+    posix_rel = rel.replace(os.sep, "/")
+    is_check_header = posix_rel.endswith("util/check.h")
+    is_io_util = os.path.basename(posix_rel).startswith("io_util.")
 
     if is_header:
         first_code = next(
@@ -134,6 +141,15 @@ def lint_file(path, rel, status_fns, errors, in_library):
                 errors.append(
                     f"{rel}:{i}: [no-stdout] library code must not write to "
                     f"stdout"
+                )
+            if not is_io_util and re.search(
+                r"std::[io]?fstream\b", line
+            ):
+                errors.append(
+                    f"{rel}:{i}: [raw-stream] library file I/O must go "
+                    f"through columnstore/io_util.h (checksummed, "
+                    f"crash-atomic, failpoint instrumented), not raw "
+                    f"std::ifstream/std::ofstream"
                 )
 
         if stripped.startswith("#include"):
