@@ -8,11 +8,16 @@
 namespace colgraph::bench {
 namespace {
 
-void Run() {
+void Run(size_t num_threads) {
   Title("Figure 3(a) — query time vs dataset size, 100 uniform queries, NY");
   PaperNote(
       "column store ~linear, orders of magnitude below the row store; "
       "neo4j/rdf in between (paper x-axis: 1M, 5M, 10M records)");
+  if (num_threads > 1) {
+    std::printf("    [threads] column store runs EvaluateBatch over %zu "
+                "workers (baselines stay serial)\n",
+                num_threads);
+  }
   Row({"records", "Column Store", "Neo4j Store", "Rdf Store", "Row Store"});
 
   RecordGenOptions rec_options;  // NY profile: 35..100 edges
@@ -27,7 +32,8 @@ void Run() {
     const auto workload = qgen.UniformWorkload(100, q_options);
 
     std::vector<std::string> cells{std::to_string(n)};
-    cells.push_back(Fmt(TimeColumnStore(ds, workload)) + "s");
+    cells.push_back(
+        Fmt(TimeColumnStore(ds, workload, nullptr, num_threads)) + "s");
     for (const auto& [name, factory] : BaselineFactories()) {
       (void)name;
       cells.push_back(Fmt(TimeBaseline(factory, ds, workload)) + "s");
@@ -39,4 +45,6 @@ void Run() {
 }  // namespace
 }  // namespace colgraph::bench
 
-int main() { colgraph::bench::Run(); }
+int main(int argc, char** argv) {
+  colgraph::bench::Run(colgraph::bench::ThreadCount(argc, argv));
+}

@@ -7,7 +7,7 @@
 namespace colgraph::bench {
 namespace {
 
-void Run() {
+void Run(size_t num_threads) {
   Title("Figure 3(b) — query time vs query size (#edges), NY");
   PaperNote(
       "column store improves as queries grow (smaller result sets); "
@@ -24,7 +24,8 @@ void Run() {
     // exactly as the sweep requires: selectivity falls with size).
     const auto workload = qgen.StructuralWorkload(100, query_edges);
     std::vector<std::string> cells{std::to_string(query_edges)};
-    cells.push_back(Fmt(TimeColumnStore(ds, workload)) + "s");
+    cells.push_back(
+        Fmt(TimeColumnStore(ds, workload, nullptr, num_threads)) + "s");
     for (const auto& [name, factory] : BaselineFactories()) {
       (void)name;
       cells.push_back(Fmt(TimeBaseline(factory, ds, workload)) + "s");
@@ -36,4 +37,6 @@ void Run() {
 }  // namespace
 }  // namespace colgraph::bench
 
-int main() { colgraph::bench::Run(); }
+int main(int argc, char** argv) {
+  colgraph::bench::Run(colgraph::bench::ThreadCount(argc, argv));
+}

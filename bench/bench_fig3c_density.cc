@@ -7,7 +7,7 @@
 namespace colgraph::bench {
 namespace {
 
-void Run() {
+void Run(size_t num_threads) {
   Title("Figure 3(c) — query time vs record density, NY");
   PaperNote(
       "column store flat across density; row store grows with density "
@@ -26,7 +26,8 @@ void Run() {
     const auto workload = qgen.StructuralWorkload(100, record_edges);
 
     std::vector<std::string> cells{Fmt(density * 100, 0) + "%"};
-    cells.push_back(Fmt(TimeColumnStore(ds, workload)) + "s");
+    cells.push_back(
+        Fmt(TimeColumnStore(ds, workload, nullptr, num_threads)) + "s");
     for (const auto& [name, factory] : BaselineFactories()) {
       (void)name;
       cells.push_back(Fmt(TimeBaseline(factory, ds, workload)) + "s");
@@ -38,4 +39,6 @@ void Run() {
 }  // namespace
 }  // namespace colgraph::bench
 
-int main() { colgraph::bench::Run(); }
+int main(int argc, char** argv) {
+  colgraph::bench::Run(colgraph::bench::ThreadCount(argc, argv));
+}

@@ -9,7 +9,7 @@
 namespace colgraph::bench {
 namespace {
 
-void Run() {
+void Run(size_t num_threads) {
   Title(
       "Figure 7 — run time vs space budget, 100 uniform aggregate queries, "
       "GNU");
@@ -19,7 +19,9 @@ void Run() {
 
   const Dataset ds = MakeDataset(MakeGnuBase(), "GNU", Scaled(65000), 1000,
                                  GnuRecordOptions(), 707);
-  ColGraphEngine engine = BuildEngine(ds);
+  EngineOptions engine_options;
+  engine_options.num_threads = num_threads;
+  ColGraphEngine engine = BuildEngine(ds, engine_options);
 
   QueryGenerator qgen(&ds.trunks, &ds.universe, 37);
   QueryGenOptions q_options;
@@ -35,15 +37,22 @@ void Run() {
                  selected.status().ToString().c_str());
     std::abort();
   }
+  // One batch across the engine's pool when --threads > 1; registration
+  // order (and so every column index) matches the serial loop.
   std::vector<std::pair<AggViewDef, size_t>> materialized;
   {
     ViewCatalog scratch;
-    for (const AggViewDef& def : *selected) {
-      auto column =
-          MaterializeAggView(def, &engine.mutable_relation(), &scratch);
-      if (!column.ok()) std::abort();
-      materialized.emplace_back(def, *column);
+    Stopwatch mat_watch;
+    auto columns = MaterializeAggViews(*selected, &engine.mutable_relation(),
+                                       &scratch, engine.pool());
+    const double mat_seconds = mat_watch.ElapsedSeconds();
+    if (!columns.ok()) std::abort();
+    for (size_t i = 0; i < selected->size(); ++i) {
+      materialized.emplace_back((*selected)[i], (*columns)[i]);
     }
+    std::printf("  materialized %zu aggregate views in %ss (%zu thread%s)\n",
+                materialized.size(), Fmt(mat_seconds).c_str(), num_threads,
+                num_threads == 1 ? "" : "s");
   }
   std::printf("  greedy selected %zu aggregate views\n", materialized.size());
 
@@ -78,9 +87,31 @@ void Run() {
          std::to_string(engine.stats().measure_columns_fetched / kReps),
          std::to_string(engine.stats().values_fetched / kReps)});
   }
+
+  // Thread-scaling coda: the whole aggregate workload through the batch
+  // API. Per-query results are bit-identical to the serial loop.
+  if (num_threads > 1) {
+    Stopwatch watch;
+    auto batch = engine.EvaluatePathAggBatch(workload, AggFn::kSum);
+    const double par_seconds = watch.ElapsedSeconds();
+    if (!batch.ok()) std::abort();
+    watch.Restart();
+    for (const GraphQuery& q : workload) {
+      auto result = engine.RunAggregateQuery(q, AggFn::kSum);
+      if (!result.ok()) std::abort();
+    }
+    const double ser_seconds = watch.ElapsedSeconds();
+    std::printf("  EvaluatePathAggBatch(100 queries): %ss with %zu threads "
+                "vs %ss serial (%.2fx)\n",
+                Fmt(par_seconds).c_str(), num_threads,
+                Fmt(ser_seconds).c_str(),
+                par_seconds > 0 ? ser_seconds / par_seconds : 0.0);
+  }
 }
 
 }  // namespace
 }  // namespace colgraph::bench
 
-int main() { colgraph::bench::Run(); }
+int main(int argc, char** argv) {
+  colgraph::bench::Run(colgraph::bench::ThreadCount(argc, argv));
+}

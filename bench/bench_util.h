@@ -5,8 +5,10 @@
 // as the corresponding paper table or figure.
 //
 // Environment:
-//   COLGRAPH_SCALE  multiplies all record counts (default 1.0; raise on a
-//                   bigger machine to approach the paper's scale).
+//   COLGRAPH_SCALE    multiplies all record counts (default 1.0; raise on a
+//                     bigger machine to approach the paper's scale).
+//   COLGRAPH_THREADS  worker-thread count for the harnesses that have a
+//                     parallel section (same as passing --threads=N).
 #pragma once
 
 #include <cstdio>
@@ -32,6 +34,26 @@ inline double ScaleFactor() {
 inline size_t Scaled(size_t base) {
   const double scaled = static_cast<double>(base) * ScaleFactor();
   return scaled < 1 ? 1 : static_cast<size_t>(scaled);
+}
+
+/// Thread count for a harness run: `--threads=N` on the command line wins,
+/// then COLGRAPH_THREADS, then 1 (serial — the paper's configuration).
+/// Every harness prints the same figures for any value; threads only move
+/// the wall clock (DESIGN.md §8).
+inline size_t ThreadCount(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--threads=";
+    if (arg.rfind(prefix, 0) == 0) {
+      const long v = std::atol(arg.c_str() + prefix.size());
+      return v > 1 ? static_cast<size_t>(v) : 1;
+    }
+  }
+  if (const char* env = std::getenv("COLGRAPH_THREADS")) {
+    const long v = std::atol(env);
+    return v > 1 ? static_cast<size_t>(v) : 1;
+  }
+  return 1;
 }
 
 /// The synthetic stand-in for the paper's NY road network.

@@ -25,17 +25,32 @@ inline std::vector<std::pair<std::string, StoreFactory>> BaselineFactories() {
 }
 
 /// Wall-clock seconds to run `workload` on the column store built from `ds`.
+/// With `num_threads > 1` the workload goes through EvaluateBatch across the
+/// engine's pool; the per-query results (and so `result_records`) are
+/// bit-identical to the serial loop.
 inline double TimeColumnStore(const Dataset& ds,
                               const std::vector<GraphQuery>& workload,
-                              size_t* result_records = nullptr) {
-  ColGraphEngine engine = BuildEngine(ds);
+                              size_t* result_records = nullptr,
+                              size_t num_threads = 1) {
+  EngineOptions options;
+  options.num_threads = num_threads;
+  ColGraphEngine engine = BuildEngine(ds, options);
   size_t total = 0;
   Stopwatch watch;
-  for (const GraphQuery& q : workload) {
-    auto result = engine.RunGraphQuery(q);
-    if (result.ok()) total += result->records.size();
+  double seconds = 0;
+  if (num_threads > 1) {
+    auto results = engine.EvaluateBatch(workload);
+    seconds = watch.ElapsedSeconds();
+    if (results.ok()) {
+      for (const MeasureTable& table : *results) total += table.records.size();
+    }
+  } else {
+    for (const GraphQuery& q : workload) {
+      auto result = engine.RunGraphQuery(q);
+      if (result.ok()) total += result->records.size();
+    }
+    seconds = watch.ElapsedSeconds();
   }
-  const double seconds = watch.ElapsedSeconds();
   if (result_records != nullptr) *result_records = total;
   return seconds;
 }

@@ -11,6 +11,7 @@
 #include "bitmap/bitmap.h"
 #include "columnstore/column.h"
 #include "graph/graph.h"
+#include "util/atomic_counter.h"
 #include "util/status.h"
 
 namespace colgraph {
@@ -18,12 +19,19 @@ namespace colgraph {
 /// \brief Column-fetch accounting, the store's analogue of the paper's I/O
 /// cost model ("cost of a query is proportional to the number of bitmaps
 /// fetched"). Benches report these next to wall-clock times.
+///
+/// The counters are relaxed atomics (util/atomic_counter.h) so concurrent
+/// query evaluation over one sealed relation is free of data races; totals
+/// are exact because every increment is atomic, and reading them after the
+/// parallel section completes is ordered by the pool's completion
+/// handshake. Reset() is not atomic as a whole — call it only while no
+/// reader is running.
 struct FetchStats {
-  uint64_t bitmap_columns_fetched = 0;
-  uint64_t measure_columns_fetched = 0;
-  uint64_t values_fetched = 0;
-  uint64_t partitions_touched = 0;
-  uint64_t partition_joins = 0;  ///< cross-partition recid merges performed
+  RelaxedCounter bitmap_columns_fetched;
+  RelaxedCounter measure_columns_fetched;
+  RelaxedCounter values_fetched;
+  RelaxedCounter partitions_touched;
+  RelaxedCounter partition_joins;  ///< cross-partition recid merges performed
 
   void Reset() { *this = FetchStats(); }
 };

@@ -11,7 +11,36 @@
 namespace colgraph {
 
 ColGraphEngine::ColGraphEngine(EngineOptions options)
-    : options_(options), relation_(options.relation) {}
+    : options_(options), relation_(options.relation) {
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+ColGraphEngine::ColGraphEngine(const ColGraphEngine& other)
+    : options_(other.options_),
+      catalog_(other.catalog_),
+      relation_(other.relation_),
+      views_(other.views_),
+      append_watermark_(other.append_watermark_) {
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+ColGraphEngine& ColGraphEngine::operator=(const ColGraphEngine& other) {
+  if (this == &other) return *this;
+  options_ = other.options_;
+  catalog_ = other.catalog_;
+  relation_ = other.relation_;
+  views_ = other.views_;
+  append_watermark_ = other.append_watermark_;
+  pool_.reset();
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  return *this;
+}
 
 ColGraphEngine ColGraphEngine::FromParts(EngineOptions options,
                                          EdgeCatalog catalog,
@@ -87,23 +116,31 @@ StatusOr<size_t> ColGraphEngine::SelectAndMaterializeGraphViews(
   if (options_.candidate_generator == CandidateGenerator::kApriori) {
     AprioriOptions apriori;
     apriori.min_support = std::max<size_t>(2, options_.view_min_support);
+    apriori.pool = pool_.get();
     COLGRAPH_ASSIGN_OR_RETURN(AprioriResult mined,
                               MineFrequentItemsets(universes, apriori));
     candidates = FilterSuperseded(mined, universes).itemsets;
   } else {
     CandidateGenOptions gen;
     gen.min_support = options_.view_min_support;
+    gen.pool = pool_.get();
     COLGRAPH_ASSIGN_OR_RETURN(candidates,
                               GenerateGraphViewCandidates(universes, gen));
   }
   const SetCoverSelection selection =
       GreedyExtendedSetCover(universes, candidates, budget);
 
+  // Materialize the whole selection as one batch: the per-view bitmap
+  // passes fan across the pool, registration stays in selection order.
+  std::vector<GraphViewDef> selected_defs;
+  selected_defs.reserve(selection.selected.size());
   for (size_t index : selection.selected) {
-    COLGRAPH_RETURN_NOT_OK(
-        MaterializeGraphView(candidates[index], &relation_, &views_).status());
+    selected_defs.push_back(candidates[index]);
   }
-  return selection.selected.size();
+  COLGRAPH_RETURN_NOT_OK(
+      MaterializeGraphViews(selected_defs, &relation_, &views_, pool_.get())
+          .status());
+  return selected_defs.size();
 }
 
 StatusOr<size_t> ColGraphEngine::SelectAndMaterializeAggViews(
@@ -111,10 +148,9 @@ StatusOr<size_t> ColGraphEngine::SelectAndMaterializeAggViews(
   COLGRAPH_ASSIGN_OR_RETURN(
       std::vector<AggViewDef> selected,
       SelectAggregateViews(workload, fn, catalog_, budget));
-  for (const AggViewDef& def : selected) {
-    COLGRAPH_RETURN_NOT_OK(
-        MaterializeAggView(def, &relation_, &views_).status());
-  }
+  COLGRAPH_RETURN_NOT_OK(
+      MaterializeAggViews(selected, &relation_, &views_, pool_.get())
+          .status());
   return selected.size();
 }
 

@@ -20,6 +20,7 @@
 #include "graph/graph.h"
 #include "query/engine.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 #include "views/view_defs.h"
 
 namespace colgraph {
@@ -42,12 +43,27 @@ struct EngineOptions {
   size_t view_min_support = 1;
   CandidateGenerator candidate_generator =
       CandidateGenerator::kIntersectionClosure;
+  /// Worker threads for batch query evaluation, view materialization, and
+  /// candidate support counting. <= 1 runs everything serially (no pool is
+  /// created). Results are bit-identical for every value — parallelism
+  /// only changes the wall clock (DESIGN.md §8).
+  size_t num_threads = 1;
 };
 
 /// \brief Facade over catalog + relation + views + query engine.
 class ColGraphEngine {
  public:
   explicit ColGraphEngine(EngineOptions options = {});
+
+  // Copying duplicates all engine state and spawns a *fresh* worker pool of
+  // the same size (pools hold threads, not data, so they are never shared
+  // between engine instances) — this keeps the trace loader's staged-copy
+  // commit working for threaded engines. Moves transfer the pool.
+  ColGraphEngine(const ColGraphEngine& other);
+  ColGraphEngine& operator=(const ColGraphEngine& other);
+  ColGraphEngine(ColGraphEngine&&) = default;
+  ColGraphEngine& operator=(ColGraphEngine&&) = default;
+  ~ColGraphEngine() = default;
 
   // --- Ingest (before Seal). ---
 
@@ -104,6 +120,23 @@ class ColGraphEngine {
   [[nodiscard]] StatusOr<PathAggResult> RunAggregateQuery(
       const GraphQuery& query, AggFn fn,
       const QueryOptions& options = {}) const;
+
+  /// Batch evaluation across the engine's worker pool (serial when
+  /// options().num_threads <= 1); slot i holds the result of queries[i],
+  /// bit-identical to looping RunGraphQuery.
+  [[nodiscard]] StatusOr<std::vector<MeasureTable>> EvaluateBatch(
+      const std::vector<GraphQuery>& queries,
+      const QueryOptions& options = {}) const {
+    return query_engine().EvaluateBatch(queries, options, pool_.get());
+  }
+  /// Batch path aggregation; slot i holds RunAggregateQuery(queries[i], fn).
+  [[nodiscard]] StatusOr<std::vector<PathAggResult>> EvaluatePathAggBatch(
+      const std::vector<GraphQuery>& queries, AggFn fn,
+      const QueryOptions& options = {}) const {
+    return query_engine().EvaluatePathAggBatch(queries, fn, options,
+                                               pool_.get());
+  }
+
   /// Aggregation along one explicit (possibly open-ended) path.
   [[nodiscard]] StatusOr<PathAggResult> AggregateAlongPath(
       const Path& path, AggFn fn, const QueryOptions& options = {}) const {
@@ -131,12 +164,18 @@ class ColGraphEngine {
   }
   FetchStats& stats() const { return relation_.stats(); }
   size_t num_records() const { return relation_.num_records(); }
+  /// The engine's worker pool; nullptr when options().num_threads <= 1.
+  ThreadPool* pool() const { return pool_.get(); }
 
  private:
   EngineOptions options_;
   EdgeCatalog catalog_;
   MasterRelation relation_;
   ViewCatalog views_;
+  /// Workers shared by every parallel section of this engine (batch
+  /// queries, materialization, candidate counting). unique_ptr keeps the
+  /// engine movable; created once at construction, never rebuilt.
+  std::unique_ptr<ThreadPool> pool_;
   /// Record count at the last BeginAppend (delta view maintenance).
   size_t append_watermark_ = 0;
 };

@@ -48,10 +48,16 @@ struct QueryOptions {
   bool order_by_selectivity = true;
 };
 
+class ThreadPool;
+
 /// \brief Evaluator bound to one relation + catalogs.
 ///
-/// Thread-compatible: concurrent const use is safe except for the shared
-/// FetchStats counters in MasterRelation.
+/// Thread-safe: all query entry points are const reads over the sealed
+/// relation and catalogs, and the shared FetchStats counters are relaxed
+/// atomics, so any number of threads may evaluate queries concurrently
+/// (TSan-verified by tests/concurrency_test.cc). Materializing or
+/// replacing *views* concurrently with queries that use those views is the
+/// one excluded combination — see DESIGN.md §8 for the contract.
 class QueryEngine {
  public:
   QueryEngine(const MasterRelation* relation, const EdgeCatalog* catalog,
@@ -100,6 +106,26 @@ class QueryEngine {
   [[nodiscard]] StatusOr<PathAggResult> RunAggregateQuery(
       const GraphQuery& query, AggFn fn,
       const QueryOptions& options = {}) const;
+
+  // --- Batch evaluation (inter-query parallelism). ---
+  //
+  // A workload of independent queries fans out across `pool` (nullptr or a
+  // serial pool = inline, deterministic order). Results land in pre-sized,
+  // index-addressed slots — never appended — so the output is bit-identical
+  // to serial evaluation for every thread count. The first failing query
+  // (lowest index) aborts the batch with its Status.
+
+  /// Evaluates `queries[i]` into slot i of the result, one RunGraphQuery
+  /// per query, in parallel across `pool`.
+  [[nodiscard]] StatusOr<std::vector<MeasureTable>> EvaluateBatch(
+      const std::vector<GraphQuery>& queries, const QueryOptions& options = {},
+      ThreadPool* pool = nullptr) const;
+
+  /// Evaluates `queries[i]` into slot i, one RunAggregateQuery(fn) per
+  /// query, in parallel across `pool`.
+  [[nodiscard]] StatusOr<std::vector<PathAggResult>> EvaluatePathAggBatch(
+      const std::vector<GraphQuery>& queries, AggFn fn,
+      const QueryOptions& options = {}, ThreadPool* pool = nullptr) const;
 
   /// Aggregates F along one explicit path, honoring open ends
   /// (Section 3.3): e.g. (D,E,G) folds the edges and E's own measure but

@@ -3,6 +3,11 @@
 // statistics, such as the average delivery time and the standard
 // deviation" (Section 3.4). These helpers fold the flat per-record values
 // a path aggregation returns into such summaries.
+//
+// Concurrency audit (PR 3): unlike the FetchStats counters in
+// columnstore/master_relation.h, everything here is a pure function over
+// caller-owned inputs — no shared mutable state, nothing to make atomic.
+// Concurrent calls are trivially safe.
 #pragma once
 
 #include <algorithm>

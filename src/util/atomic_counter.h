@@ -1,0 +1,66 @@
+// Relaxed atomic event counter. The FetchStats accounting in the master
+// relation is bumped from read paths that PR 3 made concurrent; plain
+// uint64_t increments there were the codebase's one documented data race.
+// A RelaxedCounter makes those increments atomic while keeping the
+// call sites (`++c`, `c += n`, comparisons, printing) source-compatible.
+//
+// Memory ordering: all operations are std::memory_order_relaxed. The
+// counters are *statistics* — monotone event tallies that no control flow
+// depends on — so only atomicity (no torn or lost increments) matters, not
+// inter-thread ordering. Readers that want a consistent total simply read
+// after joining / completing the parallel section, where the ParallelFor
+// completion handshake (mutex + condition variable) already provides the
+// necessary happens-before edge.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+
+namespace colgraph {
+
+/// \brief uint64_t event counter with atomic relaxed increments and
+/// value-semantics (copyable, so stats structs stay assignable/resettable).
+/// Copies snapshot the value; copying concurrently with increments yields
+/// some valid point-in-time value.
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor) drop-in for uint64_t fields
+  RelaxedCounter(uint64_t value) : value_(value) {}
+
+  RelaxedCounter(const RelaxedCounter& other) : value_(other.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) {
+    value_.store(other.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(uint64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+    return *this;
+  }
+
+  uint64_t load() const { return value_.load(std::memory_order_relaxed); }
+  // NOLINTNEXTLINE(google-explicit-constructor) reads stay plain uint64_t
+  operator uint64_t() const { return load(); }
+
+  RelaxedCounter& operator++() {
+    value_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  uint64_t operator++(int) {
+    return value_.fetch_add(1, std::memory_order_relaxed);
+  }
+  RelaxedCounter& operator+=(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+inline std::ostream& operator<<(std::ostream& os, const RelaxedCounter& c) {
+  return os << c.load();
+}
+
+}  // namespace colgraph

@@ -1,0 +1,190 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <string>
+
+#include "util/check.h"
+#include "util/failpoint.h"
+
+namespace colgraph {
+
+namespace {
+
+constexpr size_t kNoError = std::numeric_limits<size_t>::max();
+
+// The pool whose chunk this thread is currently executing (nullptr outside
+// any ParallelFor). Used to reject nested ParallelFor on the same pool,
+// which would block a worker on work only that same worker could run.
+thread_local const ThreadPool* tls_active_pool = nullptr;
+
+}  // namespace
+
+// Shared state of one ParallelFor call. Heap-allocated and shared with the
+// queued runner tasks: a runner that dequeues after every chunk was already
+// claimed (the caller drained them itself) must still find the job alive.
+struct ThreadPool::ParallelForJob {
+  const ThreadPool* pool = nullptr;
+  const ChunkFn* fn = nullptr;
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+
+  std::atomic<size_t> next_chunk{0};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t completed = 0;           // chunks finished (guarded by mu)
+  size_t error_chunk = kNoError;  // lowest failing chunk (guarded by mu)
+  Status error;                   // its Status (guarded by mu)
+};
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  if (serial()) {
+    task();
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    COLGRAPH_DCHECK(!stopping_) << "Schedule on a stopping ThreadPool";
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+Status ThreadPool::RunOneChunk(const ChunkFn& fn, size_t begin, size_t end) {
+  // Fault injection for the concurrency tests: an armed "thread_pool:task"
+  // point fails one chunk without touching caller code.
+  Status injected = failpoint::Inject("thread_pool:task");
+  if (!injected.ok()) return injected;
+  try {
+    return fn(begin, end);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("ParallelFor task threw: ") +
+                            e.what());
+  } catch (...) {
+    return Status::Internal("ParallelFor task threw a non-standard exception");
+  }
+}
+
+void ThreadPool::RunChunks(ParallelForJob* job) {
+  const ThreadPool* saved = tls_active_pool;
+  tls_active_pool = job->pool;
+  for (;;) {
+    const size_t c = job->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job->num_chunks) break;
+    const size_t chunk_begin = job->begin + c * job->grain;
+    const size_t chunk_end = std::min(job->end, chunk_begin + job->grain);
+    const Status st = RunOneChunk(*job->fn, chunk_begin, chunk_end);
+    {
+      const std::lock_guard<std::mutex> lock(job->mu);
+      if (!st.ok() && c < job->error_chunk) {
+        job->error_chunk = c;
+        job->error = st;
+      }
+      if (++job->completed == job->num_chunks) job->done_cv.notify_all();
+    }
+  }
+  tls_active_pool = saved;
+}
+
+Status ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                               const ChunkFn& fn) {
+  if (begin >= end) return Status::OK();
+  const size_t range = end - begin;
+  if (grain == 0) {
+    // Auto grain: ~4 chunks per executor balances stealing granularity
+    // against per-chunk bookkeeping.
+    grain = std::max<size_t>(1, range / (4 * (workers_.size() + 1)));
+  }
+  const size_t num_chunks = (range + grain - 1) / grain;
+
+  const bool nested = tls_active_pool == this;
+  COLGRAPH_DCHECK(!nested)
+      << "nested ParallelFor on the same ThreadPool: a blocked worker "
+         "cannot run its own dependency; restructure to a single flat "
+         "ParallelFor (falls back to inline serial execution in NDEBUG)";
+  if (serial() || nested || num_chunks == 1) {
+    // Inline serial path: ascending chunk order, short-circuits at the
+    // first error (which is therefore the lowest-indexed failing chunk,
+    // matching the parallel path's error selection exactly).
+    const ThreadPool* saved = tls_active_pool;
+    tls_active_pool = this;
+    Status st = Status::OK();
+    for (size_t c = 0; c < num_chunks && st.ok(); ++c) {
+      const size_t chunk_begin = begin + c * grain;
+      st = RunOneChunk(fn, chunk_begin, std::min(end, chunk_begin + grain));
+    }
+    tls_active_pool = saved;
+    return st;
+  }
+
+  auto job = std::make_shared<ParallelForJob>();
+  job->pool = this;
+  job->fn = &fn;
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->num_chunks = num_chunks;
+
+  // The caller claims chunks too, so only num_chunks - 1 helpers can ever
+  // be useful. Runners hold the job alive; a runner that starts after the
+  // caller drained every chunk claims nothing and exits.
+  const size_t runners = std::min(workers_.size(), num_chunks - 1);
+  for (size_t i = 0; i < runners; ++i) {
+    Schedule([job] { RunChunks(job.get()); });
+  }
+  RunChunks(job.get());
+
+  std::unique_lock<std::mutex> lock(job->mu);
+  job->done_cv.wait(lock, [&] { return job->completed == job->num_chunks; });
+  return job->error_chunk == kNoError ? Status::OK() : job->error;
+}
+
+Status ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
+                   const ThreadPool::ChunkFn& fn) {
+  if (pool != nullptr) return pool->ParallelFor(begin, end, grain, fn);
+  // Serial mode: a worker-less pool funnels through the exact same chunking,
+  // failpoint, and exception-capture path, just inline and in order.
+  ThreadPool inline_pool(0);
+  return inline_pool.ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace colgraph

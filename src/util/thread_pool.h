@@ -1,0 +1,98 @@
+// Fixed-size worker pool with a blocking, error-propagating ParallelFor —
+// the single concurrency primitive of the codebase (the repo lint bans raw
+// std::thread everywhere else in src/). Design goals, in order:
+//
+//   1. *Determinism*: parallel sections write into pre-sized, index-addressed
+//      output slots and never append, so results are bit-identical to serial
+//      execution regardless of the worker count. A pool constructed with 0
+//      workers ("serial mode") runs everything inline on the calling thread
+//      in ascending chunk order — inject it in tests to get a deterministic
+//      schedule through the exact same code path.
+//   2. *Error propagation*: ParallelFor returns the Status of the failing
+//      chunk with the lowest index (deterministic across thread counts);
+//      exceptions escaping a task are captured and converted to
+//      Status::Internal. An error never deadlocks the pool: the remaining
+//      chunks still run, the call always returns, and outputs are only
+//      meaningful when the returned Status is OK.
+//   3. *No oversubscription*: the calling thread participates in chunk
+//      execution, so a ParallelFor makes progress even when every worker is
+//      busy with other callers' chunks. Nested ParallelFor on the same pool
+//      is rejected with a DCHECK (and degrades to inline serial execution in
+//      NDEBUG builds rather than risking a queue deadlock).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace colgraph {
+
+/// \brief Fixed-size thread pool. Construct once, share freely: Schedule and
+/// ParallelFor are thread-safe and may be called concurrently from any
+/// number of threads.
+class ThreadPool {
+ public:
+  /// A chunk task: processes the half-open index range [begin, end).
+  using ChunkFn = std::function<Status(size_t begin, size_t end)>;
+
+  /// Spawns `num_threads` workers; 0 creates a *serial* pool that executes
+  /// everything inline on the calling thread (deterministic order).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains every scheduled task, then joins the workers. Tasks scheduled
+  /// before destruction are guaranteed to run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+  /// True for a 0-worker pool: all execution is inline and deterministic.
+  bool serial() const { return workers_.empty(); }
+
+  /// Runs `fn` over [begin, end) in chunks of `grain` indices, blocking
+  /// until every chunk finished (or was drained after an error). `grain` of
+  /// 0 picks a chunk size that yields ~4 chunks per executor. Returns OK,
+  /// or the error of the lowest-indexed failing chunk.
+  ///
+  /// Must not be called from inside a task of the same pool (DCHECK; inline
+  /// serial fallback in NDEBUG builds).
+  [[nodiscard]] Status ParallelFor(size_t begin, size_t end, size_t grain,
+                                   const ChunkFn& fn);
+
+  /// Enqueues one fire-and-forget task (runs inline on a serial pool).
+  void Schedule(std::function<void()> task);
+
+  /// Worker count matching the machine (>= 1).
+  static size_t DefaultThreadCount();
+
+ private:
+  struct ParallelForJob;
+
+  void WorkerLoop();
+  /// Claims and runs chunks of `job` until none remain.
+  static void RunChunks(ParallelForJob* job);
+  /// Runs one chunk, converting escaping exceptions to Status.
+  static Status RunOneChunk(const ChunkFn& fn, size_t begin, size_t end);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Pool-optional helper used by the engine layers: a null pool means serial
+/// inline execution (identical chunking, error and exception semantics via a
+/// shared code path). This is the injectable "serial mode" every parallel
+/// call site supports.
+[[nodiscard]] Status ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                                 size_t grain, const ThreadPool::ChunkFn& fn);
+
+}  // namespace colgraph

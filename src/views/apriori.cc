@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "util/thread_pool.h"
+
 namespace colgraph {
 
 namespace {
@@ -92,14 +94,27 @@ StatusOr<AprioriResult> MineFrequentItemsets(
 
   for (size_t k = 2; k <= options.max_itemset_size && !level.empty(); ++k) {
     const std::vector<Itemset> candidates = GenerateCandidates(level, frequent);
+    // Support counting dominates each level and every candidate's count is
+    // independent — fan it across the pool into pre-sized slots. The
+    // frequency filter below stays serial and in candidate order, so the
+    // mined result is identical for every thread count.
+    std::vector<size_t> supports(candidates.size());
+    COLGRAPH_RETURN_NOT_OK(ParallelFor(
+        options.pool, 0, candidates.size(), /*grain=*/0,
+        [&](size_t chunk_begin, size_t chunk_end) -> Status {
+          for (size_t c = chunk_begin; c < chunk_end; ++c) {
+            supports[c] = CountSupport(transactions, candidates[c]);
+          }
+          return Status::OK();
+        }));
     std::vector<Itemset> next_level;
-    for (const Itemset& cand : candidates) {
-      const size_t support = CountSupport(transactions, cand);
-      if (support < options.min_support) continue;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      const Itemset& cand = candidates[c];
+      if (supports[c] < options.min_support) continue;
       next_level.push_back(cand);
       frequent.insert(cand);
       result.itemsets.push_back(GraphViewDef{cand});
-      result.supports.push_back(support);
+      result.supports.push_back(supports[c]);
       if (result.itemsets.size() > options.max_itemsets) {
         return Status::OutOfRange(
             "Apriori exceeded max_itemsets; raise min_support");

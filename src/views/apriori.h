@@ -15,6 +15,8 @@
 
 namespace colgraph {
 
+class ThreadPool;
+
 struct AprioriOptions {
   /// Minimum number of transactions (queries) an itemset must occur in.
   size_t min_support = 2;
@@ -22,6 +24,11 @@ struct AprioriOptions {
   size_t max_itemset_size = 64;
   /// Hard cap on the total number of frequent itemsets produced.
   size_t max_itemsets = 500000;
+  /// Fans each level's candidate support counting (the dominant cost:
+  /// |candidates| × |transactions| subset tests) across this pool;
+  /// nullptr = serial. Mining output is identical either way — supports
+  /// land in per-candidate slots and level filtering stays serial.
+  ThreadPool* pool = nullptr;
 };
 
 struct AprioriResult {

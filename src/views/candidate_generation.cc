@@ -5,6 +5,8 @@
 #include <set>
 #include <unordered_set>
 
+#include "util/thread_pool.h"
+
 namespace colgraph {
 
 namespace {
@@ -61,17 +63,33 @@ StatusOr<std::vector<GraphViewDef>> GenerateGraphViewCandidates(
   }
 
   // Support signature: the exact set of queries containing the candidate.
+  // Counting support is the hot part (|Cv| × |workload| subset tests) and
+  // each candidate's signature is independent, so it fans across the pool
+  // into pre-sized slots; the merge below stays serial in candidate order.
+  const std::vector<EdgeSet> candidates(pool.begin(), pool.end());
+  std::vector<std::vector<uint32_t>> signatures(candidates.size());
+  COLGRAPH_RETURN_NOT_OK(ParallelFor(
+      options.pool, 0, candidates.size(), /*grain=*/0,
+      [&](size_t chunk_begin, size_t chunk_end) -> Status {
+        for (size_t c = chunk_begin; c < chunk_end; ++c) {
+          for (uint32_t qi = 0; qi < queries.size(); ++qi) {
+            if (IsSubset(candidates[c], queries[qi])) {
+              signatures[c].push_back(qi);
+            }
+          }
+        }
+        return Status::OK();
+      }));
+
   // Monotonicity (supersedes) filter: among candidates with identical
   // signatures, only the largest is not superseded; candidates below
   // min_support are dropped entirely.
   std::map<std::vector<uint32_t>, EdgeSet> best_per_signature;
-  for (const EdgeSet& cand : pool) {
-    std::vector<uint32_t> signature;
-    for (uint32_t qi = 0; qi < queries.size(); ++qi) {
-      if (IsSubset(cand, queries[qi])) signature.push_back(qi);
-    }
-    if (signature.size() < options.min_support) continue;
-    auto [it, inserted] = best_per_signature.emplace(std::move(signature), cand);
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const EdgeSet& cand = candidates[c];
+    if (signatures[c].size() < options.min_support) continue;
+    auto [it, inserted] =
+        best_per_signature.emplace(std::move(signatures[c]), cand);
     if (!inserted && cand.size() > it->second.size()) it->second = cand;
   }
 

@@ -21,6 +21,8 @@
 
 namespace colgraph {
 
+class ThreadPool;
+
 struct CandidateGenOptions {
   /// Minimum number of workload queries a candidate must be contained in.
   /// 1 keeps every query graph itself as a candidate.
@@ -28,6 +30,11 @@ struct CandidateGenOptions {
   /// Hard cap on generated candidates (guards pathological overlap where
   /// |Cv| is exponential in the number of queries, Section 5.2).
   size_t max_candidates = 200000;
+  /// Fans the per-candidate support counting (the |Cv| × |workload| subset
+  /// scan) across this pool; nullptr = serial. Output is identical either
+  /// way: each candidate's support signature lands in its own slot and the
+  /// monotonicity filter runs serially in candidate order.
+  ThreadPool* pool = nullptr;
 };
 
 /// \brief Generates the candidate graph views for a workload of query edge

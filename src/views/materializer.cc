@@ -1,6 +1,7 @@
 #include "views/materializer.h"
 
 #include "query/agg_fn.h"
+#include "util/thread_pool.h"
 
 namespace colgraph {
 
@@ -98,6 +99,130 @@ StatusOr<size_t> MaterializeAggView(const AggViewDef& def,
   const size_t index = relation->AddAggregateView(std::move(mp));
   catalog->AddAggView(def, index);
   return index;
+}
+
+StatusOr<std::vector<size_t>> MaterializeGraphViews(
+    const std::vector<GraphViewDef>& defs, MasterRelation* relation,
+    ViewCatalog* catalog, ThreadPool* pool) {
+  if (!relation->sealed()) {
+    return Status::InvalidArgument("materialize requires a sealed relation");
+  }
+  // Validate everything up front (serially, so the first bad definition in
+  // order is reported) — the parallel phase then cannot fail, and on error
+  // the relation and catalog are untouched.
+  for (const GraphViewDef& def : defs) {
+    if (def.edges.empty()) {
+      return Status::InvalidArgument("cannot materialize an empty graph view");
+    }
+    COLGRAPH_RETURN_NOT_OK(ValidateIds(def.edges, *relation));
+  }
+
+  // Phase 1 (parallel): each view's conjunction bitmap is an independent
+  // read-only pass over the sealed base columns, computed into its own
+  // pre-sized slot.
+  std::vector<Bitmap> bitmaps(defs.size());
+  COLGRAPH_RETURN_NOT_OK(
+      ParallelFor(pool, 0, defs.size(), /*grain=*/1,
+                  [&](size_t begin, size_t end) -> Status {
+                    for (size_t i = begin; i < end; ++i) {
+                      bitmaps[i] = ConjunctionBitmap(defs[i].edges, *relation);
+                    }
+                    return Status::OK();
+                  }));
+
+  // Phase 2 (serial): register in definition order so view indices are
+  // identical to one-by-one materialization regardless of thread count.
+  std::vector<size_t> indices;
+  indices.reserve(defs.size());
+  for (size_t i = 0; i < defs.size(); ++i) {
+    const size_t index = relation->AddGraphView(std::move(bitmaps[i]));
+    catalog->AddGraphView(defs[i], index);
+    indices.push_back(index);
+  }
+  return indices;
+}
+
+StatusOr<std::vector<size_t>> MaterializeAggViews(
+    const std::vector<AggViewDef>& defs, MasterRelation* relation,
+    ViewCatalog* catalog, ThreadPool* pool) {
+  if (!relation->sealed()) {
+    return Status::InvalidArgument("materialize requires a sealed relation");
+  }
+  for (const AggViewDef& def : defs) {
+    if (def.elements.size() < 2) {
+      return Status::InvalidArgument(
+          "aggregate views must cover at least two elements; single-element "
+          "measures are already stored in the base schema");
+    }
+    COLGRAPH_RETURN_NOT_OK(ValidateIds(def.elements, *relation));
+  }
+
+  std::vector<MeasureColumn> columns(defs.size());
+  COLGRAPH_RETURN_NOT_OK(ParallelFor(
+      pool, 0, defs.size(), /*grain=*/1,
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          COLGRAPH_ASSIGN_OR_RETURN(columns[i],
+                                    ComputeAggColumn(defs[i], *relation));
+        }
+        return Status::OK();
+      }));
+
+  std::vector<size_t> indices;
+  indices.reserve(defs.size());
+  for (size_t i = 0; i < defs.size(); ++i) {
+    const size_t index = relation->AddAggregateView(std::move(columns[i]));
+    catalog->AddAggView(defs[i], index);
+    indices.push_back(index);
+  }
+  return indices;
+}
+
+Status RefreshAllViewsParallel(MasterRelation* relation,
+                               const ViewCatalog& catalog, ThreadPool* pool) {
+  if (!relation->sealed()) {
+    return Status::InvalidArgument("refresh requires a sealed relation");
+  }
+  const auto& graph_views = catalog.graph_views();
+  const auto& agg_views = catalog.agg_views();
+  for (const auto& [def, index] : graph_views) {
+    (void)index;
+    COLGRAPH_RETURN_NOT_OK(ValidateIds(def.edges, *relation));
+  }
+  for (const auto& [def, index] : agg_views) {
+    (void)index;
+    COLGRAPH_RETURN_NOT_OK(ValidateIds(def.elements, *relation));
+  }
+
+  // Recompute all replacement columns in parallel (read-only over the base
+  // columns), then swap them in serially in catalog order.
+  std::vector<Bitmap> bitmaps(graph_views.size());
+  COLGRAPH_RETURN_NOT_OK(ParallelFor(
+      pool, 0, graph_views.size(), /*grain=*/1,
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          bitmaps[i] = ConjunctionBitmap(graph_views[i].first.edges, *relation);
+        }
+        return Status::OK();
+      }));
+  std::vector<MeasureColumn> columns(agg_views.size());
+  COLGRAPH_RETURN_NOT_OK(ParallelFor(
+      pool, 0, agg_views.size(), /*grain=*/1,
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          COLGRAPH_ASSIGN_OR_RETURN(
+              columns[i], ComputeAggColumn(agg_views[i].first, *relation));
+        }
+        return Status::OK();
+      }));
+
+  for (size_t i = 0; i < graph_views.size(); ++i) {
+    relation->ReplaceGraphView(graph_views[i].second, std::move(bitmaps[i]));
+  }
+  for (size_t i = 0; i < agg_views.size(); ++i) {
+    relation->ReplaceAggregateView(agg_views[i].second, std::move(columns[i]));
+  }
+  return Status::OK();
 }
 
 Status RefreshViewsIncremental(MasterRelation* relation,

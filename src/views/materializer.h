@@ -3,11 +3,15 @@
 // the paper's key practicality argument versus mined graph indexes.
 #pragma once
 
+#include <vector>
+
 #include "columnstore/master_relation.h"
 #include "util/status.h"
 #include "views/view_defs.h"
 
 namespace colgraph {
+
+class ThreadPool;
 
 /// \brief Materializes a graph view: ANDs the bitmaps of the view's edges
 /// into one new bitmap column bv. Registers the view in `catalog` and
@@ -25,6 +29,27 @@ StatusOr<size_t> MaterializeAggView(const AggViewDef& def,
                                     MasterRelation* relation,
                                     ViewCatalog* catalog);
 
+// --- Batch materialization (intra-materialization parallelism). ---
+//
+// Each view's column is an independent read-only pass over the sealed base
+// columns, so a batch computes all of them across `pool` (nullptr = serial)
+// and then registers the results serially in definition order. View
+// indices, bitmap words and packed values are therefore bit-identical to
+// materializing the definitions one by one — only the wall clock changes.
+// Validation happens up front: on error nothing is registered.
+
+/// \brief Materializes every definition in `defs`; returns the relation
+/// view index of each, aligned with `defs`.
+StatusOr<std::vector<size_t>> MaterializeGraphViews(
+    const std::vector<GraphViewDef>& defs, MasterRelation* relation,
+    ViewCatalog* catalog, ThreadPool* pool = nullptr);
+
+/// \brief Materializes every aggregate-view definition in `defs`; returns
+/// the relation's aggregate-view index of each, aligned with `defs`.
+StatusOr<std::vector<size_t>> MaterializeAggViews(
+    const std::vector<AggViewDef>& defs, MasterRelation* relation,
+    ViewCatalog* catalog, ThreadPool* pool = nullptr);
+
 /// \brief Recomputes every materialized view column registered in
 /// `catalog` from the current base columns — the maintenance step after
 /// incremental ingest (new records make the old bv/mp/bp columns stale).
@@ -40,5 +65,11 @@ Status RefreshAllViews(MasterRelation* relation, const ViewCatalog& catalog);
 Status RefreshViewsIncremental(MasterRelation* relation,
                                const ViewCatalog& catalog,
                                size_t first_new_record);
+
+/// \brief RefreshAllViews with the recomputation fanned across `pool`
+/// (one task per view; replacement stays serial and in catalog order, so
+/// the refreshed columns are bit-identical to the serial refresh).
+Status RefreshAllViewsParallel(MasterRelation* relation,
+                               const ViewCatalog& catalog, ThreadPool* pool);
 
 }  // namespace colgraph

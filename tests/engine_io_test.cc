@@ -22,7 +22,12 @@ NodeRef N(NodeId id, uint32_t occ = 0) { return NodeRef{id, occ}; }
 
 class EngineIoTest : public ::testing::Test {
  protected:
-  std::string path_ = ::testing::TempDir() + "colgraph_engine_io_test.bin";
+  // Per-test file name: ctest runs each test as its own process, so a
+  // shared name would let parallel tests clobber each other.
+  std::string path_ =
+      ::testing::TempDir() + "colgraph_engine_io_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".bin";
   void TearDown() override { std::remove(path_.c_str()); }
 };
 

@@ -16,7 +16,12 @@ constexpr uint32_t kMagic = 0x54534554;  // "TEST"
 
 class IoUtilTest : public ::testing::Test {
  protected:
-  std::string path_ = ::testing::TempDir() + "colgraph_io_util_test.bin";
+  // Per-test file name: ctest runs each test as its own process, so a
+  // shared name would let parallel tests clobber each other.
+  std::string path_ =
+      ::testing::TempDir() + "colgraph_io_util_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".bin";
   void TearDown() override {
     std::remove(path_.c_str());
     std::remove((path_ + ".tmp").c_str());

@@ -1,11 +1,12 @@
 // Deliberately broken fixture for lint_invariants_test: raw assert, stdout
-// in library code, a dropped Status, and a raw file stream that bypasses
-// io_util.
+// in library code, a dropped Status, a raw file stream that bypasses
+// io_util, and a raw std::thread that bypasses util/thread_pool.h.
 #include "bad.h"
 
 #include <cassert>
 #include <fstream>
 #include <iostream>
+#include <thread>
 
 namespace colgraph {
 
@@ -13,6 +14,8 @@ void UseThings(int x) {
   assert(x > 0);
   std::cout << "debugging " << x << "\n";
   std::ofstream sneaky("/tmp/raw.bin");
+  std::thread rogue([] {});
+  rogue.join();
   DoFallibleThing();
 }
 

@@ -18,7 +18,12 @@ namespace {
 
 class PersistenceTest : public ::testing::Test {
  protected:
-  std::string path_ = ::testing::TempDir() + "colgraph_persist_test.bin";
+  // Per-test file name: ctest runs each test as its own process, so a
+  // shared name would let parallel tests clobber each other.
+  std::string path_ =
+      ::testing::TempDir() + "colgraph_persist_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".bin";
   void TearDown() override { std::remove(path_.c_str()); }
 };
 

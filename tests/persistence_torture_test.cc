@@ -122,7 +122,11 @@ Status LoadEngine(const std::string& path) {
 
 class PersistenceTortureTest : public ::testing::Test {
  protected:
-  std::string path_ = ::testing::TempDir() + "colgraph_torture.bin";
+  // Per-test file name: ctest runs each test as its own process, so a
+  // shared name would let parallel torture tests clobber each other.
+  std::string path_ =
+      ::testing::TempDir() + "colgraph_torture_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".bin";
   void TearDown() override { std::remove(path_.c_str()); }
 };
 

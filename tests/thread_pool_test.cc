@@ -1,0 +1,276 @@
+// Unit tests for the ThreadPool / ParallelFor primitive: chunk coverage,
+// grain handling, serial-mode determinism, error and exception propagation,
+// nested-call rejection, and shutdown semantics. The cross-layer tests that
+// hammer the engine through the pool live in concurrency_test.cc and
+// determinism_test.cc (ctest label: concurrency).
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/failpoint.h"
+
+namespace colgraph {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  const Status st =
+      pool.ParallelFor(0, kN, /*grain=*/7, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+        return Status::OK();
+      });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokesTheTask) {
+  ThreadPool pool(2);
+  bool called = false;
+  Status st = pool.ParallelFor(5, 5, 1, [&](size_t, size_t) {
+    called = true;
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  st = pool.ParallelFor(7, 3, 1, [&](size_t, size_t) {
+    called = true;
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ChunksRespectGrainAndRangeBounds) {
+  ThreadPool pool(3);
+  constexpr size_t kBegin = 10;
+  constexpr size_t kEnd = 103;  // 93 indices: full chunks of 8 + one of 5
+  constexpr size_t kGrain = 8;
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  const Status st =
+      pool.ParallelFor(kBegin, kEnd, kGrain, [&](size_t begin, size_t end) {
+        const std::lock_guard<std::mutex> lock(mu);
+        chunks.emplace_back(begin, end);
+        return Status::OK();
+      });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_EQ(chunks.size(), (kEnd - kBegin + kGrain - 1) / kGrain);
+  size_t expected_begin = kBegin;
+  for (const auto& [begin, end] : chunks) {
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_LE(end - begin, kGrain);
+    EXPECT_LE(end, kEnd);
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, kEnd);
+}
+
+TEST(ThreadPoolTest, AutoGrainCoversTheRange) {
+  ThreadPool pool(2);
+  constexpr size_t kN = 257;  // prime-ish: exercises the ragged last chunk
+  std::vector<std::atomic<int>> hits(kN);
+  const Status st =
+      pool.ParallelFor(0, kN, /*grain=*/0, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+        return Status::OK();
+      });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SerialPoolRunsInlineInAscendingOrder) {
+  ThreadPool pool(0);
+  EXPECT_TRUE(pool.serial());
+  EXPECT_EQ(pool.num_threads(), 0u);
+  std::vector<size_t> order;
+  const std::thread::id caller = std::this_thread::get_id();
+  const Status st = pool.ParallelFor(0, 20, 3, [&](size_t begin, size_t end) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    for (size_t i = begin; i < end; ++i) order.push_back(i);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(order.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(ThreadPoolTest, NullPoolHelperIsSerialMode) {
+  std::vector<size_t> order;
+  const Status st =
+      ParallelFor(nullptr, 0, 10, 4, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) order.push_back(i);
+        return Status::OK();
+      });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(order.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(ThreadPoolTest, LowestIndexedFailingChunkWinsRegardlessOfSchedule) {
+  // Chunks 3, 7 and 9 fail; the returned Status must always be chunk 3's,
+  // for any interleaving and for serial execution alike.
+  const auto fn = [](size_t begin, size_t) -> Status {
+    if (begin == 3 || begin == 7 || begin == 9) {
+      return Status::IOError("chunk " + std::to_string(begin));
+    }
+    return Status::OK();
+  };
+  for (const size_t threads : {size_t{0}, size_t{2}, size_t{8}}) {
+    ThreadPool pool(threads);
+    for (int repeat = 0; repeat < 20; ++repeat) {
+      const Status st = pool.ParallelFor(0, 12, /*grain=*/1, fn);
+      ASSERT_TRUE(st.IsIOError());
+      EXPECT_EQ(st.message(), "chunk 3") << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, EscapingExceptionBecomesInternalStatus) {
+  for (const size_t threads : {size_t{0}, size_t{4}}) {
+    ThreadPool pool(threads);
+    const Status st = pool.ParallelFor(0, 8, 1, [](size_t begin, size_t) {
+      if (begin == 2) throw std::runtime_error("boom");
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.IsInternal()) << "threads=" << threads;
+    EXPECT_NE(st.message().find("boom"), std::string::npos) << st.ToString();
+  }
+}
+
+TEST(ThreadPoolTest, ErrorDoesNotPoisonThePool) {
+  // After a failing ParallelFor the pool must keep serving work: no stuck
+  // worker, no leftover queue state.
+  ThreadPool pool(3);
+  const Status bad = pool.ParallelFor(0, 16, 1, [](size_t, size_t) {
+    return Status::IOError("always");
+  });
+  ASSERT_TRUE(bad.IsIOError());
+  std::atomic<size_t> count{0};
+  const Status good = pool.ParallelFor(0, 100, 1, [&](size_t begin, size_t end) {
+    count.fetch_add(end - begin, std::memory_order_relaxed);
+    return Status::OK();
+  });
+  ASSERT_TRUE(good.ok()) << good.ToString();
+  EXPECT_EQ(count.load(), 100u);
+}
+
+#ifndef NDEBUG
+TEST(ThreadPoolDeathTest, NestedParallelForOnSamePoolIsRejected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        const Status outer = pool.ParallelFor(0, 4, 1, [&](size_t, size_t) {
+          return pool.ParallelFor(0, 4, 1,
+                                  [](size_t, size_t) { return Status::OK(); });
+        });
+        (void)outer;
+      },
+      "nested ParallelFor");
+}
+#else
+TEST(ThreadPoolTest, NestedParallelForFallsBackToInlineSerial) {
+  // Release builds compile the DCHECK out; the nested call must then run
+  // inline (never deadlock) and still produce full coverage.
+  ThreadPool pool(2);
+  constexpr size_t kOuter = 4;
+  constexpr size_t kInner = 8;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  const Status st = pool.ParallelFor(0, kOuter, 1, [&](size_t o, size_t) {
+    return pool.ParallelFor(0, kInner, 1, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        hits[o * kInner + i].fetch_add(1, std::memory_order_relaxed);
+      }
+      return Status::OK();
+    });
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+#endif  // NDEBUG
+
+TEST(ThreadPoolTest, DestructorDrainsScheduledTasks) {
+  std::atomic<size_t> done{0};
+  constexpr size_t kTasks = 64;
+  {
+    ThreadPool pool(2);
+    for (size_t i = 0; i < kTasks; ++i) {
+      pool.Schedule([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        done.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Destructor runs here: every scheduled task must complete first.
+  }
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, ScheduleOnSerialPoolRunsInline) {
+  ThreadPool pool(0);
+  bool ran = false;
+  pool.Schedule([&ran] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPoolTest, IdenticalResultsForEveryThreadCount) {
+  constexpr size_t kN = 500;
+  std::vector<double> reference;
+  for (const size_t threads : {size_t{0}, size_t{1}, size_t{2}, size_t{8}}) {
+    ThreadPool pool(threads);
+    std::vector<double> out(kN);
+    const Status st = pool.ParallelFor(0, kN, 0, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        out[i] = static_cast<double>(i) * 1.5 + 1.0 / (1.0 + static_cast<double>(i));
+      }
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    if (reference.empty()) {
+      reference = out;
+    } else {
+      EXPECT_EQ(out, reference) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, FailpointFailsAChunkOnEveryPath) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "failpoints compiled out";
+  for (const size_t threads : {size_t{0}, size_t{4}}) {
+    ThreadPool pool(threads);
+    failpoint::Arm("thread_pool:task", {failpoint::Action::kError, 0, 0});
+    const Status st = pool.ParallelFor(0, 32, 1, [](size_t, size_t) {
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.IsIOError()) << "threads=" << threads << " " << st.ToString();
+    EXPECT_NE(st.message().find("thread_pool:task"), std::string::npos);
+    failpoint::DisarmAll();
+    // One-shot arming: the next call is clean.
+    const Status ok = pool.ParallelFor(0, 32, 1, [](size_t, size_t) {
+      return Status::OK();
+    });
+    EXPECT_TRUE(ok.ok()) << ok.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace colgraph

@@ -125,7 +125,12 @@ TEST(TraceLoaderTest, RejectsOverlongWalk) {
 
 class TraceIngestTest : public ::testing::Test {
  protected:
-  std::string path_ = ::testing::TempDir() + "colgraph_ingest_test.txt";
+  // Per-test file name: ctest runs each test as its own process, so a
+  // shared name would let parallel tests clobber each other.
+  std::string path_ =
+      ::testing::TempDir() + "colgraph_ingest_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".txt";
   void TearDown() override { std::remove(path_.c_str()); }
   void WriteTraceFile(const std::string& body) {
     std::ofstream out(path_);

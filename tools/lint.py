@@ -30,6 +30,12 @@ Rules
                      I/O goes through columnstore/io_util.h so it is
                      checksummed, bounds-checked, crash-atomic, and failpoint
                      instrumented. io_util.{h,cc} itself is exempt.
+  no-raw-thread      Library code must not spawn raw std::thread / std::jthread
+                     / std::async: all parallelism goes through
+                     util/thread_pool.h (ParallelFor) so it is bounded,
+                     deterministic in serial mode, and propagates errors as
+                     Status. thread_pool.{h,cc} itself is exempt;
+                     std::this_thread is fine.
 """
 
 import argparse
@@ -101,6 +107,7 @@ def lint_file(path, rel, status_fns, errors, in_library):
     posix_rel = rel.replace(os.sep, "/")
     is_check_header = posix_rel.endswith("util/check.h")
     is_io_util = os.path.basename(posix_rel).startswith("io_util.")
+    is_thread_pool = os.path.basename(posix_rel).startswith("thread_pool.")
 
     if is_header:
         first_code = next(
@@ -150,6 +157,15 @@ def lint_file(path, rel, status_fns, errors, in_library):
                     f"through columnstore/io_util.h (checksummed, "
                     f"crash-atomic, failpoint instrumented), not raw "
                     f"std::ifstream/std::ofstream"
+                )
+            if not is_thread_pool and re.search(
+                r"std::(?:thread|jthread|async)\b", line
+            ):
+                errors.append(
+                    f"{rel}:{i}: [no-raw-thread] library code must not spawn "
+                    f"raw std::thread/std::jthread/std::async; use "
+                    f"util/thread_pool.h (ParallelFor) so parallelism is "
+                    f"bounded, serial-mode testable, and error-propagating"
                 )
 
         if stripped.startswith("#include"):
