@@ -46,5 +46,10 @@ void Run(size_t num_threads) {
 }  // namespace colgraph::bench
 
 int main(int argc, char** argv) {
-  colgraph::bench::Run(colgraph::bench::ThreadCount(argc, argv));
+  const size_t threads = colgraph::bench::ThreadCount(argc, argv);
+  colgraph::bench::Run(threads);
+  // The column-store engines are scoped to TimeColumnStore, so the dump is
+  // the process-wide registry (per-phase spans fed it throughout).
+  colgraph::bench::WriteMetricsOut(colgraph::bench::MetricsOutPath(argc, argv),
+                                   "fig3a_dataset_size", threads);
 }

@@ -40,5 +40,8 @@ void Run(size_t num_threads) {
 }  // namespace colgraph::bench
 
 int main(int argc, char** argv) {
-  colgraph::bench::Run(colgraph::bench::ThreadCount(argc, argv));
+  const size_t threads = colgraph::bench::ThreadCount(argc, argv);
+  colgraph::bench::Run(threads);
+  colgraph::bench::WriteMetricsOut(colgraph::bench::MetricsOutPath(argc, argv),
+                                   "fig3c_density", threads);
 }

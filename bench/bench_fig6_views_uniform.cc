@@ -12,7 +12,7 @@
 namespace colgraph::bench {
 namespace {
 
-void Run(size_t num_threads) {
+void Run(size_t num_threads, const std::string& metrics_out) {
   Title("Figure 6 — run time vs space budget, 100 uniform graph queries, NY");
   PaperNote(
       "fetch-measures cost is mandatory and flat; the structural part "
@@ -137,11 +137,14 @@ void Run(size_t num_threads) {
                 Fmt(ser_seconds).c_str(),
                 par_seconds > 0 ? ser_seconds / par_seconds : 0.0);
   }
+
+  WriteMetricsOut(metrics_out, "fig6_views_uniform", num_threads, &engine);
 }
 
 }  // namespace
 }  // namespace colgraph::bench
 
 int main(int argc, char** argv) {
-  colgraph::bench::Run(colgraph::bench::ThreadCount(argc, argv));
+  colgraph::bench::Run(colgraph::bench::ThreadCount(argc, argv),
+                       colgraph::bench::MetricsOutPath(argc, argv));
 }

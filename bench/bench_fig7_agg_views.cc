@@ -9,7 +9,7 @@
 namespace colgraph::bench {
 namespace {
 
-void Run(size_t num_threads) {
+void Run(size_t num_threads, const std::string& metrics_out) {
   Title(
       "Figure 7 — run time vs space budget, 100 uniform aggregate queries, "
       "GNU");
@@ -107,11 +107,14 @@ void Run(size_t num_threads) {
                 Fmt(ser_seconds).c_str(),
                 par_seconds > 0 ? ser_seconds / par_seconds : 0.0);
   }
+
+  WriteMetricsOut(metrics_out, "fig7_agg_views", num_threads, &engine);
 }
 
 }  // namespace
 }  // namespace colgraph::bench
 
 int main(int argc, char** argv) {
-  colgraph::bench::Run(colgraph::bench::ThreadCount(argc, argv));
+  colgraph::bench::Run(colgraph::bench::ThreadCount(argc, argv),
+                       colgraph::bench::MetricsOutPath(argc, argv));
 }

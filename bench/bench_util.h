@@ -5,10 +5,13 @@
 // as the corresponding paper table or figure.
 //
 // Environment:
-//   COLGRAPH_SCALE    multiplies all record counts (default 1.0; raise on a
-//                     bigger machine to approach the paper's scale).
-//   COLGRAPH_THREADS  worker-thread count for the harnesses that have a
-//                     parallel section (same as passing --threads=N).
+//   COLGRAPH_SCALE        multiplies all record counts (default 1.0; raise
+//                         on a bigger machine to approach the paper's
+//                         scale).
+//   COLGRAPH_THREADS      worker-thread count for the harnesses that have a
+//                         parallel section (same as passing --threads=N).
+//   COLGRAPH_METRICS_OUT  destination for the machine-readable metrics dump
+//                         (same as passing --metrics-out=FILE).
 #pragma once
 
 #include <cstdio>
@@ -17,6 +20,8 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
 #include "util/stopwatch.h"
 #include "workload/base_graphs.h"
 #include "workload/query_generator.h"
@@ -54,6 +59,59 @@ inline size_t ThreadCount(int argc, char** argv) {
     return v > 1 ? static_cast<size_t>(v) : 1;
   }
   return 1;
+}
+
+/// Destination of the machine-readable metrics dump: `--metrics-out=FILE`
+/// on the command line wins, then COLGRAPH_METRICS_OUT, else "" (no dump).
+inline std::string MetricsOutPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--metrics-out=";
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  if (const char* env = std::getenv("COLGRAPH_METRICS_OUT")) return env;
+  return "";
+}
+
+/// Writes the harness's BENCH_*.json: bench name, scale, thread count, and
+/// either the engine's full DumpMetricsJson (shape + FetchStats + the
+/// process-wide registry) or, when no single engine survives to the end of
+/// the run, just the registry (which the per-phase spans fed throughout).
+/// No-op when `path` is empty; aborts on I/O failure so CI catches a
+/// broken dump instead of uploading an empty artifact.
+inline void WriteMetricsOut(const std::string& path,
+                            const std::string& bench_name, size_t num_threads,
+                            const ColGraphEngine* engine = nullptr) {
+  if (path.empty()) return;
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String(bench_name);
+  w.Key("scale");
+  w.Double(ScaleFactor());
+  w.Key("threads");
+  w.Uint(num_threads);
+  if (engine != nullptr) {
+    w.Key("engine_metrics");
+    w.Raw(engine->DumpMetricsJson());
+  } else {
+    w.Key("metrics");
+    w.Raw(obs::MetricsRegistry::Global().ToJson());
+  }
+  w.EndObject();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open --metrics-out file %s\n", path.c_str());
+    std::abort();
+  }
+  const std::string& json = w.str();
+  if (std::fwrite(json.data(), 1, json.size(), f) != json.size() ||
+      std::fputc('\n', f) == EOF || std::fclose(f) != 0) {
+    std::fprintf(stderr, "short write to --metrics-out file %s\n",
+                 path.c_str());
+    std::abort();
+  }
+  std::printf("  metrics written to %s\n", path.c_str());
 }
 
 /// The synthetic stand-in for the paper's NY road network.

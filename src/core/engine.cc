@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
 #include "views/aggregate_views.h"
 #include "views/apriori.h"
 #include "views/candidate_generation.h"
@@ -175,6 +177,42 @@ StatusOr<MeasureTable> ColGraphEngine::RunGraphQuery(
 StatusOr<PathAggResult> ColGraphEngine::RunAggregateQuery(
     const GraphQuery& query, AggFn fn, const QueryOptions& options) const {
   return query_engine().RunAggregateQuery(query, fn, options);
+}
+
+std::string ColGraphEngine::DumpMetricsJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("engine");
+  w.BeginObject();
+  w.Key("num_records");
+  w.Uint(relation_.num_records());
+  w.Key("num_edge_columns");
+  w.Uint(relation_.num_edge_columns());
+  w.Key("num_graph_views");
+  w.Uint(views_.num_graph_views());
+  w.Key("num_agg_views");
+  w.Uint(views_.num_agg_views());
+  w.Key("num_threads");
+  w.Uint(options_.num_threads);
+  w.EndObject();
+  w.Key("fetch_stats");
+  w.BeginObject();
+  const FetchStats& fs = relation_.stats();
+  w.Key("bitmap_columns_fetched");
+  w.Uint(fs.bitmap_columns_fetched);
+  w.Key("measure_columns_fetched");
+  w.Uint(fs.measure_columns_fetched);
+  w.Key("values_fetched");
+  w.Uint(fs.values_fetched);
+  w.Key("partitions_touched");
+  w.Uint(fs.partitions_touched);
+  w.Key("partition_joins");
+  w.Uint(fs.partition_joins);
+  w.EndObject();
+  w.Key("metrics");
+  w.Raw(obs::MetricsRegistry::Global().ToJson());
+  w.EndObject();
+  return w.str();
 }
 
 }  // namespace colgraph

@@ -145,6 +145,20 @@ class ColGraphEngine {
 
   // --- Introspection. ---
 
+  /// EXPLAIN for a graph query: the rewriter's view choices, residual
+  /// atomic edges, and estimated vs. actual bitmap cardinalities
+  /// (obs/explain.h has text/JSON renderers).
+  obs::ExplainResult Explain(const GraphQuery& query,
+                             const QueryOptions& options = {}) const {
+    return query_engine().Explain(query, options);
+  }
+
+  /// One JSON document combining the process-wide metrics registry
+  /// (counters, gauges, per-phase latency histograms) with this engine's
+  /// FetchStats and shape (records, columns, views). This is what the
+  /// bench harnesses write to --metrics-out.
+  std::string DumpMetricsJson() const;
+
   /// Reassembles an engine from persisted parts (see core/engine_io.h).
   static ColGraphEngine FromParts(EngineOptions options, EdgeCatalog catalog,
                                   MasterRelation relation, ViewCatalog views);

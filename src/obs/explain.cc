@@ -1,0 +1,103 @@
+#include "obs/explain.h"
+
+#include <cstdio>
+
+#include "obs/json_writer.h"
+
+namespace colgraph::obs {
+
+namespace {
+
+std::string JoinIds(const std::vector<EdgeId>& ids) {
+  std::string out = "[";
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(ids[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+const char* ExplainSource::KindName() const {
+  switch (source.kind) {
+    case BitmapSource::Kind::kEdge:
+      return "edge";
+    case BitmapSource::Kind::kGraphView:
+      return "graph_view";
+    case BitmapSource::Kind::kAggViewBitmap:
+      return "agg_view_bitmap";
+  }
+  return "unknown";
+}
+
+std::string ExplainResult::ToText() const {
+  std::string out;
+  out += "query edges " + JoinIds(query_edges) + "\n";
+  if (!satisfiable) {
+    out += "  unsatisfiable: an edge was never ingested; 0 records match\n";
+    return out;
+  }
+  char line[160];
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const ExplainSource& s = sources[i];
+    std::snprintf(line, sizeof(line),
+                  "  %zu. %s #%zu covers %s  est=%zu  after-AND=%zu\n", i + 1,
+                  s.KindName(), s.source.index, JoinIds(s.covers).c_str(),
+                  s.estimated_cardinality, s.cumulative_cardinality);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "  views=%zu residual=%s matched=%zu records\n",
+                graph_view_indexes.size(), JoinIds(residual_edges).c_str(),
+                matched_records);
+  out += line;
+  return out;
+}
+
+std::string ExplainResult::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("query_edges");
+  w.BeginArray();
+  for (EdgeId e : query_edges) w.Uint(e);
+  w.EndArray();
+  w.Key("satisfiable");
+  w.Bool(satisfiable);
+  w.Key("used_views");
+  w.Bool(used_views);
+  w.Key("sources");
+  w.BeginArray();
+  for (const ExplainSource& s : sources) {
+    w.BeginObject();
+    w.Key("kind");
+    w.String(s.KindName());
+    w.Key("index");
+    w.Uint(s.source.index);
+    w.Key("covers");
+    w.BeginArray();
+    for (EdgeId e : s.covers) w.Uint(e);
+    w.EndArray();
+    w.Key("estimated_cardinality");
+    w.Uint(s.estimated_cardinality);
+    w.Key("cumulative_cardinality");
+    w.Uint(s.cumulative_cardinality);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("residual_edges");
+  w.BeginArray();
+  for (EdgeId e : residual_edges) w.Uint(e);
+  w.EndArray();
+  w.Key("graph_view_indexes");
+  w.BeginArray();
+  for (size_t v : graph_view_indexes) w.Uint(v);
+  w.EndArray();
+  w.Key("matched_records");
+  w.Uint(matched_records);
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace colgraph::obs

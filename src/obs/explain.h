@@ -1,0 +1,63 @@
+// EXPLAIN output (DESIGN.md §9): the rewriter's decisions for one query —
+// which materialized views cover which edges, which edges fall back to
+// atomic bitmaps, and the estimated (rank-directory) vs. actual (running
+// conjunction) cardinalities — rendered as text or JSON. Produced by
+// QueryEngine::Explain / ColGraphEngine::Explain; the plan sources are
+// exactly the ones MatchIds would AND (same CoverQueryWithViews call),
+// verified by tests/explain_test.cc.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/rewriter.h"
+
+namespace colgraph::obs {
+
+/// \brief One bitmap in the explained plan, in execution (AND) order.
+struct ExplainSource {
+  BitmapSource source;
+  /// Query edges this bitmap constrains: the view's edge set for a view
+  /// source, the edge itself for an atomic source.
+  std::vector<EdgeId> covers;
+  /// Set-bit count of this source's bitmap, read from the sealed column's
+  /// rank directory — the "estimate" the selectivity ordering uses.
+  size_t estimated_cardinality = 0;
+  /// Set-bit count of the running conjunction *after* ANDing this source —
+  /// what the plan actually produced at this step. Equal to
+  /// estimated_cardinality for the first source; 0 from the first
+  /// short-circuit on.
+  size_t cumulative_cardinality = 0;
+
+  const char* KindName() const;
+};
+
+/// \brief Full EXPLAIN of one graph query.
+struct ExplainResult {
+  /// Catalog-resolved query edge ids (sorted, deduplicated).
+  std::vector<EdgeId> query_edges;
+  /// False when a structural edge is absent from the catalog: no record
+  /// can match, the plan is empty.
+  bool satisfiable = true;
+  /// Whether the rewriter was offered views (QueryOptions::use_views and a
+  /// non-empty catalog).
+  bool used_views = false;
+  /// The plan's bitmaps in AND order (post selectivity sort when enabled).
+  std::vector<ExplainSource> sources;
+  /// Query edges answered by their own atomic bitmap (the set-cover
+  /// residual) — the kEdge entries of `sources`, sorted.
+  std::vector<EdgeId> residual_edges;
+  /// Relation view indexes of the graph views the rewriter chose.
+  std::vector<size_t> graph_view_indexes;
+  /// Cardinality of the final conjunction: the number of matching records.
+  size_t matched_records = 0;
+
+  /// Human-readable rendering (one line per source).
+  std::string ToText() const;
+  /// Machine-readable rendering.
+  std::string ToJson() const;
+};
+
+}  // namespace colgraph::obs

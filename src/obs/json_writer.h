@@ -1,0 +1,141 @@
+// Minimal JSON emission for the observability layer (metrics dumps, EXPLAIN
+// renderers, bench --metrics-out files). Write-only by design: the repo has
+// no JSON *parsing* needs, so this stays a ~100-line appender with correct
+// string escaping and automatic comma placement instead of a dependency.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace colgraph::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// \brief Appends JSON to an owned string: nested objects/arrays with
+/// automatic commas. Usage:
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("count"); w.Int(3);
+///   w.Key("rows"); w.BeginArray(); w.String("a"); w.EndArray();
+///   w.EndObject();
+///   w.str();  // {"count":3,"rows":["a"]}
+class JsonWriter {
+ public:
+  void BeginObject() {
+    Separate();
+    out_ += '{';
+    fresh_.push_back(true);
+  }
+  void EndObject() {
+    out_ += '}';
+    fresh_.pop_back();
+  }
+  void BeginArray() {
+    Separate();
+    out_ += '[';
+    fresh_.push_back(true);
+  }
+  void EndArray() {
+    out_ += ']';
+    fresh_.pop_back();
+  }
+
+  /// Emits `"name":`; the next value call supplies the value.
+  void Key(const std::string& name) {
+    Separate();
+    out_ += '"';
+    out_ += JsonEscape(name);
+    out_ += "\":";
+    after_key_ = true;
+  }
+
+  void String(const std::string& value) {
+    Separate();
+    out_ += '"';
+    out_ += JsonEscape(value);
+    out_ += '"';
+  }
+  void Int(int64_t value) {
+    Separate();
+    out_ += std::to_string(value);
+  }
+  void Uint(uint64_t value) {
+    Separate();
+    out_ += std::to_string(value);
+  }
+  void Double(double value) {
+    Separate();
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    out_ += buffer;
+  }
+  void Bool(bool value) {
+    Separate();
+    out_ += value ? "true" : "false";
+  }
+  /// Splices pre-rendered JSON (e.g. a registry dump) in as one value.
+  void Raw(const std::string& json) {
+    Separate();
+    out_ += json;
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  // Inserts the comma between container siblings. A value directly after
+  // Key() never gets one; the first element of a container doesn't either.
+  void Separate() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (fresh_.empty()) return;
+    if (fresh_.back()) {
+      fresh_.back() = false;
+    } else {
+      out_ += ',';
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> fresh_;  // per open container: no element emitted yet
+  bool after_key_ = false;
+};
+
+}  // namespace colgraph::obs

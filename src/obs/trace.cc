@@ -1,0 +1,72 @@
+#include "obs/trace.h"
+
+#include "obs/json_writer.h"
+#include "util/check.h"
+
+namespace colgraph::obs {
+
+const char* PhaseName(QueryPhase phase) {
+  switch (phase) {
+    case QueryPhase::kResolve:
+      return "resolve";
+    case QueryPhase::kRewrite:
+      return "rewrite";
+    case QueryPhase::kBitmapAnd:
+      return "bitmap_and";
+    case QueryPhase::kFetch:
+      return "fetch";
+    case QueryPhase::kAggregate:
+      return "aggregate";
+  }
+  return "unknown";
+}
+
+LatencyHistogram& PhaseHistogram(QueryPhase phase) {
+  // One stable histogram per phase, resolved once: function-local statics
+  // make the registry lookup a one-time cost per process.
+  static LatencyHistogram* histograms[kNumQueryPhases] = {
+      &MetricsRegistry::Global().GetHistogram("query.phase.resolve_us"),
+      &MetricsRegistry::Global().GetHistogram("query.phase.rewrite_us"),
+      &MetricsRegistry::Global().GetHistogram("query.phase.bitmap_and_us"),
+      &MetricsRegistry::Global().GetHistogram("query.phase.fetch_us"),
+      &MetricsRegistry::Global().GetHistogram("query.phase.aggregate_us"),
+  };
+  const size_t index = static_cast<size_t>(phase);
+  COLGRAPH_DCHECK_LT(index, kNumQueryPhases);
+  return *histograms[index];
+}
+
+void Trace::Add(const char* name, uint64_t start_us, uint64_t duration_us) {
+  const uint64_t relative =
+      start_us >= origin_us_ ? start_us - origin_us_ : 0;
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(TraceEvent{name, relative, duration_us});
+}
+
+std::vector<TraceEvent> Trace::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string Trace::ToJson() const {
+  const std::vector<TraceEvent> snapshot = events();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("events");
+  w.BeginArray();
+  for (const TraceEvent& e : snapshot) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(e.name);
+    w.Key("start_us");
+    w.Uint(e.start_us);
+    w.Key("duration_us");
+    w.Uint(e.duration_us);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace colgraph::obs

@@ -5,6 +5,9 @@
 // touches one column per segment instead of one per element.
 #include "query/engine.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace colgraph {
 
 StatusOr<PathAggResult> QueryEngine::AggregateAlongPath(
@@ -45,6 +48,7 @@ StatusOr<PathAggResult> QueryEngine::AggregateAlongPath(
     segment_columns.emplace_back(&col, seg.is_view ? seg.num_elements : 0);
   }
 
+  const obs::Span agg_span(obs::QueryPhase::kAggregate, options.trace);
   std::vector<double> values;
   values.reserve(result.records.size());
   for (RecordId r : result.records) {
@@ -73,8 +77,19 @@ StatusOr<PathAggResult> QueryEngine::RunAggregateQuery(
         "(Section 6.2)");
   }
 
+  static obs::Counter& queries =
+      obs::MetricsRegistry::Global().GetCounter("query.agg.count");
+  static obs::LatencyHistogram& total =
+      obs::MetricsRegistry::Global().GetHistogram("query.agg.total_us");
+  if (obs::MetricsEnabled()) queries.Increment();
+  const obs::Span total_span(&total, nullptr, "query");
+
   PathAggResult result;
-  const ResolvedQuery resolved = Resolve(query);
+  ResolvedQuery resolved;
+  {
+    const obs::Span span(obs::QueryPhase::kResolve, options.trace);
+    resolved = Resolve(query);
+  }
   if (!resolved.satisfiable) return result;
 
   // Structural match. Aggregate-view bitmaps are offered as covering
@@ -89,6 +104,7 @@ StatusOr<PathAggResult> QueryEngine::RunAggregateQuery(
   const ViewCatalog* views = options.use_views ? views_ : nullptr;
   const AggFn stored_fn = fn;  // plans match on the query's function
 
+  const obs::Span agg_span(obs::QueryPhase::kAggregate, options.trace);
   for (const Path& path : result.paths) {
     // Catalog-resolvable elements of the path, in path order. Elements
     // without a column (e.g. nodes with no recorded measure) contribute

@@ -3,6 +3,8 @@
 // embarrassingly parallel across queries. Each query is evaluated by the
 // unchanged serial code path into its own pre-sized output slot, so the
 // batch result is bit-identical to a serial loop for any thread count.
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/engine.h"
 #include "util/thread_pool.h"
 
@@ -14,11 +16,32 @@ namespace {
 // so chunks stay small to keep the claim-based schedule balanced.
 constexpr size_t kQueryGrain = 1;
 
+// Batch-level accounting: how many batches ran, how many queries they
+// fanned out, and the batch wall time (per-query phase time lands in the
+// query.phase.* histograms recorded by the per-query code path).
+void CountBatch(size_t num_queries) {
+  static obs::Counter& batches =
+      obs::MetricsRegistry::Global().GetCounter("query.batch.count");
+  static obs::Counter& queries =
+      obs::MetricsRegistry::Global().GetCounter("query.batch.queries");
+  if (!obs::MetricsEnabled()) return;
+  batches.Increment();
+  queries.Add(num_queries);
+}
+
+obs::LatencyHistogram& BatchHistogram() {
+  static obs::LatencyHistogram& hist =
+      obs::MetricsRegistry::Global().GetHistogram("query.batch.total_us");
+  return hist;
+}
+
 }  // namespace
 
 StatusOr<std::vector<MeasureTable>> QueryEngine::EvaluateBatch(
     const std::vector<GraphQuery>& queries, const QueryOptions& options,
     ThreadPool* pool) const {
+  CountBatch(queries.size());
+  const obs::Span batch_span(&BatchHistogram(), nullptr, "batch");
   std::vector<MeasureTable> results(queries.size());
   COLGRAPH_RETURN_NOT_OK(colgraph::ParallelFor(
       pool, 0, queries.size(), kQueryGrain,
@@ -35,6 +58,8 @@ StatusOr<std::vector<MeasureTable>> QueryEngine::EvaluateBatch(
 StatusOr<std::vector<PathAggResult>> QueryEngine::EvaluatePathAggBatch(
     const std::vector<GraphQuery>& queries, AggFn fn,
     const QueryOptions& options, ThreadPool* pool) const {
+  CountBatch(queries.size());
+  const obs::Span batch_span(&BatchHistogram(), nullptr, "batch");
   std::vector<PathAggResult> results(queries.size());
   COLGRAPH_RETURN_NOT_OK(colgraph::ParallelFor(
       pool, 0, queries.size(), kQueryGrain,

@@ -5,6 +5,9 @@
 #include <limits>
 #include <map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace colgraph {
 
 QueryEngine::ResolvedQuery QueryEngine::Resolve(const GraphQuery& query) const {
@@ -67,17 +70,22 @@ Bitmap QueryEngine::MatchIds(const std::vector<EdgeId>& ids,
     all.Fill();
     return all;
   }
-  MatchPlan plan = PlanMatch(ids, options.use_views ? views_ : nullptr,
-                             consider_agg_bitmaps);
-  if (options.order_by_selectivity) {
-    // AND the most selective bitmaps first so the running conjunction
-    // empties (and short-circuits) as early as possible. Cardinalities
-    // come from the sealed columns' rank directories — free statistics.
-    std::sort(plan.sources.begin(), plan.sources.end(),
-              [&](const BitmapSource& a, const BitmapSource& b) {
-                return SourceCardinality(a) < SourceCardinality(b);
-              });
+  MatchPlan plan;
+  {
+    const obs::Span span(obs::QueryPhase::kRewrite, options.trace);
+    plan = PlanMatch(ids, options.use_views ? views_ : nullptr,
+                     consider_agg_bitmaps);
+    if (options.order_by_selectivity) {
+      // AND the most selective bitmaps first so the running conjunction
+      // empties (and short-circuits) as early as possible. Cardinalities
+      // come from the sealed columns' rank directories — free statistics.
+      std::sort(plan.sources.begin(), plan.sources.end(),
+                [&](const BitmapSource& a, const BitmapSource& b) {
+                  return SourceCardinality(a) < SourceCardinality(b);
+                });
+    }
   }
+  const obs::Span span(obs::QueryPhase::kBitmapAnd, options.trace);
   Bitmap result = FetchSource(plan.sources.front());
   for (size_t i = 1; i < plan.sources.size(); ++i) {
     // Short-circuit: once the conjunction is empty no further bitmap can
@@ -117,6 +125,7 @@ Bitmap QueryEngine::AndNotSets(const Bitmap& a, const Bitmap& b) {
 
 MeasureTable QueryEngine::FetchMeasures(const Bitmap& matches,
                                         const std::vector<EdgeId>& edges) const {
+  const obs::Span span(obs::QueryPhase::kFetch, nullptr);
   MeasureTable table;
   table.edges = edges;
   matches.AppendSetBits(&table.records);
@@ -196,7 +205,18 @@ MeasureTable QueryEngine::FetchMeasures(const Bitmap& matches,
 
 StatusOr<MeasureTable> QueryEngine::RunGraphQuery(
     const GraphQuery& query, const QueryOptions& options) const {
-  const ResolvedQuery resolved = Resolve(query);
+  static obs::Counter& queries =
+      obs::MetricsRegistry::Global().GetCounter("query.graph.count");
+  static obs::LatencyHistogram& total =
+      obs::MetricsRegistry::Global().GetHistogram("query.graph.total_us");
+  if (obs::MetricsEnabled()) queries.Increment();
+  const obs::Span total_span(&total, nullptr, "query");
+
+  ResolvedQuery resolved;
+  {
+    const obs::Span span(obs::QueryPhase::kResolve, options.trace);
+    resolved = Resolve(query);
+  }
   if (!resolved.satisfiable) {
     MeasureTable empty;
     empty.edges = resolved.ids;
@@ -205,7 +225,71 @@ StatusOr<MeasureTable> QueryEngine::RunGraphQuery(
   }
   const Bitmap matches =
       MatchIds(resolved.ids, options, /*consider_agg_bitmaps=*/false);
+  // FetchMeasures records the fetch-phase histogram itself (it is a public
+  // entry point too); the trace-only span here attributes the same
+  // interval to this query's trace without double-counting the histogram.
+  const obs::Span fetch_span(nullptr, options.trace,
+                             obs::PhaseName(obs::QueryPhase::kFetch));
   return FetchMeasures(matches, resolved.ids);
+}
+
+obs::ExplainResult QueryEngine::Explain(const GraphQuery& query,
+                                        const QueryOptions& options) const {
+  obs::ExplainResult result;
+  const ResolvedQuery resolved = Resolve(query);
+  result.query_edges = resolved.ids;
+  result.satisfiable = resolved.satisfiable;
+  if (!resolved.satisfiable) return result;
+
+  const ViewCatalog* views = options.use_views ? views_ : nullptr;
+  result.used_views =
+      views != nullptr &&
+      (views->num_graph_views() > 0 || views->num_agg_views() > 0);
+  if (resolved.ids.empty()) {
+    // Unconstrained query: matches everything, no bitmaps to AND.
+    result.matched_records = relation_->num_records();
+    return result;
+  }
+
+  AnnotatedMatchPlan plan = PlanMatchAnnotated(resolved.ids, views,
+                                               /*consider_agg_bitmaps=*/false);
+  if (options.order_by_selectivity) {
+    // Mirror MatchIds' execution order exactly (stable sort is not needed
+    // there either: SourceCardinality is a strict weak order over the same
+    // values, and equal-cardinality ties keep plan order via std::sort's
+    // determinism on identical input).
+    std::sort(plan.sources.begin(), plan.sources.end(),
+              [&](const AnnotatedSource& a, const AnnotatedSource& b) {
+                return SourceCardinality(a.source) <
+                       SourceCardinality(b.source);
+              });
+  }
+
+  Bitmap running;
+  bool first = true;
+  for (const AnnotatedSource& annotated : plan.sources) {
+    obs::ExplainSource out;
+    out.source = annotated.source;
+    out.covers = annotated.covers;
+    out.estimated_cardinality = SourceCardinality(annotated.source);
+    if (first) {
+      running = FetchSource(annotated.source);
+      first = false;
+    } else if (!running.None()) {
+      running.And(FetchSource(annotated.source));
+    }
+    out.cumulative_cardinality = running.Count();
+    if (annotated.source.kind == BitmapSource::Kind::kEdge) {
+      result.residual_edges.push_back(static_cast<EdgeId>(
+          annotated.source.index));
+    } else if (annotated.source.kind == BitmapSource::Kind::kGraphView) {
+      result.graph_view_indexes.push_back(annotated.source.index);
+    }
+    result.sources.push_back(std::move(out));
+  }
+  std::sort(result.residual_edges.begin(), result.residual_edges.end());
+  result.matched_records = running.Count();
+  return result;
 }
 
 }  // namespace colgraph

@@ -11,12 +11,17 @@
 #include "graph/catalog.h"
 #include "graph/graph.h"
 #include "graph/path.h"
+#include "obs/explain.h"
 #include "query/agg_fn.h"
 #include "query/rewriter.h"
 #include "util/status.h"
 #include "views/view_defs.h"
 
 namespace colgraph {
+
+namespace obs {
+class Trace;
+}  // namespace obs
 
 /// \brief Column-major result of a measure fetch: `columns[i][r]` is the
 /// measure of `edges[i]` for the r-th matching record (NaN when NULL).
@@ -46,6 +51,12 @@ struct QueryOptions {
   /// AND the most selective bitmaps first (cardinalities are free from the
   /// sealed columns), maximizing early short-circuit on empty results.
   bool order_by_selectivity = true;
+  /// Optional span collector: when set, every evaluation phase (resolve,
+  /// rewrite, bitmap-AND, fetch, aggregate) appends a timed event. The
+  /// Trace is thread-safe, so one may be shared by a whole EvaluateBatch.
+  /// Phase histograms in obs::MetricsRegistry::Global() are fed whether or
+  /// not a trace is attached (gated by obs::MetricsEnabled()).
+  obs::Trace* trace = nullptr;
 };
 
 class ThreadPool;
@@ -126,6 +137,15 @@ class QueryEngine {
   [[nodiscard]] StatusOr<std::vector<PathAggResult>> EvaluatePathAggBatch(
       const std::vector<GraphQuery>& queries, AggFn fn,
       const QueryOptions& options = {}, ThreadPool* pool = nullptr) const;
+
+  /// EXPLAIN for a graph query: the rewriter's decisions (views chosen,
+  /// residual atomic edges) plus estimated vs. actual bitmap
+  /// cardinalities, without fetching any measures. The sources are exactly
+  /// the plan MatchIds would AND, in the same order (including the
+  /// selectivity sort). Reads the plan's bitmaps to compute the running
+  /// conjunction, so it counts against FetchStats like a Match would.
+  obs::ExplainResult Explain(const GraphQuery& query,
+                             const QueryOptions& options = {}) const;
 
   /// Aggregates F along one explicit path, honoring open ends
   /// (Section 3.3): e.g. (D,E,G) folds the edges and E's own measure but

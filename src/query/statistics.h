@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/check.h"
 
 namespace colgraph {
 
@@ -62,8 +63,13 @@ template <typename KeyFn>
 std::map<std::string, Summary> GroupBySummaries(
     const std::vector<RecordId>& records, const std::vector<double>& values,
     KeyFn&& key_of, bool skip_missing = false) {
+  // records[i] and values[i] must be parallel arrays; silently truncating
+  // to the shorter one (the old std::min behavior) would turn a caller bug
+  // into wrong summaries.
+  COLGRAPH_CHECK_EQ(records.size(), values.size())
+      << "GroupBySummaries: records/values must be parallel arrays";
   std::map<std::string, std::vector<double>> groups;
-  const size_t n = std::min(records.size(), values.size());
+  const size_t n = records.size();
   for (size_t i = 0; i < n; ++i) {
     const std::optional<std::string> key = key_of(records[i]);
     if (!key.has_value() && skip_missing) continue;
@@ -76,12 +82,22 @@ std::map<std::string, Summary> GroupBySummaries(
 
 /// Fixed-width histogram over [lo, hi]; values outside clamp to the edge
 /// buckets. Useful for delay/size distributions in monitoring dashboards.
+/// NaN values are skipped (std::clamp passes NaN through and the size_t
+/// cast of a NaN is undefined behavior) and reported via `nan_count` when
+/// provided; a NULL measure must not silently land in a bucket.
 inline std::vector<size_t> Histogram(const std::vector<double>& values,
-                                     double lo, double hi, size_t buckets) {
+                                     double lo, double hi, size_t buckets,
+                                     size_t* nan_count = nullptr) {
+  size_t nans = 0;
+  for (double v : values) {
+    if (std::isnan(v)) ++nans;
+  }
+  if (nan_count != nullptr) *nan_count = nans;
   std::vector<size_t> counts(buckets, 0);
   if (buckets == 0 || hi <= lo) return counts;
   const double width = (hi - lo) / static_cast<double>(buckets);
   for (double v : values) {
+    if (std::isnan(v)) continue;
     double offset = (v - lo) / width;
     const size_t bucket = static_cast<size_t>(
         std::clamp(offset, 0.0, static_cast<double>(buckets - 1)));

@@ -1,11 +1,26 @@
 #include "views/materializer.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/agg_fn.h"
 #include "util/thread_pool.h"
 
 namespace colgraph {
 
 namespace {
+
+// Materialization accounting: view counts and per-view build latency (the
+// Section 5.2 "views are cheap to build" claim, observable).
+obs::LatencyHistogram& MaterializeHistogram() {
+  static obs::LatencyHistogram& hist =
+      obs::MetricsRegistry::Global().GetHistogram("views.materialize_us");
+  return hist;
+}
+
+void CountMaterialized(const char* counter_name) {
+  if (!obs::MetricsEnabled()) return;
+  obs::MetricsRegistry::Global().GetCounter(counter_name).Increment();
+}
 
 Status ValidateIds(const std::vector<EdgeId>& ids,
                    const MasterRelation& relation) {
@@ -42,9 +57,11 @@ StatusOr<size_t> MaterializeGraphView(const GraphViewDef& def,
     return Status::InvalidArgument("cannot materialize an empty graph view");
   }
   COLGRAPH_RETURN_NOT_OK(ValidateIds(def.edges, *relation));
+  const obs::Span span(&MaterializeHistogram(), nullptr, "materialize");
   const size_t index =
       relation->AddGraphView(ConjunctionBitmap(def.edges, *relation));
   catalog->AddGraphView(def, index);
+  CountMaterialized("views.graph.materialized");
   return index;
 }
 
@@ -95,9 +112,11 @@ StatusOr<size_t> MaterializeAggView(const AggViewDef& def,
         "measures are already stored in the base schema");
   }
   COLGRAPH_RETURN_NOT_OK(ValidateIds(def.elements, *relation));
+  const obs::Span span(&MaterializeHistogram(), nullptr, "materialize");
   COLGRAPH_ASSIGN_OR_RETURN(MeasureColumn mp, ComputeAggColumn(def, *relation));
   const size_t index = relation->AddAggregateView(std::move(mp));
   catalog->AddAggView(def, index);
+  CountMaterialized("views.agg.materialized");
   return index;
 }
 

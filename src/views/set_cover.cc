@@ -43,15 +43,23 @@ SetCoverSelection GreedyExtendedSetCover(
     for (size_t c = 0; c < candidates.size(); ++c) {
       if (picked[c]) continue;
       size_t gain = 0;
-      for (size_t u : usable_in[c]) gain += GainIn(candidates[c], uncovered[u]);
+      size_t max_universe_gain = 0;
+      for (size_t u : usable_in[c]) {
+        const size_t g = GainIn(candidates[c], uncovered[u]);
+        gain += g;
+        max_universe_gain = std::max(max_universe_gain, g);
+      }
+      // Stopping rule: a view pays for itself only where it replaces ≥ 2
+      // atomic bitmaps with one AND. The bar is per universe — a candidate
+      // covering one edge each in two queries sums to 2 but never beats
+      // the atomic bitmaps that already exist for those edges.
+      if (max_universe_gain < 2) continue;
       if (gain > best_gain) {
         best_gain = gain;
         best = c;
       }
     }
-    // Stopping rule: a candidate that only covers one more edge anywhere is
-    // no better than the atomic bitmap that already exists for that edge.
-    if (best == candidates.size() || best_gain < 2) break;
+    if (best == candidates.size()) break;
     picked[best] = true;
     result.selected.push_back(best);
     for (size_t u : usable_in[best]) {

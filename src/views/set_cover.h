@@ -29,9 +29,11 @@ struct SetCoverSelection {
 /// \param candidates  candidate views; candidate c is usable in universe u
 ///                    iff c.edges ⊆ u
 /// \param max_views   selection budget k; the greedy stops after k picks or
-///                    when no candidate covers ≥ 2 uncovered elements
-///                    (at that point an atomic single-edge bitmap is at
-///                    least as good as any view, the paper's stopping rule)
+///                    when no candidate covers ≥ 2 uncovered elements in any
+///                    single universe (at that point atomic single-edge
+///                    bitmaps are at least as good as any view in every
+///                    query, the paper's stopping rule — the bar is per
+///                    universe, not summed across universes)
 SetCoverSelection GreedyExtendedSetCover(
     const std::vector<std::vector<EdgeId>>& universes,
     const std::vector<GraphViewDef>& candidates, size_t max_views);

@@ -55,5 +55,17 @@ TEST(GroupBySummariesTest, EmptyInput) {
   EXPECT_TRUE(groups.empty());
 }
 
+TEST(GroupBySummariesDeathTest, MismatchedLengthsAbort) {
+  // Regression: mismatched parallel arrays used to be silently truncated
+  // via std::min, producing wrong summaries; the caller bug must surface.
+  const std::vector<RecordId> records{0, 1, 2};
+  const std::vector<double> values{1.0, 2.0};
+  auto key_of = [](RecordId) -> std::optional<std::string> { return "k"; };
+  EXPECT_DEATH(GroupBySummaries(records, values, key_of),
+               "records/values must be parallel arrays");
+  EXPECT_DEATH(GroupBySummaries({0}, {1.0, 2.0}, key_of),
+               "records/values must be parallel arrays");
+}
+
 }  // namespace
 }  // namespace colgraph

@@ -1,0 +1,21 @@
+// Deliberately broken fixture for lint_invariants_test: query-layer code
+// timing itself with the ad-hoc Stopwatch/PhaseTimer machinery (and a raw
+// chrono clock) instead of the obs/trace.h span API.
+#include <chrono>
+
+#include "util/stopwatch.h"
+
+namespace colgraph {
+
+double TimeItBadly() {
+  Stopwatch watch;
+  PhaseTimer timer;
+  {
+    ScopedPhase phase(&timer);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  return watch.ElapsedSeconds() + timer.total_seconds();
+}
+
+}  // namespace colgraph

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <unordered_set>
+
+#include "util/random.h"
 
 namespace colgraph {
 namespace {
@@ -67,6 +70,43 @@ TEST(GreedySetCoverTest, StopsWhenGainDropsBelowTwo) {
   EXPECT_EQ(selection.uncovered_elements, 1u);
 }
 
+TEST(GreedySetCoverTest, PerUniverseGainBar_NoSummingAcrossUniverses) {
+  // Regression: the stopping rule used to compare the gain *summed across
+  // universes* against 2, so a single-edge candidate usable in two queries
+  // (gain 1+1=2) was selected even though it never beats the atomic bitmap
+  // that already exists for that edge in either query.
+  const std::vector<std::vector<EdgeId>> universes{{1, 2}, {1, 3}};
+  const std::vector<GraphViewDef> candidates{V({1})};
+  const auto selection = GreedyExtendedSetCover(universes, candidates, 10);
+  EXPECT_TRUE(selection.selected.empty());
+  EXPECT_EQ(selection.uncovered_elements, 4u);
+}
+
+TEST(GreedySetCoverTest, PerUniverseGainBarStillAdmitsRealWinners) {
+  // {2,3} replaces two atomic bitmaps in the first universe → eligible;
+  // the single-edge candidate {1} (summed gain 2, max per-universe gain 1)
+  // must be passed over.
+  const std::vector<std::vector<EdgeId>> universes{{1, 2, 3}, {1, 4}};
+  const std::vector<GraphViewDef> candidates{V({1}), V({2, 3})};
+  const auto selection = GreedyExtendedSetCover(universes, candidates, 10);
+  ASSERT_EQ(selection.selected.size(), 1u);
+  EXPECT_EQ(candidates[selection.selected[0]].edges,
+            (std::vector<EdgeId>{2, 3}));
+}
+
+TEST(GreedySetCoverTest, PerUniverseGainBarAppliesMidSelection) {
+  // The bar must hold on every round, not just the first: after {2,5} is
+  // picked, the shared singleton {1} (summed gain 1+1=2) used to be
+  // selected as a second view under the summed rule.
+  const std::vector<std::vector<EdgeId>> universes{{1, 2, 5}, {1, 6}};
+  const std::vector<GraphViewDef> candidates{V({2, 5}), V({1})};
+  const auto selection = GreedyExtendedSetCover(universes, candidates, 10);
+  ASSERT_EQ(selection.selected.size(), 1u);
+  EXPECT_EQ(selection.selected[0], 0u);
+  // Edge 1 stays uncovered in both universes, edge 6 in the second.
+  EXPECT_EQ(selection.uncovered_elements, 3u);
+}
+
 TEST(GreedySetCoverTest, BudgetLimitsSelection) {
   const std::vector<std::vector<EdgeId>> universes{{1, 2}, {3, 4}, {5, 6}};
   const std::vector<GraphViewDef> candidates{V({1, 2}), V({3, 4}), V({5, 6})};
@@ -111,6 +151,101 @@ TEST(CoverQueryTest, OverlappingViewsAllowedButNotWasted) {
   ASSERT_EQ(cover.view_indexes.size(), 1u);
   EXPECT_EQ(cover.view_indexes[0], 0u);
   EXPECT_EQ(cover.residual_edges, (std::vector<EdgeId>{4}));
+}
+
+TEST(CoverQueryTest, TieBreakIsDeterministic_HighestIndexWins) {
+  // Two identical views: the lazy heap orders (gain, index) pairs, so the
+  // higher index pops first and is accepted. What matters is that the
+  // choice is stable — rewrites must be reproducible run to run.
+  const std::vector<GraphViewDef> views{V({1, 2, 3}), V({1, 2, 3})};
+  const QueryCover first = CoverQueryWithViews({1, 2, 3}, views);
+  ASSERT_EQ(first.view_indexes.size(), 1u);
+  EXPECT_EQ(first.view_indexes[0], 1u);
+  for (int i = 0; i < 10; ++i) {
+    const QueryCover again = CoverQueryWithViews({1, 2, 3}, views);
+    EXPECT_EQ(again.view_indexes, first.view_indexes);
+    EXPECT_EQ(again.residual_edges, first.residual_edges);
+  }
+}
+
+TEST(CoverQueryTest, StaleGainReinsertionStillPicksTheView) {
+  // Exercises the lazy-greedy reinsertion path. Pop order is by (stale
+  // gain, index): view 1 {3,4,5,6} pops first (gain 4, index beats view 0
+  // on the tie) and is accepted. View 0 {1,2,3,4} then pops with stale
+  // gain 4, refreshes to 2 (< view 2's stale 3), and must be *reinserted*,
+  // not dropped. View 2 {5,6,7} refreshes to 1 and is discarded; view 0
+  // resurfaces with gain 2 and is accepted.
+  const std::vector<GraphViewDef> views{V({1, 2, 3, 4}), V({3, 4, 5, 6}),
+                                        V({5, 6, 7})};
+  const QueryCover cover =
+      CoverQueryWithViews({1, 2, 3, 4, 5, 6, 7}, views);
+  EXPECT_EQ(cover.view_indexes, (std::vector<size_t>{1, 0}));
+  EXPECT_EQ(cover.residual_edges, (std::vector<EdgeId>{7}));
+}
+
+TEST(CoverQueryTest, LazyGreedyMatchesBruteForceOracle) {
+  // Equivalence against a brute-force greedy oracle on randomized
+  // workloads: every successive pick must be an argmax of the *refreshed*
+  // gains over all usable views (the lazy heap is just an optimization),
+  // every pick must clear the ≥2 bar, and the greedy must stop exactly
+  // when no usable view covers 2 uncovered edges.
+  Rng rng(20260806);
+  for (int trial = 0; trial < 300; ++trial) {
+    // Random query of 3..18 edges out of a 24-edge domain.
+    std::vector<EdgeId> query;
+    for (EdgeId e = 0; e < 24; ++e) {
+      if (rng.Bernoulli(0.5)) query.push_back(e);
+    }
+    if (query.size() < 3) query = {0, 1, 2};
+    // Random candidate views; about half are subsets of the query (usable),
+    // the rest draw from the full domain (mostly unusable).
+    std::vector<GraphViewDef> views;
+    const size_t num_views = rng.Uniform(0, 12);
+    for (size_t v = 0; v < num_views; ++v) {
+      const bool from_query = rng.Bernoulli(0.5);
+      const size_t want = rng.Uniform(1, 6);
+      std::vector<EdgeId> edges;
+      for (size_t k = 0; k < want; ++k) {
+        edges.push_back(from_query ? query[rng.Uniform(0, query.size() - 1)]
+                                   : static_cast<EdgeId>(rng.Uniform(0, 23)));
+      }
+      views.push_back(V(std::move(edges)));
+    }
+
+    const QueryCover cover = CoverQueryWithViews(query, views);
+
+    // Oracle replay of the chosen sequence.
+    std::unordered_set<EdgeId> uncovered(query.begin(), query.end());
+    auto refreshed_gain = [&](const GraphViewDef& view) {
+      size_t gain = 0;
+      for (EdgeId e : view.edges) gain += uncovered.count(e);
+      return gain;
+    };
+    for (size_t v : cover.view_indexes) {
+      size_t best = 0;
+      for (size_t u = 0; u < views.size(); ++u) {
+        if (!views[u].IsSubsetOf(query)) continue;
+        best = std::max(best, refreshed_gain(views[u]));
+      }
+      const size_t gain = refreshed_gain(views[v]);
+      EXPECT_TRUE(views[v].IsSubsetOf(query)) << "trial " << trial;
+      EXPECT_GE(gain, 2u) << "trial " << trial;
+      EXPECT_EQ(gain, best) << "trial " << trial << ": pick " << v
+                            << " was not a greedy argmax";
+      for (EdgeId e : views[v].edges) uncovered.erase(e);
+    }
+    // Stop condition: no usable view still covers >= 2 uncovered edges.
+    for (size_t u = 0; u < views.size(); ++u) {
+      if (!views[u].IsSubsetOf(query)) continue;
+      EXPECT_LT(refreshed_gain(views[u]), 2u)
+          << "trial " << trial << ": greedy stopped early, view " << u
+          << " still pays for itself";
+    }
+    // Residual = exactly the uncovered edges, sorted.
+    std::vector<EdgeId> expected(uncovered.begin(), uncovered.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(cover.residual_edges, expected) << "trial " << trial;
+  }
 }
 
 TEST(CoverQueryTest, CoverInvariant_EveryEdgeConstrained) {

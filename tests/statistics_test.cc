@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/random.h"
 
 namespace colgraph {
@@ -75,6 +77,48 @@ TEST(HistogramTest, DegenerateInputs) {
   EXPECT_TRUE(Histogram({1.0}, 0, 10, 0).empty());
   const auto h = Histogram({1.0}, 5, 5, 3);
   EXPECT_EQ(h, (std::vector<size_t>{0, 0, 0}));
+}
+
+TEST(HistogramTest, NanValuesSkippedAndCounted) {
+  // Regression: std::clamp passes NaN through, and casting a NaN double to
+  // size_t is UB — a NaN input used to index an arbitrary bucket. NaNs are
+  // the engine's NULL-measure encoding, so they must be skipped, not
+  // binned.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  size_t nan_count = 0;
+  const auto h = Histogram({0.5, nan, 1.5, nan, 9.9}, 0, 10, 10, &nan_count);
+  EXPECT_EQ(nan_count, 2u);
+  size_t total = 0;
+  for (size_t c : h) total += c;
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_EQ(h[1], 1u);
+  EXPECT_EQ(h[9], 1u);
+}
+
+TEST(HistogramTest, AllNanInput) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  size_t nan_count = 0;
+  const auto h = Histogram({nan, nan, nan}, 0, 1, 4, &nan_count);
+  EXPECT_EQ(nan_count, 3u);
+  for (size_t c : h) EXPECT_EQ(c, 0u);
+}
+
+TEST(HistogramTest, NanCountReportedEvenForDegenerateRange) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  size_t nan_count = 0;
+  const auto h = Histogram({nan, 1.0}, 5, 5, 3, &nan_count);
+  EXPECT_EQ(nan_count, 1u);
+  EXPECT_EQ(h, (std::vector<size_t>{0, 0, 0}));
+}
+
+TEST(HistogramTest, InfinitiesClampToEdgeBuckets) {
+  const double inf = std::numeric_limits<double>::infinity();
+  size_t nan_count = 0;
+  const auto h = Histogram({-inf, inf}, 0, 10, 5, &nan_count);
+  EXPECT_EQ(nan_count, 0u);
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_EQ(h[4], 1u);
 }
 
 TEST(HistogramTest, TotalCountPreserved) {
