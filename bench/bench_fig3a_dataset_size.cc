@@ -8,7 +8,7 @@
 namespace colgraph::bench {
 namespace {
 
-void Run(size_t num_threads) {
+void Run(size_t num_threads, const std::string& query_log) {
   Title("Figure 3(a) — query time vs dataset size, 100 uniform queries, NY");
   PaperNote(
       "column store ~linear, orders of magnitude below the row store; "
@@ -32,8 +32,13 @@ void Run(size_t num_threads) {
     const auto workload = qgen.UniformWorkload(100, q_options);
 
     std::vector<std::string> cells{std::to_string(n)};
+    // One engine per dataset size: suffix the log path so each capture
+    // stands alone.
+    const std::string log_path =
+        query_log.empty() ? "" : query_log + "." + std::to_string(n);
     cells.push_back(
-        Fmt(TimeColumnStore(ds, workload, nullptr, num_threads)) + "s");
+        Fmt(TimeColumnStore(ds, workload, nullptr, num_threads, log_path)) +
+        "s");
     for (const auto& [name, factory] : BaselineFactories()) {
       (void)name;
       cells.push_back(Fmt(TimeBaseline(factory, ds, workload)) + "s");
@@ -47,7 +52,7 @@ void Run(size_t num_threads) {
 
 int main(int argc, char** argv) {
   const size_t threads = colgraph::bench::ThreadCount(argc, argv);
-  colgraph::bench::Run(threads);
+  colgraph::bench::Run(threads, colgraph::bench::QueryLogPath(argc, argv));
   // The column-store engines are scoped to TimeColumnStore, so the dump is
   // the process-wide registry (per-phase spans fed it throughout).
   colgraph::bench::WriteMetricsOut(colgraph::bench::MetricsOutPath(argc, argv),

@@ -7,7 +7,7 @@
 namespace colgraph::bench {
 namespace {
 
-void Run(size_t num_threads) {
+void Run(size_t num_threads, const std::string& query_log) {
   Title("Figure 3(b) — query time vs query size (#edges), NY");
   PaperNote(
       "column store improves as queries grow (smaller result sets); "
@@ -24,8 +24,12 @@ void Run(size_t num_threads) {
     // exactly as the sweep requires: selectivity falls with size).
     const auto workload = qgen.StructuralWorkload(100, query_edges);
     std::vector<std::string> cells{std::to_string(query_edges)};
+    const std::string log_path =
+        query_log.empty() ? ""
+                          : query_log + "." + std::to_string(query_edges);
     cells.push_back(
-        Fmt(TimeColumnStore(ds, workload, nullptr, num_threads)) + "s");
+        Fmt(TimeColumnStore(ds, workload, nullptr, num_threads, log_path)) +
+        "s");
     for (const auto& [name, factory] : BaselineFactories()) {
       (void)name;
       cells.push_back(Fmt(TimeBaseline(factory, ds, workload)) + "s");
@@ -39,7 +43,7 @@ void Run(size_t num_threads) {
 
 int main(int argc, char** argv) {
   const size_t threads = colgraph::bench::ThreadCount(argc, argv);
-  colgraph::bench::Run(threads);
+  colgraph::bench::Run(threads, colgraph::bench::QueryLogPath(argc, argv));
   colgraph::bench::WriteMetricsOut(colgraph::bench::MetricsOutPath(argc, argv),
                                    "fig3b_query_size", threads);
 }

@@ -7,7 +7,7 @@
 namespace colgraph::bench {
 namespace {
 
-void Run(size_t num_threads) {
+void Run(size_t num_threads, const std::string& query_log) {
   Title("Figure 3(c) — query time vs record density, NY");
   PaperNote(
       "column store flat across density; row store grows with density "
@@ -26,8 +26,13 @@ void Run(size_t num_threads) {
     const auto workload = qgen.StructuralWorkload(100, record_edges);
 
     std::vector<std::string> cells{Fmt(density * 100, 0) + "%"};
+    const std::string log_path =
+        query_log.empty()
+            ? ""
+            : query_log + "." + std::to_string(record_edges);
     cells.push_back(
-        Fmt(TimeColumnStore(ds, workload, nullptr, num_threads)) + "s");
+        Fmt(TimeColumnStore(ds, workload, nullptr, num_threads, log_path)) +
+        "s");
     for (const auto& [name, factory] : BaselineFactories()) {
       (void)name;
       cells.push_back(Fmt(TimeBaseline(factory, ds, workload)) + "s");
@@ -41,7 +46,7 @@ void Run(size_t num_threads) {
 
 int main(int argc, char** argv) {
   const size_t threads = colgraph::bench::ThreadCount(argc, argv);
-  colgraph::bench::Run(threads);
+  colgraph::bench::Run(threads, colgraph::bench::QueryLogPath(argc, argv));
   colgraph::bench::WriteMetricsOut(colgraph::bench::MetricsOutPath(argc, argv),
                                    "fig3c_density", threads);
 }

@@ -9,7 +9,8 @@
 namespace colgraph::bench {
 namespace {
 
-void Run(size_t num_threads, const std::string& metrics_out) {
+void Run(size_t num_threads, const std::string& metrics_out,
+         const std::string& query_log) {
   Title(
       "Figure 7 — run time vs space budget, 100 uniform aggregate queries, "
       "GNU");
@@ -21,6 +22,7 @@ void Run(size_t num_threads, const std::string& metrics_out) {
                                  GnuRecordOptions(), 707);
   EngineOptions engine_options;
   engine_options.num_threads = num_threads;
+  engine_options.query_log.path = query_log;
   ColGraphEngine engine = BuildEngine(ds, engine_options);
 
   QueryGenerator qgen(&ds.trunks, &ds.universe, 37);
@@ -65,7 +67,10 @@ void Run(size_t num_threads, const std::string& metrics_out) {
     for (size_t i = 0; i < views_used; ++i) {
       trimmed.AddAggView(materialized[i].first, materialized[i].second);
     }
-    QueryEngine qe(&engine.relation(), &engine.catalog(), &trimmed);
+    // The engine's log rides along so the trimmed-catalog runs are
+    // captured too — one log covers the whole budget sweep.
+    QueryEngine qe(&engine.relation(), &engine.catalog(), &trimmed,
+                   engine.query_log());
 
     engine.stats().Reset();
     Stopwatch watch;
@@ -108,6 +113,7 @@ void Run(size_t num_threads, const std::string& metrics_out) {
                 par_seconds > 0 ? ser_seconds / par_seconds : 0.0);
   }
 
+  FinishQueryLog(&engine);
   WriteMetricsOut(metrics_out, "fig7_agg_views", num_threads, &engine);
 }
 
@@ -116,5 +122,6 @@ void Run(size_t num_threads, const std::string& metrics_out) {
 
 int main(int argc, char** argv) {
   colgraph::bench::Run(colgraph::bench::ThreadCount(argc, argv),
-                       colgraph::bench::MetricsOutPath(argc, argv));
+                       colgraph::bench::MetricsOutPath(argc, argv),
+                       colgraph::bench::QueryLogPath(argc, argv));
 }

@@ -73,6 +73,34 @@ inline std::string MetricsOutPath(int argc, char** argv) {
   return "";
 }
 
+/// Query-log capture path (DESIGN.md §10): `--query-log=FILE` wins, then
+/// COLGRAPH_QUERY_LOG, else "" (no capture). Harnesses that build several
+/// engines suffix the path per engine so each log stands alone. The
+/// resulting log feeds tools/colgraph_replay and --advise-views.
+inline std::string QueryLogPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--query-log=";
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  if (const char* env = std::getenv("COLGRAPH_QUERY_LOG")) return env;
+  return "";
+}
+
+/// Closes an engine's query log (flush + footer + fsync), complaining on
+/// stderr instead of failing the bench — capture is advisory.
+inline void FinishQueryLog(ColGraphEngine* engine) {
+  if (engine == nullptr || engine->query_log() == nullptr) return;
+  const std::string path = engine->query_log()->path();
+  const Status closed = engine->CloseQueryLog();
+  if (!closed.ok()) {
+    std::fprintf(stderr, "query log close failed: %s\n",
+                 closed.ToString().c_str());
+    return;
+  }
+  std::printf("  query log written to %s\n", path.c_str());
+}
+
 /// Writes the harness's BENCH_*.json: bench name, scale, thread count, and
 /// either the engine's full DumpMetricsJson (shape + FetchStats + the
 /// process-wide registry) or, when no single engine survives to the end of

@@ -31,9 +31,11 @@ inline std::vector<std::pair<std::string, StoreFactory>> BaselineFactories() {
 inline double TimeColumnStore(const Dataset& ds,
                               const std::vector<GraphQuery>& workload,
                               size_t* result_records = nullptr,
-                              size_t num_threads = 1) {
+                              size_t num_threads = 1,
+                              const std::string& query_log_path = "") {
   EngineOptions options;
   options.num_threads = num_threads;
+  options.query_log.path = query_log_path;
   ColGraphEngine engine = BuildEngine(ds, options);
   size_t total = 0;
   Stopwatch watch;
@@ -52,6 +54,7 @@ inline double TimeColumnStore(const Dataset& ds,
     seconds = watch.ElapsedSeconds();
   }
   if (result_records != nullptr) *result_records = total;
+  FinishQueryLog(&engine);  // timing above excludes the close
   return seconds;
 }
 

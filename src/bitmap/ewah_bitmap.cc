@@ -138,7 +138,7 @@ class Appender {
  public:
   void AppendFill(bool bit, uint64_t words) {
     if (words == 0) return;
-    if (!literals_.empty() || (run_words_ > 0 && run_bit_ != bit)) Flush(false);
+    if (!literals_.empty() || (run_words_ > 0 && run_bit_ != bit)) FlushRun(false);
     if (run_words_ == 0) run_bit_ = bit;
     run_words_ += words;
   }
@@ -154,12 +154,12 @@ class Appender {
     literals_.push_back(word);
   }
   std::vector<uint64_t> Finish() {
-    Flush(true);
+    FlushRun(true);
     return std::move(out_);
   }
 
  private:
-  void Flush(bool final) {
+  void FlushRun(bool final) {
     if (run_words_ == 0 && literals_.empty() && !final) return;
     if (run_words_ == 0 && literals_.empty()) return;
     out_.push_back((static_cast<uint64_t>(literals_.size()) << 33) |

@@ -127,14 +127,12 @@ Status Writer::Commit() {
   return Status::OK();
 }
 
-StatusOr<Reader> Reader::Open(const std::string& path, uint32_t magic) {
+StatusOr<std::vector<char>> ReadFileBytes(const std::string& path) {
   COLGRAPH_FAILPOINT("io:open_read");
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::IOError("cannot open for read: " + path);
   }
-  Reader r;
-  r.path_ = path;
   long size = -1;
   if (std::fseek(f, 0, SEEK_END) == 0) size = std::ftell(f);
   if (size < 0) {
@@ -142,13 +140,19 @@ StatusOr<Reader> Reader::Open(const std::string& path, uint32_t magic) {
     return Status::IOError("cannot stat: " + path);
   }
   std::rewind(f);
-  r.data_.resize(static_cast<size_t>(size));
-  if (size > 0 && std::fread(r.data_.data(), 1, r.data_.size(), f) !=
-                      r.data_.size()) {
+  std::vector<char> data(static_cast<size_t>(size));
+  if (size > 0 && std::fread(data.data(), 1, data.size(), f) != data.size()) {
     std::fclose(f);
     return Status::IOError("read failed: " + path);
   }
   std::fclose(f);
+  return data;
+}
+
+StatusOr<Reader> Reader::Open(const std::string& path, uint32_t magic) {
+  Reader r;
+  r.path_ = path;
+  COLGRAPH_ASSIGN_OR_RETURN(r.data_, ReadFileBytes(path));
 
   if (r.data_.size() < 2 * sizeof(uint32_t)) {
     return r.Corrupt("truncated preamble");
@@ -265,6 +269,66 @@ StatusOr<std::ifstream> OpenTextForRead(const std::string& path) {
     return Status::IOError("cannot open trace file: " + path);
   }
   return in;
+}
+
+StatusOr<AppendFile> AppendFile::Create(const std::string& path) {
+  COLGRAPH_FAILPOINT("io:open_append");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for append: " + path);
+  }
+  AppendFile out;
+  out.f_ = f;
+  out.path_ = path;
+  return out;
+}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    if (f_ != nullptr) std::fclose(f_);
+    f_ = other.f_;
+    path_ = std::move(other.path_);
+    other.f_ = nullptr;
+  }
+  return *this;
+}
+
+AppendFile::~AppendFile() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+Status AppendFile::Append(const void* data, size_t n) {
+  if (f_ == nullptr) {
+    return Status::IOError("append to closed file: " + path_);
+  }
+  size_t write_bytes = n;
+  uint64_t short_arg = 0;
+  if (failpoint::Hit("io:short_write", &short_arg) ==
+      failpoint::Action::kShortWrite) {
+    write_bytes = std::min(write_bytes, static_cast<size_t>(short_arg));
+  }
+  const bool ok = std::fwrite(data, 1, write_bytes, f_) == write_bytes &&
+                  write_bytes == n;
+  if (!ok) {
+    // A torn append leaves the tail of the log unparseable; close so the
+    // caller cannot make it worse by appending past the tear.
+    std::fclose(f_);
+    f_ = nullptr;
+    return Status::IOError("append failed: " + path_);
+  }
+  return Status::OK();
+}
+
+Status AppendFile::SyncAndClose() {
+  if (f_ == nullptr) return Status::OK();
+  bool ok = std::fflush(f_) == 0 && ::fsync(fileno(f_)) == 0;
+  if (failpoint::Hit("io:fsync") != failpoint::Action::kOff) ok = false;
+  if (std::fclose(f_) != 0) ok = false;
+  f_ = nullptr;
+  if (!ok) {
+    return Status::IOError("flush/fsync failed: " + path_);
+  }
+  return Status::OK();
 }
 
 }  // namespace colgraph::io

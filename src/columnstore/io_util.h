@@ -172,4 +172,47 @@ class Reader {
 /// instrumented path. Failpoint: "trace:open".
 StatusOr<std::ifstream> OpenTextForRead(const std::string& path);
 
+/// Loads a whole file into memory. The read is size-bounded by the file's
+/// actual length (never by an untrusted header), so corrupt inputs cannot
+/// trigger oversized allocations here. Failpoint: "io:open_read".
+StatusOr<std::vector<char>> ReadFileBytes(const std::string& path);
+
+/// \brief Append-only streaming file, for logs that grow while the process
+/// runs (the query log) — the one durability shape the snapshot Writer's
+/// write-tmp-then-rename discipline cannot provide. The caller does its own
+/// framing and checksumming (obs/query_log.h); this class owns the raw
+/// descriptor so all file I/O stays inside io_util (repo lint
+/// [raw-stream]). Failpoints: "io:open_append", "io:short_write" (shared
+/// with Writer::Commit), "io:fsync".
+class AppendFile {
+ public:
+  /// Creates (or truncates) `path` for appending.
+  static StatusOr<AppendFile> Create(const std::string& path);
+
+  AppendFile(AppendFile&& other) noexcept : f_(other.f_), path_(std::move(other.path_)) {
+    other.f_ = nullptr;
+  }
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+  /// Closes without syncing (call SyncAndClose for durability + a Status).
+  ~AppendFile();
+
+  /// Appends `n` bytes. A short write (disk full, injected fault) closes
+  /// the file and returns IOError — the log is torn and the caller must
+  /// stop appending.
+  [[nodiscard]] Status Append(const void* data, size_t n);
+
+  /// Flushes user-space buffers and fsyncs, then closes. Idempotent.
+  [[nodiscard]] Status SyncAndClose();
+
+  bool is_open() const { return f_ != nullptr; }
+
+ private:
+  AppendFile() = default;
+
+  std::FILE* f_ = nullptr;
+  std::string path_;
+};
+
 }  // namespace colgraph::io

@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
@@ -13,9 +14,21 @@
 namespace colgraph {
 
 ColGraphEngine::ColGraphEngine(EngineOptions options)
-    : options_(options), relation_(options.relation) {
+    : options_(std::move(options)), relation_(options_.relation) {
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  if (!options_.query_log.path.empty()) {
+    auto log = obs::QueryLog::Open(options_.query_log);
+    if (log.ok()) {
+      query_log_ = std::shared_ptr<obs::QueryLog>(std::move(log.value()));
+    } else {
+      // Constructors cannot return Status; capture is observability, so
+      // degrade to "no log" loudly instead of failing the engine.
+      std::fprintf(stderr,
+                   "colgraph: query log disabled (open failed): %s\n",
+                   log.status().ToString().c_str());
+    }
   }
 }
 
@@ -24,6 +37,7 @@ ColGraphEngine::ColGraphEngine(const ColGraphEngine& other)
       catalog_(other.catalog_),
       relation_(other.relation_),
       views_(other.views_),
+      query_log_(other.query_log_),
       append_watermark_(other.append_watermark_) {
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
@@ -36,6 +50,7 @@ ColGraphEngine& ColGraphEngine::operator=(const ColGraphEngine& other) {
   catalog_ = other.catalog_;
   relation_ = other.relation_;
   views_ = other.views_;
+  query_log_ = other.query_log_;
   append_watermark_ = other.append_watermark_;
   pool_.reset();
   if (options_.num_threads > 1) {

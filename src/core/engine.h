@@ -18,6 +18,7 @@
 #include "graph/catalog.h"
 #include "graph/flatten.h"
 #include "graph/graph.h"
+#include "obs/query_log.h"
 #include "query/engine.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -48,6 +49,14 @@ struct EngineOptions {
   /// created). Results are bit-identical for every value — parallelism
   /// only changes the wall clock (DESIGN.md §8).
   size_t num_threads = 1;
+  /// Durable query-log capture (DESIGN.md §10). When query_log.path is
+  /// non-empty the engine appends every executed query to that file for
+  /// later replay (tools/colgraph_replay) and workload-driven view advice.
+  /// If the file cannot be opened the engine still constructs — capture is
+  /// disabled with one warning on stderr (an observability failure must
+  /// not take the database down). obs::SetQueryLogEnabled(false) is the
+  /// process-wide kill switch.
+  obs::QueryLogOptions query_log;
 };
 
 /// \brief Facade over catalog + relation + views + query engine.
@@ -153,6 +162,13 @@ class ColGraphEngine {
     return query_engine().Explain(query, options);
   }
 
+  /// EXPLAIN for a path-aggregation query: the aggregate match plan
+  /// (bp bitmaps included) plus the per-path view segmentation.
+  obs::ExplainResult ExplainAggregate(const GraphQuery& query, AggFn fn,
+                                      const QueryOptions& options = {}) const {
+    return query_engine().ExplainAggregate(query, fn, options);
+  }
+
   /// One JSON document combining the process-wide metrics registry
   /// (counters, gauges, per-phase latency histograms) with this engine's
   /// FetchStats and shape (records, columns, views). This is what the
@@ -171,10 +187,25 @@ class ColGraphEngine {
   MasterRelation& mutable_relation() { return relation_; }
   const ViewCatalog& views() const { return views_; }
   const EngineOptions& options() const { return options_; }
-  /// A fresh evaluator bound to this engine's state. Cheap (three
+  /// A fresh evaluator bound to this engine's state. Cheap (four
   /// pointers); constructed on demand so the engine stays movable.
   QueryEngine query_engine() const {
-    return QueryEngine(&relation_, &catalog_, &views_);
+    return QueryEngine(&relation_, &catalog_, &views_, query_log_.get());
+  }
+
+  /// The engine's query log; nullptr when capture is not configured.
+  /// Exposed so external evaluation drivers (the bench harnesses build
+  /// their own QueryEngine against trimmed view catalogs) can keep
+  /// capturing into the same file.
+  obs::QueryLog* query_log() const { return query_log_.get(); }
+
+  /// Flushes the query log, writes its footer, and fsyncs — after this the
+  /// log file is complete and readable. Returns the first error capture
+  /// hit, OK when no log is configured. Idempotent; queries executed after
+  /// the close are no longer recorded.
+  [[nodiscard]] Status CloseQueryLog() {
+    if (query_log_ == nullptr) return Status::OK();
+    return query_log_->Close();
   }
   FetchStats& stats() const { return relation_.stats(); }
   size_t num_records() const { return relation_.num_records(); }
@@ -190,6 +221,11 @@ class ColGraphEngine {
   /// queries, materialization, candidate counting). unique_ptr keeps the
   /// engine movable; created once at construction, never rebuilt.
   std::unique_ptr<ThreadPool> pool_;
+  /// Query-log capture; null unless options_.query_log.path is set. Shared
+  /// (not duplicated) by engine copies: the log is an append-only,
+  /// thread-safe sink, and the trace loader's staged-copy commit must keep
+  /// appending to the same file, not truncate a second one.
+  std::shared_ptr<obs::QueryLog> query_log_;
   /// Record count at the last BeginAppend (delta view maintenance).
   size_t append_watermark_ = 0;
 };

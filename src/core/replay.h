@@ -1,0 +1,57 @@
+// Workload replay (DESIGN.md §10): re-executes a captured query log
+// against an engine and checks each query's result cardinality against
+// the one recorded at capture time. The driver is tools/colgraph_replay;
+// tests use it for the capture → replay round trip.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "obs/query_log.h"
+#include "util/status.h"
+
+namespace colgraph {
+
+struct ReplayOptions {
+  /// Worker threads for batch replay; <= 1 replays serially. Results are
+  /// bit-identical either way (DESIGN.md §8).
+  size_t num_threads = 1;
+  /// Rewrite replayed queries against the engine's materialized views.
+  /// Turning this off replays the baseline plans; cardinalities must not
+  /// change either way (views are semantically transparent).
+  bool use_views = true;
+};
+
+/// \brief Outcome of replaying one log.
+struct ReplayReport {
+  uint64_t queries_replayed = 0;
+  uint64_t match_queries = 0;
+  uint64_t path_agg_queries = 0;
+  /// Queries whose replayed result cardinality differed from the logged
+  /// one — data drift between capture and replay, or a broken log.
+  uint64_t cardinality_mismatches = 0;
+
+  struct Mismatch {
+    size_t record_index = 0;  ///< position in the log
+    uint64_t logged = 0;
+    uint64_t replayed = 0;
+  };
+  /// First mismatches, capped (kMaxReportedMismatches) for reporting.
+  std::vector<Mismatch> mismatches;
+
+  static constexpr size_t kMaxReportedMismatches = 16;
+};
+
+/// \brief Replays `records` (a decoded query log, in order) against
+/// `engine`. Consecutive same-kind queries are evaluated as one batch so
+/// --threads exercises the same EvaluateBatch path the live workload used.
+/// Returns an error only on evaluation failure; cardinality mismatches
+/// are reported, not fatal (the caller decides the exit code).
+[[nodiscard]] StatusOr<ReplayReport> ReplayQueryLog(
+    const ColGraphEngine& engine,
+    const std::vector<obs::QueryLogRecord>& records,
+    const ReplayOptions& options = {});
+
+}  // namespace colgraph

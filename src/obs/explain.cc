@@ -53,6 +53,20 @@ std::string ExplainResult::ToText() const {
                 graph_view_indexes.size(), JoinIds(residual_edges).c_str(),
                 matched_records);
   out += line;
+  if (is_aggregate) {
+    std::string agg = "[";
+    for (size_t i = 0; i < agg_view_indexes.size(); ++i) {
+      if (i > 0) agg += ",";
+      agg += std::to_string(agg_view_indexes[i]);
+    }
+    agg += "]";
+    std::snprintf(line, sizeof(line),
+                  "  aggregate: paths=%zu agg-views=%s elements "
+                  "view-covered=%zu atomic=%zu\n",
+                  num_paths, agg.c_str(), path_elements_from_views,
+                  path_elements_atomic);
+    out += line;
+  }
   return out;
 }
 
@@ -96,6 +110,21 @@ std::string ExplainResult::ToJson() const {
   w.EndArray();
   w.Key("matched_records");
   w.Uint(matched_records);
+  if (is_aggregate) {
+    w.Key("aggregate");
+    w.BeginObject();
+    w.Key("agg_view_indexes");
+    w.BeginArray();
+    for (size_t v : agg_view_indexes) w.Uint(v);
+    w.EndArray();
+    w.Key("num_paths");
+    w.Uint(num_paths);
+    w.Key("path_elements_from_views");
+    w.Uint(path_elements_from_views);
+    w.Key("path_elements_atomic");
+    w.Uint(path_elements_atomic);
+    w.EndObject();
+  }
   w.EndObject();
   return w.str();
 }

@@ -54,6 +54,21 @@ struct ExplainResult {
   /// Cardinality of the final conjunction: the number of matching records.
   size_t matched_records = 0;
 
+  /// True for ExplainAggregate output: the plan also offered aggregate-view
+  /// bp bitmaps to the match and segmented the query's maximal paths.
+  bool is_aggregate = false;
+  /// Relation aggregate-view indexes the plan uses: bp bitmaps ANDed by the
+  /// match plus the views chosen by the path segmentation (sorted,
+  /// deduplicated — same semantics as a query-log record's agg view list).
+  std::vector<size_t> agg_view_indexes;
+  /// Maximal paths of the query DAG the aggregation folds over (0 for a
+  /// match EXPLAIN, and for a cyclic query, which evaluation rejects).
+  size_t num_paths = 0;
+  /// Path elements answered by a materialized aggregate-view column vs.
+  /// fetched atomically — the cost reduction Section 5.1.2's views buy.
+  size_t path_elements_from_views = 0;
+  size_t path_elements_atomic = 0;
+
   /// Human-readable rendering (one line per source).
   std::string ToText() const;
   /// Machine-readable rendering.

@@ -54,7 +54,23 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *registry;
 }
 
+namespace {
+
+// Shared no-op sinks handed out while metrics are disabled: a lookup must
+// not allocate or register anything (a disabled process would otherwise
+// still grow the registry map on every first-touch). Leaked intentionally,
+// like Global() — references escape to function-local statics at call
+// sites and must stay valid through shutdown.
+template <typename T>
+T& DisabledSink() {
+  static T* sink = new T();
+  return *sink;
+}
+
+}  // namespace
+
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  if (!MetricsEnabled()) return DisabledSink<Counter>();
   const std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
@@ -62,6 +78,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  if (!MetricsEnabled()) return DisabledSink<Gauge>();
   const std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
@@ -69,10 +86,26 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 }
 
 LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  if (!MetricsEnabled()) return DisabledSink<LatencyHistogram>();
   const std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
   return *slot;
+}
+
+size_t MetricsRegistry::num_counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size();
+}
+
+size_t MetricsRegistry::num_gauges() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return gauges_.size();
+}
+
+size_t MetricsRegistry::num_histograms() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return histograms_.size();
 }
 
 std::string MetricsRegistry::ToJson() const {

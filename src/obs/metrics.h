@@ -114,9 +114,21 @@ class MetricsRegistry {
   /// Finds or creates the named metric. The returned reference is stable
   /// for the registry's lifetime — hot paths cache it (e.g. in a
   /// function-local static) instead of paying the map lookup per event.
+  ///
+  /// While metrics are disabled (SetMetricsEnabled(false)) lookups return
+  /// a shared no-op instance without allocating or registering anything —
+  /// a disabled process must not grow the registry. Consequence: the kill
+  /// switch is set-once-at-startup; a call site that caches its reference
+  /// while disabled keeps the no-op sink after re-enabling.
   Counter& GetCounter(const std::string& name);
   Gauge& GetGauge(const std::string& name);
   LatencyHistogram& GetHistogram(const std::string& name);
+
+  /// Registered metric counts (regression guard: disabled lookups must
+  /// not register).
+  size_t num_counters() const;
+  size_t num_gauges() const;
+  size_t num_histograms() const;
 
   /// Renders every registered metric as one JSON object:
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,total_us,

@@ -1,0 +1,166 @@
+#include "obs/query_log.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/crc32.h"
+
+namespace colgraph::obs {
+
+namespace {
+
+constexpr uint8_t kFrameRecord = 0;
+constexpr uint8_t kFrameFooter = 1;
+
+void AppendBytes(std::vector<char>* out, const void* data, size_t n) {
+  const size_t old = out->size();
+  out->resize(old + n);
+  std::memcpy(out->data() + old, data, n);
+}
+
+template <typename T>
+void AppendPod(std::vector<char>* out, const T& value) {
+  AppendBytes(out, &value, sizeof(T));
+}
+
+// Serializes the record payload (frame header excluded).
+void AppendRecordPayload(const QueryLogRecord& r, std::vector<char>* out) {
+  AppendPod(out, static_cast<uint8_t>(r.kind));
+  AppendPod(out, static_cast<uint8_t>(r.fn));
+  AppendPod(out, uint16_t{0});  // pad: keeps the u32 counts aligned
+
+  AppendPod(out, static_cast<uint32_t>(r.edges.size()));
+  for (const Edge& e : r.edges) {
+    AppendPod(out, e.from.base);
+    AppendPod(out, e.from.occurrence);
+    AppendPod(out, e.to.base);
+    AppendPod(out, e.to.occurrence);
+  }
+  AppendPod(out, static_cast<uint32_t>(r.isolated_nodes.size()));
+  for (const NodeRef& n : r.isolated_nodes) {
+    AppendPod(out, n.base);
+    AppendPod(out, n.occurrence);
+  }
+  AppendPod(out, static_cast<uint32_t>(r.graph_view_indexes.size()));
+  for (const uint32_t v : r.graph_view_indexes) AppendPod(out, v);
+  AppendPod(out, static_cast<uint32_t>(r.agg_view_indexes.size()));
+  for (const uint32_t v : r.agg_view_indexes) AppendPod(out, v);
+
+  for (size_t p = 0; p < kNumQueryPhases; ++p) AppendPod(out, r.phase_us[p]);
+  AppendPod(out, r.total_us);
+  AppendPod(out, r.result_cardinality);
+}
+
+// Wraps `payload` in a [type|len|crc|payload] frame appended to `out`.
+void AppendFrame(uint8_t type, const std::vector<char>& payload,
+                 std::vector<char>* out) {
+  AppendPod(out, type);
+  AppendPod(out, static_cast<uint64_t>(payload.size()));
+  AppendPod(out, Crc32c(payload.data(), payload.size()));
+  AppendBytes(out, payload.data(), payload.size());
+}
+
+}  // namespace
+
+const char* QueryLogKindName(QueryLogKind kind) {
+  switch (kind) {
+    case QueryLogKind::kMatch:
+      return "match";
+    case QueryLogKind::kPathAgg:
+      return "path_agg";
+  }
+  return "unknown";
+}
+
+GraphQuery QueryLogRecord::ToQuery() const {
+  DirectedGraph g;
+  for (const Edge& e : edges) g.AddEdge(e);
+  // Isolated measured nodes must come back as nodes, not self-edges: a
+  // self-edge would put a cycle in the structure and break the aggregate
+  // path's DAG requirement. Resolve() turns them back into Edge{n,n}
+  // catalog lookups, exactly as it did for the live query.
+  for (const NodeRef& n : isolated_nodes) g.AddNode(n);
+  return GraphQuery(std::move(g));
+}
+
+void AppendRecordFrame(const QueryLogRecord& record, std::vector<char>* out) {
+  std::vector<char> payload;
+  AppendRecordPayload(record, &payload);
+  AppendFrame(kFrameRecord, payload, out);
+}
+
+StatusOr<std::unique_ptr<QueryLog>> QueryLog::Open(QueryLogOptions options) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("query log path must not be empty");
+  }
+  COLGRAPH_ASSIGN_OR_RETURN(io::AppendFile file,
+                            io::AppendFile::Create(options.path));
+  std::unique_ptr<QueryLog> log(
+      new QueryLog(std::move(options), std::move(file)));
+  AppendPod(&log->buffer_, kQueryLogMagic);
+  AppendPod(&log->buffer_, kQueryLogVersion);
+  return log;
+}
+
+QueryLog::~QueryLog() {
+  const Status s = Close();
+  if (!s.ok()) {
+    std::fprintf(stderr, "colgraph: query log close failed: %s\n",
+                 s.ToString().c_str());
+  }
+}
+
+void QueryLog::Append(const QueryLogRecord& record) {
+  // Serialize outside the lock: the buffer enqueue is the only contended
+  // part of the hot path.
+  std::vector<char> frame;
+  AppendRecordFrame(record, &frame);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_ || !first_error_.ok()) return;
+  AppendBytes(&buffer_, frame.data(), frame.size());
+  ++records_;
+  if (buffer_.size() >= options_.flush_bytes) FlushLocked();
+}
+
+void QueryLog::FlushLocked() {
+  if (buffer_.empty() || !first_error_.ok()) return;
+  const Status s = file_.Append(buffer_.data(), buffer_.size());
+  buffer_.clear();
+  if (!s.ok()) {
+    first_error_ = s;
+    std::fprintf(stderr,
+                 "colgraph: query log write failed, capture stopped: %s\n",
+                 s.ToString().c_str());
+  }
+}
+
+Status QueryLog::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  FlushLocked();
+  return first_error_;
+}
+
+Status QueryLog::Close() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return first_error_;
+  closed_ = true;
+  if (first_error_.ok()) {
+    std::vector<char> footer;
+    AppendPod(&footer, kQueryLogFooterMagic);
+    AppendPod(&footer, records_);
+    AppendFrame(kFrameFooter, footer, &buffer_);
+    FlushLocked();
+  }
+  const Status sync = file_.SyncAndClose();
+  if (first_error_.ok()) first_error_ = sync;
+  return first_error_;
+}
+
+uint64_t QueryLog::records_appended() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return records_;
+}
+
+}  // namespace colgraph::obs

@@ -1,0 +1,28 @@
+// Validating reader for the query-log format defined in obs/query_log.h.
+//
+// Structural guarantees (torture-tested like the snapshot codecs): a log
+// that was not cleanly Close()d — any byte truncation, a missing footer,
+// trailing bytes, a record-count mismatch — is Status::Corruption, and
+// every length prefix is bounded by the bytes actually present before any
+// allocation or copy. A valid file decodes to the exact QueryLogRecord
+// sequence that was appended.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/query_log.h"
+#include "util/status.h"
+
+namespace colgraph::obs {
+
+/// Reads and validates a whole query log. Missing file → IOError;
+/// structural damage → Corruption. Failpoint: "io:open_read".
+StatusOr<std::vector<QueryLogRecord>> ReadQueryLog(const std::string& path);
+
+/// Decodes a log already loaded into memory (torture tests mutate bytes
+/// in place). `what` names the source in error messages.
+StatusOr<std::vector<QueryLogRecord>> DecodeQueryLog(
+    const std::vector<char>& data, const std::string& what);
+
+}  // namespace colgraph::obs

@@ -6,6 +6,7 @@
 #include "query/engine.h"
 
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 
 namespace colgraph {
@@ -71,6 +72,33 @@ StatusOr<PathAggResult> QueryEngine::AggregateAlongPath(
 
 StatusOr<PathAggResult> QueryEngine::RunAggregateQuery(
     const GraphQuery& query, AggFn fn, const QueryOptions& options) const {
+  if (log_ == nullptr || !obs::QueryLogEnabled()) {
+    return RunAggregateQueryImpl(query, fn, options, nullptr, nullptr);
+  }
+  // Capture path — see RunGraphQuery for the private-trace rationale.
+  const uint64_t start_us = obs::NowMicros();
+  obs::Trace log_trace;
+  QueryOptions opts = options;
+  opts.trace = &log_trace;
+  MatchPlan plan;
+  std::vector<uint32_t> path_views;
+  StatusOr<PathAggResult> result =
+      RunAggregateQueryImpl(query, fn, opts, &plan, &path_views);
+  if (options.trace != nullptr) {
+    for (const obs::TraceEvent& ev : log_trace.events()) {
+      options.trace->Add(ev.name, start_us + ev.start_us, ev.duration_us);
+    }
+  }
+  if (result.ok()) {
+    AppendLogRecord(/*is_path_agg=*/true, fn, query, plan, path_views,
+                    log_trace, start_us, result.value().records.size());
+  }
+  return result;
+}
+
+StatusOr<PathAggResult> QueryEngine::RunAggregateQueryImpl(
+    const GraphQuery& query, AggFn fn, const QueryOptions& options,
+    MatchPlan* plan_out, std::vector<uint32_t>* path_views_out) const {
   if (!query.graph().IsAcyclic()) {
     return Status::InvalidArgument(
         "path aggregation requires a DAG query; flatten cycles first "
@@ -96,7 +124,7 @@ StatusOr<PathAggResult> QueryEngine::RunAggregateQuery(
   // bitmaps too: for an aggregate query whose paths are materialized, bp
   // both filters and pays for itself.
   const Bitmap matches =
-      MatchIds(resolved.ids, options, /*consider_agg_bitmaps=*/true);
+      MatchIds(resolved.ids, options, /*consider_agg_bitmaps=*/true, plan_out);
   matches.AppendSetBits(&result.records);
 
   COLGRAPH_ASSIGN_OR_RETURN(result.paths, MaximalPaths(query.graph()));
@@ -131,6 +159,10 @@ StatusOr<PathAggResult> QueryEngine::RunAggregateQuery(
           seg.is_view ? relation_->FetchAggregateView(seg.agg_view_column)
                       : relation_->FetchMeasureColumn(seg.atom);
       segment_columns.push_back({&col, seg.is_view, seg.num_elements});
+      if (seg.is_view && path_views_out != nullptr) {
+        path_views_out->push_back(
+            static_cast<uint32_t>(seg.agg_view_column));
+      }
     }
     if (!plan.segments.empty()) ++relation_->stats().partitions_touched;
 

@@ -4,6 +4,7 @@
 // unchanged serial code path into its own pre-sized output slot, so the
 // batch result is bit-identical to a serial loop for any thread count.
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "query/engine.h"
 #include "util/thread_pool.h"
@@ -52,6 +53,11 @@ StatusOr<std::vector<MeasureTable>> QueryEngine::EvaluateBatch(
         }
         return Status::OK();
       }));
+  // A completed batch is a natural durability point for the query log:
+  // push the buffered records to the file so a later crash loses at most
+  // the in-flight batch. Log failures never fail queries (the log poisons
+  // itself and reports at Close).
+  if (log_ != nullptr && obs::QueryLogEnabled()) (void)log_->Flush();
   return results;
 }
 
@@ -70,6 +76,7 @@ StatusOr<std::vector<PathAggResult>> QueryEngine::EvaluatePathAggBatch(
         }
         return Status::OK();
       }));
+  if (log_ != nullptr && obs::QueryLogEnabled()) (void)log_->Flush();
   return results;
 }
 

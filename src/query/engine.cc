@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <map>
+#include <optional>
 
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 
 namespace colgraph {
@@ -63,7 +66,9 @@ const Bitmap& QueryEngine::FetchSource(const BitmapSource& source) const {
 
 Bitmap QueryEngine::MatchIds(const std::vector<EdgeId>& ids,
                              const QueryOptions& options,
-                             bool consider_agg_bitmaps) const {
+                             bool consider_agg_bitmaps,
+                             MatchPlan* plan_out) const {
+  if (plan_out != nullptr) plan_out->sources.clear();
   if (ids.empty()) {
     // An unconstrained query matches everything.
     Bitmap all(relation_->num_records());
@@ -84,6 +89,7 @@ Bitmap QueryEngine::MatchIds(const std::vector<EdgeId>& ids,
                   return SourceCardinality(a) < SourceCardinality(b);
                 });
     }
+    if (plan_out != nullptr) *plan_out = plan;
   }
   const obs::Span span(obs::QueryPhase::kBitmapAnd, options.trace);
   Bitmap result = FetchSource(plan.sources.front());
@@ -203,8 +209,9 @@ MeasureTable QueryEngine::FetchMeasures(const Bitmap& matches,
   return table;
 }
 
-StatusOr<MeasureTable> QueryEngine::RunGraphQuery(
-    const GraphQuery& query, const QueryOptions& options) const {
+StatusOr<MeasureTable> QueryEngine::RunGraphQueryImpl(
+    const GraphQuery& query, const QueryOptions& options,
+    MatchPlan* plan_out) const {
   static obs::Counter& queries =
       obs::MetricsRegistry::Global().GetCounter("query.graph.count");
   static obs::LatencyHistogram& total =
@@ -224,13 +231,88 @@ StatusOr<MeasureTable> QueryEngine::RunGraphQuery(
     return empty;
   }
   const Bitmap matches =
-      MatchIds(resolved.ids, options, /*consider_agg_bitmaps=*/false);
+      MatchIds(resolved.ids, options, /*consider_agg_bitmaps=*/false, plan_out);
   // FetchMeasures records the fetch-phase histogram itself (it is a public
   // entry point too); the trace-only span here attributes the same
   // interval to this query's trace without double-counting the histogram.
   const obs::Span fetch_span(nullptr, options.trace,
                              obs::PhaseName(obs::QueryPhase::kFetch));
   return FetchMeasures(matches, resolved.ids);
+}
+
+void QueryEngine::AppendLogRecord(bool is_path_agg, AggFn fn,
+                                  const GraphQuery& query,
+                                  const MatchPlan& plan,
+                                  const std::vector<uint32_t>& path_views,
+                                  const obs::Trace& trace, uint64_t start_us,
+                                  uint64_t result_cardinality) const {
+  obs::QueryLogRecord rec;
+  rec.kind =
+      is_path_agg ? obs::QueryLogKind::kPathAgg : obs::QueryLogKind::kMatch;
+  rec.fn = is_path_agg ? fn : AggFn::kSum;
+
+  const DirectedGraph& g = query.graph();
+  rec.edges = g.edges();
+  for (const NodeRef& n : g.nodes()) {
+    if (g.OutDegree(n) == 0 && g.InDegree(n) == 0) {
+      rec.isolated_nodes.push_back(n);
+    }
+  }
+
+  for (const BitmapSource& s : plan.sources) {
+    if (s.kind == BitmapSource::Kind::kGraphView) {
+      rec.graph_view_indexes.push_back(static_cast<uint32_t>(s.index));
+    } else if (s.kind == BitmapSource::Kind::kAggViewBitmap) {
+      rec.agg_view_indexes.push_back(static_cast<uint32_t>(s.index));
+    }
+  }
+  // Aggregate views chosen by the path segmentation, on top of any bp
+  // bitmaps the match plan ANDed (deduplicated, order-normalized).
+  rec.agg_view_indexes.insert(rec.agg_view_indexes.end(), path_views.begin(),
+                              path_views.end());
+  std::sort(rec.agg_view_indexes.begin(), rec.agg_view_indexes.end());
+  rec.agg_view_indexes.erase(std::unique(rec.agg_view_indexes.begin(),
+                                         rec.agg_view_indexes.end()),
+                             rec.agg_view_indexes.end());
+
+  for (const obs::TraceEvent& ev : trace.events()) {
+    for (size_t p = 0; p < obs::kNumQueryPhases; ++p) {
+      if (std::strcmp(ev.name,
+                      obs::PhaseName(static_cast<obs::QueryPhase>(p))) == 0) {
+        rec.phase_us[p] += ev.duration_us;
+        break;
+      }
+    }
+  }
+  rec.total_us = obs::NowMicros() - start_us;
+  rec.result_cardinality = result_cardinality;
+  log_->Append(rec);
+}
+
+StatusOr<MeasureTable> QueryEngine::RunGraphQuery(
+    const GraphQuery& query, const QueryOptions& options) const {
+  if (log_ == nullptr || !obs::QueryLogEnabled()) {
+    return RunGraphQueryImpl(query, options, nullptr);
+  }
+  // Capture path: run with a private trace so this query's phase timings
+  // are attributable even inside a batch sharing one caller trace; the
+  // events are forwarded to the caller's trace afterwards.
+  const uint64_t start_us = obs::NowMicros();
+  obs::Trace log_trace;
+  QueryOptions opts = options;
+  opts.trace = &log_trace;
+  MatchPlan plan;
+  StatusOr<MeasureTable> result = RunGraphQueryImpl(query, opts, &plan);
+  if (options.trace != nullptr) {
+    for (const obs::TraceEvent& ev : log_trace.events()) {
+      options.trace->Add(ev.name, start_us + ev.start_us, ev.duration_us);
+    }
+  }
+  if (result.ok()) {
+    AppendLogRecord(/*is_path_agg=*/false, AggFn::kSum, query, plan, {},
+                    log_trace, start_us, result.value().num_rows());
+  }
+  return result;
 }
 
 obs::ExplainResult QueryEngine::Explain(const GraphQuery& query,
@@ -240,19 +322,73 @@ obs::ExplainResult QueryEngine::Explain(const GraphQuery& query,
   result.query_edges = resolved.ids;
   result.satisfiable = resolved.satisfiable;
   if (!resolved.satisfiable) return result;
+  ExplainMatchInto(resolved.ids, options, /*consider_agg_bitmaps=*/false,
+                   &result);
+  return result;
+}
 
+obs::ExplainResult QueryEngine::ExplainAggregate(
+    const GraphQuery& query, AggFn fn, const QueryOptions& options) const {
+  obs::ExplainResult result;
+  result.is_aggregate = true;
+  const ResolvedQuery resolved = Resolve(query);
+  result.query_edges = resolved.ids;
+  result.satisfiable = resolved.satisfiable;
+  if (!resolved.satisfiable) return result;
+  // Same match plan RunAggregateQuery builds: aggregate-view bp bitmaps
+  // are offered as covering bitmaps too.
+  ExplainMatchInto(resolved.ids, options, /*consider_agg_bitmaps=*/true,
+                   &result);
+
+  // Path segmentation, mirroring RunAggregateQueryImpl. A cyclic query is
+  // rejected by evaluation; EXPLAIN just reports zero paths for it.
+  if (!query.graph().IsAcyclic()) return result;
+  StatusOr<std::vector<Path>> paths = MaximalPaths(query.graph());
+  if (!paths.ok()) return result;
+  result.num_paths = paths.value().size();
   const ViewCatalog* views = options.use_views ? views_ : nullptr;
-  result.used_views =
+  for (const Path& path : paths.value()) {
+    std::vector<EdgeId> elements;
+    for (const Edge& e : path.Elements()) {
+      const auto id = catalog_->Lookup(e);
+      if (id.has_value()) elements.push_back(*id);
+    }
+    const PathPlan plan = PlanPathAggregation(elements, fn, views);
+    for (const PathSegment& seg : plan.segments) {
+      if (seg.is_view) {
+        result.agg_view_indexes.push_back(seg.agg_view_column);
+        result.path_elements_from_views += seg.num_elements;
+      } else {
+        ++result.path_elements_atomic;
+      }
+    }
+  }
+  // One list for both roles an aggregate view plays (bp bitmap in the
+  // match, column in the fold) — same semantics as a query-log record.
+  std::sort(result.agg_view_indexes.begin(), result.agg_view_indexes.end());
+  result.agg_view_indexes.erase(
+      std::unique(result.agg_view_indexes.begin(),
+                  result.agg_view_indexes.end()),
+      result.agg_view_indexes.end());
+  return result;
+}
+
+void QueryEngine::ExplainMatchInto(const std::vector<EdgeId>& ids,
+                                   const QueryOptions& options,
+                                   bool consider_agg_bitmaps,
+                                   obs::ExplainResult* result) const {
+  const ViewCatalog* views = options.use_views ? views_ : nullptr;
+  result->used_views =
       views != nullptr &&
       (views->num_graph_views() > 0 || views->num_agg_views() > 0);
-  if (resolved.ids.empty()) {
+  if (ids.empty()) {
     // Unconstrained query: matches everything, no bitmaps to AND.
-    result.matched_records = relation_->num_records();
-    return result;
+    result->matched_records = relation_->num_records();
+    return;
   }
 
-  AnnotatedMatchPlan plan = PlanMatchAnnotated(resolved.ids, views,
-                                               /*consider_agg_bitmaps=*/false);
+  AnnotatedMatchPlan plan = PlanMatchAnnotated(ids, views,
+                                               consider_agg_bitmaps);
   if (options.order_by_selectivity) {
     // Mirror MatchIds' execution order exactly (stable sort is not needed
     // there either: SourceCardinality is a strict weak order over the same
@@ -280,16 +416,17 @@ obs::ExplainResult QueryEngine::Explain(const GraphQuery& query,
     }
     out.cumulative_cardinality = running.Count();
     if (annotated.source.kind == BitmapSource::Kind::kEdge) {
-      result.residual_edges.push_back(static_cast<EdgeId>(
+      result->residual_edges.push_back(static_cast<EdgeId>(
           annotated.source.index));
     } else if (annotated.source.kind == BitmapSource::Kind::kGraphView) {
-      result.graph_view_indexes.push_back(annotated.source.index);
+      result->graph_view_indexes.push_back(annotated.source.index);
+    } else if (annotated.source.kind == BitmapSource::Kind::kAggViewBitmap) {
+      result->agg_view_indexes.push_back(annotated.source.index);
     }
-    result.sources.push_back(std::move(out));
+    result->sources.push_back(std::move(out));
   }
-  std::sort(result.residual_edges.begin(), result.residual_edges.end());
-  result.matched_records = running.Count();
-  return result;
+  std::sort(result->residual_edges.begin(), result->residual_edges.end());
+  result->matched_records = running.Count();
 }
 
 }  // namespace colgraph

@@ -21,6 +21,7 @@ namespace colgraph {
 
 namespace obs {
 class Trace;
+class QueryLog;
 }  // namespace obs
 
 /// \brief Column-major result of a measure fetch: `columns[i][r]` is the
@@ -71,9 +72,16 @@ class ThreadPool;
 /// one excluded combination — see DESIGN.md §8 for the contract.
 class QueryEngine {
  public:
+  /// `query_log` (optional) captures every executed query — structure,
+  /// chosen views, per-phase timings, result cardinality — for replay and
+  /// workload-driven view advice (DESIGN.md §10). The log outlives the
+  /// evaluator; hooks are skipped when obs::QueryLogEnabled() is off.
   QueryEngine(const MasterRelation* relation, const EdgeCatalog* catalog,
-              const ViewCatalog* views)
-      : relation_(relation), catalog_(catalog), views_(views) {}
+              const ViewCatalog* views, obs::QueryLog* query_log = nullptr)
+      : relation_(relation),
+        catalog_(catalog),
+        views_(views),
+        log_(query_log) {}
 
   /// Resolves the query's structural elements to edge-column ids.
   ///
@@ -90,9 +98,13 @@ class QueryEngine {
   /// Records containing the query subgraph (bitmap over record ids).
   Bitmap Match(const GraphQuery& query, const QueryOptions& options = {}) const;
 
-  /// Match via an explicit element-id set.
+  /// Match via an explicit element-id set. `plan_out` (optional) receives
+  /// the executed plan — sources in AND order, after the selectivity sort —
+  /// so callers (the query-log hooks) can record the rewriter's choices
+  /// without re-planning.
   Bitmap MatchIds(const std::vector<EdgeId>& ids, const QueryOptions& options,
-                  bool consider_agg_bitmaps) const;
+                  bool consider_agg_bitmaps,
+                  MatchPlan* plan_out = nullptr) const;
 
   // Logical combinators over answer sets (Section 3.2):
   // [Gq1 AND Gq2] = intersection, [Gq1 OR Gq2] = union,
@@ -147,6 +159,15 @@ class QueryEngine {
   obs::ExplainResult Explain(const GraphQuery& query,
                              const QueryOptions& options = {}) const;
 
+  /// EXPLAIN for a path-aggregation query: the match plan RunAggregateQuery
+  /// would AND (aggregate-view bp bitmaps included, so the sources and
+  /// their estimated/actual cardinalities match the kAggViewBitmap
+  /// behavior) plus the path segmentation — which maximal paths fold over
+  /// materialized aggregate-view columns vs. atomic measure columns. A
+  /// cyclic query (which evaluation rejects) reports zero paths.
+  obs::ExplainResult ExplainAggregate(const GraphQuery& query, AggFn fn,
+                                      const QueryOptions& options = {}) const;
+
   /// Aggregates F along one explicit path, honoring open ends
   /// (Section 3.3): e.g. (D,E,G) folds the edges and E's own measure but
   /// excludes the endpoint measures of D and G. Matches are the records
@@ -161,9 +182,33 @@ class QueryEngine {
   /// Set-bit count of a plan source, without counting as a fetch.
   size_t SourceCardinality(const BitmapSource& source) const;
 
+  /// Shared EXPLAIN core: fills `result` with the annotated match plan for
+  /// resolved edge ids (sources in AND order, per-step estimated vs.
+  /// actual cardinalities, residual edges, chosen view indexes).
+  void ExplainMatchInto(const std::vector<EdgeId>& ids,
+                        const QueryOptions& options,
+                        bool consider_agg_bitmaps,
+                        obs::ExplainResult* result) const;
+
+  // Un-logged evaluation bodies; the public entry points wrap them with
+  // the query-log capture when a log is attached.
+  [[nodiscard]] StatusOr<MeasureTable> RunGraphQueryImpl(
+      const GraphQuery& query, const QueryOptions& options,
+      MatchPlan* plan_out) const;
+  [[nodiscard]] StatusOr<PathAggResult> RunAggregateQueryImpl(
+      const GraphQuery& query, AggFn fn, const QueryOptions& options,
+      MatchPlan* plan_out, std::vector<uint32_t>* path_views_out) const;
+  // Builds and appends one log record from an executed query's facts.
+  void AppendLogRecord(bool is_path_agg, AggFn fn, const GraphQuery& query,
+                       const MatchPlan& plan,
+                       const std::vector<uint32_t>& path_views,
+                       const obs::Trace& trace, uint64_t start_us,
+                       uint64_t result_cardinality) const;
+
   const MasterRelation* relation_;
   const EdgeCatalog* catalog_;
   const ViewCatalog* views_;  // may be null (no views materialized)
+  obs::QueryLog* log_;        // may be null (no capture configured)
 };
 
 }  // namespace colgraph

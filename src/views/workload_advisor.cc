@@ -1,0 +1,105 @@
+#include "views/workload_advisor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "views/set_cover.h"
+
+namespace colgraph {
+
+namespace {
+
+// Mirrors QueryEngine::Resolve (query/engine.cc) without needing a
+// relation: structural edges the catalog never saw make the query
+// unsatisfiable; unknown node measures are unconstrained; isolated nodes
+// resolve through their Edge{n,n} measure column.
+struct ResolvedUniverse {
+  std::vector<EdgeId> ids;
+  bool satisfiable = true;
+};
+
+ResolvedUniverse ResolveAgainstCatalog(const GraphQuery& query,
+                                       const EdgeCatalog& catalog) {
+  ResolvedUniverse resolved;
+  const DirectedGraph& g = query.graph();
+  for (const Edge& e : g.edges()) {
+    const auto id = catalog.Lookup(e);
+    if (!id.has_value()) {
+      if (e.IsNode()) continue;
+      resolved.satisfiable = false;
+      continue;
+    }
+    resolved.ids.push_back(*id);
+  }
+  for (const NodeRef& n : g.nodes()) {
+    if (g.OutDegree(n) == 0 && g.InDegree(n) == 0) {
+      const auto id = catalog.Lookup(Edge{n, n});
+      if (id.has_value()) resolved.ids.push_back(*id);
+    }
+  }
+  std::sort(resolved.ids.begin(), resolved.ids.end());
+  resolved.ids.erase(std::unique(resolved.ids.begin(), resolved.ids.end()),
+                     resolved.ids.end());
+  return resolved;
+}
+
+}  // namespace
+
+std::vector<GraphQuery> WorkloadFromQueryLog(
+    const std::vector<obs::QueryLogRecord>& records) {
+  std::vector<GraphQuery> workload;
+  workload.reserve(records.size());
+  for (const obs::QueryLogRecord& r : records) {
+    workload.push_back(r.ToQuery());
+  }
+  return workload;
+}
+
+StatusOr<WorkloadAdvice> AdviseGraphViews(
+    const std::vector<GraphQuery>& workload, const EdgeCatalog& catalog,
+    size_t budget, const CandidateGenOptions& gen_options) {
+  WorkloadAdvice advice;
+
+  // Same universe construction as SelectAndMaterializeGraphViews:
+  // unsatisfiable or element-free queries contribute nothing to cover.
+  std::vector<std::vector<EdgeId>> universes;
+  universes.reserve(workload.size());
+  for (const GraphQuery& q : workload) {
+    const ResolvedUniverse resolved = ResolveAgainstCatalog(q, catalog);
+    if (!resolved.satisfiable || resolved.ids.empty()) continue;
+    advice.total_elements += resolved.ids.size();
+    universes.push_back(resolved.ids);
+  }
+  advice.num_universes = universes.size();
+
+  COLGRAPH_ASSIGN_OR_RETURN(
+      std::vector<GraphViewDef> candidates,
+      GenerateGraphViewCandidates(universes, gen_options));
+
+  const SetCoverSelection selection =
+      GreedyExtendedSetCover(universes, candidates, budget);
+  advice.uncovered_elements = selection.uncovered_elements;
+
+  // Re-walk the picks in order to attribute each one's gain — the greedy's
+  // own objective at the moment it chose the view. Same set arithmetic as
+  // GreedyExtendedSetCover, so the numbers are exactly what it maximized.
+  std::vector<std::unordered_set<EdgeId>> uncovered(universes.size());
+  for (size_t u = 0; u < universes.size(); ++u) {
+    uncovered[u].insert(universes[u].begin(), universes[u].end());
+  }
+  for (const size_t c : selection.selected) {
+    AdvisedView view;
+    view.def = candidates[c];
+    for (size_t u = 0; u < universes.size(); ++u) {
+      if (!candidates[c].IsSubsetOf(universes[u])) continue;
+      ++view.supporting_queries;
+      for (EdgeId e : candidates[c].edges) {
+        view.coverage_gain += uncovered[u].erase(e);
+      }
+    }
+    advice.views.push_back(std::move(view));
+  }
+  return advice;
+}
+
+}  // namespace colgraph

@@ -1,0 +1,62 @@
+// Workload-driven view advice from a captured query log (DESIGN.md §10):
+// the paper's view-selection pipeline (candidate generation §5.2 + greedy
+// extended set cover) applied to the queries an engine actually executed,
+// instead of a synthetic QueryGenerator workload. This is the mining half
+// of the capture → replay → advise loop; tools/colgraph_replay
+// --advise-views=k is the driver.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/catalog.h"
+#include "graph/graph.h"
+#include "obs/query_log.h"
+#include "util/status.h"
+#include "views/candidate_generation.h"
+#include "views/view_defs.h"
+
+namespace colgraph {
+
+/// Rebuilds the executed workload (query graphs, in log order) from log
+/// records. Both match and path-agg queries contribute: their structural
+/// universes are what graph-view selection covers.
+std::vector<GraphQuery> WorkloadFromQueryLog(
+    const std::vector<obs::QueryLogRecord>& records);
+
+/// \brief One advised view with its estimated benefit.
+struct AdvisedView {
+  GraphViewDef def;
+  /// Workload queries this view is usable in (view ⊆ query universe).
+  size_t supporting_queries = 0;
+  /// Elements this pick newly covered across all universes at selection
+  /// time — the greedy's own gain, i.e. how many atomic bitmap fetches the
+  /// view replaces over the whole workload.
+  size_t coverage_gain = 0;
+};
+
+/// \brief Result of advising over a workload.
+struct WorkloadAdvice {
+  /// Selected views, in greedy pick order.
+  std::vector<AdvisedView> views;
+  /// Total structural elements across all query universes.
+  size_t total_elements = 0;
+  /// Elements still uncovered after the selection (answered by atomic
+  /// bitmaps at query time).
+  size_t uncovered_elements = 0;
+  /// Universes fed to selection (satisfiable, non-empty queries).
+  size_t num_universes = 0;
+};
+
+/// \brief Runs candidate generation + GreedyExtendedSetCover over a
+/// workload, resolving each query against `catalog` exactly as
+/// QueryEngine::Resolve does (unknown structural edge → unsatisfiable,
+/// skipped; unknown node measure → unconstrained). Deterministic: the
+/// same multiset of queries yields the same advice in any order, so
+/// advising from a replayed log matches advising from the original
+/// in-memory workload.
+StatusOr<WorkloadAdvice> AdviseGraphViews(
+    const std::vector<GraphQuery>& workload, const EdgeCatalog& catalog,
+    size_t budget, const CandidateGenOptions& gen_options = {});
+
+}  // namespace colgraph

@@ -172,6 +172,116 @@ TEST_F(ExplainTest, RenderersIncludeTheDecisions) {
   EXPECT_NE(json.find("\"satisfiable\":true"), std::string::npos) << json;
 }
 
+TEST_F(ExplainTest, ExplainAggregateReportsChosenAggViews) {
+  // SUM view over elements {1,2}: no graph view has that edge set, so both
+  // the match (its bp bitmap) and the fold (its mp column) must use it.
+  AggViewDef def;
+  def.elements = {1, 2};
+  def.fn = AggFn::kSum;
+  const auto column = engine_.MaterializeView(def);
+  ASSERT_TRUE(column.ok());
+
+  const GraphQuery query = GraphQuery::FromPath({N(2), N(3), N(4)});
+  const obs::ExplainResult explain =
+      engine_.ExplainAggregate(query, AggFn::kSum);
+  EXPECT_TRUE(explain.is_aggregate);
+  EXPECT_TRUE(explain.satisfiable);
+  EXPECT_EQ(explain.num_paths, 1u);
+  EXPECT_EQ(explain.agg_view_indexes, (std::vector<size_t>{column.value()}));
+  EXPECT_EQ(explain.path_elements_from_views, 2u);
+  EXPECT_EQ(explain.path_elements_atomic, 0u);
+  ASSERT_EQ(explain.sources.size(), 1u);
+  EXPECT_EQ(explain.sources[0].source.kind,
+            BitmapSource::Kind::kAggViewBitmap);
+  EXPECT_EQ(explain.sources[0].source.index, column.value());
+
+  const auto result = engine_.RunAggregateQuery(query, AggFn::kSum);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(explain.matched_records, result->records.size());
+}
+
+TEST_F(ExplainTest, ExplainAggregateCardinalitiesPerAndStep) {
+  AggViewDef def;
+  def.elements = {1, 2};
+  def.fn = AggFn::kSum;
+  const auto column = engine_.MaterializeView(def);
+  ASSERT_TRUE(column.ok());
+
+  // Four-edge query: the cover uses the two graph views for the match and
+  // the segmentation folds the middle two elements through the agg view.
+  const GraphQuery query =
+      GraphQuery::FromPath({N(1), N(2), N(3), N(4), N(5)});
+  const obs::ExplainResult explain =
+      engine_.ExplainAggregate(query, AggFn::kSum);
+  ASSERT_FALSE(explain.sources.empty());
+  // Estimated == actual for the first AND input; the running conjunction
+  // only shrinks and ends at the evaluated match count.
+  EXPECT_EQ(explain.sources.front().cumulative_cardinality,
+            explain.sources.front().estimated_cardinality);
+  size_t prev = explain.sources.front().cumulative_cardinality;
+  for (const obs::ExplainSource& s : explain.sources) {
+    EXPECT_GT(s.estimated_cardinality, 0u);
+    EXPECT_LE(s.cumulative_cardinality, prev);
+    prev = s.cumulative_cardinality;
+  }
+  const auto result = engine_.RunAggregateQuery(query, AggFn::kSum);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(explain.matched_records, result->records.size());
+  EXPECT_EQ(explain.sources.back().cumulative_cardinality,
+            explain.matched_records);
+
+  // Path segmentation: elements 1,2 from the view, 0 and 3 atomic.
+  EXPECT_EQ(explain.num_paths, 1u);
+  EXPECT_EQ(explain.agg_view_indexes, (std::vector<size_t>{column.value()}));
+  EXPECT_EQ(explain.path_elements_from_views, 2u);
+  EXPECT_EQ(explain.path_elements_atomic, 2u);
+}
+
+TEST_F(ExplainTest, ExplainAggregateWithoutViewsIsAllAtomic) {
+  AggViewDef def;
+  def.elements = {1, 2};
+  def.fn = AggFn::kSum;
+  ASSERT_TRUE(engine_.MaterializeView(def).ok());
+
+  QueryOptions options;
+  options.use_views = false;
+  const obs::ExplainResult explain = engine_.ExplainAggregate(
+      GraphQuery::FromPath({N(2), N(3), N(4)}), AggFn::kSum, options);
+  EXPECT_FALSE(explain.used_views);
+  EXPECT_TRUE(explain.agg_view_indexes.empty());
+  EXPECT_EQ(explain.path_elements_from_views, 0u);
+  EXPECT_EQ(explain.path_elements_atomic, 2u);
+  EXPECT_EQ(explain.residual_edges, (std::vector<EdgeId>{1, 2}));
+  for (const obs::ExplainSource& s : explain.sources) {
+    EXPECT_EQ(s.source.kind, BitmapSource::Kind::kEdge);
+  }
+}
+
+TEST_F(ExplainTest, ExplainAggregateUnsatisfiableAndRenderers) {
+  const obs::ExplainResult unsat = engine_.ExplainAggregate(
+      GraphQuery::FromPath({N(9), N(10)}), AggFn::kSum);
+  EXPECT_TRUE(unsat.is_aggregate);
+  EXPECT_FALSE(unsat.satisfiable);
+  EXPECT_EQ(unsat.num_paths, 0u);
+
+  AggViewDef def;
+  def.elements = {1, 2};
+  def.fn = AggFn::kSum;
+  ASSERT_TRUE(engine_.MaterializeView(def).ok());
+  const obs::ExplainResult explain = engine_.ExplainAggregate(
+      GraphQuery::FromPath({N(2), N(3), N(4)}), AggFn::kSum);
+  const std::string text = explain.ToText();
+  EXPECT_NE(text.find("agg_view_bitmap"), std::string::npos) << text;
+  EXPECT_NE(text.find("aggregate: paths=1"), std::string::npos) << text;
+  const std::string json = explain.ToJson();
+  EXPECT_NE(json.find("\"kind\":\"agg_view_bitmap\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"aggregate\":{\"agg_view_indexes\":["),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"num_paths\":1"), std::string::npos) << json;
+}
+
 TEST_F(ExplainTest, TraceCollectsAllQueryPhases) {
   obs::Trace trace;
   QueryOptions options;

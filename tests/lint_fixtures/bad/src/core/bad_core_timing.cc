@@ -1,0 +1,13 @@
+// Deliberately broken fixture for lint_invariants_test: core-layer code
+// timing snapshot load with an ad-hoc Stopwatch instead of the obs/trace.h
+// span API (the [no-adhoc-timing] rule covers src/core/ too).
+#include "util/stopwatch.h"
+
+namespace colgraph {
+
+double TimeEngineLoadBadly() {
+  Stopwatch watch;
+  return watch.ElapsedSeconds();
+}
+
+}  // namespace colgraph

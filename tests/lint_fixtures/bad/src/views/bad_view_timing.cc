@@ -1,0 +1,14 @@
+// Deliberately broken fixture for lint_invariants_test: views-layer code
+// timing its materialization with a raw chrono clock instead of the
+// obs/trace.h span API (the [no-adhoc-timing] rule covers src/views/ too).
+#include <chrono>
+
+namespace colgraph {
+
+double TimeViewMaterializationBadly() {
+  const auto t0 = std::chrono::high_resolution_clock::now();
+  const auto t1 = std::chrono::high_resolution_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace colgraph

@@ -46,6 +46,14 @@ TEST(LintInvariantsTest, KnownBadFixtureTripsEveryRule) {
   EXPECT_NE(r.output.find("[raw-stream]"), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("[no-raw-thread]"), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("[no-adhoc-timing]"), std::string::npos) << r.output;
+  // The timing rule covers every instrumented layer, not just src/query/:
+  // each layer's fixture must trip it independently.
+  EXPECT_NE(r.output.find("src/query/bad_timing.cc"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("src/views/bad_view_timing.cc"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("src/core/bad_core_timing.cc"), std::string::npos)
+      << r.output;
 }
 
 TEST(LintInvariantsTest, RepositoryIsLintClean) {

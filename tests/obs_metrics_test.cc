@@ -253,5 +253,39 @@ TEST(JsonWriterTest, RawSplicesPreRenderedJson) {
   EXPECT_EQ(w.str(), "{\"inner\":{\"n\":1},\"after\":2}");
 }
 
+TEST(MetricsRegistryTest, DisabledLookupsDoNotRegister) {
+  const MetricsEnabledGuard guard;
+  MetricsRegistry registry;
+  SetMetricsEnabled(true);
+  registry.GetCounter("pre.counter").Increment();
+  registry.GetHistogram("pre.hist").Record(1);
+  const size_t counters = registry.num_counters();
+  const size_t gauges = registry.num_gauges();
+  const size_t histograms = registry.num_histograms();
+
+  SetMetricsEnabled(false);
+  // Lookups while disabled must return a shared no-op sink without growing
+  // the registry — a disabled process must not accumulate metric state.
+  Counter& c1 = registry.GetCounter("disabled.counter.a");
+  Counter& c2 = registry.GetCounter("disabled.counter.b");
+  Gauge& g1 = registry.GetGauge("disabled.gauge");
+  LatencyHistogram& h1 = registry.GetHistogram("disabled.hist");
+  EXPECT_EQ(&c1, &c2);  // one shared sink, not per-name instances
+  c1.Increment();
+  g1.Set(7);
+  h1.Record(123);
+  EXPECT_EQ(registry.num_counters(), counters);
+  EXPECT_EQ(registry.num_gauges(), gauges);
+  EXPECT_EQ(registry.num_histograms(), histograms);
+
+  SetMetricsEnabled(true);
+  // Re-enabled lookups register again and find the pre-existing metrics;
+  // the no-op sink absorbed the disabled-time writes.
+  EXPECT_NE(&registry.GetCounter("pre.counter"), &c1);
+  EXPECT_EQ(registry.GetCounter("pre.counter").value(), 1u);
+  registry.GetCounter("post.counter").Increment();
+  EXPECT_EQ(registry.num_counters(), counters + 1);
+}
+
 }  // namespace
 }  // namespace colgraph::obs

@@ -1,0 +1,314 @@
+// Query-log capture end-to-end (DESIGN.md §10): binary round-trips through
+// writer + reader, engine-level capture of match and path-agg queries
+// (structure, chosen views, timings, cardinalities), the process-wide kill
+// switch, and the reader's structural rejections.
+#include "obs/query_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "obs/query_log_reader.h"
+#include "util/failpoint.h"
+
+namespace colgraph {
+namespace {
+
+using obs::QueryLogKind;
+using obs::QueryLogOptions;
+using obs::QueryLogRecord;
+
+NodeRef N(NodeId id, uint32_t occ = 0) { return NodeRef{id, occ}; }
+
+// Restores the process-wide capture switch on scope exit.
+class QueryLogEnabledGuard {
+ public:
+  QueryLogEnabledGuard() : was_(obs::QueryLogEnabled()) {}
+  ~QueryLogEnabledGuard() { obs::SetQueryLogEnabled(was_); }
+
+ private:
+  bool was_;
+};
+
+class QueryLogTest : public ::testing::Test {
+ protected:
+  std::string path_ =
+      ::testing::TempDir() + "colgraph_query_log_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".bin";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+QueryLogRecord SampleRecord(uint64_t cardinality) {
+  QueryLogRecord rec;
+  rec.kind = QueryLogKind::kPathAgg;
+  rec.fn = AggFn::kMax;
+  rec.edges = {Edge{N(1), N(2)}, Edge{N(2), N(3)},
+               Edge{N(2), N(2)}};  // incl. a node-measure self-edge
+  rec.isolated_nodes = {N(9)};
+  rec.graph_view_indexes = {0, 2};
+  rec.agg_view_indexes = {1};
+  for (size_t p = 0; p < obs::kNumQueryPhases; ++p) {
+    rec.phase_us[p] = 10 * (p + 1);
+  }
+  rec.total_us = 12345;
+  rec.result_cardinality = cardinality;
+  return rec;
+}
+
+TEST_F(QueryLogTest, WriterReaderRoundtrip) {
+  QueryLogOptions options;
+  options.path = path_;
+  options.flush_bytes = 1;  // flush every record
+  auto log = obs::QueryLog::Open(options);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  for (uint64_t i = 0; i < 5; ++i) {
+    log.value()->Append(SampleRecord(i));
+  }
+  EXPECT_EQ(log.value()->records_appended(), 5u);
+  ASSERT_TRUE(log.value()->Close().ok());
+
+  const auto records = obs::ReadQueryLog(path_);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 5u);
+  for (uint64_t i = 0; i < 5; ++i) {
+    const QueryLogRecord& rec = (*records)[i];
+    const QueryLogRecord want = SampleRecord(i);
+    EXPECT_EQ(rec.kind, want.kind);
+    EXPECT_EQ(rec.fn, want.fn);
+    EXPECT_EQ(rec.edges, want.edges);
+    EXPECT_EQ(rec.isolated_nodes, want.isolated_nodes);
+    EXPECT_EQ(rec.graph_view_indexes, want.graph_view_indexes);
+    EXPECT_EQ(rec.agg_view_indexes, want.agg_view_indexes);
+    for (size_t p = 0; p < obs::kNumQueryPhases; ++p) {
+      EXPECT_EQ(rec.phase_us[p], want.phase_us[p]);
+    }
+    EXPECT_EQ(rec.total_us, want.total_us);
+    EXPECT_EQ(rec.result_cardinality, i);
+  }
+}
+
+TEST_F(QueryLogTest, ToQueryRebuildsStructure) {
+  const QueryLogRecord rec = SampleRecord(0);
+  const GraphQuery query = rec.ToQuery();
+  EXPECT_EQ(query.graph().edges(), rec.edges);
+  // The isolated node is present with no incident edge.
+  bool found = false;
+  for (const NodeRef& n : query.graph().nodes()) {
+    if (n == N(9)) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(QueryLogTest, EmptyClosedLogIsValid) {
+  QueryLogOptions options;
+  options.path = path_;
+  auto log = obs::QueryLog::Open(options);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE(log.value()->Close().ok());
+  const auto records = obs::ReadQueryLog(path_);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  EXPECT_TRUE(records->empty());
+}
+
+TEST_F(QueryLogTest, CloseIsIdempotentAndAppendsAfterCloseDrop) {
+  QueryLogOptions options;
+  options.path = path_;
+  auto log = obs::QueryLog::Open(options);
+  ASSERT_TRUE(log.ok());
+  log.value()->Append(SampleRecord(1));
+  ASSERT_TRUE(log.value()->Close().ok());
+  log.value()->Append(SampleRecord(2));  // dropped
+  ASSERT_TRUE(log.value()->Close().ok());
+  const auto records = obs::ReadQueryLog(path_);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 1u);
+}
+
+TEST_F(QueryLogTest, MissingFileIsIOErrorNotCorruption) {
+  const auto records = obs::ReadQueryLog(path_ + ".does_not_exist");
+  ASSERT_FALSE(records.ok());
+  EXPECT_TRUE(records.status().IsIOError()) << records.status().ToString();
+}
+
+TEST_F(QueryLogTest, ReaderRejectsStructuralDamage) {
+  // A valid two-record log, mutated in memory.
+  // resize+memcpy instead of insert-from-reinterpreted-pointers: the
+  // insert form trips GCC 12's -Wstringop-overflow false positive under
+  // COLGRAPH_STRICT.
+  std::vector<char> valid(8);
+  const uint32_t magic = obs::kQueryLogMagic;
+  const uint32_t version = obs::kQueryLogVersion;
+  std::memcpy(valid.data(), &magic, 4);
+  std::memcpy(valid.data() + 4, &version, 4);
+  obs::AppendRecordFrame(SampleRecord(1), &valid);
+  obs::AppendRecordFrame(SampleRecord(2), &valid);
+  // No footer yet: must read as torn.
+  auto torn = obs::DecodeQueryLog(valid, "test");
+  ASSERT_FALSE(torn.ok());
+  EXPECT_TRUE(torn.status().IsCorruption());
+  EXPECT_NE(torn.status().ToString().find("footer"), std::string::npos)
+      << torn.status().ToString();
+
+  // Bad magic.
+  std::vector<char> bad = valid;
+  bad[0] = static_cast<char>(bad[0] ^ 0xFF);
+  auto r = obs::DecodeQueryLog(bad, "test");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+
+  // Unsupported version.
+  bad = valid;
+  bad[4] = 99;
+  r = obs::DecodeQueryLog(bad, "test");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+
+  // Flipped payload byte: CRC catches it.
+  bad = valid;
+  bad[valid.size() / 2] = static_cast<char>(bad[valid.size() / 2] ^ 0x01);
+  r = obs::DecodeQueryLog(bad, "test");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST_F(QueryLogTest, EngineCapturesMatchAndAggregateQueries) {
+  const QueryLogEnabledGuard guard;
+  obs::SetQueryLogEnabled(true);
+  EngineOptions options;
+  options.query_log.path = path_;
+  options.query_log.flush_bytes = 1;
+  ColGraphEngine engine(options);
+  ASSERT_NE(engine.query_log(), nullptr);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(engine.AddWalk({1, 2, 3, 4}, {1, 2, 3}).ok());
+  }
+  ASSERT_TRUE(engine.Seal().ok());
+  ASSERT_TRUE(engine.MaterializeView(GraphViewDef::Make({0, 1})).ok());
+
+  const GraphQuery match = GraphQuery::FromPath({N(1), N(2), N(3)});
+  const auto match_result = engine.RunGraphQuery(match);
+  ASSERT_TRUE(match_result.ok());
+  const auto agg_result = engine.RunAggregateQuery(
+      GraphQuery::FromPath({N(2), N(3), N(4)}), AggFn::kSum);
+  ASSERT_TRUE(agg_result.ok());
+  // Unsatisfiable queries are captured too (cardinality 0): the advisor
+  // must see misses.
+  const auto unsat = engine.RunGraphQuery(GraphQuery::FromPath({N(7), N(8)}));
+  ASSERT_TRUE(unsat.ok());
+  ASSERT_TRUE(engine.CloseQueryLog().ok());
+
+  const auto records = obs::ReadQueryLog(path_);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 3u);
+
+  const QueryLogRecord& m = (*records)[0];
+  EXPECT_EQ(m.kind, QueryLogKind::kMatch);
+  EXPECT_EQ(m.edges, match.graph().edges());
+  EXPECT_EQ(m.result_cardinality, match_result->num_rows());
+  // The match is covered by the {0,1} graph view (relation view column 0).
+  EXPECT_EQ(m.graph_view_indexes, (std::vector<uint32_t>{0}));
+  EXPECT_GT(m.total_us, 0u);
+
+  const QueryLogRecord& a = (*records)[1];
+  EXPECT_EQ(a.kind, QueryLogKind::kPathAgg);
+  EXPECT_EQ(a.fn, AggFn::kSum);
+  EXPECT_EQ(a.result_cardinality, agg_result->records.size());
+
+  const QueryLogRecord& u = (*records)[2];
+  EXPECT_EQ(u.result_cardinality, 0u);
+}
+
+TEST_F(QueryLogTest, KillSwitchStopsCapture) {
+  const QueryLogEnabledGuard guard;
+  EngineOptions options;
+  options.query_log.path = path_;
+  ColGraphEngine engine(options);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine.AddWalk({1, 2, 3}, {1, 2}).ok());
+  }
+  ASSERT_TRUE(engine.Seal().ok());
+
+  obs::SetQueryLogEnabled(false);
+  ASSERT_TRUE(engine.RunGraphQuery(GraphQuery::FromPath({N(1), N(2)})).ok());
+  obs::SetQueryLogEnabled(true);
+  ASSERT_TRUE(engine.RunGraphQuery(GraphQuery::FromPath({N(2), N(3)})).ok());
+  ASSERT_TRUE(engine.CloseQueryLog().ok());
+
+  const auto records = obs::ReadQueryLog(path_);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);  // only the query run while enabled
+  EXPECT_EQ((*records)[0].edges,
+            (std::vector<Edge>{Edge{N(2), N(3)}}));
+}
+
+TEST_F(QueryLogTest, BatchEvaluationCapturesEveryQuery) {
+  const QueryLogEnabledGuard guard;
+  obs::SetQueryLogEnabled(true);
+  EngineOptions options;
+  options.query_log.path = path_;
+  options.num_threads = 2;
+  ColGraphEngine engine(options);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(engine.AddWalk({1, 2, 3, 4}, {1, 2, 3}).ok());
+  }
+  ASSERT_TRUE(engine.Seal().ok());
+
+  const std::vector<GraphQuery> workload{
+      GraphQuery::FromPath({N(1), N(2)}),
+      GraphQuery::FromPath({N(2), N(3)}),
+      GraphQuery::FromPath({N(1), N(2), N(3), N(4)}),
+  };
+  ASSERT_TRUE(engine.EvaluateBatch(workload).ok());
+  ASSERT_TRUE(engine.CloseQueryLog().ok());
+
+  const auto records = obs::ReadQueryLog(path_);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  EXPECT_EQ(records->size(), workload.size());
+}
+
+TEST_F(QueryLogTest, BadPathDegradesToWarningNotFailure) {
+  EngineOptions options;
+  options.query_log.path = "/nonexistent_dir_for_sure/q.bin";
+  ColGraphEngine engine(options);  // must construct fine
+  EXPECT_EQ(engine.query_log(), nullptr);
+  ASSERT_TRUE(engine.AddWalk({1, 2}, {1}).ok());
+  ASSERT_TRUE(engine.Seal().ok());
+  EXPECT_TRUE(engine.RunGraphQuery(GraphQuery::FromPath({N(1), N(2)})).ok());
+  EXPECT_TRUE(engine.CloseQueryLog().ok());  // OK when no log is attached
+}
+
+TEST_F(QueryLogTest, OpenFailpointSurfacesAsError) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "failpoints compiled out";
+  failpoint::Arm("io:open_append",
+                 failpoint::Spec{failpoint::Action::kError, 0, 0});
+  QueryLogOptions options;
+  options.path = path_;
+  const auto log = obs::QueryLog::Open(options);
+  failpoint::DisarmAll();
+  ASSERT_FALSE(log.ok());
+  EXPECT_TRUE(log.status().IsIOError()) << log.status().ToString();
+}
+
+TEST_F(QueryLogTest, WriteFailurePoisonsLogAndSurfacesAtClose) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "failpoints compiled out";
+  QueryLogOptions options;
+  options.path = path_;
+  options.flush_bytes = 1;
+  auto log = obs::QueryLog::Open(options);
+  ASSERT_TRUE(log.ok());
+  failpoint::Arm("io:short_write",
+                 failpoint::Spec{failpoint::Action::kShortWrite, 0, 3});
+  log.value()->Append(SampleRecord(1));  // flush fails, poisons the log
+  failpoint::DisarmAll();
+  log.value()->Append(SampleRecord(2));  // dropped
+  const Status close = log.value()->Close();
+  EXPECT_FALSE(close.ok());
+}
+
+}  // namespace
+}  // namespace colgraph

@@ -1,0 +1,144 @@
+// Corruption torture for the query-log format: a valid closed log must
+// fail with Status::Corruption for EVERY byte-truncation — including cuts
+// on frame boundaries, which is what the mandatory footer exists to catch
+// — and for every single-byte bit flip (CRC-32C detects all single-bit
+// errors; the structural checks catch flips in the unchecksummed frame
+// headers).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/query_log.h"
+#include "obs/query_log_reader.h"
+#include "util/crc32.h"
+
+namespace colgraph {
+namespace {
+
+using obs::QueryLogKind;
+using obs::QueryLogRecord;
+
+NodeRef N(NodeId id) { return NodeRef{id, 0}; }
+
+// resize+memcpy instead of vector::insert from reinterpreted pointers:
+// the insert form trips GCC 12's -Wstringop-overflow false positive
+// under COLGRAPH_STRICT.
+template <typename T>
+void AppendPod(std::vector<char>* out, const T& value) {
+  const size_t old = out->size();
+  out->resize(old + sizeof(T));
+  std::memcpy(out->data() + old, &value, sizeof(T));
+}
+
+// Builds a complete, valid log image in memory: header, `n` record
+// frames, footer frame — bit-identical to what QueryLog writes.
+std::vector<char> ValidLog(size_t n) {
+  std::vector<char> data;
+  AppendPod(&data, obs::kQueryLogMagic);
+  AppendPod(&data, obs::kQueryLogVersion);
+  for (size_t i = 0; i < n; ++i) {
+    QueryLogRecord rec;
+    rec.kind = (i % 2 == 0) ? QueryLogKind::kMatch : QueryLogKind::kPathAgg;
+    rec.fn = (i % 2 == 0) ? AggFn::kSum : AggFn::kMin;
+    rec.edges = {Edge{N(1), N(2)}, Edge{N(2), N(3)}};
+    if (i % 3 == 0) rec.isolated_nodes.push_back(N(7));
+    rec.graph_view_indexes = {static_cast<uint32_t>(i)};
+    rec.phase_us[0] = 11 * (i + 1);
+    rec.total_us = 100 + i;
+    rec.result_cardinality = i;
+    obs::AppendRecordFrame(rec, &data);
+  }
+  // Footer frame, exactly as QueryLog::Close writes it.
+  std::vector<char> payload;
+  AppendPod(&payload, obs::kQueryLogFooterMagic);
+  AppendPod(&payload, static_cast<uint64_t>(n));
+  const uint8_t type = 1;
+  const uint64_t len = payload.size();
+  const uint32_t crc = Crc32c(payload.data(), payload.size());
+  data.push_back(static_cast<char>(type));
+  AppendPod(&data, len);
+  AppendPod(&data, crc);
+  data.insert(data.end(), payload.begin(), payload.end());
+  return data;
+}
+
+TEST(QueryLogTortureTest, HandBuiltImageMatchesTheReader) {
+  const std::vector<char> data = ValidLog(4);
+  const auto records = obs::DecodeQueryLog(data, "torture");
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 4u);
+  EXPECT_EQ((*records)[1].kind, QueryLogKind::kPathAgg);
+  EXPECT_EQ((*records)[3].result_cardinality, 3u);
+}
+
+TEST(QueryLogTortureTest, EveryByteTruncationIsCorruption) {
+  const std::vector<char> data = ValidLog(4);
+  for (size_t cut = 0; cut < data.size(); ++cut) {
+    const std::vector<char> truncated(
+        data.begin(), data.begin() + static_cast<std::ptrdiff_t>(cut));
+    const auto records = obs::DecodeQueryLog(truncated, "torture");
+    ASSERT_FALSE(records.ok()) << "truncation at byte " << cut << " of "
+                               << data.size() << " read successfully";
+    EXPECT_TRUE(records.status().IsCorruption())
+        << "truncation at byte " << cut << ": "
+        << records.status().ToString();
+  }
+}
+
+TEST(QueryLogTortureTest, EverySingleByteFlipIsCorruption) {
+  const std::vector<char> data = ValidLog(3);
+  for (size_t pos = 0; pos < data.size(); ++pos) {
+    for (const char mask : {char(0x01), char(0x80)}) {
+      std::vector<char> flipped = data;
+      flipped[pos] = static_cast<char>(flipped[pos] ^ mask);
+      const auto records = obs::DecodeQueryLog(flipped, "torture");
+      ASSERT_FALSE(records.ok())
+          << "bit flip at byte " << pos << " read successfully";
+      EXPECT_TRUE(records.status().IsCorruption())
+          << "bit flip at byte " << pos << ": "
+          << records.status().ToString();
+    }
+  }
+}
+
+TEST(QueryLogTortureTest, TrailingGarbageAndFrameAfterFooter) {
+  std::vector<char> data = ValidLog(2);
+  // One stray byte after the footer.
+  std::vector<char> trailing = data;
+  trailing.push_back(0x5A);
+  auto r = obs::DecodeQueryLog(trailing, "torture");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+
+  // A whole valid record frame appended after the footer.
+  std::vector<char> after = data;
+  QueryLogRecord rec;
+  rec.edges = {Edge{N(1), N(2)}};
+  obs::AppendRecordFrame(rec, &after);
+  r = obs::DecodeQueryLog(after, "torture");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+  EXPECT_NE(r.status().ToString().find("after the footer"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(QueryLogTortureTest, FooterCountMismatchIsCorruption) {
+  // A 3-record image whose footer claims 2: splice the footer of a
+  // 2-record log onto 3 record frames.
+  const std::vector<char> three = ValidLog(3);
+  const std::vector<char> two = ValidLog(2);
+  const size_t footer_bytes = 1 + 8 + 4 + 12;  // header + footer payload
+  std::vector<char> spliced(three.begin(), three.end() - footer_bytes);
+  spliced.insert(spliced.end(), two.end() - footer_bytes, two.end());
+  const auto r = obs::DecodeQueryLog(spliced, "torture");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+  EXPECT_NE(r.status().ToString().find("count"), std::string::npos)
+      << r.status().ToString();
+}
+
+}  // namespace
+}  // namespace colgraph

@@ -36,12 +36,13 @@ Rules
                      deterministic in serial mode, and propagates errors as
                      Status. thread_pool.{h,cc} itself is exempt;
                      std::this_thread is fine.
-  no-adhoc-timing    Query-layer code (src/query/) must not time itself with
-                     Stopwatch / PhaseTimer / ScopedPhase or raw std::chrono
-                     clocks: all phase timing goes through the span API
-                     (obs/trace.h Span + QueryPhase) so every measurement
-                     lands in the metrics registry and in query traces
-                     instead of a one-off local that EXPLAIN never sees.
+  no-adhoc-timing    Instrumented layers (src/query/, src/views/, src/core/)
+                     must not time themselves with Stopwatch / PhaseTimer /
+                     ScopedPhase or raw std::chrono clocks: all phase timing
+                     goes through the span API (obs/trace.h Span +
+                     QueryPhase) so every measurement lands in the metrics
+                     registry and in query traces instead of a one-off local
+                     that EXPLAIN never sees.
 """
 
 import argparse
@@ -173,7 +174,9 @@ def lint_file(path, rel, status_fns, errors, in_library):
                     f"util/thread_pool.h (ParallelFor) so parallelism is "
                     f"bounded, serial-mode testable, and error-propagating"
                 )
-            if posix_rel.startswith("src/query/") and (
+            if posix_rel.startswith(
+                ("src/query/", "src/views/", "src/core/")
+            ) and (
                 re.search(r"\b(?:Stopwatch|PhaseTimer|ScopedPhase)\b", line)
                 or re.search(
                     r"std::chrono::(?:steady_clock|system_clock|"
@@ -182,9 +185,9 @@ def lint_file(path, rel, status_fns, errors, in_library):
                 )
             ):
                 errors.append(
-                    f"{rel}:{i}: [no-adhoc-timing] query-layer timing must "
-                    f"go through the span API (obs/trace.h Span + "
-                    f"QueryPhase), not ad-hoc Stopwatch/PhaseTimer/chrono "
+                    f"{rel}:{i}: [no-adhoc-timing] query/views/core-layer "
+                    f"timing must go through the span API (obs/trace.h Span "
+                    f"+ QueryPhase), not ad-hoc Stopwatch/PhaseTimer/chrono "
                     f"clocks, so measurements reach the metrics registry "
                     f"and query traces"
                 )
