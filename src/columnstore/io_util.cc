@@ -150,9 +150,16 @@ StatusOr<std::vector<char>> ReadFileBytes(const std::string& path) {
 }
 
 StatusOr<Reader> Reader::Open(const std::string& path, uint32_t magic) {
+  std::vector<char> bytes;
+  COLGRAPH_ASSIGN_OR_RETURN(bytes, ReadFileBytes(path));
+  return FromBytes(std::move(bytes), path, magic);
+}
+
+StatusOr<Reader> Reader::FromBytes(std::vector<char> data, std::string label,
+                                   uint32_t magic) {
   Reader r;
-  r.path_ = path;
-  COLGRAPH_ASSIGN_OR_RETURN(r.data_, ReadFileBytes(path));
+  r.path_ = std::move(label);
+  r.data_ = std::move(data);
 
   if (r.data_.size() < 2 * sizeof(uint32_t)) {
     return r.Corrupt("truncated preamble");

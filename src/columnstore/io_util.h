@@ -105,6 +105,13 @@ class Reader {
   /// Failpoint: "io:open_read".
   static StatusOr<Reader> Open(const std::string& path, uint32_t magic);
 
+  /// In-memory variant of Open(): validates and reads `data` as a snapshot
+  /// without touching the filesystem. `label` stands in for the path in
+  /// error messages. This is the entry point the fuzz harnesses drive —
+  /// identical validation to Open() (which delegates here), zero I/O.
+  static StatusOr<Reader> FromBytes(std::vector<char> data, std::string label,
+                                    uint32_t magic);
+
   /// 1 for legacy pre-checksum files, 2 for the current format.
   uint32_t version() const { return version_; }
   /// Bytes left in the current window (section for v2, file for v1).
@@ -139,7 +146,11 @@ class Reader {
     }
     v->resize(static_cast<size_t>(n));
     const size_t bytes = static_cast<size_t>(n) * sizeof(T);
-    std::memcpy(v->data(), data_.data() + pos_, bytes);
+    // n == 0 leaves v->data() null; memcpy's arguments are nonnull even
+    // for zero sizes (found by fuzz_snapshot under UBSan).
+    if (bytes != 0) {
+      std::memcpy(v->data(), data_.data() + pos_, bytes);
+    }
     pos_ += bytes;
     return Status::OK();
   }

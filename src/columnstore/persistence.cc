@@ -38,7 +38,22 @@ Status WriteRelation(const MasterRelation& relation, const std::string& path) {
 StatusOr<MasterRelation> ReadRelation(const std::string& path,
                                       MasterRelationOptions options) {
   COLGRAPH_ASSIGN_OR_RETURN(io::Reader in, io::Reader::Open(path, kMagic));
+  return internal::ReadRelationFrom(std::move(in), path, std::move(options));
+}
 
+StatusOr<MasterRelation> DecodeRelation(std::vector<char> data,
+                                        const std::string& what,
+                                        MasterRelationOptions options) {
+  COLGRAPH_ASSIGN_OR_RETURN(
+      io::Reader in, io::Reader::FromBytes(std::move(data), what, kMagic));
+  return internal::ReadRelationFrom(std::move(in), what, std::move(options));
+}
+
+namespace internal {
+
+StatusOr<MasterRelation> ReadRelationFrom(io::Reader in,
+                                          const std::string& path,
+                                          MasterRelationOptions options) {
   uint64_t num_records = 0, num_columns = 0;
   COLGRAPH_RETURN_NOT_OK(in.BeginSection("relation header"));
   if (!in.ReadPod(&num_records).ok() || !in.ReadPod(&num_columns).ok()) {
@@ -66,5 +81,7 @@ StatusOr<MasterRelation> ReadRelation(const std::string& path,
   return MasterRelation::FromColumns(static_cast<size_t>(num_records),
                                      std::move(columns), options);
 }
+
+}  // namespace internal
 
 }  // namespace colgraph

@@ -10,7 +10,9 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "columnstore/io_util.h"
 #include "columnstore/master_relation.h"
 #include "util/status.h"
 
@@ -23,5 +25,20 @@ namespace colgraph {
 /// sealed and ready for queries.
 [[nodiscard]] StatusOr<MasterRelation> ReadRelation(const std::string& path,
                                       MasterRelationOptions options = {});
+
+/// In-memory variant of ReadRelation: decodes a snapshot image (v1 or v2)
+/// from `data` without touching the filesystem; `what` names the buffer in
+/// error messages. Same validation as ReadRelation — this is the entry
+/// point the snapshot fuzz harness drives.
+[[nodiscard]] StatusOr<MasterRelation> DecodeRelation(
+    std::vector<char> data, const std::string& what,
+    MasterRelationOptions options = {});
+
+namespace internal {
+/// Shared tail of ReadRelation/DecodeRelation: parses a validated Reader.
+StatusOr<MasterRelation> ReadRelationFrom(io::Reader in,
+                                          const std::string& path,
+                                          MasterRelationOptions options);
+}  // namespace internal
 
 }  // namespace colgraph

@@ -71,7 +71,7 @@ T& DisabledSink() {
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
   if (!MetricsEnabled()) return DisabledSink<Counter>();
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
@@ -79,7 +79,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) {
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
   if (!MetricsEnabled()) return DisabledSink<Gauge>();
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
@@ -87,29 +87,29 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 
 LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
   if (!MetricsEnabled()) return DisabledSink<LatencyHistogram>();
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
   return *slot;
 }
 
 size_t MetricsRegistry::num_counters() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return counters_.size();
 }
 
 size_t MetricsRegistry::num_gauges() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return gauges_.size();
 }
 
 size_t MetricsRegistry::num_histograms() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return histograms_.size();
 }
 
 std::string MetricsRegistry::ToJson() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   JsonWriter w;
   w.BeginObject();
   w.Key("counters");
@@ -164,7 +164,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 void MetricsRegistry::Reset() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) {
     (void)name;
     counter->Reset();

@@ -20,10 +20,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "util/atomic_counter.h"
+#include "util/sync.h"
 
 namespace colgraph::obs {
 
@@ -142,11 +142,16 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  // node-based maps: values never move, so references stay valid.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  mutable Mutex mu_;
+  // node-based maps: values never move, so references stay valid. The maps
+  // (registration) are guarded; the metric cells themselves are lock-free
+  // relaxed atomics, updated through the escaped references.
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      COLGRAPH_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      COLGRAPH_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      COLGRAPH_GUARDED_BY(mu_);
 };
 
 }  // namespace colgraph::obs

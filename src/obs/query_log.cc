@@ -14,6 +14,7 @@ constexpr uint8_t kFrameRecord = 0;
 constexpr uint8_t kFrameFooter = 1;
 
 void AppendBytes(std::vector<char>* out, const void* data, size_t n) {
+  if (n == 0) return;  // out->data() may still be null; memcpy is nonnull
   const size_t old = out->size();
   out->resize(old + n);
   std::memcpy(out->data() + old, data, n);
@@ -117,7 +118,7 @@ void QueryLog::Append(const QueryLogRecord& record) {
   std::vector<char> frame;
   AppendRecordFrame(record, &frame);
 
-  std::unique_lock<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (closed_ || !first_error_.ok()) return;
   AppendBytes(&buffer_, frame.data(), frame.size());
   ++records_;
@@ -137,13 +138,13 @@ void QueryLog::FlushLocked() {
 }
 
 Status QueryLog::Flush() {
-  std::unique_lock<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   FlushLocked();
   return first_error_;
 }
 
 Status QueryLog::Close() {
-  std::unique_lock<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (closed_) return first_error_;
   closed_ = true;
   if (first_error_.ok()) {
@@ -159,7 +160,7 @@ Status QueryLog::Close() {
 }
 
 uint64_t QueryLog::records_appended() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return records_;
 }
 

@@ -29,7 +29,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,6 +37,7 @@
 #include "obs/trace.h"
 #include "query/agg_fn.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace colgraph::obs {
 
@@ -150,17 +150,17 @@ class QueryLog {
   explicit QueryLog(QueryLogOptions options, io::AppendFile file)
       : options_(std::move(options)), file_(std::move(file)) {}
 
-  // Flushes buffer_ to file_; on failure poisons the log. mu_ held.
-  void FlushLocked();
+  // Flushes buffer_ to file_; on failure poisons the log.
+  void FlushLocked() COLGRAPH_REQUIRES(mu_);
 
   const QueryLogOptions options_;
 
-  mutable std::mutex mu_;
-  io::AppendFile file_;
-  std::vector<char> buffer_;
-  uint64_t records_ = 0;
-  bool closed_ = false;
-  Status first_error_ = Status::OK();
+  mutable Mutex mu_;
+  io::AppendFile file_ COLGRAPH_GUARDED_BY(mu_);
+  std::vector<char> buffer_ COLGRAPH_GUARDED_BY(mu_);
+  uint64_t records_ COLGRAPH_GUARDED_BY(mu_) = 0;
+  bool closed_ COLGRAPH_GUARDED_BY(mu_) = false;
+  Status first_error_ COLGRAPH_GUARDED_BY(mu_) = Status::OK();
 };
 
 /// Serializes one record as a complete [type|len|crc|payload] frame,

@@ -39,12 +39,12 @@ LatencyHistogram& PhaseHistogram(QueryPhase phase) {
 void Trace::Add(const char* name, uint64_t start_us, uint64_t duration_us) {
   const uint64_t relative =
       start_us >= origin_us_ ? start_us - origin_us_ : 0;
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   events_.push_back(TraceEvent{name, relative, duration_us});
 }
 
 std::vector<TraceEvent> Trace::events() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return events_;
 }
 

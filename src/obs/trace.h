@@ -13,11 +13,11 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/sync.h"
 
 namespace colgraph::obs {
 
@@ -77,8 +77,8 @@ class Trace {
 
  private:
   const uint64_t origin_us_;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ COLGRAPH_GUARDED_BY(mu_);
 };
 
 /// \brief RAII timer: on destruction records the scope's duration into a

@@ -1,11 +1,29 @@
 #include "query/parser.h"
 
 #include <cctype>
+#include <limits>
 #include <vector>
 
 namespace colgraph {
 
 namespace {
+
+// <cctype> classifiers take an int that must be EOF or representable as
+// unsigned char; passing a raw (signed) char from arbitrary input is UB
+// for bytes >= 0x80. These wrappers make every byte value safe.
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+bool IsAlpha(char c) { return std::isalpha(static_cast<unsigned char>(c)) != 0; }
+char ToUpper(char c) {
+  return static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+}
+
+// Parenthesized terms recurse (ParseTerm -> ParseExpr -> ParseTerm); a cap
+// turns pathological nesting into a clean error instead of stack overflow.
+constexpr size_t kMaxParenDepth = 64;
+// Binary operators build a left-deep QueryExpr tree whose destructor
+// recurses once per node; a cap keeps that bounded for adversarial input.
+constexpr size_t kMaxOperators = 4096;
 
 struct Token {
   enum class Kind : uint8_t {
@@ -38,7 +56,7 @@ class Lexer {
   const Token& current() const { return current_; }
 
   Status Advance() {
-    while (pos_ < text_.size() && std::isspace(text_[pos_])) ++pos_;
+    while (pos_ < text_.size() && IsSpace(text_[pos_])) ++pos_;
     current_ = Token{};
     current_.position = pos_;
     if (pos_ >= text_.size()) {
@@ -74,11 +92,15 @@ class Lexer {
       default:
         break;
     }
-    if (std::isdigit(c)) {
+    if (IsDigit(c)) {
       current_.kind = Token::Kind::kNumber;
       uint64_t value = 0;
-      while (pos_ < text_.size() && std::isdigit(text_[pos_])) {
-        value = value * 10 + static_cast<uint64_t>(text_[pos_] - '0');
+      while (pos_ < text_.size() && IsDigit(text_[pos_])) {
+        const uint64_t digit = static_cast<uint64_t>(text_[pos_] - '0');
+        if (value > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+          return Error("number too large");
+        }
+        value = value * 10 + digit;
         ++pos_;
       }
       current_.number = value;
@@ -88,10 +110,10 @@ class Lexer {
       }
       return Status::OK();
     }
-    if (std::isalpha(c)) {
+    if (IsAlpha(c)) {
       current_.kind = Token::Kind::kKeyword;
-      while (pos_ < text_.size() && std::isalpha(text_[pos_])) {
-        current_.keyword += static_cast<char>(std::toupper(text_[pos_]));
+      while (pos_ < text_.size() && IsAlpha(text_[pos_])) {
+        current_.keyword += ToUpper(text_[pos_]);
         ++pos_;
       }
       return Status::OK();
@@ -162,6 +184,9 @@ class Parser {
     while (lexer_.current().kind == Token::Kind::kKeyword) {
       const std::string op = lexer_.current().keyword;
       if (op != "AND" && op != "OR") break;
+      if (++num_operators_ > kMaxOperators) {
+        return lexer_.Error("query too complex (operator limit)");
+      }
       COLGRAPH_RETURN_NOT_OK(lexer_.Advance());
       bool negate = false;
       if (op == "AND" && lexer_.current().kind == Token::Kind::kKeyword &&
@@ -183,8 +208,13 @@ class Parser {
 
   StatusOr<std::shared_ptr<QueryExpr>> ParseTerm() {
     if (lexer_.current().kind == Token::Kind::kLParen) {
+      if (paren_depth_ >= kMaxParenDepth) {
+        return lexer_.Error("query nesting too deep");
+      }
+      ++paren_depth_;
       COLGRAPH_RETURN_NOT_OK(lexer_.Advance());
       COLGRAPH_ASSIGN_OR_RETURN(std::shared_ptr<QueryExpr> inner, ParseExpr());
+      --paren_depth_;
       if (lexer_.current().kind != Token::Kind::kRParen) {
         return lexer_.Error("expected ')'");
       }
@@ -219,6 +249,10 @@ class Parser {
       if (lexer_.current().kind != Token::Kind::kNumber) {
         return lexer_.Error("expected a node id");
       }
+      if (lexer_.current().number >
+          std::numeric_limits<NodeId>::max()) {
+        return lexer_.Error("node id out of range");
+      }
       nodes.push_back(NodeRef{static_cast<NodeId>(lexer_.current().number),
                               lexer_.current().primes});
       COLGRAPH_RETURN_NOT_OK(lexer_.Advance());
@@ -237,6 +271,8 @@ class Parser {
   }
 
   Lexer lexer_;
+  size_t paren_depth_ = 0;
+  size_t num_operators_ = 0;
 };
 
 }  // namespace

@@ -4,16 +4,17 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <unordered_map>
+
+#include "util/sync.h"
 
 namespace colgraph::failpoint {
 
 namespace {
 
 struct Registry {
-  std::mutex mu;
-  std::unordered_map<std::string, Spec> points;
+  Mutex mu;
+  std::unordered_map<std::string, Spec> points COLGRAPH_GUARDED_BY(mu);
 };
 
 Registry& registry() {
@@ -80,32 +81,32 @@ Status ParseOneSpec(const std::string& token) {
 
 void Arm(const std::string& name, Spec spec) {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const MutexLock lock(r.mu);
   r.points[name] = spec;
 }
 
 void Disarm(const std::string& name) {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const MutexLock lock(r.mu);
   r.points.erase(name);
 }
 
 void DisarmAll() {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const MutexLock lock(r.mu);
   r.points.clear();
 }
 
 size_t ArmedCount() {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const MutexLock lock(r.mu);
   return r.points.size();
 }
 
 Action Hit(const char* name, uint64_t* arg) {
   ArmFromEnvOnce();
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const MutexLock lock(r.mu);
   const auto it = r.points.find(name);
   if (it == r.points.end()) return Action::kOff;
   if (it->second.skip > 0) {

@@ -1,0 +1,284 @@
+// Annotated synchronization primitives (DESIGN.md §11) — the only place in
+// src/ allowed to touch std::mutex / std::condition_variable (repo lint
+// rule [no-raw-mutex]). Every lock in the library is a colgraph::Mutex so
+// that
+//
+//   1. *Clang Thread Safety Analysis* can prove lock discipline at compile
+//      time: shared state is COLGRAPH_GUARDED_BY its Mutex, cross-function
+//      lock contracts are spelled with COLGRAPH_REQUIRES / COLGRAPH_ACQUIRE
+//      / COLGRAPH_RELEASE in signatures, and the COLGRAPH_STRICT preset
+//      promotes -Wthread-safety to an error on Clang. On other compilers
+//      the annotation macros expand to nothing.
+//   2. *Deadlock ordering is checkable at runtime* in debug builds: a Mutex
+//      may be constructed with a rank, and acquiring a ranked Mutex while
+//      holding one of equal or higher rank is a COLGRAPH_DCHECK failure —
+//      the canonical lock-order-inversion bug fails fast on the first
+//      out-of-order acquisition instead of deadlocking once in production.
+//      Double-acquire and unlock-without-lock are DCHECKed for every Mutex,
+//      ranked or not. All of this compiles to nothing in NDEBUG builds.
+//
+// The analysis is only as good as the annotations: when adding a class with
+// shared state, declare the Mutex last among the members it guards (so the
+// guarded fields can name it), mark every shared field COLGRAPH_GUARDED_BY,
+// and annotate private helpers that expect the lock held with
+// COLGRAPH_REQUIRES(mu_) rather than re-locking. See DESIGN.md §11 for a
+// worked example and tests/negcompile/ for the misuses the analysis must
+// reject.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "util/check.h"
+
+// Clang Thread Safety Analysis attributes. Expand to nothing on compilers
+// without the analysis so the annotations cost nothing off-Clang.
+#if defined(__clang__)
+#define COLGRAPH_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define COLGRAPH_THREAD_ANNOTATION__(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define COLGRAPH_CAPABILITY(x) COLGRAPH_THREAD_ANNOTATION__(capability(x))
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define COLGRAPH_SCOPED_CAPABILITY \
+  COLGRAPH_THREAD_ANNOTATION__(scoped_lockable)
+/// Data member readable/writable only while holding the given capability.
+#define COLGRAPH_GUARDED_BY(x) COLGRAPH_THREAD_ANNOTATION__(guarded_by(x))
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define COLGRAPH_PT_GUARDED_BY(x) \
+  COLGRAPH_THREAD_ANNOTATION__(pt_guarded_by(x))
+/// Static acquisition-order hints between mutexes.
+#define COLGRAPH_ACQUIRED_BEFORE(...) \
+  COLGRAPH_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define COLGRAPH_ACQUIRED_AFTER(...) \
+  COLGRAPH_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+/// The function must be called with the capability held (and does not
+/// release it) — the cross-function lock contract, e.g. FlushLocked().
+#define COLGRAPH_REQUIRES(...) \
+  COLGRAPH_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define COLGRAPH_REQUIRES_SHARED(...) \
+  COLGRAPH_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+/// The function acquires / releases the capability.
+#define COLGRAPH_ACQUIRE(...) \
+  COLGRAPH_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define COLGRAPH_RELEASE(...) \
+  COLGRAPH_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+/// The function acquires the capability when it returns the given value.
+#define COLGRAPH_TRY_ACQUIRE(...) \
+  COLGRAPH_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+/// The function must be called *without* the capability held (it acquires
+/// the lock itself; calling it while holding is a self-deadlock).
+#define COLGRAPH_EXCLUDES(...) \
+  COLGRAPH_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+/// Runtime assertion that the capability is held; informs the analysis.
+#define COLGRAPH_ASSERT_CAPABILITY(x) \
+  COLGRAPH_THREAD_ANNOTATION__(assert_capability(x))
+/// The function returns a reference to the given capability.
+#define COLGRAPH_RETURN_CAPABILITY(x) \
+  COLGRAPH_THREAD_ANNOTATION__(lock_returned(x))
+/// Escape hatch: disables the analysis for one function. Use only where the
+/// discipline is intentionally violated (tests of the runtime DCHECKs) or
+/// provably safe in a way the analysis cannot see; leave a comment saying
+/// which.
+#define COLGRAPH_NO_THREAD_SAFETY_ANALYSIS \
+  COLGRAPH_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace colgraph {
+
+class CondVar;
+
+namespace sync_internal {
+
+// Per-thread stack of held Mutexes (debug builds only). Bounded: the
+// library never holds more than two locks at once; 16 leaves headroom for
+// tests.
+inline constexpr size_t kMaxHeldLocks = 16;
+
+struct HeldLocks {
+  const void* mutex[kMaxHeldLocks] = {};
+  uint32_t rank[kMaxHeldLocks] = {};
+  size_t count = 0;
+};
+
+inline HeldLocks& ThreadHeldLocks() {
+  thread_local HeldLocks held;
+  return held;
+}
+
+}  // namespace sync_internal
+
+/// \brief Exclusive mutex with thread-safety annotations and (debug-only)
+/// rank-ordered deadlock checking.
+///
+/// Ranks: a Mutex constructed with a rank participates in a global
+/// acquisition order — a thread may only acquire a ranked Mutex whose rank
+/// is strictly greater than every ranked Mutex it already holds (so two
+/// same-rank mutexes must never be held together). Unranked mutexes (the
+/// default) skip the ordering check but still get double-acquire and
+/// unlock-without-lock DCHECKs.
+class COLGRAPH_CAPABILITY("mutex") Mutex {
+ public:
+  /// Sentinel rank: excluded from ordering checks.
+  static constexpr uint32_t kNoRank = UINT32_MAX;
+
+  Mutex() = default;
+  explicit Mutex(uint32_t rank) : rank_(rank) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() COLGRAPH_ACQUIRE() {
+    DebugCheckAcquire(/*blocking=*/true);
+    mu_.lock();
+    DebugPushHeld();
+  }
+
+  /// Non-blocking acquire; true means the lock is now held. Exempt from the
+  /// rank-order DCHECK (a failed try_lock cannot deadlock), but
+  /// double-acquire is still checked (try_lock on a held std::mutex is UB).
+  [[nodiscard]] bool TryLock() COLGRAPH_TRY_ACQUIRE(true) {
+    DebugCheckAcquire(/*blocking=*/false);
+    if (!mu_.try_lock()) return false;
+    DebugPushHeld();
+    return true;
+  }
+
+  void Unlock() COLGRAPH_RELEASE() {
+    DebugPopHeld();
+    mu_.unlock();
+  }
+
+  /// DCHECKs that the calling thread holds this Mutex (debug builds), and
+  /// tells the analysis to assume it from here on — for functions reached
+  /// only with the lock held through a path the analysis cannot follow.
+  void AssertHeld() const COLGRAPH_ASSERT_CAPABILITY(this) {
+#ifndef NDEBUG
+    const sync_internal::HeldLocks& held = sync_internal::ThreadHeldLocks();
+    bool found = false;
+    for (size_t i = 0; i < held.count; ++i) {
+      if (held.mutex[i] == this) found = true;
+    }
+    COLGRAPH_DCHECK(found)
+        << "Mutex::AssertHeld: mutex not held by this thread";
+#endif
+  }
+
+  uint32_t rank() const { return rank_; }
+
+ private:
+  friend class CondVar;
+
+  void DebugCheckAcquire(bool blocking) {
+#ifndef NDEBUG
+    const sync_internal::HeldLocks& held = sync_internal::ThreadHeldLocks();
+    for (size_t i = 0; i < held.count; ++i) {
+      COLGRAPH_DCHECK(held.mutex[i] != this)
+          << "Mutex double-acquire: this mutex is already held by the "
+             "calling thread";
+      if (blocking && rank_ != kNoRank && held.rank[i] != kNoRank) {
+        COLGRAPH_DCHECK(held.rank[i] < rank_)
+            << "lock rank ordering violated: acquiring a Mutex of rank "
+            << rank_ << " while holding one of rank " << held.rank[i]
+            << " (ranked locks must be acquired in strictly increasing "
+               "rank order)";
+      }
+    }
+#else
+    (void)blocking;
+#endif
+  }
+
+  void DebugPushHeld() {
+#ifndef NDEBUG
+    sync_internal::HeldLocks& held = sync_internal::ThreadHeldLocks();
+    COLGRAPH_DCHECK(held.count < sync_internal::kMaxHeldLocks)
+        << "too many locks held by one thread";
+    held.mutex[held.count] = this;
+    held.rank[held.count] = rank_;
+    ++held.count;
+#endif
+  }
+
+  void DebugPopHeld() {
+#ifndef NDEBUG
+    sync_internal::HeldLocks& held = sync_internal::ThreadHeldLocks();
+    // Search from the top: locks release in LIFO order in practice, but
+    // out-of-order release is legal.
+    for (size_t i = held.count; i > 0; --i) {
+      if (held.mutex[i - 1] == this) {
+        for (size_t j = i - 1; j + 1 < held.count; ++j) {
+          held.mutex[j] = held.mutex[j + 1];
+          held.rank[j] = held.rank[j + 1];
+        }
+        --held.count;
+        return;
+      }
+    }
+    COLGRAPH_DCHECK(false)
+        << "Mutex::Unlock: mutex not held by the calling thread";
+#endif
+  }
+
+  std::mutex mu_;
+  const uint32_t rank_ = kNoRank;
+};
+
+/// \brief RAII lock: acquires in the constructor, releases in the
+/// destructor. The one sanctioned way to hold a Mutex for a scope.
+class COLGRAPH_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) COLGRAPH_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() COLGRAPH_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// \brief Condition variable paired with Mutex. Wait() must be called with
+/// the Mutex held (spelled in the signature, so the analysis enforces it);
+/// the wait releases the lock while blocked and reacquires before
+/// returning, like std::condition_variable.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified. Spurious wakeups are possible — callers loop on
+  /// their predicate (or use the predicate overload).
+  void Wait(Mutex& mu) COLGRAPH_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // unique_lock's ownership claim so the caller's MutexLock remains the
+    // owner. The debug held-stack keeps listing `mu` during the wait: the
+    // waiting thread still logically holds it on return, and other
+    // threads' acquisitions are tracked on their own stacks.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// Waits until `pred()` holds. `pred` runs with the Mutex held; if it
+  /// reads COLGRAPH_GUARDED_BY state, hand-roll the loop with the plain
+  /// Wait() instead (the analysis cannot see through the callable) or
+  /// annotate the lambda COLGRAPH_NO_THREAD_SAFETY_ANALYSIS.
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) COLGRAPH_REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace colgraph

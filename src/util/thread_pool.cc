@@ -25,6 +25,8 @@ thread_local const ThreadPool* tls_active_pool = nullptr;
 // queued runner tasks: a runner that dequeues after every chunk was already
 // claimed (the caller drained them itself) must still find the job alive.
 struct ThreadPool::ParallelForJob {
+  // Configuration: written once by ParallelFor before the runners are
+  // scheduled (the queue handoff publishes them), read-only afterwards.
   const ThreadPool* pool = nullptr;
   const ChunkFn* fn = nullptr;
   size_t begin = 0;
@@ -34,11 +36,12 @@ struct ThreadPool::ParallelForJob {
 
   std::atomic<size_t> next_chunk{0};
 
-  std::mutex mu;
-  std::condition_variable done_cv;
-  size_t completed = 0;           // chunks finished (guarded by mu)
-  size_t error_chunk = kNoError;  // lowest failing chunk (guarded by mu)
-  Status error;                   // its Status (guarded by mu)
+  Mutex mu;
+  CondVar done_cv;
+  size_t completed COLGRAPH_GUARDED_BY(mu) = 0;  // chunks finished
+  // Lowest failing chunk and its Status.
+  size_t error_chunk COLGRAPH_GUARDED_BY(mu) = kNoError;
+  Status error COLGRAPH_GUARDED_BY(mu);
 };
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -50,10 +53,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -66,8 +69,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      const MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) work_cv_.Wait(mu_);
       if (queue_.empty()) return;  // stopping and fully drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -82,11 +85,11 @@ void ThreadPool::Schedule(std::function<void()> task) {
     return;
   }
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     COLGRAPH_DCHECK(!stopping_) << "Schedule on a stopping ThreadPool";
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 Status ThreadPool::RunOneChunk(const ChunkFn& fn, size_t begin, size_t end) {
@@ -114,12 +117,12 @@ void ThreadPool::RunChunks(ParallelForJob* job) {
     const size_t chunk_end = std::min(job->end, chunk_begin + job->grain);
     const Status st = RunOneChunk(*job->fn, chunk_begin, chunk_end);
     {
-      const std::lock_guard<std::mutex> lock(job->mu);
+      const MutexLock lock(job->mu);
       if (!st.ok() && c < job->error_chunk) {
         job->error_chunk = c;
         job->error = st;
       }
-      if (++job->completed == job->num_chunks) job->done_cv.notify_all();
+      if (++job->completed == job->num_chunks) job->done_cv.NotifyAll();
     }
   }
   tls_active_pool = saved;
@@ -173,8 +176,8 @@ Status ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   }
   RunChunks(job.get());
 
-  std::unique_lock<std::mutex> lock(job->mu);
-  job->done_cv.wait(lock, [&] { return job->completed == job->num_chunks; });
+  const MutexLock lock(job->mu);
+  while (job->completed != job->num_chunks) job->done_cv.Wait(job->mu);
   return job->error_chunk == kNoError ? Status::OK() : job->error;
 }
 

@@ -21,15 +21,14 @@
 //      NDEBUG builds rather than risking a queue deadlock).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace colgraph {
 
@@ -81,10 +80,11 @@ class ThreadPool {
   /// Runs one chunk, converting escaping exceptions to Status.
   static Status RunOneChunk(const ChunkFn& fn, size_t begin, size_t end);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  std::deque<std::function<void()>> queue_ COLGRAPH_GUARDED_BY(mu_);
+  bool stopping_ COLGRAPH_GUARDED_BY(mu_) = false;
+  // Written only by the constructor, before any worker or caller can race.
   std::vector<std::thread> workers_;
 };
 

@@ -70,6 +70,30 @@ TEST_F(IoUtilTest, CommitLeavesNoTmpFile) {
   EXPECT_FALSE(tmp.good());
 }
 
+TEST_F(IoUtilTest, EmptyVecRoundtripIntoFreshVector) {
+  // Regression: a zero-length vector decoded into a never-resized
+  // std::vector passed vec.data() == nullptr to memcpy, which declares
+  // its arguments nonnull even for n == 0 (UB; found by fuzz_snapshot
+  // under UBSan). Decode must succeed and leave the vector empty.
+  io::Writer out(path_, kMagic, 2);
+  out.BeginSection();
+  out.WriteVec(std::vector<double>{});
+  out.WritePod(uint32_t{7});  // data after the empty vec must still align
+  out.EndSection();
+  ASSERT_TRUE(out.Commit().ok());
+
+  auto in = io::Reader::Open(path_, kMagic);
+  ASSERT_TRUE(in.ok()) << in.status().ToString();
+  ASSERT_TRUE(in->BeginSection("vec").ok());
+  std::vector<double> v;
+  ASSERT_TRUE(in->ReadVec(&v).ok());
+  EXPECT_TRUE(v.empty());
+  uint32_t after = 0;
+  ASSERT_TRUE(in->ReadPod(&after).ok());
+  EXPECT_EQ(after, 7u);
+  ASSERT_TRUE(in->EndSection("vec").ok());
+}
+
 TEST_F(IoUtilTest, ReadVecClampsCorruptLengthPrefix) {
   // A section whose vector claims 2^60 elements must fail cleanly, not
   // attempt an exabyte resize.

@@ -1,0 +1,19 @@
+// Deliberately broken fixture for lint_invariants_test: raw std::mutex /
+// std::lock_guard / std::condition_variable instead of the annotated
+// util/sync.h wrappers ([no-raw-mutex]).
+#include <condition_variable>
+#include <mutex>
+
+namespace colgraph {
+
+std::mutex g_bad_mu;
+std::condition_variable g_bad_cv;
+int g_bad_value = 0;
+
+void BumpUnderRawLock() {
+  const std::lock_guard<std::mutex> lock(g_bad_mu);
+  ++g_bad_value;
+  g_bad_cv.notify_all();
+}
+
+}  // namespace colgraph

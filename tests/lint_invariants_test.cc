@@ -45,6 +45,7 @@ TEST(LintInvariantsTest, KnownBadFixtureTripsEveryRule) {
   EXPECT_NE(r.output.find("[unchecked-status]"), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("[raw-stream]"), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("[no-raw-thread]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("[no-raw-mutex]"), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("[no-adhoc-timing]"), std::string::npos) << r.output;
   // The timing rule covers every instrumented layer, not just src/query/:
   // each layer's fixture must trip it independently.

@@ -1,0 +1,26 @@
+// Negative-compilation fixture: acquiring a mutex the caller already
+// holds is a self-deadlock (colgraph::Mutex is non-recursive) and must be
+// rejected at compile time. The runtime debug check for the same bug
+// lives in tests/sync_test.cc.
+//
+// negcompile-expect: that is already held
+
+#include "util/sync.h"
+
+namespace {
+
+colgraph::Mutex g_mu;
+
+void DoubleAcquire() {
+  g_mu.Lock();
+  g_mu.Lock();  // BAD: already held — self-deadlock.
+  g_mu.Unlock();
+  g_mu.Unlock();
+}
+
+}  // namespace
+
+int main() {
+  DoubleAcquire();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Positive control for tools/check_negative_compile.py: idiomatic use of
+// every util/sync.h primitive must compile *cleanly* under
+// -Wthread-safety -Wthread-safety-beta -Werror. If this fixture ever
+// fails, the negative fixtures' rejections prove nothing.
+//
+// (No negcompile-expect comment: this file must compile.)
+
+#include <cstdint>
+
+#include "util/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(uint64_t amount) {
+    const colgraph::MutexLock lock(mu_);
+    balance_ += amount;
+    changed_cv_.NotifyAll();
+  }
+
+  void WaitForBalanceAtLeast(uint64_t floor) {
+    const colgraph::MutexLock lock(mu_);
+    while (balance_ < floor) changed_cv_.Wait(mu_);
+  }
+
+  uint64_t balance() const {
+    const colgraph::MutexLock lock(mu_);
+    return balance_;
+  }
+
+  void AssertedPath() {
+    mu_.Lock();
+    AddLocked(1);
+    mu_.Unlock();
+  }
+
+ private:
+  void AddLocked(uint64_t amount) COLGRAPH_REQUIRES(mu_) {
+    balance_ += amount;
+  }
+
+  mutable colgraph::Mutex mu_;
+  colgraph::CondVar changed_cv_;
+  uint64_t balance_ COLGRAPH_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(2);
+  account.WaitForBalanceAtLeast(1);
+  return static_cast<int>(account.balance() - 2);
+}

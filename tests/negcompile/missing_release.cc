@@ -1,0 +1,22 @@
+// Negative-compilation fixture: a code path that returns with the mutex
+// still held leaks the lock; the analysis requires every Lock() to be
+// matched by Unlock() on all paths (use MutexLock to make this
+// impossible by construction).
+//
+// negcompile-expect: still held at the end of function
+
+#include "util/sync.h"
+
+namespace {
+
+colgraph::Mutex g_mu;
+int g_value COLGRAPH_GUARDED_BY(g_mu) = 0;
+
+int TakeAndForget() {
+  g_mu.Lock();
+  return g_value;  // BAD: g_mu never released.
+}
+
+}  // namespace
+
+int main() { return TakeAndForget(); }

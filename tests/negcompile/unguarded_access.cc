@@ -1,0 +1,35 @@
+// Negative-compilation fixture: reading/writing a COLGRAPH_GUARDED_BY
+// member without holding its mutex must be rejected by Clang's
+// thread-safety analysis. Compiled (syntax-only) by
+// tools/check_negative_compile.py — never part of the build.
+//
+// negcompile-expect: requires holding mutex
+
+#include <cstdint>
+
+#include "util/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(uint64_t amount) {
+    balance_ += amount;  // BAD: mu_ not held.
+  }
+
+  uint64_t balance() const {
+    return balance_;  // BAD: mu_ not held.
+  }
+
+ private:
+  mutable colgraph::Mutex mu_;
+  uint64_t balance_ COLGRAPH_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return static_cast<int>(account.balance());
+}

@@ -105,5 +105,65 @@ TEST(ParserTest, SingleNodePath) {
   EXPECT_TRUE(q->expr->query().graph().HasEdge(N(7), N(7)));
 }
 
+// Fuzz regressions (fuzz/fuzz_parser.cc; distilled inputs also live in
+// fuzz/corpus/fuzz_parser/). Each case crashed or hit UB before the fix.
+
+TEST(ParserTest, DeepNestingIsRejectedNotStackOverflow) {
+  // Pre-fix: ParseTerm -> ParseExpr recursion had no depth cap, so a few
+  // hundred KB of '(' overflowed the stack. Stay below the cap and it's a
+  // legal query; beyond it, a clean InvalidArgument.
+  const std::string ok_query = std::string(60, '(') + "[1,2]" +
+                               std::string(60, ')');
+  EXPECT_TRUE(ParseQuery(ok_query).ok());
+
+  const std::string deep = std::string(100000, '(') + "[1,2]" +
+                           std::string(100000, ')');
+  const auto q = ParseQuery(deep);
+  ASSERT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+  EXPECT_NE(q.status().message().find("nesting too deep"), std::string::npos);
+}
+
+TEST(ParserTest, HighByteInputIsCleanError) {
+  // Pre-fix: bytes >= 0x80 reached std::isspace/isdigit/isalpha as a
+  // negative char — UB in <cctype>. Any byte value must now lex safely.
+  std::string all_bytes = "[1,2] ";
+  for (int b = 1; b < 256; ++b) all_bytes += static_cast<char>(b);
+  const auto q = ParseQuery(all_bytes);
+  ASSERT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+}
+
+TEST(ParserTest, NumberOverflowIsRejected) {
+  // Pre-fix: the digit accumulator wrapped modulo 2^64 silently.
+  const auto q = ParseQuery("[99999999999999999999,1]");
+  ASSERT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+  EXPECT_NE(q.status().message().find("number too large"), std::string::npos);
+}
+
+TEST(ParserTest, NodeIdBeyondUint32IsRejected) {
+  // Pre-fix: static_cast<NodeId> truncated, so [4294967297,1] silently
+  // parsed as node 1 — a wrong-answer bug, not just a crash.
+  const auto q = ParseQuery("[4294967297,1]");
+  ASSERT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+  EXPECT_NE(q.status().message().find("out of range"), std::string::npos);
+
+  // The exact NodeId max still parses.
+  EXPECT_TRUE(ParseQuery("[4294967295,1]").ok());
+}
+
+TEST(ParserTest, OperatorFloodIsRejected) {
+  // Bounded destructor recursion: a left-deep expression tree from
+  // thousands of ANDs is capped instead of unwinding 100k frames.
+  std::string flood = "[1,2]";
+  for (int i = 0; i < 5000; ++i) flood += " AND [1,2]";
+  const auto q = ParseQuery(flood);
+  ASSERT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+  EXPECT_NE(q.status().message().find("too complex"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace colgraph

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Negative-compilation harness for the util/sync.h capability annotations.
+
+Clang's thread-safety analysis is a *compile-time* race detector: the
+GUARDED_BY / REQUIRES / ACQUIRE / RELEASE annotations in util/sync.h only
+protect the codebase if the compiler actually rejects code that violates
+them. This script proves that by compiling every fixture under
+tests/negcompile/ with `-Wthread-safety -Wthread-safety-beta -Werror` and
+checking the outcome against the fixture's embedded expectation:
+
+  * A fixture containing one or more `// negcompile-expect: <substring>`
+    comments MUST fail to compile, and the compiler diagnostics must
+    contain every expected substring.
+  * A fixture with no expectation comment is a positive control and MUST
+    compile cleanly (it proves the flags don't reject correct code, so
+    the negative results are meaningful).
+
+Exit codes: 0 all fixtures behave as expected, 1 a fixture misbehaved,
+77 no thread-safety-capable clang++ is available (ctest SKIP_RETURN_CODE).
+Only Clang implements the analysis; on GCC-only hosts the gate runs in
+the Clang CI job instead.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+EXPECT_RE = re.compile(r"//\s*negcompile-expect:\s*(?P<text>.+?)\s*$")
+
+CLANG_CANDIDATES = [
+    "clang++",
+    "clang++-21",
+    "clang++-20",
+    "clang++-19",
+    "clang++-18",
+    "clang++-17",
+    "clang++-16",
+    "clang++-15",
+    "clang++-14",
+]
+
+
+def find_clang():
+    """Returns a clang++ that understands -Wthread-safety, or None."""
+    candidates = []
+    env = os.environ.get("CLANG_CXX")
+    if env:
+        candidates.append(env)
+    candidates.extend(CLANG_CANDIDATES)
+    for name in candidates:
+        path = shutil.which(name)
+        if path is None:
+            continue
+        with tempfile.TemporaryDirectory() as tmp:
+            probe = os.path.join(tmp, "probe.cc")
+            with open(probe, "w", encoding="utf-8") as f:
+                f.write("int main() { return 0; }\n")
+            try:
+                result = subprocess.run(
+                    [path, "-std=c++20", "-fsyntax-only", "-Wthread-safety",
+                     "-Wthread-safety-beta", probe],
+                    capture_output=True,
+                    text=True,
+                    timeout=60,
+                )
+            except OSError:
+                continue
+        if result.returncode == 0 and "unknown warning" not in result.stderr:
+            return path
+    return None
+
+
+def read_expectations(path):
+    expects = []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            m = EXPECT_RE.search(line)
+            if m:
+                expects.append(m.group("text"))
+    return expects
+
+
+def compile_fixture(clang, root, path):
+    cmd = [
+        clang,
+        "-std=c++20",
+        "-fsyntax-only",
+        "-I", os.path.join(root, "src"),
+        "-Wall",
+        "-Wextra",
+        "-Wthread-safety",
+        "-Wthread-safety-beta",
+        "-Werror",
+        path,
+    ]
+    result = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+    return result.returncode, result.stdout + result.stderr
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root)
+
+    fixture_dir = os.path.join(root, "tests", "negcompile")
+    fixtures = sorted(
+        os.path.join(fixture_dir, name)
+        for name in os.listdir(fixture_dir)
+        if name.endswith(".cc")
+    )
+    if not fixtures:
+        print("check_negative_compile: no fixtures under tests/negcompile/")
+        return 1
+
+    clang = find_clang()
+    if clang is None:
+        print("check_negative_compile: SKIP — no clang++ with -Wthread-safety "
+              "found (set CLANG_CXX or install clang)")
+        return 77
+    print(f"check_negative_compile: using {clang}")
+
+    failures = 0
+    for path in fixtures:
+        rel = os.path.relpath(path, root)
+        expects = read_expectations(path)
+        rc, output = compile_fixture(clang, root, path)
+        if not expects:
+            # Positive control: must compile cleanly.
+            if rc != 0:
+                print(f"FAIL {rel}: positive control did not compile:\n{output}")
+                failures += 1
+            else:
+                print(f"ok   {rel} (positive control compiles cleanly)")
+            continue
+        if rc == 0:
+            print(f"FAIL {rel}: expected a thread-safety error, but the "
+                  "fixture compiled cleanly")
+            failures += 1
+            continue
+        missing = [e for e in expects if e not in output]
+        if missing:
+            print(f"FAIL {rel}: diagnostics missing expected text "
+                  f"{missing!r}; got:\n{output}")
+            failures += 1
+        else:
+            print(f"ok   {rel} (rejected with expected diagnostics)")
+
+    if failures:
+        print(f"check_negative_compile: {failures} fixture(s) misbehaved")
+        return 1
+    print(f"check_negative_compile: all {len(fixtures)} fixtures behaved")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

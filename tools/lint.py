@@ -36,6 +36,13 @@ Rules
                      deterministic in serial mode, and propagates errors as
                      Status. thread_pool.{h,cc} itself is exempt;
                      std::this_thread is fine.
+  no-raw-mutex       Library code must not use std::mutex / std::lock_guard /
+                     std::condition_variable and friends directly: locking
+                     goes through util/sync.h (Mutex, MutexLock, CondVar) so
+                     every critical section carries the Clang thread-safety
+                     capability annotations (GUARDED_BY/REQUIRES) and the
+                     debug lock-rank checks. util/sync.h itself is exempt
+                     (it wraps the std primitives).
   no-adhoc-timing    Instrumented layers (src/query/, src/views/, src/core/)
                      must not time themselves with Stopwatch / PhaseTimer /
                      ScopedPhase or raw std::chrono clocks: all phase timing
@@ -115,6 +122,7 @@ def lint_file(path, rel, status_fns, errors, in_library):
     is_check_header = posix_rel.endswith("util/check.h")
     is_io_util = os.path.basename(posix_rel).startswith("io_util.")
     is_thread_pool = os.path.basename(posix_rel).startswith("thread_pool.")
+    is_sync = posix_rel.endswith("util/sync.h")
 
     if is_header:
         first_code = next(
@@ -173,6 +181,20 @@ def lint_file(path, rel, status_fns, errors, in_library):
                     f"raw std::thread/std::jthread/std::async; use "
                     f"util/thread_pool.h (ParallelFor) so parallelism is "
                     f"bounded, serial-mode testable, and error-propagating"
+                )
+            if not is_sync and re.search(
+                r"std::(?:mutex|timed_mutex|recursive_mutex|"
+                r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|"
+                r"lock_guard|unique_lock|scoped_lock|condition_variable|"
+                r"condition_variable_any)\b",
+                line,
+            ):
+                errors.append(
+                    f"{rel}:{i}: [no-raw-mutex] library code must lock "
+                    f"through util/sync.h (Mutex/MutexLock/CondVar) so "
+                    f"critical sections carry thread-safety annotations "
+                    f"and lock-rank checks, not raw std::mutex/"
+                    f"std::lock_guard/std::condition_variable"
                 )
             if posix_rel.startswith(
                 ("src/query/", "src/views/", "src/core/")

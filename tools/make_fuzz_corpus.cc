@@ -1,0 +1,227 @@
+// Regenerates the committed fuzz seed corpus (fuzz/corpus/) from real
+// artifacts: every binary seed is produced by the production writers
+// (WriteRelation, AppendRecordFrame, EwahBitmap::FromBitmap) and then
+// deterministically damaged the way the torture tests damage snapshots —
+// truncation, bit flips, bad magic, implausible counts. Run it when a
+// format changes:
+//
+//   make_fuzz_corpus <repo>/fuzz/corpus
+//
+// Seeds are deliberately small: the fuzzers mutate them further; what
+// matters is that each one parks the fuzzer next to a different validation
+// branch (valid file, each rejection path, each legacy version).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bitmap/ewah_bitmap.h"
+#include "columnstore/persistence.h"
+#include "obs/query_log.h"
+#include "util/check.h"
+#include "util/crc32.h"
+
+namespace colgraph {
+namespace {
+
+void WriteSeed(const std::filesystem::path& dir, const std::string& name,
+               const std::vector<char>& bytes) {
+  std::ofstream out(dir / name, std::ios::binary | std::ios::trunc);
+  COLGRAPH_CHECK(out.good()) << "cannot write " << (dir / name).string();
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  COLGRAPH_CHECK(out.good());
+}
+
+template <typename T>
+void AppendPod(std::vector<char>* out, const T& value) {
+  const size_t old = out->size();
+  out->resize(old + sizeof(T));
+  std::memcpy(out->data() + old, &value, sizeof(T));
+}
+
+std::vector<char> Truncated(std::vector<char> bytes, size_t len) {
+  bytes.resize(std::min(bytes.size(), len));
+  return bytes;
+}
+
+std::vector<char> BitFlipped(std::vector<char> bytes, size_t pos,
+                             uint8_t bit) {
+  if (pos < bytes.size()) {
+    bytes[pos] = static_cast<char>(static_cast<uint8_t>(bytes[pos]) ^
+                                   (uint8_t{1} << bit));
+  }
+  return bytes;
+}
+
+// --- fuzz_snapshot -------------------------------------------------------
+
+void MakeSnapshotSeeds(const std::filesystem::path& dir) {
+  MasterRelation rel;
+  COLGRAPH_CHECK(rel.AddRecord({{0, 1.5}, {2, -2.0}}).ok());
+  COLGRAPH_CHECK(rel.AddRecord({{1, 3.0}}).ok());
+  COLGRAPH_CHECK(rel.AddRecord({}).ok());
+  COLGRAPH_CHECK_OK(rel.Seal());
+
+  const std::string tmp =
+      (std::filesystem::temp_directory_path() / "colgraph_corpus_snap.bin")
+          .string();
+  COLGRAPH_CHECK_OK(WriteRelation(rel, tmp));
+  std::vector<char> valid;
+  {
+    std::ifstream in(tmp, std::ios::binary);
+    valid.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  std::remove(tmp.c_str());
+  COLGRAPH_CHECK(!valid.empty());
+
+  WriteSeed(dir, "valid_v2", valid);
+  WriteSeed(dir, "truncated_half", Truncated(valid, valid.size() / 2));
+  WriteSeed(dir, "truncated_footer", Truncated(valid, valid.size() - 5));
+  WriteSeed(dir, "bad_magic", BitFlipped(valid, 0, 3));
+  WriteSeed(dir, "flipped_body_bit",
+            BitFlipped(valid, valid.size() / 2, 0));
+  WriteSeed(dir, "empty", {});
+  WriteSeed(dir, "preamble_only", Truncated(valid, 8));
+
+  // Section length larger than the file: the first rejection the v2
+  // reader's section walk can hit.
+  {
+    std::vector<char> huge_section = valid;
+    const uint64_t bogus = uint64_t{1} << 40;
+    if (huge_section.size() >= 16) {
+      std::memcpy(huge_section.data() + 8, &bogus, sizeof(bogus));
+    }
+    WriteSeed(dir, "huge_section_len", huge_section);
+  }
+
+  // Legacy v1 preamble claiming an 8-EiB relation: must reject on the
+  // record-count sanity cap, not attempt the allocation.
+  {
+    std::vector<char> v1;
+    AppendPod(&v1, uint32_t{0x4347524C});
+    AppendPod(&v1, uint32_t{1});
+    AppendPod(&v1, uint64_t{1} << 60);  // num_records
+    AppendPod(&v1, uint64_t{4});        // num_columns
+    WriteSeed(dir, "v1_huge_record_count", v1);
+  }
+}
+
+// --- fuzz_ewah -----------------------------------------------------------
+
+std::vector<char> EwahSeed(const EwahBitmap& ewah) {
+  std::vector<char> out;
+  AppendPod(&out, static_cast<uint64_t>(ewah.size_bits()));
+  for (const uint64_t word : ewah.buffer()) AppendPod(&out, word);
+  return out;
+}
+
+void MakeEwahSeeds(const std::filesystem::path& dir) {
+  Bitmap sparse(1000);
+  sparse.Set(3);
+  sparse.Set(500);
+  sparse.Set(999);
+  WriteSeed(dir, "valid_sparse", EwahSeed(EwahBitmap::FromBitmap(sparse)));
+
+  Bitmap dense(640);
+  for (size_t i = 0; i < dense.size(); i += 3) dense.Set(i);
+  WriteSeed(dir, "valid_dense", EwahSeed(EwahBitmap::FromBitmap(dense)));
+
+  Bitmap ones(256);
+  for (size_t i = 0; i < ones.size(); ++i) ones.Set(i);
+  WriteSeed(dir, "valid_all_ones", EwahSeed(EwahBitmap::FromBitmap(ones)));
+
+  WriteSeed(dir, "empty_bitmap", EwahSeed(EwahBitmap::FromBitmap(Bitmap(0))));
+
+  // Marker claiming a million literal words that aren't there: the
+  // overrun FromRawChecked exists to reject.
+  {
+    std::vector<char> bad;
+    AppendPod(&bad, uint64_t{64});
+    AppendPod(&bad, uint64_t{1000000} << 33);  // 1M literal words, 0 runs
+    WriteSeed(dir, "literal_overrun", bad);
+  }
+  // Run length wildly larger than the claimed bit count.
+  {
+    std::vector<char> bad;
+    AppendPod(&bad, uint64_t{64});
+    AppendPod(&bad, (uint64_t{0xFFFFFFFF} << 1) | 1u);  // 4G-word one-run
+    WriteSeed(dir, "huge_run", bad);
+  }
+}
+
+// --- fuzz_query_log ------------------------------------------------------
+
+void MakeQueryLogSeeds(const std::filesystem::path& dir) {
+  obs::QueryLogRecord rec;
+  rec.kind = obs::QueryLogKind::kPathAgg;
+  rec.fn = AggFn::kMax;
+  rec.edges = {Edge{NodeRef{1, 0}, NodeRef{2, 0}},
+               Edge{NodeRef{2, 0}, NodeRef{3, 1}}};
+  rec.isolated_nodes = {NodeRef{9, 0}};
+  rec.graph_view_indexes = {0, 2};
+  rec.agg_view_indexes = {1};
+  for (size_t p = 0; p < obs::kNumQueryPhases; ++p) {
+    rec.phase_us[p] = 10 * (p + 1);
+  }
+  rec.total_us = 12345;
+  rec.result_cardinality = 42;
+
+  std::vector<char> log;
+  AppendPod(&log, obs::kQueryLogMagic);
+  AppendPod(&log, obs::kQueryLogVersion);
+  const size_t header_end = log.size();
+  for (int i = 0; i < 3; ++i) {
+    rec.result_cardinality = static_cast<uint64_t>(42 + i);
+    obs::AppendRecordFrame(rec, &log);
+  }
+  const size_t records_end = log.size();
+
+  // Footer frame, matching the writer's Close(): type 1, payload
+  // [u32 footer magic][u64 record count].
+  std::vector<char> footer_payload;
+  AppendPod(&footer_payload, obs::kQueryLogFooterMagic);
+  AppendPod(&footer_payload, uint64_t{3});
+  AppendPod(&log, uint8_t{1});
+  AppendPod(&log, static_cast<uint64_t>(footer_payload.size()));
+  AppendPod(&log, Crc32c(footer_payload.data(), footer_payload.size()));
+  log.insert(log.end(), footer_payload.begin(), footer_payload.end());
+
+  WriteSeed(dir, "valid_log", log);
+  WriteSeed(dir, "missing_footer", Truncated(log, records_end));
+  WriteSeed(dir, "truncated_mid_frame", Truncated(log, header_end + 7));
+  WriteSeed(dir, "header_only", Truncated(log, header_end));
+  WriteSeed(dir, "bad_version", BitFlipped(log, 4, 6));
+  WriteSeed(dir, "flipped_payload_bit",
+            BitFlipped(log, header_end + 20, 2));
+  WriteSeed(dir, "empty", {});
+}
+
+}  // namespace
+}  // namespace colgraph
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root>\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path root(argv[1]);
+  const char* kDirs[] = {"fuzz_snapshot", "fuzz_ewah", "fuzz_query_log",
+                         "fuzz_parser"};
+  for (const char* d : kDirs) {
+    std::filesystem::create_directories(root / d);
+  }
+
+  colgraph::MakeSnapshotSeeds(root / "fuzz_snapshot");
+  colgraph::MakeEwahSeeds(root / "fuzz_ewah");
+  colgraph::MakeQueryLogSeeds(root / "fuzz_query_log");
+  // fuzz_parser seeds are plain text, committed directly in the repo —
+  // regenerating them here would only churn the files.
+
+  std::fprintf(stderr, "fuzz corpus written under %s\n", root.string().c_str());
+  return 0;
+}

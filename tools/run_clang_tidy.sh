@@ -1,12 +1,38 @@
 #!/usr/bin/env bash
 # Runs clang-tidy (using the repo .clang-tidy profile) over the library
 # sources. Usage:
-#   tools/run_clang_tidy.sh [build-dir] [extra clang-tidy args...]
+#   tools/run_clang_tidy.sh [--report FILE] [--warn-only] [build-dir] \
+#                           [extra clang-tidy args...]
+#
+#   --report FILE  also write the full diagnostic stream to FILE (the CI
+#                  job uploads it as an artifact)
+#   --warn-only    always exit 0 when clang-tidy ran, whatever it found —
+#                  the CI gate mode while the backlog is burned down
+#
 # The build dir must contain compile_commands.json; one is configured with
 #   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+report_file=""
+warn_only=0
+
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --report)
+      report_file="$2"
+      shift 2
+      ;;
+    --warn-only)
+      warn_only=1
+      shift
+      ;;
+    *)
+      break
+      ;;
+  esac
+done
+
 build_dir="${1:-$repo_root/build}"
 shift || true
 
@@ -21,6 +47,22 @@ if [ ! -f "$build_dir/compile_commands.json" ]; then
 fi
 
 cd "$repo_root"
-find src -name '*.cc' -print0 \
-  | xargs -0 -P "$(nproc)" -n 1 clang-tidy -p "$build_dir" --quiet "$@"
+status=0
+if [ -n "$report_file" ]; then
+  find src -name '*.cc' -print0 \
+    | xargs -0 -P "$(nproc)" -n 1 clang-tidy -p "$build_dir" --quiet "$@" \
+    2>&1 | tee "$report_file" || status=$?
+  warning_count="$(grep -c 'warning:' "$report_file" || true)"
+  echo "run_clang_tidy.sh: $warning_count warning line(s) -> $report_file"
+else
+  find src -name '*.cc' -print0 \
+    | xargs -0 -P "$(nproc)" -n 1 clang-tidy -p "$build_dir" --quiet "$@" \
+    || status=$?
+fi
+
+if [ "$warn_only" -eq 1 ]; then
+  echo "run_clang_tidy.sh: done (warn-only, exit forced to 0)"
+  exit 0
+fi
 echo "run_clang_tidy.sh: done"
+exit "$status"
