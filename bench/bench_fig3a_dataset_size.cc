@@ -8,7 +8,8 @@
 namespace colgraph::bench {
 namespace {
 
-void Run(size_t num_threads, const std::string& query_log) {
+void Run(size_t num_threads, const std::string& query_log,
+         uint64_t timeout_ms) {
   Title("Figure 3(a) — query time vs dataset size, 100 uniform queries, NY");
   PaperNote(
       "column store ~linear, orders of magnitude below the row store; "
@@ -36,9 +37,9 @@ void Run(size_t num_threads, const std::string& query_log) {
     // stands alone.
     const std::string log_path =
         query_log.empty() ? "" : query_log + "." + std::to_string(n);
-    cells.push_back(
-        Fmt(TimeColumnStore(ds, workload, nullptr, num_threads, log_path)) +
-        "s");
+    cells.push_back(Fmt(TimeColumnStore(ds, workload, nullptr, num_threads,
+                                        log_path, timeout_ms)) +
+                    "s");
     for (const auto& [name, factory] : BaselineFactories()) {
       (void)name;
       cells.push_back(Fmt(TimeBaseline(factory, ds, workload)) + "s");
@@ -52,7 +53,8 @@ void Run(size_t num_threads, const std::string& query_log) {
 
 int main(int argc, char** argv) {
   const size_t threads = colgraph::bench::ThreadCount(argc, argv);
-  colgraph::bench::Run(threads, colgraph::bench::QueryLogPath(argc, argv));
+  colgraph::bench::Run(threads, colgraph::bench::QueryLogPath(argc, argv),
+                       colgraph::bench::TimeoutMs(argc, argv));
   // The column-store engines are scoped to TimeColumnStore, so the dump is
   // the process-wide registry (per-phase spans fed it throughout).
   colgraph::bench::WriteMetricsOut(colgraph::bench::MetricsOutPath(argc, argv),

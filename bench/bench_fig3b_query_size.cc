@@ -7,7 +7,8 @@
 namespace colgraph::bench {
 namespace {
 
-void Run(size_t num_threads, const std::string& query_log) {
+void Run(size_t num_threads, const std::string& query_log,
+         uint64_t timeout_ms) {
   Title("Figure 3(b) — query time vs query size (#edges), NY");
   PaperNote(
       "column store improves as queries grow (smaller result sets); "
@@ -27,9 +28,9 @@ void Run(size_t num_threads, const std::string& query_log) {
     const std::string log_path =
         query_log.empty() ? ""
                           : query_log + "." + std::to_string(query_edges);
-    cells.push_back(
-        Fmt(TimeColumnStore(ds, workload, nullptr, num_threads, log_path)) +
-        "s");
+    cells.push_back(Fmt(TimeColumnStore(ds, workload, nullptr, num_threads,
+                                        log_path, timeout_ms)) +
+                    "s");
     for (const auto& [name, factory] : BaselineFactories()) {
       (void)name;
       cells.push_back(Fmt(TimeBaseline(factory, ds, workload)) + "s");
@@ -43,7 +44,8 @@ void Run(size_t num_threads, const std::string& query_log) {
 
 int main(int argc, char** argv) {
   const size_t threads = colgraph::bench::ThreadCount(argc, argv);
-  colgraph::bench::Run(threads, colgraph::bench::QueryLogPath(argc, argv));
+  colgraph::bench::Run(threads, colgraph::bench::QueryLogPath(argc, argv),
+                       colgraph::bench::TimeoutMs(argc, argv));
   colgraph::bench::WriteMetricsOut(colgraph::bench::MetricsOutPath(argc, argv),
                                    "fig3b_query_size", threads);
 }

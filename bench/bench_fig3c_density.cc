@@ -7,7 +7,8 @@
 namespace colgraph::bench {
 namespace {
 
-void Run(size_t num_threads, const std::string& query_log) {
+void Run(size_t num_threads, const std::string& query_log,
+         uint64_t timeout_ms) {
   Title("Figure 3(c) — query time vs record density, NY");
   PaperNote(
       "column store flat across density; row store grows with density "
@@ -30,9 +31,9 @@ void Run(size_t num_threads, const std::string& query_log) {
         query_log.empty()
             ? ""
             : query_log + "." + std::to_string(record_edges);
-    cells.push_back(
-        Fmt(TimeColumnStore(ds, workload, nullptr, num_threads, log_path)) +
-        "s");
+    cells.push_back(Fmt(TimeColumnStore(ds, workload, nullptr, num_threads,
+                                        log_path, timeout_ms)) +
+                    "s");
     for (const auto& [name, factory] : BaselineFactories()) {
       (void)name;
       cells.push_back(Fmt(TimeBaseline(factory, ds, workload)) + "s");
@@ -46,7 +47,8 @@ void Run(size_t num_threads, const std::string& query_log) {
 
 int main(int argc, char** argv) {
   const size_t threads = colgraph::bench::ThreadCount(argc, argv);
-  colgraph::bench::Run(threads, colgraph::bench::QueryLogPath(argc, argv));
+  colgraph::bench::Run(threads, colgraph::bench::QueryLogPath(argc, argv),
+                       colgraph::bench::TimeoutMs(argc, argv));
   colgraph::bench::WriteMetricsOut(colgraph::bench::MetricsOutPath(argc, argv),
                                    "fig3c_density", threads);
 }

@@ -13,7 +13,7 @@ namespace colgraph::bench {
 namespace {
 
 void Run(size_t num_threads, const std::string& metrics_out,
-         const std::string& query_log) {
+         const std::string& query_log, uint64_t timeout_ms) {
   Title("Figure 6 — run time vs space budget, 100 uniform graph queries, NY");
   PaperNote(
       "fetch-measures cost is mandatory and flat; the structural part "
@@ -32,6 +32,11 @@ void Run(size_t num_threads, const std::string& metrics_out,
   q_options.max_edges = 40;
   const auto workload = qgen.UniformWorkload(100, q_options);
   constexpr int kReps = 3;  // repeat the workload; report per-pass times
+
+  // One deadline covers the whole harness run: the budget sweep's timed
+  // loops poll it through QueryOptions::cancel where evaluation can fail.
+  CancellationToken deadline;
+  const QueryOptions timed_options = ArmDeadline(timeout_ms, &deadline);
 
   // Resolve workload universes once; generate candidates; greedily order
   // the full 100-view selection, then sweep budgets over prefixes.
@@ -93,7 +98,7 @@ void Run(size_t num_threads, const std::string& metrics_out,
         Bitmap matches;
         {
           ScopedPhase phase(&match_timer);
-          matches = qe.MatchIds(resolved.ids, QueryOptions{}, false);
+          matches = qe.MatchIds(resolved.ids, timed_options, false);
         }
         {
           ScopedPhase phase(&fetch_timer);
@@ -123,8 +128,11 @@ void Run(size_t num_threads, const std::string& metrics_out,
   // through the logging path, untimed, so --query-log captures it.
   if (engine.query_log() != nullptr) {
     for (const GraphQuery& q : workload) {
-      auto result = engine.RunGraphQuery(q);
-      (void)result;
+      auto result = engine.RunGraphQuery(q, timed_options);
+      if (!result.ok() &&
+          DeadlineFired(result.status(), "fig6 capture pass")) {
+        break;
+      }
     }
   }
 
@@ -134,13 +142,20 @@ void Run(size_t num_threads, const std::string& metrics_out,
   if (num_threads > 1) {
     const auto scaling_workload = qgen.UniformWorkload(1000, q_options);
     Stopwatch watch;
-    auto batch = engine.EvaluateBatch(scaling_workload);
+    auto batch = engine.EvaluateBatch(scaling_workload, timed_options);
     const double par_seconds = watch.ElapsedSeconds();
-    if (!batch.ok()) std::abort();
+    if (!batch.ok() && DeadlineFired(batch.status(), "fig6 scaling batch")) {
+      FinishQueryLog(&engine);
+      WriteMetricsOut(metrics_out, "fig6_views_uniform", num_threads, &engine);
+      return;
+    }
     watch.Restart();
     for (const GraphQuery& q : scaling_workload) {
-      auto result = engine.RunGraphQuery(q);
-      (void)result;
+      auto result = engine.RunGraphQuery(q, timed_options);
+      if (!result.ok() &&
+          DeadlineFired(result.status(), "fig6 scaling serial")) {
+        break;
+      }
     }
     const double ser_seconds = watch.ElapsedSeconds();
     std::printf("  EvaluateBatch(1000 queries): %ss with %zu threads vs %ss "
@@ -160,5 +175,6 @@ void Run(size_t num_threads, const std::string& metrics_out,
 int main(int argc, char** argv) {
   colgraph::bench::Run(colgraph::bench::ThreadCount(argc, argv),
                        colgraph::bench::MetricsOutPath(argc, argv),
-                       colgraph::bench::QueryLogPath(argc, argv));
+                       colgraph::bench::QueryLogPath(argc, argv),
+                       colgraph::bench::TimeoutMs(argc, argv));
 }

@@ -10,7 +10,7 @@ namespace colgraph::bench {
 namespace {
 
 void Run(size_t num_threads, const std::string& metrics_out,
-         const std::string& query_log) {
+         const std::string& query_log, uint64_t timeout_ms) {
   Title(
       "Figure 7 — run time vs space budget, 100 uniform aggregate queries, "
       "GNU");
@@ -31,6 +31,11 @@ void Run(size_t num_threads, const std::string& metrics_out,
   q_options.max_edges = 25;
   const auto workload = qgen.UniformWorkload(100, q_options);
   constexpr int kReps = 3;
+
+  // One deadline covers the whole harness run; the sweep stops at the
+  // current budget row when it fires.
+  CancellationToken deadline;
+  const QueryOptions timed_options = ArmDeadline(timeout_ms, &deadline);
 
   auto selected =
       SelectAggregateViews(workload, AggFn::kSum, engine.catalog(), 100);
@@ -73,13 +78,18 @@ void Run(size_t num_threads, const std::string& metrics_out,
                    engine.query_log());
 
     engine.stats().Reset();
+    bool timed_out = false;
     Stopwatch watch;
-    for (int rep = 0; rep < kReps; ++rep) {
+    for (int rep = 0; rep < kReps && !timed_out; ++rep) {
       for (const GraphQuery& q : workload) {
-        auto result = qe.RunAggregateQuery(q, AggFn::kSum);
-        if (!result.ok()) std::abort();
+        auto result = qe.RunAggregateQuery(q, AggFn::kSum, timed_options);
+        if (!result.ok()) {
+          timed_out = DeadlineFired(result.status(), "fig7 budget sweep");
+          break;
+        }
       }
     }
+    if (timed_out) break;
     const double total = watch.ElapsedSeconds() / kReps;
     if (budget_pct == 0) baseline_total = total;
     Row({std::to_string(budget_pct) + "%", std::to_string(views_used),
@@ -97,13 +107,21 @@ void Run(size_t num_threads, const std::string& metrics_out,
   // API. Per-query results are bit-identical to the serial loop.
   if (num_threads > 1) {
     Stopwatch watch;
-    auto batch = engine.EvaluatePathAggBatch(workload, AggFn::kSum);
+    auto batch =
+        engine.EvaluatePathAggBatch(workload, AggFn::kSum, timed_options);
     const double par_seconds = watch.ElapsedSeconds();
-    if (!batch.ok()) std::abort();
+    if (!batch.ok() && DeadlineFired(batch.status(), "fig7 scaling batch")) {
+      FinishQueryLog(&engine);
+      WriteMetricsOut(metrics_out, "fig7_agg_views", num_threads, &engine);
+      return;
+    }
     watch.Restart();
     for (const GraphQuery& q : workload) {
-      auto result = engine.RunAggregateQuery(q, AggFn::kSum);
-      if (!result.ok()) std::abort();
+      auto result = engine.RunAggregateQuery(q, AggFn::kSum, timed_options);
+      if (!result.ok() &&
+          DeadlineFired(result.status(), "fig7 scaling serial")) {
+        break;
+      }
     }
     const double ser_seconds = watch.ElapsedSeconds();
     std::printf("  EvaluatePathAggBatch(100 queries): %ss with %zu threads "
@@ -123,5 +141,6 @@ void Run(size_t num_threads, const std::string& metrics_out,
 int main(int argc, char** argv) {
   colgraph::bench::Run(colgraph::bench::ThreadCount(argc, argv),
                        colgraph::bench::MetricsOutPath(argc, argv),
-                       colgraph::bench::QueryLogPath(argc, argv));
+                       colgraph::bench::QueryLogPath(argc, argv),
+                       colgraph::bench::TimeoutMs(argc, argv));
 }

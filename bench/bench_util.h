@@ -12,6 +12,9 @@
 //                         parallel section (same as passing --threads=N).
 //   COLGRAPH_METRICS_OUT  destination for the machine-readable metrics dump
 //                         (same as passing --metrics-out=FILE).
+//   COLGRAPH_TIMEOUT_MS   evaluation deadline for the timed workload (same
+//                         as passing --timeout-ms=N); a mis-scaled run
+//                         aborts with DeadlineExceeded instead of hanging.
 #pragma once
 
 #include <cstdio>
@@ -22,6 +25,7 @@
 #include "core/engine.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "util/cancellation.h"
 #include "util/stopwatch.h"
 #include "workload/base_graphs.h"
 #include "workload/query_generator.h"
@@ -71,6 +75,53 @@ inline std::string MetricsOutPath(int argc, char** argv) {
   }
   if (const char* env = std::getenv("COLGRAPH_METRICS_OUT")) return env;
   return "";
+}
+
+/// Evaluation deadline in milliseconds: `--timeout-ms=N` on the command
+/// line wins, then COLGRAPH_TIMEOUT_MS, else 0 (no deadline). Harnesses
+/// arm a CancellationToken with the budget and thread it through
+/// QueryOptions::cancel (util/cancellation.h), so a mis-scaled workload
+/// stops with DeadlineExceeded instead of hanging a CI job.
+inline uint64_t TimeoutMs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--timeout-ms=";
+    if (arg.rfind(prefix, 0) == 0) {
+      const long long v = std::atoll(arg.c_str() + prefix.size());
+      return v > 0 ? static_cast<uint64_t>(v) : 0;
+    }
+  }
+  if (const char* env = std::getenv("COLGRAPH_TIMEOUT_MS")) {
+    const long long v = std::atoll(env);
+    return v > 0 ? static_cast<uint64_t>(v) : 0;
+  }
+  return 0;
+}
+
+/// Arms `token` with `timeout_ms` (no-op when 0) and returns QueryOptions
+/// carrying it. The token must outlive every query evaluated with the
+/// returned options.
+inline QueryOptions ArmDeadline(uint64_t timeout_ms, CancellationToken* token) {
+  QueryOptions options;
+  if (timeout_ms > 0) {
+    token->SetTimeout(timeout_ms);
+    options.cancel = token;
+  }
+  return options;
+}
+
+/// Standard harness reaction to an evaluation error when a deadline is
+/// armed: report a DeadlineExceeded on stderr and tell the caller to stop
+/// the sweep; abort on anything else (a real bug, as before).
+inline bool DeadlineFired(const Status& status, const char* where) {
+  if (status.ok()) return false;
+  if (status.IsDeadlineExceeded()) {
+    std::fprintf(stderr, "  [timeout] %s: %s\n", where,
+                 status.ToString().c_str());
+    return true;
+  }
+  std::fprintf(stderr, "%s failed: %s\n", where, status.ToString().c_str());
+  std::abort();
 }
 
 /// Query-log capture path (DESIGN.md §10): `--query-log=FILE` wins, then

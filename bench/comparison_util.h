@@ -27,29 +27,45 @@ inline std::vector<std::pair<std::string, StoreFactory>> BaselineFactories() {
 /// Wall-clock seconds to run `workload` on the column store built from `ds`.
 /// With `num_threads > 1` the workload goes through EvaluateBatch across the
 /// engine's pool; the per-query results (and so `result_records`) are
-/// bit-identical to the serial loop.
+/// bit-identical to the serial loop. A non-zero `timeout_ms` arms a
+/// cooperative deadline over the timed run; on expiry the measurement stops
+/// early (partial result count, elapsed time so far).
 inline double TimeColumnStore(const Dataset& ds,
                               const std::vector<GraphQuery>& workload,
                               size_t* result_records = nullptr,
                               size_t num_threads = 1,
-                              const std::string& query_log_path = "") {
+                              const std::string& query_log_path = "",
+                              uint64_t timeout_ms = 0) {
   EngineOptions options;
   options.num_threads = num_threads;
   options.query_log.path = query_log_path;
   ColGraphEngine engine = BuildEngine(ds, options);
+  CancellationToken deadline;
+  const QueryOptions query_options = ArmDeadline(timeout_ms, &deadline);
   size_t total = 0;
   Stopwatch watch;
   double seconds = 0;
   if (num_threads > 1) {
-    auto results = engine.EvaluateBatch(workload);
+    auto results = engine.EvaluateBatch(workload, query_options);
     seconds = watch.ElapsedSeconds();
     if (results.ok()) {
       for (const MeasureTable& table : *results) total += table.records.size();
+    } else if (results.status().IsDeadlineExceeded()) {
+      std::fprintf(stderr, "  [timeout] column-store batch: %s\n",
+                   results.status().ToString().c_str());
     }
   } else {
     for (const GraphQuery& q : workload) {
-      auto result = engine.RunGraphQuery(q);
-      if (result.ok()) total += result->records.size();
+      auto result = engine.RunGraphQuery(q, query_options);
+      if (result.ok()) {
+        total += result->records.size();
+        continue;
+      }
+      if (result.status().IsDeadlineExceeded()) {
+        std::fprintf(stderr, "  [timeout] column-store workload: %s\n",
+                     result.status().ToString().c_str());
+        break;
+      }
     }
     seconds = watch.ElapsedSeconds();
   }

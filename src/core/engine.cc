@@ -197,6 +197,8 @@ StatusOr<PathAggResult> ColGraphEngine::RunAggregateQuery(
 std::string ColGraphEngine::DumpMetricsJson() const {
   obs::JsonWriter w;
   w.BeginObject();
+  w.Key("uptime_seconds");
+  w.Uint(obs::ProcessUptimeSeconds());
   w.Key("engine");
   w.BeginObject();
   w.Key("num_records");

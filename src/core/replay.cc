@@ -40,6 +40,11 @@ StatusOr<ReplayReport> ReplayQueryLog(
   const QueryEngine qe(&engine.relation(), &engine.catalog(), &engine.views());
   QueryOptions query_options;
   query_options.use_views = options.use_views;
+  CancellationToken deadline;
+  if (options.timeout_ms > 0) {
+    deadline.SetTimeout(options.timeout_ms);
+    query_options.cancel = &deadline;
+  }
 
   std::unique_ptr<ThreadPool> pool;
   if (options.num_threads > 1) {

@@ -22,6 +22,12 @@ struct ReplayOptions {
   /// Turning this off replays the baseline plans; cardinalities must not
   /// change either way (views are semantically transparent).
   bool use_views = true;
+  /// Wall-clock budget for the whole replay, in milliseconds; 0 = no
+  /// limit. Wired to the cooperative-cancellation support
+  /// (QueryOptions::cancel), so a pathological query in a captured log
+  /// cannot hang a replay: once the budget fires the replay aborts with
+  /// Status::DeadlineExceeded.
+  uint64_t timeout_ms = 0;
 };
 
 /// \brief Outcome of replaying one log.

@@ -3,9 +3,21 @@
 #include <bit>
 
 #include "obs/json_writer.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace colgraph::obs {
+
+namespace {
+// Anchored once at static initialization: "process start" for uptime
+// reporting. NowMicros is steady-clock, so the difference is immune to
+// wall-clock adjustments.
+const uint64_t g_process_start_us = NowMicros();
+}  // namespace
+
+uint64_t ProcessUptimeSeconds() {
+  return (NowMicros() - g_process_start_us) / 1000000;
+}
 
 void LatencyHistogram::Record(uint64_t micros) {
   // bucket 0: [0,1), bucket i: [2^(i-1), 2^i).

@@ -42,6 +42,13 @@ inline void SetMetricsEnabled(bool on) {
   internal::g_metrics_enabled.store(on, std::memory_order_relaxed);
 }
 
+/// Whole seconds since the process started (anchored at static
+/// initialization, steady clock). Reported by DumpMetricsJson as
+/// `uptime_seconds` so a served metrics document says how long the daemon
+/// has been up; lives in the obs layer because timing code is banned
+/// elsewhere (lint rule [no-adhoc-timing]).
+uint64_t ProcessUptimeSeconds();
+
 /// \brief Monotone event counter (relaxed atomic increments).
 class Counter {
  public:

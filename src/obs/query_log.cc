@@ -3,12 +3,21 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/crc32.h"
 
 namespace colgraph::obs {
 
 namespace {
+
+/// Process-wide mirror of per-log drop counts: disk-full capture loss must
+/// show up in DumpMetricsJson, not just in one QueryLog instance.
+Counter& DroppedCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("query_log.dropped");
+  return c;
+}
 
 constexpr uint8_t kFrameRecord = 0;
 constexpr uint8_t kFrameFooter = 1;
@@ -119,9 +128,17 @@ void QueryLog::Append(const QueryLogRecord& record) {
   AppendRecordFrame(record, &frame);
 
   const MutexLock lock(mu_);
-  if (closed_ || !first_error_.ok()) return;
+  if (closed_) return;
+  if (!first_error_.ok()) {
+    // Poisoned (disk full, torn write): the engine keeps serving; the
+    // record is dropped and the loss is counted, not fatal.
+    ++dropped_;
+    DroppedCounter().Increment();
+    return;
+  }
   AppendBytes(&buffer_, frame.data(), frame.size());
   ++records_;
+  ++buffered_records_;
   if (buffer_.size() >= options_.flush_bytes) FlushLocked();
 }
 
@@ -131,10 +148,15 @@ void QueryLog::FlushLocked() {
   buffer_.clear();
   if (!s.ok()) {
     first_error_ = s;
+    // The buffered records went down with the failed write.
+    dropped_ += buffered_records_;
+    DroppedCounter().Add(buffered_records_);
     std::fprintf(stderr,
-                 "colgraph: query log write failed, capture stopped: %s\n",
+                 "colgraph: query log write failed, capture degraded to "
+                 "dropping (%s)\n",
                  s.ToString().c_str());
   }
+  buffered_records_ = 0;
 }
 
 Status QueryLog::Flush() {
@@ -162,6 +184,11 @@ Status QueryLog::Close() {
 uint64_t QueryLog::records_appended() const {
   const MutexLock lock(mu_);
   return records_;
+}
+
+uint64_t QueryLog::records_dropped() const {
+  const MutexLock lock(mu_);
+  return dropped_;
 }
 
 }  // namespace colgraph::obs

@@ -144,6 +144,13 @@ class QueryLog {
   /// Records accepted so far (including buffered, unflushed ones).
   uint64_t records_appended() const;
 
+  /// Records dropped after the log was poisoned by a write failure (disk
+  /// full, injected fault): the buffered records discarded by the failing
+  /// flush plus every record offered afterwards. Mirrored into the
+  /// process-wide counter `query_log.dropped` so DumpMetricsJson surfaces
+  /// the degradation (capture loss must be observable, never fatal).
+  uint64_t records_dropped() const;
+
   const std::string& path() const { return options_.path; }
 
  private:
@@ -159,6 +166,9 @@ class QueryLog {
   io::AppendFile file_ COLGRAPH_GUARDED_BY(mu_);
   std::vector<char> buffer_ COLGRAPH_GUARDED_BY(mu_);
   uint64_t records_ COLGRAPH_GUARDED_BY(mu_) = 0;
+  /// Records currently in buffer_ (lost if the next flush fails).
+  uint64_t buffered_records_ COLGRAPH_GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ COLGRAPH_GUARDED_BY(mu_) = 0;
   bool closed_ COLGRAPH_GUARDED_BY(mu_) = false;
   Status first_error_ COLGRAPH_GUARDED_BY(mu_) = Status::OK();
 };

@@ -11,6 +11,16 @@
 
 namespace colgraph {
 
+namespace {
+
+// The aggregate fold visits every (path, record) pair; the token is polled
+// every kCancelCheckStride records so a fired deadline abandons the fold
+// within a bounded number of accumulator steps while keeping the poll off
+// the per-record hot path.
+constexpr size_t kCancelCheckStride = 4096;
+
+}  // namespace
+
 StatusOr<PathAggResult> QueryEngine::AggregateAlongPath(
     const Path& path, AggFn fn, const QueryOptions& options) const {
   PathAggResult result;
@@ -52,7 +62,11 @@ StatusOr<PathAggResult> QueryEngine::AggregateAlongPath(
   const obs::Span agg_span(obs::QueryPhase::kAggregate, options.trace);
   std::vector<double> values;
   values.reserve(result.records.size());
+  size_t folded = 0;
   for (RecordId r : result.records) {
+    if (++folded % kCancelCheckStride == 0) {
+      COLGRAPH_RETURN_NOT_OK(CheckCancellation(options.cancel));
+    }
     AggAccumulator acc(fn);
     for (const auto& [col, view_elements] : segment_columns) {
       const auto v = col->Get(r);
@@ -112,6 +126,8 @@ StatusOr<PathAggResult> QueryEngine::RunAggregateQueryImpl(
   if (obs::MetricsEnabled()) queries.Increment();
   const obs::Span total_span(&total, nullptr, "query");
 
+  COLGRAPH_RETURN_NOT_OK(CheckCancellation(options.cancel));
+
   PathAggResult result;
   ResolvedQuery resolved;
   {
@@ -133,7 +149,9 @@ StatusOr<PathAggResult> QueryEngine::RunAggregateQueryImpl(
   const AggFn stored_fn = fn;  // plans match on the query's function
 
   const obs::Span agg_span(obs::QueryPhase::kAggregate, options.trace);
+  size_t folded = 0;
   for (const Path& path : result.paths) {
+    COLGRAPH_RETURN_NOT_OK(CheckCancellation(options.cancel));
     // Catalog-resolvable elements of the path, in path order. Elements
     // without a column (e.g. nodes with no recorded measure) contribute
     // nothing to the aggregate.
@@ -169,6 +187,9 @@ StatusOr<PathAggResult> QueryEngine::RunAggregateQueryImpl(
     std::vector<double> values;
     values.reserve(result.records.size());
     for (RecordId r : result.records) {
+      if (++folded % kCancelCheckStride == 0) {
+        COLGRAPH_RETURN_NOT_OK(CheckCancellation(options.cancel));
+      }
       AggAccumulator acc(fn);
       for (const SegmentColumn& seg : segment_columns) {
         const auto v = seg.column->Get(r);

@@ -48,6 +48,10 @@ StatusOr<std::vector<MeasureTable>> QueryEngine::EvaluateBatch(
       pool, 0, queries.size(), kQueryGrain,
       [&](size_t begin, size_t end) -> Status {
         for (size_t i = begin; i < end; ++i) {
+          // Poll between queries too: a fired token stops the batch from
+          // even starting the remaining queries of this chunk (the
+          // per-query phase checks only bound overshoot inside one query).
+          COLGRAPH_RETURN_NOT_OK(CheckCancellation(options.cancel));
           COLGRAPH_ASSIGN_OR_RETURN(results[i],
                                     RunGraphQuery(queries[i], options));
         }
@@ -71,6 +75,7 @@ StatusOr<std::vector<PathAggResult>> QueryEngine::EvaluatePathAggBatch(
       pool, 0, queries.size(), kQueryGrain,
       [&](size_t begin, size_t end) -> Status {
         for (size_t i = begin; i < end; ++i) {
+          COLGRAPH_RETURN_NOT_OK(CheckCancellation(options.cancel));
           COLGRAPH_ASSIGN_OR_RETURN(results[i],
                                     RunAggregateQuery(queries[i], fn, options));
         }

@@ -219,6 +219,11 @@ StatusOr<MeasureTable> QueryEngine::RunGraphQueryImpl(
   if (obs::MetricsEnabled()) queries.Increment();
   const obs::Span total_span(&total, nullptr, "query");
 
+  // Cooperative cancellation: poll at the phase boundaries (the match can
+  // fetch many bitmaps, the fetch many columns) so a fired deadline
+  // abandons the query between phases instead of after the fact.
+  COLGRAPH_RETURN_NOT_OK(CheckCancellation(options.cancel));
+
   ResolvedQuery resolved;
   {
     const obs::Span span(obs::QueryPhase::kResolve, options.trace);
@@ -232,6 +237,7 @@ StatusOr<MeasureTable> QueryEngine::RunGraphQueryImpl(
   }
   const Bitmap matches =
       MatchIds(resolved.ids, options, /*consider_agg_bitmaps=*/false, plan_out);
+  COLGRAPH_RETURN_NOT_OK(CheckCancellation(options.cancel));
   // FetchMeasures records the fetch-phase histogram itself (it is a public
   // entry point too); the trace-only span here attributes the same
   // interval to this query's trace without double-counting the histogram.

@@ -14,6 +14,7 @@
 #include "obs/explain.h"
 #include "query/agg_fn.h"
 #include "query/rewriter.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 #include "views/view_defs.h"
 
@@ -58,6 +59,12 @@ struct QueryOptions {
   /// Phase histograms in obs::MetricsRegistry::Global() are fed whether or
   /// not a trace is attached (gated by obs::MetricsEnabled()).
   obs::Trace* trace = nullptr;
+  /// Cooperative cancellation (DESIGN.md §12): when set, the evaluation
+  /// loops poll the token at phase boundaries, per batch query, and every
+  /// few thousand records of an aggregate fold, abandoning the query with
+  /// Status::DeadlineExceeded / Status::Cancelled once it fires. The token
+  /// must outlive the call; null means "never cancelled" (zero overhead).
+  const CancellationToken* cancel = nullptr;
 };
 
 class ThreadPool;

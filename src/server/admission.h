@@ -1,0 +1,76 @@
+// Admission control for colgraphd (DESIGN.md §12): a fixed bound on
+// concurrently admitted work. When the bound is hit, new work is rejected
+// *immediately* with Status::ResourceExhausted — the clean, retryable
+// overload signal — instead of queueing without limit until memory or
+// latency collapse. Load shedding at the front door is what keeps the
+// in-flight requests' tail latency flat under overload.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace colgraph::server {
+
+/// \brief Counting admission gate. TryAcquire/Release are lock-free and
+/// thread-safe.
+class AdmissionController {
+ public:
+  explicit AdmissionController(size_t max_outstanding)
+      : max_outstanding_(max_outstanding) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Claims one slot, or rejects with ResourceExhausted naming `what`.
+  [[nodiscard]] Status TryAcquire(const char* what) {
+    size_t current = outstanding_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (current >= max_outstanding_) {
+        return Status::ResourceExhausted(
+            std::string(what) + " rejected: " +
+            std::to_string(max_outstanding_) +
+            " requests already admitted (retry with backoff)");
+      }
+      if (outstanding_.compare_exchange_weak(current, current + 1,
+                                             std::memory_order_acq_rel)) {
+        return Status::OK();
+      }
+    }
+  }
+
+  void Release() { outstanding_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  size_t outstanding() const {
+    return outstanding_.load(std::memory_order_relaxed);
+  }
+  size_t max_outstanding() const { return max_outstanding_; }
+
+ private:
+  const size_t max_outstanding_;
+  std::atomic<size_t> outstanding_{0};
+};
+
+/// \brief RAII admission slot: releases on destruction when acquired.
+class AdmissionSlot {
+ public:
+  AdmissionSlot(AdmissionController* controller, const char* what)
+      : controller_(controller), status_(controller->TryAcquire(what)) {}
+  ~AdmissionSlot() {
+    if (status_.ok()) controller_->Release();
+  }
+
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+  const Status& status() const { return status_; }
+  bool admitted() const { return status_.ok(); }
+
+ private:
+  AdmissionController* controller_;
+  Status status_;
+};
+
+}  // namespace colgraph::server

@@ -1,0 +1,117 @@
+#include "server/client.h"
+
+#include <utility>
+#include <vector>
+
+namespace colgraph::server {
+
+StatusOr<Response> Client::CallOnce(const Request& request) {
+  if (!socket_.valid()) {
+    COLGRAPH_ASSIGN_OR_RETURN(
+        socket_, UnixSocket::Connect(options_.socket_path,
+                                     options_.io_timeout_ms));
+  }
+
+  std::vector<char> frame;
+  AppendRequestFrame(request, &frame);
+  COLGRAPH_RETURN_NOT_OK(
+      socket_.WriteAll(frame.data(), frame.size(), options_.io_timeout_ms));
+
+  char header_bytes[kFrameHeaderBytes];
+  COLGRAPH_RETURN_NOT_OK(socket_.ReadFull(header_bytes, kFrameHeaderBytes,
+                                          options_.io_timeout_ms));
+  FrameHeader header;
+  COLGRAPH_RETURN_NOT_OK(DecodeFrameHeader(header_bytes, &header));
+  if (header.type != kResponseFrame) {
+    return Status::Corruption("protocol: expected a response frame");
+  }
+  std::vector<char> payload(header.payload_len);
+  COLGRAPH_RETURN_NOT_OK(socket_.ReadFull(payload.data(), payload.size(),
+                                          options_.io_timeout_ms));
+  COLGRAPH_RETURN_NOT_OK(
+      VerifyFrameCrc(header, payload.data(), payload.size()));
+  return DecodeResponsePayload(payload.data(), payload.size());
+}
+
+uint64_t Client::NextBackoffMs(size_t attempt) {
+  // Exponential: base * 2^attempt, capped; then jittered into [50%, 100%)
+  // so rejected clients spread out instead of re-stampeding in lockstep.
+  uint64_t backoff = options_.backoff_base_ms;
+  for (size_t i = 0; i < attempt && backoff < options_.backoff_max_ms; ++i) {
+    backoff *= 2;
+  }
+  if (backoff > options_.backoff_max_ms) backoff = options_.backoff_max_ms;
+  if (backoff == 0) return 0;
+  return static_cast<uint64_t>(static_cast<double>(backoff) *
+                               rng_.UniformReal(0.5, 1.0));
+}
+
+StatusOr<Response> Client::Call(const Request& request) {
+  const size_t max_attempts =
+      options_.max_attempts == 0 ? 1 : options_.max_attempts;
+  Status last = Status::OK();
+  attempts_made_ = 0;
+  for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) SleepMs(NextBackoffMs(attempt - 1));
+    ++attempts_made_;
+
+    StatusOr<Response> response = CallOnce(request);
+    if (response.ok()) {
+      if (!response->ok() && IsRetryableWireCode(response->code)) {
+        // Overload or drain: the server executed nothing — back off and
+        // retry. Any other code (including deadline) is final.
+        last = response->ToStatus();
+        continue;
+      }
+      return response;
+    }
+
+    // Transport failure. The stream is no longer trustworthy; reconnect on
+    // the next attempt. Deterministic local failures (bad socket path)
+    // will not improve with retries, so only transport-shaped statuses
+    // loop: Unavailable (refused / reset / not up), IOError (torn frame,
+    // peer died mid-call), Corruption (damaged response), and a stalled
+    // peer's DeadlineExceeded.
+    socket_.Close();
+    const Status& s = response.status();
+    if (s.IsUnavailable() || s.IsIOError() || s.IsCorruption() ||
+        s.IsDeadlineExceeded()) {
+      last = s;
+      continue;
+    }
+    return s;
+  }
+  return Status::Unavailable("all " + std::to_string(max_attempts) +
+                             " attempts failed; last error: " +
+                             last.ToString());
+}
+
+StatusOr<Response> Client::Ping() {
+  Request request;
+  request.op = RequestOp::kPing;
+  return Call(request);
+}
+
+StatusOr<Response> Client::Query(const std::string& text,
+                                 uint64_t timeout_ms) {
+  Request request;
+  request.op = RequestOp::kQuery;
+  request.timeout_ms = timeout_ms;
+  request.body = text;
+  return Call(request);
+}
+
+StatusOr<Response> Client::Ingest(const std::string& trace_text) {
+  Request request;
+  request.op = RequestOp::kIngest;
+  request.body = trace_text;
+  return Call(request);
+}
+
+StatusOr<Response> Client::Stats() {
+  Request request;
+  request.op = RequestOp::kStats;
+  return Call(request);
+}
+
+}  // namespace colgraph::server

@@ -1,0 +1,90 @@
+// Client for colgraphd (DESIGN.md §12). One Call() sends a framed request
+// and reads the framed response, with the retry discipline the serving
+// contract promises is safe:
+//
+//   - *What retries*: transport failures before a response (connect
+//     refused, torn/corrupt response frame, peer reset) and responses
+//     whose wire code is retryable — RESOURCE_EXHAUSTED (admission
+//     rejection) and UNAVAILABLE (drain / server not up). In both cases
+//     the server executed nothing chargeable.
+//   - *What does not retry*: DEADLINE_EXCEEDED and CANCELLED (the budget
+//     was spent server-side; retrying doubles the cost for the same
+//     outcome) and every deterministic failure (INVALID_ARGUMENT, ...).
+//   - *How*: jittered exponential backoff — backoff_base_ms doubles per
+//     attempt, capped at backoff_max_ms, and each sleep is multiplied by a
+//     uniform [0.5, 1.0) draw so a fleet of rejected clients does not
+//     re-stampede in lockstep. The jitter RNG is seedable for
+//     deterministic tests.
+//
+// Connections are per-call-sequence: Call() reuses the socket across
+// requests while it stays healthy and reconnects transparently after a
+// transport failure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "server/net_socket.h"
+#include "server/protocol.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace colgraph::server {
+
+struct ClientOptions {
+  /// Socket path of the daemon. Required.
+  std::string socket_path;
+  /// Budget for connect plus each read/write chunk; 0 = no limit.
+  uint64_t io_timeout_ms = 5000;
+  /// Total tries per Call() — the first attempt plus up to
+  /// max_attempts - 1 retries of retryable failures.
+  size_t max_attempts = 4;
+  /// First backoff sleep; doubles per retry up to backoff_max_ms.
+  uint64_t backoff_base_ms = 10;
+  uint64_t backoff_max_ms = 500;
+  /// Seed for backoff jitter (deterministic tests pin it).
+  uint64_t jitter_seed = 0x636f6c67;  // "colg"
+};
+
+/// \brief Framed-protocol client with reconnect and retry/backoff.
+class Client {
+ public:
+  explicit Client(ClientOptions options)
+      : options_(std::move(options)), rng_(options_.jitter_seed) {}
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends `request` and returns the server's response, retrying per the
+  /// matrix above. A non-OK *response* (e.g. the server's
+  /// INVALID_ARGUMENT) is still a successful Call() — inspect
+  /// Response::ok() / ToStatus(); a non-OK *Status* means every attempt
+  /// failed at the transport layer or with a retryable code.
+  [[nodiscard]] StatusOr<Response> Call(const Request& request);
+
+  /// Convenience wrappers over Call().
+  [[nodiscard]] StatusOr<Response> Ping();
+  [[nodiscard]] StatusOr<Response> Query(const std::string& text,
+                                         uint64_t timeout_ms = 0);
+  [[nodiscard]] StatusOr<Response> Ingest(const std::string& trace_text);
+  [[nodiscard]] StatusOr<Response> Stats();
+
+  /// Drops the cached connection (the next Call reconnects).
+  void Disconnect() { socket_.Close(); }
+
+  size_t attempts_made() const { return attempts_made_; }
+
+ private:
+  /// One wire round trip on the cached (or freshly dialed) connection.
+  [[nodiscard]] StatusOr<Response> CallOnce(const Request& request);
+  uint64_t NextBackoffMs(size_t attempt);
+
+  ClientOptions options_;
+  Rng rng_;
+  UnixSocket socket_;
+  /// Attempts consumed by the most recent Call() (observability for the
+  /// chaos tests: "the retry actually happened").
+  size_t attempts_made_ = 0;
+};
+
+}  // namespace colgraph::server

@@ -1,0 +1,424 @@
+#include "server/daemon.h"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "query/parser.h"
+#include "util/cancellation.h"
+#include "workload/trace_loader.h"
+
+namespace colgraph::server {
+
+namespace {
+
+// Serving metrics (DESIGN.md §12 / README "Metrics"): request and overload
+// counters, plus the live gauges DumpMetricsJson exposes.
+obs::Counter& RequestCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("server.requests");
+  return c;
+}
+obs::Counter& OverloadCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("server.overload_rejections");
+  return c;
+}
+obs::Counter& ConnectionCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("server.connections");
+  return c;
+}
+obs::Counter& ProtocolErrorCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("server.protocol_errors");
+  return c;
+}
+obs::Gauge& InFlightGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().GetGauge("server.in_flight");
+  return g;
+}
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().GetGauge("server.queue_depth");
+  return g;
+}
+
+/// RAII +1/-1 on a gauge.
+class GaugeScope {
+ public:
+  explicit GaugeScope(obs::Gauge* gauge) : gauge_(gauge) { gauge_->Add(1); }
+  ~GaugeScope() { gauge_->Add(-1); }
+  GaugeScope(const GaugeScope&) = delete;
+  GaugeScope& operator=(const GaugeScope&) = delete;
+
+ private:
+  obs::Gauge* gauge_;
+};
+
+std::string FormatValue(double v) {
+  char buffer[64];
+  // %.17g round-trips every double bit-exactly, so serial re-evaluation
+  // renders byte-identical bodies (the stress test's oracle).
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+}  // namespace
+
+std::string RenderMatchResult(const Bitmap& matches) {
+  std::string out = "match " + std::to_string(matches.Count()) + ":";
+  matches.ForEachSetBit(
+      [&](size_t r) { out += " r" + std::to_string(r); });
+  out += "\n";
+  return out;
+}
+
+std::string RenderAggResult(const PathAggResult& result, AggFn fn) {
+  std::string out = std::string(AggFnName(fn)) + " over " +
+                    std::to_string(result.records.size()) + " record(s), " +
+                    std::to_string(result.paths.size()) + " path(s)\n";
+  for (size_t p = 0; p < result.paths.size(); ++p) {
+    out += "path " + result.paths[p].ToString() + ":";
+    for (const double v : result.values[p]) out += " " + FormatValue(v);
+    out += "\n";
+  }
+  return out;
+}
+
+StatusOr<std::unique_ptr<Daemon>> Daemon::Start(
+    std::shared_ptr<const ColGraphEngine> initial, DaemonOptions options) {
+  if (initial == nullptr) {
+    return Status::InvalidArgument("colgraphd needs an initial engine");
+  }
+  if (!initial->relation().sealed()) {
+    return Status::InvalidArgument(
+        "colgraphd serves sealed engines; Seal() the initial snapshot");
+  }
+  if (options.num_workers == 0) {
+    return Status::InvalidArgument("colgraphd needs at least one worker");
+  }
+  COLGRAPH_ASSIGN_OR_RETURN(
+      UnixListener listener,
+      UnixListener::Bind(options.socket_path,
+                         static_cast<int>(options.max_queued_connections)));
+  std::unique_ptr<Daemon> daemon(new Daemon(
+      std::move(options), std::move(initial), std::move(listener)));
+  return daemon;
+}
+
+Daemon::Daemon(DaemonOptions options,
+               std::shared_ptr<const ColGraphEngine> initial,
+               UnixListener listener)
+    : options_(std::move(options)),
+      snapshots_(std::move(initial)),
+      admission_(options_.max_in_flight),
+      listener_(std::move(listener)),
+      conn_pool_(std::make_unique<ThreadPool>(options_.num_workers)),
+      accept_pool_(std::make_unique<ThreadPool>(1)) {
+  // Register the serving gauges now so a kStats response (and any metrics
+  // dump) lists them at zero before the first request arrives.
+  InFlightGauge();
+  QueueDepthGauge();
+  accept_pool_->Schedule([this] { AcceptLoop(); });
+}
+
+Daemon::~Daemon() {
+  const Status s = Drain();
+  if (!s.ok()) {
+    std::fprintf(stderr, "colgraphd: drain failed: %s\n",
+                 s.ToString().c_str());
+  }
+}
+
+Status Daemon::Drain() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    // Another caller is (or was) draining; tick until its result lands.
+    for (;;) {
+      {
+        const MutexLock lock(drain_mu_);
+        if (drained_) return drain_status_;
+      }
+      SleepMs(options_.poll_tick_ms);
+    }
+  }
+
+  // 1. Join the accept loop (it exits on its next poll tick), then close
+  //    the listener so the socket file disappears — new connects now fail
+  //    fast with UNAVAILABLE at the OS level.
+  accept_pool_.reset();
+  listener_.Close();
+
+  // 2. Join the connection workers. In-flight requests run to completion;
+  //    idle connections notice draining_ on their next tick and close;
+  //    queued handlers start, observe draining_, and refuse politely.
+  conn_pool_.reset();
+
+  // 3. Flush and close the query log — after this the capture file is
+  //    complete and replayable. The log is shared by every published
+  //    snapshot (engine copies share the sink), so closing it once here
+  //    covers all epochs.
+  Status status = Status::OK();
+  const std::shared_ptr<const ColGraphEngine> snapshot = snapshots_.Acquire();
+  if (snapshot->query_log() != nullptr) {
+    status = snapshot->query_log()->Close();
+  }
+
+  {
+    const MutexLock lock(drain_mu_);
+    drained_ = true;
+    drain_status_ = status;
+  }
+  return status;
+}
+
+void Daemon::AcceptLoop() {
+  while (!draining()) {
+    StatusOr<UnixSocket> accepted = listener_.Accept(options_.poll_tick_ms);
+    if (!accepted.ok()) {
+      if (accepted.status().IsDeadlineExceeded()) continue;  // stop-flag tick
+      if (draining()) break;
+      std::fprintf(stderr, "colgraphd: accept failed: %s\n",
+                   accepted.status().ToString().c_str());
+      SleepMs(options_.poll_tick_ms);
+      continue;
+    }
+    ConnectionCounter().Increment();
+
+    // Bounded handler queue: beyond the cap, shed load at the front door
+    // with the retryable overload status instead of queueing invisibly.
+    const size_t queued =
+        queued_connections_.fetch_add(1, std::memory_order_acq_rel);
+    if (queued >= options_.max_queued_connections) {
+      queued_connections_.fetch_sub(1, std::memory_order_acq_rel);
+      OverloadCounter().Increment();
+      Response overload = ErrorResponse(Status::ResourceExhausted(
+          "connection rejected: " +
+          std::to_string(options_.max_queued_connections) +
+          " connections already queued (retry with backoff)"));
+      std::vector<char> frame;
+      AppendResponseFrame(overload, &frame);
+      UnixSocket socket = std::move(accepted).value();
+      (void)socket.WriteAll(frame.data(), frame.size(),
+                            options_.io_timeout_ms);
+      continue;  // socket closes on scope exit
+    }
+    QueueDepthGauge().Add(1);
+
+    // shared_ptr: std::function requires a copyable callable, and the
+    // socket must survive until the (single) invocation runs.
+    auto socket =
+        std::make_shared<UnixSocket>(std::move(accepted).value());
+    conn_pool_->Schedule([this, socket]() mutable {
+      queued_connections_.fetch_sub(1, std::memory_order_acq_rel);
+      QueueDepthGauge().Add(-1);
+      HandleConnection(std::move(*socket));
+    });
+  }
+}
+
+Status Daemon::ReadRequest(UnixSocket* socket, Request* request,
+                           Response* error_response, bool* fatal_out) {
+  *fatal_out = false;
+
+  // Idle phase: wait for the first header byte in short ticks so a drain
+  // interrupts keep-alive connections promptly. No idle cap — a client may
+  // hold a connection open as long as the daemon is serving.
+  for (;;) {
+    if (draining()) return Status::Unavailable("server draining");
+    const Status ready = socket->WaitReadable(options_.poll_tick_ms);
+    if (ready.ok()) break;
+    if (!ready.IsDeadlineExceeded()) return ready;
+  }
+
+  // Framed phase: once bytes start flowing the peer must complete the
+  // frame within the IO budget or be dropped (hung-client defense).
+  char header_bytes[kFrameHeaderBytes];
+  COLGRAPH_RETURN_NOT_OK(socket->ReadFull(header_bytes, kFrameHeaderBytes,
+                                          options_.io_timeout_ms));
+  FrameHeader header;
+  Status s = DecodeFrameHeader(header_bytes, &header);
+  if (s.ok() && header.type != kRequestFrame) {
+    s = Status::InvalidArgument("protocol: expected a request frame");
+  }
+  if (!s.ok()) {
+    // The stream is desynchronized — answer, then hang up.
+    ProtocolErrorCounter().Increment();
+    *error_response = ErrorResponse(s);
+    *fatal_out = true;
+    return Status::OK();
+  }
+
+  std::vector<char> payload(header.payload_len);
+  COLGRAPH_RETURN_NOT_OK(
+      socket->ReadFull(payload.data(), payload.size(),
+                       options_.io_timeout_ms));
+  s = VerifyFrameCrc(header, payload.data(), payload.size());
+  if (s.ok()) {
+    StatusOr<Request> decoded =
+        DecodeRequestPayload(payload.data(), payload.size());
+    if (decoded.ok()) {
+      *request = std::move(decoded).value();
+      return Status::OK();
+    }
+    s = decoded.status();
+  }
+  ProtocolErrorCounter().Increment();
+  *error_response = ErrorResponse(s);
+  *fatal_out = true;
+  return Status::OK();
+}
+
+void Daemon::HandleConnection(UnixSocket socket) {
+  for (;;) {
+    Request request;
+    Response response;
+    bool fatal = false;
+    const Status read = ReadRequest(&socket, &request, &response, &fatal);
+    if (!read.ok()) {
+      // Clean disconnect (Unavailable), hung peer (DeadlineExceeded), or
+      // torn frame (IOError): nothing to answer, drop the connection.
+      return;
+    }
+    if (!fatal) response = Execute(request);
+
+    std::vector<char> frame;
+    AppendResponseFrame(response, &frame);
+    const Status written =
+        socket.WriteAll(frame.data(), frame.size(), options_.io_timeout_ms);
+    if (!written.ok() || fatal) return;
+  }
+}
+
+Response Daemon::ErrorResponse(const Status& status) const {
+  Response response;
+  response.code = WireCodeFromStatus(status);
+  response.snapshot_epoch = snapshots_.epoch();
+  response.body = status.message();
+  return response;
+}
+
+Response Daemon::Execute(const Request& request) {
+  RequestCounter().Increment();
+  if (draining()) {
+    return ErrorResponse(
+        Status::Unavailable("server draining; no new requests"));
+  }
+
+  const AdmissionSlot slot(&admission_, "request");
+  if (!slot.admitted()) {
+    OverloadCounter().Increment();
+    return ErrorResponse(slot.status());
+  }
+  const GaugeScope in_flight(&InFlightGauge());
+
+  CancellationToken token;
+  const uint64_t timeout_ms = request.timeout_ms > 0
+                                  ? request.timeout_ms
+                                  : options_.default_timeout_ms;
+  if (timeout_ms > 0) token.SetTimeout(timeout_ms);
+  if (options_.test_delay_before_execute_ms > 0) {
+    SleepMs(options_.test_delay_before_execute_ms);
+  }
+  if (const Status pre = token.Check(); !pre.ok()) {
+    return ErrorResponse(pre);
+  }
+
+  switch (request.op) {
+    case RequestOp::kPing: {
+      Response response;
+      response.snapshot_epoch = snapshots_.epoch();
+      response.body = "pong";
+      return response;
+    }
+    case RequestOp::kStats: {
+      Response response;
+      const std::shared_ptr<const ColGraphEngine> engine =
+          snapshots_.Acquire(&response.snapshot_epoch);
+      response.body = engine->DumpMetricsJson();
+      return response;
+    }
+    case RequestOp::kQuery:
+      return ExecuteQuery(request, token);
+    case RequestOp::kIngest: {
+      StatusOr<Response> response = Ingest(request.body);
+      if (!response.ok()) return ErrorResponse(response.status());
+      return std::move(response).value();
+    }
+  }
+  return ErrorResponse(Status::Internal("unreachable request op"));
+}
+
+Response Daemon::ExecuteQuery(const Request& request,
+                              const CancellationToken& token) {
+  const StatusOr<ParsedQuery> parsed = ParseQuery(request.body);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+
+  Response response;
+  const std::shared_ptr<const ColGraphEngine> engine =
+      snapshots_.Acquire(&response.snapshot_epoch);
+
+  QueryOptions query_options;
+  query_options.cancel = &token;
+
+  if (parsed->kind == ParsedQuery::Kind::kMatch) {
+    const Bitmap matches =
+        parsed->expr->Evaluate(engine->query_engine(), query_options);
+    // Boolean-expression evaluation returns a plain bitmap (no status
+    // channel), so the deadline is enforced at the evaluation boundary.
+    if (const Status post = token.Check(); !post.ok()) {
+      return ErrorResponse(post);
+    }
+    response.body = RenderMatchResult(matches);
+    return response;
+  }
+
+  const StatusOr<PathAggResult> result =
+      engine->RunAggregateQuery(parsed->query, parsed->fn, query_options);
+  if (!result.ok()) return ErrorResponse(result.status());
+  response.body = RenderAggResult(*result, parsed->fn);
+  return response;
+}
+
+StatusOr<Response> Daemon::Ingest(const std::string& trace_text) {
+  // Single writer: ingests serialize here. Readers never wait — they keep
+  // evaluating against the previous snapshot until the publish below.
+  const MutexLock writer_lock(writer_mu_);
+
+  std::istringstream in(trace_text);
+  COLGRAPH_ASSIGN_OR_RETURN(const std::vector<WalkTrace> traces,
+                            ParseTraces(in));
+  if (traces.empty()) {
+    return Status::InvalidArgument("ingest body contains no trace records");
+  }
+
+  const std::shared_ptr<const ColGraphEngine> base = snapshots_.Acquire();
+  // Copy-on-write: the next state is built entirely off to the side. A
+  // failure anywhere below leaves the served snapshot untouched.
+  ColGraphEngine next(*base);
+  COLGRAPH_RETURN_NOT_OK(next.BeginAppend());
+  for (const WalkTrace& trace : traces) {
+    COLGRAPH_RETURN_NOT_OK(
+        next.AddWalk(trace.walk, trace.measures).status());
+  }
+  COLGRAPH_RETURN_NOT_OK(next.FinishAppend());
+
+  const size_t total = next.num_records();
+  COLGRAPH_RETURN_NOT_OK(snapshots_.Publish(
+      std::make_shared<const ColGraphEngine>(std::move(next))));
+
+  Response response;
+  response.snapshot_epoch = snapshots_.epoch();
+  response.body = "ingested " + std::to_string(traces.size()) +
+                  " record(s); " + std::to_string(total) +
+                  " total; epoch " +
+                  std::to_string(response.snapshot_epoch);
+  return response;
+}
+
+}  // namespace colgraph::server

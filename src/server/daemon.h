@@ -1,0 +1,140 @@
+// colgraphd — the fault-tolerant serving daemon (DESIGN.md §12). One
+// process serves many concurrent read queries over a local socket while a
+// single writer ingests trace batches and atomically publishes new engine
+// snapshots. The robustness contract:
+//
+//   - *Snapshot isolation*: every query runs against the immutable
+//     snapshot it acquired; a publish never tears an in-flight result.
+//   - *Deadlines*: a request's timeout_ms is armed on a CancellationToken
+//     threaded through query evaluation; expiry returns a clean
+//     DEADLINE_EXCEEDED instead of occupying a worker forever.
+//   - *Admission control*: a bounded accept queue and a bounded in-flight
+//     request count; overload is an immediate, retryable
+//     RESOURCE_EXHAUSTED, not an unbounded queue.
+//   - *Graceful drain*: Drain() stops accepting, lets in-flight requests
+//     finish, answers anything new with UNAVAILABLE, flushes and closes
+//     the query log, and removes the socket file. colgraphd wires SIGTERM
+//     to it.
+//   - *Hostile peers*: hung or slow clients hit poll timeouts; malformed
+//     or CRC-corrupt frames get an INVALID_ARGUMENT/CORRUPTION response
+//     and the connection is closed (the stream can no longer be trusted).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "server/admission.h"
+#include "server/net_socket.h"
+#include "server/protocol.h"
+#include "server/snapshot.h"
+#include "util/status.h"
+#include "util/sync.h"
+#include "util/thread_pool.h"
+
+namespace colgraph::server {
+
+struct DaemonOptions {
+  /// AF_UNIX socket path to serve on. Required.
+  std::string socket_path;
+  /// Concurrent connection workers (each serves one connection at a time).
+  size_t num_workers = 8;
+  /// Accepted connections allowed to wait for a free worker; beyond this
+  /// the accept loop answers RESOURCE_EXHAUSTED and closes immediately.
+  size_t max_queued_connections = 64;
+  /// Requests allowed to execute concurrently (the admission bound).
+  size_t max_in_flight = 32;
+  /// Socket read/write budget per frame; a peer stalling longer is
+  /// dropped. 0 disables the guard (not recommended outside tests).
+  uint64_t io_timeout_ms = 5000;
+  /// Cadence of the accept loop's and idle connections' stop-flag checks.
+  uint64_t poll_tick_ms = 50;
+  /// Deadline applied to requests that do not carry their own timeout_ms;
+  /// 0 = none.
+  uint64_t default_timeout_ms = 0;
+  /// Test hook: sleep this long after arming a request's deadline and
+  /// before executing it — makes "deadline fires during the request"
+  /// deterministic in tests. 0 (always, in production) disables it.
+  uint64_t test_delay_before_execute_ms = 0;
+};
+
+/// Deterministic text renderings of query results — shared by the daemon
+/// and the stress tests, which re-evaluate serially against a retained
+/// snapshot and require byte-identical bodies.
+std::string RenderMatchResult(const Bitmap& matches);
+std::string RenderAggResult(const PathAggResult& result, AggFn fn);
+
+/// \brief The serving daemon. Construct via Start(); Drain() (idempotent,
+/// also run by the destructor) performs the graceful shutdown.
+class Daemon {
+ public:
+  /// Binds the socket and starts the accept loop. `initial` must be a
+  /// sealed engine; it becomes snapshot epoch 0.
+  [[nodiscard]] static StatusOr<std::unique_ptr<Daemon>> Start(
+      std::shared_ptr<const ColGraphEngine> initial, DaemonOptions options);
+
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Graceful drain; returns the query-log close status (the log must be
+  /// complete on disk when this returns). Safe to call more than once.
+  Status Drain();
+
+  /// Executes one request exactly as a connection worker would —
+  /// admission, deadline, snapshot acquisition, rendering. Exposed for
+  /// the in-process smoke test and unit tests.
+  Response Execute(const Request& request);
+
+  /// Single-writer ingest: copies the current snapshot, appends the trace
+  /// records, reseals (views refresh), and publishes the next epoch.
+  /// Serialized internally; concurrent callers queue on the writer lock.
+  [[nodiscard]] StatusOr<Response> Ingest(const std::string& trace_text);
+
+  const std::string& socket_path() const { return options_.socket_path; }
+  uint64_t snapshot_epoch() const { return snapshots_.epoch(); }
+  SnapshotManager& snapshots() { return snapshots_; }
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+ private:
+  Daemon(DaemonOptions options, std::shared_ptr<const ColGraphEngine> initial,
+         UnixListener listener);
+
+  void AcceptLoop();
+  void HandleConnection(UnixSocket socket);
+  /// Reads one request frame; Unavailable = clean disconnect or drain,
+  /// other errors = drop the connection. `fatal_out` marks protocol
+  /// errors that still produce a response but must close the stream.
+  Status ReadRequest(UnixSocket* socket, Request* request,
+                     Response* error_response, bool* fatal_out);
+  Response ExecuteQuery(const Request& request,
+                        const CancellationToken& token);
+  Response ErrorResponse(const Status& status) const;
+
+  DaemonOptions options_;
+  SnapshotManager snapshots_;
+  AdmissionController admission_;
+  UnixListener listener_;
+  std::atomic<bool> draining_{false};
+  std::atomic<size_t> queued_connections_{0};
+
+  /// Serializes writers (Ingest): copy → append → reseal → publish.
+  Mutex writer_mu_;
+
+  /// One worker dedicated to the accept loop; connection handlers run on
+  /// conn_pool_. Destroyed (joined) by Drain in accept-first order so no
+  /// handler is scheduled after the connection pool starts draining.
+  std::unique_ptr<ThreadPool> conn_pool_;
+  std::unique_ptr<ThreadPool> accept_pool_;
+
+  Mutex drain_mu_;
+  bool drained_ COLGRAPH_GUARDED_BY(drain_mu_) = false;
+  Status drain_status_ COLGRAPH_GUARDED_BY(drain_mu_);
+};
+
+}  // namespace colgraph::server

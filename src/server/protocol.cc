@@ -1,0 +1,240 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace colgraph::server {
+
+namespace {
+
+constexpr uint32_t kRequestMagic = 0x51524743;   // 'CGRQ' little-endian
+constexpr uint32_t kResponseMagic = 0x53524743;  // 'CGRS' little-endian
+
+void AppendBytes(std::vector<char>* out, const void* data, size_t n) {
+  if (n == 0) return;  // out->data() may still be null; memcpy is nonnull
+  const size_t old = out->size();
+  out->resize(old + n);
+  std::memcpy(out->data() + old, data, n);
+}
+
+template <typename T>
+void AppendPod(std::vector<char>* out, const T& value) {
+  AppendBytes(out, &value, sizeof(T));
+}
+
+/// Cursor over an untrusted payload; every read is bounds-checked.
+class PayloadReader {
+ public:
+  PayloadReader(const char* data, size_t len) : data_(data), len_(len) {}
+
+  template <typename T>
+  [[nodiscard]] Status Read(T* out) {
+    if (len_ - pos_ < sizeof(T)) {
+      return Status::InvalidArgument("protocol: truncated payload");
+    }
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  [[nodiscard]] Status ReadString(uint32_t n, std::string* out) {
+    if (len_ - pos_ < n) {
+      return Status::InvalidArgument("protocol: truncated payload body");
+    }
+    out->assign(data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  bool AtEnd() const { return pos_ == len_; }
+
+ private:
+  const char* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status DecodeFrameHeader(const char* data, FrameHeader* out) {
+  std::memcpy(&out->type, data, sizeof(out->type));
+  std::memcpy(&out->payload_len, data + sizeof(uint8_t),
+              sizeof(out->payload_len));
+  std::memcpy(&out->crc, data + sizeof(uint8_t) + sizeof(uint64_t),
+              sizeof(out->crc));
+  if (out->type != kRequestFrame && out->type != kResponseFrame) {
+    return Status::InvalidArgument("protocol: unknown frame type " +
+                                   std::to_string(out->type));
+  }
+  if (out->payload_len > kMaxFramePayloadBytes) {
+    return Status::InvalidArgument(
+        "protocol: frame payload length " + std::to_string(out->payload_len) +
+        " exceeds the " + std::to_string(kMaxFramePayloadBytes) + "-byte cap");
+  }
+  return Status::OK();
+}
+
+Status VerifyFrameCrc(const FrameHeader& header, const char* payload,
+                      size_t len) {
+  const uint32_t actual = Crc32c(payload, len);
+  if (actual != header.crc) {
+    return Status::Corruption("protocol: frame CRC mismatch (stored " +
+                              std::to_string(header.crc) + ", computed " +
+                              std::to_string(actual) + ")");
+  }
+  return Status::OK();
+}
+
+void AppendFrame(uint8_t type, const std::vector<char>& payload,
+                 std::vector<char>* out) {
+  AppendPod(out, type);
+  AppendPod(out, static_cast<uint64_t>(payload.size()));
+  AppendPod(out, Crc32c(payload.data(), payload.size()));
+  AppendBytes(out, payload.data(), payload.size());
+}
+
+uint32_t WireCodeFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return kWireOk;
+    case StatusCode::kInvalidArgument:
+      return kWireInvalidArgument;
+    case StatusCode::kNotFound:
+      return kWireNotFound;
+    case StatusCode::kAlreadyExists:
+      return kWireAlreadyExists;
+    case StatusCode::kOutOfRange:
+      return kWireOutOfRange;
+    case StatusCode::kIOError:
+      return kWireIOError;
+    case StatusCode::kCorruption:
+      return kWireCorruption;
+    case StatusCode::kNotSupported:
+      return kWireNotSupported;
+    case StatusCode::kInternal:
+      return kWireInternal;
+    case StatusCode::kDeadlineExceeded:
+      return kWireDeadlineExceeded;
+    case StatusCode::kCancelled:
+      return kWireCancelled;
+    case StatusCode::kResourceExhausted:
+      return kWireResourceExhausted;
+    case StatusCode::kUnavailable:
+      return kWireUnavailable;
+  }
+  return kWireInternal;
+}
+
+Status StatusFromWire(uint32_t code, const std::string& message) {
+  switch (code) {
+    case kWireOk:
+      return Status::OK();
+    case kWireInvalidArgument:
+      return Status::InvalidArgument(message);
+    case kWireNotFound:
+      return Status::NotFound(message);
+    case kWireAlreadyExists:
+      return Status::AlreadyExists(message);
+    case kWireOutOfRange:
+      return Status::OutOfRange(message);
+    case kWireIOError:
+      return Status::IOError(message);
+    case kWireCorruption:
+      return Status::Corruption(message);
+    case kWireNotSupported:
+      return Status::NotSupported(message);
+    case kWireInternal:
+      return Status::Internal(message);
+    case kWireDeadlineExceeded:
+      return Status::DeadlineExceeded(message);
+    case kWireCancelled:
+      return Status::Cancelled(message);
+    case kWireResourceExhausted:
+      return Status::ResourceExhausted(message);
+    case kWireUnavailable:
+      return Status::Unavailable(message);
+    default:
+      return Status::Internal("unknown wire status code " +
+                              std::to_string(code) + ": " + message);
+  }
+}
+
+bool IsRetryableWireCode(uint32_t code) {
+  return code == kWireResourceExhausted || code == kWireUnavailable;
+}
+
+Status Response::ToStatus() const {
+  return ok() ? Status::OK() : StatusFromWire(code, body);
+}
+
+void AppendRequestFrame(const Request& request, std::vector<char>* out) {
+  std::vector<char> payload;
+  AppendPod(&payload, kRequestMagic);
+  AppendPod(&payload, static_cast<uint8_t>(request.op));
+  AppendPod(&payload, uint8_t{0});
+  AppendPod(&payload, uint16_t{0});  // pad: keeps timeout_ms aligned
+  AppendPod(&payload, request.timeout_ms);
+  AppendPod(&payload, static_cast<uint32_t>(request.body.size()));
+  AppendBytes(&payload, request.body.data(), request.body.size());
+  AppendFrame(kRequestFrame, payload, out);
+}
+
+void AppendResponseFrame(const Response& response, std::vector<char>* out) {
+  std::vector<char> payload;
+  AppendPod(&payload, kResponseMagic);
+  AppendPod(&payload, response.code);
+  AppendPod(&payload, response.snapshot_epoch);
+  AppendPod(&payload, static_cast<uint32_t>(response.body.size()));
+  AppendBytes(&payload, response.body.data(), response.body.size());
+  AppendFrame(kResponseFrame, payload, out);
+}
+
+StatusOr<Request> DecodeRequestPayload(const char* data, size_t len) {
+  PayloadReader reader(data, len);
+  uint32_t magic = 0;
+  COLGRAPH_RETURN_NOT_OK(reader.Read(&magic));
+  if (magic != kRequestMagic) {
+    return Status::InvalidArgument("protocol: bad request magic");
+  }
+  uint8_t op = 0, pad8 = 0;
+  uint16_t pad16 = 0;
+  COLGRAPH_RETURN_NOT_OK(reader.Read(&op));
+  COLGRAPH_RETURN_NOT_OK(reader.Read(&pad8));
+  COLGRAPH_RETURN_NOT_OK(reader.Read(&pad16));
+  if (op > static_cast<uint8_t>(RequestOp::kStats)) {
+    return Status::InvalidArgument("protocol: unknown request op " +
+                                   std::to_string(op));
+  }
+  Request request;
+  request.op = static_cast<RequestOp>(op);
+  COLGRAPH_RETURN_NOT_OK(reader.Read(&request.timeout_ms));
+  uint32_t body_len = 0;
+  COLGRAPH_RETURN_NOT_OK(reader.Read(&body_len));
+  COLGRAPH_RETURN_NOT_OK(reader.ReadString(body_len, &request.body));
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("protocol: trailing bytes after request");
+  }
+  return request;
+}
+
+StatusOr<Response> DecodeResponsePayload(const char* data, size_t len) {
+  PayloadReader reader(data, len);
+  uint32_t magic = 0;
+  COLGRAPH_RETURN_NOT_OK(reader.Read(&magic));
+  if (magic != kResponseMagic) {
+    return Status::InvalidArgument("protocol: bad response magic");
+  }
+  Response response;
+  COLGRAPH_RETURN_NOT_OK(reader.Read(&response.code));
+  COLGRAPH_RETURN_NOT_OK(reader.Read(&response.snapshot_epoch));
+  uint32_t body_len = 0;
+  COLGRAPH_RETURN_NOT_OK(reader.Read(&body_len));
+  COLGRAPH_RETURN_NOT_OK(reader.ReadString(body_len, &response.body));
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("protocol: trailing bytes after response");
+  }
+  return response;
+}
+
+}  // namespace colgraph::server

@@ -1,0 +1,130 @@
+// colgraphd wire protocol (DESIGN.md §12): length-prefixed CRC-32C-framed
+// request/response messages over a local stream socket, reusing the frame
+// idiom of the durable query log (obs/query_log.h):
+//
+//   [u8 type][u64 payload_len LE][u32 crc32c(payload)][payload bytes]
+//
+// Request payload:
+//   [u32 magic 'CGRQ'][u8 op][u8 pad x3][u64 timeout_ms][u32 len][body]
+// Response payload:
+//   [u32 magic 'CGRS'][u32 wire code][u64 snapshot_epoch][u32 len][body]
+//
+// The body is UTF-8 text: the query / trace input on requests, the
+// rendered result (or error message) on responses. Wire codes are a
+// frozen enumeration decoupled from StatusCode so the in-memory enum can
+// evolve without breaking deployed clients. Every decoder is
+// bounds-checked and CRC-verified: a malformed or torn frame surfaces as
+// Status::Corruption / InvalidArgument, never as an out-of-bounds read.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace colgraph::server {
+
+// --- Frame layer. ---
+
+inline constexpr uint8_t kRequestFrame = 0x10;
+inline constexpr uint8_t kResponseFrame = 0x11;
+
+/// [type][len][crc] — the fixed prefix of every frame.
+inline constexpr size_t kFrameHeaderBytes =
+    sizeof(uint8_t) + sizeof(uint64_t) + sizeof(uint32_t);
+
+/// Upper bound on one frame's payload. A hostile or corrupt length prefix
+/// must not make the peer allocate unbounded memory.
+inline constexpr uint64_t kMaxFramePayloadBytes = uint64_t{64} << 20;
+
+struct FrameHeader {
+  uint8_t type = 0;
+  uint64_t payload_len = 0;
+  uint32_t crc = 0;
+};
+
+/// Parses a frame header from exactly kFrameHeaderBytes of `data`.
+/// Rejects unknown frame types and payload lengths above the cap.
+[[nodiscard]] Status DecodeFrameHeader(const char* data, FrameHeader* out);
+
+/// Verifies `payload` against the header's CRC-32C.
+[[nodiscard]] Status VerifyFrameCrc(const FrameHeader& header,
+                                    const char* payload, size_t len);
+
+/// Wraps `payload` in a [type|len|crc|payload] frame appended to `out`.
+void AppendFrame(uint8_t type, const std::vector<char>& payload,
+                 std::vector<char>* out);
+
+// --- Wire status codes (frozen; see the table in DESIGN.md §12). ---
+
+inline constexpr uint32_t kWireOk = 0;
+inline constexpr uint32_t kWireInvalidArgument = 1;
+inline constexpr uint32_t kWireNotFound = 2;
+inline constexpr uint32_t kWireAlreadyExists = 3;
+inline constexpr uint32_t kWireOutOfRange = 4;
+inline constexpr uint32_t kWireIOError = 5;
+inline constexpr uint32_t kWireCorruption = 6;
+inline constexpr uint32_t kWireNotSupported = 7;
+inline constexpr uint32_t kWireInternal = 8;
+inline constexpr uint32_t kWireDeadlineExceeded = 9;
+inline constexpr uint32_t kWireCancelled = 10;
+inline constexpr uint32_t kWireResourceExhausted = 11;
+inline constexpr uint32_t kWireUnavailable = 12;
+
+uint32_t WireCodeFromStatus(const Status& status);
+/// Reconstructs a Status from a wire code + message; unknown codes decode
+/// as Internal (a newer server talking to an older client).
+Status StatusFromWire(uint32_t code, const std::string& message);
+
+/// The retryability matrix (DESIGN.md §12): a client may safely retry
+/// RESOURCE_EXHAUSTED (admission rejection — nothing executed) and
+/// UNAVAILABLE (drain / not-yet-up — nothing executed). DEADLINE_EXCEEDED
+/// and CANCELLED spent the caller's budget; everything else is a
+/// deterministic failure that a retry would only repeat.
+bool IsRetryableWireCode(uint32_t code);
+
+// --- Message layer. ---
+
+enum class RequestOp : uint8_t {
+  kPing = 0,    ///< liveness probe; response body is "pong"
+  kQuery = 1,   ///< body: text query (query/parser.h grammar)
+  kIngest = 2,  ///< body: trace lines (workload/trace_loader.h format)
+  kStats = 3,   ///< response body: the server's DumpMetricsJson document
+};
+
+struct Request {
+  RequestOp op = RequestOp::kPing;
+  /// Per-request deadline in milliseconds; 0 = no deadline. The server
+  /// arms a CancellationToken with it and threads the token through query
+  /// evaluation (QueryOptions::cancel).
+  uint64_t timeout_ms = 0;
+  std::string body;
+};
+
+struct Response {
+  uint32_t code = kWireOk;
+  /// Epoch of the engine snapshot that served the request — lets clients
+  /// (and the stress tests) attribute a result to one published state.
+  uint64_t snapshot_epoch = 0;
+  /// Rendered result on OK; error message otherwise.
+  std::string body;
+
+  bool ok() const { return code == kWireOk; }
+  /// The response's Status (OK, or StatusFromWire(code, body)).
+  Status ToStatus() const;
+};
+
+/// Serializes a request/response as one complete frame appended to `out`.
+void AppendRequestFrame(const Request& request, std::vector<char>* out);
+void AppendResponseFrame(const Response& response, std::vector<char>* out);
+
+/// Parses a request/response payload (frame header and CRC already
+/// verified). Bounds-checked; corrupt magic/lengths are InvalidArgument.
+[[nodiscard]] StatusOr<Request> DecodeRequestPayload(const char* data,
+                                                     size_t len);
+[[nodiscard]] StatusOr<Response> DecodeResponsePayload(const char* data,
+                                                       size_t len);
+
+}  // namespace colgraph::server

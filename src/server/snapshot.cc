@@ -1,0 +1,52 @@
+#include "server/snapshot.h"
+
+#include "obs/metrics.h"
+#include "util/failpoint.h"
+
+namespace colgraph::server {
+
+namespace {
+
+obs::Gauge& EpochGauge() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::Global().GetGauge("server.snapshot_epoch");
+  return gauge;
+}
+
+}  // namespace
+
+SnapshotManager::SnapshotManager(std::shared_ptr<const ColGraphEngine> initial)
+    : engine_(std::move(initial)) {
+  EpochGauge().Set(0);
+}
+
+std::shared_ptr<const ColGraphEngine> SnapshotManager::Acquire(
+    uint64_t* epoch_out) const {
+  const MutexLock lock(mu_);
+  if (epoch_out != nullptr) *epoch_out = epoch_;
+  return engine_;
+}
+
+Status SnapshotManager::Publish(std::shared_ptr<const ColGraphEngine> next) {
+  if (next == nullptr) {
+    return Status::InvalidArgument("cannot publish a null snapshot");
+  }
+  // The crash-mid-publish injection point: everything the writer built is
+  // abandoned here, before any reader can see it.
+  COLGRAPH_FAILPOINT("server:publish");
+  uint64_t published;
+  {
+    const MutexLock lock(mu_);
+    engine_ = std::move(next);
+    published = ++epoch_;
+  }
+  EpochGauge().Set(static_cast<int64_t>(published));
+  return Status::OK();
+}
+
+uint64_t SnapshotManager::epoch() const {
+  const MutexLock lock(mu_);
+  return epoch_;
+}
+
+}  // namespace colgraph::server

@@ -1,0 +1,46 @@
+// Snapshot isolation for the serving daemon (DESIGN.md §12): readers
+// evaluate against an immutable, reference-counted engine snapshot while a
+// single writer builds the next state off to the side and publishes it
+// atomically. A query never observes a half-ingested batch — it runs to
+// completion against the epoch it acquired, even if ten publishes happen
+// meanwhile; the old engine is freed when its last in-flight reader drops
+// the shared_ptr.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/engine.h"
+#include "util/status.h"
+#include "util/sync.h"
+
+namespace colgraph::server {
+
+/// \brief Holder of the currently-served engine snapshot. Acquire() and
+/// Publish() are thread-safe; the engine behind the returned shared_ptr is
+/// const and safe for any number of concurrent readers.
+class SnapshotManager {
+ public:
+  /// Starts at epoch 0 with `initial` (which must be sealed — queries run
+  /// against it immediately).
+  explicit SnapshotManager(std::shared_ptr<const ColGraphEngine> initial);
+
+  /// The current snapshot; `epoch_out` (optional) receives its epoch.
+  std::shared_ptr<const ColGraphEngine> Acquire(
+      uint64_t* epoch_out = nullptr) const;
+
+  /// Atomically replaces the served snapshot and bumps the epoch. The
+  /// failpoint "server:publish" aborts *before* the swap — simulating a
+  /// writer crash mid-publish: the previous snapshot stays served, untorn,
+  /// and the epoch does not move.
+  [[nodiscard]] Status Publish(std::shared_ptr<const ColGraphEngine> next);
+
+  uint64_t epoch() const;
+
+ private:
+  mutable Mutex mu_;
+  std::shared_ptr<const ColGraphEngine> engine_ COLGRAPH_GUARDED_BY(mu_);
+  uint64_t epoch_ COLGRAPH_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace colgraph::server

@@ -1,0 +1,100 @@
+// Cooperative cancellation for long-running work (DESIGN.md §12): a
+// CancellationToken combines an optional absolute deadline with a manual
+// cancel flag. The owner of the work (a serving request handler, a bench
+// harness with --timeout-ms) creates the token; the evaluation loops it is
+// threaded through (QueryOptions::cancel) poll Check() at natural
+// boundaries and abandon the work with Status::DeadlineExceeded /
+// Status::Cancelled when it fires.
+//
+// Polling, not preemption: a token never interrupts anything by itself.
+// The contract is that every loop whose per-iteration cost is bounded
+// checks the token at least once per iteration (batch evaluation checks
+// per query; the aggregate fold checks every few thousand records), so the
+// worst-case overshoot past a deadline is one iteration, not one query.
+//
+// Thread-safe: Cancel() and Check() are relaxed atomic operations — a
+// token may be shared by every chunk of a ParallelFor and cancelled from
+// any thread (including a thread outside the pool). Relaxed ordering is
+// sufficient: the flag carries no data dependency, and an iteration that
+// misses the very latest store just runs one extra iteration.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace colgraph {
+
+/// \brief Deadline + manual-cancel flag, polled cooperatively.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Steady-clock microseconds since an arbitrary epoch — same clock family
+  /// as obs::NowMicros, usable only for within-process comparisons.
+  static uint64_t SteadyNowMicros() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  /// Arms the deadline `timeout_ms` from now; 0 disarms it. May be called
+  /// before handing the token to workers (not concurrently with Check).
+  void SetTimeout(uint64_t timeout_ms) {
+    deadline_us_.store(
+        timeout_ms == 0 ? 0 : SteadyNowMicros() + timeout_ms * 1000,
+        std::memory_order_relaxed);
+  }
+
+  /// Arms an absolute deadline on the SteadyNowMicros clock; 0 disarms.
+  void SetDeadlineMicros(uint64_t deadline_us) {
+    deadline_us_.store(deadline_us, std::memory_order_relaxed);
+  }
+
+  /// Requests cancellation; every subsequent Check() fails. Idempotent,
+  /// callable from any thread.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// True when the token has fired (manual cancel or expired deadline).
+  bool Expired() const {
+    if (cancelled()) return true;
+    const uint64_t deadline = deadline_us_.load(std::memory_order_relaxed);
+    return deadline != 0 && SteadyNowMicros() >= deadline;
+  }
+
+  /// OK while live; Status::Cancelled after Cancel(), DeadlineExceeded
+  /// once the deadline passes. The polling call sites propagate this
+  /// Status unchanged, so the caller-facing error names the real reason.
+  [[nodiscard]] Status Check() const {
+    if (cancelled()) return Status::Cancelled("work cancelled");
+    const uint64_t deadline = deadline_us_.load(std::memory_order_relaxed);
+    if (deadline != 0 && SteadyNowMicros() >= deadline) {
+      return Status::DeadlineExceeded("deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  // 0 = no deadline. Stored as an atomic so SetTimeout from the arming
+  // thread and Check from workers need no lock.
+  std::atomic<uint64_t> deadline_us_{0};
+};
+
+/// Null-tolerant poll: the idiom for call sites where the token is an
+/// optional QueryOptions field.
+[[nodiscard]] inline Status CheckCancellation(const CancellationToken* token) {
+  return token == nullptr ? Status::OK() : token->Check();
+}
+
+}  // namespace colgraph

@@ -23,6 +23,14 @@ enum class StatusCode : uint8_t {
   kCorruption,
   kNotSupported,
   kInternal,
+  // Serving-layer codes (DESIGN.md §12). DeadlineExceeded and Cancelled are
+  // raised by cooperative cancellation (util/cancellation.h) inside query
+  // evaluation; ResourceExhausted and Unavailable are admission-control and
+  // drain responses from the colgraphd daemon.
+  kDeadlineExceeded,
+  kCancelled,
+  kResourceExhausted,
+  kUnavailable,
 };
 
 /// \brief Result of a fallible operation.
@@ -59,6 +67,18 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -77,6 +97,14 @@ class [[nodiscard]] Status {
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
   bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// Human-readable "CODE: message" string, "OK" for success.
   std::string ToString() const;

@@ -1,0 +1,117 @@
+// CancellationToken tests (DESIGN.md §12): token semantics (manual cancel,
+// deadline expiry, disarm) and the deadline plumbing through query
+// evaluation — an already-expired token must abort batch evaluation and
+// aggregate folds with a clean DEADLINE_EXCEEDED, and a live token must
+// change nothing.
+#include "util/cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine.h"
+#include "util/status.h"
+
+namespace colgraph {
+namespace {
+
+NodeRef N(NodeId id) { return NodeRef{id, 0}; }
+
+TEST(CancellationTokenTest, FreshTokenIsLive) {
+  CancellationToken token;
+  EXPECT_FALSE(token.Expired());
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancellationTokenTest, CancelFiresImmediately) {
+  CancellationToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.Expired());
+  const Status s = token.Check();
+  EXPECT_TRUE(s.IsCancelled()) << s.ToString();
+}
+
+TEST(CancellationTokenTest, PastDeadlineFires) {
+  CancellationToken token;
+  token.SetDeadlineMicros(1);  // long past on the steady clock
+  const Status s = token.Check();
+  EXPECT_TRUE(s.IsDeadlineExceeded()) << s.ToString();
+}
+
+TEST(CancellationTokenTest, ZeroTimeoutDisarms) {
+  CancellationToken token;
+  token.SetDeadlineMicros(1);
+  token.SetTimeout(0);
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancellationTokenTest, FarDeadlineStaysLive) {
+  CancellationToken token;
+  token.SetTimeout(60 * 60 * 1000);  // one hour
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancellationTokenTest, NullTolerantHelper) {
+  EXPECT_TRUE(CheckCancellation(nullptr).ok());
+  CancellationToken token;
+  token.Cancel();
+  EXPECT_TRUE(CheckCancellation(&token).IsCancelled());
+}
+
+class CancellationQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(engine_.AddWalk({1, 2, 3, 4}, {1, 2, 3}).ok());
+    }
+    ASSERT_TRUE(engine_.Seal().ok());
+  }
+
+  ColGraphEngine engine_;
+};
+
+TEST_F(CancellationQueryTest, ExpiredTokenAbortsAggregateQuery) {
+  CancellationToken token;
+  token.Cancel();
+  QueryOptions options;
+  options.cancel = &token;
+  const auto result = engine_.RunAggregateQuery(
+      GraphQuery::FromPath({N(1), N(2), N(3)}), AggFn::kSum, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+}
+
+TEST_F(CancellationQueryTest, ExpiredDeadlineAbortsBatch) {
+  CancellationToken token;
+  token.SetDeadlineMicros(1);
+  QueryOptions options;
+  options.cancel = &token;
+  const std::vector<GraphQuery> batch = {
+      GraphQuery::FromPath({N(1), N(2)}),
+      GraphQuery::FromPath({N(2), N(3)}),
+  };
+  const auto results = engine_.EvaluateBatch(batch, options);
+  ASSERT_FALSE(results.ok());
+  EXPECT_TRUE(results.status().IsDeadlineExceeded())
+      << results.status().ToString();
+}
+
+TEST_F(CancellationQueryTest, LiveTokenChangesNothing) {
+  CancellationToken token;
+  token.SetTimeout(60 * 60 * 1000);
+  QueryOptions with_token;
+  with_token.cancel = &token;
+
+  const GraphQuery query = GraphQuery::FromPath({N(1), N(2), N(3)});
+  const auto timed = engine_.RunAggregateQuery(query, AggFn::kSum, with_token);
+  const auto plain = engine_.RunAggregateQuery(query, AggFn::kSum);
+  ASSERT_TRUE(timed.ok());
+  ASSERT_TRUE(plain.ok());
+  ASSERT_EQ(timed->values.size(), plain->values.size());
+  for (size_t p = 0; p < timed->values.size(); ++p) {
+    EXPECT_EQ(timed->values[p], plain->values[p]);
+  }
+}
+
+}  // namespace
+}  // namespace colgraph

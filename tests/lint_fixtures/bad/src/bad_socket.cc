@@ -1,0 +1,15 @@
+// Fixture: trips [no-raw-socket] — wire I/O outside src/server/net_* must
+// use UnixSocket/UnixListener, never the raw socket(2) API.
+#include <sys/socket.h>
+
+namespace bad {
+
+int RawSocketCalls() {
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);  // BAD: raw socket(2)
+  char byte = 0;
+  (void)::send(fd, &byte, 1, 0);  // BAD: raw ::send
+  (void)recv(fd, &byte, 1, 0);    // BAD: raw recv
+  return fd;
+}
+
+}  // namespace bad

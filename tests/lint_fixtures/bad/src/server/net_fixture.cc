@@ -1,0 +1,14 @@
+// Fixture: src/server/net_* is the one place allowed to touch the raw
+// socket(2) API — these calls must NOT be flagged by [no-raw-socket].
+#include <sys/socket.h>
+
+namespace exempt {
+
+int AllowedHere() {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  char byte = 0;
+  (void)::recv(fd, &byte, 1, 0);
+  return fd;
+}
+
+}  // namespace exempt

@@ -47,6 +47,10 @@ TEST(LintInvariantsTest, KnownBadFixtureTripsEveryRule) {
   EXPECT_NE(r.output.find("[no-raw-thread]"), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("[no-raw-mutex]"), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("[no-adhoc-timing]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("[no-raw-socket]"), std::string::npos) << r.output;
+  // The socket rule's one carve-out: src/server/net_* may touch the raw
+  // API, so the exempt fixture must never be flagged.
+  EXPECT_EQ(r.output.find("net_fixture.cc"), std::string::npos) << r.output;
   // The timing rule covers every instrumented layer, not just src/query/:
   // each layer's fixture must trip it independently.
   EXPECT_NE(r.output.find("src/query/bad_timing.cc"), std::string::npos)

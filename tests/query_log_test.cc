@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/metrics.h"
 #include "obs/query_log_reader.h"
 #include "util/failpoint.h"
 
@@ -308,6 +309,42 @@ TEST_F(QueryLogTest, WriteFailurePoisonsLogAndSurfacesAtClose) {
   log.value()->Append(SampleRecord(2));  // dropped
   const Status close = log.value()->Close();
   EXPECT_FALSE(close.ok());
+}
+
+// Disk-full degradation (ISSUE 7): a failed flush must not take the
+// process down — the log drops entries, counts every loss (the buffered
+// records that went down with the failing write plus everything offered
+// afterwards), and mirrors the count into the process-wide
+// `query_log.dropped` counter so the degradation is observable.
+TEST_F(QueryLogTest, DiskFullDropsEntriesAndCountsThem) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "failpoints compiled out";
+  obs::Counter& dropped =
+      obs::MetricsRegistry::Global().GetCounter("query_log.dropped");
+  const uint64_t before = dropped.value();
+
+  QueryLogOptions options;
+  options.path = path_;
+  options.flush_bytes = 1;  // flush every record
+  auto log = obs::QueryLog::Open(options);
+  ASSERT_TRUE(log.ok());
+
+  log.value()->Append(SampleRecord(1));  // flushed durably
+  EXPECT_EQ(log.value()->records_dropped(), 0u);
+
+  failpoint::Arm("io:short_write",
+                 failpoint::Spec{failpoint::Action::kShortWrite, 0, 3});
+  log.value()->Append(SampleRecord(2));  // its own flush tears: 1 dropped
+  failpoint::DisarmAll();
+  EXPECT_EQ(log.value()->records_dropped(), 1u);
+
+  log.value()->Append(SampleRecord(3));  // poisoned log: dropped on entry
+  log.value()->Append(SampleRecord(4));
+  EXPECT_EQ(log.value()->records_dropped(), 3u);
+  EXPECT_EQ(dropped.value(), before + 3);
+
+  // The failure still surfaces at Close for callers that check, but no
+  // earlier call site had to.
+  EXPECT_FALSE(log.value()->Close().ok());
 }
 
 }  // namespace

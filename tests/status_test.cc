@@ -22,7 +22,24 @@ TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
   EXPECT_TRUE(Status::Corruption("x").IsCorruption());
   EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
   EXPECT_EQ(Status::NotFound("missing").message(), "missing");
+}
+
+TEST(StatusTest, ServingCodesRenderDistinctly) {
+  EXPECT_EQ(Status::DeadlineExceeded("t").ToString(),
+            "Deadline exceeded: t");
+  EXPECT_EQ(Status::Cancelled("c").ToString(), "Cancelled: c");
+  EXPECT_EQ(Status::ResourceExhausted("r").ToString(),
+            "Resource exhausted: r");
+  EXPECT_EQ(Status::Unavailable("u").ToString(), "Unavailable: u");
+  // The serving codes are mutually exclusive with each other and OK.
+  EXPECT_FALSE(Status::DeadlineExceeded("t").IsCancelled());
+  EXPECT_FALSE(Status::ResourceExhausted("r").IsUnavailable());
+  EXPECT_FALSE(Status::Unavailable("u").ok());
 }
 
 TEST(StatusTest, ToStringIncludesCodeAndMessage) {

@@ -1,0 +1,116 @@
+// colgraph_client: command-line client for colgraphd. Speaks the framed
+// protocol (server/protocol.h) through the retrying client
+// (server/client.h) — connect failures and overload rejections back off
+// and retry automatically; deadline expiries and deterministic errors do
+// not.
+//
+// Usage:
+//   colgraph_client --socket=PATH [--timeout-ms=N] [--attempts=N] COMMAND
+//   COMMAND:
+//     ping                 liveness probe
+//     query 'TEXT'         run one query (query/parser.h grammar)
+//     ingest FILE          ingest a trace file ('-' reads stdin)
+//     stats                dump the server's metrics document
+//
+// Exit codes: 0 OK, 1 the server answered with an error, 2 usage error,
+// 3 transport failure (all retry attempts exhausted).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "server/client.h"
+
+namespace {
+
+using colgraph::StatusOr;
+using colgraph::server::Client;
+using colgraph::server::ClientOptions;
+using colgraph::server::Response;
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *out = arg + len;
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket=PATH [--timeout-ms=N] [--attempts=N] "
+               "COMMAND\n"
+               "  COMMAND: ping | query 'TEXT' | ingest FILE | stats\n",
+               argv0);
+  return 2;
+}
+
+int Report(const StatusOr<Response>& response) {
+  if (!response.ok()) {
+    std::fprintf(stderr, "transport error: %s\n",
+                 response.status().ToString().c_str());
+    return 3;
+  }
+  if (!response->ok()) {
+    std::fprintf(stderr, "server error: %s\n",
+                 response->ToStatus().ToString().c_str());
+    return 1;
+  }
+  std::fputs(response->body.c_str(), stdout);
+  if (!response->body.empty() && response->body.back() != '\n') {
+    std::fputc('\n', stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClientOptions options;
+  uint64_t timeout_ms = 0;
+  std::string value;
+  int i = 1;
+  for (; i < argc; ++i) {
+    if (ParseFlag(argv[i], "--socket=", &options.socket_path)) continue;
+    if (ParseFlag(argv[i], "--timeout-ms=", &value)) {
+      timeout_ms = std::strtoull(value.c_str(), nullptr, 10);
+      continue;
+    }
+    if (ParseFlag(argv[i], "--attempts=", &value)) {
+      options.max_attempts = std::strtoull(value.c_str(), nullptr, 10);
+      continue;
+    }
+    if (std::strncmp(argv[i], "--", 2) == 0) return Usage(argv[0]);
+    break;  // first non-flag token is the command
+  }
+  if (options.socket_path.empty() || i >= argc) return Usage(argv[0]);
+
+  const std::string command = argv[i];
+  Client client(options);
+
+  if (command == "ping") return Report(client.Ping());
+  if (command == "stats") return Report(client.Stats());
+  if (command == "query") {
+    if (i + 1 >= argc) return Usage(argv[0]);
+    return Report(client.Query(argv[i + 1], timeout_ms));
+  }
+  if (command == "ingest") {
+    if (i + 1 >= argc) return Usage(argv[0]);
+    const std::string path = argv[i + 1];
+    std::ostringstream body;
+    if (path == "-") {
+      body << std::cin.rdbuf();
+    } else {
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 2;
+      }
+      body << in.rdbuf();
+    }
+    return Report(client.Ingest(body.str()));
+  }
+  return Usage(argv[0]);
+}

@@ -6,7 +6,7 @@
 // Usage:
 //   colgraph_replay --engine=ENGINE.snapshot --log=QUERIES.qlog
 //                   [--threads=N] [--no-views] [--advise-views=K]
-//                   [--metrics-out=FILE]
+//                   [--metrics-out=FILE] [--timeout-ms=N]
 //   colgraph_replay --self-test=DIR
 //
 // --self-test builds a small engine under DIR, captures a mixed workload
@@ -47,6 +47,7 @@ struct Args {
   std::string metrics_out;
   size_t threads = 1;
   size_t advise_views = 0;
+  uint64_t timeout_ms = 0;
   bool use_views = true;
 };
 
@@ -61,7 +62,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --engine=ENGINE.snapshot --log=QUERIES.qlog\n"
                "          [--threads=N] [--no-views] [--advise-views=K]\n"
-               "          [--metrics-out=FILE]\n"
+               "          [--metrics-out=FILE] [--timeout-ms=N]\n"
                "       %s --self-test=DIR\n",
                argv0, argv0);
   return 2;
@@ -130,6 +131,10 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::strtoul(value.c_str(), nullptr, 10));
       continue;
     }
+    if (ParseFlag(argv[i], "--timeout-ms=", &value)) {
+      args.timeout_ms = std::strtoull(value.c_str(), nullptr, 10);
+      continue;
+    }
     if (std::strcmp(argv[i], "--no-views") == 0) {
       args.use_views = false;
       continue;
@@ -167,6 +172,7 @@ int main(int argc, char** argv) {
   ReplayOptions options;
   options.num_threads = args.threads;
   options.use_views = args.use_views;
+  options.timeout_ms = args.timeout_ms;
   auto report_or = ReplayQueryLog(engine, records, options);
   if (!report_or.ok()) {
     std::fprintf(stderr, "replay failed: %s\n",

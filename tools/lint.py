@@ -50,6 +50,14 @@ Rules
                      QueryPhase) so every measurement lands in the metrics
                      registry and in query traces instead of a one-off local
                      that EXPLAIN never sees.
+  no-raw-socket      Library code must not call the raw socket(2) API
+                     (socket/connect/bind/listen/accept/send/recv and
+                     friends): all wire I/O goes through src/server/
+                     net_socket.h (UnixSocket/UnixListener) so it is
+                     timeout-bounded (poll), EINTR-looped, SIGPIPE-safe,
+                     and failpoint instrumented. src/server/net_* itself is
+                     exempt; capitalized wrappers (Connect/Bind/Accept) and
+                     std::bind are not matched.
 """
 
 import argparse
@@ -58,6 +66,16 @@ import re
 import sys
 
 SRC_EXTS = (".h", ".cc", ".cpp", ".hpp")
+
+# Raw socket(2)-family calls: an optional `::` prefix, never preceded by a
+# word char / `.` / `->` / a bare `:` — so std::bind, socket_.Connect(...) and
+# the repo's capitalized wrappers never match, while `socket(`, `::send(`,
+# `(void)recv(` do.
+RAW_SOCKET_CALL = re.compile(
+    r"(^|[^\w.>:])(::\s*)?"
+    r"(?:socket|connect|bind|listen|accept4?|send|recv|sendto|recvfrom|"
+    r"sendmsg|recvmsg|setsockopt|getsockopt|getpeername|getsockname)\s*\("
+)
 
 # Statement openers that legitimately consume a Status result.
 CONSUMED_PREFIX = re.compile(
@@ -123,6 +141,7 @@ def lint_file(path, rel, status_fns, errors, in_library):
     is_io_util = os.path.basename(posix_rel).startswith("io_util.")
     is_thread_pool = os.path.basename(posix_rel).startswith("thread_pool.")
     is_sync = posix_rel.endswith("util/sync.h")
+    is_net = posix_rel.startswith("src/server/net_")
 
     if is_header:
         first_code = next(
@@ -195,6 +214,14 @@ def lint_file(path, rel, status_fns, errors, in_library):
                     f"critical sections carry thread-safety annotations "
                     f"and lock-rank checks, not raw std::mutex/"
                     f"std::lock_guard/std::condition_variable"
+                )
+            if not is_net and RAW_SOCKET_CALL.search(line):
+                errors.append(
+                    f"{rel}:{i}: [no-raw-socket] wire I/O must go through "
+                    f"server/net_socket.h (UnixSocket/UnixListener: "
+                    f"poll-timeout bounded, EINTR-looped, SIGPIPE-safe, "
+                    f"failpoint instrumented), not the raw socket(2)/"
+                    f"send/recv API"
                 )
             if posix_rel.startswith(
                 ("src/query/", "src/views/", "src/core/")
