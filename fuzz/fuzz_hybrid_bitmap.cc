@@ -1,0 +1,104 @@
+// Fuzz harness for HybridBitmap::FromRawChecked — the validator between
+// on-disk container bytes and the compressed AND/OR kernels. Invariant:
+// for ANY word buffer and ANY claimed bit count, FromRawChecked either
+// returns a bitmap whose containers satisfy every structural invariant
+// (safe to Test / And / Or / re-serialize) or Status::Corruption — never a
+// crash, OOB read, or overflow.
+//
+// Structure-aware: besides probing the input's claimed bit count, the
+// harness derives the bit count the descriptor table itself implies (last
+// container key + one full chunk) so mutants regularly reach the *accept*
+// path — the container walk that validation exists to protect. Accepted
+// decodes are exercised hard: full materialization, a round-trip that must
+// re-serialize byte-identically, and a self-AND that must be a fixpoint.
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "bitmap/hybrid_bitmap.h"
+#include "util/check.h"
+#include "util/status.h"
+
+namespace {
+
+void CheckFromRaw(const std::vector<uint64_t>& buffer, uint64_t num_bits) {
+  const colgraph::StatusOr<colgraph::HybridBitmap> result =
+      colgraph::HybridBitmap::FromRawChecked(buffer,
+                                             static_cast<size_t>(num_bits));
+  if (!result.ok()) {
+    COLGRAPH_CHECK(result.status().IsCorruption())
+        << "FromRawChecked must fail as Corruption, got: "
+        << result.status().ToString();
+    return;
+  }
+  const colgraph::HybridBitmap& hybrid = result.value();
+
+  // Accepted: every downstream consumer must now be safe.
+  // Re-serialize byte-identically (the codec is canonical)...
+  const std::vector<uint64_t> raw = hybrid.ToRaw();
+  COLGRAPH_CHECK(raw == buffer) << "accepted buffer is not canonical";
+
+  // ...and run the compressed kernels: X AND X == X.
+  const colgraph::HybridBitmap self_and =
+      colgraph::HybridBitmap::And(hybrid, hybrid);
+  COLGRAPH_CHECK_EQ(self_and.Count(), hybrid.Count());
+
+  // Materialization allocates num_bits/8 bytes, so only do it for sane
+  // claims. A tiny container set under a huge num_bits is a *valid*
+  // mostly-trailing-zeros bitmap — accepting it is correct, and in
+  // production num_bits is the snapshot's sanity-capped record count, not
+  // attacker data; materializing it here would just OOM the harness.
+  if (num_bits > (uint64_t{1} << 26)) return;
+  const colgraph::Bitmap bits = hybrid.ToBitmap();
+  COLGRAPH_CHECK_EQ(bits.size(), static_cast<size_t>(num_bits));
+  COLGRAPH_CHECK_EQ(bits.Count(), hybrid.Count());
+  COLGRAPH_CHECK(self_and.ToBitmap() == bits);
+  colgraph::Bitmap inplace(bits.size());
+  hybrid.OrInto(&inplace);
+  COLGRAPH_CHECK(inplace == bits);
+}
+
+// The bit count the descriptor table implies: enough chunks to hold the
+// highest container key. Mirrors only the layout, not the validation.
+uint64_t ImpliedBits(const std::vector<uint64_t>& buffer) {
+  if (buffer.empty()) return 0;
+  const uint64_t n = buffer[0];
+  if (n == 0 || n > buffer.size() - 1) return 0;
+  const uint64_t last_key = buffer[static_cast<size_t>(n)] & 0xFFFFFFFFull;
+  if (last_key >= (uint64_t{1} << 16)) return 0;  // invalid anyway
+  return (last_key + 1) * colgraph::HybridBitmap::kChunkBits;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // Layout: [u64 claimed bit count][u64 words...]; a short tail is dropped.
+  uint64_t claimed_bits = 0;
+  if (size >= sizeof(claimed_bits)) {
+    std::memcpy(&claimed_bits, data, sizeof(claimed_bits));
+    data += sizeof(claimed_bits);
+    size -= sizeof(claimed_bits);
+  }
+  // Cap the claim so deep container validation is reachable; the uncapped
+  // probe keeps the plain bound check honest against absurd counts.
+  const uint64_t capped_bits = claimed_bits % ((uint64_t{1} << 22) + 1);
+
+  std::vector<uint64_t> words(size / sizeof(uint64_t));
+  if (!words.empty()) {
+    std::memcpy(words.data(), data, words.size() * sizeof(uint64_t));
+  }
+
+  CheckFromRaw(words, capped_bits);
+  CheckFromRaw(words, claimed_bits);  // uncapped: bound-check path
+  CheckFromRaw(words, 0);
+
+  // Derived counts from the descriptor table: a full final chunk and an
+  // unaligned tail inside it — the accept path needs a plausible num_bits.
+  const uint64_t implied = ImpliedBits(words);
+  if (implied > 0 && implied <= (uint64_t{1} << 22)) {
+    CheckFromRaw(words, implied);
+    CheckFromRaw(words, implied - (claimed_bits % 63 + 1));
+  }
+  return 0;
+}

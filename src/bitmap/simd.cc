@@ -1,0 +1,108 @@
+#include "bitmap/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define COLGRAPH_HAVE_AVX2_TARGET 1
+#include <immintrin.h>
+#endif
+
+namespace colgraph::simd {
+
+namespace {
+
+std::atomic<bool> g_force_scalar{false};
+
+void AndWordsScalar(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] &= src[i];
+}
+
+void OrWordsScalar(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+#if defined(COLGRAPH_HAVE_AVX2_TARGET)
+
+// Per-function target attribute instead of a separate -mavx2 TU: the
+// compiler may only emit AVX2 instructions inside these bodies, so the
+// binary stays runnable on non-AVX2 hardware as long as dispatch guards
+// every call.
+__attribute__((target("avx2"))) void AndWordsAvx2(uint64_t* dst,
+                                                  const uint64_t* src,
+                                                  size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_and_si256(a, b));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+
+__attribute__((target("avx2"))) void OrWordsAvx2(uint64_t* dst,
+                                                 const uint64_t* src,
+                                                 size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(a, b));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+bool CpuAllowsAvx2() {
+  // One probe per process: CPU capability plus the COLGRAPH_NO_SIMD kill
+  // switch, which the sanitizer CI legs set to sanitize the scalar kernels
+  // on hardware that would otherwise always take the AVX2 path.
+  static const bool allowed = [] {
+    if (std::getenv("COLGRAPH_NO_SIMD") != nullptr) return false;
+    return __builtin_cpu_supports("avx2") != 0;
+  }();
+  return allowed;
+}
+
+#else
+
+bool CpuAllowsAvx2() { return false; }
+
+#endif  // COLGRAPH_HAVE_AVX2_TARGET
+
+}  // namespace
+
+bool UsingAvx2() {
+  return CpuAllowsAvx2() && !g_force_scalar.load(std::memory_order_relaxed);
+}
+
+void SetForceScalarForTest(bool force) {
+  g_force_scalar.store(force, std::memory_order_relaxed);
+}
+
+void AndWords(uint64_t* dst, const uint64_t* src, size_t n) {
+#if defined(COLGRAPH_HAVE_AVX2_TARGET)
+  if (UsingAvx2()) {
+    AndWordsAvx2(dst, src, n);
+    return;
+  }
+#endif
+  AndWordsScalar(dst, src, n);
+}
+
+void OrWords(uint64_t* dst, const uint64_t* src, size_t n) {
+#if defined(COLGRAPH_HAVE_AVX2_TARGET)
+  if (UsingAvx2()) {
+    OrWordsAvx2(dst, src, n);
+    return;
+  }
+#endif
+  OrWordsScalar(dst, src, n);
+}
+
+}  // namespace colgraph::simd

@@ -1,0 +1,30 @@
+// Runtime-dispatched dense word kernels shared by the bitmap containers:
+// AND/OR over arrays of 64-bit words, with an AVX2 path selected at first
+// use when the CPU supports it and a portable scalar fallback otherwise.
+// Two knobs force the scalar path: the COLGRAPH_NO_SIMD environment
+// variable (read once per process, for whole-run jobs like the sanitizer
+// CI legs) and SetForceScalarForTest (an in-process switch the differential
+// tests flip so one binary exercises both kernels).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace colgraph::simd {
+
+/// dst[i] &= src[i] for i in [0, n).
+void AndWords(uint64_t* dst, const uint64_t* src, size_t n);
+
+/// dst[i] |= src[i] for i in [0, n).
+void OrWords(uint64_t* dst, const uint64_t* src, size_t n);
+
+/// True when calls dispatch to the AVX2 kernels (CPU support present,
+/// COLGRAPH_NO_SIMD unset, no test override active).
+bool UsingAvx2();
+
+/// Test hook: true forces the scalar kernels regardless of CPU support.
+/// Effective immediately for subsequent calls on this thread; flip it only
+/// while no kernel runs concurrently.
+void SetForceScalarForTest(bool force);
+
+}  // namespace colgraph::simd

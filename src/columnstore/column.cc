@@ -16,6 +16,16 @@ void BitmapColumn::Seal() {
   sealed_ = true;
 }
 
+void BitmapColumn::ChooseEncoding(bool hybrid_enabled) {
+  COLGRAPH_DCHECK(sealed_);
+  if (hybrid_enabled && count_ * kHybridDensityDivisor <= bits_.size()) {
+    hybrid_ = std::make_shared<const HybridBitmap>(
+        HybridBitmap::FromBitmap(bits_));
+  } else {
+    hybrid_.reset();
+  }
+}
+
 size_t BitmapColumn::Rank(size_t pos) const {
   COLGRAPH_DCHECK(sealed_);
   COLGRAPH_DCHECK_LE(pos, bits_.size());

@@ -7,10 +7,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "bitmap/bitmap.h"
+#include "bitmap/hybrid_bitmap.h"
 #include "util/status.h"
 
 namespace colgraph {
@@ -36,8 +38,33 @@ class BitmapColumn {
   /// Builds the rank directory; must be called after the last mutation.
   void Seal();
   /// Re-enables mutation (incremental ingest); Seal() again afterwards.
-  void Unseal() { sealed_ = false; }
+  /// Drops any hybrid encoding — ChooseEncoding() again after resealing.
+  void Unseal() {
+    sealed_ = false;
+    hybrid_.reset();
+  }
   bool sealed() const { return sealed_; }
+
+  /// Density threshold for the hybrid encoding: a sealed column whose
+  /// cardinality is at most size/256 (<= 1/256 of records set) gets a
+  /// hybrid-container sidecar; denser columns stay word-parallel. The
+  /// sidecar exists purely to accelerate the engine's conjunction loop
+  /// (the plain words are kept either way), so the cutoff sits where
+  /// container-at-a-time AND beats word-at-a-time AND: measured break-even
+  /// is ~1/250 density on equal-density 4-way ANDs (bench_fig3c_density
+  /// supplement — 0.9x at 1/250, 1.6x at 1/500, 2.7x at 1/1000), and
+  /// cost-ordered mixed-density chains only shift it sparser-favorable.
+  static constexpr size_t kHybridDensityDivisor = 256;
+
+  /// Picks the column's compressed encoding from its density statistics.
+  /// Requires sealed(). When `hybrid_enabled` and the column is at or
+  /// below the density threshold, builds a HybridBitmap sidecar that the
+  /// query engine's conjunction loop consumes; otherwise drops any
+  /// existing one. Deterministic for given contents.
+  void ChooseEncoding(bool hybrid_enabled);
+
+  /// The hybrid encoding, or nullptr when the column is plain-encoded.
+  const HybridBitmap* hybrid() const { return hybrid_.get(); }
 
   /// Number of set bits strictly before `pos`. Requires sealed().
   size_t Rank(size_t pos) const;
@@ -54,7 +81,10 @@ class BitmapColumn {
  private:
   Bitmap bits_;
   std::vector<uint32_t> rank_;  // cumulative popcount before each word
-  size_t count_ = 0;            // cached cardinality (valid when sealed)
+  // Hybrid sidecar (shared_ptr keeps columns cheaply copyable); null for
+  // plain-encoded columns.
+  std::shared_ptr<const HybridBitmap> hybrid_;
+  size_t count_ = 0;  // cached cardinality (valid when sealed)
   bool sealed_ = false;
 };
 
@@ -82,6 +112,12 @@ class MeasureColumn {
   /// "records are continuously generated"). Existing data is untouched.
   void Unseal();
   bool sealed() const { return presence_.sealed(); }
+
+  /// Applies the seal-time encoding choice to the presence bitmap (see
+  /// BitmapColumn::ChooseEncoding). Requires sealed().
+  void ChooseEncoding(bool hybrid_enabled) {
+    presence_.ChooseEncoding(hybrid_enabled);
+  }
 
   /// Value of `record`, or nullopt when NULL. Requires sealed().
   std::optional<double> Get(size_t record) const;

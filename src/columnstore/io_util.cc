@@ -32,7 +32,7 @@ void SyncParentDir(const std::string& path) {
 }  // namespace
 
 Writer::Writer(std::string path, uint32_t magic, uint32_t version)
-    : path_(std::move(path)) {
+    : path_(std::move(path)), version_(version) {
   WritePod(magic);
   WritePod(version);
 }
@@ -61,8 +61,24 @@ void Writer::WriteEwah(const Bitmap& bits) {
   WriteVec(compressed.buffer());
 }
 
+void Writer::WriteBitmap(const BitmapColumn& col) {
+  if (version_ < 3) {
+    WriteEwah(col.bits());
+    return;
+  }
+  if (col.hybrid() != nullptr) {
+    WritePod(uint8_t{1});
+    WritePod(static_cast<uint64_t>(col.hybrid()->size_bits()));
+    const std::vector<uint64_t> raw = col.hybrid()->ToRaw();
+    WriteVec(raw);
+  } else {
+    WritePod(uint8_t{0});
+    WriteEwah(col.bits());
+  }
+}
+
 void Writer::WriteMeasureColumn(const MeasureColumn& col) {
-  WriteEwah(col.presence().bits());
+  WriteBitmap(col.presence());
   std::vector<double> values;
   values.reserve(col.num_values());
   col.presence().bits().ForEachSetBit([&](size_t r) {
@@ -180,7 +196,7 @@ StatusOr<Reader> Reader::FromBytes(std::vector<char> data, std::string label,
     r.sectioned_ = false;
     return r;
   }
-  if (r.version_ != 2) {
+  if (r.version_ != 2 && r.version_ != 3) {
     return r.Corrupt("unsupported snapshot version " +
                      std::to_string(r.version_));
   }
@@ -262,8 +278,27 @@ StatusOr<Bitmap> Reader::ReadEwah(uint64_t expected_bits) {
   return compressed.ToBitmap();
 }
 
+StatusOr<Bitmap> Reader::ReadBitmap(uint64_t expected_bits) {
+  if (version_ < 3) return ReadEwah(expected_bits);
+  uint8_t tag = 0;
+  COLGRAPH_RETURN_NOT_OK(ReadPod(&tag));
+  if (tag == 0) return ReadEwah(expected_bits);
+  if (tag != 1) return Corrupt("unknown bitmap encoding tag");
+  uint64_t num_bits = 0;
+  COLGRAPH_RETURN_NOT_OK(ReadPod(&num_bits));
+  if (num_bits != expected_bits) {
+    return Corrupt("bitmap bit length does not match the record count");
+  }
+  std::vector<uint64_t> buffer;
+  COLGRAPH_RETURN_NOT_OK(ReadVec(&buffer));
+  COLGRAPH_ASSIGN_OR_RETURN(
+      HybridBitmap compressed,
+      HybridBitmap::FromRawChecked(buffer, static_cast<size_t>(num_bits)));
+  return compressed.ToBitmap();
+}
+
 StatusOr<MeasureColumn> Reader::ReadMeasureColumn(uint64_t expected_bits) {
-  COLGRAPH_ASSIGN_OR_RETURN(Bitmap presence, ReadEwah(expected_bits));
+  COLGRAPH_ASSIGN_OR_RETURN(Bitmap presence, ReadBitmap(expected_bits));
   std::vector<double> values;
   COLGRAPH_RETURN_NOT_OK(ReadVec(&values));
   return MeasureColumn::FromParts(std::move(presence), std::move(values));

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "bitmap/ewah_bitmap.h"
+#include "bitmap/hybrid_bitmap.h"
 #include "columnstore/column.h"
 #include "util/crc32.h"
 #include "util/failpoint.h"
@@ -69,8 +70,17 @@ class Writer {
   /// EWAH-compresses and writes a bitmap: [u64 num_bits][buffer vec].
   void WriteEwah(const Bitmap& bits);
 
+  /// Writes a bitmap column in its sealed encoding. On v3+ snapshots the
+  /// stream is tagged: [u8 tag][u64 num_bits][buffer vec] with tag 0 =
+  /// EWAH, tag 1 = hybrid containers (the column's seal-time choice). On
+  /// v2 and older it degrades to the untagged WriteEwah layout so legacy
+  /// fixtures can still be produced.
+  void WriteBitmap(const BitmapColumn& col);
+
   /// Writes a sealed measure column: compressed presence + packed values.
   void WriteMeasureColumn(const MeasureColumn& col);
+
+  uint32_t version() const { return version_; }
 
   /// Appends the footer and atomically publishes the snapshot:
   /// write to `<path>.tmp`, fsync, rename over `path`, fsync the parent
@@ -90,6 +100,7 @@ class Writer {
   std::string path_;
   std::vector<char> body_;
   size_t section_header_pos_ = 0;
+  uint32_t version_ = 0;
   bool in_section_ = false;
   bool committed_ = false;
 };
@@ -112,7 +123,8 @@ class Reader {
   static StatusOr<Reader> FromBytes(std::vector<char> data, std::string label,
                                     uint32_t magic);
 
-  /// 1 for legacy pre-checksum files, 2 for the current format.
+  /// 1 for legacy pre-checksum files, 2 for checksummed sections, 3 for
+  /// checksummed sections with tagged bitmap encodings (EWAH or hybrid).
   uint32_t version() const { return version_; }
   /// Bytes left in the current window (section for v2, file for v1).
   uint64_t remaining() const { return limit_ - pos_; }
@@ -158,6 +170,11 @@ class Reader {
   /// Reads a bitmap written by WriteEwah; its decoded length must equal
   /// `expected_bits` and the compressed stream must validate.
   StatusOr<Bitmap> ReadEwah(uint64_t expected_bits);
+
+  /// Reads a bitmap written by WriteBitmap: tagged (EWAH or hybrid) on v3+
+  /// snapshots, plain WriteEwah layout on v2 and older. Both decoders run
+  /// their full FromRawChecked validation.
+  StatusOr<Bitmap> ReadBitmap(uint64_t expected_bits);
 
   /// Reads a column written by WriteMeasureColumn; the presence bitmap
   /// must span exactly `expected_bits` records.

@@ -33,7 +33,10 @@ StatusOr<RecordId> MasterRelation::AddRecord(
 
 Status MasterRelation::Seal() {
   if (sealed_) return Status::InvalidArgument("relation already sealed");
-  for (auto& col : columns_) col.Seal(num_records_);
+  for (auto& col : columns_) {
+    col.Seal(num_records_);
+    col.ChooseEncoding(options_.hybrid_bitmaps);
+  }
   sealed_ = true;
   return Status::OK();
 }
@@ -82,6 +85,11 @@ StatusOr<MasterRelation> MasterRelation::FromColumns(
   rel.columns_ = std::move(cols);
   rel.num_records_ = num_records;
   rel.sealed_ = true;
+  // The encoding choice is deterministic from density, so re-deriving it
+  // here reproduces exactly what the writer had at seal time.
+  for (auto& col : rel.columns_) {
+    col.ChooseEncoding(options.hybrid_bitmaps);
+  }
   return rel;
 }
 
@@ -89,6 +97,7 @@ size_t MasterRelation::AddGraphView(Bitmap bits) {
   COLGRAPH_CHECK(sealed_);
   COLGRAPH_CHECK_EQ(bits.size(), num_records_);
   graph_views_.emplace_back(std::move(bits));
+  graph_views_.back().ChooseEncoding(options_.hybrid_bitmaps);
   return graph_views_.size() - 1;
 }
 
@@ -96,12 +105,14 @@ void MasterRelation::ReplaceGraphView(size_t view_index, Bitmap bits) {
   COLGRAPH_CHECK_LT(view_index, graph_views_.size());
   COLGRAPH_CHECK_EQ(bits.size(), num_records_);
   graph_views_[view_index] = BitmapColumn(std::move(bits));
+  graph_views_[view_index].ChooseEncoding(options_.hybrid_bitmaps);
 }
 
 void MasterRelation::ReplaceAggregateView(size_t view_index,
                                           MeasureColumn column) {
   COLGRAPH_CHECK_LT(view_index, agg_views_.size());
   COLGRAPH_CHECK(column.sealed());
+  column.ChooseEncoding(options_.hybrid_bitmaps);
   agg_views_[view_index] = std::move(column);
 }
 
@@ -114,6 +125,7 @@ const Bitmap& MasterRelation::FetchGraphView(size_t view_index) const {
 size_t MasterRelation::AddAggregateView(MeasureColumn column) {
   COLGRAPH_CHECK(sealed_);
   COLGRAPH_CHECK(column.sealed());
+  column.ChooseEncoding(options_.hybrid_bitmaps);
   agg_views_.push_back(std::move(column));
   return agg_views_.size() - 1;
 }

@@ -40,6 +40,12 @@ struct MasterRelationOptions {
   /// Maximum number of measure columns per vertical sub-relation. Queries
   /// whose measure columns span p partitions pay p-1 recid joins (Fig. 5).
   size_t partition_width = 1000;
+  /// When true (default), columns at or below the hybrid density threshold
+  /// (BitmapColumn::kHybridDensityDivisor) get a roaring-style HybridBitmap
+  /// encoding at seal time, which the query engine's AND loop consumes.
+  /// False pins every column to the plain/EWAH path (ablation, and the
+  /// byte-identical-results determinism check).
+  bool hybrid_bitmaps = true;
 };
 
 /// \brief Columnar storage for a collection of shredded graph records.
@@ -115,8 +121,27 @@ class MasterRelation {
   const Bitmap& PeekGraphView(size_t view_index) const {
     return graph_views_[view_index].bits();
   }
+  const BitmapColumn& PeekGraphViewColumn(size_t view_index) const {
+    return graph_views_[view_index];
+  }
   const MeasureColumn& PeekAggregateView(size_t view_index) const {
     return agg_views_[view_index];
+  }
+
+  // --- Hybrid encodings (seal-time per-column choice). ---
+  //
+  // Nullptr when the column is plain-encoded. These do not count as
+  // fetches: the engine fetches a source once through the Fetch* accessors
+  // above and then peeks the hybrid sidecar of the same column, so fetch
+  // accounting is identical whichever encoding the AND loop consumes.
+  const HybridBitmap* PeekEdgeBitmapHybrid(EdgeId id) const {
+    return columns_[id].presence().hybrid();
+  }
+  const HybridBitmap* PeekGraphViewHybrid(size_t view_index) const {
+    return graph_views_[view_index].hybrid();
+  }
+  const HybridBitmap* PeekAggViewBitmapHybrid(size_t view_index) const {
+    return agg_views_[view_index].presence().hybrid();
   }
 
   /// O(1) cardinality statistics (cached at seal time) — the planner's

@@ -11,7 +11,9 @@ namespace colgraph {
 
 namespace {
 constexpr uint32_t kMagic = 0x4347524C;  // "CGRL"
-constexpr uint32_t kVersion = 2;         // v1 (pre-checksum) still loads
+// v3 adds tagged bitmap encodings (EWAH / hybrid); v1 (pre-checksum) and
+// v2 (untagged EWAH) files still load.
+constexpr uint32_t kVersion = 3;
 }  // namespace
 
 Status WriteRelation(const MasterRelation& relation, const std::string& path) {

@@ -10,7 +10,9 @@ namespace colgraph {
 namespace {
 
 constexpr uint32_t kMagic = 0x4347454E;  // "CGEN"
-constexpr uint32_t kVersion = 2;         // v1 (pre-checksum) still loads
+// v3 adds tagged bitmap encodings (EWAH / hybrid); v1 (pre-checksum) and
+// v2 (untagged EWAH) files still load.
+constexpr uint32_t kVersion = 3;
 
 void WriteNodeRef(io::Writer& out, const NodeRef& n) {
   out.WritePod(n.base);
@@ -74,7 +76,7 @@ Status WriteEngine(const ColGraphEngine& engine, const std::string& path) {
   for (const auto& [def, index] : graph_views) {
     out.WriteVec(def.edges);
     out.WritePod(static_cast<uint64_t>(index));
-    out.WriteEwah(relation.PeekGraphView(index));
+    out.WriteBitmap(relation.PeekGraphViewColumn(index));
   }
   out.EndSection();
 
@@ -165,7 +167,7 @@ StatusOr<ColGraphEngine> ReadEngine(const std::string& path) {
     }
     COLGRAPH_RETURN_NOT_OK(
         ValidateViewElements(def.edges, num_columns, path));
-    COLGRAPH_ASSIGN_OR_RETURN(Bitmap bits, in.ReadEwah(num_records));
+    COLGRAPH_ASSIGN_OR_RETURN(Bitmap bits, in.ReadBitmap(num_records));
     const size_t actual = relation.AddGraphView(std::move(bits));
     if (actual != index) {
       return Status::Corruption("graph-view indexes not dense in " + path);

@@ -43,9 +43,10 @@ std::string ExplainResult::ToText() const {
   for (size_t i = 0; i < sources.size(); ++i) {
     const ExplainSource& s = sources[i];
     std::snprintf(line, sizeof(line),
-                  "  %zu. %s #%zu covers %s  est=%zu  after-AND=%zu\n", i + 1,
-                  s.KindName(), s.source.index, JoinIds(s.covers).c_str(),
-                  s.estimated_cardinality, s.cumulative_cardinality);
+                  "  %zu. %s #%zu covers %s  est=%zu  after-AND=%zu%s\n",
+                  i + 1, s.KindName(), s.source.index,
+                  JoinIds(s.covers).c_str(), s.estimated_cardinality,
+                  s.cumulative_cardinality, s.hybrid ? "  enc=hybrid" : "");
     out += line;
   }
   std::snprintf(line, sizeof(line),
@@ -97,6 +98,8 @@ std::string ExplainResult::ToJson() const {
     w.Uint(s.estimated_cardinality);
     w.Key("cumulative_cardinality");
     w.Uint(s.cumulative_cardinality);
+    w.Key("hybrid");
+    w.Bool(s.hybrid);
     w.EndObject();
   }
   w.EndArray();

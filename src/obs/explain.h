@@ -30,6 +30,10 @@ struct ExplainSource {
   /// estimated_cardinality for the first source; 0 from the first
   /// short-circuit on.
   size_t cumulative_cardinality = 0;
+  /// True when the column carries a hybrid (roaring-style) sidecar the AND
+  /// loop can consume instead of the plain words (seal-time density
+  /// choice, DESIGN.md §13).
+  bool hybrid = false;
 
   const char* KindName() const;
 };

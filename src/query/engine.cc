@@ -64,6 +64,28 @@ const Bitmap& QueryEngine::FetchSource(const BitmapSource& source) const {
   return relation_->FetchEdgeBitmap(0);
 }
 
+const HybridBitmap* QueryEngine::PeekSourceHybrid(
+    const BitmapSource& source) const {
+  switch (source.kind) {
+    case BitmapSource::Kind::kEdge:
+      return relation_->PeekEdgeBitmapHybrid(
+          static_cast<EdgeId>(source.index));
+    case BitmapSource::Kind::kGraphView:
+      return relation_->PeekGraphViewHybrid(source.index);
+    case BitmapSource::Kind::kAggViewBitmap:
+      return relation_->PeekAggViewBitmapHybrid(source.index);
+  }
+  return nullptr;
+}
+
+QueryEngine::SourceRef QueryEngine::FetchSourceRef(
+    const BitmapSource& source) const {
+  SourceRef ref;
+  ref.plain = &FetchSource(source);
+  ref.hybrid = PeekSourceHybrid(source);
+  return ref;
+}
+
 Bitmap QueryEngine::MatchIds(const std::vector<EdgeId>& ids,
                              const QueryOptions& options,
                              bool consider_agg_bitmaps,
@@ -92,15 +114,41 @@ Bitmap QueryEngine::MatchIds(const std::vector<EdgeId>& ids,
     if (plan_out != nullptr) *plan_out = plan;
   }
   const obs::Span span(obs::QueryPhase::kBitmapAnd, options.trace);
-  Bitmap result = FetchSource(plan.sources.front());
+  // The running conjunction stays in the hybrid (compressed) domain as long
+  // as every operand so far has a hybrid sidecar — container-level ANDs
+  // touch only the compressed payloads. The first plain operand (or the
+  // final result) materializes it into words once; from there hybrid
+  // operands apply in place via AndInto's word kernels.
+  const SourceRef front = FetchSourceRef(plan.sources.front());
+  std::optional<HybridBitmap> running;
+  Bitmap result;
+  if (front.hybrid != nullptr) {
+    running = *front.hybrid;
+  } else {
+    result = *front.plain;
+  }
   for (size_t i = 1; i < plan.sources.size(); ++i) {
     // Short-circuit: once the conjunction is empty no further bitmap can
     // add records, so stop fetching. This is why column-store query time
     // *drops* as query graphs grow (Figure 3b): bigger queries are more
     // selective and the AND pipeline exits early.
-    if (result.None()) break;
-    result.And(FetchSource(plan.sources[i]));
+    if (running.has_value() ? running->None() : result.None()) break;
+    const SourceRef ref = FetchSourceRef(plan.sources[i]);
+    if (running.has_value()) {
+      if (ref.hybrid != nullptr) {
+        running = HybridBitmap::And(*running, *ref.hybrid);
+      } else {
+        result = running->ToBitmap();
+        running.reset();
+        result.And(*ref.plain);
+      }
+    } else if (ref.hybrid != nullptr) {
+      ref.hybrid->AndInto(&result);
+    } else {
+      result.And(*ref.plain);
+    }
   }
+  if (running.has_value()) return running->ToBitmap();
   return result;
 }
 
@@ -414,6 +462,7 @@ void QueryEngine::ExplainMatchInto(const std::vector<EdgeId>& ids,
     out.source = annotated.source;
     out.covers = annotated.covers;
     out.estimated_cardinality = SourceCardinality(annotated.source);
+    out.hybrid = PeekSourceHybrid(annotated.source) != nullptr;
     if (first) {
       running = FetchSource(annotated.source);
       first = false;

@@ -186,6 +186,19 @@ class QueryEngine {
 
  private:
   const Bitmap& FetchSource(const BitmapSource& source) const;
+  /// A fetched source under both encodings: `plain` is always valid;
+  /// `hybrid` is the column's seal-time hybrid sidecar or nullptr. One
+  /// FetchSourceRef counts exactly one bitmap fetch (the hybrid peek is
+  /// accounting-free), so FetchStats are identical whichever encoding the
+  /// AND loop consumes.
+  struct SourceRef {
+    const Bitmap* plain = nullptr;
+    const HybridBitmap* hybrid = nullptr;
+  };
+  SourceRef FetchSourceRef(const BitmapSource& source) const;
+  /// The source's hybrid sidecar (nullptr when plain-encoded); no
+  /// accounting.
+  const HybridBitmap* PeekSourceHybrid(const BitmapSource& source) const;
   /// Set-bit count of a plan source, without counting as a fetch.
   size_t SourceCardinality(const BitmapSource& source) const;
 

@@ -95,6 +95,111 @@ ColGraphEngine BuildEngine(const Workbench& wb, size_t num_threads) {
 
 constexpr size_t kThreadCounts[] = {1, 2, 8};
 
+// Workbench whose per-edge record counts straddle the hybrid density
+// threshold (count * 256 <= records): small records over a wide power-law
+// universe put the long tail of edges under the threshold while the
+// popular head stays word-parallel, so AND plans mix both encodings.
+Workbench MakeSparseWorkbench(uint64_t seed) {
+  Workbench wb;
+  const DirectedGraph base = MakePowerLawNetwork(500, 3, seed);
+  auto universe = SelectEdgeUniverse(base, 800, seed + 1);
+  COLGRAPH_CHECK_OK(universe.status());
+  wb.universe = std::move(universe).value();
+
+  RecordGenOptions rec_options;
+  rec_options.min_edges = 2;
+  rec_options.max_edges = 5;
+  WalkRecordGenerator generator(&wb.universe, rec_options, seed + 2);
+  std::vector<std::vector<NodeRef>> trunks;
+  for (size_t i = 0; i < 1200; ++i) {
+    std::vector<NodeRef> trunk;
+    wb.records.push_back(generator.Next(&trunk));
+    trunks.push_back(std::move(trunk));
+  }
+
+  QueryGenerator qgen(&trunks, &wb.universe, seed + 3);
+  QueryGenOptions q_options;
+  q_options.min_edges = 2;
+  q_options.max_edges = 4;
+  wb.workload = qgen.UniformWorkload(40, q_options);
+  return wb;
+}
+
+ColGraphEngine BuildEngineWithEncoding(const Workbench& wb,
+                                       bool hybrid_bitmaps) {
+  EngineOptions options;
+  options.num_threads = 1;
+  options.relation.hybrid_bitmaps = hybrid_bitmaps;
+  ColGraphEngine engine(options);
+  for (const GraphRecord& r : wb.records) {
+    COLGRAPH_CHECK_OK(engine.AddRecord(r));
+  }
+  COLGRAPH_CHECK_OK(engine.Seal());
+  return engine;
+}
+
+size_t CountHybridColumns(const MasterRelation& relation) {
+  size_t n = 0;
+  for (EdgeId e = 0; e < relation.num_edge_columns(); ++e) {
+    if (relation.PeekEdgeBitmapHybrid(e) != nullptr) ++n;
+  }
+  return n;
+}
+
+// ISSUE 8 satellite: a fig6-style query mix (materialized graph views +
+// uniform workload) evaluated by an EWAH-only engine and a hybrid-enabled
+// engine must produce byte-identical responses. The hybrid AND loop is a
+// pure encoding change; any drift in records or measure bytes is a bug.
+TEST(DeterminismTest, HybridAndEwahEnginesAreByteIdentical) {
+  const Workbench wb = MakeSparseWorkbench(500);
+  ColGraphEngine ewah_engine = BuildEngineWithEncoding(wb, false);
+  ColGraphEngine hybrid_engine = BuildEngineWithEncoding(wb, true);
+
+  // The comparison is only meaningful if the engines actually diverge in
+  // encoding: the workbench's long-tail columns must sit under the
+  // threshold (and its head above it, so plans mix both encodings).
+  ASSERT_EQ(CountHybridColumns(ewah_engine.relation()), 0u);
+  const size_t hybrid_columns = CountHybridColumns(hybrid_engine.relation());
+  ASSERT_GT(hybrid_columns, hybrid_engine.relation().num_edge_columns() / 4);
+  ASSERT_LT(hybrid_columns, hybrid_engine.relation().num_edge_columns());
+
+  // Fig6 shape: materialize graph views on both engines, then evaluate the
+  // workload with views enabled — the AND plans mix view and edge bitmaps.
+  auto ewah_views = ewah_engine.SelectAndMaterializeGraphViews(wb.workload, 8);
+  ASSERT_TRUE(ewah_views.ok()) << ewah_views.status().ToString();
+  auto hybrid_views =
+      hybrid_engine.SelectAndMaterializeGraphViews(wb.workload, 8);
+  ASSERT_TRUE(hybrid_views.ok()) << hybrid_views.status().ToString();
+  ASSERT_EQ(*hybrid_views, *ewah_views);
+
+  auto expected = ewah_engine.EvaluateBatch(wb.workload);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  auto got = hybrid_engine.EvaluateBatch(wb.workload);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got->size(), expected->size());
+  for (size_t i = 0; i < expected->size(); ++i) {
+    EXPECT_EQ((*got)[i].records, (*expected)[i].records) << "query " << i;
+    EXPECT_EQ((*got)[i].edges, (*expected)[i].edges) << "query " << i;
+    EXPECT_TRUE(
+        ColumnsBitIdentical((*got)[i].columns, (*expected)[i].columns))
+        << "query " << i;
+  }
+
+  // Aggregate path too (agg-view bp bitmaps flow through the same loop).
+  auto agg_expected = ewah_engine.EvaluatePathAggBatch(wb.workload, AggFn::kSum);
+  ASSERT_TRUE(agg_expected.ok()) << agg_expected.status().ToString();
+  auto agg_got = hybrid_engine.EvaluatePathAggBatch(wb.workload, AggFn::kSum);
+  ASSERT_TRUE(agg_got.ok()) << agg_got.status().ToString();
+  ASSERT_EQ(agg_got->size(), agg_expected->size());
+  for (size_t i = 0; i < agg_expected->size(); ++i) {
+    EXPECT_EQ((*agg_got)[i].records, (*agg_expected)[i].records)
+        << "query " << i;
+    EXPECT_TRUE(ColumnsBitIdentical((*agg_got)[i].values,
+                                    (*agg_expected)[i].values))
+        << "query " << i;
+  }
+}
+
 TEST(DeterminismTest, EvaluateBatchIsByteIdenticalAcrossThreadCounts) {
   const Workbench wb = MakeWorkbench(100);
   const ColGraphEngine reference = BuildEngine(wb, 1);

@@ -130,6 +130,68 @@ TEST_F(ExplainTest, CardinalitiesAgreeWithEvaluation) {
   }
 }
 
+TEST_F(ExplainTest, SourcesAreOrderedByEstimatedCardinality) {
+  // With the selectivity sort on (the default), the AND order Explain
+  // reports must be non-decreasing in estimated cardinality — most
+  // selective bitmap first — and the running actuals can only shrink.
+  const std::vector<GraphQuery> queries{
+      GraphQuery::FromPath({N(1), N(2), N(3), N(4), N(5), N(6)}),
+      GraphQuery::FromPath({N(1), N(2), N(3), N(4)}),
+      GraphQuery::FromPath({N(2), N(3), N(4), N(5), N(6)}),
+  };
+  for (const GraphQuery& query : queries) {
+    const obs::ExplainResult explain = engine_.Explain(query);
+    ASSERT_FALSE(explain.sources.empty());
+    for (size_t i = 1; i < explain.sources.size(); ++i) {
+      EXPECT_LE(explain.sources[i - 1].estimated_cardinality,
+                explain.sources[i].estimated_cardinality)
+          << "source " << i << " out of selectivity order";
+      EXPECT_LE(explain.sources[i].cumulative_cardinality,
+                explain.sources[i - 1].cumulative_cardinality)
+          << "running conjunction grew at source " << i;
+    }
+  }
+}
+
+TEST(ExplainHybridTest, HybridEncodingIsSurfacedAndOrdered) {
+  // Sparse relation: edge (1,2) in 35 records, edge (2,3) in 20, plus 9000
+  // filler records on edge (8,9). 9035 records total puts both query edges
+  // under the 1/256 hybrid density threshold (35 * 256 = 8960 <= 9035).
+  ColGraphEngine engine;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(engine.AddWalk({1, 2, 3}, {1, 2}).ok());
+  }
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(engine.AddWalk({1, 2}, {3}).ok());
+  }
+  for (int i = 0; i < 9000; ++i) {
+    ASSERT_TRUE(engine.AddWalk({8, 9}, {4}).ok());
+  }
+  ASSERT_TRUE(engine.Seal().ok());
+
+  const obs::ExplainResult explain =
+      engine.Explain(GraphQuery::FromPath({N(1), N(2), N(3)}));
+  ASSERT_EQ(explain.sources.size(), 2u);
+  // Selectivity order: edge (2,3) with 20 records ANDs first.
+  EXPECT_EQ(explain.sources[0].estimated_cardinality, 20u);
+  EXPECT_EQ(explain.sources[1].estimated_cardinality, 35u);
+  EXPECT_EQ(explain.matched_records, 20u);
+  for (const obs::ExplainSource& s : explain.sources) {
+    EXPECT_TRUE(s.hybrid) << "sparse column should carry hybrid encoding";
+  }
+  const std::string text = explain.ToText();
+  EXPECT_NE(text.find("enc=hybrid"), std::string::npos) << text;
+  const std::string json = explain.ToJson();
+  EXPECT_NE(json.find("\"hybrid\":true"), std::string::npos) << json;
+
+  // The dense filler edge stays plain/EWAH and Explain says so.
+  const obs::ExplainResult dense =
+      engine.Explain(GraphQuery::FromPath({N(8), N(9)}));
+  ASSERT_EQ(dense.sources.size(), 1u);
+  EXPECT_FALSE(dense.sources[0].hybrid);
+  EXPECT_EQ(dense.ToText().find("enc=hybrid"), std::string::npos);
+}
+
 TEST_F(ExplainTest, UnsatisfiableAndUnconstrainedQueries) {
   const obs::ExplainResult unsat =
       engine_.Explain(GraphQuery::FromPath({N(9), N(10)}));

@@ -170,11 +170,11 @@ TEST_F(IoUtilTest, WrongMagicIsCorruption) {
 }
 
 TEST_F(IoUtilTest, UnsupportedVersionIsCorruption) {
-  io::Writer out(path_, kMagic, 3);
+  io::Writer out(path_, kMagic, 4);
   out.BeginSection();
   out.WritePod(uint32_t{1});
   out.EndSection();
-  // A v3 file still needs a valid footer to be parsed at all; Commit
+  // A v4 file still needs a valid footer to be parsed at all; Commit
   // writes one, so the version check is what must reject it.
   ASSERT_TRUE(out.Commit().ok());
   const Status st = io::Reader::Open(path_, kMagic).status();

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bitmap/ewah_bitmap.h"
+#include "bitmap/hybrid_bitmap.h"
 #include "columnstore/persistence.h"
 #include "obs/query_log.h"
 #include "util/check.h"
@@ -79,7 +80,10 @@ void MakeSnapshotSeeds(const std::filesystem::path& dir) {
   std::remove(tmp.c_str());
   COLGRAPH_CHECK(!valid.empty());
 
-  WriteSeed(dir, "valid_v2", valid);
+  // Current-version snapshot (v3 since the hybrid-bitmap encoding). A
+  // genuine v2 file is committed as legacy_v2 — static, since the writer
+  // can no longer produce one.
+  WriteSeed(dir, "valid_snapshot", valid);
   WriteSeed(dir, "truncated_half", Truncated(valid, valid.size() / 2));
   WriteSeed(dir, "truncated_footer", Truncated(valid, valid.size() - 5));
   WriteSeed(dir, "bad_magic", BitFlipped(valid, 0, 3));
@@ -97,6 +101,37 @@ void MakeSnapshotSeeds(const std::filesystem::path& dir) {
       std::memcpy(huge_section.data() + 8, &bogus, sizeof(bogus));
     }
     WriteSeed(dir, "huge_section_len", huge_section);
+  }
+
+  // Sparse relation: columns fall under the hybrid density threshold, so
+  // the v3 writer emits tag-1 (hybrid) bitmap payloads — parks the fuzzer
+  // on the FromRawChecked branch of the snapshot reader.
+  {
+    MasterRelation sparse_rel;
+    for (int i = 0; i < 300; ++i) {
+      // Each edge set in exactly one of 300 records: under the 1/256
+      // density cutoff, so every presence column hybrid-encodes.
+      std::vector<std::pair<EdgeId, double>> record;
+      if (i < 4) record.emplace_back(static_cast<EdgeId>(i), 1.0 * i);
+      COLGRAPH_CHECK(sparse_rel.AddRecord(record).ok());
+    }
+    COLGRAPH_CHECK_OK(sparse_rel.Seal());
+    const std::string sparse_tmp =
+        (std::filesystem::temp_directory_path() /
+         "colgraph_corpus_snap_hybrid.bin")
+            .string();
+    COLGRAPH_CHECK_OK(WriteRelation(sparse_rel, sparse_tmp));
+    std::vector<char> hybrid_snap;
+    {
+      std::ifstream in(sparse_tmp, std::ios::binary);
+      hybrid_snap.assign(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>());
+    }
+    std::remove(sparse_tmp.c_str());
+    COLGRAPH_CHECK(!hybrid_snap.empty());
+    WriteSeed(dir, "valid_v3_hybrid", hybrid_snap);
+    WriteSeed(dir, "v3_hybrid_flipped_bit",
+              BitFlipped(hybrid_snap, hybrid_snap.size() / 2, 4));
   }
 
   // Legacy v1 preamble claiming an 8-EiB relation: must reject on the
@@ -151,6 +186,67 @@ void MakeEwahSeeds(const std::filesystem::path& dir) {
     AppendPod(&bad, uint64_t{64});
     AppendPod(&bad, (uint64_t{0xFFFFFFFF} << 1) | 1u);  // 4G-word one-run
     WriteSeed(dir, "huge_run", bad);
+  }
+}
+
+// --- fuzz_hybrid_bitmap --------------------------------------------------
+
+std::vector<char> HybridSeed(const HybridBitmap& hybrid) {
+  std::vector<char> out;
+  AppendPod(&out, static_cast<uint64_t>(hybrid.size_bits()));
+  for (const uint64_t word : hybrid.ToRaw()) AppendPod(&out, word);
+  return out;
+}
+
+void MakeHybridBitmapSeeds(const std::filesystem::path& dir) {
+  // One seed per container type plus the chunk-boundary shapes, each
+  // produced by the production encoder so the fuzzer starts on the accept
+  // path of every container validator branch.
+  Bitmap sparse(200000);  // array containers across 4 chunks
+  for (size_t i = 0; i < sparse.size(); i += 997) sparse.Set(i);
+  WriteSeed(dir, "valid_array",
+            HybridSeed(HybridBitmap::FromBitmap(sparse)));
+
+  Bitmap dense(1 << 16);  // one bitset container (card > 4096)
+  for (size_t i = 0; i < dense.size(); i += 2) dense.Set(i);
+  WriteSeed(dir, "valid_bitset",
+            HybridSeed(HybridBitmap::FromBitmap(dense)));
+
+  Bitmap runs(100000);  // run containers, one run crossing the chunk edge
+  for (size_t i = 60000; i < 70000; ++i) runs.Set(i);
+  for (size_t i = 90000; i < 90100; ++i) runs.Set(i);
+  WriteSeed(dir, "valid_runs", HybridSeed(HybridBitmap::FromBitmap(runs)));
+
+  Bitmap gap(3 << 16);  // empty middle chunk: descriptor keys skip 1
+  gap.Set(5);
+  gap.Set((2u << 16) + 123);
+  WriteSeed(dir, "valid_chunk_gap", HybridSeed(HybridBitmap::FromBitmap(gap)));
+
+  Bitmap tail((1 << 16) + 777);  // unaligned final chunk
+  for (size_t i = 0; i < tail.size(); i += 13) tail.Set(i);
+  WriteSeed(dir, "valid_unaligned_tail",
+            HybridSeed(HybridBitmap::FromBitmap(tail)));
+
+  WriteSeed(dir, "empty_bitmap",
+            HybridSeed(HybridBitmap::FromBitmap(Bitmap(4096))));
+
+  // Descriptor table claiming a million containers that aren't there.
+  {
+    std::vector<char> bad;
+    AppendPod(&bad, uint64_t{1} << 20);  // num_bits
+    AppendPod(&bad, uint64_t{1000000});  // container count
+    AppendPod(&bad, uint64_t{0});
+    WriteSeed(dir, "descriptor_overrun", bad);
+  }
+  // Unknown container type (3) in an otherwise plausible descriptor.
+  {
+    std::vector<char> bad;
+    AppendPod(&bad, uint64_t{1} << 16);
+    AppendPod(&bad, uint64_t{1});
+    AppendPod(&bad, uint64_t{0} | (uint64_t{3} << 32) | (uint64_t{1} << 40));
+    AppendPod(&bad, uint64_t{1});  // card word
+    AppendPod(&bad, uint64_t{7});  // payload
+    WriteSeed(dir, "bad_container_type", bad);
   }
 }
 
@@ -210,14 +306,15 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::filesystem::path root(argv[1]);
-  const char* kDirs[] = {"fuzz_snapshot", "fuzz_ewah", "fuzz_query_log",
-                         "fuzz_parser"};
+  const char* kDirs[] = {"fuzz_snapshot", "fuzz_ewah", "fuzz_hybrid_bitmap",
+                         "fuzz_query_log", "fuzz_parser"};
   for (const char* d : kDirs) {
     std::filesystem::create_directories(root / d);
   }
 
   colgraph::MakeSnapshotSeeds(root / "fuzz_snapshot");
   colgraph::MakeEwahSeeds(root / "fuzz_ewah");
+  colgraph::MakeHybridBitmapSeeds(root / "fuzz_hybrid_bitmap");
   colgraph::MakeQueryLogSeeds(root / "fuzz_query_log");
   // fuzz_parser seeds are plain text, committed directly in the repo —
   // regenerating them here would only churn the files.
