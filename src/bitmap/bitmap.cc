@@ -67,6 +67,28 @@ void Bitmap::Not() {
   ClearTail();
 }
 
+void Bitmap::OrAt(const Bitmap& src, size_t offset) {
+  COLGRAPH_CHECK(offset <= num_bits_ && src.num_bits_ <= num_bits_ - offset)
+      << "OrAt source exceeds the destination universe";
+  if (src.num_bits_ == 0) return;
+  const size_t word0 = offset / kWordBits;
+  const size_t shift = offset % kWordBits;
+  const size_t n = src.words_.size();
+  if (shift == 0) {
+    for (size_t i = 0; i < n; ++i) words_[word0 + i] |= src.words_[i];
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t w = src.words_[i];
+    words_[word0 + i] |= w << shift;
+    // The spilled high part lands one word up; the size check above
+    // guarantees the slot exists whenever the spill is nonzero (the
+    // source's tail padding beyond num_bits_ is zero by invariant).
+    const uint64_t spill = w >> (kWordBits - shift);
+    if (spill != 0) words_[word0 + i + 1] |= spill;
+  }
+}
+
 Bitmap Bitmap::AndAll(const std::vector<const Bitmap*>& operands) {
   if (operands.empty()) return Bitmap();
   Bitmap result = *operands[0];

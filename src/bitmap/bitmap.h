@@ -52,6 +52,13 @@ class Bitmap {
   /// Out-of-place variants.
   static Bitmap AndAll(const std::vector<const Bitmap*>& operands);
 
+  /// ORs `src` into this bitmap starting at bit `offset`: bit i of `src`
+  /// sets bit offset+i here. Requires offset + src.size() <= size(). This
+  /// is the record-id rebasing blit behind multi-dataset queries
+  /// (DESIGN.md §14): per-dataset match results land at the dataset's
+  /// global base offset. Word-shifted, not bit-at-a-time.
+  void OrAt(const Bitmap& src, size_t offset);
+
   /// Appends the positions of all set bits to `out`.
   void AppendSetBits(std::vector<uint64_t>* out) const;
   /// Convenience: returns the positions of all set bits.

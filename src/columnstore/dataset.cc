@@ -1,0 +1,227 @@
+#include "columnstore/dataset.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <unordered_set>
+#include <utility>
+
+#include "util/failpoint.h"
+
+namespace colgraph {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x43474D46;  // "CGMF"
+constexpr uint32_t kManifestVersion = 2;
+constexpr char kDatasetSuffix[] = ".cgds";
+
+std::string DatasetName(uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ds-%06llu%s",
+                static_cast<unsigned long long>(id), kDatasetSuffix);
+  return buf;
+}
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+StatusOr<MappedRelationFile> MappedRelationFile::Open(const std::string& path) {
+  // Same magic as ReadRelation: a dataset file IS a relation snapshot.
+  COLGRAPH_ASSIGN_OR_RETURN(io::Reader in,
+                            io::Reader::OpenMapped(path, 0x4347524C));
+  if (in.version() < 4) {
+    return Status::NotSupported(
+        "per-column access needs a v4 relation image: " + path);
+  }
+  internal::RelationLayoutV4 layout;
+  COLGRAPH_ASSIGN_OR_RETURN(layout, internal::ReadRelationLayoutV4(&in, path));
+  return MappedRelationFile(std::move(in), std::move(layout));
+}
+
+StatusOr<MeasureColumn> MappedRelationFile::ReadColumn(size_t i) const {
+  const internal::V4Extent& e = layout_.extents[i];
+  COLGRAPH_ASSIGN_OR_RETURN(io::Reader sub, reader_.AtExtent(e.offset, e.len));
+  COLGRAPH_ASSIGN_OR_RETURN(MeasureColumn col,
+                            sub.ReadMeasureColumn(layout_.num_records));
+  if (sub.remaining() != 0) {
+    return Status::Corruption("trailing bytes in column extent");
+  }
+  return col;
+}
+
+StatusOr<DatasetStore> DatasetStore::Open(const std::string& dir,
+                                          Options options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create dataset directory: " + dir);
+  }
+
+  DatasetStore store;
+  store.dir_ = dir;
+  store.options_ = options;
+
+  // Crash debris, pass 1: a compactor that died mid-merge leaves its lock
+  // behind; we are the single opener, so no live holder can exist.
+  io::ExclusiveFile::BreakStale(store.LockPath());
+  io::RemoveStaleTemp(store.ManifestPath());
+
+  if (std::filesystem::exists(store.ManifestPath())) {
+    COLGRAPH_ASSIGN_OR_RETURN(
+        io::Reader in, io::Reader::Open(store.ManifestPath(), kManifestMagic));
+    COLGRAPH_RETURN_NOT_OK(in.BeginSection("manifest"));
+    COLGRAPH_RETURN_NOT_OK(in.ReadPod(&store.next_id_));
+    COLGRAPH_RETURN_NOT_OK(in.ReadVec(&store.ids_));
+    COLGRAPH_RETURN_NOT_OK(in.EndSection("manifest"));
+    COLGRAPH_RETURN_NOT_OK(in.ExpectEnd());
+    std::unordered_set<uint64_t> seen;
+    for (const uint64_t id : store.ids_) {
+      if (id >= store.next_id_ || !seen.insert(id).second) {
+        return Status::Corruption("manifest ids are not unique ascending: " +
+                                  store.ManifestPath());
+      }
+    }
+    for (const uint64_t id : store.ids_) {
+      store.names_.push_back(DatasetName(id));
+    }
+  } else {
+    COLGRAPH_RETURN_NOT_OK(store.WriteManifest({}, 0));
+  }
+
+  // Crash debris, pass 2: stale `.tmp` files from torn dataset writes and
+  // sealed-but-never-published (or retired-but-unremoved) dataset files.
+  const std::unordered_set<std::string> live(store.names_.begin(),
+                                             store.names_.end());
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    const bool stale_tmp = HasSuffix(name, ".tmp");
+    const bool orphan_dataset =
+        HasSuffix(name, kDatasetSuffix) && live.count(name) == 0;
+    if (stale_tmp || orphan_dataset) {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+  return store;
+}
+
+Status DatasetStore::WriteManifest(const std::vector<uint64_t>& ids,
+                                   uint64_t next_id) const {
+  io::Writer out(ManifestPath(), kManifestMagic, kManifestVersion);
+  out.BeginSection();
+  out.WritePod(next_id);
+  out.WriteVec(ids);
+  out.EndSection();
+  return out.Commit();
+}
+
+StatusOr<std::string> DatasetStore::Seal(const MasterRelation& relation) {
+  if (!relation.sealed()) {
+    return Status::InvalidArgument("can only seal a sealed relation");
+  }
+  const uint64_t id = next_id_;
+  const std::string name = DatasetName(id);
+  COLGRAPH_RETURN_NOT_OK(WriteRelation(relation, PathFor(name)));
+  // Publish: the manifest rewrite is the commit point. If it fails, the
+  // already-durable dataset file is simply unreferenced — the next Open()
+  // sweeps it — and the store's published state is unchanged.
+  std::vector<uint64_t> ids = ids_;
+  ids.push_back(id);
+  const Status st = WriteManifest(ids, id + 1);
+  if (!st.ok()) {
+    std::remove(PathFor(name).c_str());
+    return st;
+  }
+  ids_ = std::move(ids);
+  names_.push_back(name);
+  next_id_ = id + 1;
+  return name;
+}
+
+StatusOr<std::vector<MasterRelation>> DatasetStore::LoadAll() const {
+  std::vector<MasterRelation> out;
+  out.reserve(names_.size());
+  for (const std::string& name : names_) {
+    COLGRAPH_ASSIGN_OR_RETURN(MasterRelation rel,
+                              ReadRelation(PathFor(name), options_.relation));
+    out.push_back(std::move(rel));
+  }
+  return out;
+}
+
+Status DatasetStore::CompactAll() {
+  if (names_.size() < options_.min_datasets_to_compact) return Status::OK();
+  COLGRAPH_ASSIGN_OR_RETURN(io::ExclusiveFile lock,
+                            io::ExclusiveFile::Acquire(LockPath()));
+  (void)lock;  // held for scope; released (unlinked) on every exit path
+
+  std::vector<MappedRelationFile> inputs;
+  inputs.reserve(names_.size());
+  uint64_t total_records = 0;
+  size_t num_columns = 0;
+  for (const std::string& name : names_) {
+    COLGRAPH_ASSIGN_OR_RETURN(MappedRelationFile file,
+                              MappedRelationFile::Open(PathFor(name)));
+    total_records += file.num_records();
+    num_columns = std::max(num_columns, file.num_columns());
+    inputs.push_back(std::move(file));
+  }
+  COLGRAPH_RETURN_NOT_OK(io::ValidateRecordCount(total_records, dir_));
+
+  // Column-streaming merge: concatenate column c of every input (each
+  // dataset's records sit at its cumulative base offset), encode, drop.
+  // Peak memory is one merged column plus its encoded payload — the
+  // inputs stay on disk behind their mappings.
+  std::vector<std::vector<char>> payloads;
+  payloads.reserve(num_columns);
+  for (size_t c = 0; c < num_columns; ++c) {
+    // Simulated crash mid-merge: published datasets and the manifest are
+    // untouched; the next Open() sweeps the lock (and any stray file).
+    COLGRAPH_FAILPOINT("compact:crash");
+    Bitmap presence(static_cast<size_t>(total_records));
+    std::vector<double> values;
+    size_t base = 0;
+    for (const MappedRelationFile& input : inputs) {
+      if (c < input.num_columns()) {
+        COLGRAPH_ASSIGN_OR_RETURN(MeasureColumn col, input.ReadColumn(c));
+        presence.OrAt(col.presence().bits(), base);
+        for (size_t rank = 0; rank < col.num_values(); ++rank) {
+          values.push_back(col.ValueAtRank(rank));
+        }
+      }
+      base += static_cast<size_t>(input.num_records());
+    }
+    MeasureColumn merged;
+    COLGRAPH_ASSIGN_OR_RETURN(
+        merged, MeasureColumn::FromParts(std::move(presence), std::move(values)));
+    merged.ChooseEncoding(options_.relation.hybrid_bitmaps);
+    io::Writer enc(4);
+    enc.WriteMeasureColumn(merged);
+    payloads.push_back(enc.TakePayload());
+  }
+
+  const uint64_t id = next_id_;
+  const std::string name = DatasetName(id);
+  COLGRAPH_RETURN_NOT_OK(
+      internal::WriteRelationPayloadsV4(total_records, payloads, PathFor(name)));
+  const Status st = WriteManifest({id}, id + 1);
+  if (!st.ok()) {
+    std::remove(PathFor(name).c_str());
+    return st;
+  }
+  // Retire the merged inputs. Readers holding mappings of these files are
+  // unaffected: unlink does not invalidate an existing mmap.
+  for (const std::string& old : names_) {
+    std::remove(PathFor(old).c_str());
+  }
+  ids_ = {id};
+  names_ = {name};
+  next_id_ = id + 1;
+  return Status::OK();
+}
+
+}  // namespace colgraph

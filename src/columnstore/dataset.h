@@ -1,0 +1,127 @@
+// Immutable dataset storage for incremental ingest (DESIGN.md §14).
+//
+// The store models the collection as an ordered list of sealed, immutable
+// datasets: the primary relation (dataset 0, the only one carrying
+// materialized views) plus small tail datasets, one per ingest. Record
+// ids are global — each dataset owns the dense id range starting at the
+// cumulative record count of its predecessors — so a collection split
+// across datasets is indistinguishable, record for record, from the same
+// collection ingested into a single relation. Background compaction
+// merges the datasets back into one (seal → merge → retire); queries keep
+// running against the published snapshot throughout.
+//
+// On disk a DatasetStore is a directory:
+//
+//   MANIFEST            io::Writer image (magic "CGMF"): next id + live ids
+//   ds-000042.cgds      v4 relation image per live dataset
+//   compact.lock        ExclusiveFile held only while a compaction runs
+//
+// Every mutation publishes by writing the new dataset file first and then
+// atomically rewriting MANIFEST; a crash at any point leaves a manifest
+// that references only complete, durable files. Open() sweeps the debris
+// a crash can leave: stale `*.tmp`, dataset files the manifest does not
+// reference, and an orphaned compact.lock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "columnstore/io_util.h"
+#include "columnstore/master_relation.h"
+#include "columnstore/persistence.h"
+#include "util/status.h"
+
+namespace colgraph {
+
+/// \brief Lazy per-column access to a v4 relation image through an mmap.
+///
+/// Open() maps and validates the file (whole-file CRC + extent
+/// directory); ReadColumn() then decodes a single column extent on
+/// demand. Compaction streams its inputs through this, so merging N
+/// datasets holds one column per input in memory, not N whole relations.
+class MappedRelationFile {
+ public:
+  /// Maps and validates `path`, which must be a v4 relation image (older
+  /// versions have no extent directory to address columns by).
+  static StatusOr<MappedRelationFile> Open(const std::string& path);
+
+  uint64_t num_records() const { return layout_.num_records; }
+  size_t num_columns() const { return layout_.extents.size(); }
+
+  /// Decodes column `i` from its extent. Requires i < num_columns().
+  StatusOr<MeasureColumn> ReadColumn(size_t i) const;
+
+ private:
+  MappedRelationFile(io::Reader in, internal::RelationLayoutV4 layout)
+      : reader_(std::move(in)), layout_(std::move(layout)) {}
+
+  io::Reader reader_;
+  internal::RelationLayoutV4 layout_;
+};
+
+/// \brief A directory of immutable sealed dataset files plus the MANIFEST
+/// that names the live ones, in ingest order.
+///
+/// Single-writer: one process (the daemon) owns the directory; concurrent
+/// Seal/Compact calls within that process must be externally serialized
+/// (Daemon does so under its writer mutex). Readers are unaffected by any
+/// mutation — they hold mappings of sealed files, which unlink(2) cannot
+/// invalidate.
+struct DatasetStoreOptions {
+  MasterRelationOptions relation;
+  /// CompactAll() is a no-op until at least this many datasets exist.
+  size_t min_datasets_to_compact = 2;
+};
+
+class DatasetStore {
+ public:
+  using Options = DatasetStoreOptions;
+
+  /// Opens (creating if needed) the store at `dir`, loads the manifest,
+  /// and sweeps crash debris: stale `*.tmp`, unreferenced `*.cgds`, and a
+  /// leftover compact.lock.
+  static StatusOr<DatasetStore> Open(const std::string& dir,
+                                     Options options = {});
+
+  const std::string& dir() const { return dir_; }
+  size_t num_datasets() const { return names_.size(); }
+  const std::vector<std::string>& dataset_names() const { return names_; }
+  std::string PathFor(const std::string& name) const {
+    return dir_ + "/" + name;
+  }
+
+  /// Seals `relation` as the next dataset: writes its v4 file, then
+  /// atomically publishes it by rewriting the manifest. Returns the new
+  /// dataset's name. A crash between the two steps leaves an unreferenced
+  /// file for the next Open() to sweep — never a torn manifest.
+  StatusOr<std::string> Seal(const MasterRelation& relation);
+
+  /// Loads every live dataset (mapped read), in manifest order.
+  StatusOr<std::vector<MasterRelation>> LoadAll() const;
+
+  /// Merges all live datasets into one new dataset file under the
+  /// compact.lock ExclusiveFile, then publishes it via a manifest rewrite
+  /// and unlinks the retired inputs. Column-streaming: decodes one column
+  /// per input at a time. No-op below min_datasets_to_compact. Returns
+  /// Unavailable while another compaction holds the lock. A crash mid-
+  /// merge (failpoint "compact:crash") leaves the manifest — and thus
+  /// every published dataset — untouched.
+  Status CompactAll();
+
+ private:
+  DatasetStore() = default;
+
+  std::string ManifestPath() const { return dir_ + "/MANIFEST"; }
+  std::string LockPath() const { return dir_ + "/compact.lock"; }
+  Status WriteManifest(const std::vector<uint64_t>& ids,
+                       uint64_t next_id) const;
+
+  std::string dir_;
+  Options options_;
+  uint64_t next_id_ = 0;
+  std::vector<uint64_t> ids_;        // live dataset ids, ingest order
+  std::vector<std::string> names_;   // derived file names, same order
+};
+
+}  // namespace colgraph

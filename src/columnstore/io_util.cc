@@ -55,6 +55,23 @@ void Writer::EndSection() {
               sizeof(crc));
 }
 
+void Writer::PadTo(size_t target) {
+  COLGRAPH_CHECK(!in_section_) << "PadTo inside an open section";
+  COLGRAPH_CHECK(target >= body_.size()) << "PadTo cannot move backwards";
+  body_.resize(target);  // value-initialized: zero fill
+}
+
+void Writer::AppendRaw(const void* data, size_t n) {
+  COLGRAPH_CHECK(!in_section_) << "AppendRaw inside an open section";
+  Append(data, n);
+}
+
+std::vector<char> Writer::TakePayload() {
+  COLGRAPH_CHECK(payload_only_) << "TakePayload on a file-backed writer";
+  COLGRAPH_CHECK(!in_section_) << "TakePayload inside an open section";
+  return std::move(body_);
+}
+
 void Writer::WriteEwah(const Bitmap& bits) {
   const EwahBitmap compressed = EwahBitmap::FromBitmap(bits);
   WritePod(static_cast<uint64_t>(compressed.size_bits()));
@@ -88,6 +105,7 @@ void Writer::WriteMeasureColumn(const MeasureColumn& col) {
 }
 
 Status Writer::Commit() {
+  COLGRAPH_CHECK(!payload_only_) << "Commit on a payload-mode writer";
   COLGRAPH_CHECK(!in_section_) << "Commit inside an open section";
   COLGRAPH_CHECK(!committed_) << "Commit called twice";
   committed_ = true;
@@ -171,58 +189,93 @@ StatusOr<Reader> Reader::Open(const std::string& path, uint32_t magic) {
   return FromBytes(std::move(bytes), path, magic);
 }
 
+StatusOr<Reader> Reader::OpenMapped(const std::string& path, uint32_t magic) {
+  COLGRAPH_FAILPOINT("io:open_read");
+  auto mapped = MemMap::Open(path);
+  if (!mapped.ok()) {
+    // The mapping can fail for environmental reasons (exhausted address
+    // space, a filesystem without mmap support) that the copying path
+    // survives; an absent file fails either way.
+    return Open(path, magic);
+  }
+  Reader r;
+  r.path_ = path;
+  r.map_ = std::make_shared<MemMap>(std::move(mapped).value());
+  r.base_ = r.map_->data();
+  r.size_ = r.map_->size();
+  COLGRAPH_RETURN_NOT_OK(r.Validate(magic));
+  return r;
+}
+
 StatusOr<Reader> Reader::FromBytes(std::vector<char> data, std::string label,
                                    uint32_t magic) {
   Reader r;
   r.path_ = std::move(label);
-  r.data_ = std::move(data);
+  r.owned_ = std::make_shared<const std::vector<char>>(std::move(data));
+  r.base_ = r.owned_->data();
+  r.size_ = r.owned_->size();
+  COLGRAPH_RETURN_NOT_OK(r.Validate(magic));
+  return r;
+}
 
-  if (r.data_.size() < 2 * sizeof(uint32_t)) {
-    return r.Corrupt("truncated preamble");
+Status Reader::Validate(uint32_t magic) {
+  if (size_ < 2 * sizeof(uint32_t)) {
+    return Corrupt("truncated preamble");
   }
   uint32_t got_magic = 0;
-  std::memcpy(&got_magic, r.data_.data(), sizeof(got_magic));
-  std::memcpy(&r.version_, r.data_.data() + sizeof(got_magic),
-              sizeof(r.version_));
+  std::memcpy(&got_magic, base_, sizeof(got_magic));
+  std::memcpy(&version_, base_ + sizeof(got_magic), sizeof(version_));
   if (got_magic != magic) {
-    return r.Corrupt("bad magic");
+    return Corrupt("bad magic");
   }
-  r.pos_ = 2 * sizeof(uint32_t);
+  pos_ = 2 * sizeof(uint32_t);
 
-  if (r.version_ == 1) {
+  if (version_ == 1) {
     // Legacy format: no sections, no footer; reads are bounded by the
     // file size only.
-    r.body_end_ = r.limit_ = r.data_.size();
-    r.sectioned_ = false;
-    return r;
+    body_end_ = limit_ = size_;
+    sectioned_ = false;
+    return Status::OK();
   }
-  if (r.version_ != 2 && r.version_ != 3) {
-    return r.Corrupt("unsupported snapshot version " +
-                     std::to_string(r.version_));
+  if (version_ < 2 || version_ > 4) {
+    return Corrupt("unsupported snapshot version " +
+                   std::to_string(version_));
   }
-  if (r.data_.size() < r.pos_ + kFooterBytes) {
-    return r.Corrupt("truncated footer");
+  if (size_ < pos_ + kFooterBytes) {
+    return Corrupt("truncated footer");
   }
-  const size_t footer_pos = r.data_.size() - kFooterBytes;
+  const size_t footer_pos = size_ - kFooterBytes;
   uint32_t file_crc = 0, footer_magic = 0;
   uint64_t body_len = 0;
-  std::memcpy(&file_crc, r.data_.data() + footer_pos, sizeof(file_crc));
-  std::memcpy(&body_len, r.data_.data() + footer_pos + 4, sizeof(body_len));
-  std::memcpy(&footer_magic, r.data_.data() + footer_pos + 12,
-              sizeof(footer_magic));
+  std::memcpy(&file_crc, base_ + footer_pos, sizeof(file_crc));
+  std::memcpy(&body_len, base_ + footer_pos + 4, sizeof(body_len));
+  std::memcpy(&footer_magic, base_ + footer_pos + 12, sizeof(footer_magic));
   if (footer_magic != kFooterMagic) {
-    return r.Corrupt("bad footer magic (truncated or overwritten file)");
+    return Corrupt("bad footer magic (truncated or overwritten file)");
   }
   if (body_len != footer_pos) {
-    return r.Corrupt("footer length does not match file size");
+    return Corrupt("footer length does not match file size");
   }
-  if (Crc32c(r.data_.data(), footer_pos) != file_crc) {
-    return r.Corrupt("whole-file checksum mismatch");
+  if (Crc32c(base_, footer_pos) != file_crc) {
+    return Corrupt("whole-file checksum mismatch");
   }
-  r.body_end_ = footer_pos;
-  r.limit_ = r.pos_;  // nothing readable until BeginSection
-  r.sectioned_ = true;
-  return r;
+  body_end_ = footer_pos;
+  limit_ = pos_;  // nothing readable until BeginSection
+  sectioned_ = true;
+  return Status::OK();
+}
+
+StatusOr<Reader> Reader::AtExtent(uint64_t offset, uint64_t len) const {
+  if (offset > body_end_ || len > body_end_ - offset) {
+    return Corrupt("column extent out of bounds");
+  }
+  Reader sub = *this;  // shares the backing storage
+  sub.pos_ = static_cast<size_t>(offset);
+  sub.limit_ = sub.body_end_ = static_cast<size_t>(offset + len);
+  // Extents carry no section framing; the bytes were already validated by
+  // the whole-file CRC at open time.
+  sub.sectioned_ = false;
+  return sub;
 }
 
 Status Reader::BeginSection(const char* what) {
@@ -233,14 +286,14 @@ Status Reader::BeginSection(const char* what) {
   }
   uint64_t len = 0;
   uint32_t crc = 0;
-  std::memcpy(&len, data_.data() + pos_, sizeof(len));
-  std::memcpy(&crc, data_.data() + pos_ + sizeof(len), sizeof(crc));
+  std::memcpy(&len, base_ + pos_, sizeof(len));
+  std::memcpy(&crc, base_ + pos_ + sizeof(len), sizeof(crc));
   pos_ += kSectionHeaderBytes;
   if (len > body_end_ - pos_) {
     return Corrupt(std::string("section length for ") + what +
                    " exceeds file size");
   }
-  if (Crc32c(data_.data() + pos_, static_cast<size_t>(len)) != crc) {
+  if (Crc32c(base_ + pos_, static_cast<size_t>(len)) != crc) {
     return Corrupt(std::string("section checksum mismatch in ") + what);
   }
   limit_ = pos_ + static_cast<size_t>(len);
@@ -302,6 +355,46 @@ StatusOr<MeasureColumn> Reader::ReadMeasureColumn(uint64_t expected_bits) {
   std::vector<double> values;
   COLGRAPH_RETURN_NOT_OK(ReadVec(&values));
   return MeasureColumn::FromParts(std::move(presence), std::move(values));
+}
+
+void RemoveStaleTemp(const std::string& path) {
+  // Best-effort: ENOENT (the common case) and permission failures are
+  // both fine to ignore — the sweep exists so a crashed Commit() cannot
+  // leak `<path>.tmp` forever, not to guarantee its absence.
+  std::remove((path + ".tmp").c_str());
+}
+
+StatusOr<ExclusiveFile> ExclusiveFile::Acquire(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::Unavailable("exclusive lock held: " + path);
+  }
+  ::close(fd);
+  ExclusiveFile lock;
+  lock.held_ = true;
+  lock.path_ = path;
+  return lock;
+}
+
+void ExclusiveFile::BreakStale(const std::string& path) {
+  std::remove(path.c_str());
+}
+
+ExclusiveFile& ExclusiveFile::operator=(ExclusiveFile&& other) noexcept {
+  if (this != &other) {
+    Release();
+    held_ = other.held_;
+    path_ = std::move(other.path_);
+    other.held_ = false;
+  }
+  return *this;
+}
+
+void ExclusiveFile::Release() {
+  if (held_) {
+    std::remove(path_.c_str());
+    held_ = false;
+  }
 }
 
 StatusOr<std::ifstream> OpenTextForRead(const std::string& path) {

@@ -3,21 +3,31 @@
 // are machine-local artifacts, like a database directory, not an exchange
 // format).
 //
-// Snapshot format v2 (see DESIGN.md "Durability & failure model"):
+// Snapshot format v2+ (see DESIGN.md "Durability & failure model"):
 //
 //   [u32 codec magic][u32 version]
 //   section*:  [u64 payload_len][u32 crc32c(payload)][payload]
 //   footer:    [u32 crc32c(file[0, len))][u64 len][u32 footer magic]
 //
+// v3 adds tagged bitmap encodings inside sections; v4 (DESIGN.md §14)
+// additionally places column payloads in page-aligned raw extents between
+// the last section and the footer, located by an extent directory section,
+// so sealed dataset files can be read through an mmap without
+// deserializing columns that a query never touches. The extents sit
+// inside the footer-checksummed body, so the open-time whole-file CRC
+// still validates every byte (and, on the mapped path, faults in every
+// page once — which is why post-open reads cannot SIGBUS).
+//
 // Writer buffers the whole snapshot, then commits it atomically: the bytes
 // go to `<path>.tmp`, are fsync'd, and the tmp is rename(2)'d over the
 // final path, so a crash at any point leaves the previous snapshot intact.
-// Reader loads the file once, verifies the footer and every section CRC,
-// and bounds every read by the bytes actually present — a corrupt length
-// prefix surfaces as Status::Corruption, never as a multi-GB resize or an
-// out-of-bounds read. Version-1 files (no sections, no footer) still load
-// through the same call sequence: the section calls become no-ops and only
-// the per-read bounds checks apply.
+// Reader loads the file once (or maps it via OpenMapped), verifies the
+// footer and every section CRC, and bounds every read by the bytes
+// actually present — a corrupt length prefix surfaces as
+// Status::Corruption, never as a multi-GB resize or an out-of-bounds
+// read. Version-1 files (no sections, no footer) still load through the
+// same call sequence: the section calls become no-ops and only the
+// per-read bounds checks apply.
 //
 // All snapshot file I/O in the library must go through these helpers (the
 // repo lint bans raw std::ifstream/std::ofstream elsewhere in src/).
@@ -26,12 +36,14 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bitmap/ewah_bitmap.h"
 #include "bitmap/hybrid_bitmap.h"
 #include "columnstore/column.h"
+#include "columnstore/mem_map.h"
 #include "util/crc32.h"
 #include "util/failpoint.h"
 #include "util/status.h"
@@ -43,6 +55,24 @@ namespace colgraph::io {
 /// than attempted as an allocation.
 inline constexpr uint64_t kMaxSnapshotRecords = uint64_t{1} << 33;
 
+/// Shared validation of the record count claimed by a snapshot header, so
+/// the relation and engine readers cannot drift on the sanity cap. The
+/// boundary is inclusive: exactly kMaxSnapshotRecords is accepted, one
+/// more is Corruption. `label` names the file in the error message.
+[[nodiscard]] inline Status ValidateRecordCount(uint64_t num_records,
+                                                const std::string& label) {
+  if (num_records > kMaxSnapshotRecords) {
+    return Status::Corruption("implausible record count in " + label);
+  }
+  return Status::OK();
+}
+
+/// Best-effort sweep of the orphaned `<path>.tmp` that a crash between
+/// Writer::Commit()'s tmp write and its rename leaves behind. Call on the
+/// open/read path (single-writer discipline makes this safe: nobody can be
+/// mid-Commit on `path` while its owner is opening it).
+void RemoveStaleTemp(const std::string& path);
+
 /// \brief Buffered, checksummed, crash-atomic snapshot writer.
 ///
 /// Usage: construct with the final path, bracket logical groups of values
@@ -51,6 +81,12 @@ inline constexpr uint64_t kMaxSnapshotRecords = uint64_t{1} << 33;
 class Writer {
  public:
   Writer(std::string path, uint32_t magic, uint32_t version);
+
+  /// Payload-mode writer: encodes values into an in-memory buffer with no
+  /// preamble, sections, or footer. Used to pre-encode v4 column extents
+  /// (the payload is later appended verbatim with AppendRaw). Commit() is
+  /// forbidden; fetch the bytes with TakePayload().
+  explicit Writer(uint32_t version) : version_(version), payload_only_(true) {}
 
   /// Opens / closes a checksummed section. Sections must not nest.
   void BeginSection();
@@ -80,6 +116,21 @@ class Writer {
   /// Writes a sealed measure column: compressed presence + packed values.
   void WriteMeasureColumn(const MeasureColumn& col);
 
+  /// Bytes buffered so far (preamble + sections written). The v4 writers
+  /// use this to compute extent offsets before emitting the directory.
+  size_t bytes_buffered() const { return body_.size(); }
+
+  /// Zero-pads the buffer up to absolute offset `target` (>= current
+  /// size). Must not be called inside a section — padding is part of the
+  /// whole-file CRC but no section's.
+  void PadTo(size_t target);
+
+  /// Appends `n` raw bytes outside any section (a v4 column extent).
+  void AppendRaw(const void* data, size_t n);
+
+  /// Payload-mode only: returns the encoded bytes. The writer is spent.
+  std::vector<char> TakePayload();
+
   uint32_t version() const { return version_; }
 
   /// Appends the footer and atomically publishes the snapshot:
@@ -103,6 +154,7 @@ class Writer {
   uint32_t version_ = 0;
   bool in_section_ = false;
   bool committed_ = false;
+  bool payload_only_ = false;
 };
 
 /// \brief Bounds-checked, checksum-verified snapshot reader.
@@ -116,6 +168,17 @@ class Reader {
   /// Failpoint: "io:open_read".
   static StatusOr<Reader> Open(const std::string& path, uint32_t magic);
 
+  /// mmap-backed variant of Open(): maps the file read-only instead of
+  /// copying it into memory, then runs the identical validation (the
+  /// whole-file CRC pass faults in every page once, so later reads through
+  /// the mapping cannot SIGBUS for an immutable file). Falls back to the
+  /// copying Open() when the mapping itself fails — the caller never
+  /// needs to care which storage backs the reader. Sub-readers from
+  /// AtExtent() share the mapping, so decoding a column keeps the file
+  /// mapped only as long as some reader is alive.
+  /// Failpoints: "io:open_read", "io:mmap" (forces the fallback).
+  static StatusOr<Reader> OpenMapped(const std::string& path, uint32_t magic);
+
   /// In-memory variant of Open(): validates and reads `data` as a snapshot
   /// without touching the filesystem. `label` stands in for the path in
   /// error messages. This is the entry point the fuzz harnesses drive —
@@ -123,11 +186,24 @@ class Reader {
   static StatusOr<Reader> FromBytes(std::vector<char> data, std::string label,
                                     uint32_t magic);
 
+  /// A bounds-checked sub-reader over `[offset, offset + len)` of the
+  /// checksummed body — the access path for v4 column extents. The
+  /// sub-reader shares this reader's storage (copying it is cheap), reads
+  /// without section framing (the extent bytes are covered by the
+  /// whole-file CRC validated at open), and fails with Corruption when the
+  /// range falls outside the body.
+  StatusOr<Reader> AtExtent(uint64_t offset, uint64_t len) const;
+
   /// 1 for legacy pre-checksum files, 2 for checksummed sections, 3 for
-  /// checksummed sections with tagged bitmap encodings (EWAH or hybrid).
+  /// checksummed sections with tagged bitmap encodings (EWAH or hybrid),
+  /// 4 for sections + page-aligned column extents (the mmap layout).
   uint32_t version() const { return version_; }
   /// Bytes left in the current window (section for v2, file for v1).
   uint64_t remaining() const { return limit_ - pos_; }
+  /// Absolute offset of the read cursor (extent-directory validation).
+  uint64_t position() const { return pos_; }
+  /// One past the last checksummed body byte (the footer starts here).
+  uint64_t body_size() const { return body_end_; }
 
   /// Enters the next section: validates its header and payload CRC.
   /// No-ops on v1 files. `what` names the section in error messages.
@@ -142,7 +218,7 @@ class Reader {
     if (sizeof(T) > limit_ - pos_) {
       return Corrupt("unexpected end of data");
     }
-    std::memcpy(value, data_.data() + pos_, sizeof(T));
+    std::memcpy(value, base_ + pos_, sizeof(T));
     pos_ += sizeof(T);
     return Status::OK();
   }
@@ -161,7 +237,7 @@ class Reader {
     // n == 0 leaves v->data() null; memcpy's arguments are nonnull even
     // for zero sizes (found by fuzz_snapshot under UBSan).
     if (bytes != 0) {
-      std::memcpy(v->data(), data_.data() + pos_, bytes);
+      std::memcpy(v->data(), base_ + pos_, bytes);
     }
     pos_ += bytes;
     return Status::OK();
@@ -183,15 +259,25 @@ class Reader {
  private:
   Reader() = default;
 
+  /// Validates preamble, footer, and whole-file CRC over [base_, size_).
+  /// Shared by the owned and mapped open paths.
+  [[nodiscard]] Status Validate(uint32_t magic);
+
   Status Corrupt(const std::string& what) const {
     return Status::Corruption(what + " in " + path_);
   }
 
   std::string path_;
-  std::vector<char> data_;
+  // Storage: exactly one of `owned_` / `map_` is set; `base_`/`size_`
+  // point into it. shared_ptr so AtExtent() sub-readers (and copies) keep
+  // the backing bytes alive without duplicating them.
+  std::shared_ptr<const std::vector<char>> owned_;
+  std::shared_ptr<const MemMap> map_;
+  const char* base_ = nullptr;
+  size_t size_ = 0;
   size_t pos_ = 0;
   size_t limit_ = 0;     // end of the current read window
-  size_t body_end_ = 0;  // end of the checksummed body (v2) / file (v1)
+  size_t body_end_ = 0;  // end of the checksummed body (v2+) / file (v1)
   uint32_t version_ = 0;
   bool sectioned_ = false;
 };
@@ -240,6 +326,38 @@ class AppendFile {
   AppendFile() = default;
 
   std::FILE* f_ = nullptr;
+  std::string path_;
+};
+
+/// \brief Advisory exclusive lock file (O_CREAT|O_EXCL), guarding
+/// single-writer operations like dataset compaction. Acquire() fails with
+/// Status::Unavailable when another holder exists; the file is unlinked on
+/// Release()/destruction. A crashed holder leaves the file behind —
+/// BreakStale() removes it, and is only safe where single-writer
+/// discipline rules out a live holder (e.g. DatasetStore::Open).
+class ExclusiveFile {
+ public:
+  static StatusOr<ExclusiveFile> Acquire(const std::string& path);
+
+  /// Removes a leftover lock file unconditionally.
+  static void BreakStale(const std::string& path);
+
+  ExclusiveFile(ExclusiveFile&& other) noexcept
+      : held_(other.held_), path_(std::move(other.path_)) {
+    other.held_ = false;
+  }
+  ExclusiveFile& operator=(ExclusiveFile&& other) noexcept;
+  ExclusiveFile(const ExclusiveFile&) = delete;
+  ExclusiveFile& operator=(const ExclusiveFile&) = delete;
+  ~ExclusiveFile() { Release(); }
+
+  /// Unlinks the lock file. Idempotent.
+  void Release();
+
+ private:
+  ExclusiveFile() = default;
+
+  bool held_ = false;
   std::string path_;
 };
 

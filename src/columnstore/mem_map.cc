@@ -1,0 +1,72 @@
+#include "columnstore/mem_map.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/failpoint.h"
+
+namespace colgraph::io {
+
+StatusOr<MemMap> MemMap::Open(const std::string& path) {
+  COLGRAPH_FAILPOINT("io:mmap");
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open for mmap: " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat for mmap: " + path);
+  }
+  MemMap map;
+  map.size_ = static_cast<size_t>(st.st_size);
+  if (map.size_ == 0) {
+    // mmap(2) rejects zero-length mappings; an empty file is simply an
+    // empty byte range (which the snapshot readers then reject as a
+    // truncated preamble).
+    ::close(fd);
+    return map;
+  }
+  void* addr = ::mmap(nullptr, map.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The descriptor is not needed once the mapping exists; the kernel keeps
+  // the file pinned through the mapping itself.
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    return Status::IOError("mmap failed: " + path);
+  }
+  map.data_ = static_cast<const char*>(addr);
+  return map;
+}
+
+MemMap& MemMap::operator=(MemMap&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<char*>(data_), size_);
+    }
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+MemMap::~MemMap() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+}
+
+size_t PageSize() {
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return page > 0 ? static_cast<size_t>(page) : 4096;
+}
+
+size_t RoundUpToPage(size_t n) {
+  const size_t page = PageSize();
+  return (n + page - 1) / page * page;
+}
+
+}  // namespace colgraph::io

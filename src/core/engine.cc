@@ -14,7 +14,8 @@
 namespace colgraph {
 
 ColGraphEngine::ColGraphEngine(EngineOptions options)
-    : options_(std::move(options)), relation_(options_.relation) {
+    : options_(std::move(options)),
+      relation_(std::make_shared<MasterRelation>(options_.relation)) {
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
@@ -35,20 +36,41 @@ ColGraphEngine::ColGraphEngine(EngineOptions options)
 ColGraphEngine::ColGraphEngine(const ColGraphEngine& other)
     : options_(other.options_),
       catalog_(other.catalog_),
-      relation_(other.relation_),
+      relation_(std::make_shared<MasterRelation>(*other.relation_)),
+      tails_(other.tails_),  // tails are immutable: sharing IS copying
       views_(other.views_),
       query_log_(other.query_log_),
       append_watermark_(other.append_watermark_) {
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
+  RebuildSegments();
+}
+
+ColGraphEngine::ColGraphEngine(const ColGraphEngine& other, ShareTag)
+    : options_(other.options_),
+      catalog_(other.catalog_),
+      relation_(other.relation_),  // shared; OwnedRelation() clones on write
+      tails_(other.tails_),
+      views_(other.views_),
+      query_log_(other.query_log_),
+      append_watermark_(other.append_watermark_) {
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  RebuildSegments();
+}
+
+ColGraphEngine ColGraphEngine::SharedCopy() const {
+  return ColGraphEngine(*this, ShareTag{});
 }
 
 ColGraphEngine& ColGraphEngine::operator=(const ColGraphEngine& other) {
   if (this == &other) return *this;
   options_ = other.options_;
   catalog_ = other.catalog_;
-  relation_ = other.relation_;
+  relation_ = std::make_shared<MasterRelation>(*other.relation_);
+  tails_ = other.tails_;
   views_ = other.views_;
   query_log_ = other.query_log_;
   append_watermark_ = other.append_watermark_;
@@ -56,7 +78,35 @@ ColGraphEngine& ColGraphEngine::operator=(const ColGraphEngine& other) {
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
+  RebuildSegments();
   return *this;
+}
+
+MasterRelation& ColGraphEngine::OwnedRelation() {
+  // Copy-on-write: a use_count above one means a SharedCopy (a published
+  // snapshot) still reads this relation; clone before the first in-place
+  // write. Writer-side races are the caller's to exclude (the daemon holds
+  // its writer mutex); readers only ever touch fully-built relations.
+  if (relation_.use_count() > 1) {
+    relation_ = std::make_shared<MasterRelation>(*relation_);
+    RebuildSegments();
+  }
+  return *relation_;
+}
+
+void ColGraphEngine::RebuildSegments() {
+  segments_.clear();
+  size_t base = relation_->num_records();
+  for (const auto& tail : tails_) {
+    segments_.push_back(RelationSegment{tail.get(), base});
+    base += tail->num_records();
+  }
+}
+
+size_t ColGraphEngine::total_records() const {
+  size_t total = relation_->num_records();
+  for (const auto& tail : tails_) total += tail->num_records();
+  return total;
 }
 
 ColGraphEngine ColGraphEngine::FromParts(EngineOptions options,
@@ -65,7 +115,7 @@ ColGraphEngine ColGraphEngine::FromParts(EngineOptions options,
                                          ViewCatalog views) {
   ColGraphEngine engine(options);
   engine.catalog_ = std::move(catalog);
-  engine.relation_ = std::move(relation);
+  engine.relation_ = std::make_shared<MasterRelation>(std::move(relation));
   engine.views_ = std::move(views);
   return engine;
 }
@@ -82,7 +132,7 @@ StatusOr<RecordId> ColGraphEngine::AddRecord(const GraphRecord& record) {
     shredded.emplace_back(catalog_.GetOrAssign(record.elements[i]),
                           record.measures[i]);
   }
-  return relation_.AddRecord(shredded);
+  return OwnedRelation().AddRecord(shredded);
 }
 
 StatusOr<RecordId> ColGraphEngine::AddWalk(const std::vector<NodeId>& walk,
@@ -101,21 +151,135 @@ StatusOr<RecordId> ColGraphEngine::AddWalk(const std::vector<NodeId>& walk,
 
 void ColGraphEngine::RegisterUniverse(const std::vector<Edge>& edges) {
   for (const Edge& e : edges) catalog_.GetOrAssign(e);
-  relation_.EnsureColumns(catalog_.size());
+  OwnedRelation().EnsureColumns(catalog_.size());
 }
 
-Status ColGraphEngine::Seal() { return relation_.Seal(); }
+Status ColGraphEngine::Seal() { return OwnedRelation().Seal(); }
 
 Status ColGraphEngine::BeginAppend() {
-  COLGRAPH_RETURN_NOT_OK(relation_.Unseal());
-  append_watermark_ = relation_.num_records();
+  if (!tails_.empty()) {
+    // In-place growth would shift every tail's global id base out from
+    // under published bitmaps; collapse the datasets first.
+    return Status::InvalidArgument(
+        "cannot append in place while tail datasets are attached; "
+        "Compact() first");
+  }
+  COLGRAPH_RETURN_NOT_OK(OwnedRelation().Unseal());
+  append_watermark_ = relation_->num_records();
   return Status::OK();
 }
 
 Status ColGraphEngine::FinishAppend() {
-  COLGRAPH_RETURN_NOT_OK(relation_.Seal());
+  COLGRAPH_RETURN_NOT_OK(OwnedRelation().Seal());
   // Delta maintenance: only the appended record range is re-aggregated.
-  return RefreshViewsIncremental(&relation_, views_, append_watermark_);
+  return RefreshViewsIncremental(relation_.get(), views_, append_watermark_);
+}
+
+StatusOr<MasterRelation> ColGraphEngine::BuildTailRelation(
+    const std::vector<GraphRecord>& records) {
+  MasterRelation tail(options_.relation);
+  for (const GraphRecord& record : records) {
+    if (record.elements.size() != record.measures.size()) {
+      return Status::InvalidArgument(
+          "record elements/measures size mismatch for record " +
+          std::to_string(record.id));
+    }
+    std::vector<std::pair<EdgeId, double>> shredded;
+    shredded.reserve(record.elements.size());
+    for (size_t i = 0; i < record.elements.size(); ++i) {
+      shredded.emplace_back(catalog_.GetOrAssign(record.elements[i]),
+                            record.measures[i]);
+    }
+    COLGRAPH_RETURN_NOT_OK(tail.AddRecord(shredded).status());
+  }
+  COLGRAPH_RETURN_NOT_OK(tail.Seal());
+  return tail;
+}
+
+Status ColGraphEngine::AttachDataset(
+    std::shared_ptr<const MasterRelation> tail) {
+  if (tail == nullptr) {
+    return Status::InvalidArgument("cannot attach a null tail dataset");
+  }
+  if (!tail->sealed() || !relation_->sealed()) {
+    return Status::InvalidArgument(
+        "tail datasets attach to sealed relations only");
+  }
+  tails_.push_back(std::move(tail));
+  RebuildSegments();
+  return Status::OK();
+}
+
+Status ColGraphEngine::Compact() {
+  if (tails_.empty()) return Status::OK();
+  const size_t total = total_records();
+
+  // The merged schema is the widest any dataset grew (columns a dataset
+  // never had contribute empty presence ranges).
+  size_t num_columns = relation_->num_edge_columns();
+  for (const auto& tail : tails_) {
+    num_columns = std::max(num_columns, tail->num_edge_columns());
+  }
+
+  // Column-at-a-time merge, mirroring DatasetStore::CompactAll: each
+  // dataset's presence bits land at its global base, values concatenate in
+  // dataset order (presence ranks are preserved because bases ascend).
+  std::vector<MeasureColumn> cols;
+  cols.reserve(num_columns);
+  for (size_t c = 0; c < num_columns; ++c) {
+    Bitmap presence(total);
+    std::vector<double> values;
+    const MasterRelation* primary = relation_.get();
+    size_t base = 0;
+    auto merge_from = [&](const MasterRelation& rel) {
+      if (c < rel.num_edge_columns()) {
+        const MeasureColumn& col = rel.PeekMeasureColumn(static_cast<EdgeId>(c));
+        presence.OrAt(col.presence().bits(), base);
+        for (size_t rank = 0; rank < col.num_values(); ++rank) {
+          values.push_back(col.ValueAtRank(rank));
+        }
+      }
+      base += rel.num_records();
+    };
+    merge_from(*primary);
+    for (const auto& tail : tails_) merge_from(*tail);
+    COLGRAPH_ASSIGN_OR_RETURN(
+        MeasureColumn merged,
+        MeasureColumn::FromParts(std::move(presence), std::move(values)));
+    merged.ChooseEncoding(options_.relation.hybrid_bitmaps);
+    cols.push_back(std::move(merged));
+  }
+  COLGRAPH_ASSIGN_OR_RETURN(
+      MasterRelation merged,
+      MasterRelation::FromColumns(total, std::move(cols), options_.relation));
+  relation_ = std::make_shared<MasterRelation>(std::move(merged));
+  tails_.clear();
+  RebuildSegments();
+
+  // Re-materialize every registered view over the merged record set: the
+  // old view columns lived in the retired primary, and their bitmaps were
+  // sized to it. The definitions survive; the columns are rebuilt.
+  std::vector<GraphViewDef> graph_defs;
+  graph_defs.reserve(views_.num_graph_views());
+  for (const auto& [def, index] : views_.graph_views()) {
+    (void)index;
+    graph_defs.push_back(def);
+  }
+  std::vector<AggViewDef> agg_defs;
+  agg_defs.reserve(views_.num_agg_views());
+  for (const auto& [def, index] : views_.agg_views()) {
+    (void)index;
+    agg_defs.push_back(def);
+  }
+  ViewCatalog fresh;
+  COLGRAPH_RETURN_NOT_OK(
+      MaterializeGraphViews(graph_defs, relation_.get(), &fresh, pool_.get())
+          .status());
+  COLGRAPH_RETURN_NOT_OK(
+      MaterializeAggViews(agg_defs, relation_.get(), &fresh, pool_.get())
+          .status());
+  views_ = std::move(fresh);
+  return Status::OK();
 }
 
 StatusOr<size_t> ColGraphEngine::SelectAndMaterializeGraphViews(
@@ -155,7 +319,8 @@ StatusOr<size_t> ColGraphEngine::SelectAndMaterializeGraphViews(
     selected_defs.push_back(candidates[index]);
   }
   COLGRAPH_RETURN_NOT_OK(
-      MaterializeGraphViews(selected_defs, &relation_, &views_, pool_.get())
+      MaterializeGraphViews(selected_defs, &OwnedRelation(), &views_,
+                            pool_.get())
           .status());
   return selected_defs.size();
 }
@@ -166,17 +331,17 @@ StatusOr<size_t> ColGraphEngine::SelectAndMaterializeAggViews(
       std::vector<AggViewDef> selected,
       SelectAggregateViews(workload, fn, catalog_, budget));
   COLGRAPH_RETURN_NOT_OK(
-      MaterializeAggViews(selected, &relation_, &views_, pool_.get())
+      MaterializeAggViews(selected, &OwnedRelation(), &views_, pool_.get())
           .status());
   return selected.size();
 }
 
 StatusOr<size_t> ColGraphEngine::MaterializeView(const GraphViewDef& def) {
-  return MaterializeGraphView(def, &relation_, &views_);
+  return MaterializeGraphView(def, &OwnedRelation(), &views_);
 }
 
 StatusOr<size_t> ColGraphEngine::MaterializeView(const AggViewDef& def) {
-  return MaterializeAggView(def, &relation_, &views_);
+  return MaterializeAggView(def, &OwnedRelation(), &views_);
 }
 
 Bitmap ColGraphEngine::Match(const GraphQuery& query,
@@ -202,9 +367,9 @@ std::string ColGraphEngine::DumpMetricsJson() const {
   w.Key("engine");
   w.BeginObject();
   w.Key("num_records");
-  w.Uint(relation_.num_records());
+  w.Uint(relation_->num_records());
   w.Key("num_edge_columns");
-  w.Uint(relation_.num_edge_columns());
+  w.Uint(relation_->num_edge_columns());
   w.Key("num_graph_views");
   w.Uint(views_.num_graph_views());
   w.Key("num_agg_views");
@@ -214,7 +379,7 @@ std::string ColGraphEngine::DumpMetricsJson() const {
   w.EndObject();
   w.Key("fetch_stats");
   w.BeginObject();
-  const FetchStats& fs = relation_.stats();
+  const FetchStats& fs = relation_->stats();
   w.Key("bitmap_columns_fetched");
   w.Uint(fs.bitmap_columns_fetched);
   w.Key("measure_columns_fetched");

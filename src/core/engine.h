@@ -68,11 +68,22 @@ class ColGraphEngine {
   // the same size (pools hold threads, not data, so they are never shared
   // between engine instances) — this keeps the trace loader's staged-copy
   // commit working for threaded engines. Moves transfer the pool.
+  // (SharedCopy() is the cheap alternative when the copy will not mutate
+  // the relation in place — snapshot publishing, DESIGN.md §14.)
   ColGraphEngine(const ColGraphEngine& other);
   ColGraphEngine& operator=(const ColGraphEngine& other);
   ColGraphEngine(ColGraphEngine&&) = default;
   ColGraphEngine& operator=(ColGraphEngine&&) = default;
   ~ColGraphEngine() = default;
+
+  /// O(catalog + views) copy that *shares* the immutable relation and tail
+  /// datasets instead of duplicating them — the incremental-ingest publish
+  /// path (append a tail, publish) no longer copies the world. The shared
+  /// relation is copy-on-write: the first in-place mutation through either
+  /// engine clones it, so the two engines can never observe each other's
+  /// writes. Not concurrency-safe with respect to other *mutators* of this
+  /// engine (the daemon serializes writers; see DESIGN.md §12).
+  ColGraphEngine SharedCopy() const;
 
   // --- Ingest (before Seal). ---
 
@@ -98,11 +109,40 @@ class ColGraphEngine {
   // --- continuously; Section 6.1's schema likewise "expands on demand").
 
   /// Re-opens a sealed engine for more AddRecord/AddWalk calls. Queries
-  /// are unavailable until FinishAppend().
+  /// are unavailable until FinishAppend(). Rejected while tail datasets
+  /// are attached — in-place growth would shift their global id bases;
+  /// Compact() first.
   [[nodiscard]] Status BeginAppend();
   /// Reseals the relation and refreshes every materialized view so query
   /// rewriting stays sound over the grown record set.
   [[nodiscard]] Status FinishAppend();
+
+  // --- Tail datasets (out-of-core incremental ingest, DESIGN.md §14). ---
+
+  /// Shreds `records` through this engine's catalog (growing it) into a
+  /// fresh *sealed* relation — a tail dataset — leaving the primary
+  /// relation untouched. Pair with AttachDataset(); the cheap-ingest path.
+  [[nodiscard]] StatusOr<MasterRelation> BuildTailRelation(
+      const std::vector<GraphRecord>& records);
+
+  /// Appends a sealed, immutable dataset behind the primary relation. Its
+  /// records take the next total_records() global ids; queries OR its
+  /// matches in and route fetches/folds to it. Both the primary and the
+  /// tail must be sealed.
+  [[nodiscard]] Status AttachDataset(
+      std::shared_ptr<const MasterRelation> tail);
+
+  /// Merges the primary and every attached tail into one relation (records
+  /// keep their global ids) and re-materializes every registered view over
+  /// the merged record set. No-op without tails.
+  [[nodiscard]] Status Compact();
+
+  const std::vector<std::shared_ptr<const MasterRelation>>& tails() const {
+    return tails_;
+  }
+  /// Primary records plus every attached tail's records — the global
+  /// record-id domain queries run over.
+  size_t total_records() const;
 
   // --- Views (after Seal). ---
 
@@ -181,16 +221,18 @@ class ColGraphEngine {
 
   const EdgeCatalog& catalog() const { return catalog_; }
   EdgeCatalog& mutable_catalog() { return catalog_; }
-  const MasterRelation& relation() const { return relation_; }
+  const MasterRelation& relation() const { return *relation_; }
   /// Mutable relation access for external materialization drivers (the
   /// benchmark harnesses sweep view budgets against one ingested relation).
-  MasterRelation& mutable_relation() { return relation_; }
+  /// Forces copy-on-write when the relation is shared (see SharedCopy).
+  MasterRelation& mutable_relation() { return OwnedRelation(); }
   const ViewCatalog& views() const { return views_; }
   const EngineOptions& options() const { return options_; }
-  /// A fresh evaluator bound to this engine's state. Cheap (four
+  /// A fresh evaluator bound to this engine's state. Cheap (five
   /// pointers); constructed on demand so the engine stays movable.
   QueryEngine query_engine() const {
-    return QueryEngine(&relation_, &catalog_, &views_, query_log_.get());
+    return QueryEngine(relation_.get(), &catalog_, &views_, query_log_.get(),
+                       segments_.empty() ? nullptr : &segments_);
   }
 
   /// The engine's query log; nullptr when capture is not configured.
@@ -207,15 +249,35 @@ class ColGraphEngine {
     if (query_log_ == nullptr) return Status::OK();
     return query_log_->Close();
   }
-  FetchStats& stats() const { return relation_.stats(); }
-  size_t num_records() const { return relation_.num_records(); }
+  FetchStats& stats() const { return relation_->stats(); }
+  /// Records in the *primary* relation; total_records() adds the tails.
+  size_t num_records() const { return relation_->num_records(); }
   /// The engine's worker pool; nullptr when options().num_threads <= 1.
   ThreadPool* pool() const { return pool_.get(); }
 
  private:
+  /// Tag dispatch for the SharedCopy constructor.
+  struct ShareTag {};
+  ColGraphEngine(const ColGraphEngine& other, ShareTag);
+
+  /// Copy-on-write funnel: every in-place relation mutator goes through
+  /// here, cloning the relation first if a SharedCopy still references it.
+  MasterRelation& OwnedRelation();
+  /// Recomputes segments_ (tail base offsets) after relation_/tails_
+  /// change.
+  void RebuildSegments();
+
   EngineOptions options_;
   EdgeCatalog catalog_;
-  MasterRelation relation_;
+  /// The primary relation. shared_ptr so SharedCopy can publish snapshots
+  /// without duplicating columns; never null; mutations go through
+  /// OwnedRelation() (copy-on-write).
+  std::shared_ptr<MasterRelation> relation_;
+  /// Immutable tail datasets behind the primary (DESIGN.md §14), in
+  /// ingest order. Shared freely between engine copies.
+  std::vector<std::shared_ptr<const MasterRelation>> tails_;
+  /// Derived: one RelationSegment per tail with its global id base.
+  std::vector<RelationSegment> segments_;
   ViewCatalog views_;
   /// Workers shared by every parallel section of this engine (batch
   /// queries, materialization, candidate counting). unique_ptr keeps the

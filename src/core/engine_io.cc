@@ -1,8 +1,10 @@
 #include "core/engine_io.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "columnstore/io_util.h"
+#include "columnstore/persistence.h"
 #include "util/failpoint.h"
 
 namespace colgraph {
@@ -10,9 +12,10 @@ namespace colgraph {
 namespace {
 
 constexpr uint32_t kMagic = 0x4347454E;  // "CGEN"
-// v3 adds tagged bitmap encodings (EWAH / hybrid); v1 (pre-checksum) and
-// v2 (untagged EWAH) files still load.
-constexpr uint32_t kVersion = 3;
+// v4 moves base-column and view payloads into page-aligned extents behind
+// an extent directory (the mmap layout, DESIGN.md §14); v1-v3 files still
+// load.
+constexpr uint32_t kVersion = 4;
 
 void WriteNodeRef(io::Writer& out, const NodeRef& n) {
   out.WritePod(n.base);
@@ -28,6 +31,14 @@ Status ReadNodeRef(io::Reader& in, NodeRef* n) {
 // query-time fetches would walk off the relation.
 Status ValidateViewElements(const std::vector<EdgeId>& ids,
                             uint64_t num_columns, const std::string& path) {
+  // A definition longer than the column universe cannot be valid, and
+  // rejecting it up front keeps the per-element loop below proportional
+  // to real data, not to a corrupt length claim (ReadVec already bounds
+  // the allocation by the section/extent size).
+  if (ids.size() > num_columns) {
+    return Status::Corruption("view definition larger than the column "
+                              "universe in " + path);
+  }
   for (const EdgeId id : ids) {
     if (id >= num_columns) {
       return Status::Corruption("view references unknown column in " + path);
@@ -36,14 +47,32 @@ Status ValidateViewElements(const std::vector<EdgeId>& ids,
   return Status::OK();
 }
 
+// Parsed view definitions from the v4 def sections, decoded before the
+// extents they point into.
+struct GraphViewEntry {
+  GraphViewDef def;
+  uint64_t index = 0;
+};
+struct AggViewEntry {
+  AggViewDef def;
+  uint64_t index = 0;
+};
+
 }  // namespace
 
 Status WriteEngine(const ColGraphEngine& engine, const std::string& path) {
+  return internal::WriteEngineAtVersion(engine, path, kVersion);
+}
+
+namespace internal {
+
+Status WriteEngineAtVersion(const ColGraphEngine& engine,
+                            const std::string& path, uint32_t version) {
   const MasterRelation& relation = engine.relation();
   if (!relation.sealed()) {
     return Status::InvalidArgument("can only persist a sealed engine");
   }
-  io::Writer out(path, kMagic, kVersion);
+  io::Writer out(path, kMagic, version);
 
   // Options + edge catalog: edges in id order (ids are dense, so position
   // == id).
@@ -60,82 +89,104 @@ Status WriteEngine(const ColGraphEngine& engine, const std::string& path) {
   out.EndSection();
   COLGRAPH_FAILPOINT("persist:after_header");
 
-  // Base columns.
+  const auto& graph_views = engine.views().graph_views();
+  const auto& agg_views = engine.views().agg_views();
+
+  if (version < 4) {
+    // Sequential layout: columns and views inline in their sections.
+    out.BeginSection();
+    out.WritePod(static_cast<uint64_t>(relation.num_records()));
+    out.WritePod(static_cast<uint64_t>(relation.num_edge_columns()));
+    for (EdgeId id = 0; id < relation.num_edge_columns(); ++id) {
+      out.WriteMeasureColumn(relation.PeekMeasureColumn(id));
+    }
+    out.EndSection();
+
+    out.BeginSection();
+    out.WritePod(static_cast<uint64_t>(graph_views.size()));
+    for (const auto& [def, index] : graph_views) {
+      out.WriteVec(def.edges);
+      out.WritePod(static_cast<uint64_t>(index));
+      out.WriteBitmap(relation.PeekGraphViewColumn(index));
+    }
+    out.EndSection();
+
+    out.BeginSection();
+    out.WritePod(static_cast<uint64_t>(agg_views.size()));
+    for (const auto& [def, index] : agg_views) {
+      out.WritePod(static_cast<uint8_t>(def.fn));
+      out.WriteVec(def.elements);
+      out.WritePod(static_cast<uint64_t>(index));
+      out.WriteMeasureColumn(relation.PeekAggregateView(index));
+    }
+    out.EndSection();
+    return out.Commit();
+  }
+
+  // v4: definitions stay in checksummed sections; the bulky column and
+  // view payloads move to page-aligned extents. Extent order: base
+  // columns, then graph-view bitmaps, then agg-view columns — the same
+  // order the defs are written in.
   out.BeginSection();
   out.WritePod(static_cast<uint64_t>(relation.num_records()));
   out.WritePod(static_cast<uint64_t>(relation.num_edge_columns()));
-  for (EdgeId id = 0; id < relation.num_edge_columns(); ++id) {
-    out.WriteMeasureColumn(relation.PeekMeasureColumn(id));
-  }
   out.EndSection();
 
-  // Graph views: definition + bitmap column, in view-index order.
   out.BeginSection();
-  const auto& graph_views = engine.views().graph_views();
   out.WritePod(static_cast<uint64_t>(graph_views.size()));
   for (const auto& [def, index] : graph_views) {
     out.WriteVec(def.edges);
     out.WritePod(static_cast<uint64_t>(index));
-    out.WriteBitmap(relation.PeekGraphViewColumn(index));
   }
   out.EndSection();
 
-  // Aggregate views: definition + (mp, bp) column pair.
   out.BeginSection();
-  const auto& agg_views = engine.views().agg_views();
   out.WritePod(static_cast<uint64_t>(agg_views.size()));
   for (const auto& [def, index] : agg_views) {
     out.WritePod(static_cast<uint8_t>(def.fn));
     out.WriteVec(def.elements);
     out.WritePod(static_cast<uint64_t>(index));
-    out.WriteMeasureColumn(relation.PeekAggregateView(index));
   }
   out.EndSection();
 
+  std::vector<std::vector<char>> payloads;
+  payloads.reserve(relation.num_edge_columns() + graph_views.size() +
+                   agg_views.size());
+  for (EdgeId id = 0; id < relation.num_edge_columns(); ++id) {
+    io::Writer enc(version);
+    enc.WriteMeasureColumn(relation.PeekMeasureColumn(id));
+    payloads.push_back(enc.TakePayload());
+  }
+  for (const auto& [def, index] : graph_views) {
+    io::Writer enc(version);
+    enc.WriteBitmap(relation.PeekGraphViewColumn(index));
+    payloads.push_back(enc.TakePayload());
+  }
+  for (const auto& [def, index] : agg_views) {
+    io::Writer enc(version);
+    enc.WriteMeasureColumn(relation.PeekAggregateView(index));
+    payloads.push_back(enc.TakePayload());
+  }
+  WriteExtentsV4(&out, payloads);
   return out.Commit();
 }
 
-StatusOr<ColGraphEngine> ReadEngine(const std::string& path) {
-  COLGRAPH_ASSIGN_OR_RETURN(io::Reader in, io::Reader::Open(path, kMagic));
+}  // namespace internal
 
-  COLGRAPH_RETURN_NOT_OK(in.BeginSection("options+catalog"));
-  EngineOptions options;
-  uint64_t partition_width = 0, min_support = 0;
-  if (!in.ReadPod(&partition_width).ok() || !in.ReadPod(&min_support).ok()) {
-    return Status::Corruption("truncated options in " + path);
-  }
-  options.relation.partition_width = static_cast<size_t>(partition_width);
-  options.view_min_support = static_cast<size_t>(min_support);
+namespace {
 
-  uint64_t catalog_size = 0;
-  if (!in.ReadPod(&catalog_size).ok()) {
-    return Status::Corruption("truncated catalog in " + path);
-  }
-  // Each catalog entry is 16 bytes on disk; a larger claim cannot be real
-  // and must not drive the loop below.
-  if (catalog_size > in.remaining() / 16) {
-    return Status::Corruption("implausible catalog size in " + path);
-  }
-  EdgeCatalog catalog;
-  for (uint64_t i = 0; i < catalog_size; ++i) {
-    Edge e;
-    if (!ReadNodeRef(in, &e.from).ok() || !ReadNodeRef(in, &e.to).ok()) {
-      return Status::Corruption("truncated catalog entry in " + path);
-    }
-    if (catalog.GetOrAssign(e) != i) {
-      return Status::Corruption("catalog ids are not dense in " + path);
-    }
-  }
-  COLGRAPH_RETURN_NOT_OK(in.EndSection("options+catalog"));
-
+// Shared v1-v3 sequential tail: everything after the options+catalog
+// section.
+StatusOr<ColGraphEngine> ReadEngineSequential(io::Reader& in,
+                                              const std::string& path,
+                                              EngineOptions options,
+                                              EdgeCatalog catalog) {
   COLGRAPH_RETURN_NOT_OK(in.BeginSection("base columns"));
   uint64_t num_records = 0, num_columns = 0;
   if (!in.ReadPod(&num_records).ok() || !in.ReadPod(&num_columns).ok()) {
     return Status::Corruption("truncated relation header in " + path);
   }
-  if (num_records > io::kMaxSnapshotRecords) {
-    return Status::Corruption("implausible record count in " + path);
-  }
+  COLGRAPH_RETURN_NOT_OK(io::ValidateRecordCount(num_records, path));
   std::vector<MeasureColumn> columns;
   columns.reserve(static_cast<size_t>(
       std::min<uint64_t>(num_columns, in.remaining() / 24 + 1)));
@@ -211,6 +262,168 @@ StatusOr<ColGraphEngine> ReadEngine(const std::string& path) {
 
   return ColGraphEngine::FromParts(options, std::move(catalog),
                                    std::move(relation), std::move(views));
+}
+
+// v4 tail: def sections first, then the extent directory, then per-extent
+// decoding. Each extent must be consumed exactly (trailing bytes in an
+// extent are corruption, same as a section size mismatch).
+StatusOr<ColGraphEngine> ReadEngineV4(io::Reader& in, const std::string& path,
+                                      EngineOptions options,
+                                      EdgeCatalog catalog) {
+  COLGRAPH_RETURN_NOT_OK(in.BeginSection("relation header"));
+  uint64_t num_records = 0, num_columns = 0;
+  if (!in.ReadPod(&num_records).ok() || !in.ReadPod(&num_columns).ok()) {
+    return Status::Corruption("truncated relation header in " + path);
+  }
+  COLGRAPH_RETURN_NOT_OK(in.EndSection("relation header"));
+  COLGRAPH_RETURN_NOT_OK(io::ValidateRecordCount(num_records, path));
+
+  COLGRAPH_RETURN_NOT_OK(in.BeginSection("graph view defs"));
+  uint64_t num_graph_views = 0;
+  if (!in.ReadPod(&num_graph_views).ok()) {
+    return Status::Corruption("truncated graph-view section in " + path);
+  }
+  // Each def costs >= 16 bytes (u64 edge count + u64 index).
+  if (num_graph_views > in.remaining() / 16) {
+    return Status::Corruption("implausible graph-view count in " + path);
+  }
+  std::vector<GraphViewEntry> graph_defs(
+      static_cast<size_t>(num_graph_views));
+  for (GraphViewEntry& entry : graph_defs) {
+    if (!in.ReadVec(&entry.def.edges).ok() || !in.ReadPod(&entry.index).ok()) {
+      return Status::Corruption("truncated graph view in " + path);
+    }
+    COLGRAPH_RETURN_NOT_OK(
+        ValidateViewElements(entry.def.edges, num_columns, path));
+  }
+  COLGRAPH_RETURN_NOT_OK(in.EndSection("graph view defs"));
+
+  COLGRAPH_RETURN_NOT_OK(in.BeginSection("aggregate view defs"));
+  uint64_t num_agg_views = 0;
+  if (!in.ReadPod(&num_agg_views).ok()) {
+    return Status::Corruption("truncated agg-view section in " + path);
+  }
+  // Each def costs >= 17 bytes (u8 fn + u64 element count + u64 index).
+  if (num_agg_views > in.remaining() / 17) {
+    return Status::Corruption("implausible agg-view count in " + path);
+  }
+  std::vector<AggViewEntry> agg_defs(static_cast<size_t>(num_agg_views));
+  for (AggViewEntry& entry : agg_defs) {
+    uint8_t fn = 0;
+    if (!in.ReadPod(&fn).ok() || !in.ReadVec(&entry.def.elements).ok() ||
+        !in.ReadPod(&entry.index).ok()) {
+      return Status::Corruption("truncated aggregate view in " + path);
+    }
+    if (fn > static_cast<uint8_t>(AggFn::kAvg)) {
+      return Status::Corruption("unknown aggregate function in " + path);
+    }
+    entry.def.fn = static_cast<AggFn>(fn);
+    COLGRAPH_RETURN_NOT_OK(
+        ValidateViewElements(entry.def.elements, num_columns, path));
+  }
+  COLGRAPH_RETURN_NOT_OK(in.EndSection("aggregate view defs"));
+
+  const uint64_t total_extents =
+      num_columns + num_graph_views + num_agg_views;
+  std::vector<internal::V4Extent> extents;
+  COLGRAPH_ASSIGN_OR_RETURN(
+      extents, internal::ReadExtentDirectoryV4(&in, total_extents, path));
+
+  size_t next = 0;
+  auto extent_reader = [&]() -> StatusOr<io::Reader> {
+    const internal::V4Extent& e = extents[next++];
+    return in.AtExtent(e.offset, e.len);
+  };
+
+  std::vector<MeasureColumn> columns;
+  columns.reserve(static_cast<size_t>(num_columns));
+  for (uint64_t i = 0; i < num_columns; ++i) {
+    COLGRAPH_ASSIGN_OR_RETURN(io::Reader sub, extent_reader());
+    COLGRAPH_ASSIGN_OR_RETURN(MeasureColumn col,
+                              sub.ReadMeasureColumn(num_records));
+    if (sub.remaining() != 0) {
+      return Status::Corruption("trailing bytes in column extent in " + path);
+    }
+    columns.push_back(std::move(col));
+  }
+  COLGRAPH_ASSIGN_OR_RETURN(
+      MasterRelation relation,
+      MasterRelation::FromColumns(static_cast<size_t>(num_records),
+                                  std::move(columns), options.relation));
+
+  ViewCatalog views;
+  for (GraphViewEntry& entry : graph_defs) {
+    COLGRAPH_ASSIGN_OR_RETURN(io::Reader sub, extent_reader());
+    COLGRAPH_ASSIGN_OR_RETURN(Bitmap bits, sub.ReadBitmap(num_records));
+    if (sub.remaining() != 0) {
+      return Status::Corruption("trailing bytes in view extent in " + path);
+    }
+    const size_t actual = relation.AddGraphView(std::move(bits));
+    if (actual != entry.index) {
+      return Status::Corruption("graph-view indexes not dense in " + path);
+    }
+    views.AddGraphView(std::move(entry.def), actual);
+  }
+  for (AggViewEntry& entry : agg_defs) {
+    COLGRAPH_ASSIGN_OR_RETURN(io::Reader sub, extent_reader());
+    COLGRAPH_ASSIGN_OR_RETURN(MeasureColumn col,
+                              sub.ReadMeasureColumn(num_records));
+    if (sub.remaining() != 0) {
+      return Status::Corruption("trailing bytes in view extent in " + path);
+    }
+    const size_t actual = relation.AddAggregateView(std::move(col));
+    if (actual != entry.index) {
+      return Status::Corruption("agg-view indexes not dense in " + path);
+    }
+    views.AddAggView(std::move(entry.def), actual);
+  }
+
+  return ColGraphEngine::FromParts(options, std::move(catalog),
+                                   std::move(relation), std::move(views));
+}
+
+}  // namespace
+
+StatusOr<ColGraphEngine> ReadEngine(const std::string& path) {
+  io::RemoveStaleTemp(path);
+  COLGRAPH_ASSIGN_OR_RETURN(io::Reader in,
+                            io::Reader::OpenMapped(path, kMagic));
+
+  COLGRAPH_RETURN_NOT_OK(in.BeginSection("options+catalog"));
+  EngineOptions options;
+  uint64_t partition_width = 0, min_support = 0;
+  if (!in.ReadPod(&partition_width).ok() || !in.ReadPod(&min_support).ok()) {
+    return Status::Corruption("truncated options in " + path);
+  }
+  options.relation.partition_width = static_cast<size_t>(partition_width);
+  options.view_min_support = static_cast<size_t>(min_support);
+
+  uint64_t catalog_size = 0;
+  if (!in.ReadPod(&catalog_size).ok()) {
+    return Status::Corruption("truncated catalog in " + path);
+  }
+  // Each catalog entry is 16 bytes on disk; a larger claim cannot be real
+  // and must not drive the loop below.
+  if (catalog_size > in.remaining() / 16) {
+    return Status::Corruption("implausible catalog size in " + path);
+  }
+  EdgeCatalog catalog;
+  for (uint64_t i = 0; i < catalog_size; ++i) {
+    Edge e;
+    if (!ReadNodeRef(in, &e.from).ok() || !ReadNodeRef(in, &e.to).ok()) {
+      return Status::Corruption("truncated catalog entry in " + path);
+    }
+    if (catalog.GetOrAssign(e) != i) {
+      return Status::Corruption("catalog ids are not dense in " + path);
+    }
+  }
+  COLGRAPH_RETURN_NOT_OK(in.EndSection("options+catalog"));
+
+  if (in.version() >= 4) {
+    return ReadEngineV4(in, path, std::move(options), std::move(catalog));
+  }
+  return ReadEngineSequential(in, path, std::move(options),
+                              std::move(catalog));
 }
 
 }  // namespace colgraph

@@ -5,6 +5,8 @@
 // touches one column per segment instead of one per element.
 #include "query/engine.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 #include "obs/query_log.h"
 #include "obs/trace.h"
@@ -20,6 +22,45 @@ namespace {
 constexpr size_t kCancelCheckStride = 4096;
 
 }  // namespace
+
+std::vector<QueryEngine::TailFold> QueryEngine::TailFoldColumns(
+    const std::vector<EdgeId>& elements) const {
+  std::vector<TailFold> out;
+  if (!HasTails()) return out;
+  out.reserve(tails_->size());
+  for (const RelationSegment& seg : *tails_) {
+    TailFold fold;
+    fold.base = seg.base;
+    fold.num = seg.relation->num_records();
+    fold.columns.reserve(elements.size());
+    for (const EdgeId e : elements) {
+      fold.columns.push_back(e < seg.relation->num_edge_columns()
+                                 ? &seg.relation->FetchMeasureColumn(e)
+                                 : nullptr);
+    }
+    out.push_back(std::move(fold));
+  }
+  return out;
+}
+
+bool QueryEngine::FoldTail(const std::vector<TailFold>& tails, AggFn fn,
+                           RecordId r, double* out) const {
+  for (const TailFold& t : tails) {
+    if (r < t.base || r >= t.base + t.num) continue;
+    // Tail records fold atomically, element by element in path order —
+    // views cover the primary store only (DESIGN.md §14).
+    AggAccumulator acc(fn);
+    for (const MeasureColumn* col : t.columns) {
+      if (col == nullptr) continue;
+      const auto v = col->Get(r - t.base);
+      if (v.has_value()) acc.Add(*v);
+    }
+    relation_->stats().values_fetched += t.columns.size();
+    *out = acc.Result();
+    return true;
+  }
+  return false;
+}
 
 StatusOr<PathAggResult> QueryEngine::AggregateAlongPath(
     const Path& path, AggFn fn, const QueryOptions& options) const {
@@ -50,14 +91,25 @@ StatusOr<PathAggResult> QueryEngine::AggregateAlongPath(
   const ViewCatalog* views = options.use_views ? views_ : nullptr;
   const PathPlan plan = PlanPathAggregation(elements, fn, views);
 
+  // An element only tail datasets know means no primary record matches the
+  // path (the primary has no column for it), so the primary's segment
+  // columns are never consulted — and must not be fetched out of range.
+  const bool primary_covers_path =
+      !HasTails() ||
+      std::all_of(elements.begin(), elements.end(), [&](EdgeId e) {
+        return e < relation_->num_edge_columns();
+      });
   std::vector<std::pair<const MeasureColumn*, size_t>> segment_columns;
-  segment_columns.reserve(plan.segments.size());
-  for (const PathSegment& seg : plan.segments) {
-    const MeasureColumn& col =
-        seg.is_view ? relation_->FetchAggregateView(seg.agg_view_column)
-                    : relation_->FetchMeasureColumn(seg.atom);
-    segment_columns.emplace_back(&col, seg.is_view ? seg.num_elements : 0);
+  if (primary_covers_path) {
+    segment_columns.reserve(plan.segments.size());
+    for (const PathSegment& seg : plan.segments) {
+      const MeasureColumn& col =
+          seg.is_view ? relation_->FetchAggregateView(seg.agg_view_column)
+                      : relation_->FetchMeasureColumn(seg.atom);
+      segment_columns.emplace_back(&col, seg.is_view ? seg.num_elements : 0);
+    }
   }
+  const std::vector<TailFold> tail_folds = TailFoldColumns(elements);
 
   const obs::Span agg_span(obs::QueryPhase::kAggregate, options.trace);
   std::vector<double> values;
@@ -66,6 +118,11 @@ StatusOr<PathAggResult> QueryEngine::AggregateAlongPath(
   for (RecordId r : result.records) {
     if (++folded % kCancelCheckStride == 0) {
       COLGRAPH_RETURN_NOT_OK(CheckCancellation(options.cancel));
+    }
+    double tail_value = 0;
+    if (FoldTail(tail_folds, fn, r, &tail_value)) {
+      values.push_back(tail_value);
+      continue;
     }
     AggAccumulator acc(fn);
     for (const auto& [col, view_elements] : segment_columns) {
@@ -165,30 +222,46 @@ StatusOr<PathAggResult> QueryEngine::RunAggregateQueryImpl(
 
     // Resolve the plan's columns once; accounting counts one measure-column
     // fetch per segment — the cost reduction the views exist to provide.
+    // Skipped when an element exists only in tail datasets: no primary
+    // record can match the query then, so the primary columns (which do
+    // not extend that far) are never consulted.
     struct SegmentColumn {
       const MeasureColumn* column;
       bool is_view;
       size_t num_elements;
     };
+    const bool primary_covers_path =
+        !HasTails() ||
+        std::all_of(elements.begin(), elements.end(), [&](EdgeId e) {
+          return e < relation_->num_edge_columns();
+        });
     std::vector<SegmentColumn> segment_columns;
-    segment_columns.reserve(plan.segments.size());
-    for (const PathSegment& seg : plan.segments) {
-      const MeasureColumn& col =
-          seg.is_view ? relation_->FetchAggregateView(seg.agg_view_column)
-                      : relation_->FetchMeasureColumn(seg.atom);
-      segment_columns.push_back({&col, seg.is_view, seg.num_elements});
-      if (seg.is_view && path_views_out != nullptr) {
-        path_views_out->push_back(
-            static_cast<uint32_t>(seg.agg_view_column));
+    if (primary_covers_path) {
+      segment_columns.reserve(plan.segments.size());
+      for (const PathSegment& seg : plan.segments) {
+        const MeasureColumn& col =
+            seg.is_view ? relation_->FetchAggregateView(seg.agg_view_column)
+                        : relation_->FetchMeasureColumn(seg.atom);
+        segment_columns.push_back({&col, seg.is_view, seg.num_elements});
+        if (seg.is_view && path_views_out != nullptr) {
+          path_views_out->push_back(
+              static_cast<uint32_t>(seg.agg_view_column));
+        }
       }
+      if (!plan.segments.empty()) ++relation_->stats().partitions_touched;
     }
-    if (!plan.segments.empty()) ++relation_->stats().partitions_touched;
+    const std::vector<TailFold> tail_folds = TailFoldColumns(elements);
 
     std::vector<double> values;
     values.reserve(result.records.size());
     for (RecordId r : result.records) {
       if (++folded % kCancelCheckStride == 0) {
         COLGRAPH_RETURN_NOT_OK(CheckCancellation(options.cancel));
+      }
+      double tail_value = 0;
+      if (FoldTail(tail_folds, fn, r, &tail_value)) {
+        values.push_back(tail_value);
+        continue;
       }
       AggAccumulator acc(fn);
       for (const SegmentColumn& seg : segment_columns) {

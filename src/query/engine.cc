@@ -86,16 +86,55 @@ QueryEngine::SourceRef QueryEngine::FetchSourceRef(
   return ref;
 }
 
+size_t QueryEngine::TotalRecords() const {
+  size_t total = relation_->num_records();
+  if (tails_ != nullptr) {
+    for (const RelationSegment& seg : *tails_) {
+      total += seg.relation->num_records();
+    }
+  }
+  return total;
+}
+
+Bitmap QueryEngine::MatchIdsInTail(const MasterRelation& tail,
+                                   const std::vector<EdgeId>& ids) const {
+  // An edge the tail has no column for was never recorded in it, so the
+  // conjunction is empty. (The unconstrained ids.empty() case is handled
+  // by MatchIds before segments come into play.)
+  for (const EdgeId id : ids) {
+    if (id >= tail.num_edge_columns()) return Bitmap(tail.num_records());
+  }
+  Bitmap result = tail.FetchEdgeBitmap(ids.front());
+  for (size_t i = 1; i < ids.size() && !result.None(); ++i) {
+    result.And(tail.FetchEdgeBitmap(ids[i]));
+  }
+  return result;
+}
+
 Bitmap QueryEngine::MatchIds(const std::vector<EdgeId>& ids,
                              const QueryOptions& options,
                              bool consider_agg_bitmaps,
                              MatchPlan* plan_out) const {
   if (plan_out != nullptr) plan_out->sources.clear();
   if (ids.empty()) {
-    // An unconstrained query matches everything.
-    Bitmap all(relation_->num_records());
+    // An unconstrained query matches everything — tail records included.
+    Bitmap all(TotalRecords());
     all.Fill();
     return all;
+  }
+  // Incremental ingest can grow the catalog past the primary's columns
+  // (a tail introduced the edge); the primary then cannot contain the
+  // query and contributes an empty conjunct. Only reachable with tails:
+  // in single-relation mode the catalog and relation grow in lockstep.
+  if (HasTails() &&
+      std::any_of(ids.begin(), ids.end(), [&](EdgeId id) {
+        return id >= relation_->num_edge_columns();
+      })) {
+    Bitmap full(TotalRecords());
+    for (const RelationSegment& seg : *tails_) {
+      full.OrAt(MatchIdsInTail(*seg.relation, ids), seg.base);
+    }
+    return full;
   }
   MatchPlan plan;
   {
@@ -148,14 +187,23 @@ Bitmap QueryEngine::MatchIds(const std::vector<EdgeId>& ids,
       result.And(*ref.plain);
     }
   }
-  if (running.has_value()) return running->ToBitmap();
-  return result;
+  if (running.has_value()) result = running->ToBitmap();
+  if (!HasTails()) return result;
+
+  // Multi-dataset OR (DESIGN.md §14): the global answer is the union of
+  // the per-dataset answers, each blitted at its segment's base offset.
+  Bitmap full(TotalRecords());
+  full.OrAt(result, 0);
+  for (const RelationSegment& seg : *tails_) {
+    full.OrAt(MatchIdsInTail(*seg.relation, ids), seg.base);
+  }
+  return full;
 }
 
 Bitmap QueryEngine::Match(const GraphQuery& query,
                           const QueryOptions& options) const {
   const ResolvedQuery resolved = Resolve(query);
-  if (!resolved.satisfiable) return Bitmap(relation_->num_records());
+  if (!resolved.satisfiable) return Bitmap(TotalRecords());
   return MatchIds(resolved.ids, options, /*consider_agg_bitmaps=*/false);
 }
 
@@ -187,6 +235,51 @@ MeasureTable QueryEngine::FetchMeasures(const Bitmap& matches,
   // Zero matching rows: no measure column needs to be read at all — the
   // other face of "larger queries are cheaper" (Figure 3b).
   if (table.records.empty()) return table;
+
+  if (HasTails()) {
+    // Multi-dataset fetch (DESIGN.md §14): each row is filled from the
+    // segment that owns its global record id. The match list is sorted and
+    // segments are contiguous id ranges, so the routing is one monotone
+    // sweep. The partition merge-join modeling below applies to a single
+    // store; tails are small unpartitioned appendices, so each touched
+    // segment counts as one partition visit.
+    constexpr double kTailNull = std::numeric_limits<double>::quiet_NaN();
+    struct Segment {
+      const MasterRelation* rel;
+      size_t base;
+      size_t num;
+    };
+    std::vector<Segment> segments;
+    segments.push_back({relation_, 0, relation_->num_records()});
+    for (const RelationSegment& t : *tails_) {
+      segments.push_back({t.relation, t.base, t.relation->num_records()});
+    }
+    for (auto& column : table.columns) {
+      column.assign(table.records.size(), kTailNull);
+    }
+    FetchStats& stats = relation_->stats();
+    size_t row = 0;
+    for (const Segment& seg : segments) {
+      const size_t first = row;
+      while (row < table.records.size() &&
+             table.records[row] < seg.base + seg.num) {
+        ++row;
+      }
+      if (row == first) continue;
+      ++stats.partitions_touched;
+      for (size_t i = 0; i < edges.size(); ++i) {
+        // A column the segment never grew stays NULL for its records.
+        if (edges[i] >= seg.rel->num_edge_columns()) continue;
+        const MeasureColumn& col = seg.rel->FetchMeasureColumn(edges[i]);
+        for (size_t r = first; r < row; ++r) {
+          const auto v = col.Get(table.records[r] - seg.base);
+          if (v.has_value()) table.columns[i][r] = *v;
+        }
+        stats.values_fetched += row - first;
+      }
+    }
+    return table;
+  }
 
   // Group requested columns by vertical partition (Section 6.1).
   std::map<size_t, std::vector<size_t>> by_partition;  // partition -> idx
@@ -437,7 +530,17 @@ void QueryEngine::ExplainMatchInto(const std::vector<EdgeId>& ids,
       (views->num_graph_views() > 0 || views->num_agg_views() > 0);
   if (ids.empty()) {
     // Unconstrained query: matches everything, no bitmaps to AND.
-    result->matched_records = relation_->num_records();
+    result->matched_records = TotalRecords();
+    return;
+  }
+  // EXPLAIN annotates the primary store's plan. An edge only tail
+  // datasets know makes that plan an empty conjunct — report it as such
+  // instead of indexing columns the primary does not have.
+  if (HasTails() &&
+      std::any_of(ids.begin(), ids.end(), [&](EdgeId id) {
+        return id >= relation_->num_edge_columns();
+      })) {
+    result->matched_records = 0;
     return;
   }
 

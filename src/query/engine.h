@@ -69,10 +69,20 @@ struct QueryOptions {
 
 class ThreadPool;
 
-/// \brief Evaluator bound to one relation + catalogs.
+/// \brief One extra store of records behind a query: an immutable tail
+/// dataset (DESIGN.md §14) whose record 0 sits at global record id `base`.
+/// The primary relation always occupies [0, primary.num_records()); tails
+/// stack behind it in ingest order.
+struct RelationSegment {
+  const MasterRelation* relation = nullptr;
+  size_t base = 0;
+};
+
+/// \brief Evaluator bound to one relation + catalogs, plus optional tail
+/// datasets (incremental ingest, DESIGN.md §14).
 ///
 /// Thread-safe: all query entry points are const reads over the sealed
-/// relation and catalogs, and the shared FetchStats counters are relaxed
+/// relation(s) and catalogs, and the shared FetchStats counters are relaxed
 /// atomics, so any number of threads may evaluate queries concurrently
 /// (TSan-verified by tests/concurrency_test.cc). Materializing or
 /// replacing *views* concurrently with queries that use those views is the
@@ -83,12 +93,21 @@ class QueryEngine {
   /// chosen views, per-phase timings, result cardinality — for replay and
   /// workload-driven view advice (DESIGN.md §10). The log outlives the
   /// evaluator; hooks are skipped when obs::QueryLogEnabled() is off.
+  ///
+  /// `tails` (optional) appends immutable tail datasets behind the primary
+  /// relation: matches become the OR of the per-dataset matches (each
+  /// blitted at its segment base), fetches and aggregate folds route every
+  /// global record id to the segment that owns it. Views cover the primary
+  /// only — tail records are always evaluated from their atomic columns.
+  /// nullptr or empty reproduces single-relation behavior bit for bit.
   QueryEngine(const MasterRelation* relation, const EdgeCatalog* catalog,
-              const ViewCatalog* views, obs::QueryLog* query_log = nullptr)
+              const ViewCatalog* views, obs::QueryLog* query_log = nullptr,
+              const std::vector<RelationSegment>* tails = nullptr)
       : relation_(relation),
         catalog_(catalog),
         views_(views),
-        log_(query_log) {}
+        log_(query_log),
+        tails_(tails) {}
 
   /// Resolves the query's structural elements to edge-column ids.
   ///
@@ -185,6 +204,31 @@ class QueryEngine {
   const MasterRelation& relation() const { return *relation_; }
 
  private:
+  bool HasTails() const { return tails_ != nullptr && !tails_->empty(); }
+  /// Global record-id domain: primary records plus every tail's records.
+  size_t TotalRecords() const;
+  /// Tail-local match: plain per-edge bitmap AND over one tail dataset
+  /// (no views, no hybrid pipeline — tails are small appendices). An edge
+  /// id the tail has no column for matches nothing in it.
+  Bitmap MatchIdsInTail(const MasterRelation& tail,
+                        const std::vector<EdgeId>& ids) const;
+
+  /// One tail's fold inputs for a path: `columns[i]` is the tail's column
+  /// for the path's i-th measurable element (nullptr when the tail never
+  /// saw that element).
+  struct TailFold {
+    size_t base = 0;
+    size_t num = 0;
+    std::vector<const MeasureColumn*> columns;
+  };
+  std::vector<TailFold> TailFoldColumns(
+      const std::vector<EdgeId>& elements) const;
+  /// If global record `r` lives in a tail, folds `fn` over the tail's
+  /// atomic element columns into *out and returns true; false means `r`
+  /// belongs to the primary relation.
+  bool FoldTail(const std::vector<TailFold>& tails, AggFn fn, RecordId r,
+                double* out) const;
+
   const Bitmap& FetchSource(const BitmapSource& source) const;
   /// A fetched source under both encodings: `plain` is always valid;
   /// `hybrid` is the column's seal-time hybrid sidecar or nullptr. One
@@ -229,6 +273,8 @@ class QueryEngine {
   const EdgeCatalog* catalog_;
   const ViewCatalog* views_;  // may be null (no views materialized)
   obs::QueryLog* log_;        // may be null (no capture configured)
+  /// Tail datasets behind the primary; null/empty = single-relation mode.
+  const std::vector<RelationSegment>* tails_;
 };
 
 }  // namespace colgraph

@@ -101,12 +101,40 @@ StatusOr<std::unique_ptr<Daemon>> Daemon::Start(
   if (options.num_workers == 0) {
     return Status::InvalidArgument("colgraphd needs at least one worker");
   }
+
+  // Durable dataset directory: open it (sweeping any crash debris) and
+  // re-attach its live datasets behind the initial snapshot, so records
+  // sealed by a previous run survive the restart.
+  std::unique_ptr<DatasetStore> store;
+  if (!options.data_dir.empty()) {
+    DatasetStore::Options store_options;
+    store_options.relation = initial->options().relation;
+    COLGRAPH_ASSIGN_OR_RETURN(
+        DatasetStore opened,
+        DatasetStore::Open(options.data_dir, store_options));
+    store = std::make_unique<DatasetStore>(std::move(opened));
+    COLGRAPH_ASSIGN_OR_RETURN(std::vector<MasterRelation> datasets,
+                              store->LoadAll());
+    if (!datasets.empty()) {
+      ColGraphEngine restored = initial->SharedCopy();
+      for (MasterRelation& dataset : datasets) {
+        COLGRAPH_RETURN_NOT_OK(restored.AttachDataset(
+            std::make_shared<const MasterRelation>(std::move(dataset))));
+      }
+      initial = std::make_shared<const ColGraphEngine>(std::move(restored));
+    }
+  }
+
   COLGRAPH_ASSIGN_OR_RETURN(
       UnixListener listener,
       UnixListener::Bind(options.socket_path,
                          static_cast<int>(options.max_queued_connections)));
   std::unique_ptr<Daemon> daemon(new Daemon(
       std::move(options), std::move(initial), std::move(listener)));
+  if (store != nullptr) {
+    const MutexLock writer_lock(daemon->writer_mu_);
+    daemon->store_ = std::move(store);
+  }
   return daemon;
 }
 
@@ -398,19 +426,57 @@ StatusOr<Response> Daemon::Ingest(const std::string& trace_text) {
   }
 
   const std::shared_ptr<const ColGraphEngine> base = snapshots_.Acquire();
-  // Copy-on-write: the next state is built entirely off to the side. A
-  // failure anywhere below leaves the served snapshot untouched.
-  ColGraphEngine next(*base);
-  COLGRAPH_RETURN_NOT_OK(next.BeginAppend());
+  // Append-a-dataset ingest (DESIGN.md §14): the batch becomes a small
+  // sealed tail relation; the primary relation is *shared* with the served
+  // snapshot, not copied. A failure anywhere below leaves the served
+  // snapshot untouched.
+  ColGraphEngine next = base->SharedCopy();
+  std::vector<GraphRecord> records;
+  records.reserve(traces.size());
   for (const WalkTrace& trace : traces) {
-    COLGRAPH_RETURN_NOT_OK(
-        next.AddWalk(trace.walk, trace.measures).status());
+    if (trace.walk.size() < 2) {
+      return Status::InvalidArgument("a walk needs at least two nodes");
+    }
+    if (trace.measures.size() != trace.walk.size() - 1) {
+      return Status::InvalidArgument("a walk of n nodes needs n-1 measures");
+    }
+    GraphRecord record;
+    record.elements = WalkToEdges(trace.walk);
+    record.measures = trace.measures;
+    records.push_back(std::move(record));
   }
-  COLGRAPH_RETURN_NOT_OK(next.FinishAppend());
+  COLGRAPH_ASSIGN_OR_RETURN(MasterRelation tail,
+                            next.BuildTailRelation(records));
+  if (store_ != nullptr) {
+    // Durability before visibility: the dataset file is sealed (and the
+    // manifest rewritten) before any reader can observe the records.
+    COLGRAPH_RETURN_NOT_OK(store_->Seal(tail).status());
+  }
+  COLGRAPH_RETURN_NOT_OK(next.AttachDataset(
+      std::make_shared<const MasterRelation>(std::move(tail))));
 
-  const size_t total = next.num_records();
+  const size_t total = next.total_records();
+  const size_t num_tails = next.tails().size();
   COLGRAPH_RETURN_NOT_OK(snapshots_.Publish(
       std::make_shared<const ColGraphEngine>(std::move(next))));
+
+  // Background compaction: once enough small datasets pile up, merge them
+  // off the writer path. The flag collapses triggers so at most one task
+  // is queued at a time.
+  if (options_.compact_after_datasets > 0 &&
+      num_tails >= options_.compact_after_datasets &&
+      !compaction_queued_.exchange(true, std::memory_order_acq_rel)) {
+    conn_pool_->Schedule([this] {
+      const Status status = CompactNow();
+      // Unavailable is the quiet outcome: drain raced in, or another
+      // process holds the compaction lock — both retry naturally.
+      if (!status.ok() && !status.IsUnavailable()) {
+        std::fprintf(stderr, "colgraphd: background compaction failed: %s\n",
+                     status.ToString().c_str());
+      }
+      compaction_queued_.store(false, std::memory_order_release);
+    });
+  }
 
   Response response;
   response.snapshot_epoch = snapshots_.epoch();
@@ -419,6 +485,25 @@ StatusOr<Response> Daemon::Ingest(const std::string& trace_text) {
                   " total; epoch " +
                   std::to_string(response.snapshot_epoch);
   return response;
+}
+
+Status Daemon::CompactNow() {
+  const MutexLock writer_lock(writer_mu_);
+  if (draining()) return Status::Unavailable("server draining");
+
+  // Durable merge first: if it fails (injected crash, lock contention),
+  // the manifest still references every sealed dataset and the served
+  // snapshot keeps answering from them — zero records lost.
+  if (store_ != nullptr) {
+    COLGRAPH_RETURN_NOT_OK(store_->CompactAll());
+  }
+
+  const std::shared_ptr<const ColGraphEngine> base = snapshots_.Acquire();
+  if (base->tails().empty()) return Status::OK();
+  ColGraphEngine next = base->SharedCopy();
+  COLGRAPH_RETURN_NOT_OK(next.Compact());
+  return snapshots_.Publish(
+      std::make_shared<const ColGraphEngine>(std::move(next)));
 }
 
 }  // namespace colgraph::server

@@ -25,6 +25,7 @@
 #include <memory>
 #include <string>
 
+#include "columnstore/dataset.h"
 #include "core/engine.h"
 #include "server/admission.h"
 #include "server/net_socket.h"
@@ -58,6 +59,16 @@ struct DaemonOptions {
   /// before executing it — makes "deadline fires during the request"
   /// deterministic in tests. 0 (always, in production) disables it.
   uint64_t test_delay_before_execute_ms = 0;
+  /// Durable incremental-ingest directory (DESIGN.md §14). When set, every
+  /// Ingest seals its batch as an immutable dataset file here before
+  /// publishing, and Start() re-attaches the directory's live datasets to
+  /// the initial snapshot. Empty = RAM-only tails (nothing survives a
+  /// restart beyond what the initial engine carries).
+  std::string data_dir;
+  /// Tail-dataset count that triggers a background compaction after an
+  /// ingest publish (merge datasets, re-materialize views, republish).
+  /// 0 disables background compaction.
+  size_t compact_after_datasets = 4;
 };
 
 /// Deterministic text renderings of query results — shared by the daemon
@@ -89,10 +100,20 @@ class Daemon {
   /// the in-process smoke test and unit tests.
   Response Execute(const Request& request);
 
-  /// Single-writer ingest: copies the current snapshot, appends the trace
-  /// records, reseals (views refresh), and publishes the next epoch.
+  /// Single-writer ingest (DESIGN.md §14): shreds the trace records into a
+  /// small sealed tail dataset, durably seals it into data_dir when
+  /// configured, attaches it behind the shared primary relation, and
+  /// publishes the next epoch — O(batch), never a copy of the world.
   /// Serialized internally; concurrent callers queue on the writer lock.
   [[nodiscard]] StatusOr<Response> Ingest(const std::string& trace_text);
+
+  /// Runs one compaction cycle inline: merges the durable datasets (when
+  /// data_dir is configured), collapses the snapshot's tails into its
+  /// primary relation, and republishes. Exposed for tests; the background
+  /// trigger (compact_after_datasets) calls the same body. A failed or
+  /// contended durable merge leaves the served snapshot — and every sealed
+  /// dataset — untouched.
+  [[nodiscard]] Status CompactNow();
 
   const std::string& socket_path() const { return options_.socket_path; }
   uint64_t snapshot_epoch() const { return snapshots_.epoch(); }
@@ -123,8 +144,12 @@ class Daemon {
   std::atomic<bool> draining_{false};
   std::atomic<size_t> queued_connections_{0};
 
-  /// Serializes writers (Ingest): copy → append → reseal → publish.
+  /// Serializes writers (Ingest, CompactNow): build → seal → publish.
   Mutex writer_mu_;
+  /// Durable dataset directory; null when options_.data_dir is empty.
+  std::unique_ptr<DatasetStore> store_ COLGRAPH_GUARDED_BY(writer_mu_);
+  /// Collapses scheduling so at most one background compaction is queued.
+  std::atomic<bool> compaction_queued_{false};
 
   /// One worker dedicated to the accept loop; connection handlers run on
   /// conn_pool_. Destroyed (joined) by Drain in accept-first order so no

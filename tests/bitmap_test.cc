@@ -169,5 +169,79 @@ INSTANTIATE_TEST_SUITE_P(Sizes, BitmapPropertyTest,
                          ::testing::Values(1, 7, 63, 64, 65, 127, 128, 1000,
                                            4096, 10001));
 
+// OrAt is the dataset-blit primitive (DESIGN.md §14): a tail dataset's
+// match bitmap is OR'd into the global result at its record base.
+TEST(BitmapOrAtTest, WordAlignedOffset) {
+  Bitmap dst(256);
+  Bitmap src(64);
+  src.Set(0);
+  src.Set(63);
+  dst.OrAt(src, 64);
+  EXPECT_EQ(dst.ToVector(), (std::vector<uint64_t>{64, 127}));
+}
+
+TEST(BitmapOrAtTest, UnalignedOffsetSpillsAcrossWords) {
+  Bitmap dst(200);
+  Bitmap src(70);
+  src.Set(0);
+  src.Set(62);
+  src.Set(63);  // these two straddle the destination word boundary
+  src.Set(69);
+  dst.OrAt(src, 100);
+  EXPECT_EQ(dst.ToVector(), (std::vector<uint64_t>{100, 162, 163, 169}));
+}
+
+TEST(BitmapOrAtTest, PreservesExistingBitsAndZeroOffset) {
+  Bitmap dst(128);
+  dst.Set(5);
+  dst.Set(127);
+  Bitmap src(128);
+  src.Set(5);  // overlap stays a single set bit
+  src.Set(64);
+  dst.OrAt(src, 0);
+  EXPECT_EQ(dst.ToVector(), (std::vector<uint64_t>{5, 64, 127}));
+}
+
+TEST(BitmapOrAtTest, EmptyAndFullSources) {
+  Bitmap dst(192);
+  dst.OrAt(Bitmap(0), 192);  // empty source at the very end is a no-op
+  EXPECT_TRUE(dst.None());
+
+  Bitmap full(65);
+  full.Fill();
+  dst.OrAt(full, 127);  // ends exactly at dst.size()
+  EXPECT_EQ(dst.Count(), 65u);
+  for (size_t i = 127; i < 192; ++i) EXPECT_TRUE(dst.Test(i));
+  EXPECT_FALSE(dst.Test(126));
+}
+
+TEST(BitmapOrAtTest, MatchesNaiveLoopOnRandomInputs) {
+  Rng rng(20260808);
+  for (int round = 0; round < 50; ++round) {
+    const size_t src_bits = 1 + rng.Uniform(0, 150);
+    const size_t offset = rng.Uniform(0, 130);
+    Bitmap dst(offset + src_bits + rng.Uniform(0, 64));
+    Bitmap src(src_bits);
+    std::vector<bool> expected(dst.size(), false);
+    for (size_t i = 0; i < dst.size(); ++i) {
+      if (rng.Bernoulli(0.2)) {
+        dst.Set(i);
+        expected[i] = true;
+      }
+    }
+    for (size_t i = 0; i < src_bits; ++i) {
+      if (rng.Bernoulli(0.3)) {
+        src.Set(i);
+        expected[offset + i] = true;
+      }
+    }
+    dst.OrAt(src, offset);
+    for (size_t i = 0; i < dst.size(); ++i) {
+      ASSERT_EQ(dst.Test(i), expected[i])
+          << "round " << round << " bit " << i << " offset " << offset;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace colgraph

@@ -170,12 +170,12 @@ TEST_F(IoUtilTest, WrongMagicIsCorruption) {
 }
 
 TEST_F(IoUtilTest, UnsupportedVersionIsCorruption) {
-  io::Writer out(path_, kMagic, 4);
+  io::Writer out(path_, kMagic, 5);
   out.BeginSection();
   out.WritePod(uint32_t{1});
   out.EndSection();
-  // A v4 file still needs a valid footer to be parsed at all; Commit
-  // writes one, so the version check is what must reject it.
+  // A future-version file still needs a valid footer to be parsed at all;
+  // Commit writes one, so the version check is what must reject it.
   ASSERT_TRUE(out.Commit().ok());
   const Status st = io::Reader::Open(path_, kMagic).status();
   EXPECT_TRUE(st.IsCorruption()) << st.ToString();
@@ -219,6 +219,122 @@ TEST_F(IoUtilTest, OpenTextForReadReadsLines) {
   std::string line;
   ASSERT_TRUE(std::getline(*in, line));
   EXPECT_EQ(line, "hello");
+}
+
+// The record-count cap is inclusive on the boundary: the relation and
+// engine readers share this helper, so the two cannot drift (ISSUE 9
+// hoisted the previously duplicated checks here).
+TEST_F(IoUtilTest, ValidateRecordCountBoundary) {
+  EXPECT_TRUE(io::ValidateRecordCount(0, "f").ok());
+  EXPECT_TRUE(io::ValidateRecordCount(io::kMaxSnapshotRecords - 1, "f").ok());
+  EXPECT_TRUE(io::ValidateRecordCount(io::kMaxSnapshotRecords, "f").ok());
+  const Status st =
+      io::ValidateRecordCount(io::kMaxSnapshotRecords + 1, "the-file");
+  ASSERT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_NE(st.message().find("the-file"), std::string::npos)
+      << "error must name the file: " << st.message();
+}
+
+TEST_F(IoUtilTest, RemoveStaleTempSweepsOnlyTheTmp) {
+  {
+    std::ofstream published(path_, std::ios::binary);
+    published << "published";
+    std::ofstream tmp(path_ + ".tmp", std::ios::binary);
+    tmp << "torn write";
+  }
+  io::RemoveStaleTemp(path_);
+  EXPECT_FALSE(std::ifstream(path_ + ".tmp", std::ios::binary).good());
+  EXPECT_TRUE(std::ifstream(path_, std::ios::binary).good());
+  io::RemoveStaleTemp(path_);  // idempotent on an already-clean path
+}
+
+TEST_F(IoUtilTest, MappedOpenMatchesCopyingOpen) {
+  io::Writer out(path_, kMagic, 2);
+  out.BeginSection();
+  out.WriteVec(std::vector<uint64_t>{3, 1, 4, 1, 5});
+  out.EndSection();
+  ASSERT_TRUE(out.Commit().ok());
+
+  auto mapped = io::Reader::OpenMapped(path_, kMagic);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->version(), 2u);
+  ASSERT_TRUE(mapped->BeginSection("vec").ok());
+  std::vector<uint64_t> v;
+  ASSERT_TRUE(mapped->ReadVec(&v).ok());
+  EXPECT_EQ(v, (std::vector<uint64_t>{3, 1, 4, 1, 5}));
+  ASSERT_TRUE(mapped->EndSection("vec").ok());
+  EXPECT_TRUE(mapped->ExpectEnd().ok());
+}
+
+// v4 snapshot plumbing: a payload-mode writer encodes extent bytes with no
+// framing, PadTo aligns them, and AtExtent gives bounds-checked access.
+TEST_F(IoUtilTest, PayloadWriterAndAtExtentRoundtrip) {
+  io::Writer payload(4);
+  payload.WritePod(uint64_t{0xfeedbeef});
+  payload.WriteVec(std::vector<uint32_t>{7, 8});
+  const std::vector<char> bytes = payload.TakePayload();
+  ASSERT_EQ(bytes.size(), sizeof(uint64_t) * 2 + sizeof(uint32_t) * 2);
+
+  io::Writer out(path_, kMagic, 4);
+  out.BeginSection();
+  out.WritePod(uint64_t{1});
+  out.EndSection();
+  const size_t aligned = io::RoundUpToPage(out.bytes_buffered());
+  out.PadTo(aligned);
+  ASSERT_EQ(out.bytes_buffered(), aligned);
+  out.AppendRaw(bytes.data(), bytes.size());
+  ASSERT_TRUE(out.Commit().ok());
+
+  auto in = io::Reader::Open(path_, kMagic);
+  ASSERT_TRUE(in.ok()) << in.status().ToString();
+  auto extent = in->AtExtent(aligned, bytes.size());
+  ASSERT_TRUE(extent.ok()) << extent.status().ToString();
+  uint64_t marker = 0;
+  ASSERT_TRUE(extent->ReadPod(&marker).ok());
+  EXPECT_EQ(marker, 0xfeedbeefu);
+  std::vector<uint32_t> v;
+  ASSERT_TRUE(extent->ReadVec(&v).ok());
+  EXPECT_EQ(v, (std::vector<uint32_t>{7, 8}));
+
+  // Out-of-body ranges must be Corruption, not a wild read: past the
+  // checksummed body, overflowing lengths, and off-the-end offsets.
+  EXPECT_TRUE(in->AtExtent(aligned, bytes.size() + 64).status().IsCorruption());
+  EXPECT_TRUE(in->AtExtent(in->body_size(), 1).status().IsCorruption());
+  EXPECT_TRUE(
+      in->AtExtent(UINT64_MAX - 1, 2).status().IsCorruption());
+}
+
+TEST_F(IoUtilTest, ExclusiveFileLockLifecycle) {
+  const std::string lock_path = path_ + ".lock";
+  auto lock = io::ExclusiveFile::Acquire(lock_path);
+  ASSERT_TRUE(lock.ok()) << lock.status().ToString();
+
+  // Second holder is refused with the retryable status.
+  const auto contended = io::ExclusiveFile::Acquire(lock_path);
+  ASSERT_FALSE(contended.ok());
+  EXPECT_TRUE(contended.status().IsUnavailable())
+      << contended.status().ToString();
+
+  // Release unlinks; a new acquire then succeeds.
+  lock.value().Release();
+  EXPECT_FALSE(std::ifstream(lock_path, std::ios::binary).good());
+  auto again = io::ExclusiveFile::Acquire(lock_path);
+  ASSERT_TRUE(again.ok());
+
+  // Move transfers the hold; releasing the moved-from side is a no-op.
+  io::ExclusiveFile moved = std::move(again).value();
+  EXPECT_TRUE(io::ExclusiveFile::Acquire(lock_path).status().IsUnavailable());
+  moved.Release();
+
+  // BreakStale clears a crashed holder's leftover file.
+  {
+    std::ofstream stale(lock_path, std::ios::binary);
+    stale << "dead pid";
+  }
+  EXPECT_TRUE(io::ExclusiveFile::Acquire(lock_path).status().IsUnavailable());
+  io::ExclusiveFile::BreakStale(lock_path);
+  auto fresh = io::ExclusiveFile::Acquire(lock_path);
+  EXPECT_TRUE(fresh.ok()) << fresh.status().ToString();
 }
 
 }  // namespace

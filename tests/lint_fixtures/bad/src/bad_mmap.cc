@@ -1,0 +1,9 @@
+// Known-bad fixture for the [no-raw-mmap] rule: raw mmap/munmap outside
+// columnstore/mem_map.cc must be flagged.
+#include <sys/mman.h>
+
+void* LeakyMap(int fd, unsigned long len) {
+  void* p = mmap(nullptr, len, 0x1, 0x2, fd, 0);
+  ::munmap(p, len);
+  return p;
+}

@@ -9,7 +9,14 @@
 //   colgraphd --socket=PATH [--traces=FILE] [--workers=N]
 //             [--max-in-flight=N] [--query-log=FILE]
 //             [--default-timeout-ms=N] [--threads=N]
+//             [--data-dir=DIR] [--compact-after=N]
 //   colgraphd --smoke=DIR
+//
+// --data-dir makes ingest durable (DESIGN.md §14): every batch is sealed
+// as an immutable dataset file in DIR before it is served, and a restart
+// re-attaches DIR's datasets to the initial snapshot. --compact-after=N
+// triggers a background compaction once N tail datasets have
+// accumulated (0 disables; default 4).
 //
 // --smoke runs the end-to-end self-test wired into ctest (label `server`):
 // it starts a daemon on a scratch socket, drives it through the retrying
@@ -58,9 +65,11 @@ struct Args {
   std::string traces_path;
   std::string query_log_path;
   std::string smoke_dir;
+  std::string data_dir;
   size_t workers = 8;
   size_t max_in_flight = 32;
   size_t threads = 1;
+  size_t compact_after = 4;
   uint64_t default_timeout_ms = 0;
 };
 
@@ -76,6 +85,7 @@ int Usage(const char* argv0) {
                "usage: %s --socket=PATH [--traces=FILE] [--workers=N]\n"
                "          [--max-in-flight=N] [--query-log=FILE]\n"
                "          [--default-timeout-ms=N] [--threads=N]\n"
+               "          [--data-dir=DIR] [--compact-after=N]\n"
                "       %s --smoke=DIR\n",
                argv0, argv0);
   return 2;
@@ -111,6 +121,8 @@ int Serve(const Args& args) {
   options.num_workers = args.workers;
   options.max_in_flight = args.max_in_flight;
   options.default_timeout_ms = args.default_timeout_ms;
+  options.data_dir = args.data_dir;
+  options.compact_after_datasets = args.compact_after;
   StatusOr<std::unique_ptr<Daemon>> daemon =
       Daemon::Start(std::move(initial).value(), options);
   if (!daemon.ok()) {
@@ -264,6 +276,11 @@ int main(int argc, char** argv) {
     if (ParseFlag(argv[i], "--traces=", &args.traces_path)) continue;
     if (ParseFlag(argv[i], "--query-log=", &args.query_log_path)) continue;
     if (ParseFlag(argv[i], "--smoke=", &args.smoke_dir)) continue;
+    if (ParseFlag(argv[i], "--data-dir=", &args.data_dir)) continue;
+    if (ParseFlag(argv[i], "--compact-after=", &value)) {
+      args.compact_after = std::strtoull(value.c_str(), nullptr, 10);
+      continue;
+    }
     if (ParseFlag(argv[i], "--workers=", &value)) {
       args.workers = std::strtoull(value.c_str(), nullptr, 10);
       continue;

@@ -50,6 +50,14 @@ Rules
                      QueryPhase) so every measurement lands in the metrics
                      registry and in query traces instead of a one-off local
                      that EXPLAIN never sees.
+  no-raw-mmap        Library code must not call raw mmap/munmap/mremap:
+                     all memory mapping goes through columnstore/mem_map.h
+                     (MemMap) so mappings are RAII-released, zero-length
+                     files map to a well-defined empty range, and the
+                     SIGBUS-freedom argument (whole-file CRC faults every
+                     page at open) holds in one place. mem_map.cc itself is
+                     exempt; identifiers merely containing "mmap" (MemMap)
+                     are not matched.
   no-raw-socket      Library code must not call the raw socket(2) API
                      (socket/connect/bind/listen/accept/send/recv and
                      friends): all wire I/O goes through src/server/
@@ -75,6 +83,13 @@ RAW_SOCKET_CALL = re.compile(
     r"(^|[^\w.>:])(::\s*)?"
     r"(?:socket|connect|bind|listen|accept4?|send|recv|sendto|recvfrom|"
     r"sendmsg|recvmsg|setsockopt|getsockopt|getpeername|getsockname)\s*\("
+)
+
+# Raw memory-mapping calls: same shape as RAW_SOCKET_CALL, so MemMap,
+# MappedRelationFile and friends (word char before the name) never match
+# while `mmap(`, `::munmap(` and `(void)mremap(` do.
+RAW_MMAP_CALL = re.compile(
+    r"(^|[^\w.>:])(::\s*)?(?:mmap|munmap|mremap)\s*\("
 )
 
 # Statement openers that legitimately consume a Status result.
@@ -142,6 +157,7 @@ def lint_file(path, rel, status_fns, errors, in_library):
     is_thread_pool = os.path.basename(posix_rel).startswith("thread_pool.")
     is_sync = posix_rel.endswith("util/sync.h")
     is_net = posix_rel.startswith("src/server/net_")
+    is_mem_map = posix_rel.endswith("columnstore/mem_map.cc")
 
     if is_header:
         first_code = next(
@@ -214,6 +230,13 @@ def lint_file(path, rel, status_fns, errors, in_library):
                     f"critical sections carry thread-safety annotations "
                     f"and lock-rank checks, not raw std::mutex/"
                     f"std::lock_guard/std::condition_variable"
+                )
+            if not is_mem_map and RAW_MMAP_CALL.search(line):
+                errors.append(
+                    f"{rel}:{i}: [no-raw-mmap] memory mapping must go "
+                    f"through columnstore/mem_map.h (MemMap: RAII release, "
+                    f"empty-file contract, single home for the SIGBUS "
+                    f"argument), not raw mmap/munmap/mremap"
                 )
             if not is_net and RAW_SOCKET_CALL.search(line):
                 errors.append(

@@ -58,6 +58,26 @@ std::vector<char> BitFlipped(std::vector<char> bytes, size_t pos,
   return bytes;
 }
 
+template <typename T>
+std::vector<char> Patched(std::vector<char> bytes, size_t pos,
+                          const T& value) {
+  COLGRAPH_CHECK(pos + sizeof(T) <= bytes.size());
+  std::memcpy(bytes.data() + pos, &value, sizeof(T));
+  return bytes;
+}
+
+std::vector<char> SlurpAndRemove(const std::string& path) {
+  std::vector<char> bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  std::remove(path.c_str());
+  COLGRAPH_CHECK(!bytes.empty()) << "empty artifact at " << path;
+  return bytes;
+}
+
 // --- fuzz_snapshot -------------------------------------------------------
 
 void MakeSnapshotSeeds(const std::filesystem::path& dir) {
@@ -71,18 +91,19 @@ void MakeSnapshotSeeds(const std::filesystem::path& dir) {
       (std::filesystem::temp_directory_path() / "colgraph_corpus_snap.bin")
           .string();
   COLGRAPH_CHECK_OK(WriteRelation(rel, tmp));
-  std::vector<char> valid;
-  {
-    std::ifstream in(tmp, std::ios::binary);
-    valid.assign(std::istreambuf_iterator<char>(in),
-                 std::istreambuf_iterator<char>());
-  }
-  std::remove(tmp.c_str());
-  COLGRAPH_CHECK(!valid.empty());
+  const std::vector<char> valid = SlurpAndRemove(tmp);
 
-  // Current-version snapshot (v3 since the hybrid-bitmap encoding). A
-  // genuine v2 file is committed as legacy_v2 — static, since the writer
-  // can no longer produce one.
+  // Current-version snapshot (v4 since the mmap extent layout). Genuine
+  // older images are produced below via WriteRelationAtVersion — except
+  // v2's legacy_v2, committed static since the writer can no longer emit
+  // untagged bitmaps.
+  {
+    uint32_t version = 0;
+    std::memcpy(&version, valid.data() + 4, sizeof(version));
+    COLGRAPH_CHECK(version == 4)
+        << "WriteRelation emits v" << version
+        << "; update the v4 seed geometry below";
+  }
   WriteSeed(dir, "valid_snapshot", valid);
   WriteSeed(dir, "truncated_half", Truncated(valid, valid.size() / 2));
   WriteSeed(dir, "truncated_footer", Truncated(valid, valid.size() - 5));
@@ -103,9 +124,50 @@ void MakeSnapshotSeeds(const std::filesystem::path& dir) {
     WriteSeed(dir, "huge_section_len", huge_section);
   }
 
+  // v4 extent-directory damage. Fixed geometry of the valid image above
+  // (io_util.h layout): preamble 8B; header section [12B frame][u64
+  // num_records][u64 num_columns] ends at 36; extent-directory section
+  // frame at 36 with payload [u64 count @48][{u64 offset, u64 len} @56,
+  // one pair per column]. Stale CRCs are fine — the fuzz harness's fixup
+  // pass recomputes them so these seeds reach the directory validator,
+  // not the checksum rejection.
+  {
+    constexpr size_t kDirCountPos = 48;
+    constexpr size_t kExt0OffsetPos = 56;
+    constexpr size_t kExt0LenPos = 64;
+    constexpr size_t kExt1OffsetPos = 72;
+    uint64_t dir_count = 0;
+    std::memcpy(&dir_count, valid.data() + kDirCountPos, sizeof(dir_count));
+    COLGRAPH_CHECK(dir_count == 3)
+        << "extent directory not at the expected offset (count "
+        << dir_count << ")";
+    // Count disagrees with the header's column count.
+    WriteSeed(dir, "v4_extent_count_mismatch",
+              Patched(valid, kDirCountPos, uint64_t{1000}));
+    // First extent points far past the checksummed body.
+    WriteSeed(dir, "v4_extent_offset_past_body",
+              Patched(valid, kExt0OffsetPos, uint64_t{1} << 40));
+    // Length so large that offset + len overflows / escapes the body.
+    WriteSeed(dir, "v4_extent_len_overflow",
+              Patched(valid, kExt0LenPos, ~uint64_t{0} - 8));
+    // Second extent rewound on top of the first: non-ascending overlap.
+    uint64_t ext0_offset = 0;
+    std::memcpy(&ext0_offset, valid.data() + kExt0OffsetPos,
+                sizeof(ext0_offset));
+    WriteSeed(dir, "v4_extent_overlap",
+              Patched(valid, kExt1OffsetPos, ext0_offset));
+    // Single bit flipped inside the first raw column extent: no section
+    // CRC shields it, only the whole-file footer (and the column decoder,
+    // once the harness rebuilds the footer).
+    WriteSeed(dir, "v4_extent_payload_flip",
+              BitFlipped(valid, static_cast<size_t>(ext0_offset) + 10, 5));
+  }
+
   // Sparse relation: columns fall under the hybrid density threshold, so
-  // the v3 writer emits tag-1 (hybrid) bitmap payloads — parks the fuzzer
-  // on the FromRawChecked branch of the snapshot reader.
+  // the writer emits tag-1 (hybrid) bitmap payloads — parks the fuzzer
+  // on the FromRawChecked branch of the snapshot reader. Pinned to v3
+  // (the last sequential-layout version) now that WriteRelation emits the
+  // v4 extent layout.
   {
     MasterRelation sparse_rel;
     for (int i = 0; i < 300; ++i) {
@@ -120,15 +182,9 @@ void MakeSnapshotSeeds(const std::filesystem::path& dir) {
         (std::filesystem::temp_directory_path() /
          "colgraph_corpus_snap_hybrid.bin")
             .string();
-    COLGRAPH_CHECK_OK(WriteRelation(sparse_rel, sparse_tmp));
-    std::vector<char> hybrid_snap;
-    {
-      std::ifstream in(sparse_tmp, std::ios::binary);
-      hybrid_snap.assign(std::istreambuf_iterator<char>(in),
-                         std::istreambuf_iterator<char>());
-    }
-    std::remove(sparse_tmp.c_str());
-    COLGRAPH_CHECK(!hybrid_snap.empty());
+    COLGRAPH_CHECK_OK(
+        internal::WriteRelationAtVersion(sparse_rel, sparse_tmp, 3));
+    const std::vector<char> hybrid_snap = SlurpAndRemove(sparse_tmp);
     WriteSeed(dir, "valid_v3_hybrid", hybrid_snap);
     WriteSeed(dir, "v3_hybrid_flipped_bit",
               BitFlipped(hybrid_snap, hybrid_snap.size() / 2, 4));
