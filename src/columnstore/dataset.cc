@@ -6,11 +6,53 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/failpoint.h"
 
 namespace colgraph {
 
 namespace {
+
+// Storage telemetry (DESIGN.md §15): seal and compaction are the two
+// durable state transitions the store performs; each gets a latency
+// histogram, and counters track throughput (datasets sealed, compactions
+// run, bytes merged, inputs retired). The published-dataset gauge tracks
+// how wide a LoadAll fan-out currently is.
+obs::LatencyHistogram& SealHistogram() {
+  static obs::LatencyHistogram& h =
+      obs::MetricsRegistry::Global().GetHistogram("store.seal_us");
+  return h;
+}
+obs::LatencyHistogram& CompactionHistogram() {
+  static obs::LatencyHistogram& h =
+      obs::MetricsRegistry::Global().GetHistogram("store.compaction_us");
+  return h;
+}
+obs::Counter& SealedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("store.datasets_sealed");
+  return c;
+}
+obs::Counter& CompactionsCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("store.compactions");
+  return c;
+}
+obs::Counter& CompactionBytesCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("store.compaction_bytes");
+  return c;
+}
+obs::Counter& RetiredCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("store.datasets_retired");
+  return c;
+}
+obs::Gauge& DatasetsGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().GetGauge("store.datasets");
+  return g;
+}
 
 constexpr uint32_t kManifestMagic = 0x43474D46;  // "CGMF"
 constexpr uint32_t kManifestVersion = 2;
@@ -106,6 +148,7 @@ StatusOr<DatasetStore> DatasetStore::Open(const std::string& dir,
       std::filesystem::remove(entry.path(), ec);
     }
   }
+  DatasetsGauge().Set(static_cast<int64_t>(store.names_.size()));
   return store;
 }
 
@@ -123,6 +166,7 @@ StatusOr<std::string> DatasetStore::Seal(const MasterRelation& relation) {
   if (!relation.sealed()) {
     return Status::InvalidArgument("can only seal a sealed relation");
   }
+  const obs::Span span(&SealHistogram(), nullptr, "store_seal");
   const uint64_t id = next_id_;
   const std::string name = DatasetName(id);
   COLGRAPH_RETURN_NOT_OK(WriteRelation(relation, PathFor(name)));
@@ -139,6 +183,8 @@ StatusOr<std::string> DatasetStore::Seal(const MasterRelation& relation) {
   ids_ = std::move(ids);
   names_.push_back(name);
   next_id_ = id + 1;
+  SealedCounter().Increment();
+  DatasetsGauge().Set(static_cast<int64_t>(names_.size()));
   return name;
 }
 
@@ -158,6 +204,9 @@ Status DatasetStore::CompactAll() {
   COLGRAPH_ASSIGN_OR_RETURN(io::ExclusiveFile lock,
                             io::ExclusiveFile::Acquire(LockPath()));
   (void)lock;  // held for scope; released (unlinked) on every exit path
+  // Times failed attempts too: an aborted merge still occupied the store's
+  // single compaction slot for the duration.
+  const obs::Span span(&CompactionHistogram(), nullptr, "store_compaction");
 
   std::vector<MappedRelationFile> inputs;
   inputs.reserve(names_.size());
@@ -218,9 +267,15 @@ Status DatasetStore::CompactAll() {
   for (const std::string& old : names_) {
     std::remove(PathFor(old).c_str());
   }
+  CompactionsCounter().Increment();
+  RetiredCounter().Add(names_.size());
+  uint64_t merged_bytes = 0;
+  for (const std::vector<char>& p : payloads) merged_bytes += p.size();
+  CompactionBytesCounter().Add(merged_bytes);
   ids_ = {id};
   names_ = {name};
   next_id_ = id + 1;
+  DatasetsGauge().Set(static_cast<int64_t>(names_.size()));
   return Status::OK();
 }
 

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace colgraph::io {
@@ -183,6 +184,48 @@ StatusOr<std::vector<char>> ReadFileBytes(const std::string& path) {
   return data;
 }
 
+Status WriteFileAtomic(const std::string& path, const void* data, size_t n) {
+  size_t write_bytes = n;
+  uint64_t short_arg = 0;
+  if (failpoint::Hit("io:short_write", &short_arg) ==
+      failpoint::Action::kShortWrite) {
+    write_bytes = std::min(write_bytes, static_cast<size_t>(short_arg));
+  }
+
+  const std::string tmp = path + ".tmp";
+  COLGRAPH_FAILPOINT("io:open_write");
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for write: " + tmp);
+  }
+  if (write_bytes > 0 &&
+      std::fwrite(data, 1, write_bytes, f) != write_bytes) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IOError("write failed: " + tmp);
+  }
+  // A short write that "succeeded" must still fail the commit: the tmp
+  // holds a prefix, and renaming a prefix into place would tear the file.
+  bool ok = write_bytes == n;
+  if (std::fflush(f) != 0 || ::fsync(fileno(f)) != 0) ok = false;
+  if (failpoint::Hit("io:fsync") != failpoint::Action::kOff) ok = false;
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError("flush/fsync failed: " + tmp);
+  }
+  if (failpoint::Hit("persist:before_rename") == failpoint::Action::kCrash) {
+    return Status::IOError(
+        "failpoint 'persist:before_rename' simulated crash");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("atomic rename failed: " + path);
+  }
+  SyncParentDir(path);
+  return Status::OK();
+}
+
 StatusOr<Reader> Reader::Open(const std::string& path, uint32_t magic) {
   std::vector<char> bytes;
   COLGRAPH_ASSIGN_OR_RETURN(bytes, ReadFileBytes(path));
@@ -203,7 +246,15 @@ StatusOr<Reader> Reader::OpenMapped(const std::string& path, uint32_t magic) {
   r.map_ = std::make_shared<MemMap>(std::move(mapped).value());
   r.base_ = r.map_->data();
   r.size_ = r.map_->size();
-  COLGRAPH_RETURN_NOT_OK(r.Validate(magic));
+  {
+    // The whole-file CRC pass doubles as the page prefault (header
+    // comment): it is the open-time cost that makes mapped reads safe, so
+    // its latency is a first-class storage metric (DESIGN.md §15).
+    static obs::LatencyHistogram& prefault_us =
+        obs::MetricsRegistry::Global().GetHistogram("io.crc_prefault_us");
+    const obs::Span span(&prefault_us, nullptr, "crc_prefault");
+    COLGRAPH_RETURN_NOT_OK(r.Validate(magic));
+  }
   return r;
 }
 

@@ -291,6 +291,16 @@ StatusOr<std::ifstream> OpenTextForRead(const std::string& path);
 /// trigger oversized allocations here. Failpoint: "io:open_read".
 StatusOr<std::vector<char>> ReadFileBytes(const std::string& path);
 
+/// Atomically replaces `path` with `n` bytes: write to `<path>.tmp`,
+/// fsync, rename(2) over the final path, fsync the parent directory —
+/// the Writer::Commit discipline for callers that bring their own bytes
+/// (the metrics exporter's snapshot files). A reader never observes a
+/// partial file; on failure the previous contents of `path` are untouched
+/// and the .tmp is removed. Failpoints: "io:open_write", "io:short_write",
+/// "io:fsync", "persist:before_rename" (shared with Writer::Commit).
+[[nodiscard]] Status WriteFileAtomic(const std::string& path,
+                                     const void* data, size_t n);
+
 /// \brief Append-only streaming file, for logs that grow while the process
 /// runs (the query log) — the one durability shape the snapshot Writer's
 /// write-tmp-then-rename discipline cannot provide. The caller does its own

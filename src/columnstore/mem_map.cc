@@ -5,9 +5,33 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "obs/metrics.h"
 #include "util/failpoint.h"
 
 namespace colgraph::io {
+
+namespace {
+
+// Storage telemetry (DESIGN.md §15): how many bytes of sealed column data
+// the process reads through mappings, cumulatively and right now. The
+// gauge decrements on unmap so it tracks live address-space usage.
+obs::Counter& MapsCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("io.mmap_maps");
+  return c;
+}
+obs::Counter& BytesMappedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("io.mmap_bytes_mapped");
+  return c;
+}
+obs::Gauge& ActiveBytesGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().GetGauge("io.mmap_active_bytes");
+  return g;
+}
+
+}  // namespace
 
 StatusOr<MemMap> MemMap::Open(const std::string& path) {
   COLGRAPH_FAILPOINT("io:mmap");
@@ -37,6 +61,9 @@ StatusOr<MemMap> MemMap::Open(const std::string& path) {
     return Status::IOError("mmap failed: " + path);
   }
   map.data_ = static_cast<const char*>(addr);
+  MapsCounter().Increment();
+  BytesMappedCounter().Add(map.size_);
+  ActiveBytesGauge().Add(static_cast<int64_t>(map.size_));
   return map;
 }
 
@@ -44,6 +71,7 @@ MemMap& MemMap::operator=(MemMap&& other) noexcept {
   if (this != &other) {
     if (data_ != nullptr) {
       ::munmap(const_cast<char*>(data_), size_);
+      ActiveBytesGauge().Add(-static_cast<int64_t>(size_));
     }
     data_ = other.data_;
     size_ = other.size_;
@@ -56,6 +84,7 @@ MemMap& MemMap::operator=(MemMap&& other) noexcept {
 MemMap::~MemMap() {
   if (data_ != nullptr) {
     ::munmap(const_cast<char*>(data_), size_);
+    ActiveBytesGauge().Add(-static_cast<int64_t>(size_));
   }
 }
 

@@ -368,6 +368,10 @@ std::string ColGraphEngine::DumpMetricsJson() const {
   w.BeginObject();
   w.Key("num_records");
   w.Uint(relation_->num_records());
+  w.Key("num_tail_datasets");
+  w.Uint(tails_.size());
+  w.Key("total_records");
+  w.Uint(total_records());
   w.Key("num_edge_columns");
   w.Uint(relation_->num_edge_columns());
   w.Key("num_graph_views");

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "obs/json_writer.h"
@@ -49,9 +50,43 @@ uint64_t LatencyHistogram::ApproxQuantileMicros(double q) const {
   uint64_t seen = 0;
   for (size_t b = 0; b < kNumBuckets; ++b) {
     seen += bucket_count(b);
-    if (seen >= rank) return BucketUpperMicros(b);
+    // Clamp to the observed maximum: the bucket bound is an upper estimate
+    // and must never exceed a value that was actually recorded.
+    if (seen >= rank) return std::min(BucketUpperMicros(b), max_micros());
   }
-  return BucketUpperMicros(kNumBuckets - 1);
+  return max_micros();
+}
+
+std::string LatencyHistogram::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("count");
+  w.Uint(count());
+  w.Key("total_us");
+  w.Uint(total_micros());
+  w.Key("max_us");
+  w.Uint(max_micros());
+  w.Key("p50_us");
+  w.Uint(ApproxQuantileMicros(0.50));
+  w.Key("p90_us");
+  w.Uint(ApproxQuantileMicros(0.90));
+  w.Key("p99_us");
+  w.Uint(ApproxQuantileMicros(0.99));
+  w.Key("buckets");
+  w.BeginArray();
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    const uint64_t n = bucket_count(b);
+    if (n == 0) continue;
+    w.BeginObject();
+    w.Key("le_us");
+    w.Uint(BucketUpperMicros(b));
+    w.Key("count");
+    w.Uint(n);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
 }
 
 void LatencyHistogram::Reset() {
@@ -142,37 +177,20 @@ std::string MetricsRegistry::ToJson() const {
   w.BeginObject();
   for (const auto& [name, hist] : histograms_) {
     w.Key(name);
-    w.BeginObject();
-    w.Key("count");
-    w.Uint(hist->count());
-    w.Key("total_us");
-    w.Uint(hist->total_micros());
-    w.Key("max_us");
-    w.Uint(hist->max_micros());
-    w.Key("p50_us");
-    w.Uint(hist->ApproxQuantileMicros(0.50));
-    w.Key("p90_us");
-    w.Uint(hist->ApproxQuantileMicros(0.90));
-    w.Key("p99_us");
-    w.Uint(hist->ApproxQuantileMicros(0.99));
-    w.Key("buckets");
-    w.BeginArray();
-    for (size_t b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
-      const uint64_t n = hist->bucket_count(b);
-      if (n == 0) continue;
-      w.BeginObject();
-      w.Key("le_us");
-      w.Uint(LatencyHistogram::BucketUpperMicros(b));
-      w.Key("count");
-      w.Uint(n);
-      w.EndObject();
-    }
-    w.EndArray();
-    w.EndObject();
+    w.Raw(hist->ToJson());
   }
   w.EndObject();
   w.EndObject();
   return w.str();
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::SnapshotCounters() const {
+  const MutexLock lock(mu_);
+  std::map<std::string, uint64_t> snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot[name] = counter->value();
+  }
+  return snapshot;
 }
 
 void MetricsRegistry::Reset() {

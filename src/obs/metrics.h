@@ -99,8 +99,20 @@ class LatencyHistogram {
   static uint64_t BucketUpperMicros(size_t bucket);
 
   /// Approximate quantile (q in [0,1]) from the bucket counts: the upper
-  /// bound of the bucket containing the q-th recorded value. 0 when empty.
+  /// bound of the bucket containing the q-th recorded value, clamped to
+  /// max_micros() so the estimate never exceeds a value actually observed
+  /// (the raw bucket bound over-reports at bucket edges — a single 100 µs
+  /// sample lives in the [64,128) bucket, whose bound is 127). 0 when
+  /// empty.
   uint64_t ApproxQuantileMicros(double q) const;
+
+  /// Renders this histogram as one JSON object:
+  /// {"count":..,"total_us":..,"max_us":..,"p50_us":..,"p90_us":..,
+  ///  "p99_us":..,"buckets":[{"le_us":..,"count":..},...]}.
+  /// Each bucket carries its inclusive upper bound (`le_us`) alongside the
+  /// count so external consumers don't have to re-derive the power-of-two
+  /// layout; zero-count buckets are omitted.
+  std::string ToJson() const;
 
   void Reset();
 
@@ -142,6 +154,11 @@ class MetricsRegistry {
   /// max_us,p50_us,p90_us,p99_us,buckets:[{le_us,count},...]}}}.
   /// Zero-count buckets are omitted.
   std::string ToJson() const;
+
+  /// Point-in-time copy of every counter's value, keyed by name. Not a
+  /// consistent cross-counter snapshot (same contract as ToJson); the
+  /// metrics exporter diffs two snapshots to report per-interval deltas.
+  std::map<std::string, uint64_t> SnapshotCounters() const;
 
   /// Zeroes every registered metric (registrations and references remain
   /// valid). For tests and bench warmup-discard; not thread-safe against

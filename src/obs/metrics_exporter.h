@@ -1,0 +1,93 @@
+// Background metrics export (DESIGN.md §15): a single worker periodically
+// snapshots the process-wide MetricsRegistry and writes one JSON document
+// to `<dir>/metrics.json` via write-tmp + atomic rename, so an external
+// collector (or `colgraph_client stats --watch` against a dead daemon) can
+// read a consistent file at any moment — never a torn one. Each document
+// carries a sequence number, the full metrics dump, and the per-interval
+// counter deltas since the previous export (rates without the collector
+// having to keep state).
+//
+// Failure policy: an export that cannot be written bumps
+// `metrics_exporter.failures` and the loop keeps going — observability
+// degradation must never affect serving (same stance as the query and
+// slow-query logs). Stop() runs one final export so short-lived processes
+// still leave a document behind.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+#include "util/sync.h"
+#include "util/thread_pool.h"
+
+namespace colgraph::obs {
+
+struct MetricsExporterOptions {
+  /// Directory for the exported document (created if absent).
+  std::string dir;
+  /// Milliseconds between exports.
+  uint64_t period_ms = 1000;
+  /// File name inside `dir`.
+  std::string file_name = "metrics.json";
+  /// Pre-rendered JSON to embed as the document's "metrics" value; when
+  /// unset, MetricsRegistry::Global().ToJson() is used. The daemon passes
+  /// its DumpMetricsJson so the export matches the STATS wire response.
+  std::function<std::string()> source;
+};
+
+/// \brief Periodic registry-snapshot writer on its own single-thread pool.
+class MetricsExporter {
+ public:
+  /// Validates the options, creates `dir`, performs one immediate export
+  /// (so the file exists as soon as Start returns), and launches the
+  /// periodic loop. The immediate export's write may fail (counted, not
+  /// fatal); only configuration errors fail Start.
+  static StatusOr<std::unique_ptr<MetricsExporter>> Start(
+      MetricsExporterOptions options);
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+  ~MetricsExporter();
+
+  /// Stops the loop, joins the worker, and writes one final export.
+  /// Idempotent.
+  void Stop();
+
+  /// Renders and atomically writes one document right now (also what the
+  /// loop calls each period). Thread-safe. Failures bump
+  /// `metrics_exporter.failures` and are returned.
+  [[nodiscard]] Status ExportOnce();
+
+  /// Full path of the exported document.
+  std::string target_path() const;
+
+  /// Documents successfully written / failed writes, process-wide counters
+  /// ("metrics_exporter.exports" / "metrics_exporter.failures").
+  uint64_t exports() const;
+  uint64_t failures() const;
+
+ private:
+  explicit MetricsExporter(MetricsExporterOptions options);
+
+  void Run();
+
+  const MetricsExporterOptions options_;
+
+  Mutex mu_;
+  CondVar cv_;
+  bool stop_ COLGRAPH_GUARDED_BY(mu_) = false;
+  uint64_t seq_ COLGRAPH_GUARDED_BY(mu_) = 0;
+  /// Counter values at the previous export, for delta reporting.
+  std::map<std::string, uint64_t> last_counters_ COLGRAPH_GUARDED_BY(mu_);
+
+  bool stopped_ = false;  ///< Stop() ran (main thread only)
+  /// Single worker running Run(); destroyed (joined) by Stop(). Last
+  /// member so the loop never sees partially constructed state.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace colgraph::obs

@@ -1,0 +1,150 @@
+// Durable slow-query capture (DESIGN.md §15): an append-only binary log of
+// the requests worth keeping — those over a latency threshold, plus an
+// optional deterministic 1-in-N sample of everything else — each record
+// carrying the full joined trace (server phases + engine phases) keyed by
+// the wire-propagated request id. Where the query log (query_log.h)
+// records every query's *structure* for replay, this log records selected
+// requests' *time breakdown* for diagnosis; tools/colgraph_trace renders
+// it.
+//
+// File format (all integers host byte order, frames as in query_log.h):
+//
+//   header:  [u32 magic "CGSQ"][u32 version = 1]
+//   frame*:  [u8 type][u64 payload_len][u32 crc32c(payload)][payload]
+//            type 0 = slow-query record, type 1 = footer
+//   footer payload: [u32 footer magic "CGSF"][u64 record_count]
+//
+// Durability and degradation mirror QueryLog exactly: buffered appends, a
+// mandatory footer written by Close(), and poison-on-write-failure with
+// drops mirrored into the process-wide counter `slow_query_log.dropped` —
+// a full disk degrades capture, never serving.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnstore/io_util.h"
+#include "util/status.h"
+#include "util/sync.h"
+
+namespace colgraph::obs {
+
+inline constexpr uint32_t kSlowQueryLogMagic = 0x51534743;        // "CGSQ"
+inline constexpr uint32_t kSlowQueryLogFooterMagic = 0x46534743;  // "CGSF"
+inline constexpr uint32_t kSlowQueryLogVersion = 1;
+
+/// Query text beyond this many bytes is truncated at Append: the log
+/// captures enough to identify the request, not to archive multi-MB
+/// ingest bodies.
+inline constexpr size_t kMaxSlowQueryTextBytes = 4096;
+
+/// \brief One timed region inside a captured record. Mirrors TraceEvent
+/// with an owned name (the record outlives the trace it came from).
+struct SlowQuerySpan {
+  std::string name;
+  uint64_t start_us = 0;  ///< relative to the request start
+  uint64_t duration_us = 0;
+};
+
+/// \brief One captured request, as recorded in (or decoded from) the log.
+struct SlowQueryRecord {
+  uint64_t request_id = 0;
+  uint64_t snapshot_epoch = 0;
+  uint64_t total_us = 0;
+  uint32_t wire_code = 0;  ///< server::WireCode of the response
+  uint8_t op = 0;          ///< server::RequestOp of the request
+  /// True when the record was taken by the 1-in-N sampler rather than the
+  /// latency threshold — samples are a workload cross-section, not
+  /// outliers, and consumers must not mix the two populations.
+  bool sampled = false;
+  /// Request body, truncated to kMaxSlowQueryTextBytes.
+  std::string query;
+  /// The joined trace: server phases + engine phases, completion order.
+  std::vector<SlowQuerySpan> spans;
+};
+
+/// \brief Capture policy + file configuration (DaemonOptions::slow_query_log).
+struct SlowQueryLogOptions {
+  /// Log file path; empty disables capture (the default).
+  std::string path;
+  /// Requests at or above this total latency are always captured.
+  uint64_t threshold_us = 20 * 1000;
+  /// Additionally capture every Nth request regardless of latency
+  /// (deterministic counter, so tests and overhead are predictable);
+  /// 0 disables sampling.
+  uint64_t sample_every = 0;
+  /// Buffered bytes before the writer flushes to the file; the floor of 1
+  /// effectively means "flush every record" — useful in tests.
+  size_t flush_bytes = size_t{64} * 1024;
+};
+
+/// \brief Append-only slow-query-log writer. Thread-safe: connection
+/// workers decide and append concurrently.
+class SlowQueryLog {
+ public:
+  /// Creates (truncating) the log file and writes the header.
+  static StatusOr<std::unique_ptr<SlowQueryLog>> Open(
+      SlowQueryLogOptions options);
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+  /// Best-effort Close() (footer + fsync); errors only warn on stderr.
+  ~SlowQueryLog();
+
+  /// The capture decision for a finished request: true when `total_us`
+  /// meets the threshold or the deterministic sampler picks this request.
+  /// `sampled_out` (may be null) reports which rule fired — threshold wins
+  /// when both do. Counts every offered request, so call exactly once per
+  /// request.
+  bool AdmitForCapture(uint64_t total_us, bool* sampled_out);
+
+  /// Serializes and enqueues one record (query text truncated to
+  /// kMaxSlowQueryTextBytes); flushes if the buffer is full. Errors poison
+  /// the log as in QueryLog::Append.
+  void Append(const SlowQueryRecord& record);
+
+  /// Flushes, appends the footer frame, fsyncs, and closes. Idempotent;
+  /// returns the first error the log hit. After Close() Appends drop.
+  [[nodiscard]] Status Close();
+
+  uint64_t records_appended() const;
+  /// Records dropped after a write failure poisoned the log; mirrored into
+  /// the process-wide counter `slow_query_log.dropped`.
+  uint64_t records_dropped() const;
+
+  const std::string& path() const { return options_.path; }
+  const SlowQueryLogOptions& options() const { return options_; }
+
+ private:
+  SlowQueryLog(SlowQueryLogOptions options, io::AppendFile file)
+      : options_(std::move(options)), file_(std::move(file)) {}
+
+  void FlushLocked() COLGRAPH_REQUIRES(mu_);
+
+  const SlowQueryLogOptions options_;
+
+  mutable Mutex mu_;
+  io::AppendFile file_ COLGRAPH_GUARDED_BY(mu_);
+  std::vector<char> buffer_ COLGRAPH_GUARDED_BY(mu_);
+  uint64_t records_ COLGRAPH_GUARDED_BY(mu_) = 0;
+  uint64_t buffered_records_ COLGRAPH_GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ COLGRAPH_GUARDED_BY(mu_) = 0;
+  uint64_t offered_ COLGRAPH_GUARDED_BY(mu_) = 0;  ///< sampler position
+  bool closed_ COLGRAPH_GUARDED_BY(mu_) = false;
+  Status first_error_ COLGRAPH_GUARDED_BY(mu_) = Status::OK();
+};
+
+/// Serializes one record as a complete [type|len|crc|payload] frame,
+/// appended to `out`. Exposed for the reader's tests.
+void AppendSlowQueryFrame(const SlowQueryRecord& record,
+                          std::vector<char>* out);
+
+/// Reads a closed slow-query log back: validates the header, every frame
+/// CRC, and the mandatory footer (count match included). Any truncation —
+/// even at a frame boundary — is Status::Corruption.
+StatusOr<std::vector<SlowQueryRecord>> ReadSlowQueryLog(
+    const std::string& path);
+
+}  // namespace colgraph::obs

@@ -101,6 +101,21 @@ StatusOr<Response> Client::Query(const std::string& text,
   return Call(request);
 }
 
+StatusOr<Response> Client::QueryTraced(const std::string& text,
+                                       uint64_t timeout_ms) {
+  Request request;
+  request.op = RequestOp::kQuery;
+  request.timeout_ms = timeout_ms;
+  request.body = text;
+  request.has_context = true;
+  // Any nonzero 64-bit value keys the request; the jitter RNG is already
+  // seeded (deterministically in tests), so draw from it.
+  request.context.request_id = rng_.Uniform(1, ~uint64_t{0});
+  request.context.flags = kContextFlagTrace;
+  last_request_id_ = request.context.request_id;
+  return Call(request);
+}
+
 StatusOr<Response> Client::Ingest(const std::string& trace_text) {
   Request request;
   request.op = RequestOp::kIngest;
@@ -108,9 +123,10 @@ StatusOr<Response> Client::Ingest(const std::string& trace_text) {
   return Call(request);
 }
 
-StatusOr<Response> Client::Stats() {
+StatusOr<Response> Client::Stats(const std::string& selector) {
   Request request;
   request.op = RequestOp::kStats;
+  request.body = selector;
   return Call(request);
 }
 

@@ -66,13 +66,28 @@ class Client {
   [[nodiscard]] StatusOr<Response> Ping();
   [[nodiscard]] StatusOr<Response> Query(const std::string& text,
                                          uint64_t timeout_ms = 0);
+  /// Query with the request-context extension (DESIGN.md §15): a fresh
+  /// client-generated nonzero request id plus the trace flag, so the
+  /// server echoes its joined trace in Response::trace_json. Send only to
+  /// servers that understand the extension — an old server rejects the
+  /// framed request with INVALID_ARGUMENT (tracing is opt-in per request
+  /// for exactly this reason).
+  [[nodiscard]] StatusOr<Response> QueryTraced(const std::string& text,
+                                               uint64_t timeout_ms = 0);
   [[nodiscard]] StatusOr<Response> Ingest(const std::string& trace_text);
-  [[nodiscard]] StatusOr<Response> Stats();
+  /// `selector` picks the stats document: "" / "full" = the server's
+  /// DumpMetricsJson, "registry" = the bare metrics registry (cheap; what
+  /// `stats --watch` polls).
+  [[nodiscard]] StatusOr<Response> Stats(const std::string& selector = "");
 
   /// Drops the cached connection (the next Call reconnects).
   void Disconnect() { socket_.Close(); }
 
   size_t attempts_made() const { return attempts_made_; }
+  /// The request id QueryTraced() generated on its most recent call —
+  /// lets callers correlate the response trace and the server's
+  /// slow-query record with their own bookkeeping.
+  uint64_t last_request_id() const { return last_request_id_; }
 
  private:
   /// One wire round trip on the cached (or freshly dialed) connection.
@@ -85,6 +100,7 @@ class Client {
   /// Attempts consumed by the most recent Call() (observability for the
   /// chaos tests: "the retry actually happened").
   size_t attempts_made_ = 0;
+  uint64_t last_request_id_ = 0;
 };
 
 }  // namespace colgraph::server

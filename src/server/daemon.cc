@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/parser.h"
 #include "util/cancellation.h"
 #include "workload/trace_loader.h"
@@ -44,6 +45,19 @@ obs::Gauge& InFlightGauge() {
 obs::Gauge& QueueDepthGauge() {
   static obs::Gauge& g =
       obs::MetricsRegistry::Global().GetGauge("server.queue_depth");
+  return g;
+}
+// Storage shape of the *served* snapshot (DESIGN.md §15): set at every
+// publish so the exporter and STATS responses show how fragmented the
+// tail is and how much the daemon currently serves.
+obs::Gauge& TailDatasetsGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().GetGauge("server.tail_datasets");
+  return g;
+}
+obs::Gauge& TotalRecordsGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().GetGauge("server.total_records");
   return g;
 }
 
@@ -135,6 +149,30 @@ StatusOr<std::unique_ptr<Daemon>> Daemon::Start(
     const MutexLock writer_lock(daemon->writer_mu_);
     daemon->store_ = std::move(store);
   }
+
+  // Telemetry sinks (DESIGN.md §15). The slow-query log must open or the
+  // daemon refuses to start — silently serving without the capture the
+  // operator asked for is worse than failing fast. The Daemon destructor
+  // drains cleanly if either Open fails here.
+  if (!daemon->options_.slow_query_log.path.empty()) {
+    COLGRAPH_ASSIGN_OR_RETURN(
+        daemon->slow_log_,
+        obs::SlowQueryLog::Open(daemon->options_.slow_query_log));
+  }
+  if (!daemon->options_.metrics_dir.empty()) {
+    obs::MetricsExporterOptions exporter_options;
+    exporter_options.dir = daemon->options_.metrics_dir;
+    exporter_options.period_ms = daemon->options_.metrics_period_ms;
+    // Export what a STATS request would answer: the *served* snapshot's
+    // DumpMetricsJson (engine + registry), not the bare registry.
+    Daemon* raw = daemon.get();
+    exporter_options.source = [raw] {
+      return raw->snapshots_.Acquire()->DumpMetricsJson();
+    };
+    COLGRAPH_ASSIGN_OR_RETURN(
+        daemon->exporter_,
+        obs::MetricsExporter::Start(std::move(exporter_options)));
+  }
   return daemon;
 }
 
@@ -151,6 +189,13 @@ Daemon::Daemon(DaemonOptions options,
   // dump) lists them at zero before the first request arrives.
   InFlightGauge();
   QueueDepthGauge();
+  {
+    const std::shared_ptr<const ColGraphEngine> snapshot =
+        snapshots_.Acquire();
+    TailDatasetsGauge().Set(static_cast<int64_t>(snapshot->tails().size()));
+    TotalRecordsGauge().Set(
+        static_cast<int64_t>(snapshot->total_records()));
+  }
   accept_pool_->Schedule([this] { AcceptLoop(); });
 }
 
@@ -195,6 +240,16 @@ Status Daemon::Drain() {
   const std::shared_ptr<const ColGraphEngine> snapshot = snapshots_.Acquire();
   if (snapshot->query_log() != nullptr) {
     status = snapshot->query_log()->Close();
+  }
+
+  // 4. Stop telemetry: the exporter writes one final document (so the
+  //    last interval's counters land on disk), then the slow-query log is
+  //    completed with its footer. Close errors surface through the drain
+  //    status like the query log's.
+  if (exporter_ != nullptr) exporter_->Stop();
+  if (slow_log_ != nullptr) {
+    const Status slow = slow_log_->Close();
+    if (status.ok()) status = slow;
   }
 
   {
@@ -242,16 +297,25 @@ void Daemon::AcceptLoop() {
     // socket must survive until the (single) invocation runs.
     auto socket =
         std::make_shared<UnixSocket>(std::move(accepted).value());
-    conn_pool_->Schedule([this, socket]() mutable {
+    const uint64_t enqueued_us = obs::NowMicros();
+    conn_pool_->Schedule([this, socket, enqueued_us]() mutable {
       queued_connections_.fetch_sub(1, std::memory_order_acq_rel);
       QueueDepthGauge().Add(-1);
-      HandleConnection(std::move(*socket));
+      // The accept queue is timed across threads, so the wait is measured
+      // here and carried into the first request's trace by ReadRequest.
+      const uint64_t dequeued_us = obs::NowMicros();
+      obs::RecordQueueWait(nullptr, enqueued_us, dequeued_us);
+      const uint64_t wait_us =
+          dequeued_us >= enqueued_us ? dequeued_us - enqueued_us : 0;
+      HandleConnection(std::move(*socket), wait_us);
     });
   }
 }
 
 Status Daemon::ReadRequest(UnixSocket* socket, Request* request,
-                           Response* error_response, bool* fatal_out) {
+                           Response* error_response, bool* fatal_out,
+                           obs::RequestContext* ctx,
+                           uint64_t* pending_queue_wait_us) {
   *fatal_out = false;
 
   // Idle phase: wait for the first header byte in short ticks so a drain
@@ -263,6 +327,17 @@ Status Daemon::ReadRequest(UnixSocket* socket, Request* request,
     if (ready.ok()) break;
     if (!ready.IsDeadlineExceeded()) return ready;
   }
+
+  // The request begins now: re-anchor the context so keep-alive idle time
+  // is excluded, then let the first request on the connection absorb the
+  // accept-queue wait (already counted in the histogram by AcceptLoop).
+  ctx->MarkStart();
+  if (*pending_queue_wait_us > 0) {
+    ctx->trace().Add(obs::ServerPhaseName(obs::ServerPhase::kQueueWait), 0,
+                     *pending_queue_wait_us);
+    *pending_queue_wait_us = 0;
+  }
+  const obs::ServerSpan decode_span(obs::ServerPhase::kDecode, ctx);
 
   // Framed phase: once bytes start flowing the peer must complete the
   // frame within the IO budget or be dropped (hung-client defense).
@@ -292,6 +367,10 @@ Status Daemon::ReadRequest(UnixSocket* socket, Request* request,
         DecodeRequestPayload(payload.data(), payload.size());
     if (decoded.ok()) {
       *request = std::move(decoded).value();
+      if (request->has_context) {
+        ctx->AdoptWireContext(request->context.request_id,
+                              request->context.trace());
+      }
       return Status::OK();
     }
     s = decoded.status();
@@ -302,23 +381,38 @@ Status Daemon::ReadRequest(UnixSocket* socket, Request* request,
   return Status::OK();
 }
 
-void Daemon::HandleConnection(UnixSocket socket) {
+void Daemon::HandleConnection(UnixSocket socket, uint64_t queue_wait_us) {
   for (;;) {
     Request request;
     Response response;
     bool fatal = false;
-    const Status read = ReadRequest(&socket, &request, &response, &fatal);
+    obs::RequestContext ctx;
+    const Status read = ReadRequest(&socket, &request, &response, &fatal,
+                                    &ctx, &queue_wait_us);
     if (!read.ok()) {
       // Clean disconnect (Unavailable), hung peer (DeadlineExceeded), or
       // torn frame (IOError): nothing to answer, drop the connection.
       return;
     }
-    if (!fatal) response = Execute(request);
+    if (!fatal) response = ExecuteWithContext(request, &ctx);
 
     std::vector<char> frame;
-    AppendResponseFrame(response, &frame);
-    const Status written =
-        socket.WriteAll(frame.data(), frame.size(), options_.io_timeout_ms);
+    {
+      const obs::ServerSpan encode_span(obs::ServerPhase::kEncode, &ctx);
+      if (!fatal) MaybeEchoTrace(request, ctx, &response);
+      AppendResponseFrame(response, &frame);
+    }
+    Status written;
+    {
+      const obs::ServerSpan write_span(obs::ServerPhase::kWrite, &ctx);
+      written =
+          socket.WriteAll(frame.data(), frame.size(), options_.io_timeout_ms);
+    }
+    // Capture after the write so the record's total covers the full
+    // server-side lifetime. The echoed trace (rendered before the encode
+    // span closed) necessarily lacks the encode/write events; the
+    // slow-query record has them.
+    if (!fatal) MaybeCaptureSlowQuery(request, &ctx, response);
     if (!written.ok() || fatal) return;
   }
 }
@@ -332,13 +426,40 @@ Response Daemon::ErrorResponse(const Status& status) const {
 }
 
 Response Daemon::Execute(const Request& request) {
+  // Direct (in-process) callers get the same finalize the socket path
+  // performs itself: trace echo and slow-query capture, minus the
+  // encode/write phases that only exist on a real connection.
+  obs::RequestContext ctx;
+  if (request.has_context) {
+    ctx.AdoptWireContext(request.context.request_id,
+                         request.context.trace());
+  }
+  Response response = ExecuteWithContext(request, &ctx);
+  MaybeEchoTrace(request, ctx, &response);
+  MaybeCaptureSlowQuery(request, &ctx, response);
+  return response;
+}
+
+Response Daemon::ExecuteWithContext(const Request& request,
+                                    obs::RequestContext* ctx) {
   RequestCounter().Increment();
+  if (ctx->request_id() == 0) {
+    // Old-protocol client (no wire context): assign a daemon-local id so
+    // the trace record and any slow-query capture stay keyed.
+    ctx->set_request_id(request_seq_.fetch_add(1, std::memory_order_relaxed) +
+                        1);
+  }
   if (draining()) {
     return ErrorResponse(
         Status::Unavailable("server draining; no new requests"));
   }
 
+  // The admission span closes as soon as the slot outcome is known; the
+  // slot itself stays held for the whole execution.
+  auto admission_span = std::make_unique<const obs::ServerSpan>(
+      obs::ServerPhase::kAdmission, ctx);
   const AdmissionSlot slot(&admission_, "request");
+  admission_span.reset();
   if (!slot.admitted()) {
     OverloadCounter().Increment();
     return ErrorResponse(slot.status());
@@ -357,6 +478,7 @@ Response Daemon::Execute(const Request& request) {
     return ErrorResponse(pre);
   }
 
+  const obs::ServerSpan evaluate_span(obs::ServerPhase::kEvaluate, ctx);
   switch (request.op) {
     case RequestOp::kPing: {
       Response response;
@@ -368,11 +490,22 @@ Response Daemon::Execute(const Request& request) {
       Response response;
       const std::shared_ptr<const ColGraphEngine> engine =
           snapshots_.Acquire(&response.snapshot_epoch);
-      response.body = engine->DumpMetricsJson();
+      // Body selects the document (old clients send an empty body and get
+      // the full dump, unchanged): "registry" returns just the process
+      // registry — cheap enough for `stats --watch` to poll every second.
+      if (request.body == "registry") {
+        response.body = obs::MetricsRegistry::Global().ToJson();
+      } else if (request.body.empty() || request.body == "full") {
+        response.body = engine->DumpMetricsJson();
+      } else {
+        return ErrorResponse(Status::InvalidArgument(
+            "unknown stats selector: " + request.body +
+            " (expected empty, \"full\", or \"registry\")"));
+      }
       return response;
     }
     case RequestOp::kQuery:
-      return ExecuteQuery(request, token);
+      return ExecuteQuery(request, token, ctx);
     case RequestOp::kIngest: {
       StatusOr<Response> response = Ingest(request.body);
       if (!response.ok()) return ErrorResponse(response.status());
@@ -382,8 +515,41 @@ Response Daemon::Execute(const Request& request) {
   return ErrorResponse(Status::Internal("unreachable request op"));
 }
 
+void Daemon::MaybeEchoTrace(const Request& request,
+                            const obs::RequestContext& ctx,
+                            Response* response) const {
+  if (!request.has_context || !request.context.trace()) return;
+  response->has_trace = true;
+  response->request_id = ctx.request_id();
+  response->trace_json = ctx.ToJson(response->snapshot_epoch);
+}
+
+void Daemon::MaybeCaptureSlowQuery(const Request& request,
+                                   obs::RequestContext* ctx,
+                                   const Response& response) {
+  if (slow_log_ == nullptr) return;
+  const uint64_t total_us = ctx->ElapsedUs();
+  bool sampled = false;
+  if (!slow_log_->AdmitForCapture(total_us, &sampled)) return;
+
+  obs::SlowQueryRecord record;
+  record.request_id = ctx->request_id();
+  record.snapshot_epoch = response.snapshot_epoch;
+  record.total_us = total_us;
+  record.wire_code = response.code;
+  record.op = static_cast<uint8_t>(request.op);
+  record.sampled = sampled;
+  record.query = request.body;  // Append truncates to the cap
+  for (const obs::TraceEvent& event : ctx->trace().events()) {
+    record.spans.push_back(obs::SlowQuerySpan{
+        std::string(event.name), event.start_us, event.duration_us});
+  }
+  slow_log_->Append(record);
+}
+
 Response Daemon::ExecuteQuery(const Request& request,
-                              const CancellationToken& token) {
+                              const CancellationToken& token,
+                              obs::RequestContext* ctx) {
   const StatusOr<ParsedQuery> parsed = ParseQuery(request.body);
   if (!parsed.ok()) return ErrorResponse(parsed.status());
 
@@ -393,6 +559,9 @@ Response Daemon::ExecuteQuery(const Request& request,
 
   QueryOptions query_options;
   query_options.cancel = &token;
+  // The engine's phase spans land in the same trace as the server phases,
+  // so one record shows the whole request (the end-to-end join).
+  query_options.trace = &ctx->trace();
 
   if (parsed->kind == ParsedQuery::Kind::kMatch) {
     const Bitmap matches =
@@ -459,6 +628,8 @@ StatusOr<Response> Daemon::Ingest(const std::string& trace_text) {
   const size_t num_tails = next.tails().size();
   COLGRAPH_RETURN_NOT_OK(snapshots_.Publish(
       std::make_shared<const ColGraphEngine>(std::move(next))));
+  TailDatasetsGauge().Set(static_cast<int64_t>(num_tails));
+  TotalRecordsGauge().Set(static_cast<int64_t>(total));
 
   // Background compaction: once enough small datasets pile up, merge them
   // off the writer path. The flag collapses triggers so at most one task
@@ -502,8 +673,13 @@ Status Daemon::CompactNow() {
   if (base->tails().empty()) return Status::OK();
   ColGraphEngine next = base->SharedCopy();
   COLGRAPH_RETURN_NOT_OK(next.Compact());
-  return snapshots_.Publish(
-      std::make_shared<const ColGraphEngine>(std::move(next)));
+  const size_t total = next.total_records();
+  const size_t num_tails = next.tails().size();
+  COLGRAPH_RETURN_NOT_OK(snapshots_.Publish(
+      std::make_shared<const ColGraphEngine>(std::move(next))));
+  TailDatasetsGauge().Set(static_cast<int64_t>(num_tails));
+  TotalRecordsGauge().Set(static_cast<int64_t>(total));
+  return Status::OK();
 }
 
 }  // namespace colgraph::server

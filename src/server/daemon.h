@@ -27,6 +27,9 @@
 
 #include "columnstore/dataset.h"
 #include "core/engine.h"
+#include "obs/metrics_exporter.h"
+#include "obs/request_context.h"
+#include "obs/slow_query_log.h"
 #include "server/admission.h"
 #include "server/net_socket.h"
 #include "server/protocol.h"
@@ -69,6 +72,18 @@ struct DaemonOptions {
   /// ingest publish (merge datasets, re-materialize views, republish).
   /// 0 disables background compaction.
   size_t compact_after_datasets = 4;
+  /// Slow-query capture (DESIGN.md §15): requests at or above the
+  /// threshold — plus an optional deterministic 1-in-N sample — are
+  /// recorded with their full joined trace (server + engine phases, keyed
+  /// by the wire request id). Empty path disables capture.
+  obs::SlowQueryLogOptions slow_query_log;
+  /// Metrics exporter (DESIGN.md §15): periodically writes the daemon's
+  /// DumpMetricsJson (plus per-interval counter deltas) to
+  /// `<metrics_dir>/metrics.json` via write-tmp + atomic rename. Empty
+  /// disables.
+  std::string metrics_dir;
+  /// Export cadence in milliseconds.
+  uint64_t metrics_period_ms = 1000;
 };
 
 /// Deterministic text renderings of query results — shared by the daemon
@@ -121,20 +136,40 @@ class Daemon {
   bool draining() const {
     return draining_.load(std::memory_order_acquire);
   }
+  /// Telemetry sinks, for tests and the chaos harness; null when the
+  /// corresponding option is unset.
+  obs::SlowQueryLog* slow_query_log() { return slow_log_.get(); }
+  obs::MetricsExporter* metrics_exporter() { return exporter_.get(); }
 
  private:
   Daemon(DaemonOptions options, std::shared_ptr<const ColGraphEngine> initial,
          UnixListener listener);
 
   void AcceptLoop();
-  void HandleConnection(UnixSocket socket);
+  void HandleConnection(UnixSocket socket, uint64_t queue_wait_us);
   /// Reads one request frame; Unavailable = clean disconnect or drain,
   /// other errors = drop the connection. `fatal_out` marks protocol
   /// errors that still produce a response but must close the stream.
+  /// `ctx` is re-anchored at the request's first byte; the first request
+  /// on a connection absorbs `*pending_queue_wait_us` into its trace.
   Status ReadRequest(UnixSocket* socket, Request* request,
-                     Response* error_response, bool* fatal_out);
-  Response ExecuteQuery(const Request& request,
-                        const CancellationToken& token);
+                     Response* error_response, bool* fatal_out,
+                     obs::RequestContext* ctx,
+                     uint64_t* pending_queue_wait_us);
+  /// Execute() minus the finalize step (trace echo + slow-query capture):
+  /// the socket path finalizes itself so the captured record includes the
+  /// encode/write phases.
+  Response ExecuteWithContext(const Request& request,
+                              obs::RequestContext* ctx);
+  Response ExecuteQuery(const Request& request, const CancellationToken& token,
+                        obs::RequestContext* ctx);
+  /// Trace echo into `response` when the request asked for it.
+  void MaybeEchoTrace(const Request& request, const obs::RequestContext& ctx,
+                      Response* response) const;
+  /// Offers the finished request to the slow-query log (no-op when
+  /// capture is off or the admission rules pass on it).
+  void MaybeCaptureSlowQuery(const Request& request, obs::RequestContext* ctx,
+                             const Response& response);
   Response ErrorResponse(const Status& status) const;
 
   DaemonOptions options_;
@@ -150,6 +185,14 @@ class Daemon {
   std::unique_ptr<DatasetStore> store_ COLGRAPH_GUARDED_BY(writer_mu_);
   /// Collapses scheduling so at most one background compaction is queued.
   std::atomic<bool> compaction_queued_{false};
+
+  /// Fallback request-id source for clients that sent no wire context
+  /// (old protocol) — every slow-query record stays keyed.
+  std::atomic<uint64_t> request_seq_{0};
+  /// Slow-query capture; null when options_.slow_query_log.path is empty.
+  std::unique_ptr<obs::SlowQueryLog> slow_log_;
+  /// Periodic metrics export; null when options_.metrics_dir is empty.
+  std::unique_ptr<obs::MetricsExporter> exporter_;
 
   /// One worker dedicated to the accept loop; connection handlers run on
   /// conn_pool_. Destroyed (joined) by Drain in accept-first order so no

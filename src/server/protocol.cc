@@ -10,6 +10,8 @@ namespace {
 
 constexpr uint32_t kRequestMagic = 0x51524743;   // 'CGRQ' little-endian
 constexpr uint32_t kResponseMagic = 0x53524743;  // 'CGRS' little-endian
+constexpr uint32_t kContextExtMagic = 0x58524743;  // 'CGRX' little-endian
+constexpr uint32_t kTraceExtMagic = 0x54524743;    // 'CGRT' little-endian
 
 void AppendBytes(std::vector<char>* out, const void* data, size_t n) {
   if (n == 0) return;  // out->data() may still be null; memcpy is nonnull
@@ -177,6 +179,15 @@ void AppendRequestFrame(const Request& request, std::vector<char>* out) {
   AppendPod(&payload, request.timeout_ms);
   AppendPod(&payload, static_cast<uint32_t>(request.body.size()));
   AppendBytes(&payload, request.body.data(), request.body.size());
+  if (request.has_context) {
+    // Opt-in extension: a context-free request stays byte-identical to the
+    // pre-extension encoding (the compat contract in the header comment).
+    AppendPod(&payload, kContextExtMagic);
+    AppendPod(&payload, request.context.request_id);
+    AppendPod(&payload, request.context.flags);
+    AppendPod(&payload, uint8_t{0});
+    AppendPod(&payload, uint16_t{0});  // pad: keeps the payload end aligned
+  }
   AppendFrame(kRequestFrame, payload, out);
 }
 
@@ -187,6 +198,13 @@ void AppendResponseFrame(const Response& response, std::vector<char>* out) {
   AppendPod(&payload, response.snapshot_epoch);
   AppendPod(&payload, static_cast<uint32_t>(response.body.size()));
   AppendBytes(&payload, response.body.data(), response.body.size());
+  if (response.has_trace) {
+    AppendPod(&payload, kTraceExtMagic);
+    AppendPod(&payload, response.request_id);
+    AppendPod(&payload, static_cast<uint32_t>(response.trace_json.size()));
+    AppendBytes(&payload, response.trace_json.data(),
+                response.trace_json.size());
+  }
   AppendFrame(kResponseFrame, payload, out);
 }
 
@@ -213,7 +231,25 @@ StatusOr<Request> DecodeRequestPayload(const char* data, size_t len) {
   COLGRAPH_RETURN_NOT_OK(reader.Read(&body_len));
   COLGRAPH_RETURN_NOT_OK(reader.ReadString(body_len, &request.body));
   if (!reader.AtEnd()) {
-    return Status::InvalidArgument("protocol: trailing bytes after request");
+    // Anything after the body must be exactly one context extension; its
+    // magic distinguishes the extension from garbage trailing bytes.
+    uint32_t ext_magic = 0;
+    COLGRAPH_RETURN_NOT_OK(reader.Read(&ext_magic));
+    if (ext_magic != kContextExtMagic) {
+      return Status::InvalidArgument(
+          "protocol: trailing bytes after request");
+    }
+    uint8_t ext_pad8 = 0;
+    uint16_t ext_pad16 = 0;
+    COLGRAPH_RETURN_NOT_OK(reader.Read(&request.context.request_id));
+    COLGRAPH_RETURN_NOT_OK(reader.Read(&request.context.flags));
+    COLGRAPH_RETURN_NOT_OK(reader.Read(&ext_pad8));
+    COLGRAPH_RETURN_NOT_OK(reader.Read(&ext_pad16));
+    if (!reader.AtEnd()) {
+      return Status::InvalidArgument(
+          "protocol: trailing bytes after request context");
+    }
+    request.has_context = true;
   }
   return request;
 }
@@ -232,7 +268,21 @@ StatusOr<Response> DecodeResponsePayload(const char* data, size_t len) {
   COLGRAPH_RETURN_NOT_OK(reader.Read(&body_len));
   COLGRAPH_RETURN_NOT_OK(reader.ReadString(body_len, &response.body));
   if (!reader.AtEnd()) {
-    return Status::InvalidArgument("protocol: trailing bytes after response");
+    uint32_t ext_magic = 0;
+    COLGRAPH_RETURN_NOT_OK(reader.Read(&ext_magic));
+    if (ext_magic != kTraceExtMagic) {
+      return Status::InvalidArgument(
+          "protocol: trailing bytes after response");
+    }
+    COLGRAPH_RETURN_NOT_OK(reader.Read(&response.request_id));
+    uint32_t trace_len = 0;
+    COLGRAPH_RETURN_NOT_OK(reader.Read(&trace_len));
+    COLGRAPH_RETURN_NOT_OK(reader.ReadString(trace_len, &response.trace_json));
+    if (!reader.AtEnd()) {
+      return Status::InvalidArgument(
+          "protocol: trailing bytes after response trace");
+    }
+    response.has_trace = true;
   }
   return response;
 }

@@ -6,8 +6,22 @@
 //
 // Request payload:
 //   [u32 magic 'CGRQ'][u8 op][u8 pad x3][u64 timeout_ms][u32 len][body]
+//   optional context extension (tracing, DESIGN.md §15):
+//   [u32 magic 'CGRX'][u64 request_id][u8 flags][u8 pad x3]
 // Response payload:
 //   [u32 magic 'CGRS'][u32 wire code][u64 snapshot_epoch][u32 len][body]
+//   optional trace extension (echoed only when the request's context set
+//   the trace flag):
+//   [u32 magic 'CGRT'][u64 request_id][u32 trace_len][trace JSON]
+//
+// Compatibility rules for the extensions: a message *without* an extension
+// is byte-identical to the pre-extension encoding, so a new peer in the
+// default configuration interoperates with an old one in both directions.
+// A request *with* a context reaches an old server as trailing bytes and
+// is rejected with a clean InvalidArgument — tracing is opt-in per request
+// precisely so that clients only send the extension to servers that
+// support it. The response extension is strictly demand-driven: a server
+// never volunteers it, so an old client (which cannot ask) never sees it.
 //
 // The body is UTF-8 text: the query / trace input on requests, the
 // rendered result (or error message) on responses. Wire codes are a
@@ -94,6 +108,23 @@ enum class RequestOp : uint8_t {
   kStats = 3,   ///< response body: the server's DumpMetricsJson document
 };
 
+// --- Request-context extension (tracing, DESIGN.md §15). ---
+
+/// Context flag bit 0: the client asks the server to echo the request's
+/// trace in the response extension.
+inline constexpr uint8_t kContextFlagTrace = 0x01;
+
+/// \brief Optional per-request identity appended after the request body.
+/// The request id is client-generated (any nonzero 64-bit value; the
+/// client library draws them from its jittered Rng) and keys the server's
+/// trace record and slow-query-log entry for end-to-end attribution.
+struct RequestContextExt {
+  uint64_t request_id = 0;
+  uint8_t flags = 0;
+
+  bool trace() const { return (flags & kContextFlagTrace) != 0; }
+};
+
 struct Request {
   RequestOp op = RequestOp::kPing;
   /// Per-request deadline in milliseconds; 0 = no deadline. The server
@@ -101,6 +132,10 @@ struct Request {
   /// evaluation (QueryOptions::cancel).
   uint64_t timeout_ms = 0;
   std::string body;
+  /// When true, `context` is encoded as the opt-in extension — send only
+  /// to servers that understand it (old servers reject the frame cleanly).
+  bool has_context = false;
+  RequestContextExt context;
 };
 
 struct Response {
@@ -110,6 +145,12 @@ struct Response {
   uint64_t snapshot_epoch = 0;
   /// Rendered result on OK; error message otherwise.
   std::string body;
+  /// Trace echo (set only when the request's context asked for it):
+  /// the request id as the server resolved it, plus the server-rendered
+  /// trace JSON (RequestContext::ToJson).
+  bool has_trace = false;
+  uint64_t request_id = 0;
+  std::string trace_json;
 
   bool ok() const { return code == kWireOk; }
   /// The response's Status (OK, or StatusFromWire(code, body)).

@@ -26,6 +26,7 @@
 // reject.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -272,6 +273,20 @@ class CondVar {
   template <typename Pred>
   void Wait(Mutex& mu, Pred pred) COLGRAPH_REQUIRES(mu) {
     while (!pred()) Wait(mu);
+  }
+
+  /// Blocks until notified or `ms` milliseconds elapse, whichever comes
+  /// first. Returns true when woken by a notification, false on timeout.
+  /// Subject to spurious wakeups like Wait() — callers re-check their
+  /// predicate either way. The sanctioned periodic-background-work wait
+  /// (e.g. the metrics exporter): interruptible by NotifyAll on shutdown,
+  /// no polling loop.
+  bool WaitForMs(Mutex& mu, uint64_t ms) COLGRAPH_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(native, std::chrono::milliseconds(ms));
+    native.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include "core/engine.h"
+#include "obs/metrics.h"
 #include "server/daemon.h"
 #include "server/protocol.h"
 #include "util/failpoint.h"
@@ -135,10 +136,31 @@ TEST_F(DaemonDatasetTest, CompactNowMergesWithIdenticalResults) {
   const std::string before = QueryAll();
   const uint64_t epoch_before = daemon_->snapshot_epoch();
 
+  // Compaction must be observable end-to-end (DESIGN.md §15): the storage
+  // telemetry counters move and the latency histogram records the merge.
+  auto& registry = obs::MetricsRegistry::Global();
+  const uint64_t compactions_before =
+      registry.GetCounter("store.compactions").value();
+  const uint64_t retired_before =
+      registry.GetCounter("store.datasets_retired").value();
+  const uint64_t compaction_us_count_before =
+      registry.GetHistogram("store.compaction_us").count();
+
   ASSERT_TRUE(daemon_->CompactNow().ok());
   EXPECT_EQ(CountDatasetFiles(), 1u) << "inputs must be retired";
   EXPECT_GT(daemon_->snapshot_epoch(), epoch_before);
   EXPECT_EQ(QueryAll(), before) << "compaction changed query results";
+
+  EXPECT_EQ(registry.GetCounter("store.compactions").value(),
+            compactions_before + 1);
+  EXPECT_EQ(registry.GetCounter("store.datasets_retired").value(),
+            retired_before + 3);
+  EXPECT_EQ(registry.GetHistogram("store.compaction_us").count(),
+            compaction_us_count_before + 1);
+  // The daemon's serving gauge tracks the post-compaction tail count —
+  // the merge folded every tail into the base relation, and that is
+  // visible in the STATS document too.
+  EXPECT_EQ(registry.GetGauge("server.tail_datasets").value(), 0);
 
   // And the merged state survives a restart.
   ASSERT_TRUE(daemon_->Drain().ok());

@@ -1,0 +1,21 @@
+// Deliberately broken fixture for lint_invariants_test: storage-layer code
+// timing itself with PhaseTimer/ScopedPhase (and a raw chrono clock)
+// instead of an obs span — seal/compaction latency measured this way never
+// lands in store.seal_us / store.compaction_us.
+#include <chrono>
+
+#include "util/stopwatch.h"
+
+namespace colgraph {
+
+double TimeASealBadly() {
+  PhaseTimer timer;
+  {
+    ScopedPhase phase(&timer);
+    const auto t0 = std::chrono::high_resolution_clock::now();
+    (void)t0;
+  }
+  return timer.total_seconds();
+}
+
+}  // namespace colgraph

@@ -60,6 +60,12 @@ TEST(LintInvariantsTest, KnownBadFixtureTripsEveryRule) {
       << r.output;
   EXPECT_NE(r.output.find("src/core/bad_core_timing.cc"), std::string::npos)
       << r.output;
+  EXPECT_NE(
+      r.output.find("src/server/bad_server_timing.cc"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("src/columnstore/bad_store_timing.cc"),
+            std::string::npos)
+      << r.output;
 }
 
 TEST(LintInvariantsTest, RepositoryIsLintClean) {

@@ -1,0 +1,187 @@
+// Metrics-exporter unit tests (DESIGN.md §15): the document exists as
+// soon as Start returns, every export is atomic (no .tmp debris, never a
+// torn file), the sequence number and counter-delta baseline advance only
+// on successful writes, failures are counted without stopping the loop,
+// and Stop leaves one final document behind.
+#include "obs/metrics_exporter.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "columnstore/io_util.h"
+#include "obs/metrics.h"
+#include "util/failpoint.h"
+#include "util/status.h"
+
+namespace colgraph::obs {
+namespace {
+
+class MetricsExporterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::DisarmAll();
+    dir_ = testing::TempDir() + "metrics_" + std::to_string(::getpid()) +
+           "_" + std::to_string(instance_++);
+    std::filesystem::remove_all(dir_);
+  }
+
+  void TearDown() override {
+    failpoint::DisarmAll();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::unique_ptr<MetricsExporter> StartExporter(uint64_t period_ms) {
+    MetricsExporterOptions options;
+    options.dir = dir_;
+    options.period_ms = period_ms;
+    auto exporter = MetricsExporter::Start(std::move(options));
+    EXPECT_TRUE(exporter.ok()) << exporter.status().ToString();
+    return exporter.ok() ? std::move(exporter).value() : nullptr;
+  }
+
+  std::string ReadDocument(const std::string& path) {
+    const auto bytes = io::ReadFileBytes(path);
+    EXPECT_TRUE(bytes.ok()) << bytes.status().ToString();
+    return bytes.ok() ? std::string(bytes->data(), bytes->size())
+                      : std::string();
+  }
+
+  static int instance_;
+  std::string dir_;
+};
+
+int MetricsExporterTest::instance_ = 0;
+
+TEST_F(MetricsExporterTest, DocumentExistsBeforeStartReturns) {
+  auto exporter = StartExporter(/*period_ms=*/60 * 1000);
+  ASSERT_NE(exporter, nullptr);
+  const std::string doc = ReadDocument(exporter->target_path());
+  EXPECT_NE(doc.find("\"seq\":0"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"counters_delta\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"metrics\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"uptime_seconds\""), std::string::npos) << doc;
+}
+
+TEST_F(MetricsExporterTest, ExportOnceAdvancesSequence) {
+  auto exporter = StartExporter(/*period_ms=*/60 * 1000);
+  ASSERT_NE(exporter, nullptr);
+  ASSERT_TRUE(exporter->ExportOnce().ok());
+  EXPECT_NE(ReadDocument(exporter->target_path()).find("\"seq\":1"),
+            std::string::npos);
+  ASSERT_TRUE(exporter->ExportOnce().ok());
+  EXPECT_NE(ReadDocument(exporter->target_path()).find("\"seq\":2"),
+            std::string::npos);
+}
+
+TEST_F(MetricsExporterTest, PeriodicLoopExportsWithoutBeingAsked) {
+  auto exporter = StartExporter(/*period_ms=*/10);
+  ASSERT_NE(exporter, nullptr);
+  // Within a generous window the background loop must have re-exported at
+  // least once past Start's immediate document (seq 0).
+  std::string doc;
+  for (int i = 0; i < 200; ++i) {
+    ::usleep(10 * 1000);
+    doc = ReadDocument(exporter->target_path());
+    if (doc.find("\"seq\":0") == std::string::npos) break;
+  }
+  EXPECT_EQ(doc.find("\"seq\":0"), std::string::npos) << doc;
+}
+
+TEST_F(MetricsExporterTest, CountersDeltaReportsOnlyMovement) {
+  auto exporter = StartExporter(/*period_ms=*/60 * 1000);
+  ASSERT_NE(exporter, nullptr);
+  // A counter name unique to this test; the registry is process-wide. The
+  // full "metrics" dump always carries the absolute value, so assertions
+  // scope to the counters_delta object only.
+  const std::string name =
+      "test.exporter_delta_probe_" + std::to_string(::getpid());
+  Counter& probe = MetricsRegistry::Global().GetCounter(name);
+  const auto delta_object = [](const std::string& doc) {
+    const size_t begin = doc.find("\"counters_delta\":{");
+    EXPECT_NE(begin, std::string::npos) << doc;
+    const size_t end = doc.find('}', begin);
+    return doc.substr(begin, end - begin);
+  };
+
+  probe.Add(7);
+  ASSERT_TRUE(exporter->ExportOnce().ok());
+  std::string delta = delta_object(ReadDocument(exporter->target_path()));
+  EXPECT_NE(delta.find("\"" + name + "\":7"), std::string::npos) << delta;
+
+  // No movement since the last export: the name must drop out of the delta
+  // object entirely (a collector reads rates, not absolutes).
+  ASSERT_TRUE(exporter->ExportOnce().ok());
+  delta = delta_object(ReadDocument(exporter->target_path()));
+  EXPECT_EQ(delta.find("\"" + name + "\""), std::string::npos) << delta;
+
+  probe.Add(3);
+  ASSERT_TRUE(exporter->ExportOnce().ok());
+  delta = delta_object(ReadDocument(exporter->target_path()));
+  EXPECT_NE(delta.find("\"" + name + "\":3"), std::string::npos) << delta;
+}
+
+TEST_F(MetricsExporterTest, NoTemporaryFileDebris) {
+  auto exporter = StartExporter(/*period_ms=*/60 * 1000);
+  ASSERT_NE(exporter, nullptr);
+  ASSERT_TRUE(exporter->ExportOnce().ok());
+  ASSERT_TRUE(exporter->ExportOnce().ok());
+  exporter->Stop();
+  // Atomic rename means the directory only ever holds the final document.
+  size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    ++entries;
+    EXPECT_EQ(entry.path().filename().string(), "metrics.json");
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST_F(MetricsExporterTest, WriteFailureIsCountedAndDoesNotAdvanceSeq) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "failpoints compiled out";
+  auto exporter = StartExporter(/*period_ms=*/60 * 1000);
+  ASSERT_NE(exporter, nullptr);
+  const uint64_t failures_before = exporter->failures();
+
+  ASSERT_TRUE(exporter->ExportOnce().ok());  // document now at seq 1
+
+  failpoint::Arm("io:open_write",
+                 failpoint::Spec{failpoint::Action::kError, 0, 0});
+  EXPECT_FALSE(exporter->ExportOnce().ok());
+  EXPECT_EQ(exporter->failures(), failures_before + 1);
+  failpoint::DisarmAll();
+
+  // The failed attempt must not have consumed a sequence number or the
+  // delta baseline: the next success is seq 2, covering the whole gap.
+  ASSERT_TRUE(exporter->ExportOnce().ok());
+  const std::string doc = ReadDocument(exporter->target_path());
+  EXPECT_NE(doc.find("\"seq\":2"), std::string::npos) << doc;
+}
+
+TEST_F(MetricsExporterTest, StopWritesFinalExport) {
+  auto exporter = StartExporter(/*period_ms=*/60 * 1000);
+  ASSERT_NE(exporter, nullptr);
+  // The loop (60s period) cannot have fired; only Stop's final export can
+  // move the document past seq 0.
+  exporter->Stop();
+  const std::string doc = ReadDocument(exporter->target_path());
+  EXPECT_NE(doc.find("\"seq\":1"), std::string::npos) << doc;
+  exporter->Stop();  // idempotent
+}
+
+TEST_F(MetricsExporterTest, CustomSourceIsEmbedded) {
+  MetricsExporterOptions options;
+  options.dir = dir_;
+  options.period_ms = 60 * 1000;
+  options.source = [] { return std::string("{\"custom\":true}"); };
+  auto exporter = MetricsExporter::Start(std::move(options));
+  ASSERT_TRUE(exporter.ok()) << exporter.status().ToString();
+  const std::string doc = ReadDocument((*exporter)->target_path());
+  EXPECT_NE(doc.find("\"metrics\":{\"custom\":true}"), std::string::npos)
+      << doc;
+}
+
+}  // namespace
+}  // namespace colgraph::obs

@@ -82,9 +82,37 @@ TEST(LatencyHistogramTest, ApproxQuantiles) {
   for (int i = 0; i < 10; ++i) h.Record(100);  // bucket 7, le 127
   EXPECT_EQ(h.ApproxQuantileMicros(0.50), 1u);
   EXPECT_EQ(h.ApproxQuantileMicros(0.90), 1u);
-  EXPECT_EQ(h.ApproxQuantileMicros(0.99), 127u);
-  EXPECT_EQ(h.ApproxQuantileMicros(0.0), 1u);   // clamped to rank 1
-  EXPECT_EQ(h.ApproxQuantileMicros(1.0), 127u);
+  // Upper quantiles clamp to the observed max: the p99 of {1 x90, 100 x10}
+  // must never report 127 (bucket 7's bound), a value no request hit.
+  EXPECT_EQ(h.ApproxQuantileMicros(0.99), 100u);
+  EXPECT_EQ(h.ApproxQuantileMicros(0.0), 1u);  // clamped to rank 1
+  EXPECT_EQ(h.ApproxQuantileMicros(1.0), 100u);
+}
+
+TEST(LatencyHistogramTest, QuantileNeverExceedsObservedMax) {
+  // Regression: a single sample must report itself — not its bucket's
+  // upper bound — at every quantile.
+  LatencyHistogram h;
+  h.Record(1000);  // bucket le 1023
+  EXPECT_EQ(h.ApproxQuantileMicros(0.50), 1000u);
+  EXPECT_EQ(h.ApproxQuantileMicros(0.99), 1000u);
+  EXPECT_EQ(h.ApproxQuantileMicros(1.0), 1000u);
+}
+
+TEST(LatencyHistogramTest, ToJsonEmitsBucketBoundsWithCounts) {
+  LatencyHistogram h;
+  for (int i = 0; i < 3; ++i) h.Record(2);  // bucket le 3
+  h.Record(100);                            // bucket le 127
+  const std::string json = h.ToJson();
+  // Every occupied bucket pairs its inclusive upper bound with its count —
+  // a collector can rebuild the distribution without knowing the bucket
+  // layout. Empty buckets are omitted.
+  EXPECT_NE(json.find("{\"le_us\":3,\"count\":3}"), std::string::npos) << json;
+  EXPECT_NE(json.find("{\"le_us\":127,\"count\":1}"), std::string::npos)
+      << json;
+  EXPECT_EQ(json.find("\"le_us\":1,"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max_us\":100"), std::string::npos) << json;
 }
 
 TEST(LatencyHistogramTest, ResetZeroesEverything) {

@@ -1,0 +1,277 @@
+// Cross-version wire compatibility for the request-context / trace
+// extensions (DESIGN.md §15). The `legacy` namespace below is a frozen
+// hand copy of the pre-extension codec — the bytes an old peer emits and
+// the exact checks it runs — so these tests pin the interop contract
+// rather than comparing the new code with itself:
+//
+//   1. A new peer with no context/trace encodes byte-identically to the
+//      old codec (old servers accept new default-config clients, old
+//      clients accept new servers).
+//   2. Old-encoded messages decode on the new side with the extension
+//      flags off.
+//   3. A context-bearing request hitting an old server fails *cleanly*
+//      (InvalidArgument from the trailing-bytes check), never decodes as
+//      a mangled request.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace colgraph::server {
+namespace {
+
+// --- Frozen pre-extension codec (do not "fix" to track protocol.cc). ---
+namespace legacy {
+
+constexpr uint32_t kRequestMagic = 0x51524743;   // 'CGRQ'
+constexpr uint32_t kResponseMagic = 0x53524743;  // 'CGRS'
+
+void AppendBytes(std::vector<char>* out, const void* data, size_t n) {
+  if (n == 0) return;
+  const size_t old = out->size();
+  out->resize(old + n);
+  std::memcpy(out->data() + old, data, n);
+}
+
+template <typename T>
+void AppendPod(std::vector<char>* out, const T& value) {
+  AppendBytes(out, &value, sizeof(T));
+}
+
+void AppendRequestFrame(const Request& request, std::vector<char>* out) {
+  std::vector<char> payload;
+  AppendPod(&payload, kRequestMagic);
+  AppendPod(&payload, static_cast<uint8_t>(request.op));
+  AppendPod(&payload, uint8_t{0});
+  AppendPod(&payload, uint16_t{0});
+  AppendPod(&payload, request.timeout_ms);
+  AppendPod(&payload, static_cast<uint32_t>(request.body.size()));
+  AppendBytes(&payload, request.body.data(), request.body.size());
+  AppendFrame(kRequestFrame, payload, out);
+}
+
+void AppendResponseFrame(const Response& response, std::vector<char>* out) {
+  std::vector<char> payload;
+  AppendPod(&payload, kResponseMagic);
+  AppendPod(&payload, response.code);
+  AppendPod(&payload, response.snapshot_epoch);
+  AppendPod(&payload, static_cast<uint32_t>(response.body.size()));
+  AppendBytes(&payload, response.body.data(), response.body.size());
+  AppendFrame(kResponseFrame, payload, out);
+}
+
+/// Bounds-checked cursor, as the old decoder had it.
+class PayloadReader {
+ public:
+  PayloadReader(const char* data, size_t len) : data_(data), len_(len) {}
+
+  template <typename T>
+  [[nodiscard]] Status Read(T* out) {
+    if (len_ - pos_ < sizeof(T)) {
+      return Status::InvalidArgument("protocol: truncated payload");
+    }
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  [[nodiscard]] Status ReadString(uint32_t n, std::string* out) {
+    if (len_ - pos_ < n) {
+      return Status::InvalidArgument("protocol: truncated payload body");
+    }
+    out->assign(data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  bool AtEnd() const { return pos_ == len_; }
+
+ private:
+  const char* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+/// The old request decoder: no extension knowledge — anything after the
+/// body is trailing garbage.
+StatusOr<Request> DecodeRequestPayload(const char* data, size_t len) {
+  PayloadReader reader(data, len);
+  uint32_t magic = 0;
+  COLGRAPH_RETURN_NOT_OK(reader.Read(&magic));
+  if (magic != kRequestMagic) {
+    return Status::InvalidArgument("protocol: bad request magic");
+  }
+  uint8_t op = 0, pad8 = 0;
+  uint16_t pad16 = 0;
+  COLGRAPH_RETURN_NOT_OK(reader.Read(&op));
+  COLGRAPH_RETURN_NOT_OK(reader.Read(&pad8));
+  COLGRAPH_RETURN_NOT_OK(reader.Read(&pad16));
+  if (op > static_cast<uint8_t>(RequestOp::kStats)) {
+    return Status::InvalidArgument("protocol: unknown request op");
+  }
+  Request request;
+  request.op = static_cast<RequestOp>(op);
+  COLGRAPH_RETURN_NOT_OK(reader.Read(&request.timeout_ms));
+  uint32_t body_len = 0;
+  COLGRAPH_RETURN_NOT_OK(reader.Read(&body_len));
+  COLGRAPH_RETURN_NOT_OK(reader.ReadString(body_len, &request.body));
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("protocol: trailing bytes after request");
+  }
+  return request;
+}
+
+StatusOr<Response> DecodeResponsePayload(const char* data, size_t len) {
+  PayloadReader reader(data, len);
+  uint32_t magic = 0;
+  COLGRAPH_RETURN_NOT_OK(reader.Read(&magic));
+  if (magic != kResponseMagic) {
+    return Status::InvalidArgument("protocol: bad response magic");
+  }
+  Response response;
+  COLGRAPH_RETURN_NOT_OK(reader.Read(&response.code));
+  COLGRAPH_RETURN_NOT_OK(reader.Read(&response.snapshot_epoch));
+  uint32_t body_len = 0;
+  COLGRAPH_RETURN_NOT_OK(reader.Read(&body_len));
+  COLGRAPH_RETURN_NOT_OK(reader.ReadString(body_len, &response.body));
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("protocol: trailing bytes after response");
+  }
+  return response;
+}
+
+}  // namespace legacy
+
+Request MakeRequest() {
+  Request request;
+  request.op = RequestOp::kQuery;
+  request.timeout_ms = 500;
+  request.body = "[1,2] AND [2,3]";
+  return request;
+}
+
+Response MakeResponse() {
+  Response response;
+  response.code = kWireOk;
+  response.snapshot_epoch = 3;
+  response.body = "match 1: r0\n";
+  return response;
+}
+
+const char* Payload(const std::vector<char>& frame) {
+  return frame.data() + kFrameHeaderBytes;
+}
+
+size_t PayloadLen(const std::vector<char>& frame) {
+  return frame.size() - kFrameHeaderBytes;
+}
+
+TEST(ProtocolCompatTest, ContextFreeRequestIsByteIdenticalToLegacy) {
+  std::vector<char> current, old;
+  AppendRequestFrame(MakeRequest(), &current);
+  legacy::AppendRequestFrame(MakeRequest(), &old);
+  EXPECT_EQ(current, old);
+}
+
+TEST(ProtocolCompatTest, TraceFreeResponseIsByteIdenticalToLegacy) {
+  std::vector<char> current, old;
+  AppendResponseFrame(MakeResponse(), &current);
+  legacy::AppendResponseFrame(MakeResponse(), &old);
+  EXPECT_EQ(current, old);
+}
+
+TEST(ProtocolCompatTest, LegacyRequestDecodesOnNewServer) {
+  // Old client → new server: decodes fine, extension flag off.
+  std::vector<char> frame;
+  legacy::AppendRequestFrame(MakeRequest(), &frame);
+  const auto decoded = DecodeRequestPayload(Payload(frame), PayloadLen(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_FALSE(decoded->has_context);
+  EXPECT_EQ(decoded->body, "[1,2] AND [2,3]");
+  EXPECT_EQ(decoded->timeout_ms, 500u);
+}
+
+TEST(ProtocolCompatTest, LegacyResponseDecodesOnNewClient) {
+  // Old server → new client: decodes fine, no trace.
+  std::vector<char> frame;
+  legacy::AppendResponseFrame(MakeResponse(), &frame);
+  const auto decoded =
+      DecodeResponsePayload(Payload(frame), PayloadLen(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_FALSE(decoded->has_trace);
+  EXPECT_EQ(decoded->snapshot_epoch, 3u);
+  EXPECT_EQ(decoded->body, "match 1: r0\n");
+}
+
+TEST(ProtocolCompatTest, ContextFreeNewRequestDecodesOnLegacyServer) {
+  // New client, default config → old server: must pass the old decoder.
+  std::vector<char> frame;
+  AppendRequestFrame(MakeRequest(), &frame);
+  const auto decoded =
+      legacy::DecodeRequestPayload(Payload(frame), PayloadLen(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->body, "[1,2] AND [2,3]");
+}
+
+TEST(ProtocolCompatTest, ContextBearingRequestRejectedCleanlyByLegacy) {
+  // New client opting into tracing against an old server: the extension is
+  // trailing bytes to the old decoder — a clean InvalidArgument, never a
+  // silently mangled request.
+  Request request = MakeRequest();
+  request.has_context = true;
+  request.context.request_id = 0x1122334455667788ull;
+  request.context.flags = kContextFlagTrace;
+  std::vector<char> frame;
+  AppendRequestFrame(request, &frame);
+  const auto decoded =
+      legacy::DecodeRequestPayload(Payload(frame), PayloadLen(frame));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsInvalidArgument());
+  EXPECT_NE(decoded.status().message().find("trailing bytes"),
+            std::string::npos)
+      << decoded.status().ToString();
+}
+
+TEST(ProtocolCompatTest, TraceBearingResponseRejectedCleanlyByLegacy) {
+  // The demand-driven rule means an old client should never *receive* a
+  // trace extension; if one ever leaks, the old decoder still fails clean.
+  Response response = MakeResponse();
+  response.has_trace = true;
+  response.request_id = 99;
+  response.trace_json = "{\"events\":[]}";
+  std::vector<char> frame;
+  AppendResponseFrame(response, &frame);
+  const auto decoded =
+      legacy::DecodeResponsePayload(Payload(frame), PayloadLen(frame));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsInvalidArgument());
+}
+
+TEST(ProtocolCompatTest, ExtensionSurvivesFullRoundTripThroughFraming) {
+  // Belt-and-braces: the extended message round trips through the real
+  // frame layer (header + CRC), not just the payload codec.
+  Request request = MakeRequest();
+  request.has_context = true;
+  request.context.request_id = 0xA5A5A5A5A5A5A5A5ull;
+  request.context.flags = kContextFlagTrace;
+  std::vector<char> frame;
+  AppendRequestFrame(request, &frame);
+
+  FrameHeader header;
+  ASSERT_TRUE(DecodeFrameHeader(frame.data(), &header).ok());
+  ASSERT_TRUE(
+      VerifyFrameCrc(header, Payload(frame), header.payload_len).ok());
+  const auto decoded = DecodeRequestPayload(Payload(frame), header.payload_len);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->has_context);
+  EXPECT_EQ(decoded->context.request_id, 0xA5A5A5A5A5A5A5A5ull);
+  EXPECT_TRUE(decoded->context.trace());
+}
+
+}  // namespace
+}  // namespace colgraph::server

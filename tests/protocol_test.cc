@@ -153,6 +153,86 @@ TEST(ProtocolTest, ResponsePayloadIsNotARequest) {
   EXPECT_FALSE(decoded.ok());
 }
 
+TEST(ProtocolTest, RequestContextExtensionRoundTrips) {
+  Request request = MakeRequest();
+  request.has_context = true;
+  request.context.request_id = 0xDEADBEEFCAFEF00Dull;
+  request.context.flags = kContextFlagTrace;
+  std::vector<char> frame;
+  AppendRequestFrame(request, &frame);
+
+  FrameHeader header;
+  ASSERT_TRUE(DecodeFrameHeader(frame.data(), &header).ok());
+  const auto decoded = DecodeRequestPayload(frame.data() + kFrameHeaderBytes,
+                                            header.payload_len);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->has_context);
+  EXPECT_EQ(decoded->context.request_id, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_TRUE(decoded->context.trace());
+  EXPECT_EQ(decoded->body, request.body);
+}
+
+TEST(ProtocolTest, ResponseTraceExtensionRoundTrips) {
+  Response response;
+  response.snapshot_epoch = 9;
+  response.body = "match 1: r0\n";
+  response.has_trace = true;
+  response.request_id = 42;
+  response.trace_json = "{\"events\":[]}";
+  std::vector<char> frame;
+  AppendResponseFrame(response, &frame);
+
+  FrameHeader header;
+  ASSERT_TRUE(DecodeFrameHeader(frame.data(), &header).ok());
+  const auto decoded = DecodeResponsePayload(frame.data() + kFrameHeaderBytes,
+                                             header.payload_len);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->has_trace);
+  EXPECT_EQ(decoded->request_id, 42u);
+  EXPECT_EQ(decoded->trace_json, "{\"events\":[]}");
+  EXPECT_EQ(decoded->body, "match 1: r0\n");
+}
+
+TEST(ProtocolTest, ExtensionSizedGarbageStillRejected) {
+  // Trailing bytes the size of a context extension but with the wrong
+  // magic must not decode as one.
+  std::vector<char> frame;
+  AppendRequestFrame(MakeRequest(), &frame);
+  for (int i = 0; i < 16; ++i) frame.push_back(static_cast<char>(0xEE));
+  const auto decoded =
+      DecodeRequestPayload(frame.data() + kFrameHeaderBytes,
+                           frame.size() - kFrameHeaderBytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsInvalidArgument());
+}
+
+TEST(ProtocolTest, TruncatedContextExtensionRejected) {
+  Request request = MakeRequest();
+  request.has_context = true;
+  request.context.request_id = 7;
+  std::vector<char> frame;
+  AppendRequestFrame(request, &frame);
+  // Drop the extension's trailing pad: the decoder must not accept a
+  // partial extension.
+  const auto decoded =
+      DecodeRequestPayload(frame.data() + kFrameHeaderBytes,
+                           frame.size() - kFrameHeaderBytes - 2);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(ProtocolTest, BytesAfterContextExtensionRejected) {
+  Request request = MakeRequest();
+  request.has_context = true;
+  request.context.request_id = 7;
+  std::vector<char> frame;
+  AppendRequestFrame(request, &frame);
+  frame.push_back('x');
+  const auto decoded =
+      DecodeRequestPayload(frame.data() + kFrameHeaderBytes,
+                           frame.size() - kFrameHeaderBytes);
+  EXPECT_FALSE(decoded.ok());
+}
+
 TEST(ProtocolTest, WireCodeRoundTripsEveryStatus) {
   const Status statuses[] = {
       Status::OK(),

@@ -276,5 +276,85 @@ TEST_F(ServerChaosTest, AdmissionRejectionIsRetryableAndRecovers) {
   EXPECT_TRUE(eventually->ok());
 }
 
+TEST_F(ServerChaosTest, SlowQueryLogDiskFullDegradesCaptureNotServing) {
+  // Rebuild with slow-query capture on (threshold 0: every request is
+  // captured; flush_bytes 1: every capture hits the disk immediately) and
+  // no query log, so the injected write failure lands on the slow log.
+  daemon_.reset();
+  auto initial = std::make_shared<ColGraphEngine>();
+  ASSERT_TRUE(initial->AddWalk({1, 2, 3}, {5, 6}).ok());
+  ASSERT_TRUE(initial->Seal().ok());
+  DaemonOptions options;
+  options.socket_path = socket_path_;
+  options.num_workers = 2;
+  options.slow_query_log.path = query_log_path_ + ".sq";
+  options.slow_query_log.threshold_us = 0;
+  options.slow_query_log.flush_bytes = 1;
+  auto daemon = Daemon::Start(std::move(initial), options);
+  ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+  daemon_ = std::move(daemon).value();
+
+  Client client = MakeClient();
+  ASSERT_TRUE(client.Query("[1,2,3]").ok());  // capture path healthy
+
+  // Disk full at the next slow-log flush. The capture is lost and the log
+  // poisons itself — but the request that carried it is served normally,
+  // and so is everything after.
+  failpoint::Arm("io:short_write",
+                 failpoint::Spec{failpoint::Action::kShortWrite, 0, 4});
+  const auto during = client.Query("[1,2,3]");
+  ASSERT_TRUE(during.ok()) << during.status().ToString();
+  EXPECT_TRUE(during->ok());
+  failpoint::DisarmAll();
+
+  for (int i = 0; i < 5; ++i) {
+    const auto after = client.Query("SUM [1,2]");
+    ASSERT_TRUE(after.ok()) << after.status().ToString();
+    EXPECT_TRUE(after->ok());
+  }
+  ASSERT_NE(daemon_->slow_query_log(), nullptr);
+  EXPECT_GE(daemon_->slow_query_log()->records_dropped(), 5u);
+  (void)std::remove((query_log_path_ + ".sq").c_str());
+}
+
+TEST_F(ServerChaosTest, MetricsExporterFailureDoesNotAffectServing) {
+  // Rebuild with the exporter on a long period so only explicit
+  // ExportOnce() calls touch the disk.
+  daemon_.reset();
+  auto initial = std::make_shared<ColGraphEngine>();
+  ASSERT_TRUE(initial->AddWalk({1, 2, 3}, {5, 6}).ok());
+  ASSERT_TRUE(initial->Seal().ok());
+  DaemonOptions options;
+  options.socket_path = socket_path_;
+  options.num_workers = 2;
+  options.metrics_dir = testing::TempDir() + "chaos_metrics_" +
+                        std::to_string(::getpid()) + "_" +
+                        std::to_string(instance_);
+  options.metrics_period_ms = 60 * 1000;
+  auto daemon = Daemon::Start(std::move(initial), options);
+  ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+  daemon_ = std::move(daemon).value();
+  ASSERT_NE(daemon_->metrics_exporter(), nullptr);
+  const uint64_t failures_before = daemon_->metrics_exporter()->failures();
+
+  failpoint::Arm("io:open_write",
+                 failpoint::Spec{failpoint::Action::kError, 0, 0});
+  EXPECT_FALSE(daemon_->metrics_exporter()->ExportOnce().ok());
+  EXPECT_EQ(daemon_->metrics_exporter()->failures(), failures_before + 1);
+
+  // Export degraded, serving untouched — while the failpoint is still hot.
+  Client client = MakeClient();
+  const auto response = client.Query("[1,2,3]");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->ok());
+  failpoint::DisarmAll();
+
+  // Recovery: the next export succeeds and leaves a fresh document.
+  EXPECT_TRUE(daemon_->metrics_exporter()->ExportOnce().ok());
+  struct stat st;
+  EXPECT_EQ(
+      ::stat(daemon_->metrics_exporter()->target_path().c_str(), &st), 0);
+}
+
 }  // namespace
 }  // namespace colgraph::server

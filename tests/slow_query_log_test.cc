@@ -1,0 +1,233 @@
+// Slow-query log unit tests (DESIGN.md §15): record round trips including
+// the joined span list, query-text truncation, the deterministic capture
+// policy (threshold + 1-in-N sampler), torn-file detection on read, and
+// the disk-full degradation contract — a write failure poisons the log
+// and counts drops, it never throws or blocks the caller.
+#include "obs/slow_query_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/failpoint.h"
+#include "util/status.h"
+
+namespace colgraph::obs {
+namespace {
+
+class SlowQueryLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::DisarmAll();
+    path_ = testing::TempDir() + "sqlog_" + std::to_string(::getpid()) + "_" +
+            std::to_string(instance_++) + ".sqlog";
+  }
+
+  void TearDown() override {
+    failpoint::DisarmAll();
+    (void)std::remove(path_.c_str());
+  }
+
+  std::unique_ptr<SlowQueryLog> OpenLog(SlowQueryLogOptions options) {
+    options.path = path_;
+    auto log = SlowQueryLog::Open(std::move(options));
+    EXPECT_TRUE(log.ok()) << log.status().ToString();
+    return log.ok() ? std::move(log).value() : nullptr;
+  }
+
+  /// Chops `bytes` off the end of the log file, simulating a torn write
+  /// (crash before the tail reached disk).
+  void TruncateTail(off_t bytes) {
+    struct stat st;
+    ASSERT_EQ(::stat(path_.c_str(), &st), 0);
+    ASSERT_GT(st.st_size, bytes);
+    ASSERT_EQ(::truncate(path_.c_str(), st.st_size - bytes), 0);
+  }
+
+  static int instance_;
+  std::string path_;
+};
+
+int SlowQueryLogTest::instance_ = 0;
+
+SlowQueryRecord MakeRecord(uint64_t id) {
+  SlowQueryRecord record;
+  record.request_id = id;
+  record.snapshot_epoch = 4;
+  record.total_us = 12345;
+  record.wire_code = 0;
+  record.op = 1;  // kQuery
+  record.query = "[1,2] AND [2,3]";
+  record.spans = {
+      {"queue_wait", 0, 8},
+      {"decode", 8, 3},
+      {"evaluate", 11, 12000},
+      {"bitmap_and", 15, 11000},
+      {"write", 12330, 15},
+  };
+  return record;
+}
+
+TEST_F(SlowQueryLogTest, RecordsRoundTripThroughFile) {
+  auto log = OpenLog(SlowQueryLogOptions{});
+  ASSERT_NE(log, nullptr);
+  log->Append(MakeRecord(101));
+  SlowQueryRecord sampled = MakeRecord(102);
+  sampled.sampled = true;
+  sampled.wire_code = 9;  // kWireDeadlineExceeded
+  log->Append(sampled);
+  EXPECT_EQ(log->records_appended(), 2u);
+  EXPECT_EQ(log->records_dropped(), 0u);
+  ASSERT_TRUE(log->Close().ok());
+
+  const auto records = ReadSlowQueryLog(path_);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 2u);
+
+  const SlowQueryRecord& first = (*records)[0];
+  EXPECT_EQ(first.request_id, 101u);
+  EXPECT_EQ(first.snapshot_epoch, 4u);
+  EXPECT_EQ(first.total_us, 12345u);
+  EXPECT_EQ(first.op, 1u);
+  EXPECT_FALSE(first.sampled);
+  EXPECT_EQ(first.query, "[1,2] AND [2,3]");
+  ASSERT_EQ(first.spans.size(), 5u);
+  EXPECT_EQ(first.spans[0].name, "queue_wait");
+  EXPECT_EQ(first.spans[0].duration_us, 8u);
+  EXPECT_EQ(first.spans[3].name, "bitmap_and");
+  EXPECT_EQ(first.spans[3].start_us, 15u);
+  EXPECT_EQ(first.spans[3].duration_us, 11000u);
+
+  const SlowQueryRecord& second = (*records)[1];
+  EXPECT_EQ(second.request_id, 102u);
+  EXPECT_TRUE(second.sampled);
+  EXPECT_EQ(second.wire_code, 9u);
+}
+
+TEST_F(SlowQueryLogTest, QueryTextTruncatedAtAppend) {
+  auto log = OpenLog(SlowQueryLogOptions{});
+  ASSERT_NE(log, nullptr);
+  SlowQueryRecord record = MakeRecord(7);
+  record.query = std::string(kMaxSlowQueryTextBytes + 500, 'q');
+  log->Append(record);
+  ASSERT_TRUE(log->Close().ok());
+
+  const auto records = ReadSlowQueryLog(path_);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].query.size(), kMaxSlowQueryTextBytes);
+  EXPECT_EQ((*records)[0].query, std::string(kMaxSlowQueryTextBytes, 'q'));
+}
+
+TEST_F(SlowQueryLogTest, EmptyLogRoundTrips) {
+  auto log = OpenLog(SlowQueryLogOptions{});
+  ASSERT_NE(log, nullptr);
+  ASSERT_TRUE(log->Close().ok());
+  const auto records = ReadSlowQueryLog(path_);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  EXPECT_TRUE(records->empty());
+}
+
+TEST_F(SlowQueryLogTest, AdmitForCaptureIsDeterministic) {
+  SlowQueryLogOptions options;
+  options.threshold_us = 1000;
+  options.sample_every = 3;
+  auto log = OpenLog(options);
+  ASSERT_NE(log, nullptr);
+
+  bool sampled = false;
+  // Offer 1: fast, sampler position 1 of 3 — not captured.
+  EXPECT_FALSE(log->AdmitForCapture(10, &sampled));
+  // Offer 2: over the threshold — captured as an outlier, not a sample.
+  EXPECT_TRUE(log->AdmitForCapture(2000, &sampled));
+  EXPECT_FALSE(sampled);
+  // Offer 3: fast, but the 1-in-3 sampler fires — captured as a sample.
+  EXPECT_TRUE(log->AdmitForCapture(10, &sampled));
+  EXPECT_TRUE(sampled);
+  // Offers 4 and 5: fast, off-beat — not captured.
+  EXPECT_FALSE(log->AdmitForCapture(10, &sampled));
+  EXPECT_FALSE(log->AdmitForCapture(10, &sampled));
+  // Offer 6: slow AND on the sampler beat — threshold wins: consumers must
+  // be able to treat `sampled` records as an unbiased cross-section.
+  EXPECT_TRUE(log->AdmitForCapture(5000, &sampled));
+  EXPECT_FALSE(sampled);
+  ASSERT_TRUE(log->Close().ok());
+}
+
+TEST_F(SlowQueryLogTest, SamplingDisabledByDefault) {
+  SlowQueryLogOptions options;
+  options.threshold_us = 1000;  // sample_every stays 0
+  auto log = OpenLog(options);
+  ASSERT_NE(log, nullptr);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(log->AdmitForCapture(10, nullptr));
+  }
+  EXPECT_TRUE(log->AdmitForCapture(1000, nullptr));  // threshold inclusive
+  ASSERT_TRUE(log->Close().ok());
+}
+
+TEST_F(SlowQueryLogTest, TornTailReadsAsCorruption) {
+  auto log = OpenLog(SlowQueryLogOptions{});
+  ASSERT_NE(log, nullptr);
+  log->Append(MakeRecord(1));
+  ASSERT_TRUE(log->Close().ok());
+
+  TruncateTail(5);  // mid-footer tear
+  const auto records = ReadSlowQueryLog(path_);
+  ASSERT_FALSE(records.ok());
+  EXPECT_TRUE(records.status().IsCorruption()) << records.status().ToString();
+}
+
+TEST_F(SlowQueryLogTest, MissingFooterReadsAsCorruption) {
+  auto log = OpenLog(SlowQueryLogOptions{});
+  ASSERT_NE(log, nullptr);
+  log->Append(MakeRecord(1));
+  ASSERT_TRUE(log->Close().ok());
+
+  // Remove exactly the footer frame: 13-byte frame header plus the
+  // [u32 magic][u64 count] payload. The tear lands on a frame boundary, so
+  // only the mandatory-footer check can catch it.
+  TruncateTail(13 + 12);
+  const auto records = ReadSlowQueryLog(path_);
+  ASSERT_FALSE(records.ok());
+  EXPECT_TRUE(records.status().IsCorruption()) << records.status().ToString();
+  EXPECT_NE(records.status().message().find("missing footer"),
+            std::string::npos)
+      << records.status().ToString();
+}
+
+TEST_F(SlowQueryLogTest, WriteFailurePoisonsLogAndCountsDrops) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "failpoints compiled out";
+
+  SlowQueryLogOptions options;
+  options.flush_bytes = 1;  // flush every record: deterministic failure hit
+  auto log = OpenLog(options);
+  ASSERT_NE(log, nullptr);
+
+  failpoint::Arm("io:short_write",
+                 failpoint::Spec{failpoint::Action::kShortWrite, 0, 4});
+  log->Append(MakeRecord(1));  // flush fails; the record is lost
+  EXPECT_EQ(log->records_dropped(), 1u);
+
+  // The log is poisoned: later appends drop immediately (no writes, no
+  // blocking), and the caller sees it only through the counters.
+  failpoint::DisarmAll();
+  log->Append(MakeRecord(2));
+  log->Append(MakeRecord(3));
+  EXPECT_EQ(log->records_dropped(), 3u);
+
+  // Close surfaces the first error; the file on disk is a torn log and
+  // reads as Corruption, never as silently-empty success.
+  EXPECT_FALSE(log->Close().ok());
+  const auto records = ReadSlowQueryLog(path_);
+  ASSERT_FALSE(records.ok());
+  EXPECT_TRUE(records.status().IsCorruption()) << records.status().ToString();
+}
+
+}  // namespace
+}  // namespace colgraph::obs

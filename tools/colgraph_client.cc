@@ -8,12 +8,20 @@
 //   colgraph_client --socket=PATH [--timeout-ms=N] [--attempts=N] COMMAND
 //   COMMAND:
 //     ping                 liveness probe
-//     query 'TEXT'         run one query (query/parser.h grammar)
+//     query [--trace] 'TEXT'
+//                          run one query; --trace attaches a request id
+//                          and prints the server's end-to-end trace
 //     ingest FILE          ingest a trace file ('-' reads stdin)
-//     stats                dump the server's metrics document
+//     stats [--json] [--watch=SECONDS] [--watch-count=N]
+//                          pretty table of the server's telemetry;
+//                          --json prints the raw document; --watch polls
+//                          the cheap registry endpoint every SECONDS
+//                          (--watch-count bounds the polls, 0 = forever)
 //
 // Exit codes: 0 OK, 1 the server answered with an error, 2 usage error,
 // 3 transport failure (all retry attempts exhausted).
+#include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +29,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "server/client.h"
 
@@ -30,6 +39,7 @@ using colgraph::StatusOr;
 using colgraph::server::Client;
 using colgraph::server::ClientOptions;
 using colgraph::server::Response;
+using colgraph::server::SleepMs;
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
   const size_t len = std::strlen(name);
@@ -42,7 +52,9 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket=PATH [--timeout-ms=N] [--attempts=N] "
                "COMMAND\n"
-               "  COMMAND: ping | query 'TEXT' | ingest FILE | stats\n",
+               "  COMMAND: ping | query [--trace] 'TEXT' | ingest FILE |\n"
+               "           stats [--json] [--watch=SECONDS] "
+               "[--watch-count=N]\n",
                argv0);
   return 2;
 }
@@ -62,6 +74,143 @@ int Report(const StatusOr<Response>& response) {
   if (!response->body.empty() && response->body.back() != '\n') {
     std::fputc('\n', stdout);
   }
+  return 0;
+}
+
+// --- Minimal scanners over the server's stats documents. ---
+//
+// The server renders with obs/json_writer.h: no whitespace, every key
+// quoted exactly once, metric names free of braces/quotes. These helpers
+// are just enough to build the table — not a general JSON parser.
+
+bool FindNumber(const std::string& json, const std::string& key,
+                int64_t* out) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = json.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* p = json.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const long long v = std::strtoll(p, &end, 10);
+  if (end == p) return false;
+  *out = v;
+  return true;
+}
+
+/// Index of the bracket matching the one at `open` ({ or [).
+size_t MatchBracket(const std::string& json, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') {
+      if (--depth == 0) return i;
+    }
+  }
+  return json.size() - 1;
+}
+
+struct HistRow {
+  std::string name;
+  int64_t count = 0;
+  int64_t p50 = 0;
+  int64_t p90 = 0;
+  int64_t p99 = 0;
+  int64_t max = 0;
+};
+
+std::vector<HistRow> ParseHistograms(const std::string& json) {
+  std::vector<HistRow> rows;
+  const std::string section = "\"histograms\":{";
+  const size_t hpos = json.find(section);
+  if (hpos == std::string::npos) return rows;
+  size_t pos = hpos + section.size();
+  while (pos < json.size() && json[pos] == '"') {
+    const size_t name_end = json.find('"', pos + 1);
+    if (name_end == std::string::npos) break;
+    HistRow row;
+    row.name = json.substr(pos + 1, name_end - pos - 1);
+    const size_t obj = name_end + 2;  // skip `":`
+    if (obj >= json.size() || json[obj] != '{') break;
+    const size_t end = MatchBracket(json, obj);
+    const std::string body = json.substr(obj, end - obj + 1);
+    FindNumber(body, "count", &row.count);
+    FindNumber(body, "p50_us", &row.p50);
+    FindNumber(body, "p90_us", &row.p90);
+    FindNumber(body, "p99_us", &row.p99);
+    FindNumber(body, "max_us", &row.max);
+    rows.push_back(std::move(row));
+    pos = end + 1;
+    if (pos < json.size() && json[pos] == ',') ++pos;
+  }
+  return rows;
+}
+
+void PrintStatsTable(const std::string& json) {
+  int64_t epoch = -1, in_flight = -1, queue = -1, tails = -1, records = -1,
+          uptime = -1;
+  FindNumber(json, "server.snapshot_epoch", &epoch);
+  FindNumber(json, "server.in_flight", &in_flight);
+  FindNumber(json, "server.queue_depth", &queue);
+  FindNumber(json, "server.tail_datasets", &tails);
+  FindNumber(json, "server.total_records", &records);
+  FindNumber(json, "uptime_seconds", &uptime);
+  std::printf("epoch %" PRId64 " | in-flight %" PRId64 " | queue %" PRId64
+              " | tails %" PRId64 " | records %" PRId64,
+              epoch, in_flight, queue, tails, records);
+  // The registry document (what --watch polls) has no uptime field; only
+  // print it when the full document provided one.
+  if (uptime >= 0) std::printf(" | uptime %" PRId64 "s", uptime);
+  std::printf("\n");
+
+  std::vector<HistRow> rows = ParseHistograms(json);
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const HistRow& a, const HistRow& b) {
+                     return a.count > b.count;
+                   });
+  if (rows.size() > 12) rows.resize(12);  // the busiest histograms
+  if (!rows.empty()) {
+    std::printf("%-34s %10s %8s %8s %8s %8s\n", "histogram (us)", "count",
+                "p50", "p90", "p99", "max");
+    for (const HistRow& row : rows) {
+      std::printf("%-34s %10" PRId64 " %8" PRId64 " %8" PRId64 " %8" PRId64
+                  " %8" PRId64 "\n",
+                  row.name.c_str(), row.count, row.p50, row.p90, row.p99,
+                  row.max);
+    }
+  }
+  std::fflush(stdout);
+}
+
+int RunStats(Client& client, bool json, double watch_seconds,
+             uint64_t watch_count) {
+  const bool watching = watch_seconds > 0;
+  for (uint64_t tick = 0;; ++tick) {
+    // One-shot renders the full document; --watch polls the cheap
+    // registry-only endpoint so a 1s cadence costs the server nothing.
+    StatusOr<Response> response =
+        client.Stats(watching ? "registry" : "");
+    if (!response.ok() || !response->ok()) return Report(response);
+    if (json) {
+      std::fputs(response->body.c_str(), stdout);
+      std::fputc('\n', stdout);
+      std::fflush(stdout);
+    } else {
+      if (watching && tick > 0) std::fputc('\n', stdout);
+      PrintStatsTable(response->body);
+    }
+    if (!watching) return 0;
+    if (watch_count > 0 && tick + 1 >= watch_count) return 0;
+    SleepMs(static_cast<uint64_t>(watch_seconds * 1000.0));
+  }
+}
+
+int RunTracedQuery(Client& client, const std::string& text,
+                   uint64_t timeout_ms) {
+  StatusOr<Response> response = client.QueryTraced(text, timeout_ms);
+  const int code = Report(response);
+  if (code != 0) return code;
+  std::printf("trace (request_id %" PRIu64 "):\n%s\n", response->request_id,
+              response->trace_json.c_str());
   return 0;
 }
 
@@ -91,10 +240,38 @@ int main(int argc, char** argv) {
   Client client(options);
 
   if (command == "ping") return Report(client.Ping());
-  if (command == "stats") return Report(client.Stats());
+  if (command == "stats") {
+    bool json = false;
+    double watch_seconds = 0;
+    uint64_t watch_count = 0;
+    for (int j = i + 1; j < argc; ++j) {
+      if (std::strcmp(argv[j], "--json") == 0) {
+        json = true;
+        continue;
+      }
+      if (ParseFlag(argv[j], "--watch=", &value)) {
+        watch_seconds = std::strtod(value.c_str(), nullptr);
+        if (watch_seconds <= 0) return Usage(argv[0]);
+        continue;
+      }
+      if (ParseFlag(argv[j], "--watch-count=", &value)) {
+        watch_count = std::strtoull(value.c_str(), nullptr, 10);
+        continue;
+      }
+      return Usage(argv[0]);
+    }
+    return RunStats(client, json, watch_seconds, watch_count);
+  }
   if (command == "query") {
-    if (i + 1 >= argc) return Usage(argv[0]);
-    return Report(client.Query(argv[i + 1], timeout_ms));
+    bool trace = false;
+    int arg = i + 1;
+    if (arg < argc && std::strcmp(argv[arg], "--trace") == 0) {
+      trace = true;
+      ++arg;
+    }
+    if (arg >= argc) return Usage(argv[0]);
+    if (trace) return RunTracedQuery(client, argv[arg], timeout_ms);
+    return Report(client.Query(argv[arg], timeout_ms));
   }
   if (command == "ingest") {
     if (i + 1 >= argc) return Usage(argv[0]);

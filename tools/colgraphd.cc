@@ -10,6 +10,9 @@
 //             [--max-in-flight=N] [--query-log=FILE]
 //             [--default-timeout-ms=N] [--threads=N]
 //             [--data-dir=DIR] [--compact-after=N]
+//             [--slow-query-log=FILE] [--slow-query-threshold-us=N]
+//             [--slow-query-sample=N] [--metrics-dir=DIR]
+//             [--metrics-period-ms=N]
 //   colgraphd --smoke=DIR
 //
 // --data-dir makes ingest durable (DESIGN.md §14): every batch is sealed
@@ -17,6 +20,13 @@
 // re-attaches DIR's datasets to the initial snapshot. --compact-after=N
 // triggers a background compaction once N tail datasets have
 // accumulated (0 disables; default 4).
+//
+// Telemetry (DESIGN.md §15): --slow-query-log captures requests over
+// --slow-query-threshold-us (default 20000) plus an optional 1-in-N
+// sample (--slow-query-sample) with their full server+engine trace;
+// render with colgraph_trace. --metrics-dir periodically (every
+// --metrics-period-ms, default 1000) writes the server's metrics
+// document to DIR/metrics.json via atomic rename.
 //
 // --smoke runs the end-to-end self-test wired into ctest (label `server`):
 // it starts a daemon on a scratch socket, drives it through the retrying
@@ -66,11 +76,16 @@ struct Args {
   std::string query_log_path;
   std::string smoke_dir;
   std::string data_dir;
+  std::string slow_query_log_path;
+  std::string metrics_dir;
   size_t workers = 8;
   size_t max_in_flight = 32;
   size_t threads = 1;
   size_t compact_after = 4;
   uint64_t default_timeout_ms = 0;
+  uint64_t slow_query_threshold_us = 20 * 1000;
+  uint64_t slow_query_sample = 0;
+  uint64_t metrics_period_ms = 1000;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -86,6 +101,10 @@ int Usage(const char* argv0) {
                "          [--max-in-flight=N] [--query-log=FILE]\n"
                "          [--default-timeout-ms=N] [--threads=N]\n"
                "          [--data-dir=DIR] [--compact-after=N]\n"
+               "          [--slow-query-log=FILE] "
+               "[--slow-query-threshold-us=N]\n"
+               "          [--slow-query-sample=N] [--metrics-dir=DIR]\n"
+               "          [--metrics-period-ms=N]\n"
                "       %s --smoke=DIR\n",
                argv0, argv0);
   return 2;
@@ -123,6 +142,11 @@ int Serve(const Args& args) {
   options.default_timeout_ms = args.default_timeout_ms;
   options.data_dir = args.data_dir;
   options.compact_after_datasets = args.compact_after;
+  options.slow_query_log.path = args.slow_query_log_path;
+  options.slow_query_log.threshold_us = args.slow_query_threshold_us;
+  options.slow_query_log.sample_every = args.slow_query_sample;
+  options.metrics_dir = args.metrics_dir;
+  options.metrics_period_ms = args.metrics_period_ms;
   StatusOr<std::unique_ptr<Daemon>> daemon =
       Daemon::Start(std::move(initial).value(), options);
   if (!daemon.ok()) {
@@ -190,6 +214,11 @@ int Smoke(const std::string& dir) {
   options.socket_path = socket_path;
   options.num_workers = 4;
   options.max_in_flight = 2;
+  // Telemetry end to end: threshold 0 captures every request in the
+  // slow-query log; the exporter leaves a metrics document in DIR.
+  options.slow_query_log.path = dir + "/smoke.sqlog";
+  options.slow_query_log.threshold_us = 0;
+  options.metrics_dir = dir + "/metrics";
   StatusOr<std::unique_ptr<Daemon>> daemon_or =
       Daemon::Start(std::move(initial_or).value(), options);
   SMOKE_CHECK(daemon_or.ok(), "Daemon::Start");
@@ -229,11 +258,31 @@ int Smoke(const std::string& dir) {
               "new record visible at epoch 1");
   SMOKE_CHECK(match2->snapshot_epoch == 1, "query served from epoch 1");
 
-  // 5. Stats returns the metrics document with the server gauges.
+  // 5. Stats returns the metrics document with the server gauges; the
+  //    "registry" selector returns the cheap registry-only document that
+  //    `stats --watch` polls.
   StatusOr<Response> stats = client.Stats();
   SMOKE_CHECK(stats.ok() && stats->ok(), "stats");
   SMOKE_CHECK(stats->body.find("server.snapshot_epoch") != std::string::npos,
               "stats exposes the snapshot epoch gauge");
+  SMOKE_CHECK(stats->body.find("server.tail_datasets") != std::string::npos,
+              "stats exposes the storage-shape gauges");
+  StatusOr<Response> registry = client.Stats("registry");
+  SMOKE_CHECK(registry.ok() && registry->ok(), "stats registry selector");
+  SMOKE_CHECK(registry->body.find("\"counters\"") != std::string::npos,
+              "registry selector returns the registry document");
+
+  // 5b. A traced query echoes the joined server+engine trace, keyed by
+  //     the client-generated request id.
+  StatusOr<Response> traced = client.QueryTraced("[1,2,3]");
+  SMOKE_CHECK(traced.ok() && traced->ok(), "traced query");
+  SMOKE_CHECK(traced->has_trace, "traced query echoes a trace");
+  SMOKE_CHECK(traced->request_id == client.last_request_id(),
+              "echoed trace keyed by the client's request id");
+  SMOKE_CHECK(traced->trace_json.find("\"decode\"") != std::string::npos,
+              "trace has the server decode phase");
+  SMOKE_CHECK(traced->trace_json.find("\"bitmap_and\"") != std::string::npos,
+              "trace has the engine bitmap_and phase");
 
   // 6. A deadline that fires mid-request comes back DEADLINE_EXCEEDED and
   //    is NOT retried (the budget is spent): exactly one attempt.
@@ -255,6 +304,10 @@ int Smoke(const std::string& dir) {
               "socket file removed on drain");
   SMOKE_CHECK(::stat(log_path.c_str(), &st) == 0,
               "query log flushed to disk");
+  SMOKE_CHECK(::stat((dir + "/smoke.sqlog").c_str(), &st) == 0,
+              "slow-query log completed on drain");
+  SMOKE_CHECK(::stat((dir + "/metrics/metrics.json").c_str(), &st) == 0,
+              "metrics exporter left its final document");
   client.Disconnect();
   StatusOr<Response> after = client.Ping();
   SMOKE_CHECK(!after.ok() && after.status().IsUnavailable(),
@@ -277,6 +330,22 @@ int main(int argc, char** argv) {
     if (ParseFlag(argv[i], "--query-log=", &args.query_log_path)) continue;
     if (ParseFlag(argv[i], "--smoke=", &args.smoke_dir)) continue;
     if (ParseFlag(argv[i], "--data-dir=", &args.data_dir)) continue;
+    if (ParseFlag(argv[i], "--slow-query-log=", &args.slow_query_log_path)) {
+      continue;
+    }
+    if (ParseFlag(argv[i], "--metrics-dir=", &args.metrics_dir)) continue;
+    if (ParseFlag(argv[i], "--slow-query-threshold-us=", &value)) {
+      args.slow_query_threshold_us = std::strtoull(value.c_str(), nullptr, 10);
+      continue;
+    }
+    if (ParseFlag(argv[i], "--slow-query-sample=", &value)) {
+      args.slow_query_sample = std::strtoull(value.c_str(), nullptr, 10);
+      continue;
+    }
+    if (ParseFlag(argv[i], "--metrics-period-ms=", &value)) {
+      args.metrics_period_ms = std::strtoull(value.c_str(), nullptr, 10);
+      continue;
+    }
     if (ParseFlag(argv[i], "--compact-after=", &value)) {
       args.compact_after = std::strtoull(value.c_str(), nullptr, 10);
       continue;

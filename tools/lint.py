@@ -43,13 +43,15 @@ Rules
                      capability annotations (GUARDED_BY/REQUIRES) and the
                      debug lock-rank checks. util/sync.h itself is exempt
                      (it wraps the std primitives).
-  no-adhoc-timing    Instrumented layers (src/query/, src/views/, src/core/)
-                     must not time themselves with Stopwatch / PhaseTimer /
-                     ScopedPhase or raw std::chrono clocks: all phase timing
-                     goes through the span API (obs/trace.h Span +
-                     QueryPhase) so every measurement lands in the metrics
-                     registry and in query traces instead of a one-off local
-                     that EXPLAIN never sees.
+  no-adhoc-timing    Instrumented layers (src/query/, src/views/, src/core/,
+                     src/server/, src/columnstore/) must not time themselves
+                     with Stopwatch / PhaseTimer / ScopedPhase or raw
+                     std::chrono clocks: all phase timing goes through the
+                     span API (obs/trace.h Span + QueryPhase, or
+                     obs/request_context.h ServerSpan + ServerPhase on the
+                     serving path) so every measurement lands in the metrics
+                     registry and in request traces instead of a one-off
+                     local that EXPLAIN and the slow-query log never see.
   no-raw-mmap        Library code must not call raw mmap/munmap/mremap:
                      all memory mapping goes through columnstore/mem_map.h
                      (MemMap) so mappings are RAII-released, zero-length
@@ -247,7 +249,13 @@ def lint_file(path, rel, status_fns, errors, in_library):
                     f"send/recv API"
                 )
             if posix_rel.startswith(
-                ("src/query/", "src/views/", "src/core/")
+                (
+                    "src/query/",
+                    "src/views/",
+                    "src/core/",
+                    "src/server/",
+                    "src/columnstore/",
+                )
             ) and (
                 re.search(r"\b(?:Stopwatch|PhaseTimer|ScopedPhase)\b", line)
                 or re.search(
@@ -257,11 +265,11 @@ def lint_file(path, rel, status_fns, errors, in_library):
                 )
             ):
                 errors.append(
-                    f"{rel}:{i}: [no-adhoc-timing] query/views/core-layer "
+                    f"{rel}:{i}: [no-adhoc-timing] instrumented-layer "
                     f"timing must go through the span API (obs/trace.h Span "
-                    f"+ QueryPhase), not ad-hoc Stopwatch/PhaseTimer/chrono "
-                    f"clocks, so measurements reach the metrics registry "
-                    f"and query traces"
+                    f"/ obs/request_context.h ServerSpan), not ad-hoc "
+                    f"Stopwatch/PhaseTimer/chrono clocks, so measurements "
+                    f"reach the metrics registry and request traces"
                 )
 
         if stripped.startswith("#include"):
